@@ -1,0 +1,61 @@
+// Figure 4 + the Section 6 "Model Accuracy" numbers.
+//
+// Paper: test-set MAPE 16%, Pearson 0.90, Spearman 0.95; Figure 4 plots
+// predicted vs measured speedups for 100 random programs x 32 schedules,
+// sorted ascending by measured speedup.
+#include "common.h"
+#include "model/train.h"
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace tcm;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::BenchEnv::from_args(argc, argv);
+  model::CostModel& m = env.cost_model();
+  const model::Dataset& test = env.split().test;
+
+  const auto preds = model::predict(m, test);
+  const auto metrics = model::compute_metrics(preds, test);
+
+  Table summary({"metric", "paper", "this reproduction"});
+  summary.add_row({"test MAPE", "0.16", Table::fmt(metrics.mape, 3)});
+  summary.add_row({"Pearson", "0.90", Table::fmt(metrics.pearson, 3)});
+  summary.add_row({"Spearman", "0.95", Table::fmt(metrics.spearman, 3)});
+  summary.add_row({"test points", "~360k", std::to_string(metrics.n)});
+  env.emit("fig4_accuracy_summary", summary);
+
+  // Figure 4 series: subset of the test set sorted by measured speedup.
+  std::vector<std::size_t> order(test.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return test.points[a].speedup < test.points[b].speedup;
+  });
+  const std::size_t max_points = std::min<std::size_t>(order.size(), 3200);
+  Table series({"rank", "measured_speedup", "predicted_speedup"});
+  // Print a sampled subset to stdout-friendly size; the CSV holds all rows.
+  const std::size_t stride = std::max<std::size_t>(1, max_points / 3200);
+  for (std::size_t k = 0; k < max_points; k += stride) {
+    const std::size_t i = order[k * order.size() / max_points];
+    series.add_row({std::to_string(k), Table::fmt(test.points[i].speedup, 4),
+                    Table::fmt(preds[i], 4)});
+  }
+  series.write_csv("artifacts/fig4_series_" + env.tag() + ".csv");
+  std::printf("Figure 4 series: %zu points written to artifacts/fig4_series_%s.csv\n",
+              series.num_rows(), env.tag().c_str());
+
+  // Compact console rendition: deciles of the sorted series.
+  Table deciles({"decile", "measured (median)", "predicted (median)"});
+  for (int d = 0; d < 10; ++d) {
+    std::vector<double> ms, ps;
+    for (std::size_t k = order.size() * d / 10; k < order.size() * (d + 1) / 10; ++k) {
+      ms.push_back(test.points[order[k]].speedup);
+      ps.push_back(preds[order[k]]);
+    }
+    deciles.add_row({std::to_string(d + 1), Table::fmt(median(ms), 3), Table::fmt(median(ps), 3)});
+  }
+  env.emit("fig4_deciles", deciles);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 5: distribution of the model's error over the test set.
+// Top: histogram of APE. Bottom: APE as a function of measured speedup
+// (the paper's observation: error is smallest near speedup 1 and grows in
+// the tails, especially below 0.05).
+#include "common.h"
+#include "model/train.h"
+#include "support/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace tcm;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::BenchEnv::from_args(argc, argv);
+  model::CostModel& m = env.cost_model();
+  const model::Dataset& test = env.split().test;
+  const auto preds = model::predict(m, test);
+
+  std::vector<double> apes(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i)
+    apes[i] = std::abs(test.points[i].speedup - preds[i]) / test.points[i].speedup;
+
+  // Top: APE histogram (clamped at 1.0, 17 bins like the paper's axis).
+  const Histogram h = make_histogram(apes, 0.0, 1.02, 17);
+  Table hist({"APE bin left", "count"});
+  for (std::size_t b = 0; b < h.counts.size(); ++b)
+    hist.add_row({Table::fmt(h.bin_left(b), 2), std::to_string(h.counts[b])});
+  env.emit("fig5_ape_histogram", hist);
+
+  // Bottom: mean APE per measured-speedup band (log-spaced like the plot).
+  const std::vector<std::pair<double, double>> bands = {
+      {0.0, 0.05}, {0.05, 0.1}, {0.1, 0.5}, {0.5, 1.0},
+      {1.0, 2.0},  {2.0, 5.0},  {5.0, 10.0}, {10.0, 1e9}};
+  Table by_band({"measured speedup band", "n", "mean APE", "median APE"});
+  for (const auto& [lo, hi] : bands) {
+    std::vector<double> in_band;
+    for (std::size_t i = 0; i < test.size(); ++i)
+      if (test.points[i].speedup >= lo && test.points[i].speedup < hi)
+        in_band.push_back(apes[i]);
+    if (in_band.empty()) continue;
+    by_band.add_row({Table::fmt(lo, 2) + " - " + (hi > 1e8 ? "inf" : Table::fmt(hi, 2)),
+                     std::to_string(in_band.size()), Table::fmt(mean(in_band), 3),
+                     Table::fmt(median(in_band), 3)});
+  }
+  env.emit("fig5_ape_by_speedup", by_band);
+
+  // The paper's qualitative claim, checked numerically.
+  std::vector<double> near, far;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double y = test.points[i].speedup;
+    (y > 0.5 && y < 2.0 ? near : far).push_back(apes[i]);
+  }
+  std::printf("mean APE near speedup 1 (0.5..2): %.3f | in the tails: %.3f  %s\n",
+              mean(near), mean(far),
+              mean(near) < mean(far) ? "[matches the paper's shape]" : "[SHAPE MISMATCH]");
+  return 0;
+}

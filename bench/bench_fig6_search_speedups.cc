@@ -1,0 +1,83 @@
+// Figure 6: best speedups found on the real-world benchmark suite by
+//   (1) beam search with execution (the reference),
+//   (2) beam search with the learned cost model,
+//   (3) MCTS with the learned cost model,
+//   (4) the Halide-style autoscheduler (baseline cost model + beam search).
+// Baseline = the original program with the outermost loop parallelized.
+//
+// Also writes artifacts/fig6_schedules_*.txt with the winning schedules.
+#include "common.h"
+#include "benchsuite/benchmarks.h"
+#include "search/beam_search.h"
+#include "search/mcts.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace tcm;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::BenchEnv::from_args(argc, argv);
+  model::CostModel& cost_model = env.cost_model();
+  baselines::HalideCostModel& halide = env.halide_model();
+
+  // Benchmark sizes: paper sizes with --paper, 1/4 otherwise (the machine
+  // model is analytic, so this only tames the search spaces slightly).
+  const auto benchmarks = benchsuite::paper_benchmarks(env.paper_scale ? 1 : 4);
+
+  search::BeamSearchOptions beam_opt;
+  beam_opt.beam_width = 4;
+  search::MctsOptions mcts_opt;
+  mcts_opt.iterations = 150;
+  mcts_opt.top_k = 5;
+
+  Table table({"benchmark", "BS + execution", "BS + cost model", "MCTS + cost model",
+               "Halide autoscheduler"});
+  std::ofstream sched_log("artifacts/fig6_schedules_" + env.tag() + ".txt");
+
+  for (const auto& [name, program] : benchmarks) {
+    // Baseline: outermost-parallel only (the paper's Figure 6 baseline).
+    sim::Executor baseline_exec;
+    const transforms::Schedule heur =
+        search::apply_parallel_vector_heuristics(program, {}, beam_opt.space);
+    transforms::Schedule par_only;
+    par_only.parallels = heur.parallels;
+    const double t_base = baseline_exec.measure_seconds(
+        transforms::apply_schedule(program, par_only));
+    auto speedup_vs_baseline = [&](const transforms::Schedule& s) {
+      sim::Executor e;
+      return t_base / e.measure_seconds(transforms::apply_schedule(program, s));
+    };
+
+    // (1) Beam search with execution.
+    search::ExecutionEvaluator bse_eval{sim::Executor()};
+    const auto bse = search::beam_search(program, bse_eval, beam_opt);
+
+    // (2) Beam search with the learned model.
+    search::ModelEvaluator bsm_eval(&cost_model, model::FeatureConfig::fast());
+    const auto bsm = search::beam_search(program, bsm_eval, beam_opt);
+
+    // (3) MCTS with the learned model (+ execution of the retained set).
+    search::ModelEvaluator mcts_model_eval(&cost_model, model::FeatureConfig::fast());
+    search::ExecutionEvaluator mcts_exec_eval{sim::Executor()};
+    const auto mcts = search::mcts_search(program, mcts_model_eval, mcts_exec_eval, mcts_opt);
+
+    // (4) Halide-style autoscheduler.
+    baselines::HalideEvaluator halide_eval(&halide, sim::MachineSpec());
+    const auto hl = search::beam_search(program, halide_eval, beam_opt);
+
+    table.add_row({name, Table::fmt(speedup_vs_baseline(bse.best_schedule), 2),
+                   Table::fmt(speedup_vs_baseline(bsm.best_schedule), 2),
+                   Table::fmt(speedup_vs_baseline(mcts.best_schedule), 2),
+                   Table::fmt(speedup_vs_baseline(hl.best_schedule), 2)});
+    sched_log << name << "\n  BSE : " << bse.best_schedule.to_string()
+              << "\n  BSM : " << bsm.best_schedule.to_string()
+              << "\n  MCTS: " << mcts.best_schedule.to_string()
+              << "\n  HAL : " << hl.best_schedule.to_string() << "\n";
+    std::printf("  [%s done]\n", name.c_str());
+    std::fflush(stdout);
+  }
+  env.emit("fig6_search_speedups", table);
+  std::printf("(winning schedules: artifacts/fig6_schedules_%s.txt)\n", env.tag().c_str());
+  return 0;
+}

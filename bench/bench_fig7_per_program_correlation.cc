@@ -1,0 +1,72 @@
+// Figure 7: Pearson and Spearman correlation between predicted and measured
+// speedups, computed *per program* over that program's schedules (the paper
+// uses 100 test programs x 32 schedules; most columns are close to 1).
+#include "common.h"
+#include "model/train.h"
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace tcm;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::BenchEnv::from_args(argc, argv);
+  model::CostModel& m = env.cost_model();
+  const model::Dataset& test = env.split().test;
+  const auto preds = model::predict(m, test);
+
+  std::map<int, std::vector<std::size_t>> by_program;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    by_program[test.points[i].program_id].push_back(i);
+
+  std::vector<double> pearsons, spearmans;
+  for (const auto& [pid, idx] : by_program) {
+    if (idx.size() < 6) continue;  // need enough schedules per column
+    std::vector<double> y, yhat;
+    for (std::size_t i : idx) {
+      y.push_back(test.points[i].speedup);
+      yhat.push_back(preds[i]);
+    }
+    pearsons.push_back(pearson(y, yhat));
+    spearmans.push_back(spearman(y, yhat));
+  }
+  std::sort(pearsons.begin(), pearsons.end());
+  std::sort(spearmans.begin(), spearmans.end());
+
+  auto pct = [](const std::vector<double>& v, double q) {
+    if (v.empty()) return 0.0;
+    return v[std::min(v.size() - 1, static_cast<std::size_t>(q * v.size()))];
+  };
+  Table table({"statistic", "Pearson", "Spearman"});
+  table.add_row({"programs", std::to_string(pearsons.size()), std::to_string(spearmans.size())});
+  table.add_row({"p10", Table::fmt(pct(pearsons, 0.1), 3), Table::fmt(pct(spearmans, 0.1), 3)});
+  table.add_row({"median", Table::fmt(pct(pearsons, 0.5), 3), Table::fmt(pct(spearmans, 0.5), 3)});
+  table.add_row({"p90", Table::fmt(pct(pearsons, 0.9), 3), Table::fmt(pct(spearmans, 0.9), 3)});
+  table.add_row({"mean", Table::fmt(mean(pearsons), 3), Table::fmt(mean(spearmans), 3)});
+  double frac_p = 0, frac_s = 0;
+  for (double v : pearsons) frac_p += v > 0.75;
+  for (double v : spearmans) frac_s += v > 0.75;
+  table.add_row({"fraction > 0.75", Table::fmt(frac_p / pearsons.size(), 2),
+                 Table::fmt(frac_s / spearmans.size(), 2)});
+  env.emit("fig7_per_program_correlation", table);
+
+  // Full per-program columns to CSV (the actual Figure 7 bars).
+  Table columns({"program", "pearson", "spearman"});
+  std::size_t col = 0;
+  for (const auto& [pid, idx] : by_program) {
+    if (idx.size() < 6) continue;
+    std::vector<double> y, yhat;
+    for (std::size_t i : idx) {
+      y.push_back(test.points[i].speedup);
+      yhat.push_back(preds[i]);
+    }
+    columns.add_row({std::to_string(col++), Table::fmt(pearson(y, yhat), 4),
+                     Table::fmt(spearman(y, yhat), 4)});
+  }
+  columns.write_csv("artifacts/fig7_columns_" + env.tag() + ".csv");
+  std::printf("per-program columns: artifacts/fig7_columns_%s.csv (%zu programs)\n",
+              env.tag().c_str(), columns.num_rows());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 8: measured vs predicted speedup scatter for 16 random test
+// programs (one mini-panel per program; the closer points are to the
+// diagonal, the better). The CSV holds every (measured, predicted) pair.
+#include "common.h"
+#include "model/train.h"
+#include "support/rng.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace tcm;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::BenchEnv::from_args(argc, argv);
+  model::CostModel& m = env.cost_model();
+  const model::Dataset& test = env.split().test;
+  const auto preds = model::predict(m, test);
+
+  std::map<int, std::vector<std::size_t>> by_program;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    by_program[test.points[i].program_id].push_back(i);
+
+  // Pick 16 programs deterministically.
+  std::vector<int> ids;
+  for (const auto& [pid, idx] : by_program)
+    if (idx.size() >= 6) ids.push_back(pid);
+  Rng rng(2021);
+  rng.shuffle(ids);
+  if (ids.size() > 16) ids.resize(16);
+
+  Table scatter({"panel", "program", "measured", "predicted"});
+  Table summary({"panel", "program", "points", "within 2x of diagonal"});
+  for (std::size_t panel = 0; panel < ids.size(); ++panel) {
+    const auto& idx = by_program[ids[panel]];
+    int close = 0;
+    for (std::size_t i : idx) {
+      scatter.add_row({std::to_string(panel), std::to_string(ids[panel]),
+                       Table::fmt(test.points[i].speedup, 4), Table::fmt(preds[i], 4)});
+      const double ratio = preds[i] / test.points[i].speedup;
+      close += ratio > 0.5 && ratio < 2.0;
+    }
+    summary.add_row({std::to_string(panel), std::to_string(ids[panel]),
+                     std::to_string(idx.size()),
+                     Table::fmt(100.0 * close / static_cast<double>(idx.size()), 0) + " %"});
+  }
+  scatter.write_csv("artifacts/fig8_scatter_" + env.tag() + ".csv");
+  env.emit("fig8_scatter_summary", summary);
+  std::printf("full scatter: artifacts/fig8_scatter_%s.csv (%zu points)\n", env.tag().c_str(),
+              scatter.num_rows());
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark): throughput of the pieces that bound
+// the end-to-end pipeline — featurization, model inference, schedule
+// application, machine-model evaluation, and NN training steps.
+#include <benchmark/benchmark.h>
+
+#include "benchsuite/benchmarks.h"
+#include "datagen/dataset_builder.h"
+#include "model/train.h"
+#include "nn/optim.h"
+#include "sim/machine_model.h"
+#include "transforms/apply.h"
+
+using namespace tcm;
+
+namespace {
+
+const ir::Program& conv_program() {
+  static const ir::Program p = benchsuite::make_convolution(8, 3, 256, 256, 2, 3);
+  return p;
+}
+
+transforms::Schedule conv_schedule() {
+  transforms::Schedule s;
+  s.interchanges.push_back({0, 4, 5});
+  s.tiles.push_back({0, 2, {32, 32}});
+  s.unrolls.push_back({0, 2});
+  s.parallels.push_back({0, 0});
+  s.vectorizes.push_back({0, 2});  // innermost is the 3-wide kernel loop
+  return s;
+}
+
+void BM_ApplySchedule(benchmark::State& state) {
+  const ir::Program& p = conv_program();
+  const transforms::Schedule s = conv_schedule();
+  for (auto _ : state) benchmark::DoNotOptimize(transforms::apply_schedule(p, s));
+}
+BENCHMARK(BM_ApplySchedule);
+
+void BM_LegalityCheck(benchmark::State& state) {
+  const ir::Program& p = conv_program();
+  const transforms::Schedule s = conv_schedule();
+  for (auto _ : state) benchmark::DoNotOptimize(transforms::is_legal(p, s));
+}
+BENCHMARK(BM_LegalityCheck);
+
+void BM_Featurize(benchmark::State& state) {
+  const ir::Program& p = conv_program();
+  const transforms::Schedule s = conv_schedule();
+  const model::FeatureConfig cfg = model::FeatureConfig::fast();
+  for (auto _ : state) benchmark::DoNotOptimize(model::featurize(p, s, cfg));
+}
+BENCHMARK(BM_Featurize);
+
+void BM_MachineModelEval(benchmark::State& state) {
+  const ir::Program t = transforms::apply_schedule(conv_program(), conv_schedule());
+  sim::MachineModel m;
+  for (auto _ : state) benchmark::DoNotOptimize(m.execution_time_seconds(t));
+}
+BENCHMARK(BM_MachineModelEval);
+
+void BM_ProgramGeneration(benchmark::State& state) {
+  datagen::RandomProgramGenerator gen;
+  std::uint64_t seed = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(gen.generate(seed++));
+}
+BENCHMARK(BM_ProgramGeneration);
+
+void BM_CostModelInference(benchmark::State& state) {
+  datagen::DatasetBuildOptions opt;
+  opt.num_programs = 1;
+  opt.schedules_per_program = static_cast<int>(state.range(0));
+  opt.features = model::FeatureConfig::fast();
+  const model::Dataset ds = datagen::build_dataset(opt);
+  Rng rng(1);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(model::predict(m, ds, 64));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CostModelInference)->Arg(1)->Arg(32);
+
+void BM_TrainingStep(benchmark::State& state) {
+  datagen::DatasetBuildOptions opt;
+  opt.num_programs = 2;
+  opt.schedules_per_program = 32;
+  opt.features = model::FeatureConfig::fast();
+  const model::Dataset ds = datagen::build_dataset(opt);
+  const auto batches = model::make_batches(ds, 32);
+  Rng rng(1);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+  nn::AdamW opt_adam(m.parameters(), {});
+  Rng trng(2);
+  std::size_t bi = 0;
+  for (auto _ : state) {
+    const model::Batch& b = batches[bi++ % batches.size()];
+    opt_adam.zero_grad();
+    nn::Variable pred = m.forward_batch(b, true, trng);
+    nn::Variable loss = nn::log_ratio_loss(pred, b.targets);
+    nn::backward(loss);
+    opt_adam.step();
+  }
+}
+BENCHMARK(BM_TrainingStep);
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a(n, n), b(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = static_cast<float>(rng.uniform_real());
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = static_cast<float>(rng.uniform_real());
+  for (auto _ : state) benchmark::DoNotOptimize(nn::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Table 2: the tradeoff between search time and quality of the found code
+// transformations. For each benchmark:
+//   - search-time improvement = accounted toolchain seconds of BSE divided
+//     by those of BSM (left table) or MCTS (right table). BSE pays compile +
+//     30 runs per candidate; BSM pays model inference; MCTS pays inference
+//     plus the execution of its retained top-k set.
+//   - performance degradation = how much slower the code found by the
+//     model-guided search runs compared to the code found by BSE.
+// Paper averages: BSM 106.5x faster with 15% degradation; MCTS 11.8x faster
+// with 12.5% degradation.
+#include "common.h"
+#include "benchsuite/benchmarks.h"
+#include "search/beam_search.h"
+#include "search/mcts.h"
+
+#include <cstdio>
+
+using namespace tcm;
+
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::BenchEnv::from_args(argc, argv);
+  model::CostModel& cost_model = env.cost_model();
+  const auto benchmarks = benchsuite::paper_benchmarks(env.paper_scale ? 1 : 4);
+
+  search::BeamSearchOptions beam_opt;
+  beam_opt.beam_width = 4;
+  search::MctsOptions mcts_opt;
+  mcts_opt.iterations = 150;
+  mcts_opt.top_k = 5;
+
+  Table bsm_table({"benchmark", "search time improvement", "performance degradation"});
+  Table mcts_table({"benchmark", "search time improvement", "performance degradation"});
+  double bsm_speedup_sum = 0, bsm_degr_sum = 0, mcts_speedup_sum = 0, mcts_degr_sum = 0;
+
+  for (const auto& [name, program] : benchmarks) {
+    search::ExecutionEvaluator bse_eval{sim::Executor()};
+    const auto bse = search::beam_search(program, bse_eval, beam_opt);
+
+    search::ModelEvaluator bsm_eval(&cost_model, model::FeatureConfig::fast());
+    const auto bsm = search::beam_search(program, bsm_eval, beam_opt);
+
+    search::ModelEvaluator mcts_model_eval(&cost_model, model::FeatureConfig::fast());
+    search::ExecutionEvaluator mcts_exec_eval{sim::Executor()};
+    const auto mcts = search::mcts_search(program, mcts_model_eval, mcts_exec_eval, mcts_opt);
+
+    // Noise-free times of the final code found by each method.
+    sim::MachineModel machine;
+    const double t_bse =
+        machine.execution_time_seconds(transforms::apply_schedule(program, bse.best_schedule));
+    const double t_bsm =
+        machine.execution_time_seconds(transforms::apply_schedule(program, bsm.best_schedule));
+    const double t_mcts =
+        machine.execution_time_seconds(transforms::apply_schedule(program, mcts.best_schedule));
+
+    const double bsm_ratio = bse.accounted_seconds / std::max(1e-9, bsm.accounted_seconds);
+    const double mcts_ratio = bse.accounted_seconds / std::max(1e-9, mcts.accounted_seconds);
+    const double bsm_degr = std::max(0.0, (t_bsm - t_bse) / t_bse);
+    const double mcts_degr = std::max(0.0, (t_mcts - t_bse) / t_bse);
+
+    bsm_table.add_row({name, Table::fmt(bsm_ratio, 0) + "x",
+                       Table::fmt(100.0 * bsm_degr, 0) + " %"});
+    mcts_table.add_row({name, Table::fmt(mcts_ratio, 0) + "x",
+                        Table::fmt(100.0 * mcts_degr, 0) + " %"});
+    bsm_speedup_sum += bsm_ratio;
+    bsm_degr_sum += bsm_degr;
+    mcts_speedup_sum += mcts_ratio;
+    mcts_degr_sum += mcts_degr;
+    std::printf("  [%s done]\n", name.c_str());
+    std::fflush(stdout);
+  }
+  const double n = static_cast<double>(benchmarks.size());
+  bsm_table.add_row({"Average", Table::fmt(bsm_speedup_sum / n, 1) + "x",
+                     Table::fmt(100.0 * bsm_degr_sum / n, 1) + " %"});
+  mcts_table.add_row({"Average", Table::fmt(mcts_speedup_sum / n, 1) + "x",
+                      Table::fmt(100.0 * mcts_degr_sum / n, 1) + " %"});
+  env.emit("table2_left_beam_search_with_model", bsm_table);
+  env.emit("table2_right_mcts", mcts_table);
+  std::printf("paper averages: BSM 106.5x / 15%% ; MCTS 11.8x / 12.5%%\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "nn/serialize.h"
+#include "support/log.h"
+
+namespace tcm::bench {
+
+BenchEnv BenchEnv::from_args(int argc, char** argv) {
+  BenchEnv env;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) env.paper_scale = true;
+    else if (std::strcmp(argv[i], "--fresh") == 0) env.fresh = true;
+  }
+  std::filesystem::create_directories(env.artifacts_dir);
+  return env;
+}
+
+datagen::DatasetBuildOptions BenchEnv::dataset_options() const {
+  datagen::DatasetBuildOptions opt;
+  opt.num_programs = paper_scale ? 4000 : 400;
+  opt.schedules_per_program = paper_scale ? 32 : 16;
+  opt.features = model::FeatureConfig::fast();
+  opt.generator.max_depth = 5;
+  opt.generator.max_extent = 1024;
+  opt.generator.max_iterations = 1LL << 27;
+  opt.seed = 2021;
+  return opt;
+}
+
+model::ModelConfig BenchEnv::model_config() const {
+  // The architecture is always the paper's; widths scale with the budget.
+  return paper_scale ? model::ModelConfig::paper() : model::ModelConfig::fast();
+}
+
+model::TrainOptions BenchEnv::train_options() const {
+  model::TrainOptions t;
+  t.epochs = paper_scale ? 300 : 70;
+  t.max_lr = 1e-3;  // the paper's One Cycle peak
+  t.verbose = true;
+  t.log_every = 20;
+  return t;
+}
+
+const model::Dataset& BenchEnv::dataset() {
+  if (dataset_) return *dataset_;
+  const std::string path = artifacts_dir + "/dataset_" + tag() + ".bin";
+  if (!fresh && std::filesystem::exists(path)) {
+    log_info() << "bench: loading cached dataset " << path;
+    dataset_ = std::make_unique<model::Dataset>(model::Dataset::load(path));
+  } else {
+    log_info() << "bench: generating dataset (" << dataset_options().num_programs
+               << " programs x " << dataset_options().schedules_per_program << " schedules)";
+    dataset_ = std::make_unique<model::Dataset>(datagen::build_dataset(dataset_options()));
+    dataset_->save(path);
+  }
+  return *dataset_;
+}
+
+const model::DatasetSplit& BenchEnv::split() {
+  if (!split_)
+    split_ = std::make_unique<model::DatasetSplit>(model::split_by_program(dataset(), 0.6, 0.2, 7));
+  return *split_;
+}
+
+void BenchEnv::train_predictor(model::SpeedupPredictor& predictor,
+                               const std::string& cache_name, double epochs_factor) {
+  const std::string path = artifacts_dir + "/" + cache_name + "_" + tag() + ".bin";
+  if (!fresh && std::filesystem::exists(path)) {
+    log_info() << "bench: loading cached weights " << path;
+    if (nn::load_parameters(predictor.module(), path)) return;
+  }
+  model::TrainOptions topt = train_options();
+  topt.epochs = std::max(1, static_cast<int>(topt.epochs * epochs_factor));
+  log_info() << "bench: training " << predictor.name() << " for " << topt.epochs << " epochs";
+  model::train_model(predictor, split().train, &split().validation, topt);
+  nn::save_parameters(predictor.module(), path);
+}
+
+model::CostModel& BenchEnv::cost_model() {
+  if (!cost_model_) {
+    Rng rng(17);
+    cost_model_ = std::make_unique<model::CostModel>(model_config(), rng);
+    train_predictor(*cost_model_, "cost_model", 1.0);
+  }
+  return *cost_model_;
+}
+
+model::LstmOnlyModel& BenchEnv::lstm_only_model() {
+  if (!lstm_only_) {
+    Rng rng(18);
+    lstm_only_ = std::make_unique<model::LstmOnlyModel>(model_config(), rng);
+    train_predictor(*lstm_only_, "lstm_only", 0.6);
+  }
+  return *lstm_only_;
+}
+
+model::FeedForwardModel& BenchEnv::feedforward_model() {
+  if (!feedforward_) {
+    Rng rng(19);
+    feedforward_ = std::make_unique<model::FeedForwardModel>(model_config(), rng);
+    train_predictor(*feedforward_, "feedforward", 0.6);
+  }
+  return *feedforward_;
+}
+
+baselines::HalideCostModel& BenchEnv::halide_model() {
+  if (halide_) return *halide_;
+  Rng rng(20);
+  halide_ = std::make_unique<baselines::HalideCostModel>(baselines::HalideModelConfig{}, rng);
+  const std::string path = artifacts_dir + "/halide_model_" + tag() + ".bin";
+  if (!fresh && std::filesystem::exists(path) && nn::load_parameters(*halide_, path))
+    return *halide_;
+  baselines::HalideDataOptions data_opt;
+  data_opt.num_programs = paper_scale ? 2000 : 300;
+  data_opt.schedules_per_program = 12;
+  log_info() << "bench: building Halide-baseline training data ("
+             << data_opt.num_programs << " programs)";
+  const auto samples = baselines::build_halide_samples(data_opt);
+  baselines::HalideTrainOptions topt;
+  topt.epochs = paper_scale ? 120 : 50;
+  topt.verbose = true;
+  baselines::train_halide_model(*halide_, samples, topt);
+  nn::save_parameters(*halide_, path);
+  return *halide_;
+}
+
+void BenchEnv::emit(const std::string& name, const Table& table) const {
+  std::printf("\n== %s ==\n%s", name.c_str(), table.to_string().c_str());
+  const std::string path = artifacts_dir + "/" + name + "_" + tag() + ".csv";
+  if (table.write_csv(path)) std::printf("(csv: %s)\n", path.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace tcm::bench

@@ -1,0 +1,63 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper. They share
+// one dataset and one trained cost model, cached under artifacts/ next to the
+// working directory so the whole bench suite trains once. Flags:
+//   --paper   larger dataset / longer training (hours; default is minutes)
+//   --fresh   ignore cached artifacts and rebuild them
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/halide_data.h"
+#include "baselines/halide_model.h"
+#include "datagen/dataset_builder.h"
+#include "model/cost_model.h"
+#include "model/train.h"
+#include "support/table.h"
+
+namespace tcm::bench {
+
+struct BenchEnv {
+  bool paper_scale = false;
+  bool fresh = false;
+  std::string artifacts_dir = "artifacts";
+
+  static BenchEnv from_args(int argc, char** argv);
+
+  // --- configuration ---------------------------------------------------------
+  datagen::DatasetBuildOptions dataset_options() const;
+  model::ModelConfig model_config() const;
+  model::TrainOptions train_options() const;
+  std::string tag() const { return paper_scale ? "paper" : "fast"; }
+
+  // --- cached artifacts -------------------------------------------------------
+  // Dataset of random programs (built or loaded from cache).
+  const model::Dataset& dataset();
+  // 60/20/20 split by program, as in the paper.
+  const model::DatasetSplit& split();
+  // The paper's model, trained on the split's training set.
+  model::CostModel& cost_model();
+  // The two ablation architectures (Section 4.4), trained identically.
+  model::LstmOnlyModel& lstm_only_model();
+  model::FeedForwardModel& feedforward_model();
+  // The Halide-style baseline, trained on its biased distribution.
+  baselines::HalideCostModel& halide_model();
+
+  // Writes the table to stdout and mirrors it to artifacts/<name>.csv.
+  void emit(const std::string& name, const Table& table) const;
+
+ private:
+  void train_predictor(model::SpeedupPredictor& predictor, const std::string& cache_name,
+                       double epochs_factor);
+
+  std::unique_ptr<model::Dataset> dataset_;
+  std::unique_ptr<model::DatasetSplit> split_;
+  std::unique_ptr<model::CostModel> cost_model_;
+  std::unique_ptr<model::LstmOnlyModel> lstm_only_;
+  std::unique_ptr<model::FeedForwardModel> feedforward_;
+  std::unique_ptr<baselines::HalideCostModel> halide_;
+};
+
+}  // namespace tcm::bench

@@ -1,0 +1,57 @@
+// Train the paper's cost model end to end on freshly generated data:
+// random programs -> random legal schedules -> measured speedups on the
+// simulated machine -> featurization -> training with the paper's recipe
+// (AdamW, One Cycle, structure-grouped batches of 32).
+//
+//   ./build/examples/train_cost_model [num_programs] [epochs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/dataset_builder.h"
+#include "model/train.h"
+#include "nn/serialize.h"
+#include "support/log.h"
+
+using namespace tcm;
+
+int main(int argc, char** argv) {
+  const int num_programs = argc > 1 ? std::atoi(argv[1]) : 150;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 50;
+
+  // --- 1. Generate the dataset (Section 3 of the paper) ----------------------
+  datagen::DatasetBuildOptions opt;
+  opt.num_programs = num_programs;
+  opt.schedules_per_program = 16;
+  opt.features = model::FeatureConfig::fast();
+  std::printf("generating %d programs x %d schedules...\n", opt.num_programs,
+              opt.schedules_per_program);
+  const model::Dataset dataset = datagen::build_dataset(opt);
+  std::printf("dataset: %zu (program, schedule, speedup) samples\n", dataset.size());
+
+  // --- 2. 60/20/20 split by program -------------------------------------------
+  const model::DatasetSplit split = model::split_by_program(dataset, 0.6, 0.2, 7);
+  std::printf("split: %zu train / %zu validation / %zu test\n", split.train.size(),
+              split.validation.size(), split.test.size());
+
+  // --- 3. Train ----------------------------------------------------------------
+  Rng rng(17);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  std::printf("model: %zu trainable parameters\n", cost_model.parameter_count());
+  model::TrainOptions topt;
+  topt.epochs = epochs;
+  topt.verbose = true;
+  topt.log_every = 10;
+  set_log_level(tcm::LogLevel::Info);
+  model::train_model(cost_model, split.train, &split.validation, topt);
+
+  // --- 4. Evaluate (the paper's metrics) ----------------------------------------
+  const model::EvalMetrics m = model::evaluate(cost_model, split.test);
+  std::printf("\ntest set: MAPE %.3f | Pearson %.3f | Spearman %.3f (n=%zu)\n", m.mape,
+              m.pearson, m.spearman, m.n);
+  std::printf("paper (1.8M samples, 700 epochs): MAPE 0.16 | Pearson 0.90 | Spearman 0.95\n");
+
+  // --- 5. Save the weights --------------------------------------------------------
+  if (nn::save_parameters(cost_model, "trained_cost_model.bin"))
+    std::printf("weights written to trained_cost_model.bin\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "baselines/halide_data.h"
+
+namespace tcm::baselines {
+
+std::vector<HalideSample> build_halide_samples(const HalideDataOptions& options) {
+  datagen::RandomProgramGenerator gen(options.generator);
+  datagen::RandomScheduleGenerator sched_gen(options.scheduler);
+  std::vector<std::vector<HalideSample>> per_program(
+      static_cast<std::size_t>(options.num_programs));
+
+#pragma omp parallel for schedule(dynamic)
+  for (int pi = 0; pi < options.num_programs; ++pi) {
+    const std::uint64_t program_seed =
+        options.seed * 0x9e3779b97f4a7c15ULL + 0x51ed2701ULL * pi;
+    Rng rng(program_seed);
+    sim::Executor executor(sim::MachineModel(options.machine), options.executor,
+                           rng.next_u64());
+    const ir::Program program = gen.generate(program_seed);
+    auto& out = per_program[static_cast<std::size_t>(pi)];
+
+    auto add_sample = [&](const ir::Program& transformed) {
+      HalideSample s;
+      for (const ir::Computation& c : transformed.comps)
+        s.comp_features.push_back(halide_features(transformed, c.id, options.machine));
+      s.measured_seconds = executor.measure_seconds(transformed);
+      out.push_back(std::move(s));
+    };
+
+    add_sample(program);  // the untransformed point anchors the time scale
+    for (int si = 0; si < options.schedules_per_program; ++si) {
+      const transforms::Schedule schedule = sched_gen.generate(program, rng);
+      transforms::ApplyResult applied = transforms::try_apply_schedule(program, schedule);
+      if (applied.ok) add_sample(applied.program);
+    }
+  }
+
+  std::vector<HalideSample> samples;
+  for (auto& v : per_program)
+    for (auto& s : v) samples.push_back(std::move(s));
+  return samples;
+}
+
+}  // namespace tcm::baselines

@@ -1,0 +1,40 @@
+// Training-data construction for the Halide baseline.
+//
+// The paper observes that Halide's model mispredicts on scientific-computing
+// benchmarks it "was not trained to handle" (heat2d, jacobi2d, mvt,
+// seidel2d). We reproduce that mechanistically: the default options bias the
+// baseline's training distribution towards image-processing / deep-learning
+// shaped programs (shallow nests, elementwise + small stencils, few
+// reductions), so it generalizes worse to deep stencil/reduction programs.
+#pragma once
+
+#include "baselines/halide_model.h"
+#include "datagen/dataset_builder.h"
+
+namespace tcm::baselines {
+
+struct HalideDataOptions {
+  int num_programs = 400;
+  int schedules_per_program = 16;
+  datagen::GeneratorOptions generator = image_dl_biased_generator();
+  datagen::ScheduleGeneratorOptions scheduler;
+  sim::ExecutorOptions executor;
+  sim::MachineSpec machine;
+  std::uint64_t seed = 77;
+
+  // The biased program distribution described above.
+  static datagen::GeneratorOptions image_dl_biased_generator() {
+    datagen::GeneratorOptions g;
+    g.p_reduction = 0.1;
+    g.p_stencil = 0.25;
+    g.max_depth = 3;
+    g.max_stencil_halo = 1;
+    return g;
+  }
+};
+
+// (transformed program features, measured seconds) samples, including the
+// untransformed program of every draw.
+std::vector<HalideSample> build_halide_samples(const HalideDataOptions& options);
+
+}  // namespace tcm::baselines

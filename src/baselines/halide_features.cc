@@ -1,0 +1,216 @@
+#include "baselines/halide_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tcm::baselines {
+namespace {
+
+float slog(double v) {
+  const double s = v < 0 ? -1.0 : 1.0;
+  return static_cast<float>(s * std::log1p(std::abs(v)));
+}
+
+std::vector<double> buffer_strides(const ir::Buffer& b) {
+  std::vector<double> s(b.dims.size(), 8.0);
+  for (int i = static_cast<int>(b.dims.size()) - 2; i >= 0; --i)
+    s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i + 1)] * static_cast<double>(b.dims[static_cast<std::size_t>(i + 1)]);
+  return s;
+}
+
+double stride_of(const ir::Program& p, const ir::BufferAccess& a, int col) {
+  const auto bs = buffer_strides(p.buffer(a.buffer_id));
+  double stride = 0;
+  for (int r = 0; r < a.matrix.rank(); ++r)
+    stride += static_cast<double>(a.matrix.at(r, col)) * bs[static_cast<std::size_t>(r)];
+  return std::abs(stride);
+}
+
+double footprint_bytes(const ir::BufferAccess& a, const std::vector<double>& extents,
+                       int from_level) {
+  double bytes = 8.0;
+  for (int r = 0; r < a.matrix.rank(); ++r) {
+    double span = 1.0;
+    for (int c = from_level; c < a.matrix.depth(); ++c) {
+      const double coef = std::abs(static_cast<double>(a.matrix.at(r, c)));
+      if (coef != 0.0) span += coef * (extents[static_cast<std::size_t>(c)] - 1.0);
+    }
+    bytes *= span;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+const std::vector<std::string>& halide_feature_names() {
+  static const std::vector<std::string> names = {
+      "adds", "subs", "muls", "divs",                                           // 0-3
+      "log_iterations", "depth", "innermost_extent",                            // 4-6
+      "extent_l0", "extent_l1", "extent_l2", "extent_l3",                       // 7-10
+      "extent_l4", "extent_l5", "extent_l6",                                    // 11-13
+      "store_bytes", "num_loads", "num_distinct_buffers", "num_input_loads",    // 14-17
+      "num_produced_loads", "bytes_loaded_per_iter",                            // 18-19
+      "loads_stride0", "loads_stride1", "loads_stride_small", "loads_stride_big",  // 20-23
+      "min_stride", "max_stride", "store_stride",                               // 24-26
+      "total_load_footprint", "reuse_tile_footprint", "store_footprint",        // 27-29
+      "arithmetic_intensity",                                                   // 30
+      "is_parallel", "parallel_level", "parallel_extent", "parallel_grain",     // 31-34
+      "is_vectorized", "vector_width", "vector_friendly",                       // 35-37
+      "unroll_factor", "unrolled_body_ops",                                     // 38-39
+      "num_tiled_loops", "tile_size_0", "tile_size_1", "tile_size_2",           // 40-43
+      "inner_tile_iterations",                                                  // 44
+      "fused_levels", "comps_in_nest", "interchanged",                          // 45-47
+      "working_set_cache_level", "lines_per_iter", "loop_overhead_per_iter",    // 48-50
+      "is_reduction", "reduction_depth", "output_elements",                     // 51-53
+  };
+  return names;
+}
+
+std::vector<float> halide_features(const ir::Program& p, int comp_id,
+                                   const sim::MachineSpec& spec) {
+  const ir::Computation& c = p.comp(comp_id);
+  const std::vector<int> nest = p.nest_of(comp_id);
+  const int depth = static_cast<int>(nest.size());
+  std::vector<double> extents(static_cast<std::size_t>(depth));
+  double iterations = 1;
+  int tiled_loops = 0, fused_levels = 0, interchanged = 0;
+  double tile_sizes[3] = {0, 0, 0};
+  double inner_tile_iters = 1;
+  int parallel_level = -1;
+  double parallel_extent = 0;
+  for (int l = 0; l < depth; ++l) {
+    const ir::LoopNode& loop = p.loop(nest[static_cast<std::size_t>(l)]);
+    extents[static_cast<std::size_t>(l)] = static_cast<double>(loop.iter.extent);
+    iterations *= extents[static_cast<std::size_t>(l)];
+    if (loop.tail_of != -1) {
+      if (tiled_loops < 3) tile_sizes[tiled_loops] = static_cast<double>(loop.iter.extent);
+      ++tiled_loops;
+      inner_tile_iters *= static_cast<double>(loop.iter.extent);
+    }
+    if (loop.tag_fused) ++fused_levels;
+    if (loop.tag_interchanged) ++interchanged;
+    if (loop.parallel && parallel_level < 0) {
+      parallel_level = l;
+      parallel_extent = extents[static_cast<std::size_t>(l)];
+    }
+  }
+  const ir::LoopNode& inner = p.loop(nest.back());
+
+  const auto loads = c.rhs.loads();
+  const ir::OpCounts ops = c.rhs.op_counts();
+  std::set<int> distinct_buffers;
+  int input_loads = 0, produced_loads = 0;
+  int stride0 = 0, stride1 = 0, stride_small = 0, stride_big = 0;
+  double min_stride = 1e30, max_stride = 0;
+  double total_load_footprint = 0;
+  for (const ir::BufferAccess& a : loads) {
+    distinct_buffers.insert(a.buffer_id);
+    if (p.buffer(a.buffer_id).is_input) ++input_loads;
+    else ++produced_loads;
+    const double s = stride_of(p, a, depth - 1);
+    if (s == 0) ++stride0;
+    else if (s <= 8.5) ++stride1;
+    else if (s <= 4.0 * spec.line_bytes) ++stride_small;
+    else ++stride_big;
+    min_stride = std::min(min_stride, s);
+    max_stride = std::max(max_stride, s);
+    total_load_footprint += footprint_bytes(a, extents, 0);
+  }
+  if (loads.empty()) min_stride = 0;
+  const double store_stride = stride_of(p, c.store, depth - 1);
+
+  // Reuse tile: footprint below the innermost loop the first load is
+  // invariant to (0 when no temporal reuse).
+  double reuse_tile = 0;
+  for (const ir::BufferAccess& a : loads) {
+    for (int l = depth - 1; l >= 0; --l) {
+      if (extents[static_cast<std::size_t>(l)] <= 1.0) continue;
+      if (a.matrix.invariant_to(l)) {
+        reuse_tile = std::max(reuse_tile, footprint_bytes(a, extents, l + 1));
+        break;
+      }
+    }
+  }
+
+  const double store_footprint = footprint_bytes(c.store, extents, 0);
+  const double bytes_per_iter = 8.0 * static_cast<double>(loads.size() + 1);
+  const double flops = static_cast<double>(ops.total());
+  const double intensity = flops / std::max(1.0, bytes_per_iter);
+
+  // Which cache level would hold the per-iteration working set.
+  const double ws = total_load_footprint + store_footprint;
+  int cache_level = 3;
+  if (ws <= 0.8 * static_cast<double>(spec.l1.size_bytes)) cache_level = 0;
+  else if (ws <= 0.8 * static_cast<double>(spec.l2.size_bytes)) cache_level = 1;
+  else if (ws <= 0.8 * static_cast<double>(spec.l3.size_bytes)) cache_level = 2;
+
+  int comps_in_nest = 0;
+  for (const ir::Computation& other : p.comps)
+    if (!p.nest_of(other.id).empty() && p.nest_of(other.id).front() == nest.front())
+      ++comps_in_nest;
+
+  int reduction_depth = 0;
+  for (int l = 0; l < depth; ++l)
+    if (c.store.matrix.invariant_to(l)) ++reduction_depth;
+
+  const bool vector_friendly = store_stride <= 8.5 && stride_big == 0 && stride_small == 0;
+
+  std::vector<float> f;
+  f.reserve(kHalideFeatureCount);
+  f.push_back(slog(ops.adds));
+  f.push_back(slog(ops.subs));
+  f.push_back(slog(ops.muls));
+  f.push_back(slog(ops.divs));
+  f.push_back(slog(iterations));
+  f.push_back(slog(depth));
+  f.push_back(slog(extents.back()));
+  for (int l = 0; l < 7; ++l)
+    f.push_back(l < depth ? slog(extents[static_cast<std::size_t>(l)]) : 0.0f);
+  f.push_back(slog(static_cast<double>(p.buffer(c.store.buffer_id).num_elements()) * 8.0));
+  f.push_back(slog(static_cast<double>(loads.size())));
+  f.push_back(slog(static_cast<double>(distinct_buffers.size())));
+  f.push_back(slog(input_loads));
+  f.push_back(slog(produced_loads));
+  f.push_back(slog(bytes_per_iter));
+  f.push_back(slog(stride0));
+  f.push_back(slog(stride1));
+  f.push_back(slog(stride_small));
+  f.push_back(slog(stride_big));
+  f.push_back(slog(min_stride));
+  f.push_back(slog(max_stride));
+  f.push_back(slog(store_stride));
+  f.push_back(slog(total_load_footprint));
+  f.push_back(slog(reuse_tile));
+  f.push_back(slog(store_footprint));
+  f.push_back(slog(intensity));
+  f.push_back(parallel_level >= 0 ? 1.0f : 0.0f);
+  f.push_back(slog(parallel_level >= 0 ? parallel_level : 0));
+  f.push_back(slog(parallel_extent));
+  f.push_back(slog(parallel_extent > 0 ? iterations / parallel_extent : 0));
+  f.push_back(inner.vector_width > 0 ? 1.0f : 0.0f);
+  f.push_back(slog(inner.vector_width));
+  f.push_back(vector_friendly ? 1.0f : 0.0f);
+  f.push_back(slog(inner.unroll));
+  f.push_back(slog(static_cast<double>(inner.unroll > 0 ? inner.unroll : 1) * flops));
+  f.push_back(slog(tiled_loops));
+  f.push_back(slog(tile_sizes[0]));
+  f.push_back(slog(tile_sizes[1]));
+  f.push_back(slog(tile_sizes[2]));
+  f.push_back(slog(inner_tile_iters));
+  f.push_back(slog(fused_levels));
+  f.push_back(slog(comps_in_nest));
+  f.push_back(slog(interchanged));
+  f.push_back(slog(cache_level));
+  f.push_back(slog(max_stride > 0 ? std::min(1.0, max_stride / spec.line_bytes) : 0));
+  f.push_back(slog(inner.unroll > 1 ? 2.0 / inner.unroll : 2.0));
+  f.push_back(c.is_reduction ? 1.0f : 0.0f);
+  f.push_back(slog(reduction_depth));
+  f.push_back(slog(store_footprint / 8.0));
+  if (static_cast<int>(f.size()) != kHalideFeatureCount)
+    throw std::logic_error("halide_features: feature count mismatch");
+  return f;
+}
+
+}  // namespace tcm::baselines

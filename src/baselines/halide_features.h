@@ -1,0 +1,30 @@
+// Hand-engineered featurization in the style of the Halide autoscheduler
+// cost model (Adams et al. 2019), the baseline the paper compares against.
+//
+// Unlike the paper's model — which reads the *unoptimized* program plus a
+// transformation list — this featurizer requires the *transformed* loop nest
+// (schedule already applied), and distils it into 54 scalar features per
+// computation: operation mix, extents, stride histogram, footprints,
+// arithmetic intensity, parallel/vector/unroll/tile state, and estimated
+// cache residency. This is exactly the heavy feature engineering the paper
+// argues against (Section 7); reproducing it makes the comparison concrete.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.h"
+#include "sim/machine_spec.h"
+
+namespace tcm::baselines {
+
+inline constexpr int kHalideFeatureCount = 54;
+
+// Features for one computation of a *transformed* program. Non-boolean
+// features are signed-log transformed for scale stability.
+std::vector<float> halide_features(const ir::Program& transformed, int comp_id,
+                                   const sim::MachineSpec& spec);
+
+// Human-readable names of the 54 features (for docs and tests).
+const std::vector<std::string>& halide_feature_names();
+
+}  // namespace tcm::baselines

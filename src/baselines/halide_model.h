@@ -1,0 +1,92 @@
+// The Halide-style baseline cost model (Adams et al. 2019, as characterized
+// in the paper's Section 6 and 7):
+//   - heavy hand-engineered features over the *transformed* loop nest,
+//   - a small feedforward network per computation whose exponentiated
+//     outputs sum to the predicted execution time,
+//   - trained with MSE (the loss the Halide paper uses) on log execution
+//     times.
+// It plugs into the same beam search through HalideEvaluator, which predicts
+// speedup(candidate) = predicted_time(base) / predicted_time(candidate).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/halide_features.h"
+#include "nn/modules.h"
+#include "nn/optim.h"
+#include "search/evaluator.h"
+#include "transforms/apply.h"
+
+namespace tcm::baselines {
+
+struct HalideSample {
+  // Per-computation feature vectors of a transformed program.
+  std::vector<std::vector<float>> comp_features;
+  double measured_seconds = 0;
+};
+
+struct HalideModelConfig {
+  std::vector<int> hidden = {64, 32};
+  float dropout = 0.0f;
+};
+
+class HalideCostModel : public nn::Module {
+ public:
+  HalideCostModel(const HalideModelConfig& config, Rng& rng);
+
+  // Predicted execution time (seconds) = sum over computations of
+  // exp(mlp(features)).
+  double predict_seconds(const std::vector<std::vector<float>>& comp_features);
+
+  // Convenience: featurize + predict for a transformed program.
+  double predict_seconds(const ir::Program& transformed, const sim::MachineSpec& spec);
+
+  // One training step over a minibatch; returns the batch loss
+  // (MSE on log seconds). Used by train_halide_model.
+  double train_step(const std::vector<const HalideSample*>& batch, nn::AdamW& optimizer,
+                    Rng& rng);
+
+ private:
+  nn::Variable forward_sample(const std::vector<std::vector<float>>& comp_features,
+                              bool training, Rng& rng);
+
+  HalideModelConfig config_;
+  std::unique_ptr<nn::MLP> stage_net_;
+};
+
+struct HalideTrainOptions {
+  int epochs = 40;
+  int batch_size = 32;
+  double max_lr = 1e-3;
+  double weight_decay = 1e-4;
+  std::uint64_t seed = 99;
+  bool verbose = false;
+};
+
+// Trains in place; returns per-epoch training losses.
+std::vector<double> train_halide_model(HalideCostModel& model,
+                                       const std::vector<HalideSample>& samples,
+                                       const HalideTrainOptions& options);
+
+// Candidate evaluator backed by the Halide baseline: applies each candidate
+// schedule (the transformed-code requirement the paper criticizes), then
+// predicts times.
+class HalideEvaluator final : public search::CandidateEvaluator {
+ public:
+  HalideEvaluator(HalideCostModel* model, sim::MachineSpec spec);
+
+  std::vector<double> evaluate(const ir::Program& p,
+                               const std::vector<transforms::Schedule>& candidates) override;
+  double accounted_seconds() const override { return accounted_seconds_; }
+  std::int64_t evaluations() const override { return evaluations_; }
+  const char* kind() const override { return "halide-baseline"; }
+
+ private:
+  HalideCostModel* model_;
+  sim::MachineSpec spec_;
+  double accounted_seconds_ = 0;
+  std::int64_t evaluations_ = 0;
+};
+
+}  // namespace tcm::baselines

@@ -1,0 +1,164 @@
+#include "benchsuite/benchmarks.h"
+
+#include <algorithm>
+
+#include "ir/builder.h"
+
+namespace tcm::benchsuite {
+
+using ir::ProgramBuilder;
+using ir::SExpr;
+using ir::Var;
+
+ir::Program make_box_blur(std::int64_t channels, std::int64_t height, std::int64_t width) {
+  ProgramBuilder b("box_blur");
+  const int in = b.input("in", {channels, height, width});
+  Var c = b.var("c", channels), y = b.var("y", height - 2), x = b.var("x", width - 2);
+  SExpr sum;
+  for (int dy = 0; dy < 3; ++dy) {
+    for (int dx = 0; dx < 3; ++dx) {
+      SExpr t = b.load(in, {c, y + dy, x + dx});
+      sum = sum.valid() ? sum + t : t;
+    }
+  }
+  b.computation("blur", {c, y, x}, {c, y, x}, sum / SExpr(9.0));
+  return b.build();
+}
+
+ir::Program make_convolution(std::int64_t batch, std::int64_t in_features, std::int64_t height,
+                             std::int64_t width, std::int64_t out_features,
+                             std::int64_t kernel) {
+  ProgramBuilder b("convolution");
+  const int input = b.input("input", {batch, in_features, height, width});
+  const int weights = b.input("weights", {out_features, in_features, kernel, kernel});
+  Var n = b.var("n", batch), f = b.var("fout", out_features);
+  Var y = b.var("y", height - kernel + 1), x = b.var("x", width - kernel + 1);
+  Var c = b.var("fin", in_features), k0 = b.var("k0", kernel), k1 = b.var("k1", kernel);
+  b.computation("conv", {n, f, y, x, c, k0, k1}, {n, f, y, x},
+                b.load(weights, {f, c, k0, k1}) * b.load(input, {n, c, y + k0, x + k1}));
+  return b.build();
+}
+
+ir::Program make_conv_relu(std::int64_t batch, std::int64_t in_features, std::int64_t height,
+                           std::int64_t width, std::int64_t out_features, std::int64_t kernel) {
+  ProgramBuilder b("conv_relu");
+  const int input = b.input("input", {batch, in_features, height, width});
+  const int weights = b.input("weights", {out_features, in_features, kernel, kernel});
+  Var n = b.var("n", batch), f = b.var("fout", out_features);
+  Var y = b.var("y", height - kernel + 1), x = b.var("x", width - kernel + 1);
+  Var c = b.var("fin", in_features), k0 = b.var("k0", kernel), k1 = b.var("k1", kernel);
+  const int conv =
+      b.computation("conv", {n, f, y, x, c, k0, k1}, {n, f, y, x},
+                    b.load(weights, {f, c, k0, k1}) * b.load(input, {n, c, y + k0, x + k1}));
+  Var n2 = b.var("n2", batch), f2 = b.var("f2", out_features);
+  Var y2 = b.var("y2", height - kernel + 1), x2 = b.var("x2", width - kernel + 1);
+  b.computation("relu", {n2, f2, y2, x2}, {n2, f2, y2, x2},
+                max(b.load(b.buffer_of(conv), {n2, f2, y2, x2}), SExpr(0.0)));
+  return b.build();
+}
+
+ir::Program make_cvtcolor(std::int64_t height, std::int64_t width) {
+  ProgramBuilder b("cvtcolor");
+  const int rgb = b.input("rgb", {3, height, width});
+  Var y = b.var("y", height), x = b.var("x", width);
+  // Weighted RGB -> gray conversion; channel indices are affine constants.
+  b.computation("gray", {y, x}, {y, x},
+                b.load(rgb, {ir::IndexExpr(0), y, x}) * SExpr(0.299) +
+                    b.load(rgb, {ir::IndexExpr(1), y, x}) * SExpr(0.587) +
+                    b.load(rgb, {ir::IndexExpr(2), y, x}) * SExpr(0.114));
+  return b.build();
+}
+
+ir::Program make_doitgen(std::int64_t nr, std::int64_t nq, std::int64_t np, std::int64_t ns) {
+  ProgramBuilder b("doitgen");
+  const int a = b.input("A", {nr, nq, ns});
+  const int c4 = b.input("C4", {ns, np});
+  Var r = b.var("r", nr), q = b.var("q", nq), p = b.var("p", np), s = b.var("s", ns);
+  b.computation("sum", {r, q, p, s}, {r, q, p},
+                b.load(a, {r, q, s}) * b.load(c4, {s, p}));
+  return b.build();
+}
+
+ir::Program make_heat2d(std::int64_t height, std::int64_t width) {
+  ProgramBuilder b("heat2d");
+  const int in = b.input("in", {height, width});
+  Var y = b.var("y", height - 2), x = b.var("x", width - 2);
+  // 5-point heat kernel (canonicalized: reads at offsets 0..2, centre at +1).
+  b.computation("heat", {y, x}, {y, x},
+                b.load(in, {y + 1, x + 1}) * SExpr(0.5) +
+                    (b.load(in, {y, x + 1}) + b.load(in, {y + 2, x + 1}) +
+                     b.load(in, {y + 1, x}) + b.load(in, {y + 1, x + 2})) *
+                        SExpr(0.125));
+  return b.build();
+}
+
+ir::Program make_heat3d(std::int64_t depth, std::int64_t height, std::int64_t width) {
+  ProgramBuilder b("heat3d");
+  const int in = b.input("in", {depth, height, width});
+  Var z = b.var("z", depth - 2), y = b.var("y", height - 2), x = b.var("x", width - 2);
+  b.computation("heat", {z, y, x}, {z, y, x},
+                b.load(in, {z + 1, y + 1, x + 1}) * SExpr(0.4) +
+                    (b.load(in, {z, y + 1, x + 1}) + b.load(in, {z + 2, y + 1, x + 1}) +
+                     b.load(in, {z + 1, y, x + 1}) + b.load(in, {z + 1, y + 2, x + 1}) +
+                     b.load(in, {z + 1, y + 1, x}) + b.load(in, {z + 1, y + 1, x + 2})) *
+                        SExpr(0.1));
+  return b.build();
+}
+
+ir::Program make_jacobi2d(std::int64_t height, std::int64_t width) {
+  ProgramBuilder b("jacobi2d");
+  const int in = b.input("A", {height, width});
+  Var y = b.var("y", height - 2), x = b.var("x", width - 2);
+  b.computation("jacobi", {y, x}, {y, x},
+                (b.load(in, {y + 1, x + 1}) + b.load(in, {y + 1, x}) +
+                 b.load(in, {y + 1, x + 2}) + b.load(in, {y, x + 1}) +
+                 b.load(in, {y + 2, x + 1})) *
+                    SExpr(0.2));
+  return b.build();
+}
+
+ir::Program make_mvt(std::int64_t n) {
+  ProgramBuilder b("mvt");
+  const int a = b.input("A", {n, n});
+  const int y1 = b.input("y1", {n});
+  const int y2 = b.input("y2", {n});
+  Var i = b.var("i", n), j = b.var("j", n);
+  b.computation("x1", {i, j}, {i}, b.load(a, {i, j}) * b.load(y1, {j}));
+  // Second mvt with the transposed matrix.
+  Var i2 = b.var("i2", n), j2 = b.var("j2", n);
+  b.computation("x2", {i2, j2}, {i2}, b.load(a, {j2, i2}) * b.load(y2, {j2}));
+  return b.build();
+}
+
+ir::Program make_seidel2d(std::int64_t height, std::int64_t width) {
+  ProgramBuilder b("seidel2d");
+  const int in = b.input("A", {height, width});
+  Var y = b.var("y", height - 2), x = b.var("x", width - 2);
+  SExpr sum;
+  for (int dy = 0; dy < 3; ++dy) {
+    for (int dx = 0; dx < 3; ++dx) {
+      SExpr t = b.load(in, {y + dy, x + dx});
+      sum = sum.valid() ? sum + t : t;
+    }
+  }
+  b.computation("seidel", {y, x}, {y, x}, sum / SExpr(9.0));
+  return b.build();
+}
+
+std::vector<BenchmarkInfo> paper_benchmarks(std::int64_t scale) {
+  auto s = [&](std::int64_t v) { return std::max<std::int64_t>(8, v / scale); };
+  std::vector<BenchmarkInfo> out;
+  out.push_back({"box blur", make_box_blur(3, s(1024), s(1024))});
+  out.push_back({"conv + relu", make_conv_relu(8, 3, s(1024), s(1024), 2, 3)});
+  out.push_back({"convolution", make_convolution(8, 3, s(1024), s(1024), 2, 3)});
+  out.push_back({"cvtcolor", make_cvtcolor(s(1024), s(1024))});
+  out.push_back({"doitgen", make_doitgen(s(256), s(256), s(256), s(128))});
+  out.push_back({"heat2d", make_heat2d(s(1024), s(1024))});
+  out.push_back({"heat3d", make_heat3d(s(770), s(898), s(1024))});
+  out.push_back({"jacobi2d", make_jacobi2d(s(130), s(1024))});
+  out.push_back({"mvt", make_mvt(s(1024))});
+  out.push_back({"seidel2d", make_seidel2d(s(256), s(256))});
+  return out;
+}
+
+}  // namespace tcm::benchsuite

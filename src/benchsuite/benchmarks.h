@@ -1,0 +1,51 @@
+// The paper's real-world benchmark suite (Section 6, input sizes from
+// Table 3): box blur, conv + relu, convolution, cvtcolor, doitgen, heat2d,
+// heat3d, jacobi2d, mvt, seidel2d.
+//
+// Each builder returns a TIRAMISU-style program with Table 3 defaults;
+// `scale` uniformly shrinks the data sizes (useful for fast tests).
+// Substitution note (DESIGN.md): seidel2d is implemented as an out-of-place
+// 9-point stencil. True Gauss-Seidel updates in place, which our IR forbids
+// (computations never read their own output buffer); the loop structure,
+// access pattern and footprint — what the cost model sees — are identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace tcm::benchsuite {
+
+ir::Program make_box_blur(std::int64_t channels = 3, std::int64_t height = 1024,
+                          std::int64_t width = 1024);
+// Convolution: batch 8, input 1024x1024x3, kernel 3x3, 2 output features.
+ir::Program make_convolution(std::int64_t batch = 8, std::int64_t in_features = 3,
+                             std::int64_t height = 1024, std::int64_t width = 1024,
+                             std::int64_t out_features = 2, std::int64_t kernel = 3);
+// Conv + relu: the operator-fusion benchmark.
+ir::Program make_conv_relu(std::int64_t batch = 8, std::int64_t in_features = 3,
+                           std::int64_t height = 1024, std::int64_t width = 1024,
+                           std::int64_t out_features = 2, std::int64_t kernel = 3);
+ir::Program make_cvtcolor(std::int64_t height = 1024, std::int64_t width = 1024);
+// doitgen (PolyBench): sum[r][q][p] = sum_s A[r][q][s] * C4[s][p].
+ir::Program make_doitgen(std::int64_t nr = 256, std::int64_t nq = 256, std::int64_t np = 256,
+                         std::int64_t ns = 128);
+ir::Program make_heat2d(std::int64_t height = 1024, std::int64_t width = 1024);
+ir::Program make_heat3d(std::int64_t depth = 770, std::int64_t height = 898,
+                        std::int64_t width = 1024);
+ir::Program make_jacobi2d(std::int64_t height = 130, std::int64_t width = 1024);
+// mvt (PolyBench): x1 += A y1 and x2 += A^T y2.
+ir::Program make_mvt(std::int64_t n = 1024);
+ir::Program make_seidel2d(std::int64_t height = 256, std::int64_t width = 256);
+
+struct BenchmarkInfo {
+  std::string name;
+  ir::Program program;
+};
+
+// All ten with Table 3 sizes, divided by `scale` (1 = paper sizes). Extents
+// never drop below 8.
+std::vector<BenchmarkInfo> paper_benchmarks(std::int64_t scale = 1);
+
+}  // namespace tcm::benchsuite

@@ -1,0 +1,73 @@
+#include "datagen/dataset_builder.h"
+
+#include <set>
+
+#include "support/log.h"
+#include "transforms/apply.h"
+
+namespace tcm::datagen {
+namespace {
+
+// Samples for one program with a dedicated RNG stream and executor.
+std::vector<model::DataPoint> sample_program(const ir::Program& program, int program_id,
+                                             int num_schedules,
+                                             const DatasetBuildOptions& options,
+                                             std::uint64_t seed) {
+  std::vector<model::DataPoint> points;
+  Rng rng(seed);
+  sim::Executor executor(sim::MachineModel(options.machine), options.executor, rng.next_u64());
+  RandomScheduleGenerator sched_gen(options.scheduler);
+
+  const double base_time = executor.measure_seconds(program);
+  std::set<std::string> seen;
+  for (int si = 0; si < num_schedules; ++si) {
+    const transforms::Schedule schedule = sched_gen.generate(program, rng);
+    if (options.dedupe_schedules && !seen.insert(schedule.to_string()).second) continue;
+
+    transforms::ApplyResult applied = transforms::try_apply_schedule(program, schedule);
+    if (!applied.ok) continue;  // generator guarantees legality; defensive
+    std::string error;
+    auto feats = model::featurize(program, schedule, options.features, &error);
+    if (!feats) {
+      log_warn() << "datagen: featurization failed for program " << program_id << ": " << error;
+      continue;
+    }
+    const double opt_time = executor.measure_seconds(applied.program);
+    model::DataPoint point;
+    point.program_id = program_id;
+    point.feats = std::move(*feats);
+    point.speedup = base_time / opt_time;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace
+
+model::Dataset build_dataset(const DatasetBuildOptions& options) {
+  RandomProgramGenerator gen(options.generator);
+  std::vector<std::vector<model::DataPoint>> per_program(
+      static_cast<std::size_t>(options.num_programs));
+
+#pragma omp parallel for schedule(dynamic)
+  for (int pi = 0; pi < options.num_programs; ++pi) {
+    const std::uint64_t program_seed = options.seed * 0x9e3779b97f4a7c15ULL + 2654435761ULL * pi;
+    const ir::Program program = gen.generate(program_seed);
+    per_program[static_cast<std::size_t>(pi)] =
+        sample_program(program, pi, options.schedules_per_program, options, program_seed ^ 0x5bf0);
+  }
+
+  model::Dataset ds;
+  for (auto& points : per_program)
+    for (auto& p : points) ds.points.push_back(std::move(p));
+  return ds;
+}
+
+model::Dataset build_for_program(const ir::Program& program, int program_id, int num_schedules,
+                                 const DatasetBuildOptions& options, std::uint64_t seed) {
+  model::Dataset ds;
+  ds.points = sample_program(program, program_id, num_schedules, options, seed);
+  return ds;
+}
+
+}  // namespace tcm::datagen

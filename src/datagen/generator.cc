@@ -1,0 +1,347 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "ir/builder.h"
+#include "transforms/apply.h"
+
+namespace tcm::datagen {
+namespace {
+
+using ir::IndexExpr;
+using ir::ProgramBuilder;
+using ir::SExpr;
+using ir::Var;
+
+// Log-uniform extent in [lo, hi].
+std::int64_t sample_extent(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  const double llo = std::log(static_cast<double>(lo));
+  const double lhi = std::log(static_cast<double>(hi));
+  const double v = std::exp(rng.uniform_real(llo, lhi));
+  return std::clamp<std::int64_t>(static_cast<std::int64_t>(std::llround(v)), lo, hi);
+}
+
+// Description of a previously generated computation, for consumers.
+struct ProducedBuffer {
+  int comp_id;
+  int buffer_id;
+  std::vector<std::int64_t> dims;
+};
+
+struct GenState {
+  ProgramBuilder* b = nullptr;
+  const GeneratorOptions* opt = nullptr;
+  std::vector<ProducedBuffer> produced;
+  int name_counter = 0;
+};
+
+SExpr random_op_combine(Rng& rng, SExpr a, SExpr b) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: return a + b;
+    case 1: return a - b;
+    case 2: return a * b;
+    default: return a / b;
+  }
+}
+
+}  // namespace
+
+RandomProgramGenerator::RandomProgramGenerator(GeneratorOptions options) : options_(options) {}
+
+ir::Program RandomProgramGenerator::generate(std::uint64_t seed) const {
+  Rng rng(seed ^ 0x7a9e1ce5b171f00dULL);
+  ProgramBuilder builder("rand_" + std::to_string(seed));
+  GenState st;
+  st.b = &builder;
+  st.opt = &options_;
+
+  const int num_comps =
+      static_cast<int>(rng.uniform_int(options_.min_comps, options_.max_comps));
+
+  for (int ci = 0; ci < num_comps; ++ci) {
+    const bool is_reduction = rng.bernoulli(options_.p_reduction);
+    const bool is_stencil = !is_reduction && rng.bernoulli(options_.p_stencil);
+
+    // --- pick the consumed producer (if any) --------------------------------
+    const ProducedBuffer* producer = nullptr;
+    if (!st.produced.empty() && rng.bernoulli(options_.p_consume_previous))
+      producer = &st.produced[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(st.produced.size()) - 1))];
+
+    // --- choose nest shape ----------------------------------------------------
+    int store_rank;
+    if (producer) {
+      store_rank = static_cast<int>(producer->dims.size());
+    } else {
+      store_rank = static_cast<int>(
+          rng.uniform_int(1, std::min(options_.max_store_rank,
+                                      options_.max_depth - (is_reduction ? 1 : 0))));
+    }
+    int depth = store_rank;
+    if (is_reduction) {
+      const int max_red = options_.max_depth - store_rank;
+      depth += static_cast<int>(rng.uniform_int(1, std::max<std::int64_t>(1, max_red)));
+    }
+
+    // --- extents ---------------------------------------------------------------
+    std::vector<std::int64_t> extents(static_cast<std::size_t>(depth));
+    for (int l = 0; l < depth; ++l) {
+      if (producer && l < store_rank) {
+        extents[static_cast<std::size_t>(l)] = producer->dims[static_cast<std::size_t>(l)];
+      } else {
+        extents[static_cast<std::size_t>(l)] =
+            sample_extent(rng, options_.min_extent, options_.max_extent);
+      }
+    }
+    // Enforce the iteration cap by shrinking the largest extents.
+    auto total = [&] {
+      std::int64_t t = 1;
+      for (auto e : extents) t *= e;
+      return t;
+    };
+    while (total() > options_.max_iterations) {
+      auto it = std::max_element(extents.begin(), extents.end());
+      if (*it <= options_.min_extent) break;
+      *it = std::max(options_.min_extent, *it / 2);
+    }
+    if (!producer) {
+      while (total() < options_.min_iterations) {
+        auto it = std::min_element(extents.begin(), extents.end());
+        if (*it >= options_.max_extent) break;
+        *it = std::min(options_.max_extent, *it * 2);
+      }
+    }
+
+    // --- iterators ---------------------------------------------------------------
+    const std::string prefix = "c" + std::to_string(ci) + "_";
+    std::vector<Var> iters;
+    for (int l = 0; l < depth; ++l)
+      iters.push_back(
+          builder.var(prefix + "i" + std::to_string(l), extents[static_cast<std::size_t>(l)]));
+    std::vector<Var> store_vars(iters.begin(), iters.begin() + store_rank);
+
+    // --- right-hand side -----------------------------------------------------------
+    SExpr rhs;
+    const int halo =
+        is_stencil ? static_cast<int>(rng.uniform_int(1, options_.max_stencil_halo)) : 0;
+
+    if (producer) {
+      std::vector<IndexExpr> idx;
+      for (int l = 0; l < store_rank; ++l) idx.push_back(iters[static_cast<std::size_t>(l)]);
+      rhs = builder.load(producer->buffer_id, idx);
+    }
+
+    if (!producer || rng.bernoulli(options_.p_extra_load) || is_reduction || is_stencil) {
+      if (is_stencil) {
+        // Fresh input sized extent + 2*halo on the stencil dims (the last
+        // one or two store dims), so offsets 0..2h stay in bounds.
+        const int stencil_dims = std::min(store_rank, 1 + static_cast<int>(rng.uniform_int(0, 1)));
+        std::vector<std::int64_t> dims;
+        for (int l = 0; l < store_rank; ++l) {
+          std::int64_t d = extents[static_cast<std::size_t>(l)];
+          if (l >= store_rank - stencil_dims) d += 2 * halo;
+          dims.push_back(d);
+        }
+        const int in_buf =
+            builder.input(prefix + "in" + std::to_string(st.name_counter++), dims);
+        const int points = static_cast<int>(rng.uniform_int(2, 5));
+        SExpr acc;
+        for (int pt = 0; pt < points; ++pt) {
+          std::vector<IndexExpr> idx;
+          for (int l = 0; l < store_rank; ++l) {
+            IndexExpr e = iters[static_cast<std::size_t>(l)];
+            if (l >= store_rank - stencil_dims)
+              e = e + IndexExpr(rng.uniform_int(0, 2 * halo));
+            idx.push_back(e);
+          }
+          SExpr term = builder.load(in_buf, idx);
+          if (rng.bernoulli(0.5)) term = term * SExpr(rng.uniform_real(0.1, 2.0));
+          acc = acc.valid() ? acc + term : term;
+        }
+        rhs = rhs.valid() ? random_op_combine(rng, rhs, acc) : acc;
+      } else if (is_reduction) {
+        // Two loads a la contraction: one over (a subset of) the iterators
+        // including the reduction iters, one over the reduction iters
+        // (+ trailing store dims when available). When the nest is deeper
+        // than max_load_rank, the load picks a subset of iterators, the way
+        // a convolution's weight tensor does.
+        std::vector<int> a_levels;
+        if (depth <= options_.max_load_rank) {
+          for (int l = 0; l < depth; ++l) a_levels.push_back(l);
+        } else {
+          // Always include the reduction iters (up to the cap), then fill
+          // with store iters from the innermost outwards.
+          for (int l = store_rank; l < depth && static_cast<int>(a_levels.size()) <
+                                                    options_.max_load_rank;
+               ++l)
+            a_levels.push_back(l);
+          for (int l = store_rank - 1;
+               l >= 0 && static_cast<int>(a_levels.size()) < options_.max_load_rank; --l)
+            a_levels.insert(a_levels.begin(), l);
+        }
+        std::vector<std::int64_t> dims_a;
+        std::vector<IndexExpr> idx_a;
+        for (int l : a_levels) {
+          dims_a.push_back(extents[static_cast<std::size_t>(l)]);
+          idx_a.push_back(iters[static_cast<std::size_t>(l)]);
+        }
+        const int a_buf = builder.input(prefix + "ina" + std::to_string(st.name_counter++), dims_a);
+        SExpr term = builder.load(a_buf, idx_a);
+        if (rng.bernoulli(0.7)) {
+          std::vector<std::int64_t> dims_b;
+          std::vector<IndexExpr> idx_b;
+          for (int l = store_rank;
+               l < depth && static_cast<int>(idx_b.size()) < options_.max_load_rank; ++l) {
+            dims_b.push_back(extents[static_cast<std::size_t>(l)]);
+            idx_b.push_back(iters[static_cast<std::size_t>(l)]);
+          }
+          // Optionally one store dim to make it matmul-shaped.
+          if (store_rank >= 1 && static_cast<int>(idx_b.size()) < options_.max_load_rank &&
+              rng.bernoulli(0.6)) {
+            const int l = static_cast<int>(rng.uniform_int(0, store_rank - 1));
+            dims_b.push_back(extents[static_cast<std::size_t>(l)]);
+            idx_b.push_back(iters[static_cast<std::size_t>(l)]);
+          }
+          const int b_buf =
+              builder.input(prefix + "inb" + std::to_string(st.name_counter++), dims_b);
+          term = term * builder.load(b_buf, idx_b);
+        }
+        rhs = rhs.valid() ? rhs + term : term;
+      } else {
+        // Simple elementwise load of a fresh input, occasionally transposed
+        // (interesting for interchange) when the leading extents allow it.
+        std::vector<std::int64_t> dims;
+        std::vector<IndexExpr> idx;
+        for (int l = 0; l < store_rank; ++l) {
+          dims.push_back(extents[static_cast<std::size_t>(l)]);
+          idx.push_back(iters[static_cast<std::size_t>(l)]);
+        }
+        if (store_rank >= 2 && rng.bernoulli(0.3)) {
+          std::swap(dims[dims.size() - 1], dims[dims.size() - 2]);
+          std::swap(idx[idx.size() - 1], idx[idx.size() - 2]);
+        }
+        const int in_buf = builder.input(prefix + "in" + std::to_string(st.name_counter++), dims);
+        SExpr term = builder.load(in_buf, idx);
+        if (rng.bernoulli(0.4)) term = random_op_combine(rng, term, SExpr(rng.uniform_real(0.5, 3.0)));
+        rhs = rhs.valid() ? random_op_combine(rng, rhs, term) : term;
+      }
+    }
+
+    if (rng.bernoulli(0.3)) rhs = rhs + SExpr(rng.uniform_real(-1.0, 1.0));
+
+    const std::string name = "comp" + std::to_string(ci);
+    int out_buffer = -1;
+    const int comp_id = builder.computation(name, iters, store_vars, rhs, &out_buffer);
+    std::vector<std::int64_t> out_dims(extents.begin(), extents.begin() + store_rank);
+    st.produced.push_back(ProducedBuffer{comp_id, out_buffer, std::move(out_dims)});
+  }
+
+  return builder.build();
+}
+
+RandomScheduleGenerator::RandomScheduleGenerator(ScheduleGeneratorOptions options)
+    : options_(options) {}
+
+transforms::Schedule RandomScheduleGenerator::generate(const ir::Program& p, Rng& rng) const {
+  transforms::Schedule schedule;
+
+  // Keep a candidate transformation only when the extended schedule is
+  // still legal (valid-by-construction, as in the paper's generator).
+  auto keep_if_legal = [&](transforms::Schedule& s) {
+    return transforms::try_apply_schedule(p, s).ok;
+  };
+  auto try_add = [&](auto member, auto spec) {
+    transforms::Schedule candidate = schedule;
+    (candidate.*member).push_back(spec);
+    if (keep_if_legal(candidate)) schedule = std::move(candidate);
+  };
+
+  // --- fusion: walk adjacent root pairs --------------------------------------
+  for (std::size_t r = 0; r + 1 < p.roots.size(); ++r) {
+    if (!rng.bernoulli(options_.p_fuse)) continue;
+    // Representative computations of each root nest.
+    auto comp_under = [&](int root) -> int {
+      int loop_id = root;
+      while (true) {
+        for (const ir::BodyItem& item : p.loop(loop_id).body)
+          if (item.kind == ir::BodyItem::Kind::Computation) return item.index;
+        // descend into the first child loop
+        bool descended = false;
+        for (const ir::BodyItem& item : p.loop(loop_id).body) {
+          if (item.kind == ir::BodyItem::Kind::Loop) {
+            loop_id = item.index;
+            descended = true;
+            break;
+          }
+        }
+        if (!descended) return -1;
+      }
+    };
+    const int ca = comp_under(p.roots[r]);
+    const int cb = comp_under(p.roots[r + 1]);
+    if (ca < 0 || cb < 0) continue;
+    const int max_depth = static_cast<int>(
+        std::min(p.nest_of(ca).size(), p.nest_of(cb).size()));
+    const int depth = static_cast<int>(rng.uniform_int(1, max_depth));
+    try_add(&transforms::Schedule::fusions, transforms::FuseSpec{ca, cb, depth});
+  }
+
+  // --- per computation decisions ------------------------------------------------
+  for (const ir::Computation& c : p.comps) {
+    const std::vector<std::int64_t> extents = p.extents_of(c.id);
+    const int depth = static_cast<int>(extents.size());
+
+    if (depth >= 2 && rng.bernoulli(options_.p_interchange)) {
+      const int la = static_cast<int>(rng.uniform_int(0, depth - 2));
+      const int lb = static_cast<int>(rng.uniform_int(la + 1, depth - 1));
+      try_add(&transforms::Schedule::interchanges, transforms::InterchangeSpec{c.id, la, lb});
+    }
+
+    if (depth >= 2 && rng.bernoulli(options_.p_tile)) {
+      const int d = (depth >= 3 && rng.bernoulli(options_.p_tile_3d)) ? 3 : 2;
+      const int level = static_cast<int>(rng.uniform_int(0, depth - d));
+      std::vector<std::int64_t> sizes;
+      for (int k = 0; k < d; ++k) {
+        std::vector<std::int64_t> fitting;
+        for (std::int64_t s : options_.tile_sizes)
+          if (s <= extents[static_cast<std::size_t>(level + k)]) fitting.push_back(s);
+        if (fitting.empty()) break;
+        sizes.push_back(fitting[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(fitting.size()) - 1))]);
+      }
+      if (static_cast<int>(sizes.size()) == d)
+        try_add(&transforms::Schedule::tiles, transforms::TileSpec{c.id, level, sizes});
+    }
+
+    if (rng.bernoulli(options_.p_unroll)) {
+      std::vector<int> fitting;
+      for (int f : options_.unroll_factors)
+        if (f <= extents.back()) fitting.push_back(f);
+      if (!fitting.empty())
+        try_add(&transforms::Schedule::unrolls,
+                transforms::UnrollSpec{c.id, fitting[static_cast<std::size_t>(rng.uniform_int(
+                                                 0, static_cast<std::int64_t>(fitting.size()) - 1))]});
+    }
+
+    if (rng.bernoulli(options_.p_parallelize)) {
+      const int level = (depth >= 2 && rng.bernoulli(options_.p_parallel_inner)) ? 1 : 0;
+      try_add(&transforms::Schedule::parallels, transforms::ParallelizeSpec{c.id, level});
+    }
+
+    if (rng.bernoulli(options_.p_vectorize)) {
+      std::vector<int> fitting;
+      for (int w : options_.vector_widths)
+        if (w <= extents.back()) fitting.push_back(w);
+      if (!fitting.empty())
+        try_add(&transforms::Schedule::vectorizes,
+                transforms::VectorizeSpec{c.id, fitting[static_cast<std::size_t>(rng.uniform_int(
+                                                    0, static_cast<std::int64_t>(fitting.size()) - 1))]});
+    }
+  }
+
+  return schedule;
+}
+
+}  // namespace tcm::datagen

@@ -1,0 +1,102 @@
+// Random program and schedule generation (Section 3 of the paper).
+//
+// The program generator emits sequences of computations where each
+// computation is a variant (or combination) of the three patterns found in
+// TIRAMISU programs:
+//   (1) simple assignments over input arrays / previously computed buffers,
+//   (2) stencils (neighbourhood reads with constant offsets),
+//   (3) reductions (accumulation over extra loop dimensions).
+// Programs are correct by construction: extents and offsets are chosen so
+// every access stays in bounds, and consumers read only buffers produced by
+// earlier computations (enabling fusion opportunities).
+//
+// The schedule generator draws random transformation sequences and keeps
+// only legal ones, mirroring the paper's validity rules ("tiling is not
+// applied if the loop extent is smaller than the tile size", etc.); here the
+// rules are enforced exactly by the transformation engine's legality checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+#include "support/rng.h"
+#include "transforms/schedule.h"
+
+namespace tcm::datagen {
+
+struct GeneratorOptions {
+  int min_comps = 1;
+  int max_comps = 4;
+  int min_depth = 2;
+  int max_depth = 4;           // per-computation nest depth
+  int max_store_rank = 3;      // buffer rank of outputs
+  int max_load_rank = 4;       // cap on input-buffer rank (deep reductions
+                               // load a subset of the iterators, as in conv)
+  std::int64_t min_extent = 8;
+  std::int64_t max_extent = 512;
+  // Bounds on the iteration count of a single computation: the floor keeps
+  // trivially small programs (where any parallelization is catastrophic)
+  // rare, matching the paper's data sizes; the cap keeps the synthetic
+  // workload distribution realistic.
+  std::int64_t min_iterations = 1LL << 12;
+  std::int64_t max_iterations = 1LL << 26;
+
+  double p_reduction = 0.35;
+  double p_stencil = 0.35;          // applied when not a reduction
+  double p_consume_previous = 0.5;  // read an earlier computation's output
+  double p_extra_load = 0.5;        // add a second input load
+  int max_stencil_halo = 2;
+
+  // Small programs whose interpreter execution is fast; used by the
+  // semantics property tests.
+  static GeneratorOptions tiny() {
+    GeneratorOptions o;
+    o.min_extent = 3;
+    o.max_extent = 12;
+    o.min_iterations = 1;
+    o.max_iterations = 1 << 12;
+    return o;
+  }
+};
+
+class RandomProgramGenerator {
+ public:
+  explicit RandomProgramGenerator(GeneratorOptions options = {});
+
+  // Deterministic in (options, seed).
+  ir::Program generate(std::uint64_t seed) const;
+
+ private:
+  GeneratorOptions options_;
+};
+
+struct ScheduleGeneratorOptions {
+  std::vector<std::int64_t> tile_sizes = {8, 16, 32, 64, 128};
+  std::vector<int> unroll_factors = {2, 4, 8, 16};
+  std::vector<int> vector_widths = {4, 8};
+  double p_fuse = 0.5;
+  double p_interchange = 0.4;
+  double p_tile = 0.5;
+  double p_tile_3d = 0.25;  // when tiling, probability of 3-D tiling
+  double p_unroll = 0.4;
+  double p_parallelize = 0.7;
+  double p_vectorize = 0.4;
+  // Probability that parallelization targets level 1 instead of level 0.
+  double p_parallel_inner = 0.15;
+};
+
+class RandomScheduleGenerator {
+ public:
+  explicit RandomScheduleGenerator(ScheduleGeneratorOptions options = {});
+
+  // Draws a random legal schedule for `p`. Every transformation is kept only
+  // if the incrementally extended schedule still applies, so the result is
+  // legal by construction (possibly the identity schedule).
+  transforms::Schedule generate(const ir::Program& p, Rng& rng) const;
+
+ private:
+  ScheduleGeneratorOptions options_;
+};
+
+}  // namespace tcm::datagen

@@ -1,0 +1,125 @@
+#include "ir/access.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tcm::ir {
+
+AccessMatrix::AccessMatrix(int rank, int depth) : rank_(rank), depth_(depth) {
+  if (rank < 0 || depth < 0) throw std::invalid_argument("AccessMatrix: negative shape");
+  coef_.assign(static_cast<std::size_t>(rank) * (depth + 1), 0);
+}
+
+AccessMatrix AccessMatrix::identity(int rank, int depth) {
+  if (rank > depth) throw std::invalid_argument("AccessMatrix::identity: rank > depth");
+  AccessMatrix m(rank, depth);
+  for (int r = 0; r < rank; ++r) m.set(r, r, 1);
+  return m;
+}
+
+std::int64_t AccessMatrix::at(int row, int col) const {
+  if (row < 0 || row >= rank_ || col < 0 || col > depth_)
+    throw std::out_of_range("AccessMatrix::at");
+  return coef_[static_cast<std::size_t>(row) * (depth_ + 1) + col];
+}
+
+void AccessMatrix::set(int row, int col, std::int64_t v) {
+  if (row < 0 || row >= rank_ || col < 0 || col > depth_)
+    throw std::out_of_range("AccessMatrix::set");
+  coef_[static_cast<std::size_t>(row) * (depth_ + 1) + col] = v;
+}
+
+std::vector<std::int64_t> AccessMatrix::evaluate(std::span<const std::int64_t> iters) const {
+  if (static_cast<int>(iters.size()) != depth_)
+    throw std::invalid_argument("AccessMatrix::evaluate: iterator arity mismatch");
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(rank_));
+  for (int r = 0; r < rank_; ++r) {
+    std::int64_t v = constant(r);
+    for (int c = 0; c < depth_; ++c) v += at(r, c) * iters[static_cast<std::size_t>(c)];
+    idx[static_cast<std::size_t>(r)] = v;
+  }
+  return idx;
+}
+
+std::vector<AccessMatrix::Range> AccessMatrix::index_ranges(
+    std::span<const std::int64_t> extents) const {
+  if (static_cast<int>(extents.size()) != depth_)
+    throw std::invalid_argument("AccessMatrix::index_ranges: extent arity mismatch");
+  std::vector<Range> ranges(static_cast<std::size_t>(rank_));
+  for (int r = 0; r < rank_; ++r) {
+    std::int64_t lo = constant(r);
+    std::int64_t hi = constant(r);
+    for (int c = 0; c < depth_; ++c) {
+      const std::int64_t coef = at(r, c);
+      if (coef == 0 || extents[static_cast<std::size_t>(c)] <= 0) continue;
+      const std::int64_t span = extents[static_cast<std::size_t>(c)] - 1;
+      if (coef > 0) hi += coef * span;
+      else lo += coef * span;
+    }
+    ranges[static_cast<std::size_t>(r)] = Range{lo, hi};
+  }
+  return ranges;
+}
+
+bool AccessMatrix::invariant_to(int col) const {
+  for (int r = 0; r < rank_; ++r)
+    if (depends_on(r, col)) return false;
+  return true;
+}
+
+void AccessMatrix::interchange(int col_a, int col_b) {
+  if (col_a < 0 || col_a >= depth_ || col_b < 0 || col_b >= depth_)
+    throw std::out_of_range("AccessMatrix::interchange");
+  for (int r = 0; r < rank_; ++r) {
+    const std::int64_t a = at(r, col_a);
+    const std::int64_t b = at(r, col_b);
+    set(r, col_a, b);
+    set(r, col_b, a);
+  }
+}
+
+void AccessMatrix::split(int col, std::int64_t tile) {
+  if (col < 0 || col >= depth_) throw std::out_of_range("AccessMatrix::split");
+  if (tile <= 0) throw std::invalid_argument("AccessMatrix::split: tile <= 0");
+  AccessMatrix out(rank_, depth_ + 1);
+  for (int r = 0; r < rank_; ++r) {
+    for (int c = 0; c <= depth_; ++c) {
+      const std::int64_t v = at(r, c);
+      if (c < col) {
+        out.set(r, c, v);
+      } else if (c == col) {
+        out.set(r, col, v * tile);    // outer iterator
+        out.set(r, col + 1, v);       // inner iterator
+      } else {
+        // shift the remaining iterator columns (and constant) right by one
+        out.set(r, c + 1, v);
+      }
+    }
+  }
+  *this = out;
+}
+
+void AccessMatrix::insert_zero_column(int col) {
+  if (col < 0 || col > depth_) throw std::out_of_range("AccessMatrix::insert_zero_column");
+  AccessMatrix out(rank_, depth_ + 1);
+  for (int r = 0; r < rank_; ++r) {
+    for (int c = 0; c <= depth_; ++c) {
+      const int dst = (c < col) ? c : c + 1;
+      out.set(r, dst, at(r, c));
+    }
+  }
+  *this = out;
+}
+
+std::string AccessMatrix::to_string() const {
+  std::ostringstream os;
+  for (int r = 0; r < rank_; ++r) {
+    os << '[';
+    for (int c = 0; c <= depth_; ++c) os << (c ? " " : "") << at(r, c);
+    os << "]";
+    if (r + 1 < rank_) os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tcm::ir

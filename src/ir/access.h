@@ -1,0 +1,90 @@
+// Polyhedral-style affine access matrices (Section 4.1 of the paper).
+//
+// An access to a rank-k buffer from inside a depth-n loop nest is a k x (n+1)
+// integer matrix: row r gives buffer index r as a linear combination of the
+// n loop iterators plus a constant (last column). Example from the paper:
+// A[i0, i0+i1, i1-2] with n=2 is
+//     [1 0  0]
+//     [1 1  0]
+//     [0 1 -2]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tcm::ir {
+
+class AccessMatrix {
+ public:
+  AccessMatrix() = default;
+
+  // Zero matrix with `rank` rows and `depth`+1 columns.
+  AccessMatrix(int rank, int depth);
+
+  // Identity-like access: buffer index r == iterator r. Requires rank <= depth.
+  static AccessMatrix identity(int rank, int depth);
+
+  int rank() const { return rank_; }
+  int depth() const { return depth_; }
+
+  // Coefficient of iterator `col` (or the constant term when col == depth())
+  // in buffer dimension `row`.
+  std::int64_t at(int row, int col) const;
+  void set(int row, int col, std::int64_t v);
+
+  std::int64_t constant(int row) const { return at(row, depth_); }
+
+  // Evaluates the access for concrete iterator values (size == depth()).
+  // Returns the buffer indices (size == rank()).
+  std::vector<std::int64_t> evaluate(std::span<const std::int64_t> iters) const;
+
+  // Computes the inclusive [min,max] range of each buffer index over the
+  // rectangular iteration domain given by per-iterator extents (iterators
+  // range over [0, extent)). Used to validate in-bounds accesses.
+  struct Range {
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+  };
+  std::vector<Range> index_ranges(std::span<const std::int64_t> extents) const;
+
+  // True iff buffer dimension `row` depends on iterator `col`.
+  bool depends_on(int row, int col) const { return at(row, col) != 0; }
+
+  // True iff no row depends on iterator `col` (the access is invariant to it).
+  bool invariant_to(int col) const;
+
+  // --- transformations applied when the surrounding loop nest is rewritten ---
+
+  // Swap the columns of iterators a and b (loop interchange).
+  void interchange(int col_a, int col_b);
+
+  // Replace iterator `col` by (outer * tile + inner): the column is split in
+  // two adjacent columns at position `col` (outer, coefficient c*tile) and
+  // `col`+1 (inner, coefficient c). Depth grows by one.
+  void split(int col, std::int64_t tile);
+
+  // Insert a zero column for a new iterator at position `col` (used when a
+  // computation is sunk into a deeper fused nest). Depth grows by one.
+  void insert_zero_column(int col);
+
+  bool operator==(const AccessMatrix& other) const = default;
+
+  std::string to_string() const;
+
+ private:
+  int rank_ = 0;
+  int depth_ = 0;
+  std::vector<std::int64_t> coef_;  // row-major, rank_ x (depth_+1)
+};
+
+// A single memory access: which buffer and with what affine pattern.
+struct BufferAccess {
+  int buffer_id = -1;
+  AccessMatrix matrix;
+
+  bool operator==(const BufferAccess& other) const = default;
+};
+
+}  // namespace tcm::ir

@@ -1,0 +1,28 @@
+// Buffers: dense rectangular arrays of doubles, identified by small integer
+// ids. A TIRAMISU program reads input buffers and writes buffers produced by
+// its computations.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace tcm::ir {
+
+struct Buffer {
+  int id = -1;
+  std::string name;
+  std::vector<std::int64_t> dims;  // extent of each dimension, outermost first
+  bool is_input = false;           // true: external input, false: written by a computation
+
+  int rank() const { return static_cast<int>(dims.size()); }
+
+  std::int64_t num_elements() const {
+    std::int64_t n = 1;
+    for (auto d : dims) n *= d;
+    return n;
+  }
+};
+
+}  // namespace tcm::ir

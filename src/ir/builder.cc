@@ -1,0 +1,262 @@
+#include "ir/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcm::ir {
+
+// ---------------------------------------------------------------------------
+// IndexExpr
+// ---------------------------------------------------------------------------
+
+IndexExpr operator+(IndexExpr a, const IndexExpr& b) {
+  for (const auto& [id, c] : b.coef_) a.coef_[id] += c;
+  a.constant_ += b.constant_;
+  std::erase_if(a.coef_, [](const auto& kv) { return kv.second == 0; });
+  return a;
+}
+
+IndexExpr operator-(IndexExpr a, const IndexExpr& b) {
+  for (const auto& [id, c] : b.coef_) a.coef_[id] -= c;
+  a.constant_ -= b.constant_;
+  std::erase_if(a.coef_, [](const auto& kv) { return kv.second == 0; });
+  return a;
+}
+
+IndexExpr operator*(std::int64_t k, IndexExpr a) {
+  for (auto& [id, c] : a.coef_) c *= k;
+  a.constant_ *= k;
+  std::erase_if(a.coef_, [](const auto& kv) { return kv.second == 0; });
+  return a;
+}
+
+IndexExpr operator*(IndexExpr a, std::int64_t k) { return k * std::move(a); }
+
+// ---------------------------------------------------------------------------
+// SExpr
+// ---------------------------------------------------------------------------
+
+struct SExpr::Node {
+  ExprKind kind = ExprKind::Constant;
+  double value = 0.0;
+  int buffer_id = -1;
+  std::vector<IndexExpr> indices;
+  SExpr lhs, rhs;
+};
+
+SExpr::SExpr(double v) {
+  auto n = std::make_shared<Node>();
+  n->kind = ExprKind::Constant;
+  n->value = v;
+  node_ = std::move(n);
+}
+
+namespace {
+SExpr make_binary(ExprKind op, SExpr a, SExpr b);
+}  // namespace
+
+SExpr operator+(SExpr a, SExpr b) { return make_binary(ExprKind::Add, std::move(a), std::move(b)); }
+SExpr operator-(SExpr a, SExpr b) { return make_binary(ExprKind::Sub, std::move(a), std::move(b)); }
+SExpr operator*(SExpr a, SExpr b) { return make_binary(ExprKind::Mul, std::move(a), std::move(b)); }
+SExpr operator/(SExpr a, SExpr b) { return make_binary(ExprKind::Div, std::move(a), std::move(b)); }
+SExpr max(SExpr a, SExpr b) { return make_binary(ExprKind::Max, std::move(a), std::move(b)); }
+SExpr min(SExpr a, SExpr b) { return make_binary(ExprKind::Min, std::move(a), std::move(b)); }
+
+// SExprDetail is a friend of SExpr (declared in the header): it provides the
+// construction hooks used below without exposing them in the public API.
+struct SExprDetail {
+  static SExpr binary(ExprKind op, SExpr a, SExpr b) {
+    auto n = std::make_shared<SExpr::Node>();
+    n->kind = op;
+    n->lhs = std::move(a);
+    n->rhs = std::move(b);
+    return SExpr(std::move(n));
+  }
+  static SExpr load(int buffer_id, std::vector<IndexExpr> idx) {
+    auto n = std::make_shared<SExpr::Node>();
+    n->kind = ExprKind::Load;
+    n->buffer_id = buffer_id;
+    n->indices = std::move(idx);
+    return SExpr(std::move(n));
+  }
+  static const SExpr::Node* node(const SExpr& e) { return e.node_.get(); }
+};
+
+// ---------------------------------------------------------------------------
+// ProgramBuilder
+// ---------------------------------------------------------------------------
+
+ProgramBuilder::ProgramBuilder(std::string name) { program_.name = std::move(name); }
+
+Var ProgramBuilder::var(std::string name, std::int64_t extent) {
+  if (extent <= 0) throw std::invalid_argument("var " + name + ": extent must be positive");
+  vars_.push_back(VarInfo{std::move(name), extent});
+  return Var{static_cast<int>(vars_.size()) - 1, extent};
+}
+
+int ProgramBuilder::input(std::string name, std::vector<std::int64_t> dims) {
+  for (auto d : dims)
+    if (d <= 0) throw std::invalid_argument("input " + name + ": non-positive dim");
+  Buffer b;
+  b.name = std::move(name);
+  b.dims = std::move(dims);
+  b.is_input = true;
+  return program_.add_buffer(std::move(b));
+}
+
+SExpr ProgramBuilder::load(int buffer_id, std::vector<IndexExpr> indices) const {
+  if (buffer_id < 0 || buffer_id >= static_cast<int>(program_.buffers.size()))
+    throw std::invalid_argument("load: unknown buffer id");
+  const Buffer& b = program_.buffers[static_cast<std::size_t>(buffer_id)];
+  if (static_cast<int>(indices.size()) != b.rank())
+    throw std::invalid_argument("load of " + b.name + ": index arity != buffer rank");
+  return SExprDetail::load(buffer_id, std::move(indices));
+}
+
+int ProgramBuilder::computation(const std::string& name, const std::vector<Var>& iters,
+                                const std::vector<Var>& store_vars, const SExpr& rhs,
+                                int* out_buffer_id) {
+  Buffer out;
+  out.name = name;
+  for (const Var& v : store_vars) out.dims.push_back(v.extent);
+  out.is_input = false;
+  const int buffer_id = program_.add_buffer(std::move(out));
+  if (out_buffer_id) *out_buffer_id = buffer_id;
+  return declare_computation(buffer_id, name, iters, store_vars, rhs);
+}
+
+int ProgramBuilder::computation_into(int buffer_id, const std::string& name,
+                                     const std::vector<Var>& iters,
+                                     const std::vector<Var>& store_vars, const SExpr& rhs) {
+  if (buffer_id < 0 || buffer_id >= static_cast<int>(program_.buffers.size()))
+    throw std::invalid_argument("computation_into: unknown buffer");
+  if (program_.buffers[static_cast<std::size_t>(buffer_id)].is_input)
+    throw std::invalid_argument("computation_into: cannot write input buffer");
+  return declare_computation(buffer_id, name, iters, store_vars, rhs);
+}
+
+int ProgramBuilder::declare_computation(int buffer_id, const std::string& name,
+                                        const std::vector<Var>& iters,
+                                        const std::vector<Var>& store_vars, const SExpr& rhs) {
+  if (built_) throw std::logic_error("ProgramBuilder: already built");
+  if (iters.empty()) throw std::invalid_argument(name + ": computation needs iterators");
+  if (!rhs.valid()) throw std::invalid_argument(name + ": empty rhs");
+
+  // store_vars must be a subsequence of iters
+  {
+    std::size_t pos = 0;
+    for (const Var& sv : store_vars) {
+      while (pos < iters.size() && iters[pos].id != sv.id) ++pos;
+      if (pos == iters.size())
+        throw std::invalid_argument(name + ": store vars must be a subsequence of iterators");
+      ++pos;
+    }
+  }
+  // no duplicate iterators
+  for (std::size_t i = 0; i < iters.size(); ++i)
+    for (std::size_t j = i + 1; j < iters.size(); ++j)
+      if (iters[i].id == iters[j].id)
+        throw std::invalid_argument(name + ": duplicate iterator in nest");
+
+  // Create/share the loop nest. Share the longest prefix of loops whose vars
+  // match the previous computation's nest.
+  std::size_t shared = 0;
+  while (shared < prev_nest_.size() && shared < iters.size() &&
+         prev_nest_[shared].first == iters[shared].id)
+    ++shared;
+
+  std::vector<std::pair<int, int>> nest(prev_nest_.begin(),
+                                        prev_nest_.begin() + static_cast<std::ptrdiff_t>(shared));
+  int parent = shared == 0 ? -1 : nest.back().second;
+  for (std::size_t i = shared; i < iters.size(); ++i) {
+    LoopNode l;
+    l.iter.name = vars_[static_cast<std::size_t>(iters[i].id)].name;
+    l.iter.extent = iters[i].extent;
+    l.parent = parent;
+    const int loop_id = program_.add_loop(std::move(l));
+    if (parent == -1) program_.roots.push_back(loop_id);
+    else program_.loop(parent).body.push_back(BodyItem::loop(loop_id));
+    parent = loop_id;
+    nest.emplace_back(iters[i].id, loop_id);
+  }
+
+  // Store access: identity over the store vars' positions in iters.
+  AccessMatrix store(static_cast<int>(store_vars.size()), static_cast<int>(iters.size()));
+  for (std::size_t r = 0; r < store_vars.size(); ++r) {
+    for (std::size_t c = 0; c < iters.size(); ++c) {
+      if (iters[c].id == store_vars[r].id) {
+        store.set(static_cast<int>(r), static_cast<int>(c), 1);
+        break;
+      }
+    }
+  }
+
+  Computation comp;
+  comp.name = name;
+  comp.store = BufferAccess{buffer_id, std::move(store)};
+  comp.rhs = lower_sexpr(rhs, iters);
+  comp.is_reduction = store_vars.size() < iters.size();
+  comp.loop_id = parent;
+  const int comp_id = program_.add_computation(std::move(comp));
+  program_.loop(parent).body.push_back(BodyItem::computation(comp_id));
+
+  prev_nest_ = std::move(nest);
+  return comp_id;
+}
+
+AccessMatrix ProgramBuilder::lower_indices(const std::vector<IndexExpr>& indices,
+                                           const std::vector<Var>& iters) const {
+  AccessMatrix m(static_cast<int>(indices.size()), static_cast<int>(iters.size()));
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    for (const auto& [var_id, coef] : indices[r].coefficients()) {
+      bool found = false;
+      for (std::size_t c = 0; c < iters.size(); ++c) {
+        if (iters[c].id == var_id) {
+          m.set(static_cast<int>(r), static_cast<int>(c), coef);
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        throw std::invalid_argument(
+            "access index uses a variable that is not an iterator of the computation: " +
+            vars_[static_cast<std::size_t>(var_id)].name);
+    }
+    m.set(static_cast<int>(r), static_cast<int>(iters.size()), indices[r].constant());
+  }
+  return m;
+}
+
+Expr ProgramBuilder::lower_sexpr(const SExpr& e, const std::vector<Var>& iters) const {
+  const SExpr::Node* n = SExprDetail::node(e);
+  if (!n) throw std::invalid_argument("lower_sexpr: empty expression");
+  switch (n->kind) {
+    case ExprKind::Constant:
+      return Expr::constant(n->value);
+    case ExprKind::Load:
+      return Expr::load(BufferAccess{n->buffer_id, lower_indices(n->indices, iters)});
+    default:
+      return Expr::binary(n->kind, lower_sexpr(n->lhs, iters), lower_sexpr(n->rhs, iters));
+  }
+}
+
+Program ProgramBuilder::build() {
+  if (built_) throw std::logic_error("ProgramBuilder::build called twice");
+  built_ = true;
+  if (auto err = program_.validate())
+    throw std::logic_error("ProgramBuilder: invalid program: " + *err);
+  return std::move(program_);
+}
+
+int ProgramBuilder::buffer_of(int comp_id) const { return program_.comp(comp_id).store.buffer_id; }
+
+namespace {
+
+SExpr make_binary(ExprKind op, SExpr a, SExpr b) {
+  if (!a.valid() || !b.valid()) throw std::invalid_argument("SExpr binary: invalid operand");
+  return SExprDetail::binary(op, std::move(a), std::move(b));
+}
+
+}  // namespace
+
+}  // namespace tcm::ir

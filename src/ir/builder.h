@@ -1,0 +1,145 @@
+// ProgramBuilder: an embedded-DSL front end mirroring the TIRAMISU API from
+// Section 2 of the paper. Example (the paper's convolution):
+//
+//   ProgramBuilder b("conv");
+//   Var n = b.var("n", batch), fout = b.var("fout", F), fin = b.var("fin", C);
+//   Var y = b.var("y", H - 2), x = b.var("x", W - 2);
+//   Var k0 = b.var("k0", 3), k1 = b.var("k1", 3);
+//   int input = b.input("input", {batch, C, H, W});
+//   int weights = b.input("weights", {F, C, 3, 3});
+//   b.computation("conv", {n, fout, y, x, fin, k0, k1}, {n, fout, y, x},
+//                 b.load(weights, {fout, fin, k0, k1}) *
+//                     b.load(input, {n, fin, y + k0, x + k1}));
+//   Program p = b.build();
+//
+// Consecutive computations that use the same Var objects for their leading
+// iterators share those loops, producing trees like Figure 1a.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace tcm::ir {
+
+// An iterator variable handle; created by ProgramBuilder::var.
+struct Var {
+  int id = -1;
+  std::int64_t extent = 0;
+};
+
+// Affine index expression: sum of coefficient * Var plus a constant.
+// Built with natural operator syntax: y + k0, 2 * x, x - 1, ...
+class IndexExpr {
+ public:
+  IndexExpr() = default;
+  IndexExpr(Var v) { coef_[v.id] = 1; }            // NOLINT(google-explicit-constructor)
+  IndexExpr(std::int64_t c) : constant_(c) {}      // NOLINT(google-explicit-constructor)
+  IndexExpr(int c) : constant_(c) {}               // NOLINT(google-explicit-constructor)
+
+  const std::map<int, std::int64_t>& coefficients() const { return coef_; }
+  std::int64_t constant() const { return constant_; }
+
+  friend IndexExpr operator+(IndexExpr a, const IndexExpr& b);
+  friend IndexExpr operator-(IndexExpr a, const IndexExpr& b);
+  friend IndexExpr operator*(std::int64_t k, IndexExpr a);
+  friend IndexExpr operator*(IndexExpr a, std::int64_t k);
+
+ private:
+  std::map<int, std::int64_t> coef_;  // var id -> coefficient
+  std::int64_t constant_ = 0;
+};
+
+// Namespace-scope declarations so the operators apply to anything convertible
+// to IndexExpr (Var, integers), not just IndexExpr itself.
+IndexExpr operator+(IndexExpr a, const IndexExpr& b);
+IndexExpr operator-(IndexExpr a, const IndexExpr& b);
+IndexExpr operator*(std::int64_t k, IndexExpr a);
+IndexExpr operator*(IndexExpr a, std::int64_t k);
+
+// Symbolic RHS expression used while building; lowered to ir::Expr when the
+// owning computation is declared (at which point iterator positions are known).
+class SExpr {
+ public:
+  SExpr() = default;
+  SExpr(double v);  // NOLINT(google-explicit-constructor) constant
+  SExpr(int v) : SExpr(static_cast<double>(v)) {}  // NOLINT
+
+  friend SExpr operator+(SExpr a, SExpr b);
+  friend SExpr operator-(SExpr a, SExpr b);
+  friend SExpr operator*(SExpr a, SExpr b);
+  friend SExpr operator/(SExpr a, SExpr b);
+  friend SExpr max(SExpr a, SExpr b);
+  friend SExpr min(SExpr a, SExpr b);
+
+  bool valid() const { return node_ != nullptr; }
+
+ private:
+  struct Node;
+  explicit SExpr(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+  std::shared_ptr<const Node> node_;
+  friend class ProgramBuilder;
+  friend struct SExprDetail;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // Declares an iterator ranging over [0, extent).
+  Var var(std::string name, std::int64_t extent);
+
+  // Declares an external input buffer; returns its buffer id.
+  int input(std::string name, std::vector<std::int64_t> dims);
+
+  // Builds a symbolic load of buffer `buffer_id` at the given affine indices.
+  SExpr load(int buffer_id, std::vector<IndexExpr> indices) const;
+
+  // Declares a computation. `iters` is the loop nest, outermost first.
+  // `store_vars` selects which iterators index the output buffer (must be a
+  // subsequence of `iters`); when it omits some iterators the computation is
+  // a reduction over the omitted ones. A fresh output buffer named after the
+  // computation is created; its id is returned via out_buffer_id.
+  // Returns the computation id.
+  int computation(const std::string& name, const std::vector<Var>& iters,
+                  const std::vector<Var>& store_vars, const SExpr& rhs,
+                  int* out_buffer_id = nullptr);
+
+  // Same, but accumulates into an existing (non-input) buffer instead of
+  // creating a new one. Used for update statements like x1 += A*y.
+  int computation_into(int buffer_id, const std::string& name, const std::vector<Var>& iters,
+                       const std::vector<Var>& store_vars, const SExpr& rhs);
+
+  // Finalizes, validates and returns the program. The builder must not be
+  // reused afterwards.
+  Program build();
+
+  // Buffer id of the output buffer a computation writes (valid after the
+  // computation is declared).
+  int buffer_of(int comp_id) const;
+
+ private:
+  struct VarInfo {
+    std::string name;
+    std::int64_t extent = 0;
+  };
+
+  int declare_computation(int buffer_id, const std::string& name, const std::vector<Var>& iters,
+                          const std::vector<Var>& store_vars, const SExpr& rhs);
+  AccessMatrix lower_indices(const std::vector<IndexExpr>& indices,
+                             const std::vector<Var>& iters) const;
+  Expr lower_sexpr(const SExpr& e, const std::vector<Var>& iters) const;
+
+  Program program_;
+  std::vector<VarInfo> vars_;
+  // Nest of the previous computation: (var id, loop id) outermost first; used
+  // for loop sharing.
+  std::vector<std::pair<int, int>> prev_nest_;
+  bool built_ = false;
+};
+
+}  // namespace tcm::ir

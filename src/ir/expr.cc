@@ -1,0 +1,191 @@
+#include "ir/expr.h"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace tcm::ir {
+
+Expr Expr::constant(double v) {
+  auto n = std::make_shared<Node>();
+  n->kind = ExprKind::Constant;
+  n->value = v;
+  return Expr(std::move(n));
+}
+
+Expr Expr::load(BufferAccess access) {
+  auto n = std::make_shared<Node>();
+  n->kind = ExprKind::Load;
+  n->access = std::move(access);
+  return Expr(std::move(n));
+}
+
+Expr Expr::binary(ExprKind op, Expr lhs, Expr rhs) {
+  switch (op) {
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul:
+    case ExprKind::Div:
+    case ExprKind::Max:
+    case ExprKind::Min:
+      break;
+    default:
+      throw std::invalid_argument("Expr::binary: not a binary op");
+  }
+  if (!lhs.valid() || !rhs.valid())
+    throw std::invalid_argument("Expr::binary: invalid operand");
+  auto n = std::make_shared<Node>();
+  n->kind = op;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return Expr(std::move(n));
+}
+
+ExprKind Expr::kind() const {
+  if (!node_) throw std::logic_error("Expr::kind on empty expression");
+  return node_->kind;
+}
+
+double Expr::constant_value() const {
+  if (kind() != ExprKind::Constant) throw std::logic_error("Expr: not a constant");
+  return node_->value;
+}
+
+const BufferAccess& Expr::access() const {
+  if (kind() != ExprKind::Load) throw std::logic_error("Expr: not a load");
+  return node_->access;
+}
+
+const Expr& Expr::lhs() const {
+  if (kind() == ExprKind::Constant || kind() == ExprKind::Load)
+    throw std::logic_error("Expr: leaf has no lhs");
+  return node_->lhs;
+}
+
+const Expr& Expr::rhs() const {
+  if (kind() == ExprKind::Constant || kind() == ExprKind::Load)
+    throw std::logic_error("Expr: leaf has no rhs");
+  return node_->rhs;
+}
+
+std::vector<BufferAccess> Expr::loads() const {
+  std::vector<BufferAccess> out;
+  std::function<void(const Expr&)> walk = [&](const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::Constant:
+        return;
+      case ExprKind::Load:
+        out.push_back(e.access());
+        return;
+      default:
+        walk(e.lhs());
+        walk(e.rhs());
+    }
+  };
+  if (valid()) walk(*this);
+  return out;
+}
+
+OpCounts Expr::op_counts() const {
+  OpCounts oc;
+  std::function<void(const Expr&)> walk = [&](const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::Constant:
+      case ExprKind::Load:
+        return;
+      case ExprKind::Add:
+      case ExprKind::Max:
+      case ExprKind::Min:
+        ++oc.adds;
+        break;
+      case ExprKind::Sub:
+        ++oc.subs;
+        break;
+      case ExprKind::Mul:
+        ++oc.muls;
+        break;
+      case ExprKind::Div:
+        ++oc.divs;
+        break;
+    }
+    walk(e.lhs());
+    walk(e.rhs());
+  };
+  if (valid()) walk(*this);
+  return oc;
+}
+
+Expr Expr::map_accesses(const std::function<AccessMatrix(const AccessMatrix&)>& fn) const {
+  if (!valid()) return {};
+  switch (kind()) {
+    case ExprKind::Constant:
+      return *this;
+    case ExprKind::Load: {
+      BufferAccess a = access();
+      a.matrix = fn(a.matrix);
+      return Expr::load(std::move(a));
+    }
+    default:
+      return Expr::binary(kind(), lhs().map_accesses(fn), rhs().map_accesses(fn));
+  }
+}
+
+std::string Expr::to_string(const std::vector<std::string>& buffer_names) const {
+  if (!valid()) return "<empty>";
+  std::ostringstream os;
+  std::function<void(const Expr&)> walk = [&](const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::Constant:
+        os << e.constant_value();
+        return;
+      case ExprKind::Load: {
+        const auto& a = e.access();
+        if (a.buffer_id >= 0 && a.buffer_id < static_cast<int>(buffer_names.size()))
+          os << buffer_names[static_cast<std::size_t>(a.buffer_id)];
+        else
+          os << "buf" << a.buffer_id;
+        os << '[';
+        for (int r = 0; r < a.matrix.rank(); ++r) {
+          if (r) os << ", ";
+          bool first = true;
+          for (int c = 0; c < a.matrix.depth(); ++c) {
+            const auto coef = a.matrix.at(r, c);
+            if (coef == 0) continue;
+            if (!first) os << '+';
+            if (coef != 1) os << coef << '*';
+            os << 'i' << c;
+            first = false;
+          }
+          const auto k = a.matrix.constant(r);
+          if (k != 0 || first) {
+            if (!first && k >= 0) os << '+';
+            os << k;
+          }
+        }
+        os << ']';
+        return;
+      }
+      default: {
+        const char* sym = "?";
+        switch (e.kind()) {
+          case ExprKind::Add: sym = " + "; break;
+          case ExprKind::Sub: sym = " - "; break;
+          case ExprKind::Mul: sym = " * "; break;
+          case ExprKind::Div: sym = " / "; break;
+          case ExprKind::Max: sym = " max "; break;
+          case ExprKind::Min: sym = " min "; break;
+          default: break;
+        }
+        os << '(';
+        walk(e.lhs());
+        os << sym;
+        walk(e.rhs());
+        os << ')';
+      }
+    }
+  };
+  walk(*this);
+  return os.str();
+}
+
+}  // namespace tcm::ir

@@ -1,0 +1,79 @@
+// Right-hand-side expressions of computations: trees over buffer loads and
+// constants combined with arithmetic operators. The featurizer only needs
+// (a) the list of loads (access matrix + buffer id) and (b) the count of each
+// arithmetic operation; the interpreter evaluates the tree exactly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/access.h"
+
+namespace tcm::ir {
+
+enum class ExprKind { Constant, Load, Add, Sub, Mul, Div, Max, Min };
+
+// Counts of arithmetic operations on the RHS, as used by the computation
+// vector ("Operations count" row of Table 1).
+struct OpCounts {
+  int adds = 0;
+  int subs = 0;
+  int muls = 0;
+  int divs = 0;
+
+  int total() const { return adds + subs + muls + divs; }
+  bool operator==(const OpCounts&) const = default;
+};
+
+// Immutable expression tree node, shared by value via shared_ptr.
+class Expr {
+ public:
+  Expr() = default;  // empty expression; valid() == false
+
+  static Expr constant(double v);
+  static Expr load(BufferAccess access);
+  static Expr binary(ExprKind op, Expr lhs, Expr rhs);
+
+  static Expr add(Expr a, Expr b) { return binary(ExprKind::Add, std::move(a), std::move(b)); }
+  static Expr sub(Expr a, Expr b) { return binary(ExprKind::Sub, std::move(a), std::move(b)); }
+  static Expr mul(Expr a, Expr b) { return binary(ExprKind::Mul, std::move(a), std::move(b)); }
+  static Expr div(Expr a, Expr b) { return binary(ExprKind::Div, std::move(a), std::move(b)); }
+
+  bool valid() const { return node_ != nullptr; }
+  ExprKind kind() const;
+  double constant_value() const;         // requires kind()==Constant
+  const BufferAccess& access() const;    // requires kind()==Load
+  const Expr& lhs() const;               // requires a binary kind
+  const Expr& rhs() const;
+
+  // All loads in evaluation order (left to right).
+  std::vector<BufferAccess> loads() const;
+
+  // Number of each arithmetic op in the tree (Min/Max count as adds).
+  OpCounts op_counts() const;
+
+  // Rewrites every load access in the tree with fn (used by the
+  // transformation engine when the loop nest is restructured).
+  Expr map_accesses(const std::function<AccessMatrix(const AccessMatrix&)>& fn) const;
+
+  std::string to_string(const std::vector<std::string>& buffer_names = {}) const;
+
+ private:
+  struct Node;
+  explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+
+  friend class Interpreter;
+  friend struct ExprEval;
+};
+
+struct Expr::Node {
+  ExprKind kind = ExprKind::Constant;
+  double value = 0.0;
+  BufferAccess access;
+  Expr lhs, rhs;
+};
+
+}  // namespace tcm::ir

@@ -1,0 +1,268 @@
+#include "ir/program.h"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace tcm::ir {
+
+const Buffer& Program::buffer(int id) const {
+  if (id < 0 || id >= static_cast<int>(buffers.size()))
+    throw std::out_of_range("Program::buffer");
+  return buffers[static_cast<std::size_t>(id)];
+}
+
+const LoopNode& Program::loop(int id) const {
+  if (id < 0 || id >= static_cast<int>(loops.size())) throw std::out_of_range("Program::loop");
+  return loops[static_cast<std::size_t>(id)];
+}
+
+LoopNode& Program::loop(int id) {
+  if (id < 0 || id >= static_cast<int>(loops.size())) throw std::out_of_range("Program::loop");
+  return loops[static_cast<std::size_t>(id)];
+}
+
+const Computation& Program::comp(int id) const {
+  if (id < 0 || id >= static_cast<int>(comps.size())) throw std::out_of_range("Program::comp");
+  return comps[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Program::nest_of(int comp_id) const {
+  std::vector<int> nest;
+  for (int l = comp(comp_id).loop_id; l != -1; l = loop(l).parent) nest.push_back(l);
+  std::reverse(nest.begin(), nest.end());
+  return nest;
+}
+
+int Program::depth_of(int comp_id) const { return static_cast<int>(nest_of(comp_id).size()); }
+
+std::vector<std::int64_t> Program::extents_of(int comp_id) const {
+  std::vector<std::int64_t> out;
+  for (int l : nest_of(comp_id)) out.push_back(loop(l).iter.extent);
+  return out;
+}
+
+std::vector<int> Program::comps_in_order() const {
+  std::vector<int> order;
+  std::function<void(int)> walk = [&](int loop_id) {
+    for (const BodyItem& item : loop(loop_id).body) {
+      if (item.kind == BodyItem::Kind::Loop) walk(item.index);
+      else order.push_back(item.index);
+    }
+  };
+  for (int r : roots) walk(r);
+  return order;
+}
+
+bool Program::is_reduction_level(int comp_id, int level) const {
+  const Computation& c = comp(comp_id);
+  if (level < 0 || level >= c.store.matrix.depth())
+    throw std::out_of_range("Program::is_reduction_level");
+  return c.store.matrix.invariant_to(level);
+}
+
+std::int64_t Program::iteration_count(int comp_id) const {
+  // An (outer, inner) tile pair covers exactly the original extent of the
+  // pre-tiling loop, so the inner loop contributes orig_extent and the
+  // matching outer loop contributes 1.
+  const std::vector<int> nest = nest_of(comp_id);
+  std::vector<bool> is_tile_outer(nest.size(), false);
+  for (std::size_t i = 0; i < nest.size(); ++i) {
+    const LoopNode& l = loop(nest[i]);
+    if (l.tail_of == -1) continue;
+    for (std::size_t j = 0; j < nest.size(); ++j)
+      if (nest[j] == l.tail_of) is_tile_outer[j] = true;
+  }
+  std::int64_t total = 1;
+  for (std::size_t i = 0; i < nest.size(); ++i) {
+    const LoopNode& l = loop(nest[i]);
+    if (is_tile_outer[i]) continue;
+    total *= (l.tail_of != -1) ? l.orig_extent : l.iter.extent;
+  }
+  return total;
+}
+
+std::vector<AccessMatrix::Range> Program::access_index_ranges(int comp_id,
+                                                              const AccessMatrix& m) const {
+  const std::vector<int> nest = nest_of(comp_id);
+  const int depth = static_cast<int>(nest.size());
+  if (m.depth() != depth) throw std::invalid_argument("access_index_ranges: depth mismatch");
+
+  // Position of each tile-inner loop's outer partner within the nest, -1
+  // otherwise.
+  std::vector<int> outer_pos(nest.size(), -1);
+  for (std::size_t i = 0; i < nest.size(); ++i) {
+    const LoopNode& l = loop(nest[i]);
+    if (l.tail_of == -1) continue;
+    for (std::size_t j = 0; j < nest.size(); ++j)
+      if (nest[j] == l.tail_of) outer_pos[i] = static_cast<int>(j);
+  }
+
+  std::vector<AccessMatrix::Range> ranges(static_cast<std::size_t>(m.rank()));
+  for (int r = 0; r < m.rank(); ++r) {
+    std::int64_t lo = m.constant(r);
+    std::int64_t hi = m.constant(r);
+    std::vector<bool> consumed(nest.size(), false);
+    // First fold (outer, inner) tile pairs with the (v*s, v) pattern.
+    for (int i = 0; i < depth; ++i) {
+      const int o = outer_pos[static_cast<std::size_t>(i)];
+      if (o < 0) continue;
+      const LoopNode& inner = loop(nest[static_cast<std::size_t>(i)]);
+      const std::int64_t vi = m.at(r, i);
+      const std::int64_t vo = m.at(r, o);
+      if (vo != vi * inner.iter.extent) continue;  // not the canonical pattern
+      consumed[static_cast<std::size_t>(i)] = true;
+      consumed[static_cast<std::size_t>(o)] = true;
+      if (vi == 0) continue;
+      const std::int64_t span = inner.orig_extent - 1;
+      if (vi > 0) hi += vi * span;
+      else lo += vi * span;
+    }
+    // Remaining columns: plain interval arithmetic over [0, extent).
+    for (int c = 0; c < depth; ++c) {
+      if (consumed[static_cast<std::size_t>(c)]) continue;
+      const std::int64_t coef = m.at(r, c);
+      if (coef == 0) continue;
+      const std::int64_t span = loop(nest[static_cast<std::size_t>(c)]).iter.extent - 1;
+      if (coef > 0) hi += coef * span;
+      else lo += coef * span;
+    }
+    ranges[static_cast<std::size_t>(r)] = AccessMatrix::Range{lo, hi};
+  }
+  return ranges;
+}
+
+int Program::add_buffer(Buffer b) {
+  b.id = static_cast<int>(buffers.size());
+  buffers.push_back(std::move(b));
+  return buffers.back().id;
+}
+
+int Program::add_loop(LoopNode l) {
+  l.id = static_cast<int>(loops.size());
+  loops.push_back(std::move(l));
+  return loops.back().id;
+}
+
+int Program::add_computation(Computation c) {
+  c.id = static_cast<int>(comps.size());
+  comps.push_back(std::move(c));
+  return comps.back().id;
+}
+
+std::optional<std::string> Program::validate() const {
+  auto fail = [](const std::string& why) { return std::optional<std::string>(why); };
+
+  // ids are positional
+  for (std::size_t i = 0; i < loops.size(); ++i)
+    if (loops[i].id != static_cast<int>(i)) return fail("loop id mismatch at " + std::to_string(i));
+  for (std::size_t i = 0; i < comps.size(); ++i)
+    if (comps[i].id != static_cast<int>(i)) return fail("comp id mismatch at " + std::to_string(i));
+  for (std::size_t i = 0; i < buffers.size(); ++i)
+    if (buffers[i].id != static_cast<int>(i))
+      return fail("buffer id mismatch at " + std::to_string(i));
+
+  // tree well-formedness: every loop reachable exactly once, parent pointers
+  // consistent with body membership
+  std::vector<int> seen_loop(loops.size(), 0);
+  std::vector<int> seen_comp(comps.size(), 0);
+  std::function<std::optional<std::string>(int, int)> walk =
+      [&](int loop_id, int parent) -> std::optional<std::string> {
+    if (loop_id < 0 || loop_id >= static_cast<int>(loops.size()))
+      return fail("dangling loop id " + std::to_string(loop_id));
+    const LoopNode& l = loops[static_cast<std::size_t>(loop_id)];
+    if (++seen_loop[static_cast<std::size_t>(loop_id)] > 1)
+      return fail("loop " + l.iter.name + " reachable twice");
+    if (l.parent != parent) return fail("loop " + l.iter.name + " has wrong parent pointer");
+    if (l.iter.extent <= 0) return fail("loop " + l.iter.name + " has non-positive extent");
+    if (l.body.empty()) return fail("loop " + l.iter.name + " has empty body");
+    for (const BodyItem& item : l.body) {
+      if (item.kind == BodyItem::Kind::Loop) {
+        if (auto err = walk(item.index, loop_id)) return err;
+      } else {
+        if (item.index < 0 || item.index >= static_cast<int>(comps.size()))
+          return fail("dangling computation id");
+        if (++seen_comp[static_cast<std::size_t>(item.index)] > 1)
+          return fail("computation reachable twice");
+        if (comps[static_cast<std::size_t>(item.index)].loop_id != loop_id)
+          return fail("computation loop_id inconsistent");
+      }
+    }
+    return std::nullopt;
+  };
+  for (int r : roots)
+    if (auto err = walk(r, -1)) return err;
+  for (std::size_t i = 0; i < loops.size(); ++i)
+    if (!seen_loop[i]) return fail("orphan loop " + loops[i].iter.name);
+  for (std::size_t i = 0; i < comps.size(); ++i)
+    if (!seen_comp[i]) return fail("orphan computation " + comps[i].name);
+
+  // accesses: depth matches nest, buffer exists, indices in bounds
+  for (const Computation& c : comps) {
+    const std::vector<std::int64_t> ext = extents_of(c.id);
+    const int depth = static_cast<int>(ext.size());
+    auto check_access = [&](const BufferAccess& a, const char* what) -> std::optional<std::string> {
+      if (a.buffer_id < 0 || a.buffer_id >= static_cast<int>(buffers.size()))
+        return fail(c.name + ": " + what + " references missing buffer");
+      const Buffer& b = buffers[static_cast<std::size_t>(a.buffer_id)];
+      if (a.matrix.depth() != depth)
+        return fail(c.name + ": " + what + " depth " + std::to_string(a.matrix.depth()) +
+                    " != nest depth " + std::to_string(depth));
+      if (a.matrix.rank() != b.rank())
+        return fail(c.name + ": " + what + " rank != buffer rank for " + b.name);
+      const auto ranges = access_index_ranges(c.id, a.matrix);
+      for (int r = 0; r < a.matrix.rank(); ++r) {
+        if (ranges[static_cast<std::size_t>(r)].min < 0 ||
+            ranges[static_cast<std::size_t>(r)].max >= b.dims[static_cast<std::size_t>(r)])
+          return fail(c.name + ": " + what + " out of bounds in dim " + std::to_string(r) +
+                      " of " + b.name);
+      }
+      return std::nullopt;
+    };
+    if (auto err = check_access(c.store, "store")) return err;
+    if (buffers[static_cast<std::size_t>(c.store.buffer_id)].is_input)
+      return fail(c.name + ": stores to an input buffer");
+    for (const BufferAccess& a : c.rhs.loads())
+      if (auto err = check_access(a, "load")) return err;
+    if (!c.rhs.valid()) return fail(c.name + ": empty rhs");
+  }
+  return std::nullopt;
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  const std::vector<std::string> names = buffer_names();
+  std::function<void(int, int)> walk_loop = [&](int loop_id, int indent) {
+    const LoopNode& l = loop(loop_id);
+    os << std::string(static_cast<std::size_t>(indent) * 2, ' ');
+    if (l.parallel) os << "parallel ";
+    os << "for " << l.iter.name << " in 0.." << l.iter.extent;
+    if (l.tail_of != -1) os << " (tile-inner of " << loop(l.tail_of).iter.name << ")";
+    if (l.vector_width > 0) os << " vectorize(" << l.vector_width << ")";
+    if (l.unroll > 0) os << " unroll(" << l.unroll << ")";
+    os << ":\n";
+    for (const BodyItem& item : l.body) {
+      if (item.kind == BodyItem::Kind::Loop) {
+        walk_loop(item.index, indent + 1);
+      } else {
+        const Computation& c = comp(item.index);
+        os << std::string(static_cast<std::size_t>(indent + 1) * 2, ' ');
+        os << names[static_cast<std::size_t>(c.store.buffer_id)] << "[...]"
+           << (c.is_reduction ? " += " : " = ") << c.rhs.to_string(names) << ";  // " << c.name
+           << "\n";
+      }
+    }
+  };
+  os << "program " << name << ":\n";
+  for (int r : roots) walk_loop(r, 1);
+  return os.str();
+}
+
+std::vector<std::string> Program::buffer_names() const {
+  std::vector<std::string> names;
+  names.reserve(buffers.size());
+  for (const Buffer& b : buffers) names.push_back(b.name);
+  return names;
+}
+
+}  // namespace tcm::ir

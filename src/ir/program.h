@@ -1,0 +1,146 @@
+// The program representation: an ordered tree of loops whose leaves are
+// computations (Figure 1b of the paper).
+//
+// Conventions:
+//  - Loops are canonicalized to iterate over [0, extent); non-zero lower
+//    bounds are folded into the constant column of every access matrix by the
+//    builder. (The computation vector still records a lower bound feature,
+//    which is 0 after canonicalization.)
+//  - Every computation stores to its own buffer through an affine access whose
+//    depth equals the computation's loop-nest depth. Reductions accumulate
+//    (+=) and their store access omits the reduction iterators.
+//  - Schedule *annotations* (parallel / vectorize / unroll) live on LoopNode;
+//    structural transformations (tile / interchange / fuse) rewrite the tree.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/access.h"
+#include "ir/buffer.h"
+#include "ir/expr.h"
+
+namespace tcm::ir {
+
+// A canonical loop iterator: ranges over [0, extent).
+struct Iterator {
+  std::string name;
+  std::int64_t extent = 0;
+};
+
+// Leaf of the program tree: one assignment statement.
+struct Computation {
+  int id = -1;
+  std::string name;
+  BufferAccess store;        // left-hand side
+  Expr rhs;                  // right-hand side
+  bool is_reduction = false; // true: store += rhs, false: store = rhs
+
+  // Loop id of the innermost loop containing this computation (set by the
+  // Program when the tree is assembled).
+  int loop_id = -1;
+};
+
+// Reference to a child of a loop body, in textual order.
+struct BodyItem {
+  enum class Kind { Loop, Computation };
+  Kind kind = Kind::Loop;
+  int index = -1;  // loop id or computation id
+
+  static BodyItem loop(int id) { return {Kind::Loop, id}; }
+  static BodyItem computation(int id) { return {Kind::Computation, id}; }
+  bool operator==(const BodyItem&) const = default;
+};
+
+struct LoopNode {
+  int id = -1;
+  Iterator iter;
+  int parent = -1;              // parent loop id, -1 at top level
+  std::vector<BodyItem> body;   // ordered children
+
+  // --- tiling bookkeeping -------------------------------------------------
+  // When this loop is the *inner* loop produced by tiling, `tail_of` is the
+  // id of the matching outer tile loop and `orig_extent` the extent of the
+  // original (pre-tiling) loop. The effective trip count of the inner loop is
+  //   min(iter.extent, orig_extent - outer_index * iter.extent)
+  // which handles non-divisible tile sizes exactly.
+  int tail_of = -1;
+  std::int64_t orig_extent = 0;
+
+  // --- schedule annotations -------------------------------------------------
+  bool parallel = false;
+  int vector_width = 0;   // 0: not vectorized
+  int unroll = 0;         // 0: not unrolled
+
+  // --- featurization tags (transformations seen by this loop) ---------------
+  bool tag_interchanged = false;
+  bool tag_tiled = false;
+  std::int64_t tag_tile_factor = 0;
+  bool tag_fused = false;
+};
+
+class Program {
+ public:
+  std::string name;
+  std::vector<Buffer> buffers;
+  std::vector<LoopNode> loops;        // arena; LoopNode::id indexes here
+  std::vector<Computation> comps;     // arena; Computation::id indexes here
+  std::vector<int> roots;             // ordered top-level loop ids
+
+  // --- queries --------------------------------------------------------------
+
+  const Buffer& buffer(int id) const;
+  const LoopNode& loop(int id) const;
+  LoopNode& loop(int id);
+  const Computation& comp(int id) const;
+
+  // Loop ids surrounding a computation, outermost first.
+  std::vector<int> nest_of(int comp_id) const;
+
+  // Nest depth of a computation (== nest_of(comp).size()).
+  int depth_of(int comp_id) const;
+
+  // Extents of the loops around a computation, outermost first.
+  std::vector<std::int64_t> extents_of(int comp_id) const;
+
+  // Computation ids in textual (execution) order.
+  std::vector<int> comps_in_order() const;
+
+  // True iff iterator at position `level` of comp's nest is a reduction
+  // iterator (the store access does not depend on it).
+  bool is_reduction_level(int comp_id, int level) const;
+
+  // Total number of innermost iterations of a computation (product of
+  // effective extents). Tiling keeps this invariant.
+  std::int64_t iteration_count(int comp_id) const;
+
+  // Inclusive [min,max] ranges of each buffer index of an access made by
+  // `comp_id` through matrix `m`. Unlike AccessMatrix::index_ranges, this is
+  // exact in the presence of tile-tail loops: an (outer, inner) tile pair
+  // with coefficients (v*s, v) is treated as a single pre-tiling iterator of
+  // the original extent.
+  std::vector<AccessMatrix::Range> access_index_ranges(int comp_id,
+                                                       const AccessMatrix& m) const;
+
+  // --- structure edits (used by the builder & transform engine) -------------
+
+  int add_buffer(Buffer b);
+  int add_loop(LoopNode l);
+  int add_computation(Computation c);
+
+  // --- validation & printing -------------------------------------------------
+
+  // Checks structural invariants: ids consistent, tree well-formed, access
+  // depths match nest depths, all accesses within buffer bounds. Returns an
+  // explanation of the first violation, or nullopt if valid.
+  std::optional<std::string> validate() const;
+
+  // Pseudo-code rendering (Figure 1a style), with schedule annotations.
+  std::string to_string() const;
+
+  std::vector<std::string> buffer_names() const;
+};
+
+}  // namespace tcm::ir

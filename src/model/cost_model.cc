@@ -1,0 +1,148 @@
+#include "model/cost_model.h"
+
+#include <functional>
+#include <stdexcept>
+
+namespace tcm::model {
+namespace {
+
+std::vector<int> concat_sizes(int in, const std::vector<int>& hidden, int out) {
+  std::vector<int> sizes;
+  sizes.push_back(in);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(out);
+  return sizes;
+}
+
+}  // namespace
+
+std::vector<int> comps_in_tree_order(const LoopTreeNode& root) {
+  std::vector<int> order;
+  std::function<void(const LoopTreeNode&)> walk = [&](const LoopTreeNode& n) {
+    for (int c : n.comps) order.push_back(c);
+    for (const LoopTreeNode& child : n.children) walk(child);
+  };
+  walk(root);
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// CostModel
+// ---------------------------------------------------------------------------
+
+CostModel::CostModel(const ModelConfig& config, Rng& rng) : config_(config) {
+  const int f = config.features.computation_vector_size();
+  const int e = config.embed_size;
+  comp_embedding_ = std::make_unique<nn::MLP>(concat_sizes(f, config.embed_hidden, e),
+                                              config.dropout, rng, "comp_embed");
+  comps_lstm_ = std::make_unique<nn::LSTMCell>(e, e, rng, "comps_lstm");
+  loops_lstm_ = std::make_unique<nn::LSTMCell>(e, e, rng, "loops_lstm");
+  merge_ = std::make_unique<nn::MLP>(concat_sizes(2 * e, config.merge_hidden, e), config.dropout,
+                                     rng, "merge");
+  regression_ = std::make_unique<nn::MLP>(concat_sizes(e, config.regress_hidden, 1),
+                                          config.dropout, rng, "regression",
+                                          /*activate_last=*/false);
+  register_submodule("comp_embed", comp_embedding_.get());
+  register_submodule("comps_lstm", comps_lstm_.get());
+  register_submodule("loops_lstm", loops_lstm_.get());
+  register_submodule("merge", merge_.get());
+  register_submodule("regression", regression_.get());
+}
+
+nn::Variable CostModel::embed_node(const LoopTreeNode& node,
+                                   const std::vector<nn::Variable>& comp_embeds, int batch,
+                                   bool training, Rng& rng) const {
+  // First LSTM: computations nested directly at this level, in order.
+  nn::LSTMCell::State comp_state = comps_lstm_->initial_state(batch);
+  for (int ci : node.comps)
+    comp_state = comps_lstm_->forward(comp_embeds[static_cast<std::size_t>(ci)], comp_state);
+
+  // Second LSTM: child loop embeddings, in order.
+  nn::LSTMCell::State loop_state = loops_lstm_->initial_state(batch);
+  for (const LoopTreeNode& child : node.children)
+    loop_state =
+        loops_lstm_->forward(embed_node(child, comp_embeds, batch, training, rng), loop_state);
+
+  return merge_->forward(nn::concat_cols(comp_state.h, loop_state.h), training, rng);
+}
+
+nn::Variable CostModel::forward_batch(const Batch& batch, bool training, Rng& rng) {
+  if (!batch.tree) throw std::invalid_argument("CostModel: batch without tree");
+  std::vector<nn::Variable> comp_embeds;
+  comp_embeds.reserve(batch.comp_inputs.size());
+  for (const nn::Tensor& x : batch.comp_inputs)
+    comp_embeds.push_back(comp_embedding_->forward(nn::Variable(x), training, rng));
+  const nn::Variable program_embedding =
+      embed_node(*batch.tree, comp_embeds, batch.batch_size(), training, rng);
+  return nn::exp_bounded(regression_->forward(program_embedding, training, rng),
+                         config_.exp_head_limit);
+}
+
+// ---------------------------------------------------------------------------
+// LstmOnlyModel
+// ---------------------------------------------------------------------------
+
+LstmOnlyModel::LstmOnlyModel(const ModelConfig& config, Rng& rng) : config_(config) {
+  const int f = config.features.computation_vector_size();
+  const int e = config.embed_size;
+  comp_embedding_ = std::make_unique<nn::MLP>(concat_sizes(f, config.embed_hidden, e),
+                                              config.dropout, rng, "comp_embed");
+  lstm_ = std::make_unique<nn::LSTMCell>(e, e, rng, "lstm");
+  regression_ = std::make_unique<nn::MLP>(concat_sizes(e, config.regress_hidden, 1),
+                                          config.dropout, rng, "regression",
+                                          /*activate_last=*/false);
+  register_submodule("comp_embed", comp_embedding_.get());
+  register_submodule("lstm", lstm_.get());
+  register_submodule("regression", regression_.get());
+}
+
+nn::Variable LstmOnlyModel::forward_batch(const Batch& batch, bool training, Rng& rng) {
+  if (!batch.tree) throw std::invalid_argument("LstmOnlyModel: batch without tree");
+  nn::LSTMCell::State state = lstm_->initial_state(batch.batch_size());
+  for (int ci : comps_in_tree_order(*batch.tree)) {
+    const nn::Variable embed = comp_embedding_->forward(
+        nn::Variable(batch.comp_inputs[static_cast<std::size_t>(ci)]), training, rng);
+    state = lstm_->forward(embed, state);
+  }
+  return nn::exp_bounded(regression_->forward(state.h, training, rng), config_.exp_head_limit);
+}
+
+// ---------------------------------------------------------------------------
+// FeedForwardModel
+// ---------------------------------------------------------------------------
+
+FeedForwardModel::FeedForwardModel(const ModelConfig& config, Rng& rng) : config_(config) {
+  const int f = config.features.computation_vector_size();
+  const int e = config.embed_size;
+  comp_embedding_ = std::make_unique<nn::MLP>(concat_sizes(f, config.embed_hidden, e),
+                                              config.dropout, rng, "comp_embed");
+  regression_ = std::make_unique<nn::MLP>(
+      concat_sizes(e * config.ff_max_comps, config.regress_hidden, 1), config.dropout, rng,
+      "regression", /*activate_last=*/false);
+  register_submodule("comp_embed", comp_embedding_.get());
+  register_submodule("regression", regression_.get());
+}
+
+nn::Variable FeedForwardModel::forward_batch(const Batch& batch, bool training, Rng& rng) {
+  if (!batch.tree) throw std::invalid_argument("FeedForwardModel: batch without tree");
+  if (batch.num_comps() > config_.ff_max_comps)
+    throw std::invalid_argument("FeedForwardModel: program has " +
+                                std::to_string(batch.num_comps()) + " computations, supports <= " +
+                                std::to_string(config_.ff_max_comps));
+  nn::Variable concat;
+  const std::vector<int> order = comps_in_tree_order(*batch.tree);
+  for (int ci : order) {
+    const nn::Variable embed = comp_embedding_->forward(
+        nn::Variable(batch.comp_inputs[static_cast<std::size_t>(ci)]), training, rng);
+    concat = concat.defined() ? nn::concat_cols(concat, embed) : embed;
+  }
+  // Zero-pad to the fixed capacity.
+  const int missing = config_.ff_max_comps - static_cast<int>(order.size());
+  if (missing > 0) {
+    nn::Variable pad(nn::Tensor::zeros(batch.batch_size(), missing * config_.embed_size));
+    concat = concat.defined() ? nn::concat_cols(concat, pad) : pad;
+  }
+  return nn::exp_bounded(regression_->forward(concat, training, rng), config_.exp_head_limit);
+}
+
+}  // namespace tcm::model

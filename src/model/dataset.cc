@@ -1,0 +1,176 @@
+#include "model/dataset.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "support/rng.h"
+
+namespace tcm::model {
+namespace {
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& f) {
+  T v{};
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw std::runtime_error("Dataset::load: truncated file");
+  return v;
+}
+
+void write_tree(std::ofstream& f, const LoopTreeNode& n) {
+  write_pod(f, static_cast<std::uint32_t>(n.comps.size()));
+  for (int c : n.comps) write_pod(f, static_cast<std::int32_t>(c));
+  write_pod(f, static_cast<std::uint32_t>(n.children.size()));
+  for (const LoopTreeNode& c : n.children) write_tree(f, c);
+}
+
+LoopTreeNode read_tree(std::ifstream& f) {
+  LoopTreeNode n;
+  const auto ncomps = read_pod<std::uint32_t>(f);
+  n.comps.resize(ncomps);
+  for (auto& c : n.comps) c = read_pod<std::int32_t>(f);
+  const auto nchildren = read_pod<std::uint32_t>(f);
+  n.children.reserve(nchildren);
+  for (std::uint32_t i = 0; i < nchildren; ++i) n.children.push_back(read_tree(f));
+  return n;
+}
+
+}  // namespace
+
+DatasetSplit split_by_program(const Dataset& ds, double train_frac, double val_frac,
+                              std::uint64_t seed) {
+  const std::vector<DataPoint>& points = ds.points;
+  std::vector<int> program_ids;
+  for (const DataPoint& p : points)
+    if (std::find(program_ids.begin(), program_ids.end(), p.program_id) == program_ids.end())
+      program_ids.push_back(p.program_id);
+  Rng rng(seed);
+  rng.shuffle(program_ids);
+  const std::size_t n_train = static_cast<std::size_t>(train_frac * program_ids.size());
+  const std::size_t n_val = static_cast<std::size_t>(val_frac * program_ids.size());
+
+  std::map<int, int> bucket;  // 0 train, 1 val, 2 test
+  for (std::size_t i = 0; i < program_ids.size(); ++i)
+    bucket[program_ids[i]] = i < n_train ? 0 : (i < n_train + n_val ? 1 : 2);
+
+  DatasetSplit s;
+  for (const DataPoint& p : points) {
+    switch (bucket[p.program_id]) {
+      case 0: s.train.points.push_back(p); break;
+      case 1: s.validation.points.push_back(p); break;
+      default: s.test.points.push_back(p); break;
+    }
+  }
+  return s;
+}
+
+bool Dataset::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write("TCMD", 4);
+  write_pod(f, static_cast<std::uint32_t>(1));
+  write_pod(f, static_cast<std::uint64_t>(points.size()));
+  for (const DataPoint& p : points) {
+    write_pod(f, static_cast<std::int32_t>(p.program_id));
+    write_pod(f, p.speedup);
+    write_pod(f, static_cast<std::uint32_t>(p.feats.comp_vectors.size()));
+    for (const auto& v : p.feats.comp_vectors) {
+      write_pod(f, static_cast<std::uint32_t>(v.size()));
+      f.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+    }
+    write_tree(f, p.feats.root);
+  }
+  return static_cast<bool>(f);
+}
+
+Dataset Dataset::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("Dataset::load: cannot open " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::string(magic, 4) != "TCMD") throw std::runtime_error("Dataset::load: bad magic");
+  if (read_pod<std::uint32_t>(f) != 1) throw std::runtime_error("Dataset::load: bad version");
+  const auto count = read_pod<std::uint64_t>(f);
+  Dataset ds;
+  ds.points.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DataPoint p;
+    p.program_id = read_pod<std::int32_t>(f);
+    p.speedup = read_pod<double>(f);
+    const auto ncomps = read_pod<std::uint32_t>(f);
+    p.feats.comp_vectors.resize(ncomps);
+    for (auto& v : p.feats.comp_vectors) {
+      const auto len = read_pod<std::uint32_t>(f);
+      v.resize(len);
+      f.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(len * sizeof(float)));
+      if (!f) throw std::runtime_error("Dataset::load: truncated features");
+    }
+    p.feats.root = read_tree(f);
+    ds.points.push_back(std::move(p));
+  }
+  return ds;
+}
+
+std::vector<Batch> make_batches(const Dataset& ds, int batch_size) {
+  if (batch_size <= 0) throw std::invalid_argument("make_batches: batch_size must be positive");
+  // Group point indices by program id *and* tree structure: schedules of one
+  // program can differ in structure when their fusion decisions differ.
+  std::map<int, std::vector<std::vector<std::size_t>>> by_program;
+  for (std::size_t i = 0; i < ds.points.size(); ++i) {
+    auto& buckets = by_program[ds.points[i].program_id];
+    bool placed = false;
+    for (auto& bucket : buckets) {
+      if (ds.points[bucket.front()].feats.same_structure(ds.points[i].feats)) {
+        bucket.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) buckets.push_back({i});
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  for (auto& [pid, buckets] : by_program)
+    for (auto& bucket : buckets) groups.push_back(std::move(bucket));
+
+  std::vector<Batch> batches;
+  for (const auto& indices : groups) {
+    for (std::size_t start = 0; start < indices.size(); start += batch_size) {
+      const std::size_t end = std::min(indices.size(), start + batch_size);
+      const DataPoint& first = ds.points[indices[start]];
+      const int ncomps = static_cast<int>(first.feats.comp_vectors.size());
+      const int feat_size =
+          ncomps > 0 ? static_cast<int>(first.feats.comp_vectors.front().size()) : 0;
+      Batch b;
+      b.tree = &first.feats.root;
+      b.targets = nn::Tensor(static_cast<int>(end - start), 1);
+      for (int c = 0; c < ncomps; ++c)
+        b.comp_inputs.emplace_back(static_cast<int>(end - start), feat_size);
+      for (std::size_t k = start; k < end; ++k) {
+        const DataPoint& p = ds.points[indices[k]];
+        if (!p.feats.same_structure(first.feats))
+          throw std::logic_error("make_batches: mixed structures within one program id");
+        const int row = static_cast<int>(k - start);
+        b.targets.at(row, 0) = static_cast<float>(p.speedup);
+        for (int c = 0; c < ncomps; ++c) {
+          const auto& v = p.feats.comp_vectors[static_cast<std::size_t>(c)];
+          for (int j = 0; j < feat_size; ++j)
+            b.comp_inputs[static_cast<std::size_t>(c)].at(row, j) =
+                v[static_cast<std::size_t>(j)];
+        }
+        b.point_indices.push_back(indices[k]);
+      }
+      batches.push_back(std::move(b));
+    }
+  }
+  return batches;
+}
+
+}  // namespace tcm::model

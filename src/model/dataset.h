@@ -1,0 +1,56 @@
+// Dataset of (program characterization, measured speedup) samples and the
+// structure-aware batching the paper uses (appendix A.1: batches group
+// schedules of the same algorithm so every sample in a batch shares one tree
+// structure and can be processed as [batch, features] tensors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/featurize.h"
+#include "nn/tensor.h"
+
+namespace tcm::model {
+
+struct DataPoint {
+  int program_id = -1;
+  FeaturizedProgram feats;
+  double speedup = 1.0;  // measured (simulated) speedup: the regression target
+};
+
+struct Dataset {
+  std::vector<DataPoint> points;
+
+  std::size_t size() const { return points.size(); }
+
+  // Binary serialization.
+  bool save(const std::string& path) const;
+  static Dataset load(const std::string& path);
+};
+
+// A 60/20/20-style split. Programs are assigned to one side wholesale (the
+// paper splits by program so no algorithm appears in both train and test).
+struct DatasetSplit {
+  Dataset train, validation, test;
+};
+
+DatasetSplit split_by_program(const Dataset& ds, double train_frac, double val_frac,
+                              std::uint64_t seed);
+
+// A training batch: all samples share one tree structure.
+struct Batch {
+  const LoopTreeNode* tree = nullptr;          // shared structure
+  std::vector<nn::Tensor> comp_inputs;         // per computation: [B, F]
+  nn::Tensor targets;                          // [B, 1]
+  std::vector<std::size_t> point_indices;      // provenance into the dataset
+
+  int batch_size() const { return targets.rows(); }
+  int num_comps() const { return static_cast<int>(comp_inputs.size()); }
+};
+
+// Groups points by program id (and verifies structural equality), then cuts
+// each group into batches of at most `batch_size`.
+std::vector<Batch> make_batches(const Dataset& ds, int batch_size);
+
+}  // namespace tcm::model

@@ -1,0 +1,207 @@
+#include "model/featurize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "transforms/apply.h"
+
+namespace tcm::model {
+namespace {
+
+float xlog(bool log_transform, double v) {
+  if (!log_transform) return static_cast<float>(v);
+  const double s = v < 0 ? -1.0 : 1.0;
+  return static_cast<float>(s * std::log1p(std::abs(v)));
+}
+
+// Per-computation transformation tags, gathered from the schedule in
+// *original level coordinates* (fusion does not renumber levels and the
+// canonical order guarantees interchange/tile levels refer to the same
+// coordinates the featurizer sees).
+struct CompTags {
+  std::vector<bool> interchanged;
+  std::vector<bool> tiled;
+  std::vector<std::int64_t> tile_factor;
+  std::vector<bool> parallel;
+  bool unrolled = false;
+  std::int64_t unroll_factor = 0;
+  bool vectorized = false;
+  int vector_width = 0;
+};
+
+CompTags gather_tags(int comp_id, int depth, const transforms::Schedule& s) {
+  CompTags t;
+  t.interchanged.assign(static_cast<std::size_t>(depth), false);
+  t.tiled.assign(static_cast<std::size_t>(depth), false);
+  t.tile_factor.assign(static_cast<std::size_t>(depth), 0);
+  t.parallel.assign(static_cast<std::size_t>(depth), false);
+  auto in_range = [&](int l) { return l >= 0 && l < depth; };
+  for (const auto& i : s.interchanges) {
+    if (i.comp != comp_id) continue;
+    if (in_range(i.level_a)) t.interchanged[static_cast<std::size_t>(i.level_a)] = true;
+    if (in_range(i.level_b)) t.interchanged[static_cast<std::size_t>(i.level_b)] = true;
+  }
+  for (const auto& ti : s.tiles) {
+    if (ti.comp != comp_id) continue;
+    for (std::size_t k = 0; k < ti.sizes.size(); ++k) {
+      const int l = ti.level + static_cast<int>(k);
+      if (!in_range(l)) continue;
+      t.tiled[static_cast<std::size_t>(l)] = true;
+      t.tile_factor[static_cast<std::size_t>(l)] = ti.sizes[k];
+    }
+  }
+  for (const auto& u : s.unrolls) {
+    if (u.comp != comp_id) continue;
+    t.unrolled = true;
+    t.unroll_factor = u.factor;
+  }
+  for (const auto& p : s.parallels) {
+    if (p.comp != comp_id) continue;
+    if (in_range(p.level)) t.parallel[static_cast<std::size_t>(p.level)] = true;
+  }
+  for (const auto& v : s.vectorizes) {
+    if (v.comp != comp_id) continue;
+    t.vectorized = true;
+    t.vector_width = v.width;
+  }
+  return t;
+}
+
+}  // namespace
+
+int LoopTreeNode::node_count() const {
+  int n = 1;
+  for (const LoopTreeNode& c : children) n += c.node_count();
+  return n;
+}
+
+std::optional<FeaturizedProgram> featurize(const ir::Program& program,
+                                           const transforms::Schedule& schedule,
+                                           const FeatureConfig& config, std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<FeaturizedProgram> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+
+  // Apply only the fusion part: the tree structure the model sees is the
+  // original structure with fusions performed (Section 4.1).
+  transforms::Schedule fusion_only;
+  fusion_only.fusions = schedule.fusions;
+  transforms::ApplyResult fused = transforms::try_apply_schedule(program, fusion_only);
+  if (!fused.ok) return fail("featurize: fusion not applicable: " + fused.error);
+  const ir::Program& fp = fused.program;
+
+  FeaturizedProgram out;
+  out.comp_vectors.resize(fp.comps.size());
+
+  // Tags per computation come from the schedule; access matrices and op
+  // counts come from the fused program (identical to the original: fusion
+  // does not rewrite accesses).
+  for (const ir::Computation& c : fp.comps) {
+    const std::vector<int> nest = fp.nest_of(c.id);
+    const int depth = static_cast<int>(nest.size());
+    if (depth > config.max_depth)
+      return fail("featurize: " + c.name + " exceeds max_depth " +
+                  std::to_string(config.max_depth));
+    const auto loads = c.rhs.loads();
+    if (static_cast<int>(loads.size()) > config.max_accesses)
+      return fail("featurize: " + c.name + " exceeds max_accesses " +
+                  std::to_string(config.max_accesses));
+    const ir::Buffer& store_buf = fp.buffer(c.store.buffer_id);
+    if (store_buf.rank() > config.max_rank)
+      return fail("featurize: " + c.name + " store rank exceeds max_rank");
+    for (const ir::BufferAccess& a : loads)
+      if (a.matrix.rank() > config.max_rank)
+        return fail("featurize: " + c.name + " access rank exceeds max_rank");
+
+    const CompTags tags = gather_tags(c.id, depth, schedule);
+    std::vector<float>& v = out.comp_vectors[static_cast<std::size_t>(c.id)];
+    v.reserve(static_cast<std::size_t>(config.computation_vector_size()));
+    const bool lt = config.log_transform;
+
+    // --- loop nest vector ---------------------------------------------------
+    for (int l = 0; l < config.max_depth; ++l) {
+      if (l < depth) {
+        const ir::LoopNode& loop = fp.loop(nest[static_cast<std::size_t>(l)]);
+        const bool fused_tag = loop.tag_fused;
+        v.push_back(xlog(lt, static_cast<double>(loop.iter.extent)));  // upper bound
+        v.push_back(0.0f);                                             // lower bound (canonical)
+        v.push_back(fp.is_reduction_level(c.id, l) ? 1.0f : 0.0f);
+        v.push_back(fused_tag ? 1.0f : 0.0f);
+        v.push_back(tags.interchanged[static_cast<std::size_t>(l)] ? 1.0f : 0.0f);
+        v.push_back(tags.tiled[static_cast<std::size_t>(l)] ? 1.0f : 0.0f);
+        v.push_back(xlog(lt, static_cast<double>(tags.tile_factor[static_cast<std::size_t>(l)])));
+        const bool innermost = (l == depth - 1);
+        v.push_back(innermost && tags.unrolled ? 1.0f : 0.0f);
+        v.push_back(innermost ? xlog(lt, static_cast<double>(tags.unroll_factor)) : 0.0f);
+        if (config.include_par_vec_tags) {
+          v.push_back(tags.parallel[static_cast<std::size_t>(l)] ? 1.0f : 0.0f);
+          v.push_back(innermost && tags.vectorized ? 1.0f : 0.0f);
+          v.push_back(innermost ? xlog(lt, static_cast<double>(tags.vector_width)) : 0.0f);
+        } else {
+          v.push_back(0.0f);
+          v.push_back(0.0f);
+          v.push_back(0.0f);
+        }
+      } else {
+        for (int k = 0; k < FeatureConfig::kPerLoop; ++k) v.push_back(0.0f);
+      }
+    }
+
+    // --- assignment vector: left-hand side -----------------------------------
+    v.push_back(xlog(lt, static_cast<double>(store_buf.rank())));
+    for (int r = 0; r < config.max_rank; ++r)
+      v.push_back(r < store_buf.rank()
+                      ? xlog(lt, static_cast<double>(store_buf.dims[static_cast<std::size_t>(r)]))
+                      : 0.0f);
+
+    // --- assignment vector: memory accesses ----------------------------------
+    for (int a = 0; a < config.max_accesses; ++a) {
+      if (a < static_cast<int>(loads.size())) {
+        const ir::BufferAccess& acc = loads[static_cast<std::size_t>(a)];
+        v.push_back(1.0f);  // present
+        v.push_back(xlog(lt, static_cast<double>(acc.buffer_id)));
+        for (int r = 0; r < config.max_rank; ++r) {
+          for (int col = 0; col <= config.max_depth; ++col) {
+            // The constant column sits at index `depth` of the real matrix
+            // but at `max_depth` of the padded layout.
+            float feat = 0.0f;
+            if (r < acc.matrix.rank()) {
+              if (col < depth) feat = xlog(lt, static_cast<double>(acc.matrix.at(r, col)));
+              else if (col == config.max_depth)
+                feat = xlog(lt, static_cast<double>(acc.matrix.constant(r)));
+            }
+            v.push_back(feat);
+          }
+        }
+      } else {
+        for (int k = 0; k < config.per_access(); ++k) v.push_back(0.0f);
+      }
+    }
+
+    // --- operation counts -----------------------------------------------------
+    const ir::OpCounts ops = c.rhs.op_counts();
+    v.push_back(xlog(lt, ops.adds));
+    v.push_back(xlog(lt, ops.muls));
+    v.push_back(xlog(lt, ops.subs));
+    v.push_back(xlog(lt, ops.divs));
+
+    if (static_cast<int>(v.size()) != config.computation_vector_size())
+      return fail("featurize: internal size mismatch");
+  }
+
+  // --- tree structure ---------------------------------------------------------
+  std::function<LoopTreeNode(int)> build = [&](int loop_id) {
+    LoopTreeNode node;
+    for (const ir::BodyItem& item : fp.loop(loop_id).body) {
+      if (item.kind == ir::BodyItem::Kind::Loop) node.children.push_back(build(item.index));
+      else node.comps.push_back(item.index);
+    }
+    return node;
+  };
+  for (int r : fp.roots) out.root.children.push_back(build(r));
+  return out;
+}
+
+}  // namespace tcm::model

@@ -1,0 +1,99 @@
+// Program characterization (Section 4.1-4.2 of the paper).
+//
+// A (program, schedule) pair is characterized as an ordered tree of
+// computation vectors:
+//   - tree structure: the program's loop nest tree with *fusion applied*
+//     (the paper applies structure-changing transformations to the structure
+//     representation and encodes everything else as per-loop tags);
+//   - one computation vector per computation, containing
+//       * the loop nest vector: per loop level, its bounds plus boolean tags
+//         and parameters of the transformations applied to that level
+//         (reduction, fusion, interchange, tiling + factor, unrolling +
+//         factor, parallelization, vectorization + width),
+//       * the assignment vector: the access matrix and buffer id of each
+//         memory access (zero-padded to a fixed count), the store buffer's
+//         rank and dimension sizes, and the operation counts.
+// Non-boolean features are signed-log transformed: sign(x) * log1p(|x|).
+//
+// Deviation from the paper, documented in DESIGN.md: we include
+// parallelization/vectorization tags in the loop nest vector because our
+// schedules vary them (the paper fixes them with heuristics outside the
+// learned model).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "transforms/schedule.h"
+
+namespace tcm::model {
+
+struct FeatureConfig {
+  int max_depth = 7;     // n: maximum loop nest length
+  int max_accesses = 9;  // m: maximum number of RHS memory accesses
+  int max_rank = 4;      // R: maximum buffer rank
+  bool log_transform = true;
+  bool include_par_vec_tags = true;
+
+  // Features per loop level: extent, lower bound, reduction, fused,
+  // interchanged, tiled, tile factor, unrolled, unroll factor, parallel,
+  // vectorized, vector width.
+  static constexpr int kPerLoop = 12;
+
+  // Features per access: present flag, buffer id, access matrix R x (n+1).
+  int per_access() const { return 2 + max_rank * (max_depth + 1); }
+
+  // Total size of one computation vector.
+  int computation_vector_size() const {
+    return kPerLoop * max_depth           // loop nest vector
+           + 1 + max_rank                 // store rank + store dim sizes
+           + max_accesses * per_access()  // assignment vector
+           + 4;                           // op counts
+  }
+
+  // The paper's dimensions (n=7, m=21, buffers up to rank 5).
+  static FeatureConfig paper() {
+    FeatureConfig c;
+    c.max_depth = 7;
+    c.max_accesses = 21;
+    c.max_rank = 5;
+    return c;
+  }
+
+  // Smaller vectors for fast experimentation; still covers the whole
+  // benchmark suite.
+  static FeatureConfig fast() { return FeatureConfig{}; }
+};
+
+// The structure component: a loop tree whose leaves reference computations.
+struct LoopTreeNode {
+  std::vector<LoopTreeNode> children;
+  std::vector<int> comps;  // computation vector indices nested directly here
+
+  bool operator==(const LoopTreeNode&) const = default;
+  // Number of loop nodes in this subtree (excluding the virtual root use).
+  int node_count() const;
+};
+
+struct FeaturizedProgram {
+  // One vector per computation, in execution order of the fused structure.
+  std::vector<std::vector<float>> comp_vectors;
+  // Virtual root: children are the program's top-level nests.
+  LoopTreeNode root;
+
+  bool same_structure(const FeaturizedProgram& o) const {
+    return comp_vectors.size() == o.comp_vectors.size() && root == o.root;
+  }
+};
+
+// Featurizes `schedule` applied to `program`. Returns nullopt (with `error`
+// set) when the program exceeds the configured limits or the schedule's
+// fusion part is illegal.
+std::optional<FeaturizedProgram> featurize(const ir::Program& program,
+                                           const transforms::Schedule& schedule,
+                                           const FeatureConfig& config,
+                                           std::string* error = nullptr);
+
+}  // namespace tcm::model

@@ -1,0 +1,94 @@
+#include "model/train.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/optim.h"
+#include "support/log.h"
+#include "support/stats.h"
+
+namespace tcm::model {
+
+TrainResult train_model(SpeedupPredictor& model, const Dataset& train, const Dataset* validation,
+                        const TrainOptions& options) {
+  if (train.points.empty()) throw std::invalid_argument("train_model: empty training set");
+  std::vector<Batch> batches = make_batches(train, options.batch_size);
+  Rng rng(options.seed);
+
+  nn::AdamWOptions opt_options;
+  opt_options.weight_decay = options.weight_decay;
+  opt_options.max_grad_norm = options.max_grad_norm;
+  nn::AdamW optimizer(model.module().parameters(), opt_options);
+  const std::int64_t total_steps =
+      static_cast<std::int64_t>(options.epochs) * static_cast<std::int64_t>(batches.size());
+  nn::OneCycleLR schedule(&optimizer, options.max_lr, std::max<std::int64_t>(1, total_steps),
+                          options.pct_start);
+
+  TrainResult result;
+  std::vector<std::size_t> order(batches.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0;
+    for (std::size_t bi : order) {
+      const Batch& batch = batches[bi];
+      optimizer.zero_grad();
+      nn::Variable pred = model.forward_batch(batch, /*training=*/true, rng);
+      nn::Variable loss = options.loss == TrainLoss::kMape
+                              ? nn::mape_loss(pred, batch.targets)
+                              : nn::log_ratio_loss(pred, batch.targets);
+      nn::backward(loss);
+      optimizer.step();
+      schedule.step();
+      loss_sum += static_cast<double>(loss.value().item());
+    }
+    result.train_loss.push_back(loss_sum / static_cast<double>(batches.size()));
+    if (validation) {
+      const EvalMetrics m = evaluate(model, *validation);
+      result.val_mape.push_back(m.mape);
+    }
+    if (options.verbose &&
+        (epoch % options.log_every == 0 || epoch + 1 == options.epochs)) {
+      auto line = log_info();
+      line << model.name() << " epoch " << epoch << " train MAPE " << result.train_loss.back();
+      if (validation) line << " val MAPE " << result.val_mape.back();
+    }
+  }
+  return result;
+}
+
+std::vector<double> predict(SpeedupPredictor& model, const Dataset& ds, int batch_size) {
+  std::vector<double> out(ds.points.size(), 0.0);
+  if (ds.points.empty()) return out;
+  Rng rng(0);  // dropout disabled in eval; rng unused but required by API
+  for (const Batch& batch : make_batches(ds, batch_size)) {
+    const nn::Variable pred = model.forward_batch(batch, /*training=*/false, rng);
+    for (int r = 0; r < pred.rows(); ++r)
+      out[batch.point_indices[static_cast<std::size_t>(r)]] =
+          static_cast<double>(pred.value().at(r, 0));
+  }
+  return out;
+}
+
+EvalMetrics compute_metrics(const std::vector<double>& predictions, const Dataset& ds) {
+  if (predictions.size() != ds.points.size())
+    throw std::invalid_argument("compute_metrics: size mismatch");
+  std::vector<double> y(ds.points.size());
+  for (std::size_t i = 0; i < ds.points.size(); ++i) y[i] = ds.points[i].speedup;
+  EvalMetrics m;
+  m.n = ds.points.size();
+  if (m.n == 0) return m;
+  m.mape = mape(y, predictions);
+  m.pearson = pearson(y, predictions);
+  m.spearman = spearman(y, predictions);
+  m.r2 = r_squared(y, predictions);
+  m.mse = mse(y, predictions);
+  return m;
+}
+
+EvalMetrics evaluate(SpeedupPredictor& model, const Dataset& ds) {
+  return compute_metrics(predict(model, ds), ds);
+}
+
+}  // namespace tcm::model

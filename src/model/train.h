@@ -1,0 +1,60 @@
+// Training and evaluation of speedup predictors, using the paper's recipe:
+// MAPE loss, AdamW (weight decay 0.0075), One Cycle learning-rate schedule,
+// structure-grouped batches of 32.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/dataset.h"
+
+namespace tcm::model {
+
+enum class TrainLoss {
+  kMape,      // the paper's loss; gradients scale as 1/y
+  kLogRatio,  // |log(pred/y)|: equivalent near convergence, better conditioned
+};
+
+struct TrainOptions {
+  int epochs = 60;
+  int batch_size = 32;        // the paper's batch size
+  double max_lr = 1e-3;       // the paper's One Cycle peak
+  double weight_decay = 0.0075;
+  double pct_start = 0.3;
+  double max_grad_norm = 0.0;  // 0 disables clipping (clipping measurably slows
+                               // convergence of this model; see EXPERIMENTS.md)
+  TrainLoss loss = TrainLoss::kLogRatio;
+  std::uint64_t seed = 1234;
+  bool verbose = false;
+  int log_every = 10;         // epochs between progress lines when verbose
+};
+
+struct EvalMetrics {
+  double mape = 0;
+  double pearson = 0;
+  double spearman = 0;
+  double r2 = 0;
+  double mse = 0;
+  std::size_t n = 0;
+};
+
+struct TrainResult {
+  std::vector<double> train_loss;  // mean batch loss per epoch
+  std::vector<double> val_mape;    // empty when no validation set given
+};
+
+// Trains in place. `validation` may be null.
+TrainResult train_model(SpeedupPredictor& model, const Dataset& train, const Dataset* validation,
+                        const TrainOptions& options);
+
+// Model predictions for every point, in dataset order.
+std::vector<double> predict(SpeedupPredictor& model, const Dataset& ds, int batch_size = 64);
+
+// MAPE / Pearson / Spearman / R^2 / MSE of the model on a dataset.
+EvalMetrics evaluate(SpeedupPredictor& model, const Dataset& ds);
+
+// Metrics between externally computed predictions and the dataset targets.
+EvalMetrics compute_metrics(const std::vector<double>& predictions, const Dataset& ds);
+
+}  // namespace tcm::model

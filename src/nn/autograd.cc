@@ -1,0 +1,106 @@
+#include "nn/autograd.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace tcm::nn {
+
+void VarNode::accumulate(const Tensor& g) {
+  if (!grad_ready) {
+    grad = Tensor::zeros(value.rows(), value.cols());
+    grad_ready = true;
+  }
+  grad.add_(g);
+}
+
+Variable::Variable(Tensor value) {
+  node_ = std::make_shared<VarNode>();
+  node_->value = std::move(value);
+}
+
+Variable Variable::leaf(Tensor value) {
+  Variable v(std::move(value));
+  v.node_->requires_grad = true;
+  v.node_->is_leaf = true;
+  return v;
+}
+
+Variable Variable::op_result(Tensor value, std::vector<Variable> parents,
+                             std::function<void(const Tensor&)> backward_fn) {
+  Variable v(std::move(value));
+  bool needs_grad = false;
+  for (const Variable& p : parents) {
+    if (!p.defined()) throw std::invalid_argument("op_result: undefined parent");
+    needs_grad = needs_grad || p.node_->requires_grad;
+    v.node_->parents.push_back(p.node_);
+  }
+  if (needs_grad) {
+    v.node_->requires_grad = true;
+    v.node_->backward_fn = std::move(backward_fn);
+  }
+  return v;
+}
+
+const Tensor& Variable::value() const {
+  if (!node_) throw std::logic_error("Variable::value on empty variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  if (!node_) throw std::logic_error("Variable::mutable_value on empty variable");
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  if (!node_ || !node_->grad_ready)
+    throw std::logic_error("Variable::grad: no gradient accumulated");
+  return node_->grad;
+}
+
+void Variable::zero_grad() {
+  if (!node_) return;
+  node_->grad_ready = false;
+  node_->grad = Tensor();
+}
+
+void backward(const Variable& root) {
+  if (!root.defined()) throw std::invalid_argument("backward: empty root");
+  if (root.rows() != 1 || root.cols() != 1)
+    throw std::invalid_argument("backward: root must be scalar");
+  if (!root.requires_grad()) return;
+
+  // Iterative post-order topological sort over requires_grad nodes.
+  std::vector<VarNode*> order;
+  std::unordered_set<VarNode*> visited;
+  std::vector<std::pair<VarNode*, std::size_t>> stack;
+  stack.emplace_back(root.node().get(), 0);
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      VarNode* parent = node->parents[child].get();
+      ++child;
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  root.node()->accumulate(Tensor::ones(1, 1));
+  // Reverse topological order: root last in `order`, so walk backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VarNode* node = *it;
+    if (node->backward_fn && node->grad_ready) node->backward_fn(node->grad);
+    // Free interior gradients eagerly; leaves keep theirs for the optimizer.
+    if (!node->is_leaf) {
+      node->grad = Tensor();
+      node->grad_ready = false;
+    }
+  }
+}
+
+}  // namespace tcm::nn

@@ -1,0 +1,64 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// Variables wrap a Tensor plus an optional graph node recording how the
+// value was produced. The graph is dynamic: the recursive loop-embedding
+// layer of the cost model builds a different graph per program tree, exactly
+// like the PyTorch implementation the paper describes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace tcm::nn {
+
+struct VarNode {
+  Tensor value;
+  Tensor grad;             // allocated lazily on first accumulation
+  bool grad_ready = false;
+  bool requires_grad = false;
+  bool is_leaf = false;    // true for parameters (grad kept after backward)
+  std::vector<std::shared_ptr<VarNode>> parents;
+  // Propagates `grad_out` (d loss / d value) into the parents' grads.
+  std::function<void(const Tensor& grad_out)> backward_fn;
+
+  // Adds g into this node's grad buffer.
+  void accumulate(const Tensor& g);
+};
+
+class Variable {
+ public:
+  Variable() = default;
+  // Constant (no gradient tracking).
+  explicit Variable(Tensor value);
+  // Leaf with gradient tracking (parameters / inputs under test).
+  static Variable leaf(Tensor value);
+  // Interior node produced by an op.
+  static Variable op_result(Tensor value, std::vector<Variable> parents,
+                            std::function<void(const Tensor&)> backward_fn);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();  // used by optimizers updating parameters in place
+  const Tensor& grad() const;
+  bool has_grad() const { return node_ && node_->grad_ready; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  void zero_grad();
+
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  std::shared_ptr<VarNode> node() const { return node_; }
+
+ private:
+  std::shared_ptr<VarNode> node_;
+};
+
+// Runs reverse-mode differentiation from a scalar root ([1,1] value):
+// topologically orders the reachable graph and invokes backward functions.
+// Gradients accumulate into every requires_grad node reachable from root.
+void backward(const Variable& root);
+
+}  // namespace tcm::nn

@@ -1,0 +1,43 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+namespace tcm::nn {
+
+GradCheckResult grad_check(const std::function<Variable(std::vector<Variable>&)>& f,
+                           std::vector<Variable>& leaves, double epsilon, double tolerance) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  for (Variable& leaf : leaves) leaf.zero_grad();
+  Variable loss = f(leaves);
+  backward(loss);
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (Variable& leaf : leaves)
+    analytic.push_back(leaf.has_grad() ? leaf.grad()
+                                       : Tensor::zeros(leaf.rows(), leaf.cols()));
+
+  // Central differences.
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    Tensor& value = leaves[li].mutable_value();
+    for (std::size_t k = 0; k < value.size(); ++k) {
+      const float saved = value.data()[k];
+      value.data()[k] = static_cast<float>(saved + epsilon);
+      const double plus = static_cast<double>(f(leaves).value().item());
+      value.data()[k] = static_cast<float>(saved - epsilon);
+      const double minus = static_cast<double>(f(leaves).value().item());
+      value.data()[k] = saved;
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double a = static_cast<double>(analytic[li].data()[k]);
+      const double abs_err = std::abs(a - numeric);
+      const double rel_err = abs_err / std::max({1.0, std::abs(a), std::abs(numeric)});
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+    }
+  }
+  result.ok = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace tcm::nn

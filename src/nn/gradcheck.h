@@ -1,0 +1,24 @@
+// Numerical gradient checking: compares analytic gradients against central
+// finite differences. Used by the test suite on every op and module.
+#pragma once
+
+#include <functional>
+
+#include "nn/autograd.h"
+
+namespace tcm::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok = false;
+};
+
+// `f` maps the leaf variables to a scalar Variable (a fresh graph must be
+// built on every call because leaf values are perturbed between calls).
+// Checks d f / d leaf for every element of every leaf.
+GradCheckResult grad_check(const std::function<Variable(std::vector<Variable>&)>& f,
+                           std::vector<Variable>& leaves, double epsilon = 1e-3,
+                           double tolerance = 5e-2);
+
+}  // namespace tcm::nn

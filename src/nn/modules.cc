@@ -1,0 +1,116 @@
+#include "nn/modules.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tcm::nn {
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  for (Parameter& p : own_) out.push_back(&p);
+  for (auto& [prefix, m] : submodules_) {
+    for (Parameter* p : m->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Module::parameter_count() {
+  std::size_t n = 0;
+  for (Parameter* p : parameters()) n += p->var.value().size();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->var.zero_grad();
+}
+
+Parameter* Module::register_parameter(std::string name, Tensor init) {
+  // own_ must not reallocate after handing out pointers: modules register all
+  // parameters in their constructor, so reserve defensively.
+  own_.reserve(8);
+  if (own_.size() == own_.capacity())
+    throw std::logic_error("Module: too many parameters registered");
+  own_.push_back(Parameter{std::move(name), Variable::leaf(std::move(init))});
+  return &own_.back();
+}
+
+void Module::register_submodule(const std::string& prefix, Module* m) {
+  submodules_.emplace_back(prefix, m);
+}
+
+Tensor glorot_uniform(int fan_in, int fan_out, Rng& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  Tensor t(fan_in, fan_out);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t.data()[i] = static_cast<float>(rng.uniform_real(-limit, limit));
+  return t;
+}
+
+Linear::Linear(int in, int out, Rng& rng, std::string name) : in_(in), out_(out) {
+  w_ = register_parameter(name + ".w", glorot_uniform(in, out, rng));
+  b_ = register_parameter(name + ".b", Tensor::zeros(1, out));
+}
+
+Variable Linear::forward(const Variable& x) const {
+  if (x.cols() != in_)
+    throw std::invalid_argument("Linear: input width " + std::to_string(x.cols()) +
+                                " != " + std::to_string(in_));
+  return add(matmul(x, w_->var), b_->var);
+}
+
+MLP::MLP(std::vector<int> sizes, float dropout_p, Rng& rng, std::string name, bool activate_last)
+    : dropout_p_(dropout_p), activate_last_(activate_last) {
+  if (sizes.size() < 2) throw std::invalid_argument("MLP: need at least in/out sizes");
+  layers_.reserve(sizes.size() - 1);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<Linear>(sizes[i], sizes[i + 1], rng, name + ".l" + std::to_string(i)));
+    register_submodule(name + ".l" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Variable MLP::forward(const Variable& x, bool training, Rng& rng) const {
+  Variable h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    const bool last = (i + 1 == layers_.size());
+    if (!last || activate_last_) {
+      h = elu(h);
+      if (dropout_p_ > 0.0f) h = dropout(h, dropout_p_, training, rng);
+    }
+  }
+  return h;
+}
+
+int MLP::in_features() const { return layers_.front()->in_features(); }
+int MLP::out_features() const { return layers_.back()->out_features(); }
+
+LSTMCell::LSTMCell(int input_size, int hidden_size, Rng& rng, std::string name)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = register_parameter(name + ".w_ih", glorot_uniform(input_size, 4 * hidden_size, rng));
+  w_hh_ = register_parameter(name + ".w_hh", glorot_uniform(hidden_size, 4 * hidden_size, rng));
+  Tensor bias = Tensor::zeros(1, 4 * hidden_size);
+  // Forget-gate bias of 1: standard trick for stable early training.
+  for (int c = hidden_size; c < 2 * hidden_size; ++c) bias.at(0, c) = 1.0f;
+  b_ = register_parameter(name + ".b", std::move(bias));
+}
+
+LSTMCell::State LSTMCell::initial_state(int batch) const {
+  return State{Variable(Tensor::zeros(batch, hidden_size_)),
+               Variable(Tensor::zeros(batch, hidden_size_))};
+}
+
+LSTMCell::State LSTMCell::forward(const Variable& x, const State& state) const {
+  if (x.cols() != input_size_) throw std::invalid_argument("LSTMCell: input width mismatch");
+  const int h = hidden_size_;
+  Variable gates = add(add(matmul(x, w_ih_->var), matmul(state.h, w_hh_->var)), b_->var);
+  const Variable i = sigmoid(slice_cols(gates, 0, h));
+  const Variable f = sigmoid(slice_cols(gates, h, 2 * h));
+  const Variable g = tanh_op(slice_cols(gates, 2 * h, 3 * h));
+  const Variable o = sigmoid(slice_cols(gates, 3 * h, 4 * h));
+  const Variable c_next = add(mul(f, state.c), mul(i, g));
+  const Variable h_next = mul(o, tanh_op(c_next));
+  return State{h_next, c_next};
+}
+
+}  // namespace tcm::nn

@@ -1,0 +1,112 @@
+// Neural-network modules: parameter containers plus forward functions.
+//
+// Matches the building blocks of the paper's model (appendix A.1): fully
+// connected layers with ELU + dropout, and LSTM cells.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/ops.h"
+#include "support/rng.h"
+
+namespace tcm::nn {
+
+// A named trainable parameter.
+struct Parameter {
+  std::string name;
+  Variable var;
+};
+
+// Base class collecting parameters for optimizers and serialization.
+// Modules are pinned in memory once constructed (registration hands out
+// stable pointers), hence neither copyable nor movable.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module(Module&&) = delete;
+  Module& operator=(Module&&) = delete;
+  virtual ~Module() = default;
+
+  // All trainable parameters, in a stable order.
+  std::vector<Parameter*> parameters();
+
+  // Total number of trainable scalars.
+  std::size_t parameter_count();
+
+  void zero_grad();
+
+ protected:
+  Parameter* register_parameter(std::string name, Tensor init);
+  void register_submodule(const std::string& prefix, Module* m);
+
+ private:
+  std::vector<Parameter> own_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+};
+
+// Glorot (Xavier) uniform initialization, as used by the paper.
+Tensor glorot_uniform(int fan_in, int fan_out, Rng& rng);
+
+// y = x W + b with W [in, out].
+class Linear : public Module {
+ public:
+  Linear(int in, int out, Rng& rng, std::string name = "linear");
+  Variable forward(const Variable& x) const;
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+ private:
+  int in_, out_;
+  Parameter* w_;
+  Parameter* b_;
+};
+
+// Multi-layer perceptron with ELU + dropout after every layer except
+// (optionally) the last. Layer sizes include input and output:
+// {in, h1, ..., out}.
+class MLP : public Module {
+ public:
+  MLP(std::vector<int> sizes, float dropout_p, Rng& rng, std::string name = "mlp",
+      bool activate_last = true);
+  // `training` enables dropout; `rng` drives the dropout masks.
+  Variable forward(const Variable& x, bool training, Rng& rng) const;
+
+  int in_features() const;
+  int out_features() const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  float dropout_p_;
+  bool activate_last_;
+};
+
+// Standard LSTM cell (Hochreiter & Schmidhuber), gate order [i, f, g, o].
+class LSTMCell : public Module {
+ public:
+  LSTMCell(int input_size, int hidden_size, Rng& rng, std::string name = "lstm");
+
+  struct State {
+    Variable h;  // [B, H]
+    Variable c;  // [B, H]
+  };
+
+  // Zero-initialized state for a batch.
+  State initial_state(int batch) const;
+
+  State forward(const Variable& x, const State& state) const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_, hidden_size_;
+  Parameter* w_ih_;  // [In, 4H]
+  Parameter* w_hh_;  // [H, 4H]
+  Parameter* b_;     // [1, 4H]
+};
+
+}  // namespace tcm::nn

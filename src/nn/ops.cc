@@ -1,0 +1,294 @@
+#include "nn/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tcm::nn {
+namespace {
+
+void check_same_shape(const Variable& a, const Variable& b, const char* op) {
+  if (!a.value().same_shape(b.value()))
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.value().shape_string() + " vs " + b.value().shape_string());
+}
+
+// Elementwise unary op helper: forward f, backward df (as function of input
+// value x and output value y).
+template <typename F, typename DF>
+Variable unary(const Variable& a, F f, DF df) {
+  Tensor out(a.rows(), a.cols());
+  const Tensor& x = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = f(x.data()[i]);
+  Tensor saved_out = out;  // copy for the backward closure
+  auto an = a.node();
+  return Variable::op_result(
+      std::move(out), {a}, [an, saved_out, df](const Tensor& g) {
+        if (!an->requires_grad) return;
+        Tensor gx(g.rows(), g.cols());
+        const Tensor& x = an->value;
+        for (std::size_t i = 0; i < gx.size(); ++i)
+          gx.data()[i] = g.data()[i] * df(x.data()[i], saved_out.data()[i]);
+        an->accumulate(gx);
+      });
+}
+
+}  // namespace
+
+Variable matmul(const Variable& a, const Variable& b) {
+  Tensor out = matmul(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::op_result(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+    if (an->requires_grad) an->accumulate(matmul_nt(g, bn->value));
+    if (bn->requires_grad) bn->accumulate(matmul_tn(an->value, g));
+  });
+}
+
+Variable add(const Variable& a, const Variable& b) {
+  const bool broadcast = b.rows() == 1 && a.rows() != 1;
+  if (!broadcast) check_same_shape(a, b, "add");
+  if (broadcast && a.cols() != b.cols()) throw std::invalid_argument("add: bias width mismatch");
+  Tensor out = a.value();
+  if (broadcast) {
+    for (int r = 0; r < out.rows(); ++r)
+      for (int c = 0; c < out.cols(); ++c) out.at(r, c) += b.value().at(0, c);
+  } else {
+    out.add_(b.value());
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::op_result(std::move(out), {a, b}, [an, bn, broadcast](const Tensor& g) {
+    if (an->requires_grad) an->accumulate(g);
+    if (!bn->requires_grad) return;
+    if (!broadcast) {
+      bn->accumulate(g);
+    } else {
+      Tensor gb(1, g.cols());
+      for (int r = 0; r < g.rows(); ++r)
+        for (int c = 0; c < g.cols(); ++c) gb.at(0, c) += g.at(r, c);
+      bn->accumulate(gb);
+    }
+  });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a.value();
+  out.add_scaled_(b.value(), -1.0f);
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::op_result(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+    if (an->requires_grad) an->accumulate(g);
+    if (bn->requires_grad) {
+      Tensor gb = g;
+      gb.scale_(-1.0f);
+      bn->accumulate(gb);
+    }
+  });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = a.value().data()[i] * b.value().data()[i];
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::op_result(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+    if (an->requires_grad) {
+      Tensor ga(g.rows(), g.cols());
+      for (std::size_t i = 0; i < ga.size(); ++i)
+        ga.data()[i] = g.data()[i] * bn->value.data()[i];
+      an->accumulate(ga);
+    }
+    if (bn->requires_grad) {
+      Tensor gb(g.rows(), g.cols());
+      for (std::size_t i = 0; i < gb.size(); ++i)
+        gb.data()[i] = g.data()[i] * an->value.data()[i];
+      bn->accumulate(gb);
+    }
+  });
+}
+
+Variable div(const Variable& a, const Variable& b) {
+  check_same_shape(a, b, "div");
+  Tensor out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = a.value().data()[i] / b.value().data()[i];
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::op_result(std::move(out), {a, b}, [an, bn](const Tensor& g) {
+    if (an->requires_grad) {
+      Tensor ga(g.rows(), g.cols());
+      for (std::size_t i = 0; i < ga.size(); ++i)
+        ga.data()[i] = g.data()[i] / bn->value.data()[i];
+      an->accumulate(ga);
+    }
+    if (bn->requires_grad) {
+      Tensor gb(g.rows(), g.cols());
+      for (std::size_t i = 0; i < gb.size(); ++i) {
+        const float bv = bn->value.data()[i];
+        gb.data()[i] = -g.data()[i] * an->value.data()[i] / (bv * bv);
+      }
+      bn->accumulate(gb);
+    }
+  });
+}
+
+Variable scale(const Variable& a, float s) {
+  Tensor out = a.value();
+  out.scale_(s);
+  auto an = a.node();
+  return Variable::op_result(std::move(out), {a}, [an, s](const Tensor& g) {
+    if (!an->requires_grad) return;
+    Tensor ga = g;
+    ga.scale_(s);
+    an->accumulate(ga);
+  });
+}
+
+Variable sigmoid(const Variable& a) {
+  return unary(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Variable tanh_op(const Variable& a) {
+  return unary(a, [](float x) { return std::tanh(x); },
+               [](float, float y) { return 1.0f - y * y; });
+}
+
+Variable relu(const Variable& a) {
+  return unary(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+               [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Variable elu(const Variable& a, float alpha) {
+  return unary(
+      a, [alpha](float x) { return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f); },
+      [alpha](float x, float y) { return x > 0.0f ? 1.0f : y + alpha; });
+}
+
+Variable abs_op(const Variable& a) {
+  return unary(a, [](float x) { return std::abs(x); },
+               [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Variable exp_op(const Variable& a) {
+  return unary(a, [](float x) { return std::exp(x); }, [](float, float y) { return y; });
+}
+
+Variable exp_bounded(const Variable& a, float limit) {
+  return exp_op(scale(tanh_op(scale(a, 1.0f / limit)), limit));
+}
+
+Variable log_op(const Variable& a) {
+  return unary(a, [](float x) { return std::log(x); }, [](float x, float) { return 1.0f / x; });
+}
+
+Variable dropout(const Variable& a, float p, bool training, Rng& rng) {
+  if (p < 0.0f || p >= 1.0f) throw std::invalid_argument("dropout: p must be in [0,1)");
+  if (!training || p == 0.0f) return a;
+  Tensor mask(a.rows(), a.cols());
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (std::size_t i = 0; i < mask.size(); ++i)
+    mask.data()[i] = rng.bernoulli(p) ? 0.0f : keep_scale;
+  Tensor out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = a.value().data()[i] * mask.data()[i];
+  auto an = a.node();
+  return Variable::op_result(std::move(out), {a}, [an, mask](const Tensor& g) {
+    if (!an->requires_grad) return;
+    Tensor ga(g.rows(), g.cols());
+    for (std::size_t i = 0; i < ga.size(); ++i) ga.data()[i] = g.data()[i] * mask.data()[i];
+    an->accumulate(ga);
+  });
+}
+
+Variable concat_cols(const Variable& a, const Variable& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("concat_cols: row mismatch");
+  const int n1 = a.cols(), n2 = b.cols();
+  Tensor out(a.rows(), n1 + n2);
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < n1; ++c) out.at(r, c) = a.value().at(r, c);
+    for (int c = 0; c < n2; ++c) out.at(r, n1 + c) = b.value().at(r, c);
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::op_result(std::move(out), {a, b}, [an, bn, n1, n2](const Tensor& g) {
+    if (an->requires_grad) {
+      Tensor ga(g.rows(), n1);
+      for (int r = 0; r < g.rows(); ++r)
+        for (int c = 0; c < n1; ++c) ga.at(r, c) = g.at(r, c);
+      an->accumulate(ga);
+    }
+    if (bn->requires_grad) {
+      Tensor gb(g.rows(), n2);
+      for (int r = 0; r < g.rows(); ++r)
+        for (int c = 0; c < n2; ++c) gb.at(r, c) = g.at(r, n1 + c);
+      bn->accumulate(gb);
+    }
+  });
+}
+
+Variable slice_cols(const Variable& a, int from, int to) {
+  if (from < 0 || to > a.cols() || from >= to)
+    throw std::invalid_argument("slice_cols: bad range");
+  Tensor out(a.rows(), to - from);
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = from; c < to; ++c) out.at(r, c - from) = a.value().at(r, c);
+  auto an = a.node();
+  const int cols = a.cols();
+  return Variable::op_result(std::move(out), {a}, [an, from, to, cols](const Tensor& g) {
+    if (!an->requires_grad) return;
+    Tensor ga(g.rows(), cols);
+    for (int r = 0; r < g.rows(); ++r)
+      for (int c = from; c < to; ++c) ga.at(r, c) = g.at(r, c - from);
+    an->accumulate(ga);
+  });
+}
+
+Variable mean_all(const Variable& a) {
+  const float inv_n = 1.0f / static_cast<float>(a.value().size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.value().size(); ++i) acc += a.value().data()[i];
+  auto an = a.node();
+  const int rows = a.rows(), cols = a.cols();
+  return Variable::op_result(Tensor::scalar(acc * inv_n), {a},
+                             [an, inv_n, rows, cols](const Tensor& g) {
+                               if (!an->requires_grad) return;
+                               Tensor ga = Tensor::full(rows, cols, g.item() * inv_n);
+                               an->accumulate(ga);
+                             });
+}
+
+Variable mape_loss(const Variable& pred, const Tensor& target) {
+  if (!pred.value().same_shape(target)) throw std::invalid_argument("mape_loss: shape mismatch");
+  for (std::size_t i = 0; i < target.size(); ++i)
+    if (target.data()[i] == 0.0f) throw std::invalid_argument("mape_loss: zero target");
+  Tensor abs_inv_target(target.rows(), target.cols());
+  for (std::size_t i = 0; i < target.size(); ++i)
+    abs_inv_target.data()[i] = 1.0f / std::abs(target.data()[i]);
+  const Variable diff = sub(pred, Variable(target));
+  const Variable scaled = mul(diff, Variable(abs_inv_target));
+  return mean_all(abs_op(scaled));
+}
+
+Variable mse_loss(const Variable& pred, const Tensor& target) {
+  if (!pred.value().same_shape(target)) throw std::invalid_argument("mse_loss: shape mismatch");
+  const Variable diff = sub(pred, Variable(target));
+  return mean_all(mul(diff, diff));
+}
+
+Variable log_ratio_loss(const Variable& pred, const Tensor& target) {
+  if (!pred.value().same_shape(target))
+    throw std::invalid_argument("log_ratio_loss: shape mismatch");
+  Tensor log_target(target.rows(), target.cols());
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (target.data()[i] <= 0.0f) throw std::invalid_argument("log_ratio_loss: target <= 0");
+    log_target.data()[i] = std::log(target.data()[i]);
+  }
+  return mean_all(abs_op(sub(log_op(pred), Variable(log_target))));
+}
+
+}  // namespace tcm::nn

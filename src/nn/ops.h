@@ -1,0 +1,67 @@
+// Differentiable operations. Every op builds a graph node whose backward
+// function propagates gradients to its parents. Shapes are [rows, cols];
+// `linear`'s bias broadcasts over rows.
+#pragma once
+
+#include "nn/autograd.h"
+#include "support/rng.h"
+
+namespace tcm::nn {
+
+// c = a @ b   ([M,K] x [K,N])
+Variable matmul(const Variable& a, const Variable& b);
+
+// Elementwise a + b (same shape), or b broadcast over rows when b is [1,N].
+Variable add(const Variable& a, const Variable& b);
+// Elementwise a - b (same shape).
+Variable sub(const Variable& a, const Variable& b);
+// Elementwise a * b (same shape).
+Variable mul(const Variable& a, const Variable& b);
+// Elementwise a / b (same shape).
+Variable div(const Variable& a, const Variable& b);
+// a * s for a scalar constant s.
+Variable scale(const Variable& a, float s);
+
+Variable sigmoid(const Variable& a);
+Variable tanh_op(const Variable& a);
+Variable relu(const Variable& a);
+// ELU as used by the paper's model (alpha = 1).
+Variable elu(const Variable& a, float alpha = 1.0f);
+Variable abs_op(const Variable& a);
+Variable exp_op(const Variable& a);
+// Natural log; inputs must be strictly positive.
+Variable log_op(const Variable& a);
+
+// exp(limit * tanh(x / limit)): a smoothly saturating exponential head used
+// to produce strictly positive speedup predictions across several orders of
+// magnitude without overflow.
+Variable exp_bounded(const Variable& a, float limit = 16.0f);
+
+// Inverted dropout: active only when `training`; scales kept activations by
+// 1/(1-p) so evaluation needs no rescaling.
+Variable dropout(const Variable& a, float p, bool training, Rng& rng);
+
+// Concatenation along columns: [B,N1] ++ [B,N2] -> [B,N1+N2].
+Variable concat_cols(const Variable& a, const Variable& b);
+
+// Column slice [from, to) -> [B, to-from].
+Variable slice_cols(const Variable& a, int from, int to);
+
+// Mean over all elements -> [1,1].
+Variable mean_all(const Variable& a);
+
+// --- losses ---------------------------------------------------------------
+
+// Mean absolute percentage error (the paper's loss): mean(|pred - y| / |y|).
+// `target` must be non-zero everywhere.
+Variable mape_loss(const Variable& pred, const Tensor& target);
+
+// Mean squared error (the Halide baseline's loss).
+Variable mse_loss(const Variable& pred, const Tensor& target);
+
+// Mean absolute log-ratio: mean(|log(pred) - log(y)|). A well-conditioned
+// surrogate for MAPE: |log r| ~ |r - 1| = APE near r = pred/y = 1, but its
+// gradients do not blow up as 1/y on small targets. `pred` must be positive.
+Variable log_ratio_loss(const Variable& pred, const Tensor& target);
+
+}  // namespace tcm::nn

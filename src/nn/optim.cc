@@ -1,0 +1,94 @@
+#include "nn/optim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tcm::nn {
+
+AdamW::AdamW(std::vector<Parameter*> params, AdamWOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->var.rows(), p->var.cols());
+    v_.emplace_back(p->var.rows(), p->var.cols());
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  double grad_scale = 1.0;
+  if (options_.max_grad_norm > 0.0) {
+    double sq = 0.0;
+    for (Parameter* p : params_) {
+      if (!p->var.has_grad()) continue;
+      for (float g : p->var.grad().span()) sq += static_cast<double>(g) * g;
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > options_.max_grad_norm) grad_scale = options_.max_grad_norm / norm;
+  }
+  const double b1 = options_.beta1, b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (!p->var.has_grad()) continue;
+    const Tensor& g = p->var.grad();
+    Tensor& value = p->var.mutable_value();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    float* pm = m.data();
+    float* pv = v.data();
+    float* pw = value.data();
+    const float* pg = g.data();
+    for (std::size_t k = 0; k < value.size(); ++k) {
+      const double gk = grad_scale * pg[k];
+      pm[k] = static_cast<float>(b1 * pm[k] + (1.0 - b1) * gk);
+      pv[k] = static_cast<float>(b2 * pv[k] + (1.0 - b2) * gk * gk);
+      const double mhat = pm[k] / bias1;
+      const double vhat = pv[k] / bias2;
+      // Decoupled weight decay: decay is applied to the weights directly,
+      // scaled by the learning rate, not folded into the gradient.
+      pw[k] = static_cast<float>(pw[k] - options_.lr * (mhat / (std::sqrt(vhat) + options_.eps) +
+                                                        options_.weight_decay * pw[k]));
+    }
+  }
+}
+
+void AdamW::zero_grad() {
+  for (Parameter* p : params_) p->var.zero_grad();
+}
+
+OneCycleLR::OneCycleLR(AdamW* optimizer, double max_lr, std::int64_t total_steps,
+                       double pct_start, double div_factor, double final_div_factor)
+    : optimizer_(optimizer),
+      max_lr_(max_lr),
+      total_steps_(total_steps),
+      pct_start_(pct_start),
+      initial_lr_(max_lr / div_factor),
+      final_lr_(max_lr / final_div_factor) {
+  if (!optimizer) throw std::invalid_argument("OneCycleLR: null optimizer");
+  if (total_steps <= 0) throw std::invalid_argument("OneCycleLR: total_steps must be positive");
+  optimizer_->set_lr(initial_lr_);
+}
+
+double OneCycleLR::current_lr() const {
+  const double warmup_steps = pct_start_ * static_cast<double>(total_steps_);
+  const double t = static_cast<double>(t_);
+  if (t <= warmup_steps && warmup_steps > 0) {
+    const double frac = t / warmup_steps;
+    // Cosine ramp up.
+    return initial_lr_ + (max_lr_ - initial_lr_) * 0.5 * (1.0 - std::cos(M_PI * frac));
+  }
+  const double denom = std::max(1.0, static_cast<double>(total_steps_) - warmup_steps);
+  const double frac = std::min(1.0, (t - warmup_steps) / denom);
+  // Cosine anneal down.
+  return final_lr_ + (max_lr_ - final_lr_) * 0.5 * (1.0 + std::cos(M_PI * frac));
+}
+
+void OneCycleLR::step() {
+  ++t_;
+  optimizer_->set_lr(current_lr());
+}
+
+}  // namespace tcm::nn

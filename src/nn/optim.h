@@ -1,0 +1,69 @@
+// Optimization: AdamW with decoupled weight decay (Loshchilov & Hutter) and
+// the One Cycle learning-rate policy (Smith & Topin) — the exact training
+// recipe of the paper's appendix A.1.
+#pragma once
+
+#include <vector>
+
+#include "nn/modules.h"
+
+namespace tcm::nn {
+
+struct AdamWOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0075;  // the paper's coefficient
+  // Global gradient-norm clip applied before each step (0 disables). MAPE
+  // gradients explode on tiny-speedup samples; clipping keeps them bounded.
+  double max_grad_norm = 1.0;
+};
+
+class AdamW {
+ public:
+  AdamW(std::vector<Parameter*> params, AdamWOptions options = {});
+
+  // Applies one update using the gradients accumulated on the parameters.
+  // Parameters without a gradient this step are skipped.
+  void step();
+
+  void zero_grad();
+
+  void set_lr(double lr) { options_.lr = lr; }
+  double lr() const { return options_.lr; }
+  const AdamWOptions& options() const { return options_; }
+  std::int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamWOptions options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+// One Cycle policy: linear warm-up from initial_lr to max_lr over the first
+// `pct_start` fraction of steps, then cosine annealing down to final_lr.
+class OneCycleLR {
+ public:
+  OneCycleLR(AdamW* optimizer, double max_lr, std::int64_t total_steps, double pct_start = 0.3,
+             double div_factor = 25.0, double final_div_factor = 1e4);
+
+  // Advances the schedule one step and updates the optimizer's lr.
+  void step();
+
+  double current_lr() const;
+  std::int64_t steps_taken() const { return t_; }
+
+ private:
+  AdamW* optimizer_;
+  double max_lr_;
+  std::int64_t total_steps_;
+  double pct_start_;
+  double initial_lr_;
+  double final_lr_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace tcm::nn

@@ -1,0 +1,79 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace tcm::nn {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'C', 'M', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& f) {
+  T v{};
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw std::runtime_error("load_parameters: truncated file");
+  return v;
+}
+
+}  // namespace
+
+bool save_parameters(Module& m, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(kMagic, 4);
+  write_pod(f, kVersion);
+  const auto params = m.parameters();
+  write_pod(f, static_cast<std::uint64_t>(params.size()));
+  for (const Parameter* p : params) {
+    write_pod(f, static_cast<std::uint32_t>(p->name.size()));
+    f.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_pod(f, static_cast<std::int32_t>(p->var.rows()));
+    write_pod(f, static_cast<std::int32_t>(p->var.cols()));
+    const Tensor& t = p->var.value();
+    f.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  return static_cast<bool>(f);
+}
+
+bool load_parameters(Module& m, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("load_parameters: bad magic");
+  const auto version = read_pod<std::uint32_t>(f);
+  if (version != kVersion) throw std::runtime_error("load_parameters: unsupported version");
+  const auto count = read_pod<std::uint64_t>(f);
+  const auto params = m.parameters();
+  if (count != params.size())
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  for (Parameter* p : params) {
+    const auto name_len = read_pod<std::uint32_t>(f);
+    std::string name(name_len, '\0');
+    f.read(name.data(), name_len);
+    if (!f || name != p->name)
+      throw std::runtime_error("load_parameters: expected parameter '" + p->name + "', found '" +
+                               name + "'");
+    const auto rows = read_pod<std::int32_t>(f);
+    const auto cols = read_pod<std::int32_t>(f);
+    if (rows != p->var.rows() || cols != p->var.cols())
+      throw std::runtime_error("load_parameters: shape mismatch for " + p->name);
+    Tensor& t = p->var.mutable_value();
+    f.read(reinterpret_cast<char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!f) throw std::runtime_error("load_parameters: truncated tensor data");
+  }
+  return true;
+}
+
+}  // namespace tcm::nn

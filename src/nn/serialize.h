@@ -1,0 +1,21 @@
+// Parameter serialization: a simple tagged binary format
+//   "TCMW" u32_version u64_count { u32 name_len, name, i32 rows, i32 cols,
+//   f32 data[rows*cols] }*
+// Shapes and names must match at load time, which catches configuration
+// mismatches between training and inference.
+#pragma once
+
+#include <string>
+
+#include "nn/modules.h"
+
+namespace tcm::nn {
+
+// Writes all parameters of `m`. Returns false on I/O failure.
+bool save_parameters(Module& m, const std::string& path);
+
+// Loads parameters into `m`. Throws std::runtime_error on format or
+// name/shape mismatch; returns false when the file cannot be opened.
+bool load_parameters(Module& m, const std::string& path);
+
+}  // namespace tcm::nn

@@ -1,0 +1,126 @@
+#include "nn/tensor.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tcm::nn {
+
+Tensor::Tensor(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor: negative shape");
+  data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0f);
+}
+
+Tensor Tensor::zeros(int rows, int cols) { return Tensor(rows, cols); }
+
+Tensor Tensor::full(int rows, int cols, float value) {
+  Tensor t(rows, cols);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from(int rows, int cols, std::span<const float> values) {
+  Tensor t(rows, cols);
+  if (values.size() != t.size()) throw std::invalid_argument("Tensor::from: size mismatch");
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+float Tensor::item() const {
+  if (rows_ != 1 || cols_ != 1) throw std::logic_error("Tensor::item: not a scalar");
+  return data_[0];
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_(const Tensor& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Tensor::add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+}
+
+void Tensor::add_scaled_(const Tensor& o, float s) {
+  if (!same_shape(o)) throw std::invalid_argument("Tensor::add_scaled_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * o.data_[i];
+}
+
+void Tensor::scale_(float s) {
+  for (float& v : data_) v *= s;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[' << rows_ << ',' << cols_ << ']';
+  return os.str();
+}
+
+namespace {
+// Threshold below which threading overhead is not worth it. Training batches
+// are small ([32, ~400] x [~400, 180]); fork/join and spin-wait overhead
+// dominates below a few Mflop, so only genuinely large products go parallel.
+constexpr std::size_t kParallelFlops = 1 << 22;
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::size_t flops = static_cast<std::size_t>(m) * k * n;
+#pragma omp parallel for schedule(static) if (flops > kParallelFlops)
+  for (int i = 0; i < m; ++i) {
+    float* orow = po + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = pa[static_cast<std::size_t>(i) * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor out(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::size_t flops = static_cast<std::size_t>(m) * k * n;
+#pragma omp parallel for schedule(static) if (flops > kParallelFlops)
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* orow = po + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: inner dim mismatch");
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  Tensor out(m, n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::size_t flops = static_cast<std::size_t>(m) * k * n;
+#pragma omp parallel for schedule(static) if (flops > kParallelFlops)
+  for (int i = 0; i < m; ++i) {
+    float* orow = po + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = pa[static_cast<std::size_t>(kk) * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = pb + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace tcm::nn

@@ -1,0 +1,62 @@
+// A minimal dense 2-D float tensor. Everything in the cost model operates on
+// [batch, features] matrices (scalars are [1,1]), which keeps the autograd
+// layer small without giving up batching.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tcm::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols);  // zero-initialized
+
+  static Tensor zeros(int rows, int cols);
+  static Tensor full(int rows, int cols, float value);
+  static Tensor ones(int rows, int cols) { return full(rows, cols, 1.0f); }
+  // Row-major copy of `values` (size must be rows*cols).
+  static Tensor from(int rows, int cols, std::span<const float> values);
+  static Tensor scalar(float v) { return full(1, 1, v); }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool same_shape(const Tensor& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  float& at(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  float at(int r, int c) const { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_; }
+  std::span<const float> span() const { return data_; }
+
+  // Value of a [1,1] tensor.
+  float item() const;
+
+  // --- in-place helpers (used by optimizers and backward kernels) ---
+  void fill(float v);
+  void add_(const Tensor& o);                 // this += o
+  void add_scaled_(const Tensor& o, float s); // this += s * o
+  void scale_(float s);                       // this *= s
+
+  std::string shape_string() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// out = a * b for [M,K] x [K,N]; OpenMP-parallel blocked kernel.
+Tensor matmul(const Tensor& a, const Tensor& b);
+// out = a * b^T for [M,K] x [N,K] -> [M,N].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+// out = a^T * b for [K,M] x [K,N] -> [M,N].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+}  // namespace tcm::nn

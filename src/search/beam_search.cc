@@ -1,0 +1,70 @@
+#include "search/beam_search.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+namespace tcm::search {
+
+SearchResult beam_search(const ir::Program& p, CandidateEvaluator& evaluator,
+                         const BeamSearchOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const double accounted0 = evaluator.accounted_seconds();
+  const std::int64_t evals0 = evaluator.evaluations();
+
+  const std::vector<DecisionPoint> decisions = decision_points(p, options.space);
+  std::vector<transforms::Schedule> beam = {transforms::Schedule{}};
+
+  for (const DecisionPoint& decision : decisions) {
+    // Expand all beam states; dedupe identical schedules.
+    std::vector<transforms::Schedule> candidates;
+    std::set<std::string> seen;
+    for (const transforms::Schedule& state : beam) {
+      for (transforms::Schedule& next : expand_decision(p, state, decision, options.space)) {
+        if (seen.insert(next.to_string()).second) candidates.push_back(std::move(next));
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Score candidates with the heuristics appended (what would actually be
+    // compiled), then keep the top beam_width prefixes.
+    std::vector<transforms::Schedule> scored;
+    scored.reserve(candidates.size());
+    for (const transforms::Schedule& c : candidates)
+      scored.push_back(apply_parallel_vector_heuristics(p, c, options.space));
+    const std::vector<double> scores = evaluator.evaluate(p, scored);
+
+    std::vector<std::size_t> order(candidates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+    const std::size_t keep =
+        std::min<std::size_t>(static_cast<std::size_t>(options.beam_width), order.size());
+    std::vector<transforms::Schedule> next_beam;
+    next_beam.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i)
+      next_beam.push_back(candidates[order[i]]);
+    beam = std::move(next_beam);
+  }
+
+  // Final scoring of the surviving states (with heuristics).
+  std::vector<transforms::Schedule> finals;
+  finals.reserve(beam.size());
+  for (const transforms::Schedule& state : beam)
+    finals.push_back(apply_parallel_vector_heuristics(p, state, options.space));
+  const std::vector<double> final_scores = evaluator.evaluate(p, finals);
+
+  SearchResult result;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < finals.size(); ++i)
+    if (final_scores[i] > final_scores[best]) best = i;
+  result.best_schedule = finals[best];
+  result.best_score = final_scores.empty() ? 1.0 : final_scores[best];
+  result.evaluations = evaluator.evaluations() - evals0;
+  result.accounted_seconds = evaluator.accounted_seconds() - accounted0;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace tcm::search

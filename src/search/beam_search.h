@@ -1,0 +1,30 @@
+// Beam search over the transformation space (Section 5, Figure 3).
+//
+// At each decision point every beam state is expanded with all legal
+// alternatives; candidates are scored by the evaluator (execution for BSE,
+// the learned cost model for BSM) *after* the parallelization/vectorization
+// heuristics are appended, and the best `beam_width` states survive.
+#pragma once
+
+#include "search/candidates.h"
+#include "search/evaluator.h"
+
+namespace tcm::search {
+
+struct BeamSearchOptions {
+  int beam_width = 4;
+  SearchSpaceOptions space;
+};
+
+struct SearchResult {
+  transforms::Schedule best_schedule;  // includes the par/vec heuristics
+  double best_score = 0;               // evaluator's speedup for the winner
+  std::int64_t evaluations = 0;        // candidate evaluations performed
+  double accounted_seconds = 0;        // toolchain time a real system would pay
+  double wall_seconds = 0;             // actual wall time of the search
+};
+
+SearchResult beam_search(const ir::Program& p, CandidateEvaluator& evaluator,
+                         const BeamSearchOptions& options = {});
+
+}  // namespace tcm::search

@@ -1,0 +1,61 @@
+// The search space of Figure 3: an ordered sequence of decision points, each
+// offering a small set of alternatives (apply a transformation or not, and
+// with which parameters). States are schedule prefixes; both beam search and
+// MCTS walk the same space.
+//
+// Decision order (canonical, Section 5 / Figure 3):
+//   for each adjacent pair of top-level nests: fuse? at which depth?
+//   for each computation: interchange? which levels?
+//   for each computation: tile? which level and sizes?
+//   for each computation: unroll? which factor?
+// Parallelization and vectorization are not part of the space: they are
+// applied by the Halide-style heuristic (parallelize the outermost legal
+// level, vectorize the innermost loop when it is stride-1 friendly), exactly
+// as the paper does.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.h"
+#include "transforms/schedule.h"
+
+namespace tcm::search {
+
+struct SearchSpaceOptions {
+  std::vector<std::int64_t> tile_sizes = {16, 32, 64, 128};
+  bool allow_3d_tiling = true;
+  std::vector<int> unroll_factors = {2, 4, 8, 16};
+  int vector_width = 8;
+  // Limits the number of interchange pairs explored per computation (closest
+  // pairs first) to keep the branching factor manageable.
+  int max_interchange_pairs = 6;
+};
+
+// One decision point: alternatives extending a schedule prefix. The first
+// alternative is always "do nothing" (the unmodified prefix).
+struct DecisionPoint {
+  enum class Kind { Fusion, Interchange, Tile, Unroll };
+  Kind kind;
+  int comp = -1;  // target computation (representative for fusions)
+};
+
+// The ordered decision points of a program's search space.
+std::vector<DecisionPoint> decision_points(const ir::Program& p,
+                                           const SearchSpaceOptions& options);
+
+// All *legal* schedules obtained by extending `prefix` at the given decision
+// point (including `prefix` itself as the "skip" alternative).
+std::vector<transforms::Schedule> expand_decision(const ir::Program& p,
+                                                  const transforms::Schedule& prefix,
+                                                  const DecisionPoint& decision,
+                                                  const SearchSpaceOptions& options);
+
+// Halide-style final heuristics (Section 4): parallelize the outermost level
+// that is legal and profitable (extent >= a small threshold), vectorize the
+// innermost loop when legal and the extent allows the width. Returns the
+// extended (still legal) schedule.
+transforms::Schedule apply_parallel_vector_heuristics(const ir::Program& p,
+                                                      const transforms::Schedule& schedule,
+                                                      const SearchSpaceOptions& options);
+
+}  // namespace tcm::search

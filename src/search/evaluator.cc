@@ -1,0 +1,61 @@
+#include "search/evaluator.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "model/train.h"
+#include "transforms/apply.h"
+
+namespace tcm::search {
+
+ExecutionEvaluator::ExecutionEvaluator(sim::Executor executor) : executor_(std::move(executor)) {}
+
+std::vector<double> ExecutionEvaluator::evaluate(
+    const ir::Program& p, const std::vector<transforms::Schedule>& candidates) {
+  std::vector<double> speedups;
+  speedups.reserve(candidates.size());
+  const double base = executor_.measure_seconds(p);
+  for (const transforms::Schedule& s : candidates) {
+    const ir::Program transformed = transforms::apply_schedule(p, s);
+    const double t = executor_.measure_seconds(transformed);
+    speedups.push_back(base / t);
+    accounted_seconds_ += executor_.evaluation_cost_seconds(t);
+    ++evaluations_;
+  }
+  return speedups;
+}
+
+ModelEvaluator::ModelEvaluator(model::SpeedupPredictor* predictor, model::FeatureConfig features)
+    : predictor_(predictor), features_(features) {
+  if (!predictor_) throw std::invalid_argument("ModelEvaluator: null predictor");
+}
+
+std::vector<double> ModelEvaluator::evaluate(const ir::Program& p,
+                                             const std::vector<transforms::Schedule>& candidates) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Featurize everything, then reuse the dataset batching machinery: every
+  // candidate becomes a data point of the same "program"; make_batches
+  // sub-groups by structure automatically.
+  model::Dataset ds;
+  ds.points.reserve(candidates.size());
+  for (const transforms::Schedule& s : candidates) {
+    std::string error;
+    auto feats = model::featurize(p, s, features_, &error);
+    if (!feats)
+      throw std::invalid_argument("ModelEvaluator: cannot featurize candidate: " + error);
+    model::DataPoint point;
+    point.program_id = 0;
+    point.feats = std::move(*feats);
+    point.speedup = 1.0;  // unused target
+    ds.points.push_back(std::move(point));
+  }
+  const std::vector<double> predictions = model::predict(*predictor_, ds, /*batch_size=*/64);
+
+  accounted_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  evaluations_ += static_cast<std::int64_t>(candidates.size());
+  return predictions;
+}
+
+}  // namespace tcm::search

@@ -1,0 +1,37 @@
+// Monte Carlo Tree Search over the transformation space (Section 5).
+//
+// The paper's MCTS copes with the cost model's imprecision by combining
+// model-guided exploration with a final execution step: the tree is explored
+// using model estimates as rewards (UCT selection), a set of the best
+// model-evaluated schedules is retained, and at the end that set is actually
+// executed; the best *measured* schedule wins.
+#pragma once
+
+#include "search/candidates.h"
+#include "search/evaluator.h"
+#include "support/rng.h"
+
+namespace tcm::search {
+
+struct MctsOptions {
+  int iterations = 200;      // selection/expansion/rollout cycles
+  double exploration = 0.7;  // UCT exploration constant
+  int top_k = 5;             // schedules executed at the end (the paper's set)
+  SearchSpaceOptions space;
+  std::uint64_t seed = 7;
+};
+
+struct MctsResult {
+  transforms::Schedule best_schedule;
+  double best_measured_speedup = 0;
+  std::int64_t model_evaluations = 0;
+  double accounted_seconds = 0;  // model inference + top-k executions
+  double wall_seconds = 0;
+};
+
+// `model_evaluator` scores rollouts; `execution_evaluator` measures the
+// final top-k set.
+MctsResult mcts_search(const ir::Program& p, CandidateEvaluator& model_evaluator,
+                       CandidateEvaluator& execution_evaluator, const MctsOptions& options = {});
+
+}  // namespace tcm::search

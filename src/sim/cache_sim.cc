@@ -1,0 +1,165 @@
+#include "sim/cache_sim.h"
+
+#include <functional>
+#include <stdexcept>
+
+namespace tcm::sim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (config.size_bytes <= 0 || config.associativity <= 0 || config.line_bytes <= 0)
+    throw std::invalid_argument("Cache: bad config");
+  const std::int64_t lines = config.size_bytes / config.line_bytes;
+  num_sets_ = static_cast<int>(lines / config.associativity);
+  if (num_sets_ <= 0) num_sets_ = 1;
+  const std::size_t slots =
+      static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(config.associativity);
+  tags_.assign(slots, 0);
+  lru_.assign(slots, 0);
+  valid_.assign(slots, false);
+}
+
+bool Cache::access(std::uint64_t addr) {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(config_.line_bytes);
+  const std::uint64_t set = line % static_cast<std::uint64_t>(num_sets_);
+  const std::uint64_t tag = line / static_cast<std::uint64_t>(num_sets_);
+  const std::size_t base = static_cast<std::size_t>(set) *
+                           static_cast<std::size_t>(config_.associativity);
+  ++clock_;
+  std::size_t victim = base;
+  std::uint64_t victim_age = UINT64_MAX;
+  for (int w = 0; w < config_.associativity; ++w) {
+    const std::size_t slot = base + static_cast<std::size_t>(w);
+    if (valid_[slot] && tags_[slot] == tag) {
+      lru_[slot] = clock_;
+      ++hits_;
+      return true;
+    }
+    const std::uint64_t age = valid_[slot] ? lru_[slot] : 0;
+    if (age < victim_age) {
+      victim_age = age;
+      victim = slot;
+    }
+  }
+  ++misses_;
+  tags_[victim] = tag;
+  lru_[victim] = clock_;
+  valid_[victim] = true;
+  return false;
+}
+
+CacheHierarchy::CacheHierarchy(const MachineSpec& spec) {
+  levels_.emplace_back(CacheConfig{spec.l1.size_bytes, 8, spec.line_bytes});
+  levels_.emplace_back(CacheConfig{spec.l2.size_bytes, 8, spec.line_bytes});
+  levels_.emplace_back(CacheConfig{spec.l3.size_bytes, 16, spec.line_bytes});
+  latencies_ = {spec.l1.latency_cycles, spec.l2.latency_cycles, spec.l3.latency_cycles,
+                spec.mem_latency_cycles};
+}
+
+int CacheHierarchy::access(std::uint64_t addr) {
+  ++accesses_;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].access(addr)) {
+      latency_cycles_ += latencies_[i];
+      return static_cast<int>(i);
+    }
+  }
+  latency_cycles_ += latencies_.back();
+  return static_cast<int>(levels_.size());
+}
+
+namespace {
+
+struct TraceContext {
+  const ir::Program& p;
+  CacheHierarchy& hierarchy;
+  std::uint64_t max_accesses = 0;
+  std::uint64_t count = 0;
+  bool stopped = false;
+  std::vector<std::int64_t> loop_value;
+  std::vector<std::uint64_t> buffer_base;
+  std::vector<std::vector<std::int64_t>> strides;
+  std::vector<std::vector<int>> nests;
+};
+
+void touch(TraceContext& ctx, const ir::BufferAccess& a, std::span<const std::int64_t> iters) {
+  if (ctx.stopped) return;
+  const auto idx = a.matrix.evaluate(iters);
+  const auto& strides = ctx.strides[static_cast<std::size_t>(a.buffer_id)];
+  std::int64_t flat = 0;
+  for (std::size_t r = 0; r < idx.size(); ++r) flat += idx[r] * strides[r];
+  const std::uint64_t addr = ctx.buffer_base[static_cast<std::size_t>(a.buffer_id)] +
+                             static_cast<std::uint64_t>(flat) * 8ULL;
+  ctx.hierarchy.access(addr);
+  ++ctx.count;
+  if (ctx.max_accesses != 0 && ctx.count >= ctx.max_accesses) ctx.stopped = true;
+}
+
+void walk_expr(TraceContext& ctx, const ir::Expr& e, std::span<const std::int64_t> iters) {
+  switch (e.kind()) {
+    case ir::ExprKind::Constant:
+      return;
+    case ir::ExprKind::Load:
+      touch(ctx, e.access(), iters);
+      return;
+    default:
+      walk_expr(ctx, e.lhs(), iters);
+      walk_expr(ctx, e.rhs(), iters);
+  }
+}
+
+void trace_comp(TraceContext& ctx, int comp_id) {
+  const ir::Computation& c = ctx.p.comp(comp_id);
+  const auto& nest = ctx.nests[static_cast<std::size_t>(comp_id)];
+  std::vector<std::int64_t> iters(nest.size());
+  for (std::size_t i = 0; i < nest.size(); ++i)
+    iters[i] = ctx.loop_value[static_cast<std::size_t>(nest[i])];
+  walk_expr(ctx, c.rhs, iters);
+  touch(ctx, c.store, iters);
+}
+
+void trace_loop(TraceContext& ctx, int loop_id) {
+  if (ctx.stopped) return;
+  const ir::LoopNode& l = ctx.p.loop(loop_id);
+  std::int64_t extent = l.iter.extent;
+  if (l.tail_of != -1) {
+    const std::int64_t outer_idx = ctx.loop_value[static_cast<std::size_t>(l.tail_of)];
+    extent = std::min<std::int64_t>(extent, l.orig_extent - outer_idx * l.iter.extent);
+  }
+  for (std::int64_t v = 0; v < extent && !ctx.stopped; ++v) {
+    ctx.loop_value[static_cast<std::size_t>(loop_id)] = v;
+    for (const ir::BodyItem& item : l.body) {
+      if (item.kind == ir::BodyItem::Kind::Loop) trace_loop(ctx, item.index);
+      else trace_comp(ctx, item.index);
+      if (ctx.stopped) return;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t simulate_trace(const ir::Program& p, CacheHierarchy& hierarchy,
+                             std::uint64_t max_accesses) {
+  TraceContext ctx{p, hierarchy, max_accesses, 0, false, {}, {}, {}, {}};
+  ctx.loop_value.assign(p.loops.size(), 0);
+  ctx.buffer_base.resize(p.buffers.size());
+  ctx.strides.resize(p.buffers.size());
+  std::uint64_t base = 1ULL << 20;  // arbitrary non-zero start
+  for (const ir::Buffer& b : p.buffers) {
+    ctx.buffer_base[static_cast<std::size_t>(b.id)] = base;
+    const std::uint64_t bytes = static_cast<std::uint64_t>(b.num_elements()) * 8ULL;
+    base += (bytes + 4095ULL) & ~4095ULL;  // 4 KiB alignment between buffers
+    base += 4096;
+    std::vector<std::int64_t> s(b.dims.size(), 1);
+    for (int i = static_cast<int>(b.dims.size()) - 2; i >= 0; --i)
+      s[static_cast<std::size_t>(i)] =
+          s[static_cast<std::size_t>(i + 1)] * b.dims[static_cast<std::size_t>(i + 1)];
+    ctx.strides[static_cast<std::size_t>(b.id)] = std::move(s);
+  }
+  ctx.nests.resize(p.comps.size());
+  for (const ir::Computation& c : p.comps)
+    ctx.nests[static_cast<std::size_t>(c.id)] = p.nest_of(c.id);
+  for (int r : p.roots) trace_loop(ctx, r);
+  return ctx.count;
+}
+
+}  // namespace tcm::sim

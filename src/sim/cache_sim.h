@@ -1,0 +1,78 @@
+// Trace-driven set-associative cache hierarchy simulator.
+//
+// Used to validate the analytical MachineModel on small programs: both must
+// agree on qualitative questions such as "does tiling this matmul reduce
+// misses" or "is stride-1 traversal friendlier than strided traversal".
+// It can also serve as a slower, more precise executor backend for research.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+#include "sim/machine_spec.h"
+
+namespace tcm::sim {
+
+struct CacheConfig {
+  std::int64_t size_bytes = 32 * 1024;
+  int associativity = 8;
+  int line_bytes = 64;
+};
+
+// One set-associative LRU cache level.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  // Returns true on hit; on miss the line is installed (evicting LRU).
+  bool access(std::uint64_t addr);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  CacheConfig config_;
+  int num_sets_ = 0;
+  // tags_[set * assoc + way]; lru_[same] is a per-set logical clock.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::vector<bool> valid_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Inclusive three-level hierarchy.
+class CacheHierarchy {
+ public:
+  // Derives L1/L2/L3 configs from a MachineSpec (8/8/16-way).
+  explicit CacheHierarchy(const MachineSpec& spec);
+
+  // Simulates a load/store of 8 bytes; returns the level that served it:
+  // 0 = L1, 1 = L2, 2 = L3, 3 = memory.
+  int access(std::uint64_t addr);
+
+  const Cache& level(int i) const { return levels_.at(static_cast<std::size_t>(i)); }
+
+  // Total simulated latency in cycles, using the spec's per-level latencies.
+  double total_latency_cycles() const { return latency_cycles_; }
+  std::uint64_t total_accesses() const { return accesses_; }
+
+ private:
+  std::vector<Cache> levels_;
+  std::vector<double> latencies_;
+  double latency_cycles_ = 0.0;
+  std::uint64_t accesses_ = 0;
+};
+
+// Walks the (transformed) program like the interpreter, but instead of
+// computing values it feeds every load/store address into the hierarchy.
+// Buffers are laid out consecutively with 4 KiB alignment. Simulation stops
+// after `max_accesses` addresses (0 = unlimited); returns the number of
+// simulated accesses.
+std::uint64_t simulate_trace(const ir::Program& p, CacheHierarchy& hierarchy,
+                             std::uint64_t max_accesses = 0);
+
+}  // namespace tcm::sim

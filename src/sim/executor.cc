@@ -1,0 +1,37 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace tcm::sim {
+
+Executor::Executor(MachineModel model, ExecutorOptions options, std::uint64_t seed)
+    : model_(std::move(model)), options_(options), rng_(seed) {}
+
+double Executor::exact_seconds(const ir::Program& p) const {
+  return model_.execution_time_seconds(p);
+}
+
+double Executor::measure_seconds(const ir::Program& p) {
+  const double exact = exact_seconds(p);
+  if (options_.noise_sigma <= 0.0 || options_.runs_per_measurement <= 1) return exact;
+  std::vector<double> runs(static_cast<std::size_t>(options_.runs_per_measurement));
+  for (double& r : runs) r = exact * rng_.lognormal(0.0, options_.noise_sigma);
+  return median(runs);
+}
+
+double Executor::measure_speedup(const ir::Program& p, const transforms::Schedule& s) {
+  const ir::Program transformed = transforms::apply_schedule(p, s);
+  const double base = measure_seconds(p);
+  const double opt = measure_seconds(transformed);
+  return base / opt;
+}
+
+double Executor::evaluation_cost_seconds(double measured_seconds) const {
+  return options_.compile_overhead_seconds +
+         static_cast<double>(options_.runs_per_measurement) * measured_seconds;
+}
+
+}  // namespace tcm::sim

@@ -1,0 +1,57 @@
+// Executor: the "run it on the machine" facade.
+//
+// Emulates the paper's measurement protocol: each program is "executed"
+// `runs_per_measurement` times with multiplicative lognormal timing noise
+// and the median is retained (Section 3: 30 runs, median). Speedup is the
+// ratio between the execution time of the original unoptimized program and
+// the transformed one.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.h"
+#include "sim/machine_model.h"
+#include "support/rng.h"
+#include "transforms/apply.h"
+#include "transforms/schedule.h"
+
+namespace tcm::sim {
+
+struct ExecutorOptions {
+  int runs_per_measurement = 30;
+  double noise_sigma = 0.03;  // lognormal sigma per run; 0 disables noise
+  // Simulated seconds of toolchain overhead per measured candidate (compile
+  // + process startup). Only used for search-time accounting (Table 2).
+  double compile_overhead_seconds = 3.0;
+};
+
+class Executor {
+ public:
+  explicit Executor(MachineModel model = MachineModel(), ExecutorOptions options = {},
+                    std::uint64_t seed = 42);
+
+  const MachineModel& model() const { return model_; }
+  const ExecutorOptions& options() const { return options_; }
+
+  // Median-of-N measured execution time (simulated seconds) of a program.
+  double measure_seconds(const ir::Program& p);
+
+  // Noise-free model estimate.
+  double exact_seconds(const ir::Program& p) const;
+
+  // Measured speedup of applying `s` to `p`: time(p) / time(apply(p, s)).
+  // Throws on illegal schedules.
+  double measure_speedup(const ir::Program& p, const transforms::Schedule& s);
+
+  // Total simulated wall-clock cost of evaluating one candidate by
+  // execution, as a search method would pay it: compile overhead plus
+  // runs_per_measurement actual runs.
+  double evaluation_cost_seconds(double measured_seconds) const;
+
+ private:
+  MachineModel model_;
+  ExecutorOptions options_;
+  Rng rng_;
+};
+
+}  // namespace tcm::sim

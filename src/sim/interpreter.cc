@@ -1,0 +1,153 @@
+#include "sim/interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace tcm::sim {
+namespace {
+
+// Row-major strides of a buffer.
+std::vector<std::int64_t> strides_of(const ir::Buffer& b) {
+  std::vector<std::int64_t> s(b.dims.size(), 1);
+  for (int i = static_cast<int>(b.dims.size()) - 2; i >= 0; --i)
+    s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i + 1)] * b.dims[static_cast<std::size_t>(i + 1)];
+  return s;
+}
+
+struct ExecContext {
+  const ir::Program& p;
+  BufferData& bufs;
+  std::vector<std::int64_t> loop_value;              // current value per loop id
+  std::vector<std::vector<int>> nest_cache;          // comp id -> nest loop ids
+  std::vector<std::vector<std::int64_t>> stride_cache;  // buffer id -> strides
+};
+
+double eval_expr(const ExecContext& ctx, const ir::Expr& e,
+                 std::span<const std::int64_t> iters);
+
+double eval_load(const ExecContext& ctx, const ir::BufferAccess& a,
+                 std::span<const std::int64_t> iters) {
+  const auto idx = a.matrix.evaluate(iters);
+  const auto& strides = ctx.stride_cache[static_cast<std::size_t>(a.buffer_id)];
+  std::int64_t flat = 0;
+  for (std::size_t r = 0; r < idx.size(); ++r) flat += idx[r] * strides[r];
+  return ctx.bufs[static_cast<std::size_t>(a.buffer_id)][static_cast<std::size_t>(flat)];
+}
+
+double eval_expr(const ExecContext& ctx, const ir::Expr& e,
+                 std::span<const std::int64_t> iters) {
+  switch (e.kind()) {
+    case ir::ExprKind::Constant:
+      return e.constant_value();
+    case ir::ExprKind::Load:
+      return eval_load(ctx, e.access(), iters);
+    case ir::ExprKind::Add:
+      return eval_expr(ctx, e.lhs(), iters) + eval_expr(ctx, e.rhs(), iters);
+    case ir::ExprKind::Sub:
+      return eval_expr(ctx, e.lhs(), iters) - eval_expr(ctx, e.rhs(), iters);
+    case ir::ExprKind::Mul:
+      return eval_expr(ctx, e.lhs(), iters) * eval_expr(ctx, e.rhs(), iters);
+    case ir::ExprKind::Div: {
+      const double denom = eval_expr(ctx, e.rhs(), iters);
+      // Inputs are generated non-zero, but guard against pathological data.
+      return eval_expr(ctx, e.lhs(), iters) / (denom == 0.0 ? 1.0 : denom);
+    }
+    case ir::ExprKind::Max:
+      return std::max(eval_expr(ctx, e.lhs(), iters), eval_expr(ctx, e.rhs(), iters));
+    case ir::ExprKind::Min:
+      return std::min(eval_expr(ctx, e.lhs(), iters), eval_expr(ctx, e.rhs(), iters));
+  }
+  throw std::logic_error("eval_expr: unknown kind");
+}
+
+void exec_comp(ExecContext& ctx, int comp_id) {
+  const ir::Computation& c = ctx.p.comp(comp_id);
+  const auto& nest = ctx.nest_cache[static_cast<std::size_t>(comp_id)];
+  std::vector<std::int64_t> iters(nest.size());
+  for (std::size_t i = 0; i < nest.size(); ++i)
+    iters[i] = ctx.loop_value[static_cast<std::size_t>(nest[i])];
+
+  const double value = eval_expr(ctx, c.rhs, iters);
+  const auto idx = c.store.matrix.evaluate(iters);
+  const auto& strides = ctx.stride_cache[static_cast<std::size_t>(c.store.buffer_id)];
+  std::int64_t flat = 0;
+  for (std::size_t r = 0; r < idx.size(); ++r) flat += idx[r] * strides[r];
+  auto& storage = ctx.bufs[static_cast<std::size_t>(c.store.buffer_id)];
+  if (c.is_reduction) storage[static_cast<std::size_t>(flat)] += value;
+  else storage[static_cast<std::size_t>(flat)] = value;
+}
+
+void exec_loop(ExecContext& ctx, int loop_id) {
+  const ir::LoopNode& l = ctx.p.loop(loop_id);
+  std::int64_t extent = l.iter.extent;
+  if (l.tail_of != -1) {
+    // Inner tile loop: cover exactly the original extent.
+    const std::int64_t outer_idx = ctx.loop_value[static_cast<std::size_t>(l.tail_of)];
+    extent = std::min<std::int64_t>(extent, l.orig_extent - outer_idx * l.iter.extent);
+  }
+  for (std::int64_t v = 0; v < extent; ++v) {
+    ctx.loop_value[static_cast<std::size_t>(loop_id)] = v;
+    for (const ir::BodyItem& item : l.body) {
+      if (item.kind == ir::BodyItem::Kind::Loop) exec_loop(ctx, item.index);
+      else exec_comp(ctx, item.index);
+    }
+  }
+}
+
+}  // namespace
+
+BufferData Interpreter::make_buffers(const ir::Program& p, std::uint64_t seed) {
+  Rng rng(seed);
+  BufferData bufs(p.buffers.size());
+  for (const ir::Buffer& b : p.buffers) {
+    auto& storage = bufs[static_cast<std::size_t>(b.id)];
+    storage.assign(static_cast<std::size_t>(b.num_elements()), 0.0);
+    if (b.is_input) {
+      // Small non-zero integers: sums stay exact in double and divisions are
+      // well conditioned.
+      for (double& v : storage) v = static_cast<double>(rng.uniform_int(1, 9));
+    }
+  }
+  return bufs;
+}
+
+void Interpreter::run(const ir::Program& p, BufferData& bufs) {
+  if (bufs.size() != p.buffers.size())
+    throw std::invalid_argument("Interpreter::run: buffer arity mismatch");
+  ExecContext ctx{p, bufs, {}, {}, {}};
+  ctx.loop_value.assign(p.loops.size(), 0);
+  ctx.nest_cache.resize(p.comps.size());
+  for (const ir::Computation& c : p.comps)
+    ctx.nest_cache[static_cast<std::size_t>(c.id)] = p.nest_of(c.id);
+  ctx.stride_cache.resize(p.buffers.size());
+  for (const ir::Buffer& b : p.buffers)
+    ctx.stride_cache[static_cast<std::size_t>(b.id)] = strides_of(b);
+  for (int r : p.roots) exec_loop(ctx, r);
+}
+
+BufferData Interpreter::execute(const ir::Program& p, std::uint64_t seed) {
+  BufferData bufs = make_buffers(p, seed);
+  run(p, bufs);
+  return bufs;
+}
+
+double Interpreter::max_rel_difference(const ir::Program& p, const BufferData& a,
+                                       const BufferData& b) {
+  double worst = 0.0;
+  for (const ir::Buffer& buf : p.buffers) {
+    if (buf.is_input) continue;
+    const auto& va = a[static_cast<std::size_t>(buf.id)];
+    const auto& vb = b[static_cast<std::size_t>(buf.id)];
+    if (va.size() != vb.size()) return 1e30;
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      const double scale = std::max({1.0, std::abs(va[i]), std::abs(vb[i])});
+      worst = std::max(worst, std::abs(va[i] - vb[i]) / scale);
+    }
+  }
+  return worst;
+}
+
+}  // namespace tcm::sim

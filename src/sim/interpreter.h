@@ -1,0 +1,41 @@
+// Reference interpreter: actually executes a program on concrete buffers.
+//
+// This is the semantics ground truth of the project. It is used by tests to
+// verify that applying any legal schedule leaves program results unchanged
+// (the property Tiramisu's legality layer guarantees), and by small-scale
+// validation of the machine model. It is intentionally simple and is not
+// meant to be fast; benchmarks-scale programs go through the MachineModel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.h"
+#include "support/rng.h"
+
+namespace tcm::sim {
+
+// One dense row-major storage per buffer, indexed by buffer id.
+using BufferData = std::vector<std::vector<double>>;
+
+class Interpreter {
+ public:
+  // Allocates storage for every buffer: inputs are filled with deterministic
+  // small integers (derived from `seed`), outputs are zero-initialized
+  // (reductions accumulate from zero).
+  static BufferData make_buffers(const ir::Program& p, std::uint64_t seed);
+
+  // Executes the program, updating non-input buffers in `bufs`.
+  // Loop annotations (parallel / vectorize / unroll) do not affect results.
+  static void run(const ir::Program& p, BufferData& bufs);
+
+  // Convenience: make_buffers + run, returning the final state.
+  static BufferData execute(const ir::Program& p, std::uint64_t seed);
+
+  // Maximum |a-b| / max(1, |a|, |b|) over all non-input buffer elements.
+  // Used to compare the results of two semantically equal programs.
+  static double max_rel_difference(const ir::Program& p, const BufferData& a,
+                                   const BufferData& b);
+};
+
+}  // namespace tcm::sim

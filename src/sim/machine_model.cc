@@ -1,0 +1,348 @@
+#include "sim/machine_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace tcm::sim {
+namespace {
+
+constexpr double kElemBytes = 8.0;
+
+// Per-level context of a computation's nest.
+struct NestInfo {
+  std::vector<int> loop_ids;
+  std::vector<double> eff_extent;   // effective (average) trip count per level
+  int parallel_level = -1;          // outermost parallel level, -1 if none
+  int vector_width = 0;             // innermost annotation
+  int unroll = 0;                   // innermost annotation
+};
+
+NestInfo analyze_nest(const ir::Program& p, int comp_id) {
+  NestInfo info;
+  info.loop_ids = p.nest_of(comp_id);
+  info.eff_extent.resize(info.loop_ids.size());
+  // Position of each loop id within the nest for tail lookups.
+  std::map<int, std::size_t> pos;
+  for (std::size_t i = 0; i < info.loop_ids.size(); ++i) pos[info.loop_ids[i]] = i;
+  for (std::size_t i = 0; i < info.loop_ids.size(); ++i) {
+    const ir::LoopNode& l = p.loop(info.loop_ids[i]);
+    double e = static_cast<double>(l.iter.extent);
+    if (l.tail_of != -1 && pos.count(l.tail_of)) {
+      // Average trip count of a tail-bounded inner tile loop.
+      const double outer_trips = static_cast<double>(p.loop(l.tail_of).iter.extent);
+      e = static_cast<double>(l.orig_extent) / std::max(1.0, outer_trips);
+    }
+    info.eff_extent[i] = std::max(1.0, e);
+    if (l.parallel && info.parallel_level == -1) info.parallel_level = static_cast<int>(i);
+  }
+  if (!info.loop_ids.empty()) {
+    const ir::LoopNode& inner = p.loop(info.loop_ids.back());
+    info.vector_width = inner.vector_width;
+    info.unroll = inner.unroll;
+  }
+  return info;
+}
+
+// Row-major byte strides of a buffer.
+std::vector<double> buffer_strides(const ir::Buffer& b) {
+  std::vector<double> s(b.dims.size(), kElemBytes);
+  for (int i = static_cast<int>(b.dims.size()) - 2; i >= 0; --i)
+    s[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i + 1)] *
+                                     static_cast<double>(b.dims[static_cast<std::size_t>(i + 1)]);
+  return s;
+}
+
+// Byte stride of the access per step of loop column `col`.
+double access_stride(const ir::AccessMatrix& m, const std::vector<double>& bstrides, int col) {
+  double stride = 0;
+  for (int r = 0; r < m.rank(); ++r)
+    stride += static_cast<double>(m.at(r, col)) * bstrides[static_cast<std::size_t>(r)];
+  return std::abs(stride);
+}
+
+// Bytes touched by the access during one execution of the sub-nest starting
+// at `from_level` (product of per-dimension index spans).
+double footprint_bytes(const ir::AccessMatrix& m, const NestInfo& nest, int from_level) {
+  double bytes = kElemBytes;
+  for (int r = 0; r < m.rank(); ++r) {
+    double span = 1.0;
+    for (int c = from_level; c < m.depth(); ++c) {
+      const double coef = std::abs(static_cast<double>(m.at(r, c)));
+      if (coef == 0.0) continue;
+      span += coef * (nest.eff_extent[static_cast<std::size_t>(c)] - 1.0);
+    }
+    bytes *= span;
+  }
+  return bytes;
+}
+
+// True iff the access does not depend on loop column `col`.
+bool invariant_to(const ir::AccessMatrix& m, int col) { return m.invariant_to(col); }
+
+// Latency of the smallest cache level whose (80%-usable) capacity holds
+// `bytes`; memory latency otherwise.
+double fit_latency(const MachineSpec& spec, double bytes) {
+  const double usable = 0.8;
+  if (bytes <= usable * static_cast<double>(spec.l1.size_bytes)) return spec.l1.latency_cycles;
+  if (bytes <= usable * static_cast<double>(spec.l2.size_bytes)) return spec.l2.latency_cycles;
+  if (bytes <= usable * static_cast<double>(spec.l3.size_bytes)) return spec.l3.latency_cycles;
+  return spec.mem_latency_cycles;
+}
+
+double prefetch_factor(const MachineSpec& spec, double stride_bytes) {
+  if (stride_bytes <= static_cast<double>(spec.line_bytes)) return spec.prefetch_factor_seq;
+  if (stride_bytes <= 4.0 * static_cast<double>(spec.line_bytes))
+    return spec.prefetch_factor_strided;
+  return 1.0;
+}
+
+struct AccessCost {
+  double cycles_per_iter = 0;
+  double stride_inner = 0;
+};
+
+// Key identifying a group-reuse class: same buffer, same linear part.
+std::string linear_key(const ir::BufferAccess& a) {
+  std::string key = std::to_string(a.buffer_id) + "|";
+  for (int r = 0; r < a.matrix.rank(); ++r)
+    for (int c = 0; c < a.matrix.depth(); ++c) key += std::to_string(a.matrix.at(r, c)) + ",";
+  return key;
+}
+
+class CompCost {
+ public:
+  CompCost(const MachineSpec& spec, const ir::Program& p, int comp_id)
+      : spec_(spec), p_(p), comp_(p.comp(comp_id)), nest_(analyze_nest(p, comp_id)) {
+    iters_ = 1.0;
+    for (double e : nest_.eff_extent) iters_ *= e;
+  }
+
+  double arith_cycles_per_iter() const {
+    const ir::OpCounts ops = comp_.rhs.op_counts();
+    double cycles = static_cast<double>(ops.adds + ops.subs + ops.muls) * spec_.cycles_per_flop +
+                    static_cast<double>(ops.divs) * spec_.cycles_per_div;
+    // A store counts as one op of bookkeeping.
+    cycles += 0.5;
+
+    const int depth = static_cast<int>(nest_.eff_extent.size());
+    const bool reduction_inner =
+        depth > 0 && comp_.store.matrix.invariant_to(depth - 1);
+
+    if (nest_.vector_width > 1) {
+      const int w = std::min(nest_.vector_width, spec_.max_vector_width);
+      if (vector_friendly()) {
+        double divisor = static_cast<double>(w) * spec_.vector_efficiency;
+        if (reduction_inner) divisor *= 0.6;  // horizontal-reduction overhead
+        cycles /= std::max(1.0, divisor);
+      } else {
+        cycles /= 1.3;  // gather/scatter codegen: marginal win
+      }
+    }
+    if (nest_.unroll > 1) {
+      const double u = static_cast<double>(nest_.unroll);
+      // Unrolling breaks reduction dependence chains and improves ILP, with
+      // diminishing returns and an instruction-cache penalty for huge bodies.
+      const double ilp = reduction_inner ? 1.0 + 0.22 * std::log2(u) : 1.0 + 0.06 * std::log2(u);
+      cycles /= ilp;
+      const double body_ops = static_cast<double>(comp_.rhs.op_counts().total() + 1) * u;
+      if (body_ops > 128.0) cycles *= 1.0 + std::min(0.6, (body_ops - 128.0) / 512.0);
+    }
+    return cycles;
+  }
+
+  bool vector_friendly() const {
+    const int inner = static_cast<int>(nest_.eff_extent.size()) - 1;
+    auto ok = [&](const ir::BufferAccess& a) {
+      const auto bs = buffer_strides(p_.buffer(a.buffer_id));
+      const double s = access_stride(a.matrix, bs, inner);
+      return s <= kElemBytes + 0.5;
+    };
+    if (!ok(comp_.store)) return false;
+    for (const ir::BufferAccess& a : comp_.rhs.loads())
+      if (!ok(a)) return false;
+    return true;
+  }
+
+  double mem_cycles_per_iter() const {
+    double total = 0;
+    std::map<std::string, int> group_seen;
+    for (const ir::BufferAccess& a : comp_.rhs.loads()) {
+      const bool follower = group_seen[linear_key(a)]++ > 0;
+      total += access_cost(a, /*is_store=*/false, follower);
+    }
+    total += access_cost(comp_.store, /*is_store=*/true, /*follower=*/false);
+    return total;
+  }
+
+  double overhead_cycles_total() const {
+    // Per-level bookkeeping: every executed iteration of every loop pays the
+    // loop overhead; unrolling amortizes the innermost one.
+    double cycles = 0;
+    double outer_iters = 1.0;
+    for (std::size_t l = 0; l < nest_.eff_extent.size(); ++l) {
+      double per_iter = spec_.loop_overhead_cycles;
+      if (l + 1 == nest_.eff_extent.size()) {
+        if (nest_.unroll > 1) per_iter /= static_cast<double>(nest_.unroll);
+        if (nest_.vector_width > 1) per_iter /= static_cast<double>(nest_.vector_width);
+      }
+      outer_iters *= nest_.eff_extent[l];
+      cycles += outer_iters * per_iter;
+    }
+    return cycles;
+  }
+
+  // Total cycles for this computation including parallel scaling.
+  double total_cycles(double* arith_out = nullptr, double* mem_out = nullptr,
+                      double* overhead_out = nullptr, double* spawn_out = nullptr) const {
+    const double arith = arith_cycles_per_iter() * iters_;
+    const double mem = mem_cycles_per_iter() * iters_;
+    const double overhead = overhead_cycles_total();
+    if (arith_out) *arith_out += arith;
+    if (mem_out) *mem_out += mem;
+    if (overhead_out) *overhead_out += overhead;
+
+    if (nest_.parallel_level < 0) return arith + mem + overhead;
+
+    const int lp = nest_.parallel_level;
+    const double e_p = nest_.eff_extent[static_cast<std::size_t>(lp)];
+    double outer = 1.0;
+    for (int l = 0; l < lp; ++l) outer *= nest_.eff_extent[static_cast<std::size_t>(l)];
+    const double spawn = outer * spec_.parallel_spawn_cycles;
+    if (spawn_out) *spawn_out += spawn;
+
+    // Ceil-based load balance across cores.
+    const double batches = std::ceil(e_p / static_cast<double>(spec_.cores));
+    const double speedup_cpu = std::max(1.0, e_p / batches * spec_.parallel_efficiency);
+    const double speedup_mem =
+        std::min(speedup_cpu, static_cast<double>(spec_.mem_parallel_cores));
+
+    // Overhead above the parallel loop stays sequential; approximate its
+    // share by the outer iteration count (small).
+    const double seq_overhead = outer * spec_.loop_overhead_cycles;
+    const double par_overhead = std::max(0.0, overhead - seq_overhead);
+    return seq_overhead + spawn + (arith + par_overhead) / speedup_cpu + mem / speedup_mem;
+  }
+
+ private:
+  double access_cost(const ir::BufferAccess& a, bool is_store, bool follower) const {
+    const ir::Buffer& buf = p_.buffer(a.buffer_id);
+    const auto bstrides = buffer_strides(buf);
+    const int depth = static_cast<int>(nest_.eff_extent.size());
+    const int inner = depth - 1;
+    const double stride = depth > 0 ? access_stride(a.matrix, bstrides, inner) : 0.0;
+    const double line = static_cast<double>(spec_.line_bytes);
+
+    // Invariant to the innermost loop: held in a register across iterations;
+    // refetches amortize over the innermost trip count.
+    if (stride == 0.0) {
+      const double fetch_lat = fit_latency(spec_, footprint_bytes(a.matrix, nest_, 0));
+      const double e_inner = depth > 0 ? nest_.eff_extent[static_cast<std::size_t>(inner)] : 1.0;
+      return std::max(0.25, fetch_lat / std::max(1.0, e_inner)) * (is_store ? 0.7 : 1.0);
+    }
+
+    const double line_refs_per_iter = std::min(1.0, stride / line);
+    const double intra_frac = 1.0 - line_refs_per_iter;
+    double intra_cost = 1.0;  // pipelined L1 element hits within a line
+    if (nest_.vector_width > 1 && stride <= kElemBytes + 0.5)
+      intra_cost /= static_cast<double>(std::min(nest_.vector_width, spec_.max_vector_width));
+
+    if (follower) {
+      // Group reuse (stencil neighbours): lines were brought in by the group
+      // leader; pay L1.
+      return (line_refs_per_iter * spec_.l1.latency_cycles + intra_frac * intra_cost) *
+             (is_store ? 0.7 : 1.0);
+    }
+
+    // Temporal reuse: innermost loop the access is invariant to.
+    double reuse_tile_bytes = -1.0;
+    for (int c = depth - 1; c >= 0; --c) {
+      if (nest_.eff_extent[static_cast<std::size_t>(c)] <= 1.0) continue;
+      if (invariant_to(a.matrix, c)) {
+        reuse_tile_bytes = footprint_bytes(a.matrix, nest_, c + 1);
+        break;
+      }
+    }
+
+    // Where do compulsory (first-touch) fetches come from?
+    double home_lat = spec_.mem_latency_cycles;
+    if (!buf.is_input) {
+      // Produced earlier in this program: served from the smallest level
+      // holding the data live between producer and consumer.
+      home_lat = fit_latency(spec_, producer_consumer_bytes(a));
+    }
+
+    const double total_bytes = footprint_bytes(a.matrix, nest_, 0);
+    const double distinct_lines =
+        std::max(1.0, total_bytes / (stride <= line ? line : kElemBytes));
+    const double total_line_refs = std::max(1.0, iters_ * line_refs_per_iter);
+    const double reuse_frac =
+        std::clamp(1.0 - distinct_lines / total_line_refs, 0.0, 1.0);
+
+    double reuse_lat;
+    if (reuse_tile_bytes >= 0.0) {
+      reuse_lat = std::min(home_lat, fit_latency(spec_, reuse_tile_bytes));
+    } else {
+      // No temporal reuse within the nest: repeats (if any) stream again.
+      reuse_lat = home_lat * prefetch_factor(spec_, stride);
+    }
+    const double stream_lat = home_lat * prefetch_factor(spec_, stride);
+    const double line_cost = reuse_frac * reuse_lat + (1.0 - reuse_frac) * stream_lat;
+    const double cost = line_refs_per_iter * line_cost + intra_frac * intra_cost;
+    return cost * (is_store ? 0.7 : 1.0);
+  }
+
+  // Bytes of `a`'s buffer live between its producer and this consumer: the
+  // footprint of the access below the deepest loop shared with the producer
+  // (whole buffer when they share no loop).
+  double producer_consumer_bytes(const ir::BufferAccess& a) const {
+    const ir::Buffer& buf = p_.buffer(a.buffer_id);
+    int best_shared = -1;
+    for (const ir::Computation& other : p_.comps) {
+      if (other.id == comp_.id || other.store.buffer_id != a.buffer_id) continue;
+      const std::vector<int> other_nest = p_.nest_of(other.id);
+      int shared = 0;
+      while (shared < static_cast<int>(nest_.loop_ids.size()) &&
+             shared < static_cast<int>(other_nest.size()) &&
+             nest_.loop_ids[static_cast<std::size_t>(shared)] ==
+                 other_nest[static_cast<std::size_t>(shared)])
+        ++shared;
+      best_shared = std::max(best_shared, shared);
+    }
+    if (best_shared <= 0) return static_cast<double>(buf.num_elements()) * kElemBytes;
+    return footprint_bytes(a.matrix, nest_, best_shared);
+  }
+
+  const MachineSpec& spec_;
+  const ir::Program& p_;
+  const ir::Computation& comp_;
+  NestInfo nest_;
+  double iters_ = 1.0;
+};
+
+}  // namespace
+
+MachineModel::MachineModel(MachineSpec spec) : spec_(spec) {}
+
+double MachineModel::comp_cycles(const ir::Program& p, int comp_id) const {
+  return CompCost(spec_, p, comp_id).total_cycles();
+}
+
+MachineModel::Breakdown MachineModel::cost_breakdown(const ir::Program& p) const {
+  Breakdown b;
+  for (const ir::Computation& c : p.comps) {
+    CompCost cc(spec_, p, c.id);
+    b.total_cycles +=
+        cc.total_cycles(&b.arith_cycles, &b.mem_cycles, &b.overhead_cycles, &b.spawn_cycles);
+  }
+  return b;
+}
+
+double MachineModel::execution_time_seconds(const ir::Program& p) const {
+  const Breakdown b = cost_breakdown(p);
+  return b.total_cycles / (spec_.freq_ghz * 1e9);
+}
+
+}  // namespace tcm::sim

@@ -1,0 +1,67 @@
+// Analytical CPU execution-time model: the simulated hardware of this
+// reproduction (see DESIGN.md, substitution table).
+//
+// The model estimates the cycles a transformed program takes on the
+// MachineSpec CPU. It is deliberately *not* visible to the learned cost
+// model: the DNN only sees (program characterization, schedule tags,
+// measured speedup) triplets, exactly as the paper's model only saw
+// measurements from the Xeon cluster.
+//
+// The estimate walks each computation's loop nest and combines:
+//   - arithmetic cost (adds/subs/muls at 1 cycle, divs at 8), reduced by
+//     vectorization on stride-1 bodies and by unrolling on reduction chains;
+//   - memory cost per access, from an affine footprint/reuse analysis:
+//       * spatial locality: per-iteration line-fetch rate from the byte
+//         stride of the access with respect to the innermost loop, with a
+//         hardware-prefetch discount for small constant strides;
+//       * temporal reuse: the innermost loop the access is invariant to
+//         defines a reuse tile; the smallest cache level that fits the tile
+//         serves the reused portion (this is what makes tiling and
+//         interchange matter);
+//       * group reuse: accesses that differ only by constant offsets
+//         (stencils) share lines, followers pay L1;
+//       * producer-consumer locality: loads of buffers written earlier are
+//         served by the smallest level that fits the data live between
+//         producer and consumer; fusion shrinks that set (this is what makes
+//         fusion matter);
+//   - loop bookkeeping overhead per iteration, reduced by unrolling;
+//   - parallelization: work below the parallel loop is divided across cores
+//     with ceil-based load balancing; the memory-bound share saturates at a
+//     bandwidth core count; each entry into the region pays a spawn cost
+//     (parallelizing small or inner loops therefore *hurts*, producing the
+//     sub-1 speedups the paper's Figure 4/5 rely on).
+#pragma once
+
+#include "ir/program.h"
+#include "sim/machine_spec.h"
+
+namespace tcm::sim {
+
+class MachineModel {
+ public:
+  explicit MachineModel(MachineSpec spec = MachineSpec::xeon_e5_2680v3());
+
+  const MachineSpec& spec() const { return spec_; }
+
+  struct Breakdown {
+    double arith_cycles = 0;
+    double mem_cycles = 0;
+    double overhead_cycles = 0;
+    double spawn_cycles = 0;
+    double total_cycles = 0;  // after parallel scaling; not the sum of parts
+  };
+
+  // Estimated wall-clock seconds of one execution of the program.
+  double execution_time_seconds(const ir::Program& p) const;
+
+  // Cycle breakdown (pre-parallel components plus the final total).
+  Breakdown cost_breakdown(const ir::Program& p) const;
+
+  // Estimated cycles for a single computation (with its schedule context).
+  double comp_cycles(const ir::Program& p, int comp_id) const;
+
+ private:
+  MachineSpec spec_;
+};
+
+}  // namespace tcm::sim

@@ -1,0 +1,63 @@
+// Deterministic random number generation for the whole project.
+//
+// Every stochastic component (program generator, schedule generator, noise
+// model, NN initialization, dropout, search) takes an explicit Rng so that
+// datasets, trained models and experiments are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace tcm {
+
+// xoshiro256++ generator (Blackman & Vigna). Fast, high quality, and small
+// enough to copy by value when a component needs an independent stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double uniform_real(double lo = 0.0, double hi = 1.0);
+
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  // Lognormal: exp(normal(mu, sigma)). Used for measurement-noise emulation.
+  double lognormal(double mu, double sigma);
+
+  // Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& v) {
+    if (v.empty()) throw std::invalid_argument("Rng::choice on empty vector");
+    return v[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child stream; deterministic in (state, salt).
+  Rng split(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tcm

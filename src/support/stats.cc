@@ -1,0 +1,137 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tcm {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double ape(double y, double yhat) {
+  if (y == 0.0) throw std::invalid_argument("ape: measured value must be non-zero");
+  return std::abs((y - yhat) / y);
+}
+
+double mape(std::span<const double> y, std::span<const double> yhat) {
+  if (y.size() != yhat.size()) throw std::invalid_argument("mape: size mismatch");
+  if (y.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) acc += ape(y[i], yhat[i]);
+  return acc / static_cast<double>(y.size());
+}
+
+double mse(std::span<const double> y, std::span<const double> yhat) {
+  if (y.size() != yhat.size()) throw std::invalid_argument("mse: size mismatch");
+  if (y.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double d = y[i] - yhat[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(y.size());
+}
+
+double pearson(std::span<const double> y, std::span<const double> yhat) {
+  if (y.size() != yhat.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (y.size() < 2) return 0.0;
+  const double my = mean(y);
+  const double mx = mean(yhat);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double dy = y[i] - my;
+    const double dx = yhat[i] - mx;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks_average_ties(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank for the tie group [i, j], 1-based.
+    const double avg = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> y, std::span<const double> yhat) {
+  if (y.size() != yhat.size()) throw std::invalid_argument("spearman: size mismatch");
+  const std::vector<double> ry = ranks_average_ties(y);
+  const std::vector<double> rx = ranks_average_ties(yhat);
+  return pearson(ry, rx);
+}
+
+double r_squared(std::span<const double> y, std::span<const double> yhat) {
+  if (y.size() != yhat.size()) throw std::invalid_argument("r_squared: size mismatch");
+  if (y.empty()) return 0.0;
+  const double my = mean(y);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ss_res += (y[i] - yhat[i]) * (y[i] - yhat[i]);
+    ss_tot += (y[i] - my) * (y[i] - my);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Histogram::bin_width() const {
+  return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+}
+
+double Histogram::bin_left(std::size_t i) const { return lo + bin_width() * static_cast<double>(i); }
+
+Histogram make_histogram(std::span<const double> xs, double lo, double hi, std::size_t bins) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("make_histogram: bad bins/range");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double w = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo) / w));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+}  // namespace tcm

@@ -1,0 +1,62 @@
+// Statistics used throughout the evaluation: the paper reports MAPE, APE
+// distributions, Pearson correlation, Spearman rank correlation and R^2.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tcm {
+
+// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+// Sample median (average of middle two for even sizes). Returns 0 when empty.
+double median(std::span<const double> xs);
+
+// Sample variance (denominator n). Returns 0 when empty.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+// Absolute percentage error |y - yhat| / |y| for a single pair.
+// Requires y != 0 (the paper's speedups are positive by construction).
+double ape(double y, double yhat);
+
+// Mean absolute percentage error over paired samples: the paper's accuracy
+// metric and training loss. Expressed as a fraction (0.16 == 16%).
+double mape(std::span<const double> y, std::span<const double> yhat);
+
+// Mean squared error (the loss used by the Halide baseline).
+double mse(std::span<const double> y, std::span<const double> yhat);
+
+// Pearson linear correlation coefficient. Returns 0 when either side has
+// zero variance.
+double pearson(std::span<const double> y, std::span<const double> yhat);
+
+// Ranks with ties assigned the average rank (1-based, as in standard
+// Spearman computation).
+std::vector<double> ranks_average_ties(std::span<const double> xs);
+
+// Spearman rank correlation: Pearson correlation of the rank vectors.
+double spearman(std::span<const double> y, std::span<const double> yhat);
+
+// Coefficient of determination R^2 = 1 - SS_res / SS_tot (the metric Halide's
+// paper reports).
+double r_squared(std::span<const double> y, std::span<const double> yhat);
+
+// Fixed-width histogram over [lo, hi); values outside are clamped into the
+// first/last bin. Used to reproduce Figure 5 (APE histogram).
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;  // counts.size() == number of bins
+
+  double bin_width() const;
+  // Left edge of bin i.
+  double bin_left(std::size_t i) const;
+};
+
+Histogram make_histogram(std::span<const double> xs, double lo, double hi, std::size_t bins);
+
+}  // namespace tcm

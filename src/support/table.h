@@ -1,0 +1,40 @@
+// Console table rendering and CSV output for the benchmark harness.
+//
+// Every bench binary prints the rows the paper reports (Figure/Table series)
+// via Table, and mirrors them to a CSV file for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tcm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+
+  // Renders an aligned ASCII table.
+  std::string to_string() const;
+
+  // Renders RFC-4180-ish CSV (values containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  // Writes CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcm

@@ -1,0 +1,405 @@
+#include "transforms/apply.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "transforms/dependence.h"
+
+namespace tcm::transforms {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+void collect_comps(const ir::Program& p, int loop_id, std::vector<int>& out) {
+  for (const ir::BodyItem& item : p.loop(loop_id).body) {
+    if (item.kind == ir::BodyItem::Kind::Loop) collect_comps(p, item.index, out);
+    else out.push_back(item.index);
+  }
+}
+
+// Rewrites access-matrix columns for a d-dimensional tiling at level t:
+// old column t+k (k < d) becomes outer column t+k with coefficient v*s_k and
+// inner column t+d+k with coefficient v; later columns shift right by d.
+ir::AccessMatrix tile_columns(const ir::AccessMatrix& m, int t,
+                              std::span<const std::int64_t> sizes) {
+  const int d = static_cast<int>(sizes.size());
+  ir::AccessMatrix out(m.rank(), m.depth() + d);
+  for (int r = 0; r < m.rank(); ++r) {
+    out.set(r, out.depth(), m.constant(r));
+    for (int c = 0; c < m.depth(); ++c) {
+      const std::int64_t v = m.at(r, c);
+      if (c < t) {
+        out.set(r, c, v);
+      } else if (c < t + d) {
+        const int k = c - t;
+        out.set(r, t + k, v * sizes[static_cast<std::size_t>(k)]);
+        out.set(r, t + d + k, v);
+      } else {
+        out.set(r, c + d, v);
+      }
+    }
+  }
+  return out;
+}
+
+// Stateful applier working on a private copy of the program.
+class Applier {
+ public:
+  explicit Applier(const ir::Program& p) : prog_(p) {}
+
+  // Each step returns an error string on legality failure.
+  std::optional<std::string> fuse(const FuseSpec& s);
+  std::optional<std::string> interchange(const InterchangeSpec& s);
+  std::optional<std::string> tile(const TileSpec& s);
+  std::optional<std::string> unroll(const UnrollSpec& s);
+  std::optional<std::string> parallelize(const ParallelizeSpec& s);
+  std::optional<std::string> vectorize(const VectorizeSpec& s);
+
+  // Renumbers the loop arena after structural edits and re-validates.
+  std::optional<std::string> finalize();
+
+  ir::Program take() { return std::move(prog_); }
+
+ private:
+  std::optional<std::string> check_comp(int comp_id) const {
+    if (comp_id < 0 || comp_id >= static_cast<int>(prog_.comps.size()))
+      return "unknown computation id " + std::to_string(comp_id);
+    return std::nullopt;
+  }
+
+  // True iff levels [a, b] of `nest` form a perfectly nested chain: each
+  // loop in [a, b) has exactly one body item, the next loop of the nest.
+  bool perfectly_nested(const std::vector<int>& nest, int a, int b) const {
+    for (int l = a; l < b; ++l) {
+      const ir::LoopNode& ln = prog_.loop(nest[static_cast<std::size_t>(l)]);
+      if (ln.body.size() != 1) return false;
+      const ir::BodyItem& only = ln.body.front();
+      if (only.kind != ir::BodyItem::Kind::Loop ||
+          only.index != nest[static_cast<std::size_t>(l + 1)])
+        return false;
+    }
+    return true;
+  }
+
+  // Maps a pre-tiling level of `comp` to the current nest index, accounting
+  // for an earlier tiling of the same nest.
+  int map_level(int comp_id, int level) const {
+    auto it = tiled_.find(comp_id);
+    if (it == tiled_.end()) return level;
+    const auto& [t, d] = it->second;
+    if (level < t + d) return level;  // outer tile loops keep their index
+    return level + d;
+  }
+
+  ir::Program prog_;
+  // comp id -> (tile level, tile dims) for nests already tiled; shared nests
+  // record every computation they cover.
+  std::map<int, std::pair<int, int>> tiled_;
+};
+
+std::optional<std::string> Applier::fuse(const FuseSpec& s) {
+  if (auto e = check_comp(s.comp_a)) return e;
+  if (auto e = check_comp(s.comp_b)) return e;
+  if (s.depth < 1) return std::string("fusion depth must be >= 1");
+
+  const std::vector<int> nest_a = prog_.nest_of(s.comp_a);
+  const std::vector<int> nest_b = prog_.nest_of(s.comp_b);
+  const int root_a = nest_a.front();
+  const int root_b = nest_b.front();
+  if (root_a == root_b) return std::string("fusion: computations already share a nest");
+
+  // The nests must be adjacent top-level nests, a before b.
+  const auto it_a = std::find(prog_.roots.begin(), prog_.roots.end(), root_a);
+  const auto it_b = std::find(prog_.roots.begin(), prog_.roots.end(), root_b);
+  if (it_a == prog_.roots.end() || it_b == prog_.roots.end())
+    return std::string("fusion: computations must live in top-level nests");
+  if (it_b != it_a + 1) return std::string("fusion: nests must be textually adjacent (a before b)");
+
+  if (s.depth > static_cast<int>(nest_a.size()) || s.depth > static_cast<int>(nest_b.size()))
+    return std::string("fusion: depth exceeds a nest's depth");
+
+  // Matching extents on the fused levels.
+  for (int l = 0; l < s.depth; ++l) {
+    const auto& la = prog_.loop(nest_a[static_cast<std::size_t>(l)]);
+    const auto& lb = prog_.loop(nest_b[static_cast<std::size_t>(l)]);
+    if (la.iter.extent != lb.iter.extent)
+      return "fusion: extent mismatch at level " + std::to_string(l);
+    if (la.tail_of != -1 || lb.tail_of != -1)
+      return std::string("fusion: cannot fuse tiled loops");
+  }
+
+  // The b-side must be a pure chain above the fusion depth so that merging
+  // does not reorder statements of nest b relative to each other.
+  if (!perfectly_nested(nest_b, 0, s.depth - 1))
+    return std::string("fusion: nest b is not perfectly nested down to the fusion depth");
+
+  // Dependence legality.
+  std::vector<int> comps_a, comps_b;
+  collect_comps(prog_, root_a, comps_a);
+  collect_comps(prog_, root_b, comps_b);
+  if (auto err = check_fusion_dependences(prog_, comps_a, comps_b, s.depth)) return err;
+
+  // Merge: move children of b's level-l loop into a's level-l loop.
+  for (int l = 0; l < s.depth; ++l) {
+    ir::LoopNode& la = prog_.loop(nest_a[static_cast<std::size_t>(l)]);
+    ir::LoopNode& lb = prog_.loop(nest_b[static_cast<std::size_t>(l)]);
+    la.tag_fused = true;
+    if (l == s.depth - 1) {
+      // Move everything.
+      for (const ir::BodyItem& item : lb.body) {
+        if (item.kind == ir::BodyItem::Kind::Loop) prog_.loop(item.index).parent = la.id;
+        else prog_.comps[static_cast<std::size_t>(item.index)].loop_id = la.id;
+        la.body.push_back(item);
+      }
+      lb.body.clear();
+    }
+    // For l < depth-1 the only child of lb is the next loop of nest_b, which
+    // merges one level deeper; nothing else to move (chain requirement).
+  }
+  prog_.roots.erase(it_b);
+  return std::nullopt;
+}
+
+std::optional<std::string> Applier::interchange(const InterchangeSpec& s) {
+  if (auto e = check_comp(s.comp)) return e;
+  int la = s.level_a, lb = s.level_b;
+  if (la > lb) std::swap(la, lb);
+  if (la == lb) return std::string("interchange: identical levels");
+  const std::vector<int> nest = prog_.nest_of(s.comp);
+  if (lb >= static_cast<int>(nest.size()))
+    return std::string("interchange: level out of range");
+  for (int l = la; l <= lb; ++l) {
+    const ir::LoopNode& ln = prog_.loop(nest[static_cast<std::size_t>(l)]);
+    if (ln.tail_of != -1 || ln.tag_tiled)
+      return std::string("interchange: cannot interchange tiled loops");
+  }
+  if (!perfectly_nested(nest, la, lb))
+    return std::string("interchange: levels do not delimit a perfectly nested chain");
+
+  ir::LoopNode& a = prog_.loop(nest[static_cast<std::size_t>(la)]);
+  ir::LoopNode& b = prog_.loop(nest[static_cast<std::size_t>(lb)]);
+  std::swap(a.iter, b.iter);
+  a.tag_interchanged = true;
+  b.tag_interchanged = true;
+
+  // Remap every access of every computation under the deeper loop.
+  std::vector<int> comps;
+  collect_comps(prog_, b.id, comps);
+  for (int cid : comps) {
+    ir::Computation& c = prog_.comps[static_cast<std::size_t>(cid)];
+    c.store.matrix.interchange(la, lb);
+    c.rhs = c.rhs.map_accesses([&](const ir::AccessMatrix& m) {
+      ir::AccessMatrix out = m;
+      out.interchange(la, lb);
+      return out;
+    });
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Applier::tile(const TileSpec& s) {
+  if (auto e = check_comp(s.comp)) return e;
+  const int d = static_cast<int>(s.sizes.size());
+  if (d < 2 || d > 3) return std::string("tile: only 2-D and 3-D tiling supported");
+  const std::vector<int> nest = prog_.nest_of(s.comp);
+  if (s.level < 0 || s.level + d > static_cast<int>(nest.size()))
+    return std::string("tile: level out of range");
+  for (int k = 0; k < d; ++k) {
+    const ir::LoopNode& ln = prog_.loop(nest[static_cast<std::size_t>(s.level + k)]);
+    if (ln.tail_of != -1 || ln.tag_tiled) return std::string("tile: loop already tiled");
+    const std::int64_t size = s.sizes[static_cast<std::size_t>(k)];
+    if (size < 2) return std::string("tile: size must be >= 2");
+    if (size > ln.iter.extent)
+      return "tile: size " + std::to_string(size) + " exceeds extent " +
+             std::to_string(ln.iter.extent);
+  }
+  if (!perfectly_nested(nest, s.level, s.level + d - 1))
+    return std::string("tile: levels are not perfectly nested");
+
+  // Record which computations live under the tiled band (they all live under
+  // the deepest tiled loop by the chain property).
+  const int deepest = nest[static_cast<std::size_t>(s.level + d - 1)];
+  std::vector<int> comps;
+  collect_comps(prog_, deepest, comps);
+  for (int cid : comps) {
+    if (tiled_.count(cid)) return std::string("tile: computation nest already tiled");
+  }
+
+  // Save the original body of the deepest tiled loop: it becomes the body of
+  // the innermost new tile loop.
+  ir::LoopNode& deepest_loop = prog_.loop(deepest);
+  std::vector<ir::BodyItem> inner_body = std::move(deepest_loop.body);
+  deepest_loop.body.clear();
+
+  // Convert the existing loops into the outer tile loops.
+  std::vector<std::int64_t> orig_extents(static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    ir::LoopNode& outer = prog_.loop(nest[static_cast<std::size_t>(s.level + k)]);
+    orig_extents[static_cast<std::size_t>(k)] = outer.iter.extent;
+    outer.iter.extent = ceil_div(outer.iter.extent, s.sizes[static_cast<std::size_t>(k)]);
+    outer.iter.name += "_o";
+    outer.tag_tiled = true;
+    outer.tag_tile_factor = s.sizes[static_cast<std::size_t>(k)];
+  }
+
+  // Create the inner tile loops, chained under the deepest outer loop.
+  int parent = deepest;
+  for (int k = 0; k < d; ++k) {
+    ir::LoopNode inner;
+    const ir::LoopNode& outer = prog_.loop(nest[static_cast<std::size_t>(s.level + k)]);
+    inner.iter.name = outer.iter.name.substr(0, outer.iter.name.size() - 2) + "_i";
+    inner.iter.extent = s.sizes[static_cast<std::size_t>(k)];
+    inner.parent = parent;
+    inner.tail_of = outer.id;
+    inner.orig_extent = orig_extents[static_cast<std::size_t>(k)];
+    const int inner_id = prog_.add_loop(std::move(inner));
+    prog_.loop(parent).body.push_back(ir::BodyItem::loop(inner_id));
+    parent = inner_id;
+  }
+
+  // Attach the original body under the innermost tile loop.
+  ir::LoopNode& innermost = prog_.loop(parent);
+  innermost.body = std::move(inner_body);
+  for (const ir::BodyItem& item : innermost.body) {
+    if (item.kind == ir::BodyItem::Kind::Loop) prog_.loop(item.index).parent = parent;
+    else prog_.comps[static_cast<std::size_t>(item.index)].loop_id = parent;
+  }
+
+  // Rewrite all access matrices of computations under the band.
+  for (int cid : comps) {
+    ir::Computation& c = prog_.comps[static_cast<std::size_t>(cid)];
+    c.store.matrix = tile_columns(c.store.matrix, s.level, s.sizes);
+    c.rhs = c.rhs.map_accesses(
+        [&](const ir::AccessMatrix& m) { return tile_columns(m, s.level, s.sizes); });
+    tiled_[cid] = {s.level, d};
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Applier::unroll(const UnrollSpec& s) {
+  if (auto e = check_comp(s.comp)) return e;
+  if (s.factor < 2) return std::string("unroll: factor must be >= 2");
+  const std::vector<int> nest = prog_.nest_of(s.comp);
+  ir::LoopNode& inner = prog_.loop(nest.back());
+  if (inner.unroll != 0) return std::string("unroll: loop already unrolled");
+  if (s.factor > inner.iter.extent) return std::string("unroll: factor exceeds extent");
+  inner.unroll = s.factor;
+  return std::nullopt;
+}
+
+std::optional<std::string> Applier::parallelize(const ParallelizeSpec& s) {
+  if (auto e = check_comp(s.comp)) return e;
+  const std::vector<int> nest = prog_.nest_of(s.comp);
+  const int level = map_level(s.comp, s.level);
+  if (level < 0 || level >= static_cast<int>(nest.size()))
+    return std::string("parallelize: level out of range");
+  ir::LoopNode& loop = prog_.loop(nest[static_cast<std::size_t>(level)]);
+  if (loop.parallel) return std::string("parallelize: loop already parallel");
+
+  // The level must not be a reduction level of any computation under it.
+  std::vector<int> comps;
+  collect_comps(prog_, loop.id, comps);
+  for (int cid : comps) {
+    const std::vector<int> cnest = prog_.nest_of(cid);
+    const auto pos = std::find(cnest.begin(), cnest.end(), loop.id);
+    const int clevel = static_cast<int>(pos - cnest.begin());
+    if (prog_.comp(cid).store.matrix.invariant_to(clevel))
+      return "parallelize: level is a reduction level of " + prog_.comp(cid).name;
+  }
+  if (level_carries_dependence(prog_, loop.id))
+    return std::string("parallelize: loop carries a dependence");
+  loop.parallel = true;
+  return std::nullopt;
+}
+
+std::optional<std::string> Applier::vectorize(const VectorizeSpec& s) {
+  if (auto e = check_comp(s.comp)) return e;
+  if (!is_power_of_two(s.width) || s.width < 2 || s.width > 16)
+    return std::string("vectorize: width must be a power of two in [2,16]");
+  const std::vector<int> nest = prog_.nest_of(s.comp);
+  ir::LoopNode& inner = prog_.loop(nest.back());
+  if (inner.vector_width != 0) return std::string("vectorize: loop already vectorized");
+  if (s.width > inner.iter.extent) return std::string("vectorize: width exceeds extent");
+  if (level_carries_dependence(prog_, inner.id))
+    return std::string("vectorize: loop carries a dependence");
+  inner.vector_width = s.width;
+  return std::nullopt;
+}
+
+std::optional<std::string> Applier::finalize() {
+  // Renumber loops: DFS order from roots, dropping unreachable (fused-away)
+  // nodes.
+  std::vector<int> old_to_new(prog_.loops.size(), -1);
+  std::vector<ir::LoopNode> new_loops;
+  std::function<void(int)> walk = [&](int loop_id) {
+    old_to_new[static_cast<std::size_t>(loop_id)] = static_cast<int>(new_loops.size());
+    new_loops.push_back(prog_.loop(loop_id));
+    for (const ir::BodyItem& item : prog_.loop(loop_id).body)
+      if (item.kind == ir::BodyItem::Kind::Loop) walk(item.index);
+  };
+  for (int r : prog_.roots) walk(r);
+
+  for (ir::LoopNode& l : new_loops) {
+    l.id = old_to_new[static_cast<std::size_t>(l.id)];
+    if (l.parent != -1) l.parent = old_to_new[static_cast<std::size_t>(l.parent)];
+    if (l.tail_of != -1) l.tail_of = old_to_new[static_cast<std::size_t>(l.tail_of)];
+    for (ir::BodyItem& item : l.body)
+      if (item.kind == ir::BodyItem::Kind::Loop)
+        item.index = old_to_new[static_cast<std::size_t>(item.index)];
+  }
+  for (int& r : prog_.roots) r = old_to_new[static_cast<std::size_t>(r)];
+  for (ir::Computation& c : prog_.comps)
+    c.loop_id = old_to_new[static_cast<std::size_t>(c.loop_id)];
+  prog_.loops = std::move(new_loops);
+
+  if (auto err = prog_.validate())
+    return "internal error: transformed program invalid: " + *err;
+  return std::nullopt;
+}
+
+}  // namespace
+
+ApplyResult try_apply_schedule(const ir::Program& p, const Schedule& s) {
+  ApplyResult result;
+  Applier applier(p);
+  auto step = [&](std::optional<std::string> err) {
+    if (err && result.error.empty()) result.error = *err;
+    return !err;
+  };
+  for (const auto& f : s.fusions)
+    if (!step(applier.fuse(f))) return result;
+  for (const auto& i : s.interchanges)
+    if (!step(applier.interchange(i))) return result;
+  for (const auto& t : s.tiles)
+    if (!step(applier.tile(t))) return result;
+  for (const auto& u : s.unrolls)
+    if (!step(applier.unroll(u))) return result;
+  for (const auto& pr : s.parallels)
+    if (!step(applier.parallelize(pr))) return result;
+  for (const auto& v : s.vectorizes)
+    if (!step(applier.vectorize(v))) return result;
+  if (!step(applier.finalize())) return result;
+  result.ok = true;
+  result.program = applier.take();
+  return result;
+}
+
+ir::Program apply_schedule(const ir::Program& p, const Schedule& s) {
+  ApplyResult r = try_apply_schedule(p, s);
+  if (!r.ok) throw std::invalid_argument("apply_schedule: " + r.error);
+  return std::move(r.program);
+}
+
+bool is_legal(const ir::Program& p, const Schedule& s, std::string* why) {
+  ApplyResult r = try_apply_schedule(p, s);
+  if (!r.ok && why) *why = r.error;
+  return r.ok;
+}
+
+}  // namespace tcm::transforms

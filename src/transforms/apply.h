@@ -1,0 +1,44 @@
+// Application of schedules to programs.
+//
+// A Schedule is applied in canonical order (fusions, interchanges, tilings,
+// unrollings, parallelization, vectorization). Structural transformations
+// rewrite the loop tree and every affected access matrix; annotation
+// transformations tag loops. Each step is legality-checked:
+//   - fusion: adjacent top-level nests, matching extents, and all
+//     producer->consumer dependences preserved (affine distance analysis);
+//   - interchange: the two levels must delimit a perfectly nested chain;
+//   - tiling: consecutive perfectly nested levels, 2 <= size <= extent,
+//     nothing tiled twice (non-divisible sizes are handled with exact tail
+//     iteration bounds);
+//   - unroll: innermost loop, 2 <= factor <= extent;
+//   - parallelize: not a reduction level of any computation under the loop
+//     and no loop-carried dependence;
+//   - vectorize: innermost loop, power-of-two width <= extent, no carried
+//     dependence.
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+#include "transforms/schedule.h"
+
+namespace tcm::transforms {
+
+struct ApplyResult {
+  bool ok = false;
+  std::string error;    // reason of the first legality failure when !ok
+  ir::Program program;  // the transformed program when ok
+};
+
+// Applies `s` to `p`, returning the transformed program or the first
+// legality error. `p` itself is never modified.
+ApplyResult try_apply_schedule(const ir::Program& p, const Schedule& s);
+
+// Throwing convenience wrapper around try_apply_schedule.
+ir::Program apply_schedule(const ir::Program& p, const Schedule& s);
+
+// True iff the schedule is legal for the program; the failure reason is
+// written to `why` when provided.
+bool is_legal(const ir::Program& p, const Schedule& s, std::string* why = nullptr);
+
+}  // namespace tcm::transforms

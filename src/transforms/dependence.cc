@@ -1,0 +1,138 @@
+#include "transforms/dependence.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+namespace tcm::transforms {
+namespace {
+
+// Collect all computation ids under a loop subtree, in execution order.
+void collect_comps(const ir::Program& p, int loop_id, std::vector<int>& out) {
+  for (const ir::BodyItem& item : p.loop(loop_id).body) {
+    if (item.kind == ir::BodyItem::Kind::Loop) collect_comps(p, item.index, out);
+    else out.push_back(item.index);
+  }
+}
+
+// Store row with a non-zero coefficient at column `col`, or -1.
+int store_row_for_col(const ir::AccessMatrix& store, int col) {
+  for (int r = 0; r < store.rank(); ++r)
+    if (store.at(r, col) != 0) return r;
+  return -1;
+}
+
+// Length of the common loop prefix of two computations' nests.
+int shared_prefix(const ir::Program& p, int comp_a, int comp_b) {
+  const std::vector<int> na = p.nest_of(comp_a);
+  const std::vector<int> nb = p.nest_of(comp_b);
+  int shared = 0;
+  while (shared < static_cast<int>(na.size()) && shared < static_cast<int>(nb.size()) &&
+         na[static_cast<std::size_t>(shared)] == nb[static_cast<std::size_t>(shared)])
+    ++shared;
+  return shared;
+}
+
+}  // namespace
+
+std::optional<ir::AccessMatrix::Range> value_difference_range(
+    const ir::AccessMatrix& store, int row, const ir::AccessMatrix& load, int shared_depth,
+    std::span<const std::int64_t> consumer_extents) {
+  if (row < 0 || row >= store.rank() || row >= load.rank()) return std::nullopt;
+  // The producer must fully determine this dimension within the shared loops;
+  // coefficients on producer-private loops make the produced range depend on
+  // iterators the consumer cannot see.
+  for (int c = shared_depth; c < store.depth(); ++c)
+    if (store.at(row, c) != 0) return std::nullopt;
+
+  std::int64_t lo = load.constant(row) - store.constant(row);
+  std::int64_t hi = lo;
+  for (int c = 0; c < load.depth(); ++c) {
+    std::int64_t coef = load.at(row, c);
+    if (c < shared_depth) coef -= store.at(row, c);
+    if (coef == 0) continue;
+    if (c >= static_cast<int>(consumer_extents.size())) return std::nullopt;
+    const std::int64_t span = consumer_extents[static_cast<std::size_t>(c)] - 1;
+    if (span < 0) return std::nullopt;
+    if (coef > 0) hi += coef * span;
+    else lo += coef * span;
+  }
+  return ir::AccessMatrix::Range{lo, hi};
+}
+
+bool reads_output_of(const ir::Program& p, int consumer_id, int producer_id) {
+  const int buf = p.comp(producer_id).store.buffer_id;
+  for (const ir::BufferAccess& a : p.comp(consumer_id).rhs.loads())
+    if (a.buffer_id == buf) return true;
+  return false;
+}
+
+std::optional<std::string> check_fusion_dependences(const ir::Program& p,
+                                                    std::span<const int> comps_a,
+                                                    std::span<const int> comps_b, int depth) {
+  for (int pa : comps_a) {
+    const ir::Computation& prod = p.comp(pa);
+    for (int cb : comps_b) {
+      const ir::Computation& cons = p.comp(cb);
+      const auto cons_extents = p.extents_of(cb);
+      for (const ir::BufferAccess& load : cons.rhs.loads()) {
+        if (load.buffer_id != prod.store.buffer_id) continue;
+        for (int level = 0; level < depth; ++level) {
+          const int row = store_row_for_col(prod.store.matrix, level);
+          if (row < 0) {
+            std::ostringstream os;
+            os << "fusion at depth " << depth << " illegal: level " << level
+               << " is not a produced dimension of " << prod.name << " read by " << cons.name;
+            return os.str();
+          }
+          const auto range =
+              value_difference_range(prod.store.matrix, row, load.matrix, depth, cons_extents);
+          if (!range) {
+            std::ostringstream os;
+            os << "fusion at depth " << depth << " illegal: dependence of " << cons.name
+               << " on " << prod.name << " is not analyzable at level " << level;
+            return os.str();
+          }
+          if (range->max > 0) {
+            std::ostringstream os;
+            os << "fusion at depth " << depth << " illegal: " << cons.name
+               << " may read values " << prod.name << " produces in later iterations of level "
+               << level << " (difference max " << range->max << ")";
+            return os.str();
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool level_carries_dependence(const ir::Program& p, int loop_id) {
+  std::vector<int> comps;
+  collect_comps(p, loop_id, comps);
+  // Depth position of the loop (== its column in nests that contain it).
+  int level = 0;
+  for (int l = p.loop(loop_id).parent; l != -1; l = p.loop(l).parent) ++level;
+
+  for (int pa : comps) {
+    const ir::Computation& prod = p.comp(pa);
+    for (int cb : comps) {
+      if (pa == cb) continue;
+      const ir::Computation& cons = p.comp(cb);
+      const auto cons_extents = p.extents_of(cb);
+      for (const ir::BufferAccess& load : cons.rhs.loads()) {
+        if (load.buffer_id != prod.store.buffer_id) continue;
+        const int row = store_row_for_col(prod.store.matrix, level);
+        if (row < 0) return true;  // loop does not produce the dim: accumulation order
+        const int shared = shared_prefix(p, pa, cb);
+        const auto range =
+            value_difference_range(prod.store.matrix, row, load.matrix, shared, cons_extents);
+        if (!range || range->min != 0 || range->max != 0) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace tcm::transforms

@@ -1,0 +1,48 @@
+// Affine dependence analysis over the rectangular iteration domains of our
+// IR. Used to decide fusion legality (producer-consumer alignment) and
+// parallelization/vectorization legality (no loop-carried dependence at the
+// chosen level). Because every store in the IR indexes each buffer dimension
+// by a single (possibly tile-split) iterator, dependences can be bounded
+// exactly by interval arithmetic on a value-space difference row.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "ir/program.h"
+
+namespace tcm::transforms {
+
+// Range of the value-space difference for one buffer dimension:
+//   D = (index value the consumer reads) - (index value the producer has
+//        produced at the consumer's current shared iteration)
+// over the consumer's iteration domain, assuming producer and consumer share
+// their first `shared_depth` loops.
+//   max <= 0 : the consumer only reads already-produced values (legal order)
+//   min == max == 0 : producer and consumer instances are perfectly aligned
+//   max > 0  : the consumer may read values produced later (illegal if the
+//              shared loop orders them)
+// `row` is the producer store row under analysis. Returns nullopt when the
+// store row depends on producer-private loops (conservatively unanalyzable).
+std::optional<ir::AccessMatrix::Range> value_difference_range(
+    const ir::AccessMatrix& store, int row, const ir::AccessMatrix& load, int shared_depth,
+    std::span<const std::int64_t> consumer_extents);
+
+// True iff computation `consumer` reads the buffer written by `producer`.
+bool reads_output_of(const ir::Program& p, int consumer_id, int producer_id);
+
+// Checks whether fusing the nests of producer computations `comps_a` with
+// consumers `comps_b` at `depth` shared loops preserves every producer ->
+// consumer dependence. Returns the first violation, or nullopt when legal.
+std::optional<std::string> check_fusion_dependences(const ir::Program& p,
+                                                    std::span<const int> comps_a,
+                                                    std::span<const int> comps_b, int depth);
+
+// True when some dependence is carried by the loop `loop_id`: an iteration
+// of that loop may read a value produced by a *different* iteration of it.
+// Such a loop must not be parallelized or vectorized.
+bool level_carries_dependence(const ir::Program& p, int loop_id);
+
+}  // namespace tcm::transforms

@@ -1,0 +1,44 @@
+#include "transforms/schedule.h"
+
+#include <sstream>
+
+namespace tcm::transforms {
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << "; ";
+    first = false;
+  };
+  for (const auto& f : fusions) {
+    sep();
+    os << "fuse(c" << f.comp_a << ",c" << f.comp_b << ",depth=" << f.depth << ")";
+  }
+  for (const auto& i : interchanges) {
+    sep();
+    os << "interchange(c" << i.comp << ",L" << i.level_a << ",L" << i.level_b << ")";
+  }
+  for (const auto& t : tiles) {
+    sep();
+    os << "tile(c" << t.comp << ",L" << t.level << ",";
+    for (std::size_t k = 0; k < t.sizes.size(); ++k) os << (k ? "x" : "") << t.sizes[k];
+    os << ")";
+  }
+  for (const auto& u : unrolls) {
+    sep();
+    os << "unroll(c" << u.comp << "," << u.factor << ")";
+  }
+  for (const auto& p : parallels) {
+    sep();
+    os << "parallelize(c" << p.comp << ",L" << p.level << ")";
+  }
+  for (const auto& v : vectorizes) {
+    sep();
+    os << "vectorize(c" << v.comp << "," << v.width << ")";
+  }
+  if (first) return "<identity>";
+  return os.str();
+}
+
+}  // namespace tcm::transforms

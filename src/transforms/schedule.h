@@ -1,0 +1,93 @@
+// Schedules: sequences of code transformations applied to a program.
+//
+// Following the paper's search space (Figure 3 and Section 2), a schedule is
+// a canonically ordered sequence:
+//   fusions -> interchanges -> tilings -> unrollings -> parallelization ->
+//   vectorization
+// Interchange/tile levels refer to the computation's loop nest *before
+// tiling* (fusion and interchange do not renumber levels); the applier maps
+// them to the restructured tree. Unroll and vectorize always target the
+// innermost loop of the computation, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcm::transforms {
+
+// Fuse the root loop nests containing computations a and b at `depth` loops.
+// The two nests must be adjacent top-level nests with matching extents on the
+// first `depth` levels.
+struct FuseSpec {
+  int comp_a = -1;
+  int comp_b = -1;
+  int depth = 1;
+  bool operator==(const FuseSpec&) const = default;
+};
+
+// Swap two loop levels of a computation's nest.
+struct InterchangeSpec {
+  int comp = -1;
+  int level_a = 0;
+  int level_b = 1;
+  bool operator==(const InterchangeSpec&) const = default;
+};
+
+// Tile `sizes.size()` consecutive loop levels starting at `level`:
+// (i, j) -> (i/s0, j/s1, i%s0, j%s1). Supports 2-D and 3-D tiling.
+struct TileSpec {
+  int comp = -1;
+  int level = 0;
+  std::vector<std::int64_t> sizes;
+  bool operator==(const TileSpec&) const = default;
+};
+
+// Unroll the innermost loop of the computation by `factor` (annotation).
+struct UnrollSpec {
+  int comp = -1;
+  int factor = 2;
+  bool operator==(const UnrollSpec&) const = default;
+};
+
+// Mark the loop at `level` (pre-tiling coordinates) of the computation's
+// nest as parallel.
+struct ParallelizeSpec {
+  int comp = -1;
+  int level = 0;
+  bool operator==(const ParallelizeSpec&) const = default;
+};
+
+// Vectorize the innermost loop of the computation with the given width.
+struct VectorizeSpec {
+  int comp = -1;
+  int width = 8;
+  bool operator==(const VectorizeSpec&) const = default;
+};
+
+struct Schedule {
+  std::vector<FuseSpec> fusions;
+  std::vector<InterchangeSpec> interchanges;
+  std::vector<TileSpec> tiles;
+  std::vector<UnrollSpec> unrolls;
+  std::vector<ParallelizeSpec> parallels;
+  std::vector<VectorizeSpec> vectorizes;
+
+  bool empty() const {
+    return fusions.empty() && interchanges.empty() && tiles.empty() && unrolls.empty() &&
+           parallels.empty() && vectorizes.empty();
+  }
+
+  // Total number of transformation commands.
+  std::size_t size() const {
+    return fusions.size() + interchanges.size() + tiles.size() + unrolls.size() +
+           parallels.size() + vectorizes.size();
+  }
+
+  // Human-readable rendering, e.g. "fuse(c0,c1,@1); interchange(c0,0,2); ...".
+  std::string to_string() const;
+
+  bool operator==(const Schedule&) const = default;
+};
+
+}  // namespace tcm::transforms

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/halide_data.h"
+#include "baselines/halide_features.h"
+#include "baselines/halide_model.h"
+#include "benchsuite/benchmarks.h"
+#include "search/beam_search.h"
+#include "support/stats.h"
+#include "transforms/apply.h"
+
+namespace tcm::baselines {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Featurizer
+// ---------------------------------------------------------------------------
+
+TEST(HalideFeatures, CountAndNamesAgree) {
+  EXPECT_EQ(static_cast<int>(halide_feature_names().size()), kHalideFeatureCount);
+  const ir::Program p = benchsuite::make_heat2d(64, 64);
+  const auto f = halide_features(p, 0, sim::MachineSpec::xeon_e5_2680v3());
+  EXPECT_EQ(static_cast<int>(f.size()), kHalideFeatureCount);
+}
+
+TEST(HalideFeatures, ReflectScheduleState) {
+  const ir::Program p = benchsuite::make_heat2d(256, 256);
+  transforms::Schedule s;
+  s.tiles.push_back({0, 0, {32, 32}});
+  s.parallels.push_back({0, 0});
+  s.vectorizes.push_back({0, 8});
+  s.unrolls.push_back({0, 4});
+  const ir::Program t = transforms::apply_schedule(p, s);
+  const sim::MachineSpec spec;
+  const auto f0 = halide_features(p, 0, spec);
+  const auto f1 = halide_features(t, 0, spec);
+  const auto& names = halide_feature_names();
+  auto idx = [&](const std::string& n) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), n) - names.begin());
+  };
+  EXPECT_EQ(f0[idx("is_parallel")], 0.0f);
+  EXPECT_EQ(f1[idx("is_parallel")], 1.0f);
+  EXPECT_EQ(f0[idx("is_vectorized")], 0.0f);
+  EXPECT_EQ(f1[idx("is_vectorized")], 1.0f);
+  EXPECT_EQ(f0[idx("num_tiled_loops")], 0.0f);
+  EXPECT_GT(f1[idx("num_tiled_loops")], 0.0f);
+  EXPECT_GT(f1[idx("unroll_factor")], 0.0f);
+}
+
+TEST(HalideFeatures, OpCountsCaptured) {
+  const ir::Program p = benchsuite::make_cvtcolor(64, 64);
+  const auto f = halide_features(p, 0, sim::MachineSpec());
+  // cvtcolor: 2 adds, 3 muls.
+  EXPECT_NEAR(f[0], std::log1p(2.0), 1e-5);
+  EXPECT_NEAR(f[2], std::log1p(3.0), 1e-5);
+}
+
+TEST(HalideFeatures, StrideHistogramDistinguishesTransposedAccess) {
+  const ir::Program row = benchsuite::make_heat2d(64, 64);
+  const auto f_row = halide_features(row, 0, sim::MachineSpec());
+  const ir::Program mvt = benchsuite::make_mvt(64);  // comp 1 reads A[j][i]
+  const auto f_col = halide_features(mvt, 1, sim::MachineSpec());
+  const auto& names = halide_feature_names();
+  const auto big = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "loads_stride_big") - names.begin());
+  EXPECT_EQ(f_row[big], 0.0f);
+  EXPECT_GT(f_col[big], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Model & training
+// ---------------------------------------------------------------------------
+
+TEST(HalideModel, PredictsPositiveTimes) {
+  Rng rng(1);
+  HalideCostModel model({}, rng);
+  const ir::Program p = benchsuite::make_heat2d(128, 128);
+  EXPECT_GT(model.predict_seconds(p, sim::MachineSpec()), 0.0);
+}
+
+TEST(HalideModel, TrainingReducesLoss) {
+  HalideDataOptions data_opt;
+  data_opt.num_programs = 40;
+  data_opt.schedules_per_program = 6;
+  const auto samples = build_halide_samples(data_opt);
+  ASSERT_GT(samples.size(), 100u);
+  Rng rng(2);
+  HalideCostModel model({}, rng);
+  HalideTrainOptions topt;
+  topt.epochs = 20;
+  const auto losses = train_halide_model(model, samples, topt);
+  EXPECT_LT(losses.back(), 0.5 * losses.front());
+}
+
+TEST(HalideModel, LearnsTimeRankingOnItsDomain) {
+  HalideDataOptions data_opt;
+  data_opt.num_programs = 60;
+  data_opt.schedules_per_program = 8;
+  auto samples = build_halide_samples(data_opt);
+  // Hold out every 5th sample.
+  std::vector<HalideSample> train, test;
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    (i % 5 == 0 ? test : train).push_back(samples[i]);
+  Rng rng(3);
+  HalideCostModel model({}, rng);
+  HalideTrainOptions topt;
+  topt.epochs = 30;
+  train_halide_model(model, train, topt);
+  std::vector<double> y, yhat;
+  for (auto& s : test) {
+    y.push_back(std::log(s.measured_seconds));
+    yhat.push_back(std::log(model.predict_seconds(s.comp_features)));
+  }
+  EXPECT_GT(pearson(y, yhat), 0.6);
+}
+
+TEST(HalideEvaluator, PluggedIntoBeamSearch) {
+  Rng rng(4);
+  HalideCostModel model({}, rng);
+  HalideEvaluator eval(&model, sim::MachineSpec());
+  const ir::Program p = benchsuite::make_heat2d(128, 128);
+  const auto result = search::beam_search(p, eval, {});
+  EXPECT_TRUE(transforms::is_legal(p, result.best_schedule));
+  EXPECT_GT(result.evaluations, 0);
+  EXPECT_STREQ(eval.kind(), "halide-baseline");
+}
+
+TEST(HalideData, SamplesCarryFeaturesAndTimes) {
+  HalideDataOptions opt;
+  opt.num_programs = 5;
+  opt.schedules_per_program = 3;
+  const auto samples = build_halide_samples(opt);
+  ASSERT_GT(samples.size(), 0u);
+  for (const auto& s : samples) {
+    EXPECT_GT(s.measured_seconds, 0.0);
+    ASSERT_GT(s.comp_features.size(), 0u);
+    for (const auto& f : s.comp_features)
+      EXPECT_EQ(static_cast<int>(f.size()), kHalideFeatureCount);
+  }
+}
+
+TEST(HalideData, BiasedGeneratorIsShallow) {
+  const auto g = HalideDataOptions::image_dl_biased_generator();
+  EXPECT_LE(g.max_depth, 3);
+  EXPECT_LT(g.p_reduction, 0.2);
+}
+
+}  // namespace
+}  // namespace tcm::baselines

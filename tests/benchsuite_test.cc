@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "benchsuite/benchmarks.h"
+#include "model/featurize.h"
+#include "sim/interpreter.h"
+#include "sim/machine_model.h"
+#include "transforms/apply.h"
+
+namespace tcm::benchsuite {
+namespace {
+
+TEST(Benchsuite, AllTenPresentWithPaperNames) {
+  const auto benchmarks = paper_benchmarks(8);
+  ASSERT_EQ(benchmarks.size(), 10u);
+  const std::vector<std::string> expected = {"box blur", "conv + relu", "convolution",
+                                             "cvtcolor",  "doitgen",     "heat2d",
+                                             "heat3d",    "jacobi2d",    "mvt",
+                                             "seidel2d"};
+  for (std::size_t i = 0; i < expected.size(); ++i) EXPECT_EQ(benchmarks[i].name, expected[i]);
+}
+
+class EveryBenchmark : public ::testing::TestWithParam<int> {};
+
+TEST_P(EveryBenchmark, IsValid) {
+  const auto benchmarks = paper_benchmarks(8);
+  const ir::Program& p = benchmarks[static_cast<std::size_t>(GetParam())].program;
+  EXPECT_EQ(p.validate(), std::nullopt) << p.to_string();
+}
+
+TEST_P(EveryBenchmark, FitsTheFastFeatureConfig) {
+  const auto benchmarks = paper_benchmarks(1);  // full paper sizes
+  const ir::Program& p = benchmarks[static_cast<std::size_t>(GetParam())].program;
+  std::string error;
+  const auto f = model::featurize(p, {}, model::FeatureConfig::fast(), &error);
+  EXPECT_TRUE(f.has_value()) << error;
+}
+
+TEST_P(EveryBenchmark, MachineModelGivesPositiveTime) {
+  const auto benchmarks = paper_benchmarks(1);
+  const ir::Program& p = benchmarks[static_cast<std::size_t>(GetParam())].program;
+  sim::MachineModel m;
+  const double t = m.execution_time_seconds(p);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 3600.0);  // sanity: nothing takes an hour
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EveryBenchmark, ::testing::Range(0, 10));
+
+TEST(Benchsuite, PaperSizesMatchTable3) {
+  // Spot-check the Table 3 defaults through buffer shapes.
+  const ir::Program conv = make_convolution();
+  EXPECT_EQ(conv.buffer(0).dims, (std::vector<std::int64_t>{8, 3, 1024, 1024}));
+  EXPECT_EQ(conv.buffer(1).dims, (std::vector<std::int64_t>{2, 3, 3, 3}));
+  const ir::Program mvt = make_mvt();
+  EXPECT_EQ(mvt.buffer(0).dims, (std::vector<std::int64_t>{1024, 1024}));
+  const ir::Program seidel = make_seidel2d();
+  EXPECT_EQ(seidel.buffer(0).dims, (std::vector<std::int64_t>{256, 256}));
+  const ir::Program heat3d = make_heat3d();
+  EXPECT_EQ(heat3d.buffer(0).dims, (std::vector<std::int64_t>{770, 898, 1024}));
+  const ir::Program jacobi = make_jacobi2d();
+  EXPECT_EQ(jacobi.buffer(0).dims, (std::vector<std::int64_t>{130, 1024}));
+}
+
+TEST(Benchsuite, CvtcolorComputesWeightedSum) {
+  const ir::Program p = make_cvtcolor(8, 8);
+  const auto bufs = sim::Interpreter::execute(p, 3);
+  const auto& rgb = bufs[0];
+  const auto& gray = bufs[1];
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y * 8 + x);
+      const double expected =
+          rgb[i] * 0.299 + rgb[64 + i] * 0.587 + rgb[128 + i] * 0.114;
+      EXPECT_NEAR(gray[i], expected, 1e-12);
+    }
+  }
+}
+
+TEST(Benchsuite, BoxBlurAveragesNeighbourhood) {
+  const ir::Program p = make_box_blur(1, 6, 6);
+  const auto bufs = sim::Interpreter::execute(p, 7);
+  const auto& in = bufs[0];
+  const auto& out = bufs[1];
+  double expected = 0;
+  for (int dy = 0; dy < 3; ++dy)
+    for (int dx = 0; dx < 3; ++dx) expected += in[static_cast<std::size_t>(dy * 6 + dx)];
+  expected /= 9.0;
+  EXPECT_NEAR(out[0], expected, 1e-12);
+}
+
+TEST(Benchsuite, MvtIsTwoReductions) {
+  const ir::Program p = make_mvt(16);
+  ASSERT_EQ(p.comps.size(), 2u);
+  EXPECT_TRUE(p.comp(0).is_reduction);
+  EXPECT_TRUE(p.comp(1).is_reduction);
+  // x2 reads the transposed matrix.
+  const auto loads = p.comp(1).rhs.loads();
+  EXPECT_EQ(loads[0].matrix.at(0, 1), 1);  // row index driven by j
+  EXPECT_EQ(loads[0].matrix.at(1, 0), 1);  // column index driven by i
+}
+
+TEST(Benchsuite, ConvReluIsFusable) {
+  const ir::Program p = make_conv_relu(2, 3, 32, 32, 2, 3);
+  transforms::Schedule s;
+  s.fusions.push_back({0, 1, 4});
+  EXPECT_TRUE(transforms::is_legal(p, s));
+  // Semantics preserved under fusion.
+  const ir::Program t = transforms::apply_schedule(p, s);
+  const auto r0 = sim::Interpreter::execute(p, 5);
+  const auto r1 = sim::Interpreter::execute(t, 5);
+  EXPECT_LT(sim::Interpreter::max_rel_difference(p, r0, r1), 1e-12);
+}
+
+TEST(Benchsuite, ScaleShrinksButKeepsValidity) {
+  for (const auto& [name, p] : paper_benchmarks(64)) {
+    EXPECT_EQ(p.validate(), std::nullopt) << name;
+    for (const ir::Computation& c : p.comps)
+      for (std::int64_t e : p.extents_of(c.id)) EXPECT_GE(e, 1);
+  }
+}
+
+TEST(Benchsuite, Heat2dStencilWeights) {
+  const ir::Program p = make_heat2d(8, 8);
+  const auto bufs = sim::Interpreter::execute(p, 11);
+  const auto& in = bufs[0];
+  const auto& out = bufs[1];
+  auto at = [&](int y, int x) { return in[static_cast<std::size_t>(y * 8 + x)]; };
+  const double expected = at(1, 1) * 0.5 + (at(0, 1) + at(2, 1) + at(1, 0) + at(1, 2)) * 0.125;
+  EXPECT_NEAR(out[0], expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace tcm::benchsuite

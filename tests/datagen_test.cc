@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/dataset_builder.h"
+#include "datagen/generator.h"
+#include "transforms/apply.h"
+
+namespace tcm::datagen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Program generator
+// ---------------------------------------------------------------------------
+
+class GeneratedPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedPrograms, AreValidAndWithinLimits) {
+  const GeneratorOptions opt;
+  RandomProgramGenerator gen(opt);
+  const ir::Program p = gen.generate(static_cast<std::uint64_t>(GetParam()));
+  EXPECT_EQ(p.validate(), std::nullopt) << p.to_string();
+  EXPECT_GE(static_cast<int>(p.comps.size()), opt.min_comps);
+  EXPECT_LE(static_cast<int>(p.comps.size()), opt.max_comps);
+  for (const ir::Computation& c : p.comps) {
+    EXPECT_LE(p.depth_of(c.id), opt.max_depth);
+    EXPECT_GE(p.depth_of(c.id), 1);
+    EXPECT_LE(p.iteration_count(c.id), opt.max_iterations);
+    for (std::int64_t e : p.extents_of(c.id)) {
+      EXPECT_GE(e, opt.min_extent);
+      EXPECT_LE(e, opt.max_extent);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedPrograms, ::testing::Range(0, 40));
+
+TEST(Generator, DeterministicInSeed) {
+  RandomProgramGenerator gen;
+  const ir::Program a = gen.generate(123);
+  const ir::Program b = gen.generate(123);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  const ir::Program c = gen.generate(124);
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(Generator, ProducesAllThreePatterns) {
+  RandomProgramGenerator gen;
+  bool saw_reduction = false, saw_stencil = false, saw_simple = false;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const ir::Program p = gen.generate(seed);
+    for (const ir::Computation& c : p.comps) {
+      if (c.is_reduction) {
+        saw_reduction = true;
+        continue;
+      }
+      // Stencil: some load has a constant offset or multiple loads of the
+      // same buffer with different constants.
+      bool stencil = false;
+      for (const ir::BufferAccess& a : c.rhs.loads())
+        for (int r = 0; r < a.matrix.rank(); ++r)
+          if (a.matrix.constant(r) != 0) stencil = true;
+      if (stencil) saw_stencil = true;
+      else saw_simple = true;
+    }
+  }
+  EXPECT_TRUE(saw_reduction);
+  EXPECT_TRUE(saw_stencil);
+  EXPECT_TRUE(saw_simple);
+}
+
+TEST(Generator, ProducesConsumerChains) {
+  RandomProgramGenerator gen;
+  bool saw_chain = false;
+  for (std::uint64_t seed = 0; seed < 40 && !saw_chain; ++seed) {
+    const ir::Program p = gen.generate(seed);
+    for (const ir::Computation& c : p.comps)
+      for (const ir::BufferAccess& a : c.rhs.loads())
+        if (!p.buffer(a.buffer_id).is_input) saw_chain = true;
+  }
+  EXPECT_TRUE(saw_chain);
+}
+
+TEST(Generator, MinIterationFloorRespected) {
+  GeneratorOptions opt;
+  opt.min_iterations = 1 << 14;
+  RandomProgramGenerator gen(opt);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const ir::Program p = gen.generate(seed);
+    // Producer-locked comps may be smaller; check the first computation,
+    // which never consumes a producer. A shallow nest can only reach
+    // max_extent^depth.
+    double reachable = 1;
+    for (int l = 0; l < p.depth_of(0); ++l) reachable *= static_cast<double>(opt.max_extent);
+    const double floor =
+        std::min(static_cast<double>(opt.min_iterations), reachable);
+    EXPECT_GE(static_cast<double>(p.iteration_count(0)), floor) << p.to_string();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule generator
+// ---------------------------------------------------------------------------
+
+class GeneratedSchedules : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedSchedules, AreLegalByConstruction) {
+  RandomProgramGenerator gen(GeneratorOptions::tiny());
+  const ir::Program p = gen.generate(static_cast<std::uint64_t>(GetParam()));
+  RandomScheduleGenerator sched_gen;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  for (int i = 0; i < 8; ++i) {
+    const transforms::Schedule s = sched_gen.generate(p, rng);
+    std::string why;
+    EXPECT_TRUE(transforms::is_legal(p, s, &why)) << s.to_string() << ": " << why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedSchedules, ::testing::Range(0, 20));
+
+TEST(ScheduleGenerator, ProducesDiverseTransformations) {
+  RandomProgramGenerator gen;
+  RandomScheduleGenerator sched_gen;
+  Rng rng(5);
+  int fusions = 0, interchanges = 0, tiles = 0, unrolls = 0, parallels = 0, vectorizes = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const ir::Program p = gen.generate(seed);
+    for (int i = 0; i < 4; ++i) {
+      const transforms::Schedule s = sched_gen.generate(p, rng);
+      fusions += static_cast<int>(s.fusions.size());
+      interchanges += static_cast<int>(s.interchanges.size());
+      tiles += static_cast<int>(s.tiles.size());
+      unrolls += static_cast<int>(s.unrolls.size());
+      parallels += static_cast<int>(s.parallels.size());
+      vectorizes += static_cast<int>(s.vectorizes.size());
+    }
+  }
+  EXPECT_GT(fusions, 0);
+  EXPECT_GT(interchanges, 0);
+  EXPECT_GT(tiles, 0);
+  EXPECT_GT(unrolls, 0);
+  EXPECT_GT(parallels, 0);
+  EXPECT_GT(vectorizes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset builder
+// ---------------------------------------------------------------------------
+
+TEST(DatasetBuilder, DeterministicInOptions) {
+  DatasetBuildOptions opt;
+  opt.num_programs = 4;
+  opt.schedules_per_program = 4;
+  const model::Dataset a = build_dataset(opt);
+  const model::Dataset b = build_dataset(opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.points[i].speedup, b.points[i].speedup);
+}
+
+TEST(DatasetBuilder, RoughlyExpectedSampleCount) {
+  DatasetBuildOptions opt;
+  opt.num_programs = 8;
+  opt.schedules_per_program = 8;
+  const model::Dataset ds = build_dataset(opt);
+  EXPECT_GE(ds.size(), 0.9 * 8 * 8);  // a few candidates may fail featurization
+  EXPECT_LE(ds.size(), 8u * 8u);
+}
+
+TEST(DatasetBuilder, SpeedupDistributionHasBothTails) {
+  DatasetBuildOptions opt;
+  opt.num_programs = 40;
+  opt.schedules_per_program = 8;
+  const model::Dataset ds = build_dataset(opt);
+  int above = 0, below = 0;
+  for (const auto& p : ds.points) {
+    EXPECT_GT(p.speedup, 0.0);
+    above += p.speedup > 1.5;
+    below += p.speedup < 0.7;
+  }
+  // Both speedups and slowdowns occur (Figure 4's range).
+  EXPECT_GT(above, 0);
+  EXPECT_GT(below, 0);
+}
+
+TEST(DatasetBuilder, ProgramIdsAreContiguousGroups) {
+  DatasetBuildOptions opt;
+  opt.num_programs = 5;
+  opt.schedules_per_program = 3;
+  const model::Dataset ds = build_dataset(opt);
+  std::set<int> ids;
+  for (const auto& p : ds.points) {
+    EXPECT_GE(p.program_id, 0);
+    EXPECT_LT(p.program_id, 5);
+    ids.insert(p.program_id);
+  }
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+TEST(DatasetBuilder, BuildForSpecificProgram) {
+  RandomProgramGenerator gen(GeneratorOptions::tiny());
+  const ir::Program p = gen.generate(3);
+  DatasetBuildOptions opt;
+  const model::Dataset ds = build_for_program(p, 42, 6, opt, 9);
+  EXPECT_GT(ds.size(), 0u);
+  for (const auto& point : ds.points) EXPECT_EQ(point.program_id, 42);
+}
+
+TEST(DatasetBuilder, DedupeRemovesRepeatedSchedules) {
+  RandomProgramGenerator gen(GeneratorOptions::tiny());
+  const ir::Program p = gen.generate(1);
+  DatasetBuildOptions opt;
+  opt.dedupe_schedules = true;
+  const model::Dataset deduped = build_for_program(p, 0, 64, opt, 9);
+  opt.dedupe_schedules = false;
+  const model::Dataset raw = build_for_program(p, 0, 64, opt, 9);
+  EXPECT_LE(deduped.size(), raw.size());
+}
+
+}  // namespace
+}  // namespace tcm::datagen

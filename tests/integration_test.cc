@@ -1,0 +1,134 @@
+// End-to-end integration tests: the full paper pipeline at miniature scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "support/stats.h"
+
+#include "benchsuite/benchmarks.h"
+#include "datagen/dataset_builder.h"
+#include "model/train.h"
+#include "search/beam_search.h"
+#include "search/mcts.h"
+#include "transforms/apply.h"
+
+namespace tcm {
+namespace {
+
+// Shared fixture: one small dataset + a briefly trained model, built once.
+class Pipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::DatasetBuildOptions opt;
+    opt.num_programs = 80;
+    opt.schedules_per_program = 12;
+    opt.features = model::FeatureConfig::fast();
+    dataset_ = new model::Dataset(datagen::build_dataset(opt));
+    split_ = new model::DatasetSplit(model::split_by_program(*dataset_, 0.7, 0.15, 3));
+    Rng rng(17);
+    cost_model_ = new model::CostModel(model::ModelConfig::fast(), rng);
+    model::TrainOptions topt;
+    topt.epochs = 50;
+    topt.max_lr = 1e-3;
+    train_result_ = new model::TrainResult(
+        model::train_model(*cost_model_, split_->train, &split_->validation, topt));
+  }
+
+  static void TearDownTestSuite() {
+    delete train_result_;
+    delete cost_model_;
+    delete split_;
+    delete dataset_;
+  }
+
+  static model::Dataset* dataset_;
+  static model::DatasetSplit* split_;
+  static model::CostModel* cost_model_;
+  static model::TrainResult* train_result_;
+};
+
+model::Dataset* Pipeline::dataset_ = nullptr;
+model::DatasetSplit* Pipeline::split_ = nullptr;
+model::CostModel* Pipeline::cost_model_ = nullptr;
+model::TrainResult* Pipeline::train_result_ = nullptr;
+
+TEST_F(Pipeline, TrainingLossDecreasesSubstantially) {
+  ASSERT_GT(train_result_->train_loss.size(), 0u);
+  EXPECT_LT(train_result_->train_loss.back(), 0.6 * train_result_->train_loss.front());
+}
+
+TEST_F(Pipeline, TestSetMetricsAreReasonable) {
+  const model::EvalMetrics m = model::evaluate(*cost_model_, split_->test);
+  // Miniature-scale counterpart of the paper's 16% MAPE / 0.90 / 0.95: at
+  // this data and training budget we only insist on clear predictive power.
+  EXPECT_GT(m.spearman, 0.3) << "spearman " << m.spearman;
+  EXPECT_GT(m.pearson, 0.15) << "pearson " << m.pearson;
+  EXPECT_LT(m.mape, 10.0);
+}
+
+TEST_F(Pipeline, ErrorIsSmallerNearSpeedupOne) {
+  // Figure 5's shape: APE smaller for speedups near 1 than in the tails.
+  const auto preds = model::predict(*cost_model_, split_->test);
+  std::vector<double> ape_near, ape_far;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const double y = split_->test.points[i].speedup;
+    const double err = std::abs(y - preds[i]) / y;
+    if (y > 0.5 && y < 2.0) ape_near.push_back(err);
+    else ape_far.push_back(err);
+  }
+  ASSERT_GT(ape_near.size(), 5u);
+  ASSERT_GT(ape_far.size(), 5u);
+  EXPECT_LT(mean(ape_near), mean(ape_far));
+}
+
+TEST_F(Pipeline, ModelGuidedBeamSearchFindsRealSpeedup) {
+  const ir::Program p = benchsuite::make_heat2d(512, 512);
+  search::ModelEvaluator model_eval(cost_model_, model::FeatureConfig::fast());
+  search::BeamSearchOptions opt;
+  opt.beam_width = 2;
+  const auto result = search::beam_search(p, model_eval, opt);
+  ASSERT_TRUE(transforms::is_legal(p, result.best_schedule));
+  // The schedule the model picked must yield a real measured speedup.
+  sim::Executor exec;
+  const double measured = exec.measure_speedup(p, result.best_schedule);
+  EXPECT_GT(measured, 1.5);
+}
+
+TEST_F(Pipeline, ModelSearchIsCheaperThanExecutionSearch) {
+  const ir::Program p = benchsuite::make_heat2d(512, 512);
+  search::BeamSearchOptions opt;
+  opt.beam_width = 2;
+  search::ExecutionEvaluator exec_eval{sim::Executor()};
+  const auto bse = search::beam_search(p, exec_eval, opt);
+  search::ModelEvaluator model_eval(cost_model_, model::FeatureConfig::fast());
+  const auto bsm = search::beam_search(p, model_eval, opt);
+  // Accounted toolchain time: execution pays compile + 30 runs per
+  // candidate; the model pays inference wall time. (Table 2's ratio.)
+  EXPECT_GT(bse.accounted_seconds, bsm.accounted_seconds);
+}
+
+TEST_F(Pipeline, MctsCorrectsModelWithExecution) {
+  const ir::Program p = benchsuite::make_heat2d(512, 512);
+  search::ModelEvaluator model_eval(cost_model_, model::FeatureConfig::fast());
+  search::ExecutionEvaluator exec_eval{sim::Executor()};
+  search::MctsOptions opt;
+  opt.iterations = 60;
+  opt.top_k = 4;
+  const auto result = search::mcts_search(p, model_eval, exec_eval, opt);
+  ASSERT_TRUE(transforms::is_legal(p, result.best_schedule));
+  EXPECT_GT(result.best_measured_speedup, 1.0);
+  EXPECT_LE(exec_eval.evaluations(), 4);
+}
+
+TEST_F(Pipeline, AblationArchitecturesTrainOnSameData) {
+  Rng rng(23);
+  model::LstmOnlyModel lstm(model::ModelConfig::fast(), rng);
+  model::TrainOptions topt;
+  topt.epochs = 8;
+  const auto result = model::train_model(lstm, split_->train, nullptr, topt);
+  EXPECT_LT(result.train_loss.back(), result.train_loss.front());
+  const auto metrics = model::evaluate(lstm, split_->test);
+  EXPECT_GT(metrics.spearman, 0.0);
+}
+
+}  // namespace
+}  // namespace tcm

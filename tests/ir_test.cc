@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include "ir/access.h"
+#include "ir/builder.h"
+#include "ir/expr.h"
+#include "ir/program.h"
+
+namespace tcm::ir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AccessMatrix
+// ---------------------------------------------------------------------------
+
+TEST(AccessMatrix, IdentityShape) {
+  const AccessMatrix m = AccessMatrix::identity(2, 3);
+  EXPECT_EQ(m.rank(), 2);
+  EXPECT_EQ(m.depth(), 3);
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(1, 1), 1);
+  EXPECT_EQ(m.at(0, 1), 0);
+  EXPECT_EQ(m.constant(0), 0);
+}
+
+TEST(AccessMatrix, IdentityRankAboveDepthThrows) {
+  EXPECT_THROW(AccessMatrix::identity(3, 2), std::invalid_argument);
+}
+
+TEST(AccessMatrix, PaperExampleEvaluation) {
+  // A[i0, i0+i1, i1-2] from Section 4.1.
+  AccessMatrix m(3, 2);
+  m.set(0, 0, 1);
+  m.set(1, 0, 1);
+  m.set(1, 1, 1);
+  m.set(2, 1, 1);
+  m.set(2, 2, -2);
+  const auto idx = m.evaluate(std::vector<std::int64_t>{4, 7});
+  EXPECT_EQ(idx, (std::vector<std::int64_t>{4, 11, 5}));
+}
+
+TEST(AccessMatrix, IndexRangesOverBox) {
+  AccessMatrix m(1, 2);
+  m.set(0, 0, 2);
+  m.set(0, 1, -1);
+  m.set(0, 2, 5);
+  // i0 in [0,3), i1 in [0,4): range = [5 - 3, 5 + 2*2] = [2, 9]
+  const auto r = m.index_ranges(std::vector<std::int64_t>{3, 4});
+  EXPECT_EQ(r[0].min, 2);
+  EXPECT_EQ(r[0].max, 9);
+}
+
+TEST(AccessMatrix, InterchangeSwapsColumns) {
+  AccessMatrix m(1, 3);
+  m.set(0, 0, 1);
+  m.set(0, 2, 7);
+  m.interchange(0, 2);
+  EXPECT_EQ(m.at(0, 0), 7);
+  EXPECT_EQ(m.at(0, 2), 1);
+}
+
+TEST(AccessMatrix, SplitIntroducesTilePair) {
+  AccessMatrix m(1, 2);
+  m.set(0, 0, 3);   // 3*i0
+  m.set(0, 1, 1);   // + i1
+  m.set(0, 2, 5);   // + 5
+  m.split(0, 4);    // i0 = 4*o + i
+  EXPECT_EQ(m.depth(), 3);
+  EXPECT_EQ(m.at(0, 0), 12);  // 3*4 on outer
+  EXPECT_EQ(m.at(0, 1), 3);   // 3 on inner
+  EXPECT_EQ(m.at(0, 2), 1);   // shifted i1
+  EXPECT_EQ(m.constant(0), 5);
+}
+
+TEST(AccessMatrix, InsertZeroColumn) {
+  AccessMatrix m(1, 1);
+  m.set(0, 0, 2);
+  m.set(0, 1, 9);
+  m.insert_zero_column(0);
+  EXPECT_EQ(m.depth(), 2);
+  EXPECT_EQ(m.at(0, 0), 0);
+  EXPECT_EQ(m.at(0, 1), 2);
+  EXPECT_EQ(m.constant(0), 9);
+}
+
+TEST(AccessMatrix, InvariantTo) {
+  AccessMatrix m(2, 3);
+  m.set(0, 0, 1);
+  m.set(1, 2, 1);
+  EXPECT_FALSE(m.invariant_to(0));
+  EXPECT_TRUE(m.invariant_to(1));
+  EXPECT_FALSE(m.invariant_to(2));
+}
+
+TEST(AccessMatrix, OutOfRangeThrows) {
+  AccessMatrix m(1, 1);
+  EXPECT_THROW(m.at(1, 0), std::out_of_range);
+  EXPECT_THROW(m.set(0, 3, 1), std::out_of_range);
+  EXPECT_THROW(m.interchange(0, 1), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Expr
+// ---------------------------------------------------------------------------
+
+Expr make_load(int buffer, int rank, int depth) {
+  return Expr::load(BufferAccess{buffer, AccessMatrix::identity(rank, depth)});
+}
+
+TEST(Expr, OpCounts) {
+  // (a + b) * c / 2 - a  => 1 add, 1 mul, 1 div, 1 sub
+  const Expr e = Expr::sub(
+      Expr::div(Expr::mul(Expr::add(make_load(0, 1, 2), make_load(1, 1, 2)), make_load(2, 1, 2)),
+                Expr::constant(2)),
+      make_load(0, 1, 2));
+  const OpCounts oc = e.op_counts();
+  EXPECT_EQ(oc.adds, 1);
+  EXPECT_EQ(oc.muls, 1);
+  EXPECT_EQ(oc.divs, 1);
+  EXPECT_EQ(oc.subs, 1);
+  EXPECT_EQ(oc.total(), 4);
+}
+
+TEST(Expr, MinMaxCountAsAdds) {
+  const Expr e = Expr::binary(ExprKind::Max, make_load(0, 1, 1), Expr::constant(0));
+  EXPECT_EQ(e.op_counts().adds, 1);
+}
+
+TEST(Expr, LoadsInLeftToRightOrder) {
+  const Expr e = Expr::add(make_load(3, 1, 2), Expr::mul(make_load(1, 1, 2), make_load(2, 1, 2)));
+  const auto loads = e.loads();
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_EQ(loads[0].buffer_id, 3);
+  EXPECT_EQ(loads[1].buffer_id, 1);
+  EXPECT_EQ(loads[2].buffer_id, 2);
+}
+
+TEST(Expr, MapAccessesRewritesAllLoads) {
+  const Expr e = Expr::add(make_load(0, 1, 2), make_load(1, 1, 2));
+  const Expr mapped = e.map_accesses([](const AccessMatrix& m) {
+    AccessMatrix out = m;
+    out.set(0, m.depth(), 42);
+    return out;
+  });
+  for (const BufferAccess& a : mapped.loads()) EXPECT_EQ(a.matrix.constant(0), 42);
+  // original untouched (immutability)
+  for (const BufferAccess& a : e.loads()) EXPECT_EQ(a.matrix.constant(0), 0);
+}
+
+TEST(Expr, LeafAccessorsThrowOnWrongKind) {
+  const Expr c = Expr::constant(1.0);
+  EXPECT_THROW(c.access(), std::logic_error);
+  EXPECT_THROW(c.lhs(), std::logic_error);
+  const Expr l = make_load(0, 1, 1);
+  EXPECT_THROW(l.constant_value(), std::logic_error);
+}
+
+TEST(Expr, BinaryRejectsInvalidOperands) {
+  EXPECT_THROW(Expr::add(Expr(), Expr::constant(1)), std::invalid_argument);
+  EXPECT_THROW(Expr::binary(ExprKind::Load, Expr::constant(1), Expr::constant(1)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Builder & Program
+// ---------------------------------------------------------------------------
+
+TEST(Builder, IndexExprAlgebra) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 10), j = b.var("j", 10);
+  const IndexExpr e = 2 * i + j - 1;
+  EXPECT_EQ(e.coefficients().at(i.id), 2);
+  EXPECT_EQ(e.coefficients().at(j.id), 1);
+  EXPECT_EQ(e.constant(), -1);
+  const IndexExpr z = i - i;  // coefficients cancel out entirely
+  EXPECT_TRUE(z.coefficients().empty());
+}
+
+TEST(Builder, SimpleProgramStructure) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 8);
+  const int in = b.input("in", {4, 8});
+  b.computation("c", {i, j}, {i, j}, b.load(in, {i, j}) + 1.0);
+  const Program p = b.build();
+  EXPECT_EQ(p.loops.size(), 2u);
+  EXPECT_EQ(p.comps.size(), 1u);
+  EXPECT_EQ(p.roots.size(), 1u);
+  EXPECT_EQ(p.depth_of(0), 2);
+  EXPECT_EQ(p.extents_of(0), (std::vector<std::int64_t>{4, 8}));
+  EXPECT_FALSE(p.comp(0).is_reduction);
+  EXPECT_EQ(p.validate(), std::nullopt);
+}
+
+TEST(Builder, SharedLoopPrefix) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 8), k = b.var("k", 8);
+  const int in = b.input("in", {4, 8});
+  b.computation("c0", {i, j}, {i, j}, b.load(in, {i, j}));
+  b.computation("c1", {i, k}, {i, k}, b.load(in, {i, k}));
+  const Program p = b.build();
+  // i shared; j and k are siblings under it.
+  EXPECT_EQ(p.roots.size(), 1u);
+  EXPECT_EQ(p.loops.size(), 3u);
+  EXPECT_EQ(p.loop(p.roots[0]).body.size(), 2u);
+}
+
+TEST(Builder, SeparateNestsWhenVarsDiffer) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), i2 = b.var("i2", 4);
+  const int in = b.input("in", {4});
+  b.computation("c0", {i}, {i}, b.load(in, {i}));
+  b.computation("c1", {i2}, {i2}, b.load(in, {i2}));
+  const Program p = b.build();
+  EXPECT_EQ(p.roots.size(), 2u);
+}
+
+TEST(Builder, ReductionDetection) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), k = b.var("k", 8);
+  const int in = b.input("in", {4, 8});
+  const int c = b.computation("dot", {i, k}, {i}, b.load(in, {i, k}));
+  const Program p = b.build();
+  EXPECT_TRUE(p.comp(c).is_reduction);
+  EXPECT_FALSE(p.is_reduction_level(c, 0));
+  EXPECT_TRUE(p.is_reduction_level(c, 1));
+}
+
+TEST(Builder, StoreVarsMustBeSubsequence) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 4);
+  const int in = b.input("in", {4, 4});
+  EXPECT_THROW(b.computation("c", {i, j}, {j, i}, b.load(in, {i, j})), std::invalid_argument);
+}
+
+TEST(Builder, DuplicateIteratorRejected) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {4});
+  EXPECT_THROW(b.computation("c", {i, i}, {i}, b.load(in, {i})), std::invalid_argument);
+}
+
+TEST(Builder, OutOfBoundsLoadRejectedAtBuild) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {4});
+  b.computation("c", {i}, {i}, b.load(in, {i + 1}));  // reads in[4]
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Builder, ForeignVariableInAccessRejected) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 4);
+  const int in = b.input("in", {4});
+  EXPECT_THROW(b.computation("c", {i}, {i}, b.load(in, {j})), std::invalid_argument);
+}
+
+TEST(Builder, LoadArityChecked) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {4, 4});
+  EXPECT_THROW(b.load(in, {i}), std::invalid_argument);
+}
+
+TEST(Builder, ComputationIntoAccumulatesExistingBuffer) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 8);
+  const int in = b.input("in", {4, 8});
+  int buf = -1;
+  b.computation("first", {i, j}, {i}, b.load(in, {i, j}), &buf);
+  Var i2 = b.var("i2", 4), j2 = b.var("j2", 8);
+  b.computation_into(buf, "second", {i2, j2}, {i2}, b.load(in, {i2, j2}));
+  const Program p = b.build();
+  EXPECT_EQ(p.comp(0).store.buffer_id, p.comp(1).store.buffer_id);
+}
+
+TEST(Builder, ComputationIntoInputBufferRejected) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {4});
+  EXPECT_THROW(b.computation_into(in, "c", {i}, {i}, b.load(in, {i})), std::invalid_argument);
+}
+
+TEST(Builder, BuildTwiceThrows) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {4});
+  b.computation("c", {i}, {i}, b.load(in, {i}));
+  b.build();
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(Program, CompsInOrderFollowsTree) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 4);
+  const int in = b.input("in", {4, 4});
+  b.computation("c0", {i, j}, {i, j}, b.load(in, {i, j}));
+  b.computation("c1", {i}, {i}, b.load(in, {i, i}));  // shares loop i, after c0's j loop
+  Var k = b.var("k", 4);
+  b.computation("c2", {k}, {k}, b.load(in, {k, k}));
+  const Program p = b.build();
+  EXPECT_EQ(p.comps_in_order(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Program, IterationCount) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 6), j = b.var("j", 10);
+  const int in = b.input("in", {6, 10});
+  const int c = b.computation("c", {i, j}, {i, j}, b.load(in, {i, j}));
+  const Program p = b.build();
+  EXPECT_EQ(p.iteration_count(c), 60);
+}
+
+TEST(Program, ValidateDetectsCycleFreeInvariants) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {4});
+  b.computation("c", {i}, {i}, b.load(in, {i}));
+  Program p = b.build();
+  // Corrupt: computation pointing to a wrong loop.
+  p.comps[0].loop_id = -1;
+  EXPECT_NE(p.validate(), std::nullopt);
+}
+
+TEST(Program, ToStringMentionsLoopsAndComputation) {
+  ProgramBuilder b("prog");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {4});
+  b.computation("c", {i}, {i}, b.load(in, {i}) * 2.0);
+  const Program p = b.build();
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("for i in 0..4"), std::string::npos);
+  EXPECT_NE(s.find("// c"), std::string::npos);
+}
+
+TEST(Program, BufferQueriesThrowOnBadIds) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {4});
+  b.computation("c", {i}, {i}, b.load(in, {i}));
+  const Program p = b.build();
+  EXPECT_THROW(p.buffer(99), std::out_of_range);
+  EXPECT_THROW(p.comp(99), std::out_of_range);
+  EXPECT_THROW(p.loop(99), std::out_of_range);
+}
+
+TEST(Buffer, NumElements) {
+  Buffer b;
+  b.dims = {3, 4, 5};
+  EXPECT_EQ(b.num_elements(), 60);
+  EXPECT_EQ(b.rank(), 3);
+}
+
+}  // namespace
+}  // namespace tcm::ir

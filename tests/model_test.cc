@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datagen/dataset_builder.h"
+#include "ir/builder.h"
+#include "model/cost_model.h"
+#include "model/dataset.h"
+#include "model/featurize.h"
+#include "model/train.h"
+#include "nn/serialize.h"
+
+namespace tcm::model {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::Var;
+
+ir::Program simple2d(std::int64_t ni = 8, std::int64_t nj = 16) {
+  ProgramBuilder b("p");
+  Var i = b.var("i", ni), j = b.var("j", nj);
+  const int in = b.input("in", {ni, nj});
+  b.computation("c", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0);
+  return b.build();
+}
+
+ir::Program producer_consumer() {
+  ProgramBuilder b("pc");
+  Var i = b.var("i", 8), j = b.var("j", 8);
+  const int in = b.input("in", {8, 8});
+  const int prod = b.computation("prod", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0);
+  Var i2 = b.var("i2", 8), j2 = b.var("j2", 8);
+  b.computation("cons", {i2, j2}, {i2, j2}, b.load(b.buffer_of(prod), {i2, j2}) + 1.0);
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// FeatureConfig / featurize
+// ---------------------------------------------------------------------------
+
+TEST(FeatureConfig, SizesAreConsistent) {
+  const FeatureConfig fast = FeatureConfig::fast();
+  EXPECT_EQ(fast.computation_vector_size(),
+            FeatureConfig::kPerLoop * fast.max_depth + 1 + fast.max_rank +
+                fast.max_accesses * fast.per_access() + 4);
+  const FeatureConfig paper = FeatureConfig::paper();
+  EXPECT_EQ(paper.max_depth, 7);
+  EXPECT_EQ(paper.max_accesses, 21);
+  EXPECT_GT(paper.computation_vector_size(), fast.computation_vector_size());
+}
+
+TEST(Featurize, VectorHasConfiguredSize) {
+  const ir::Program p = simple2d();
+  const auto f = featurize(p, {}, FeatureConfig::fast());
+  ASSERT_TRUE(f.has_value());
+  ASSERT_EQ(f->comp_vectors.size(), 1u);
+  EXPECT_EQ(static_cast<int>(f->comp_vectors[0].size()),
+            FeatureConfig::fast().computation_vector_size());
+}
+
+TEST(Featurize, ExtentsAreLogTransformed) {
+  const ir::Program p = simple2d(8, 16);
+  const auto f = featurize(p, {}, FeatureConfig::fast());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(f->comp_vectors[0][0], std::log1p(8.0), 1e-5);  // level-0 extent
+  EXPECT_NEAR(f->comp_vectors[0][FeatureConfig::kPerLoop], std::log1p(16.0), 1e-5);
+}
+
+TEST(Featurize, LogTransformCanBeDisabled) {
+  FeatureConfig cfg = FeatureConfig::fast();
+  cfg.log_transform = false;
+  const ir::Program p = simple2d(8, 16);
+  const auto f = featurize(p, {}, cfg);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FLOAT_EQ(f->comp_vectors[0][0], 8.0f);
+}
+
+TEST(Featurize, TagsAppearAtTheRightLevels) {
+  const ir::Program p = simple2d();
+  transforms::Schedule s;
+  s.interchanges.push_back({0, 0, 1});
+  s.tiles.push_back({0, 0, {4, 4}});
+  s.unrolls.push_back({0, 2});
+  s.parallels.push_back({0, 0});
+  s.vectorizes.push_back({0, 4});
+  const auto f0 = featurize(p, {}, FeatureConfig::fast());
+  const auto f1 = featurize(p, s, FeatureConfig::fast());
+  ASSERT_TRUE(f0 && f1);
+  const auto& v0 = f0->comp_vectors[0];
+  const auto& v1 = f1->comp_vectors[0];
+  const int per = FeatureConfig::kPerLoop;
+  // Layout per level: [ub, lb, red, fused, inter, tiled, tfac, unr, ufac,
+  //                    par, vec, vwidth]
+  EXPECT_EQ(v1[4], 1.0f);                      // interchange on level 0
+  EXPECT_EQ(v1[per + 4], 1.0f);                // and level 1
+  EXPECT_EQ(v1[5], 1.0f);                      // tiled level 0
+  EXPECT_NEAR(v1[6], std::log1p(4.0), 1e-5);   // tile factor
+  EXPECT_EQ(v1[per + 7], 1.0f);                // unroll innermost
+  EXPECT_EQ(v1[9], 1.0f);                      // parallel level 0
+  EXPECT_EQ(v1[per + 10], 1.0f);               // vectorize innermost
+  // The identity schedule has no tags set.
+  EXPECT_EQ(v0[4], 0.0f);
+  EXPECT_EQ(v0[5], 0.0f);
+  EXPECT_EQ(v0[per + 7], 0.0f);
+  // Extents identical: tags only.
+  EXPECT_EQ(v0[0], v1[0]);
+}
+
+TEST(Featurize, ReductionTagSet) {
+  ProgramBuilder b("r");
+  Var i = b.var("i", 4), k = b.var("k", 8);
+  const int in = b.input("in", {4, 8});
+  b.computation("dot", {i, k}, {i}, b.load(in, {i, k}));
+  const ir::Program p = b.build();
+  const auto f = featurize(p, {}, FeatureConfig::fast());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->comp_vectors[0][2], 0.0f);                          // level 0: not reduction
+  EXPECT_EQ(f->comp_vectors[0][FeatureConfig::kPerLoop + 2], 1.0f);  // level 1: reduction
+}
+
+TEST(Featurize, FusionChangesTreeStructure) {
+  const ir::Program p = producer_consumer();
+  const auto unfused = featurize(p, {}, FeatureConfig::fast());
+  transforms::Schedule s;
+  s.fusions.push_back({0, 1, 2});
+  const auto fused = featurize(p, s, FeatureConfig::fast());
+  ASSERT_TRUE(unfused && fused);
+  EXPECT_EQ(unfused->root.children.size(), 2u);
+  EXPECT_EQ(fused->root.children.size(), 1u);
+  EXPECT_FALSE(unfused->same_structure(*fused));
+  // Fusion tag visible on the fused levels of both computations.
+  EXPECT_EQ(fused->comp_vectors[0][3], 1.0f);
+  EXPECT_EQ(fused->comp_vectors[1][3], 1.0f);
+}
+
+TEST(Featurize, PaddingIsZeroBeyondRealAccesses) {
+  const ir::Program p = simple2d();
+  const FeatureConfig cfg = FeatureConfig::fast();
+  const auto f = featurize(p, {}, cfg);
+  ASSERT_TRUE(f.has_value());
+  // One real access; access slots 1.. are fully zero (present flag included).
+  const int base = FeatureConfig::kPerLoop * cfg.max_depth + 1 + cfg.max_rank;
+  const int slot = cfg.per_access();
+  for (int a = 1; a < cfg.max_accesses; ++a)
+    for (int k = 0; k < slot; ++k)
+      EXPECT_EQ(f->comp_vectors[0][static_cast<std::size_t>(base + a * slot + k)], 0.0f)
+          << "access " << a << " offset " << k;
+  // Slot 0 has the present flag set.
+  EXPECT_EQ(f->comp_vectors[0][static_cast<std::size_t>(base)], 1.0f);
+}
+
+TEST(Featurize, RejectsTooDeepPrograms) {
+  FeatureConfig cfg = FeatureConfig::fast();
+  cfg.max_depth = 1;
+  std::string error;
+  const auto f = featurize(simple2d(), {}, cfg, &error);
+  EXPECT_FALSE(f.has_value());
+  EXPECT_NE(error.find("max_depth"), std::string::npos);
+}
+
+TEST(Featurize, RejectsIllegalFusion) {
+  const ir::Program p = producer_consumer();
+  transforms::Schedule s;
+  s.fusions.push_back({0, 1, 5});  // deeper than the nests
+  std::string error;
+  EXPECT_FALSE(featurize(p, s, FeatureConfig::fast(), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Featurize, TreeNodeCount) {
+  const auto f = featurize(producer_consumer(), {}, FeatureConfig::fast());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->root.node_count(), 1 + 4);  // virtual root + 2 nests x 2 loops
+}
+
+// ---------------------------------------------------------------------------
+// Dataset & batching
+// ---------------------------------------------------------------------------
+
+Dataset tiny_dataset(int programs = 6, int schedules = 6) {
+  datagen::DatasetBuildOptions opt;
+  opt.num_programs = programs;
+  opt.schedules_per_program = schedules;
+  opt.features = FeatureConfig::fast();
+  opt.generator = datagen::GeneratorOptions::tiny();
+  return datagen::build_dataset(opt);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  const Dataset ds = tiny_dataset(3, 4);
+  ASSERT_GT(ds.size(), 0u);
+  const std::string path = testing::TempDir() + "/tcm_dataset_test.bin";
+  ASSERT_TRUE(ds.save(path));
+  const Dataset loaded = Dataset::load(path);
+  ASSERT_EQ(loaded.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(loaded.points[i].program_id, ds.points[i].program_id);
+    EXPECT_DOUBLE_EQ(loaded.points[i].speedup, ds.points[i].speedup);
+    EXPECT_EQ(loaded.points[i].feats.comp_vectors, ds.points[i].feats.comp_vectors);
+    EXPECT_TRUE(loaded.points[i].feats.root == ds.points[i].feats.root);
+  }
+}
+
+TEST(Dataset, LoadMissingFileThrows) {
+  EXPECT_THROW(Dataset::load("/nonexistent/ds.bin"), std::runtime_error);
+}
+
+TEST(Dataset, SplitByProgramIsDisjointAndComplete) {
+  const Dataset ds = tiny_dataset(10, 4);
+  const DatasetSplit split = split_by_program(ds, 0.6, 0.2, 42);
+  EXPECT_EQ(split.train.size() + split.validation.size() + split.test.size(), ds.size());
+  auto programs_of = [](const Dataset& d) {
+    std::set<int> s;
+    for (const auto& p : d.points) s.insert(p.program_id);
+    return s;
+  };
+  const auto tr = programs_of(split.train);
+  const auto te = programs_of(split.test);
+  for (int pid : te) EXPECT_EQ(tr.count(pid), 0u);
+}
+
+TEST(Dataset, BatchesShareStructureAndAlignTargets) {
+  const Dataset ds = tiny_dataset(4, 8);
+  const auto batches = make_batches(ds, 4);
+  std::size_t total = 0;
+  for (const Batch& b : batches) {
+    ASSERT_NE(b.tree, nullptr);
+    EXPECT_LE(b.batch_size(), 4);
+    EXPECT_EQ(b.point_indices.size(), static_cast<std::size_t>(b.batch_size()));
+    for (int r = 0; r < b.batch_size(); ++r) {
+      const DataPoint& p = ds.points[b.point_indices[static_cast<std::size_t>(r)]];
+      EXPECT_FLOAT_EQ(b.targets.at(r, 0), static_cast<float>(p.speedup));
+      EXPECT_TRUE(p.feats.root == *b.tree);
+    }
+    total += static_cast<std::size_t>(b.batch_size());
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(Dataset, BatchSizeMustBePositive) {
+  const Dataset ds = tiny_dataset(2, 2);
+  EXPECT_THROW(make_batches(ds, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Models
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, ForwardShapesAndPositivity) {
+  const Dataset ds = tiny_dataset(3, 6);
+  const auto batches = make_batches(ds, 4);
+  Rng rng(1);
+  CostModel model(ModelConfig::fast(), rng);
+  Rng frng(2);
+  for (const Batch& b : batches) {
+    const nn::Variable pred = model.forward_batch(b, false, frng);
+    EXPECT_EQ(pred.rows(), b.batch_size());
+    EXPECT_EQ(pred.cols(), 1);
+    for (int r = 0; r < pred.rows(); ++r) EXPECT_GT(pred.value().at(r, 0), 0.0f);
+  }
+}
+
+TEST(CostModelTest, BatchedEqualsSingleSample) {
+  const Dataset ds = tiny_dataset(2, 6);
+  Rng rng(1);
+  CostModel model(ModelConfig::fast(), rng);
+  const auto big = make_batches(ds, 64);
+  const auto single = make_batches(ds, 1);
+  std::vector<double> pb(ds.size()), ps(ds.size());
+  Rng r0(0);
+  for (const Batch& b : big) {
+    const auto pred = model.forward_batch(b, false, r0);
+    for (int r = 0; r < pred.rows(); ++r)
+      pb[b.point_indices[static_cast<std::size_t>(r)]] = pred.value().at(r, 0);
+  }
+  for (const Batch& b : single) {
+    const auto pred = model.forward_batch(b, false, r0);
+    ps[b.point_indices[0]] = pred.value().at(0, 0);
+  }
+  for (std::size_t i = 0; i < ds.size(); ++i) EXPECT_NEAR(pb[i], ps[i], 1e-4);
+}
+
+TEST(CostModelTest, AblationModelsProducePredictions) {
+  const Dataset ds = tiny_dataset(2, 4);
+  const auto batches = make_batches(ds, 4);
+  Rng rng(1);
+  LstmOnlyModel lstm(ModelConfig::fast(), rng);
+  FeedForwardModel ff(ModelConfig::fast(), rng);
+  Rng r0(0);
+  for (const Batch& b : batches) {
+    EXPECT_EQ(lstm.forward_batch(b, false, r0).rows(), b.batch_size());
+    if (b.num_comps() <= 4) EXPECT_EQ(ff.forward_batch(b, false, r0).rows(), b.batch_size());
+  }
+}
+
+TEST(CostModelTest, FeedForwardRejectsTooManyComputations) {
+  const Dataset ds = tiny_dataset(6, 4);
+  Rng rng(1);
+  ModelConfig cfg = ModelConfig::fast();
+  cfg.ff_max_comps = 1;
+  FeedForwardModel ff(cfg, rng);
+  Rng r0(0);
+  bool found_multi = false;
+  for (const Batch& b : make_batches(ds, 4)) {
+    if (b.num_comps() > 1) {
+      found_multi = true;
+      EXPECT_THROW(ff.forward_batch(b, false, r0), std::invalid_argument);
+    }
+  }
+  EXPECT_TRUE(found_multi);
+}
+
+TEST(CostModelTest, SerializationRoundTrip) {
+  Rng rng(1);
+  CostModel a(ModelConfig::fast(), rng);
+  const std::string path = testing::TempDir() + "/tcm_cost_model.bin";
+  ASSERT_TRUE(nn::save_parameters(a, path));
+  Rng rng2(55);
+  CostModel b(ModelConfig::fast(), rng2);
+  ASSERT_TRUE(nn::load_parameters(b, path));
+  const Dataset ds = tiny_dataset(1, 3);
+  const auto batches = make_batches(ds, 4);
+  Rng r0(0);
+  const auto pa = a.forward_batch(batches[0], false, r0);
+  const auto pb2 = b.forward_batch(batches[0], false, r0);
+  for (int r = 0; r < pa.rows(); ++r)
+    EXPECT_FLOAT_EQ(pa.value().at(r, 0), pb2.value().at(r, 0));
+}
+
+TEST(Training, LossDecreasesAndMetricsImprove) {
+  const Dataset ds = tiny_dataset(8, 12);
+  Rng rng(3);
+  CostModel model(ModelConfig::fast(), rng);
+  const EvalMetrics before = evaluate(model, ds);
+  TrainOptions topt;
+  topt.epochs = 30;
+  topt.max_lr = 2e-3;
+  const TrainResult result = train_model(model, ds, nullptr, topt);
+  ASSERT_EQ(result.train_loss.size(), 30u);
+  EXPECT_LT(result.train_loss.back(), result.train_loss.front());
+  const EvalMetrics after = evaluate(model, ds);
+  EXPECT_LT(after.mape, before.mape);
+  EXPECT_GT(after.spearman, 0.3);
+}
+
+TEST(Training, PredictionOrderMatchesDataset) {
+  const Dataset ds = tiny_dataset(3, 4);
+  Rng rng(3);
+  CostModel model(ModelConfig::fast(), rng);
+  const auto preds = predict(model, ds);
+  EXPECT_EQ(preds.size(), ds.size());
+  for (double p : preds) EXPECT_GT(p, 0.0);
+}
+
+TEST(Training, ComputeMetricsValidatesSizes) {
+  const Dataset ds = tiny_dataset(1, 2);
+  EXPECT_THROW(compute_metrics({1.0}, ds), std::invalid_argument);
+}
+
+TEST(Training, EmptyTrainingSetRejected) {
+  Rng rng(1);
+  CostModel model(ModelConfig::fast(), rng);
+  Dataset empty;
+  EXPECT_THROW(train_model(model, empty, nullptr, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcm::model

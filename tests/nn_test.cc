@@ -1,0 +1,451 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradcheck.h"
+#include "nn/modules.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+#include "nn/tensor.h"
+
+namespace tcm::nn {
+namespace {
+
+Tensor random_tensor(int r, int c, Rng& rng, double lo = -1.0, double hi = 1.0) {
+  Tensor t(r, c);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t.data()[i] = static_cast<float>(rng.uniform_real(lo, hi));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Tensor
+// ---------------------------------------------------------------------------
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6u);
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+}
+
+TEST(Tensor, FactoryHelpers) {
+  EXPECT_FLOAT_EQ(Tensor::ones(2, 2).at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::full(1, 1, 3.5f).item(), 3.5f);
+  const float vals[] = {1, 2, 3, 4};
+  const Tensor t = Tensor::from(2, 2, vals);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_THROW(Tensor::from(2, 2, std::span<const float>(vals, 3)), std::invalid_argument);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_THROW(Tensor(2, 2).item(), std::logic_error);
+}
+
+TEST(Tensor, InPlaceOps) {
+  Tensor a = Tensor::full(1, 3, 2.0f);
+  Tensor b = Tensor::full(1, 3, 1.0f);
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 3.0f);
+  a.add_scaled_(b, -2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 1.0f);
+  a.scale_(4.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 2), 4.0f);
+  Tensor c(2, 2);
+  EXPECT_THROW(a.add_(c), std::invalid_argument);
+}
+
+TEST(Tensor, MatmulMatchesNaive) {
+  Rng rng(1);
+  const Tensor a = random_tensor(5, 7, rng);
+  const Tensor b = random_tensor(7, 4, rng);
+  const Tensor c = matmul(a, b);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0;
+      for (int k = 0; k < 7; ++k) acc += a.at(i, k) * b.at(k, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-5);
+    }
+  }
+}
+
+TEST(Tensor, MatmulTransposedVariantsAgree) {
+  Rng rng(2);
+  const Tensor a = random_tensor(3, 6, rng);
+  const Tensor b = random_tensor(6, 5, rng);
+  const Tensor ref = matmul(a, b);
+  // a * b == matmul_nt(a, b^T)
+  Tensor bt(5, 6);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 5; ++j) bt.at(j, i) = b.at(i, j);
+  const Tensor nt = matmul_nt(a, bt);
+  // a * b == matmul_tn(a^T, b)
+  Tensor at(6, 3);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 6; ++j) at.at(j, i) = a.at(i, j);
+  const Tensor tn = matmul_tn(at, b);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_NEAR(nt.at(i, j), ref.at(i, j), 1e-5);
+      EXPECT_NEAR(tn.at(i, j), ref.at(i, j), 1e-5);
+    }
+}
+
+TEST(Tensor, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor(2, 3), Tensor(2, 3)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Autograd: per-op numerical gradient checks
+// ---------------------------------------------------------------------------
+
+struct OpCase {
+  std::string name;
+  int arity;
+  std::function<Variable(std::vector<Variable>&)> fn;
+  // Per-leaf shapes; defaults to [3,4] for every leaf.
+  std::vector<std::pair<int, int>> shapes;
+};
+
+class OpGradCheck : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<OpCase> cases() {
+    std::vector<OpCase> cs;
+    cs.push_back({"matmul",
+                  2,
+                  [](std::vector<Variable>& v) { return mean_all(matmul(v[0], v[1])); },
+                  {{3, 4}, {4, 2}}});
+    cs.push_back({"add", 2, [](std::vector<Variable>& v) { return mean_all(add(v[0], v[1])); }});
+    cs.push_back({"sub", 2, [](std::vector<Variable>& v) { return mean_all(sub(v[0], v[1])); }});
+    cs.push_back({"mul", 2, [](std::vector<Variable>& v) { return mean_all(mul(v[0], v[1])); }});
+    cs.push_back({"div", 2, [](std::vector<Variable>& v) { return mean_all(div(v[0], v[1])); }});
+    cs.push_back({"scale", 1,
+                  [](std::vector<Variable>& v) { return mean_all(scale(v[0], 2.5f)); }});
+    cs.push_back({"sigmoid", 1,
+                  [](std::vector<Variable>& v) { return mean_all(sigmoid(v[0])); }});
+    cs.push_back({"tanh", 1, [](std::vector<Variable>& v) { return mean_all(tanh_op(v[0])); }});
+    cs.push_back({"elu", 1, [](std::vector<Variable>& v) { return mean_all(elu(v[0])); }});
+    cs.push_back({"exp", 1, [](std::vector<Variable>& v) { return mean_all(exp_op(v[0])); }});
+    cs.push_back({"exp_bounded", 1, [](std::vector<Variable>& v) {
+                    return mean_all(exp_bounded(v[0], 4.0f));
+                  }});
+    cs.push_back({"concat", 2, [](std::vector<Variable>& v) {
+                    return mean_all(concat_cols(v[0], v[1]));
+                  }});
+    cs.push_back({"slice", 1, [](std::vector<Variable>& v) {
+                    return mean_all(slice_cols(v[0], 1, 3));
+                  }});
+    cs.push_back({"composite", 2, [](std::vector<Variable>& v) {
+                    return mean_all(mul(sigmoid(v[0]), tanh_op(v[1])));
+                  }});
+    cs.push_back({"reused_input", 1, [](std::vector<Variable>& v) {
+                    return mean_all(mul(v[0], v[0]));  // gradient doubles
+                  }});
+    return cs;
+  }
+};
+
+TEST_P(OpGradCheck, MatchesNumericalGradient) {
+  const OpCase c = cases()[static_cast<std::size_t>(GetParam())];
+  Rng rng(42 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<Variable> leaves;
+  for (int i = 0; i < c.arity; ++i) {
+    const auto [r, col] = i < static_cast<int>(c.shapes.size())
+                              ? c.shapes[static_cast<std::size_t>(i)]
+                              : std::pair<int, int>{3, 4};
+    // Positive-ish inputs keep div well conditioned; offsets avoid the
+    // non-differentiable kinks of elu/abs at 0.
+    leaves.push_back(Variable::leaf(random_tensor(r, col, rng, 0.2, 1.2)));
+  }
+  const auto result = grad_check(c.fn, leaves, 1e-3, 5e-2);
+  EXPECT_TRUE(result.ok) << c.name << ": max rel err " << result.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpGradCheck,
+                         ::testing::Range(0, static_cast<int>(OpGradCheck::cases().size())));
+
+TEST(Autograd, LossGradChecks) {
+  Rng rng(3);
+  Tensor target = random_tensor(4, 1, rng, 0.5, 2.0);
+  std::vector<Variable> leaves{Variable::leaf(random_tensor(4, 1, rng, 0.5, 2.0))};
+  auto mape_fn = [&](std::vector<Variable>& v) { return mape_loss(v[0], target); };
+  EXPECT_TRUE(grad_check(mape_fn, leaves, 1e-3, 5e-2).ok);
+  auto mse_fn = [&](std::vector<Variable>& v) { return mse_loss(v[0], target); };
+  EXPECT_TRUE(grad_check(mse_fn, leaves, 1e-3, 5e-2).ok);
+  auto lr_fn = [&](std::vector<Variable>& v) { return log_ratio_loss(v[0], target); };
+  EXPECT_TRUE(grad_check(lr_fn, leaves, 1e-3, 5e-2).ok);
+}
+
+TEST(Autograd, LstmCellGradCheck) {
+  Rng rng(4);
+  LSTMCell cell(3, 4, rng);
+  std::vector<Variable> leaves;
+  for (auto* p : cell.parameters()) leaves.push_back(p->var);
+  const Tensor x = random_tensor(2, 3, rng);
+  auto fn = [&](std::vector<Variable>&) {
+    auto st = cell.initial_state(2);
+    st = cell.forward(Variable(x), st);
+    st = cell.forward(Variable(x), st);  // weight reuse across steps
+    return mean_all(st.h);
+  };
+  EXPECT_TRUE(grad_check(fn, leaves, 1e-2, 5e-2).ok);
+}
+
+TEST(Autograd, BackwardRequiresScalarRoot) {
+  Variable v = Variable::leaf(Tensor::ones(2, 2));
+  EXPECT_THROW(backward(v), std::invalid_argument);
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwardCalls) {
+  Variable w = Variable::leaf(Tensor::scalar(3.0f));
+  backward(scale(w, 2.0f));
+  backward(scale(w, 2.0f));
+  EXPECT_FLOAT_EQ(w.grad().item(), 4.0f);  // 2 + 2
+  w.zero_grad();
+  EXPECT_FALSE(w.has_grad());
+}
+
+TEST(Autograd, ConstantsReceiveNoGradient) {
+  Variable c(Tensor::scalar(1.0f));  // constant
+  Variable w = Variable::leaf(Tensor::scalar(2.0f));
+  backward(mul(c, w));
+  EXPECT_FALSE(c.has_grad());
+  EXPECT_TRUE(w.has_grad());
+}
+
+TEST(Ops, AddBroadcastsBiasRow) {
+  Variable x(Tensor::full(3, 2, 1.0f));
+  Tensor bias_t(1, 2);
+  bias_t.at(0, 0) = 10;
+  bias_t.at(0, 1) = 20;
+  Variable bias = Variable::leaf(bias_t);
+  const Variable y = add(x, bias);
+  EXPECT_FLOAT_EQ(y.value().at(2, 0), 11.0f);
+  EXPECT_FLOAT_EQ(y.value().at(0, 1), 21.0f);
+  backward(mean_all(y));
+  // d mean / d bias_j = 3 rows * (1/6) each = 0.5
+  EXPECT_NEAR(bias.grad().at(0, 0), 0.5f, 1e-6);
+}
+
+TEST(Ops, DropoutEvalIsIdentity) {
+  Rng rng(1);
+  Variable x = Variable::leaf(Tensor::full(4, 4, 2.0f));
+  const Variable y = dropout(x, 0.5f, /*training=*/false, rng);
+  for (std::size_t i = 0; i < y.value().size(); ++i)
+    EXPECT_FLOAT_EQ(y.value().data()[i], 2.0f);
+}
+
+TEST(Ops, DropoutTrainKeepsExpectation) {
+  Rng rng(5);
+  Variable x(Tensor::full(100, 100, 1.0f));
+  const Variable y = dropout(x, 0.3f, /*training=*/true, rng);
+  double sum = 0;
+  int zeros = 0;
+  for (std::size_t i = 0; i < y.value().size(); ++i) {
+    sum += y.value().data()[i];
+    zeros += y.value().data()[i] == 0.0f;
+  }
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.05);          // inverted scaling
+  EXPECT_NEAR(zeros / 10000.0, 0.3, 0.03);        // drop rate
+}
+
+TEST(Ops, MapeLossValue) {
+  Tensor target(2, 1);
+  target.at(0, 0) = 2.0f;
+  target.at(1, 0) = 4.0f;
+  Tensor pred(2, 1);
+  pred.at(0, 0) = 1.0f;   // APE 0.5
+  pred.at(1, 0) = 5.0f;   // APE 0.25
+  EXPECT_NEAR(mape_loss(Variable(pred), target).value().item(), 0.375f, 1e-6);
+  Tensor zero_target(2, 1);
+  EXPECT_THROW(mape_loss(Variable(pred), zero_target), std::invalid_argument);
+}
+
+TEST(Ops, LogRatioLossValue) {
+  Tensor target = Tensor::full(1, 1, 2.0f);
+  Tensor pred = Tensor::full(1, 1, 4.0f);
+  EXPECT_NEAR(log_ratio_loss(Variable(pred), target).value().item(), std::log(2.0f), 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Modules
+// ---------------------------------------------------------------------------
+
+TEST(Modules, LinearShapesAndParamCount) {
+  Rng rng(1);
+  Linear l(5, 3, rng);
+  EXPECT_EQ(l.parameter_count(), 5u * 3 + 3);
+  const Variable y = l.forward(Variable(Tensor::ones(2, 5)));
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 3);
+  EXPECT_THROW(l.forward(Variable(Tensor::ones(2, 4))), std::invalid_argument);
+}
+
+TEST(Modules, GlorotInitWithinLimit) {
+  Rng rng(2);
+  const Tensor w = glorot_uniform(10, 20, rng);
+  const float limit = std::sqrt(6.0f / 30.0f);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w.data()[i]), limit);
+  }
+  // Not degenerate.
+  double sq = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) sq += w.data()[i] * w.data()[i];
+  EXPECT_GT(sq, 0.0);
+}
+
+TEST(Modules, MlpDepthAndShapes) {
+  Rng rng(3);
+  MLP mlp({7, 5, 3, 1}, 0.0f, rng, "m", false);
+  EXPECT_EQ(mlp.in_features(), 7);
+  EXPECT_EQ(mlp.out_features(), 1);
+  Rng drng(1);
+  const Variable y = mlp.forward(Variable(Tensor::ones(4, 7)), false, drng);
+  EXPECT_EQ(y.rows(), 4);
+  EXPECT_EQ(y.cols(), 1);
+}
+
+TEST(Modules, LstmStatefulForward) {
+  Rng rng(4);
+  LSTMCell cell(3, 5, rng);
+  auto st = cell.initial_state(2);
+  for (std::size_t i = 0; i < st.h.value().size(); ++i)
+    EXPECT_FLOAT_EQ(st.h.value().data()[i], 0.0f);
+  const Tensor x = random_tensor(2, 3, rng);
+  auto st1 = cell.forward(Variable(x), st);
+  auto st2 = cell.forward(Variable(x), st1);
+  EXPECT_EQ(st2.h.rows(), 2);
+  EXPECT_EQ(st2.h.cols(), 5);
+  // State evolves.
+  bool changed = false;
+  for (std::size_t i = 0; i < st1.h.value().size(); ++i)
+    changed = changed || st1.h.value().data()[i] != st2.h.value().data()[i];
+  EXPECT_TRUE(changed);
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer & schedule
+// ---------------------------------------------------------------------------
+
+TEST(Optim, AdamWConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 with AdamW (no decay): w -> 3.
+  Rng rng(1);
+  Linear l(1, 1, rng);  // w*x + b with x=1: effectively w+b
+  AdamWOptions opts;
+  opts.lr = 0.05;
+  opts.weight_decay = 0.0;
+  AdamW opt(l.parameters(), opts);
+  for (int i = 0; i < 400; ++i) {
+    opt.zero_grad();
+    const Variable y = l.forward(Variable(Tensor::ones(1, 1)));
+    const Variable loss = mse_loss(y, Tensor::full(1, 1, 3.0f));
+    backward(loss);
+    opt.step();
+  }
+  const Variable y = l.forward(Variable(Tensor::ones(1, 1)));
+  EXPECT_NEAR(y.value().item(), 3.0f, 0.05f);
+}
+
+TEST(Optim, WeightDecayShrinksWeightsVsNoDecay) {
+  // Identical training runs except for the decay coefficient: the decayed
+  // run must end with a smaller parameter norm.
+  auto run = [](double decay) {
+    Rng rng(1);
+    Linear l(4, 4, rng);
+    AdamWOptions opts;
+    opts.lr = 0.01;
+    opts.weight_decay = decay;
+    AdamW opt(l.parameters(), opts);
+    for (int i = 0; i < 50; ++i) {
+      opt.zero_grad();
+      const Variable y = l.forward(Variable(Tensor::ones(2, 4)));
+      backward(mean_all(y));
+      opt.step();
+    }
+    double norm = 0;
+    for (auto* p : l.parameters())
+      for (float v : p->var.value().span()) norm += v * v;
+    return norm;
+  };
+  EXPECT_LT(run(0.5), run(0.0));
+}
+
+TEST(Optim, GradClippingBoundsUpdateDirection) {
+  // A leaf with a huge gradient: with clipping the Adam moments stay sane
+  // and a single step moves the weight by roughly lr.
+  Parameter p{"w", Variable::leaf(Tensor::scalar(0.0f))};
+  AdamWOptions opts;
+  opts.lr = 0.1;
+  opts.weight_decay = 0;
+  opts.max_grad_norm = 1.0;
+  AdamW opt({&p}, opts);
+  backward(scale(p.var, 1e6f));
+  opt.step();
+  EXPECT_NEAR(p.var.value().item(), -0.1f, 0.02f);
+}
+
+TEST(Optim, OneCycleShape) {
+  Parameter p{"w", Variable::leaf(Tensor::scalar(0.0f))};
+  AdamW opt({&p}, {});
+  OneCycleLR sched(&opt, /*max_lr=*/1.0, /*total_steps=*/100, /*pct_start=*/0.3);
+  EXPECT_LT(opt.lr(), 0.1);  // starts low
+  double peak = 0;
+  double lr_at_30 = 0;
+  for (int i = 0; i < 100; ++i) {
+    sched.step();
+    peak = std::max(peak, opt.lr());
+    if (i == 29) lr_at_30 = opt.lr();
+  }
+  EXPECT_NEAR(peak, 1.0, 1e-6);
+  EXPECT_NEAR(lr_at_30, 1.0, 0.01);   // peak at pct_start
+  EXPECT_LT(opt.lr(), 1e-3);          // ends near zero
+}
+
+TEST(Optim, OneCycleRejectsBadArgs) {
+  Parameter p{"w", Variable::leaf(Tensor::scalar(0.0f))};
+  AdamW opt({&p}, {});
+  EXPECT_THROW(OneCycleLR(nullptr, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(OneCycleLR(&opt, 1.0, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, RoundTripPreservesWeights) {
+  Rng rng(7);
+  MLP a({4, 8, 2}, 0.0f, rng, "m");
+  const std::string path = testing::TempDir() + "/tcm_weights_test.bin";
+  ASSERT_TRUE(save_parameters(a, path));
+  Rng rng2(99);  // different init
+  MLP b({4, 8, 2}, 0.0f, rng2, "m");
+  ASSERT_TRUE(load_parameters(b, path));
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t k = 0; k < pa[i]->var.value().size(); ++k)
+      EXPECT_FLOAT_EQ(pa[i]->var.value().data()[k], pb[i]->var.value().data()[k]);
+}
+
+TEST(Serialize, ShapeMismatchRejected) {
+  Rng rng(7);
+  MLP a({4, 8, 2}, 0.0f, rng, "m");
+  const std::string path = testing::TempDir() + "/tcm_weights_mismatch.bin";
+  ASSERT_TRUE(save_parameters(a, path));
+  MLP b({4, 6, 2}, 0.0f, rng, "m");  // different hidden size
+  EXPECT_THROW(load_parameters(b, path), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileReturnsFalse) {
+  Rng rng(7);
+  MLP a({2, 2}, 0.0f, rng, "m");
+  EXPECT_FALSE(load_parameters(a, "/nonexistent/path/weights.bin"));
+}
+
+}  // namespace
+}  // namespace tcm::nn

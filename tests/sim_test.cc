@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include "benchsuite/benchmarks.h"
+#include "ir/builder.h"
+#include "sim/cache_sim.h"
+#include "sim/executor.h"
+#include "sim/interpreter.h"
+#include "sim/machine_model.h"
+#include "transforms/apply.h"
+
+namespace tcm::sim {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::Var;
+
+ir::Program tiny_matmul(std::int64_t n) {
+  ProgramBuilder b("mm");
+  Var i = b.var("i", n), j = b.var("j", n), k = b.var("k", n);
+  const int a = b.input("A", {n, n});
+  const int bb = b.input("B", {n, n});
+  b.computation("mm", {i, j, k}, {i, j}, b.load(a, {i, k}) * b.load(bb, {k, j}));
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+TEST(Interpreter, ElementwiseKnownValues) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 3);
+  const int in = b.input("in", {3});
+  b.computation("c", {i}, {i}, b.load(in, {i}) * 2.0 + 1.0);
+  const ir::Program p = b.build();
+  BufferData bufs = Interpreter::make_buffers(p, 1);
+  Interpreter::run(p, bufs);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(bufs[1][static_cast<std::size_t>(i)],
+                     bufs[0][static_cast<std::size_t>(i)] * 2.0 + 1.0);
+}
+
+TEST(Interpreter, ReductionSumsOverInnerLoop) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 2), k = b.var("k", 5);
+  const int in = b.input("in", {2, 5});
+  b.computation("dot", {i, k}, {i}, b.load(in, {i, k}));
+  const ir::Program p = b.build();
+  BufferData bufs = Interpreter::make_buffers(p, 2);
+  Interpreter::run(p, bufs);
+  for (int i = 0; i < 2; ++i) {
+    double expected = 0;
+    for (int k = 0; k < 5; ++k) expected += bufs[0][static_cast<std::size_t>(i * 5 + k)];
+    EXPECT_DOUBLE_EQ(bufs[1][static_cast<std::size_t>(i)], expected);
+  }
+}
+
+TEST(Interpreter, StencilReadsNeighbours) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {6});
+  b.computation("s", {i}, {i}, b.load(in, {i}) + b.load(in, {i + 2}));
+  const ir::Program p = b.build();
+  BufferData bufs = Interpreter::make_buffers(p, 3);
+  Interpreter::run(p, bufs);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(bufs[1][static_cast<std::size_t>(i)],
+                     bufs[0][static_cast<std::size_t>(i)] + bufs[0][static_cast<std::size_t>(i + 2)]);
+}
+
+TEST(Interpreter, InputsAreDeterministicInSeed) {
+  const ir::Program p = tiny_matmul(4);
+  const auto a = Interpreter::make_buffers(p, 9);
+  const auto b2 = Interpreter::make_buffers(p, 9);
+  EXPECT_EQ(a[0], b2[0]);
+  const auto c = Interpreter::make_buffers(p, 10);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(Interpreter, MaxRelDifferenceDetectsChange) {
+  const ir::Program p = tiny_matmul(4);
+  auto a = Interpreter::execute(p, 1);
+  auto b2 = a;
+  EXPECT_DOUBLE_EQ(Interpreter::max_rel_difference(p, a, b2), 0.0);
+  b2[2][0] += 1.0;  // output buffer of the matmul
+  EXPECT_GT(Interpreter::max_rel_difference(p, a, b2), 0.0);
+}
+
+TEST(Interpreter, ProducerConsumerChain) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {4});
+  const int first = b.computation("first", {i}, {i}, b.load(in, {i}) * 3.0);
+  Var i2 = b.var("i2", 4);
+  b.computation("second", {i2}, {i2}, b.load(b.buffer_of(first), {i2}) + 1.0);
+  const ir::Program p = b.build();
+  BufferData bufs = Interpreter::make_buffers(p, 4);
+  Interpreter::run(p, bufs);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(bufs[2][static_cast<std::size_t>(i)],
+                     bufs[0][static_cast<std::size_t>(i)] * 3.0 + 1.0);
+}
+
+TEST(Interpreter, TiledTailLoopsCoverWholeDomain) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 10);
+  const int in = b.input("in", {10});
+  b.computation("c", {i}, {i}, b.load(in, {i}) + 1.0);
+  const ir::Program p = b.build();
+  // Manually tile i by 4 (non-divisible): tail handling must visit all 10.
+  transforms::Schedule s;
+  s.tiles = {};  // 1-D tiling unsupported; use 2-D program instead
+  ProgramBuilder b2("t2");
+  Var x = b2.var("x", 10), y = b2.var("y", 6);
+  const int in2 = b2.input("in2", {10, 6});
+  b2.computation("c2", {x, y}, {x, y}, b2.load(in2, {x, y}) + 1.0);
+  const ir::Program p2 = b2.build();
+  transforms::Schedule s2;
+  s2.tiles.push_back({0, 0, {4, 4}});
+  const ir::Program t2 = transforms::apply_schedule(p2, s2);
+  const auto r0 = Interpreter::execute(p2, 5);
+  const auto r1 = Interpreter::execute(t2, 5);
+  EXPECT_DOUBLE_EQ(Interpreter::max_rel_difference(p2, r0, r1), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cache simulator
+// ---------------------------------------------------------------------------
+
+TEST(CacheSim, SequentialAccessHitsWithinLine) {
+  Cache cache({1024, 4, 64});
+  int hits = 0;
+  for (std::uint64_t a = 0; a < 64; a += 8) hits += cache.access(a);
+  EXPECT_EQ(cache.misses(), 1u);  // one line fill
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(CacheSim, CapacityEviction) {
+  // 2 sets x 2 ways x 64B lines = 256 B cache.
+  Cache cache({256, 2, 64});
+  // Touch 4 lines mapping to the same set (stride = num_sets * line).
+  for (int rep = 0; rep < 2; ++rep)
+    for (std::uint64_t i = 0; i < 4; ++i) cache.access(i * 2 * 64);
+  // Working set (4 lines) exceeds associativity (2): everything misses.
+  EXPECT_EQ(cache.misses(), 8u);
+}
+
+TEST(CacheSim, LruKeepsHotLine) {
+  Cache cache({256, 2, 64});  // 2 sets, 2 ways
+  const std::uint64_t kHot = 0;
+  cache.access(kHot);
+  cache.access(2 * 64);  // same set, second way
+  cache.access(kHot);    // refresh LRU
+  cache.access(4 * 64);  // evicts 2*64, not the hot line
+  EXPECT_TRUE(cache.access(kHot));
+}
+
+TEST(CacheSim, HierarchyEscalatesOnMiss) {
+  CacheHierarchy h(MachineSpec::tiny());
+  EXPECT_EQ(h.access(0), 3);  // cold: memory
+  EXPECT_EQ(h.access(0), 0);  // now L1
+  EXPECT_EQ(h.total_accesses(), 2u);
+  EXPECT_GT(h.total_latency_cycles(), 0.0);
+}
+
+TEST(CacheSim, TraceVisitsAllAccesses) {
+  const ir::Program p = tiny_matmul(8);
+  CacheHierarchy h(MachineSpec::tiny());
+  // 8^3 iterations x (2 loads + 1 store).
+  EXPECT_EQ(simulate_trace(p, h), 8u * 8 * 8 * 3);
+}
+
+TEST(CacheSim, TraceMaxAccessCap) {
+  const ir::Program p = tiny_matmul(8);
+  CacheHierarchy h(MachineSpec::tiny());
+  EXPECT_EQ(simulate_trace(p, h, 100), 100u);
+}
+
+TEST(CacheSim, TilingReducesMissesOnBigMatmul) {
+  // n = 72 keeps row strides off the power-of-two set-conflict pattern (a
+  // 4 KiB / 8-set cache aliases 512-byte strides pathologically, which is a
+  // real phenomenon but not the one under test here).
+  const ir::Program p = tiny_matmul(72);  // B footprint 40 KiB >> tiny L1
+  transforms::Schedule s;
+  s.tiles.push_back({0, 0, {8, 8, 8}});
+  const ir::Program tiled = transforms::apply_schedule(p, s);
+  const MachineSpec spec = MachineSpec::tiny();
+  CacheHierarchy h0(spec), h1(spec);
+  simulate_trace(p, h0);
+  simulate_trace(tiled, h1);
+  EXPECT_LT(static_cast<double>(h1.level(0).misses()),
+            0.8 * static_cast<double>(h0.level(0).misses()));
+  // The analytical model must agree directionally.
+  MachineModel model(spec);
+  EXPECT_LT(model.execution_time_seconds(tiled), model.execution_time_seconds(p));
+}
+
+// ---------------------------------------------------------------------------
+// Machine model
+// ---------------------------------------------------------------------------
+
+TEST(MachineModel, ParallelSpeedupBoundedByCores) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4096), j = b.var("j", 256);
+  const int in = b.input("in", {4096, 256});
+  b.computation("c", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0);
+  const ir::Program p = b.build();
+  transforms::Schedule s;
+  s.parallels.push_back({0, 0});
+  const ir::Program t = transforms::apply_schedule(p, s);
+  MachineModel m;
+  const double speedup = m.execution_time_seconds(p) / m.execution_time_seconds(t);
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LE(speedup, m.spec().cores);
+}
+
+TEST(MachineModel, ParallelizingTinyLoopHurts) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 8);
+  const int in = b.input("in", {4, 8});
+  b.computation("c", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0);
+  const ir::Program p = b.build();
+  transforms::Schedule s;
+  s.parallels.push_back({0, 0});
+  const ir::Program t = transforms::apply_schedule(p, s);
+  MachineModel m;
+  EXPECT_LT(m.execution_time_seconds(p) / m.execution_time_seconds(t), 0.1);
+}
+
+TEST(MachineModel, InnerParallelWorseThanOuter) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 512), j = b.var("j", 512);
+  const int in = b.input("in", {512, 512});
+  b.computation("c", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0);
+  const ir::Program p = b.build();
+  transforms::Schedule s_outer, s_inner;
+  s_outer.parallels.push_back({0, 0});
+  s_inner.parallels.push_back({0, 1});
+  MachineModel m;
+  const double t_outer = m.execution_time_seconds(transforms::apply_schedule(p, s_outer));
+  const double t_inner = m.execution_time_seconds(transforms::apply_schedule(p, s_inner));
+  EXPECT_LT(t_outer, t_inner);
+}
+
+TEST(MachineModel, StrideOneFasterThanTransposedAccess) {
+  ProgramBuilder b1("row");
+  {
+    Var i = b1.var("i", 1024), j = b1.var("j", 1024);
+    const int in = b1.input("in", {1024, 1024});
+    b1.computation("c", {i, j}, {i, j}, b1.load(in, {i, j}) * 2.0);
+  }
+  ProgramBuilder b2("col");
+  {
+    Var i = b2.var("i", 1024), j = b2.var("j", 1024);
+    const int in = b2.input("in", {1024, 1024});
+    b2.computation("c", {i, j}, {i, j}, b2.load(in, {j, i}) * 2.0);
+  }
+  MachineModel m;
+  EXPECT_LT(m.execution_time_seconds(b1.build()), m.execution_time_seconds(b2.build()));
+}
+
+TEST(MachineModel, InterchangeFixesBadStrides) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 1024), j = b.var("j", 1024);
+  const int in = b.input("in", {1024, 1024});
+  b.computation("c", {i, j}, {i, j}, b.load(in, {j, i}) * 2.0);
+  const ir::Program p = b.build();
+  transforms::Schedule s;
+  s.interchanges.push_back({0, 0, 1});
+  MachineModel m;
+  // After interchange the load is stride-1 again (the store becomes strided,
+  // but loads dominate here? both flip; allow either direction but the two
+  // must differ, showing sensitivity).
+  const double t0 = m.execution_time_seconds(p);
+  const double t1 = m.execution_time_seconds(transforms::apply_schedule(p, s));
+  EXPECT_NE(t0, t1);
+}
+
+TEST(MachineModel, ThreeDTilingHelpsBigMatmul) {
+  const ir::Program p = tiny_matmul(1024);
+  transforms::Schedule s;
+  s.tiles.push_back({0, 0, {64, 64, 64}});
+  MachineModel m;
+  EXPECT_LT(m.execution_time_seconds(transforms::apply_schedule(p, s)),
+            m.execution_time_seconds(p));
+}
+
+TEST(MachineModel, FusionImprovesProducerConsumerLocality) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 2048), j = b.var("j", 2048);
+  const int in = b.input("in", {2048, 2048});
+  const int prod = b.computation("prod", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0);
+  Var i2 = b.var("i2", 2048), j2 = b.var("j2", 2048);
+  b.computation("cons", {i2, j2}, {i2, j2}, b.load(b.buffer_of(prod), {i2, j2}) + 1.0);
+  const ir::Program p = b.build();
+  transforms::Schedule s;
+  s.fusions.push_back({0, 1, 2});
+  MachineModel m;
+  EXPECT_LT(m.execution_time_seconds(transforms::apply_schedule(p, s)),
+            m.execution_time_seconds(p));
+}
+
+TEST(MachineModel, UnrollReducesOverheadModestly) {
+  const ir::Program p = tiny_matmul(256);
+  transforms::Schedule s;
+  s.unrolls.push_back({0, 8});
+  MachineModel m;
+  const double t0 = m.execution_time_seconds(p);
+  const double t1 = m.execution_time_seconds(transforms::apply_schedule(p, s));
+  EXPECT_LT(t1, t0);
+  EXPECT_GT(t1, 0.3 * t0);  // unrolling is not a silver bullet
+}
+
+TEST(MachineModel, VectorizeHelpsStrideOneBody) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 1024), j = b.var("j", 1024);
+  const int in = b.input("in", {1024, 1024});
+  const int in2 = b.input("in2", {1024, 1024});
+  b.computation("c", {i, j}, {i, j}, b.load(in, {i, j}) * b.load(in2, {i, j}) + 1.0);
+  const ir::Program p = b.build();
+  transforms::Schedule s;
+  s.vectorizes.push_back({0, 8});
+  MachineModel m;
+  EXPECT_LT(m.execution_time_seconds(transforms::apply_schedule(p, s)),
+            m.execution_time_seconds(p));
+}
+
+TEST(MachineModel, BreakdownSumsToPositiveCycles) {
+  const ir::Program p = tiny_matmul(64);
+  MachineModel m;
+  const auto b = m.cost_breakdown(p);
+  EXPECT_GT(b.arith_cycles, 0);
+  EXPECT_GT(b.mem_cycles, 0);
+  EXPECT_GT(b.overhead_cycles, 0);
+  EXPECT_DOUBLE_EQ(b.spawn_cycles, 0);  // nothing parallel
+  EXPECT_GT(b.total_cycles, 0);
+}
+
+TEST(MachineModel, DeterministicAcrossCalls) {
+  const ir::Program p = tiny_matmul(64);
+  MachineModel m;
+  EXPECT_DOUBLE_EQ(m.execution_time_seconds(p), m.execution_time_seconds(p));
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+TEST(Executor, NoiseFreeMatchesModel) {
+  const ir::Program p = tiny_matmul(32);
+  ExecutorOptions opts;
+  opts.noise_sigma = 0.0;
+  Executor e{MachineModel(), opts};
+  EXPECT_DOUBLE_EQ(e.measure_seconds(p), e.exact_seconds(p));
+}
+
+TEST(Executor, MedianOfRunsShrinksNoise) {
+  const ir::Program p = tiny_matmul(32);
+  ExecutorOptions noisy;
+  noisy.noise_sigma = 0.2;
+  noisy.runs_per_measurement = 30;
+  Executor e{MachineModel(), noisy, 7};
+  const double exact = e.exact_seconds(p);
+  for (int i = 0; i < 20; ++i) {
+    const double measured = e.measure_seconds(p);
+    EXPECT_NEAR(measured / exact, 1.0, 0.15);  // median-of-30 is tight
+  }
+}
+
+TEST(Executor, SpeedupOfIdentityIsAboutOne) {
+  const ir::Program p = tiny_matmul(32);
+  Executor e;
+  EXPECT_NEAR(e.measure_speedup(p, {}), 1.0, 0.05);
+}
+
+TEST(Executor, EvaluationCostIncludesCompileAndRuns) {
+  Executor e;
+  const double cost = e.evaluation_cost_seconds(0.5);
+  EXPECT_DOUBLE_EQ(cost, 3.0 + 30 * 0.5);
+}
+
+TEST(Executor, DeterministicInSeed) {
+  const ir::Program p = tiny_matmul(32);
+  Executor a{MachineModel(), {}, 11};
+  Executor b{MachineModel(), {}, 11};
+  EXPECT_DOUBLE_EQ(a.measure_seconds(p), b.measure_seconds(p));
+}
+
+}  // namespace
+}  // namespace tcm::sim

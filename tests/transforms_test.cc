@@ -1,0 +1,514 @@
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "ir/builder.h"
+#include "sim/interpreter.h"
+#include "transforms/apply.h"
+#include "transforms/dependence.h"
+#include "transforms/schedule.h"
+
+namespace tcm::transforms {
+namespace {
+
+using ir::ProgramBuilder;
+using ir::Var;
+
+// A 3-deep single computation program: out[i][j] = in[i][j] + in[j][i] summed
+// over k (matmul-flavoured when requested).
+ir::Program simple2d(std::int64_t ni = 8, std::int64_t nj = 12) {
+  ProgramBuilder b("p");
+  Var i = b.var("i", ni), j = b.var("j", nj);
+  const int in = b.input("in", {ni, nj});
+  b.computation("c", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0);
+  return b.build();
+}
+
+ir::Program matmul3d(std::int64_t n = 8, std::int64_t m = 8, std::int64_t k = 8) {
+  ProgramBuilder b("mm");
+  Var i = b.var("i", n), j = b.var("j", m), kk = b.var("k", k);
+  const int a = b.input("A", {n, k});
+  const int bb = b.input("B", {k, m});
+  b.computation("mm", {i, j, kk}, {i, j}, b.load(a, {i, kk}) * b.load(bb, {kk, j}));
+  return b.build();
+}
+
+// Producer-consumer pair over matching 2-D domains.
+ir::Program producer_consumer(std::int64_t n = 6, std::int64_t m = 10, int offset = 0) {
+  ProgramBuilder b("pc");
+  Var i = b.var("i", n), j = b.var("j", m);
+  const int in = b.input("in", {n + 2, m});
+  const int prod = b.computation("prod", {i, j}, {i, j}, b.load(in, {i + 2, j}));
+  Var i2 = b.var("i2", n), j2 = b.var("j2", m);
+  // offset < 0: reads earlier rows (backward, fusable); offset encoded via
+  // reading prod[i2 + offset] requires offset <= 0 to stay in bounds from 0.
+  ir::IndexExpr row = offset >= 0 ? ir::IndexExpr(i2) : i2 + offset;
+  if (offset < 0) {
+    // shift domain so accesses stay in bounds: consumer reads max(i2+offset,0)
+    // -- instead, read prod[i2] and in the forward case use reversal below.
+    row = i2;
+  }
+  b.computation("cons", {i2, j2}, {i2, j2}, b.load(b.buffer_of(prod), {row, j2}) + 1.0);
+  return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Schedule basics
+// ---------------------------------------------------------------------------
+
+TEST(Schedule, ToStringIdentity) {
+  Schedule s;
+  EXPECT_EQ(s.to_string(), "<identity>");
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Schedule, ToStringRendersAll) {
+  Schedule s;
+  s.fusions.push_back({0, 1, 2});
+  s.interchanges.push_back({0, 0, 1});
+  s.tiles.push_back({0, 0, {16, 32}});
+  s.unrolls.push_back({0, 4});
+  s.parallels.push_back({0, 0});
+  s.vectorizes.push_back({0, 8});
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("fuse(c0,c1,depth=2)"), std::string::npos);
+  EXPECT_NE(str.find("interchange(c0,L0,L1)"), std::string::npos);
+  EXPECT_NE(str.find("tile(c0,L0,16x32)"), std::string::npos);
+  EXPECT_NE(str.find("unroll(c0,4)"), std::string::npos);
+  EXPECT_NE(str.find("parallelize(c0,L0)"), std::string::npos);
+  EXPECT_NE(str.find("vectorize(c0,8)"), std::string::npos);
+  EXPECT_EQ(s.size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Interchange
+// ---------------------------------------------------------------------------
+
+TEST(Interchange, SwapsExtentsAndAccesses) {
+  const ir::Program p = simple2d(8, 12);
+  Schedule s;
+  s.interchanges.push_back({0, 0, 1});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_EQ(t.extents_of(0), (std::vector<std::int64_t>{12, 8}));
+  // in[i][j] became in[col1][col0]: coefficient of dim 0 moved to column 1.
+  const auto loads = t.comp(0).rhs.loads();
+  EXPECT_EQ(loads[0].matrix.at(0, 1), 1);
+  EXPECT_EQ(loads[0].matrix.at(0, 0), 0);
+  EXPECT_TRUE(t.loop(t.nest_of(0)[0]).tag_interchanged);
+}
+
+TEST(Interchange, IdenticalLevelsRejected) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.interchanges.push_back({0, 1, 1});
+  std::string why;
+  EXPECT_FALSE(is_legal(p, s, &why));
+  EXPECT_NE(why.find("identical"), std::string::npos);
+}
+
+TEST(Interchange, OutOfRangeLevelRejected) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.interchanges.push_back({0, 0, 5});
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+TEST(Interchange, NonPerfectlyNestedRejected) {
+  // Two computations under a shared outer loop: interchanging across the
+  // branching level is rejected.
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 4), k = b.var("k", 4);
+  const int in = b.input("in", {4, 4});
+  b.computation("c0", {i, j}, {i, j}, b.load(in, {i, j}));
+  b.computation("c1", {i, k}, {i, k}, b.load(in, {i, k}));
+  const ir::Program p = b.build();
+  Schedule s;
+  s.interchanges.push_back({0, 0, 1});
+  std::string why;
+  EXPECT_FALSE(is_legal(p, s, &why));
+  EXPECT_NE(why.find("perfectly nested"), std::string::npos);
+}
+
+TEST(Interchange, UnknownComputationRejected) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.interchanges.push_back({7, 0, 1});
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+// ---------------------------------------------------------------------------
+// Tiling
+// ---------------------------------------------------------------------------
+
+TEST(Tile, RestructuresLoops2D) {
+  const ir::Program p = simple2d(8, 12);
+  Schedule s;
+  s.tiles.push_back({0, 0, {4, 4}});
+  const ir::Program t = apply_schedule(p, s);
+  const auto nest = t.nest_of(0);
+  ASSERT_EQ(nest.size(), 4u);
+  EXPECT_EQ(t.loop(nest[0]).iter.extent, 2);  // ceil(8/4)
+  EXPECT_EQ(t.loop(nest[1]).iter.extent, 3);  // ceil(12/4)
+  EXPECT_EQ(t.loop(nest[2]).iter.extent, 4);
+  EXPECT_EQ(t.loop(nest[3]).iter.extent, 4);
+  EXPECT_EQ(t.loop(nest[2]).tail_of, nest[0]);
+  EXPECT_EQ(t.loop(nest[3]).tail_of, nest[1]);
+  EXPECT_TRUE(t.loop(nest[0]).tag_tiled);
+  EXPECT_EQ(t.loop(nest[0]).tag_tile_factor, 4);
+  // Iteration count is preserved.
+  EXPECT_EQ(t.iteration_count(0), p.iteration_count(0));
+}
+
+TEST(Tile, NonDivisibleSizesKeepIterationCount) {
+  const ir::Program p = simple2d(10, 14);
+  Schedule s;
+  s.tiles.push_back({0, 0, {4, 8}});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_EQ(t.iteration_count(0), 140);
+  EXPECT_EQ(t.validate(), std::nullopt);
+}
+
+TEST(Tile, ThreeDimensional) {
+  const ir::Program p = matmul3d(8, 8, 8);
+  Schedule s;
+  s.tiles.push_back({0, 0, {4, 4, 4}});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_EQ(t.nest_of(0).size(), 6u);
+  EXPECT_EQ(t.iteration_count(0), 512);
+}
+
+TEST(Tile, AccessMatrixRewritten) {
+  const ir::Program p = matmul3d(8, 8, 8);
+  Schedule s;
+  s.tiles.push_back({0, 0, {4, 2}});
+  const ir::Program t = apply_schedule(p, s);
+  // A[i,k]: i = 4*io + ii -> coefficient 4 at col 0 (io), 1 at col 2 (ii).
+  const auto loads = t.comp(0).rhs.loads();
+  EXPECT_EQ(loads[0].matrix.at(0, 0), 4);
+  EXPECT_EQ(loads[0].matrix.at(0, 2), 1);
+  // k shifted right by 2: column 4.
+  EXPECT_EQ(loads[0].matrix.at(1, 4), 1);
+}
+
+TEST(Tile, SizeLargerThanExtentRejected) {
+  const ir::Program p = simple2d(8, 12);
+  Schedule s;
+  s.tiles.push_back({0, 0, {16, 4}});
+  std::string why;
+  EXPECT_FALSE(is_legal(p, s, &why));
+  EXPECT_NE(why.find("exceeds extent"), std::string::npos);
+}
+
+TEST(Tile, DoubleTilingRejected) {
+  const ir::Program p = matmul3d();
+  Schedule s;
+  s.tiles.push_back({0, 0, {4, 4}});
+  s.tiles.push_back({0, 0, {2, 2}});
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+TEST(Tile, SizeOneRejected) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.tiles.push_back({0, 0, {1, 4}});
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+TEST(Tile, OneDimensionalRejected) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.tiles.push_back({0, 0, {4}});
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+// ---------------------------------------------------------------------------
+// Unroll / Parallel / Vectorize
+// ---------------------------------------------------------------------------
+
+TEST(Unroll, AnnotatesInnermost) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.unrolls.push_back({0, 4});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_EQ(t.loop(t.nest_of(0).back()).unroll, 4);
+}
+
+TEST(Unroll, FactorAboveExtentRejected) {
+  const ir::Program p = simple2d(8, 4);
+  Schedule s;
+  s.unrolls.push_back({0, 8});
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+TEST(Unroll, DoubleUnrollRejected) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.unrolls.push_back({0, 2});
+  s.unrolls.push_back({0, 4});
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+TEST(Parallelize, AnnotatesRequestedLevel) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.parallels.push_back({0, 0});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_TRUE(t.loop(t.nest_of(0)[0]).parallel);
+}
+
+TEST(Parallelize, ReductionLevelRejected) {
+  const ir::Program p = matmul3d();
+  Schedule s;
+  s.parallels.push_back({0, 2});  // k is the reduction level
+  std::string why;
+  EXPECT_FALSE(is_legal(p, s, &why));
+  EXPECT_NE(why.find("reduction"), std::string::npos);
+}
+
+TEST(Parallelize, LevelMappedThroughTiling) {
+  const ir::Program p = matmul3d(8, 8, 8);
+  Schedule s;
+  s.tiles.push_back({0, 0, {4, 4}});
+  s.parallels.push_back({0, 0});  // pre-tiling level 0 -> outer tile loop
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_TRUE(t.loop(t.nest_of(0)[0]).parallel);
+}
+
+TEST(Vectorize, AnnotatesInnermost) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.vectorizes.push_back({0, 4});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_EQ(t.loop(t.nest_of(0).back()).vector_width, 4);
+}
+
+TEST(Vectorize, NonPowerOfTwoRejected) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.vectorizes.push_back({0, 3});
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+TEST(Vectorize, WidthAboveExtentRejected) {
+  const ir::Program p = simple2d(8, 4);
+  Schedule s;
+  s.vectorizes.push_back({0, 8});
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+// ---------------------------------------------------------------------------
+// Fusion & dependences
+// ---------------------------------------------------------------------------
+
+TEST(Fusion, MergesAdjacentNests) {
+  const ir::Program p = producer_consumer(6, 10);
+  Schedule s;
+  s.fusions.push_back({0, 1, 2});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_EQ(t.roots.size(), 1u);
+  EXPECT_EQ(t.nest_of(0), t.nest_of(1));  // fully shared nest
+  EXPECT_TRUE(t.loop(t.roots[0]).tag_fused);
+  EXPECT_EQ(t.validate(), std::nullopt);
+}
+
+TEST(Fusion, PartialDepth) {
+  const ir::Program p = producer_consumer(6, 10);
+  Schedule s;
+  s.fusions.push_back({0, 1, 1});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_EQ(t.roots.size(), 1u);
+  // Only the outer loop is shared.
+  EXPECT_EQ(t.nest_of(0)[0], t.nest_of(1)[0]);
+  EXPECT_NE(t.nest_of(0)[1], t.nest_of(1)[1]);
+}
+
+TEST(Fusion, ExtentMismatchRejected) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4);
+  const int in = b.input("in", {8});
+  b.computation("c0", {i}, {i}, b.load(in, {i}));
+  Var i2 = b.var("i2", 8);
+  b.computation("c1", {i2}, {i2}, b.load(in, {i2}));
+  const ir::Program p = b.build();
+  Schedule s;
+  s.fusions.push_back({0, 1, 1});
+  std::string why;
+  EXPECT_FALSE(is_legal(p, s, &why));
+  EXPECT_NE(why.find("extent mismatch"), std::string::npos);
+}
+
+TEST(Fusion, ForwardDependenceRejected) {
+  // Consumer reads reversed producer values: needs future iterations.
+  ProgramBuilder b("t");
+  Var i = b.var("i", 10);
+  const int in = b.input("in", {10});
+  const int prod = b.computation("prod", {i}, {i}, b.load(in, {i}));
+  Var i2 = b.var("i2", 10);
+  b.computation("cons", {i2}, {i2}, b.load(b.buffer_of(prod), {i2 * (-1) + 9}) + 1.0);
+  const ir::Program p = b.build();
+  Schedule s;
+  s.fusions.push_back({0, 1, 1});
+  std::string why;
+  EXPECT_FALSE(is_legal(p, s, &why));
+  EXPECT_NE(why.find("later iterations"), std::string::npos);
+}
+
+TEST(Fusion, ElementwiseAlignedAccepted) {
+  const ir::Program p = producer_consumer();
+  Schedule s;
+  s.fusions.push_back({0, 1, 2});
+  EXPECT_TRUE(is_legal(p, s));
+}
+
+TEST(Fusion, NonAdjacentRejected) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 4), k = b.var("k", 4);
+  const int in = b.input("in", {4});
+  b.computation("c0", {i}, {i}, b.load(in, {i}));
+  b.computation("c1", {j}, {j}, b.load(in, {j}));
+  b.computation("c2", {k}, {k}, b.load(in, {k}));
+  const ir::Program p = b.build();
+  Schedule s;
+  s.fusions.push_back({0, 2, 1});  // skipping the middle nest
+  EXPECT_FALSE(is_legal(p, s));
+}
+
+TEST(Fusion, ReductionProducerAtReductionDepthRejected) {
+  // Producer reduces over k; fusing past the consumer-visible dims would
+  // require partial sums.
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), k = b.var("k", 8);
+  const int in = b.input("in", {4, 8});
+  const int prod = b.computation("dot", {i, k}, {i}, b.load(in, {i, k}));
+  Var i2 = b.var("i2", 4), k2 = b.var("k2", 8);
+  b.computation("use", {i2, k2}, {i2, k2},
+                b.load(b.buffer_of(prod), {i2}) + b.load(in, {i2, k2}));
+  const ir::Program p = b.build();
+  Schedule s1;
+  s1.fusions.push_back({0, 1, 1});
+  EXPECT_TRUE(is_legal(p, s1));  // fusing the i loop only is fine
+  Schedule s2;
+  s2.fusions.push_back({0, 1, 2});
+  EXPECT_FALSE(is_legal(p, s2));  // fusing into the reduction is not
+}
+
+TEST(Dependence, CarriedDetectionAfterFusion) {
+  const ir::Program p = producer_consumer();
+  Schedule s;
+  s.fusions.push_back({0, 1, 2});
+  const ir::Program t = apply_schedule(p, s);
+  // Aligned element-wise dependence: no level carries it.
+  for (int loop_id : t.nest_of(0)) EXPECT_FALSE(level_carries_dependence(t, loop_id));
+}
+
+TEST(Dependence, ParallelizeFusedAlignedLoopAllowed) {
+  const ir::Program p = producer_consumer();
+  Schedule s;
+  s.fusions.push_back({0, 1, 2});
+  s.parallels.push_back({0, 0});
+  EXPECT_TRUE(is_legal(p, s));
+}
+
+TEST(Dependence, ValueDifferenceRangeAligned) {
+  ir::AccessMatrix store = ir::AccessMatrix::identity(2, 2);
+  ir::AccessMatrix load = ir::AccessMatrix::identity(2, 2);
+  const auto r =
+      value_difference_range(store, 0, load, 2, std::vector<std::int64_t>{4, 4});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->min, 0);
+  EXPECT_EQ(r->max, 0);
+}
+
+TEST(Dependence, ValueDifferenceRangeBackwardOffset) {
+  ir::AccessMatrix store = ir::AccessMatrix::identity(1, 1);
+  ir::AccessMatrix load(1, 1);
+  load.set(0, 0, 1);
+  load.set(0, 1, -1);  // reads x[i-1]
+  const auto r = value_difference_range(store, 0, load, 1, std::vector<std::int64_t>{4});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->min, -1);
+  EXPECT_EQ(r->max, -1);
+}
+
+TEST(Dependence, UnanalyzableWhenStoreUsesPrivateLoops) {
+  ir::AccessMatrix store(1, 2);
+  store.set(0, 0, 1);
+  store.set(0, 1, 1);  // store depends on a producer-private loop (col 1)
+  ir::AccessMatrix load = ir::AccessMatrix::identity(1, 1);
+  EXPECT_FALSE(
+      value_difference_range(store, 0, load, 1, std::vector<std::int64_t>{4}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Combined schedules and the semantics-preservation property
+// ---------------------------------------------------------------------------
+
+TEST(Apply, FullPipelineOnConvLikeProgram) {
+  ProgramBuilder b("conv");
+  Var n = b.var("n", 2), f = b.var("f", 4), y = b.var("y", 10), x = b.var("x", 10);
+  Var c = b.var("c", 3), k0 = b.var("k0", 3), k1 = b.var("k1", 3);
+  const int input = b.input("input", {2, 3, 12, 12});
+  const int weights = b.input("weights", {4, 3, 3, 3});
+  b.computation("conv", {n, f, y, x, c, k0, k1}, {n, f, y, x},
+                b.load(weights, {f, c, k0, k1}) * b.load(input, {n, c, y + k0, x + k1}));
+  const ir::Program p = b.build();
+  Schedule s;
+  s.interchanges.push_back({0, 4, 5});
+  s.tiles.push_back({0, 2, {4, 4}});
+  s.unrolls.push_back({0, 3});
+  s.parallels.push_back({0, 1});
+  s.vectorizes.push_back({0, 2});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_EQ(t.validate(), std::nullopt);
+  EXPECT_EQ(t.nest_of(0).size(), 9u);
+  const auto r0 = sim::Interpreter::execute(p, 3);
+  const auto r1 = sim::Interpreter::execute(t, 3);
+  EXPECT_LT(sim::Interpreter::max_rel_difference(p, r0, r1), 1e-9);
+}
+
+TEST(Apply, ResultIsIndependentCopy) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.tiles.push_back({0, 0, {4, 4}});
+  const ir::Program t = apply_schedule(p, s);
+  EXPECT_EQ(p.loops.size(), 2u);  // original untouched
+  EXPECT_EQ(t.loops.size(), 4u);
+}
+
+TEST(Apply, ThrowingVariantReportsReason) {
+  const ir::Program p = simple2d();
+  Schedule s;
+  s.tiles.push_back({0, 0, {64, 64}});
+  EXPECT_THROW(apply_schedule(p, s), std::invalid_argument);
+}
+
+// Property: any schedule accepted by the legality checker preserves program
+// semantics exactly (interpreter results are bit-comparable modulo float
+// reassociation tolerance). This is the core guarantee the paper's data
+// generator relies on ("randomly generated programs are correct by
+// construction ... rules guarantee that code transformations are valid").
+class SemanticsPreservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemanticsPreservation, RandomScheduleKeepsResults) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  const ir::Program p = gen.generate(seed);
+  datagen::RandomScheduleGenerator sched_gen;
+  Rng rng(seed ^ 0xabcdef);
+  const auto base = sim::Interpreter::execute(p, seed);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Schedule s = sched_gen.generate(p, rng);
+    ApplyResult applied = try_apply_schedule(p, s);
+    ASSERT_TRUE(applied.ok) << "generator produced illegal schedule: " << s.to_string() << ": "
+                            << applied.error;
+    const auto transformed = sim::Interpreter::execute(applied.program, seed);
+    EXPECT_LT(sim::Interpreter::max_rel_difference(p, base, transformed), 1e-9)
+        << "schedule: " << s.to_string() << "\nprogram:\n"
+        << p.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsPreservation, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace tcm::transforms
