@@ -57,12 +57,21 @@ struct ModelConfig {
 };
 
 // Common interface for everything that predicts a batch of speedups; lets
-// the trainer, the evaluator and the search treat all three architectures
-// (and the Halide baseline) uniformly.
+// the trainer, the evaluator, the search and the serving subsystem treat all
+// three architectures (and the Halide baseline) uniformly.
 class SpeedupPredictor {
  public:
   virtual ~SpeedupPredictor() = default;
   // Returns predictions [B, 1] for a structure-homogeneous batch.
+  //
+  // Thread-safety contract (relied on by serve::PredictionService): with
+  // training=false the call must be safe to run concurrently from multiple
+  // threads on one instance — it may only read module parameters and must
+  // not draw from `rng` (dropout is inference-disabled, so implementations
+  // built from nn:: modules satisfy this by construction). Callers still
+  // pass a per-call Rng so a training=true path can never silently share a
+  // stream across threads. Concurrent calls during training (parameter
+  // updates in flight) are undefined.
   virtual nn::Variable forward_batch(const Batch& batch, bool training, Rng& rng) = 0;
   virtual nn::Module& module() = 0;
   virtual std::string name() const = 0;

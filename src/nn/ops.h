@@ -37,7 +37,10 @@ Variable log_op(const Variable& a);
 // magnitude without overflow.
 Variable exp_bounded(const Variable& a, float limit = 16.0f);
 
-// Inverted dropout: active only when `training`; scales kept activations by
+// Inverted dropout: active only when `training`; when not training the input
+// is returned untouched and `rng` is never drawn from, which makes inference
+// forwards safe to run concurrently (see SpeedupPredictor::forward_batch).
+// When training, scales kept activations by
 // 1/(1-p) so evaluation needs no rescaling.
 Variable dropout(const Variable& a, float p, bool training, Rng& rng);
 

@@ -2,8 +2,8 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 
-#include "model/train.h"
 #include "transforms/apply.h"
 
 namespace tcm::search {
@@ -25,33 +25,37 @@ std::vector<double> ExecutionEvaluator::evaluate(
   return speedups;
 }
 
+namespace {
+
+serve::ServeOptions default_serve_options(model::FeatureConfig features) {
+  serve::ServeOptions options;
+  options.features = features;
+  const unsigned hw = std::thread::hardware_concurrency();
+  options.num_threads = static_cast<int>(std::min(4u, std::max(1u, hw)));
+  return options;
+}
+
+}  // namespace
+
 ModelEvaluator::ModelEvaluator(model::SpeedupPredictor* predictor, model::FeatureConfig features)
-    : predictor_(predictor), features_(features) {
-  if (!predictor_) throw std::invalid_argument("ModelEvaluator: null predictor");
+    : ModelEvaluator(predictor, default_serve_options(features)) {}
+
+ModelEvaluator::ModelEvaluator(model::SpeedupPredictor* predictor,
+                               const serve::ServeOptions& options) {
+  if (!predictor) throw std::invalid_argument("ModelEvaluator: null predictor");
+  service_ = std::make_unique<serve::PredictionService>(*predictor, options);
 }
 
 std::vector<double> ModelEvaluator::evaluate(const ir::Program& p,
                                              const std::vector<transforms::Schedule>& candidates) {
   const auto t0 = std::chrono::steady_clock::now();
-
-  // Featurize everything, then reuse the dataset batching machinery: every
-  // candidate becomes a data point of the same "program"; make_batches
-  // sub-groups by structure automatically.
-  model::Dataset ds;
-  ds.points.reserve(candidates.size());
-  for (const transforms::Schedule& s : candidates) {
-    std::string error;
-    auto feats = model::featurize(p, s, features_, &error);
-    if (!feats)
-      throw std::invalid_argument("ModelEvaluator: cannot featurize candidate: " + error);
-    model::DataPoint point;
-    point.program_id = 0;
-    point.feats = std::move(*feats);
-    point.speedup = 1.0;  // unused target
-    ds.points.push_back(std::move(point));
+  std::vector<double> predictions;
+  try {
+    predictions = service_->predict_many(p, candidates);
+  } catch (const std::invalid_argument& e) {
+    // Keep the historical error contract of the synchronous evaluator.
+    throw std::invalid_argument(std::string("ModelEvaluator: ") + e.what());
   }
-  const std::vector<double> predictions = model::predict(*predictor_, ds, /*batch_size=*/64);
-
   accounted_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   evaluations_ += static_cast<std::int64_t>(candidates.size());

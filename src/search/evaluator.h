@@ -6,9 +6,10 @@
 //     (compile + 30 noisy runs, median), the way BSE does in the paper.
 //     Accounted cost per candidate: compile overhead + 30 x execution time,
 //     in simulated seconds.
-//   - ModelEvaluator: featurizes candidates, groups them by tree structure
-//     and batches them through a trained SpeedupPredictor. Accounted cost:
-//     measured inference wall time.
+//   - ModelEvaluator: runs candidates through a serve::PredictionService,
+//     which featurizes them (with caching), groups them by tree structure
+//     and batches them through a trained SpeedupPredictor on a worker pool.
+//     Accounted cost: measured inference wall time.
 // The accounted costs feed Table 2 (search time improvement).
 #pragma once
 
@@ -17,6 +18,7 @@
 
 #include "ir/program.h"
 #include "model/cost_model.h"
+#include "serve/prediction_service.h"
 #include "sim/executor.h"
 #include "transforms/schedule.h"
 
@@ -58,7 +60,12 @@ class ExecutionEvaluator final : public CandidateEvaluator {
 
 class ModelEvaluator final : public CandidateEvaluator {
  public:
+  // Serves predictions with default ServeOptions (featurization from
+  // `features`, worker count matched to the hardware).
   ModelEvaluator(model::SpeedupPredictor* predictor, model::FeatureConfig features);
+
+  // Full control over batching/threading/caching.
+  ModelEvaluator(model::SpeedupPredictor* predictor, const serve::ServeOptions& options);
 
   std::vector<double> evaluate(const ir::Program& p,
                                const std::vector<transforms::Schedule>& candidates) override;
@@ -66,9 +73,10 @@ class ModelEvaluator final : public CandidateEvaluator {
   std::int64_t evaluations() const override { return evaluations_; }
   const char* kind() const override { return "model"; }
 
+  serve::PredictionService& service() { return *service_; }
+
  private:
-  model::SpeedupPredictor* predictor_;
-  model::FeatureConfig features_;
+  std::unique_ptr<serve::PredictionService> service_;
   double accounted_seconds_ = 0;
   std::int64_t evaluations_ = 0;
 };

@@ -1,0 +1,81 @@
+// Dynamic structure-aware batching queue.
+//
+// The cost model can only batch samples that share one loop-tree structure
+// (a model::Batch holds one tree and [batch, features] tensors), so the
+// queue keeps pending requests bucketed by structure. A worker blocks in
+// next_batch() until some bucket is *ready*:
+//   - it holds max_batch requests (full batch),
+//   - its oldest request has waited max_latency (partial flush), or
+//   - a flush()/close() covers it (drain now).
+// Among ready buckets the one with the oldest head request wins, so no
+// structure is starved by a hot one.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "model/featurize.h"
+
+namespace tcm::serve {
+
+struct PendingRequest {
+  std::shared_ptr<const model::FeaturizedProgram> feats;
+  std::promise<double> result;
+  std::chrono::steady_clock::time_point enqueued;
+  std::uint64_t sequence = 0;  // assigned by the batcher, monotonically
+};
+
+class StructureBatcher {
+ public:
+  StructureBatcher(int max_batch, std::chrono::microseconds max_latency);
+
+  // Adds a request to the bucket with the same structure (or a new one) and
+  // wakes a worker. Throws std::runtime_error after close().
+  void enqueue(PendingRequest req);
+
+  // Makes every request enqueued so far immediately ready, without waiting
+  // for full batches or the latency deadline. Used by blocking clients that
+  // have just submitted their whole burst.
+  void flush();
+
+  // Blocks until a bucket is ready, then pops up to max_batch requests of
+  // one structure. Returns an empty vector only when the batcher is closed
+  // and fully drained (the worker-exit signal).
+  std::vector<PendingRequest> next_batch();
+
+  // Wakes all workers; pending requests are still handed out, further
+  // enqueues are rejected.
+  void close();
+
+  std::size_t pending() const;
+  int max_batch() const { return max_batch_; }
+
+ private:
+  struct Bucket {
+    std::deque<PendingRequest> requests;
+  };
+
+  // Requires mu_ held. Index of a ready bucket (oldest head first), or -1.
+  int find_ready(std::chrono::steady_clock::time_point now) const;
+  bool bucket_ready(const Bucket& b, std::chrono::steady_clock::time_point now) const;
+
+  const int max_batch_;
+  const std::chrono::microseconds max_latency_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // deque: buckets hold move-only requests and must not relocate on growth.
+  std::deque<Bucket> buckets_;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t flushed_up_to_ = 0;  // sequences <= this are ready now
+  std::size_t pending_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tcm::serve

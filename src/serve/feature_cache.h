@@ -1,0 +1,56 @@
+// Bounded LRU cache of featurized (program, schedule) pairs.
+//
+// Featurization (transform application + computation-vector assembly) is the
+// per-request cost the cost model was built to avoid paying repeatedly:
+// search revisits schedules across beam levels and MCTS rollouts, and a
+// serving deployment sees the same (program, schedule) pairs from many
+// clients. Entries are shared_ptr-to-const so a hit can be handed to the
+// batcher while an eviction races with it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "model/featurize.h"
+#include "serve/fingerprint.h"
+
+namespace tcm::serve {
+
+class FeatureCache {
+ public:
+  // `capacity` = max resident entries; 0 disables caching entirely.
+  explicit FeatureCache(std::size_t capacity);
+
+  // Returns the cached featurization or nullptr on miss.
+  std::shared_ptr<const model::FeaturizedProgram> get(const PairKey& key);
+
+  // Inserts (or refreshes) an entry, evicting the least recently used ones
+  // beyond capacity. Returns the resident entry (inserted or pre-existing).
+  std::shared_ptr<const model::FeaturizedProgram> put(
+      const PairKey& key, std::shared_ptr<const model::FeaturizedProgram> feats);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    PairKey key;
+    std::shared_ptr<const model::FeaturizedProgram> feats;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<PairKey, std::list<Entry>::iterator, PairKeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace tcm::serve

@@ -1,0 +1,144 @@
+#include "serve/fingerprint.h"
+
+namespace tcm::serve {
+namespace {
+
+void mix_access_matrix(Fingerprinter& h, const ir::AccessMatrix& m) {
+  h.mix_int(m.rank());
+  h.mix_int(m.depth());
+  for (int r = 0; r < m.rank(); ++r)
+    for (int c = 0; c <= m.depth(); ++c) h.mix_int(m.at(r, c));
+}
+
+void mix_buffer_access(Fingerprinter& h, const ir::BufferAccess& a) {
+  h.mix_int(a.buffer_id);
+  mix_access_matrix(h, a.matrix);
+}
+
+void mix_expr(Fingerprinter& h, const ir::Expr& e) {
+  if (!e.valid()) {
+    h.mix(0x6e756c6cULL);  // "null"
+    return;
+  }
+  h.mix_int(static_cast<std::int64_t>(e.kind()));
+  switch (e.kind()) {
+    case ir::ExprKind::Constant: {
+      // Bit pattern, so -0.0 vs 0.0 and NaN payloads stay distinct inputs.
+      double v = e.constant_value();
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      h.mix(bits);
+      break;
+    }
+    case ir::ExprKind::Load:
+      mix_buffer_access(h, e.access());
+      break;
+    default:
+      mix_expr(h, e.lhs());
+      mix_expr(h, e.rhs());
+      break;
+  }
+}
+
+}  // namespace
+
+void Fingerprinter::mix(std::uint64_t v) {
+  // FNV-1a over the 8 bytes, then an avalanche step: plain FNV of aligned
+  // words leaves low-bit patterns that hurt unordered_map bucketing.
+  for (int i = 0; i < 8; ++i) {
+    state_ ^= (v >> (8 * i)) & 0xff;
+    state_ *= 0x100000001b3ULL;
+  }
+}
+
+void Fingerprinter::mix_string(const std::string& s) {
+  mix(s.size());
+  for (char c : s) {
+    state_ ^= static_cast<unsigned char>(c);
+    state_ *= 0x100000001b3ULL;
+  }
+}
+
+std::uint64_t fingerprint(const ir::Program& p) {
+  Fingerprinter h;
+  h.mix(p.buffers.size());
+  for (const ir::Buffer& b : p.buffers) {
+    h.mix_int(b.id);
+    h.mix(b.dims.size());
+    for (std::int64_t d : b.dims) h.mix_int(d);
+    h.mix(b.is_input ? 1 : 0);
+  }
+  h.mix(p.loops.size());
+  for (const ir::LoopNode& l : p.loops) {
+    h.mix_int(l.id);
+    h.mix_int(l.iter.extent);
+    h.mix_int(l.parent);
+    h.mix(l.body.size());
+    for (const ir::BodyItem& item : l.body) {
+      h.mix_int(static_cast<std::int64_t>(item.kind));
+      h.mix_int(item.index);
+    }
+    h.mix_int(l.tail_of);
+    h.mix_int(l.orig_extent);
+    h.mix(l.parallel ? 1 : 0);
+    h.mix_int(l.vector_width);
+    h.mix_int(l.unroll);
+    h.mix(l.tag_interchanged ? 1 : 0);
+    h.mix(l.tag_tiled ? 1 : 0);
+    h.mix_int(l.tag_tile_factor);
+    h.mix(l.tag_fused ? 1 : 0);
+  }
+  h.mix(p.comps.size());
+  for (const ir::Computation& c : p.comps) {
+    h.mix_int(c.id);
+    mix_buffer_access(h, c.store);
+    mix_expr(h, c.rhs);
+    h.mix(c.is_reduction ? 1 : 0);
+    h.mix_int(c.loop_id);
+  }
+  h.mix(p.roots.size());
+  for (int r : p.roots) h.mix_int(r);
+  return h.digest();
+}
+
+std::uint64_t fingerprint(const transforms::Schedule& s) {
+  Fingerprinter h;
+  h.mix(s.fusions.size());
+  for (const auto& f : s.fusions) {
+    h.mix_int(f.comp_a);
+    h.mix_int(f.comp_b);
+    h.mix_int(f.depth);
+  }
+  h.mix(s.interchanges.size());
+  for (const auto& i : s.interchanges) {
+    h.mix_int(i.comp);
+    h.mix_int(i.level_a);
+    h.mix_int(i.level_b);
+  }
+  h.mix(s.tiles.size());
+  for (const auto& t : s.tiles) {
+    h.mix_int(t.comp);
+    h.mix_int(t.level);
+    h.mix(t.sizes.size());
+    for (std::int64_t sz : t.sizes) h.mix_int(sz);
+  }
+  h.mix(s.unrolls.size());
+  for (const auto& u : s.unrolls) {
+    h.mix_int(u.comp);
+    h.mix_int(u.factor);
+  }
+  h.mix(s.parallels.size());
+  for (const auto& pl : s.parallels) {
+    h.mix_int(pl.comp);
+    h.mix_int(pl.level);
+  }
+  h.mix(s.vectorizes.size());
+  for (const auto& v : s.vectorizes) {
+    h.mix_int(v.comp);
+    h.mix_int(v.width);
+  }
+  return h.digest();
+}
+
+}  // namespace tcm::serve

@@ -1,0 +1,61 @@
+// Structural fingerprints for programs and schedules.
+//
+// The serving subsystem caches featurizations keyed by the
+// (program, schedule) pair; hauling full deep-equality keys through a hash
+// map would be as expensive as featurizing, so both sides are folded into
+// 64-bit fingerprints instead. The hash walks every semantically relevant
+// field (buffer shapes, loop tree, access matrices, expression trees,
+// annotations, transformation specs), so two keys collide only if the
+// featurizations agree or with ~2^-64 probability per pair.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.h"
+#include "transforms/schedule.h"
+
+namespace tcm::serve {
+
+// FNV-1a style streaming hasher over 64-bit words.
+class Fingerprinter {
+ public:
+  void mix(std::uint64_t v);
+  void mix_int(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix_string(const std::string& s);
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+// Fingerprint of a program's full semantic content (buffers, loop tree,
+// computations, annotations). Program name is excluded: two structurally
+// identical programs featurize identically regardless of their labels.
+std::uint64_t fingerprint(const ir::Program& p);
+
+// Fingerprint of a schedule's transformation commands.
+std::uint64_t fingerprint(const transforms::Schedule& s);
+
+// Combined cache key for a (program, schedule) pair.
+struct PairKey {
+  std::uint64_t program = 0;
+  std::uint64_t schedule = 0;
+
+  bool operator==(const PairKey&) const = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const {
+    // Mix the two halves (splitmix64 finalizer) so the pair hashes well even
+    // when many schedules share one program.
+    std::uint64_t x = k.program ^ (k.schedule * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace tcm::serve

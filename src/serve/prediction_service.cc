@@ -1,0 +1,175 @@
+#include "serve/prediction_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcm::serve {
+
+PredictionService::PredictionService(model::SpeedupPredictor& predictor, ServeOptions options)
+    : predictor_(predictor),
+      options_(options),
+      cache_(options.cache_capacity),
+      batcher_(options.max_batch, options.max_queue_latency) {
+  if (options.num_threads < 1)
+    throw std::invalid_argument("PredictionService: need at least one worker thread");
+  latencies_.reserve(kLatencyWindow);
+  workers_.reserve(static_cast<std::size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+PredictionService::~PredictionService() {
+  batcher_.close();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<double> PredictionService::submit(const ir::Program& program,
+                                              const transforms::Schedule& schedule) {
+  return submit_with_key({fingerprint(program), fingerprint(schedule)}, program, schedule);
+}
+
+std::future<double> PredictionService::submit_with_key(const PairKey& key,
+                                                       const ir::Program& program,
+                                                       const transforms::Schedule& schedule) {
+  std::shared_ptr<const model::FeaturizedProgram> feats = cache_.get(key);
+  if (!feats) {
+    std::string error;
+    auto fresh = model::featurize(program, schedule, options_.features, &error);
+    if (!fresh) {
+      std::promise<double> failed;
+      failed.set_exception(std::make_exception_ptr(
+          std::invalid_argument("PredictionService: cannot featurize candidate: " + error)));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++failed_requests_;
+      return failed.get_future();
+    }
+    feats = cache_.put(key, std::make_shared<const model::FeaturizedProgram>(std::move(*fresh)));
+  }
+  return submit(std::move(feats));
+}
+
+std::future<double> PredictionService::submit(
+    std::shared_ptr<const model::FeaturizedProgram> feats) {
+  if (!feats) throw std::invalid_argument("PredictionService: null featurization");
+  PendingRequest req;
+  req.feats = std::move(feats);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<double> result = req.result.get_future();
+  batcher_.enqueue(std::move(req));
+  return result;
+}
+
+std::vector<double> PredictionService::predict_many(
+    const ir::Program& program, const std::vector<transforms::Schedule>& candidates) {
+  std::vector<std::future<double>> futures;
+  futures.reserve(candidates.size());
+  // One program IR walk for the whole burst; only schedules vary per key.
+  const std::uint64_t program_fp = fingerprint(program);
+  for (const transforms::Schedule& s : candidates)
+    futures.push_back(submit_with_key({program_fp, fingerprint(s)}, program, s));
+  flush();
+  std::vector<double> out;
+  out.reserve(candidates.size());
+  for (std::future<double>& f : futures) out.push_back(f.get());
+  return out;
+}
+
+void PredictionService::worker_loop(int worker_index) {
+  (void)worker_index;
+  for (;;) {
+    std::vector<PendingRequest> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    run_batch(std::move(batch));
+  }
+}
+
+void PredictionService::run_batch(std::vector<PendingRequest> batch) {
+  const int b = static_cast<int>(batch.size());
+  const model::FeaturizedProgram& first = *batch.front().feats;
+  const int ncomps = static_cast<int>(first.comp_vectors.size());
+
+  model::Batch model_batch;
+  model_batch.tree = &first.root;  // kept alive by batch[0].feats
+  model_batch.targets = nn::Tensor(b, 1);
+  for (int c = 0; c < ncomps; ++c) {
+    const int feat_size = static_cast<int>(first.comp_vectors[static_cast<std::size_t>(c)].size());
+    nn::Tensor input(b, feat_size);
+    for (int row = 0; row < b; ++row) {
+      const auto& v = batch[static_cast<std::size_t>(row)].feats->comp_vectors[
+          static_cast<std::size_t>(c)];
+      for (int j = 0; j < feat_size; ++j) input.at(row, j) = v[static_cast<std::size_t>(j)];
+    }
+    model_batch.comp_inputs.push_back(std::move(input));
+  }
+
+  std::uint64_t batch_index;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    batch_index = batches_++;
+  }
+
+  try {
+    // Per-call Rng: inference (training=false) draws nothing from it, but the
+    // API requires one and sharing a stream across workers would race.
+    Rng rng = Rng(options_.seed).split(batch_index);
+    const nn::Variable pred = predictor_.forward_batch(model_batch, /*training=*/false, rng);
+    if (pred.rows() != b)
+      throw std::logic_error("PredictionService: predictor returned wrong batch size");
+    // Account before fulfilling the promises: a client that sees its future
+    // ready must also see the request counted in stats().
+    const auto done = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      requests_ += static_cast<std::uint64_t>(b);
+      for (const PendingRequest& req : batch) {
+        const double latency = std::chrono::duration<double>(done - req.enqueued).count();
+        if (latencies_.size() < kLatencyWindow) {
+          latencies_.push_back(latency);
+        } else {
+          latencies_[latency_next_] = latency;
+          latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+        }
+      }
+    }
+    for (int row = 0; row < b; ++row)
+      batch[static_cast<std::size_t>(row)].result.set_value(
+          static_cast<double>(pred.value().at(row, 0)));
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      failed_requests_ += static_cast<std::uint64_t>(b);
+    }
+    const std::exception_ptr error = std::current_exception();
+    for (PendingRequest& req : batch) req.result.set_exception(error);
+  }
+}
+
+ServeStats PredictionService::stats() const {
+  ServeStats s;
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.requests = requests_;
+    s.batches = batches_;
+    s.failed_requests = failed_requests_;
+    s.mean_batch_occupancy =
+        batches_ > 0 ? static_cast<double>(requests_) / static_cast<double>(batches_) : 0.0;
+    latencies = latencies_;  // snapshot; sort outside the workers' hot mutex
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto at = [&](double p) {
+      const double pos = p / 100.0 * static_cast<double>(latencies.size() - 1);
+      const std::size_t lo = static_cast<std::size_t>(pos);
+      if (lo + 1 >= latencies.size()) return latencies.back();
+      return latencies[lo] + (pos - static_cast<double>(lo)) * (latencies[lo + 1] - latencies[lo]);
+    };
+    s.p50_latency = at(50.0);
+    s.p99_latency = at(99.0);
+  }
+  return s;
+}
+
+}  // namespace tcm::serve

@@ -1,0 +1,111 @@
+// Batched inference serving for speedup predictors.
+//
+// Search evaluates thousands of candidate schedules per program, and the
+// production setting the ROADMAP targets serves prediction traffic from many
+// concurrent clients. PredictionService turns a SpeedupPredictor into a
+// thread-safe, high-throughput endpoint:
+//
+//   client threads --submit()--> FeatureCache --> StructureBatcher
+//                                                      |
+//                             worker pool: pop batch, one forward_batch per
+//                             structure-homogeneous [batch, features] group,
+//                             fulfill futures
+//
+// Inference is deterministic: forward_batch at training=false applies no
+// dropout and every op computes each batch row independently, so a request's
+// prediction is bitwise-identical however it is batched (asserted by the
+// serve hammer test).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "serve/batcher.h"
+#include "serve/feature_cache.h"
+
+namespace tcm::serve {
+
+struct ServeOptions {
+  int num_threads = 1;   // inference worker threads
+  int max_batch = 64;    // max requests fused into one forward_batch call
+  // How long a partial batch may wait for company before it is flushed.
+  std::chrono::microseconds max_queue_latency{2000};
+  std::size_t cache_capacity = 4096;  // feature-cache entries; 0 disables
+  model::FeatureConfig features;      // featurization of raw pairs
+  std::uint64_t seed = 0;             // per-batch Rng seed (inference draws nothing)
+};
+
+// Counter snapshot; all values are totals since construction.
+struct ServeStats {
+  std::uint64_t requests = 0;        // completed predictions
+  std::uint64_t batches = 0;         // forward_batch calls
+  std::uint64_t failed_requests = 0; // featurization/forward errors
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double mean_batch_occupancy = 0;   // requests / batches
+  // Queue+inference latency of the most recent requests (seconds).
+  double p50_latency = 0;
+  double p99_latency = 0;
+};
+
+class PredictionService {
+ public:
+  // The predictor must outlive the service. Its parameters are read
+  // concurrently; do not train it while the service is running.
+  PredictionService(model::SpeedupPredictor& predictor, ServeOptions options);
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  // Featurizes (through the cache) and enqueues; the future resolves to the
+  // predicted speedup. Featurization failure or a forward error surfaces as
+  // an exception on the future.
+  std::future<double> submit(const ir::Program& program, const transforms::Schedule& schedule);
+
+  // Pre-featurized entry point (no cache involvement).
+  std::future<double> submit(std::shared_ptr<const model::FeaturizedProgram> feats);
+
+  // Blocking convenience: submits the whole burst, flushes the queue so no
+  // tail request waits out the latency deadline, and gathers results in
+  // order. Throws if any request failed.
+  std::vector<double> predict_many(const ir::Program& program,
+                                   const std::vector<transforms::Schedule>& candidates);
+
+  // Makes everything enqueued so far immediately batchable.
+  void flush() { batcher_.flush(); }
+
+  ServeStats stats() const;
+  const ServeOptions& options() const { return options_; }
+  std::size_t pending() const { return batcher_.pending(); }
+
+ private:
+  std::future<double> submit_with_key(const PairKey& key, const ir::Program& program,
+                                      const transforms::Schedule& schedule);
+  void worker_loop(int worker_index);
+  void run_batch(std::vector<PendingRequest> batch);
+
+  model::SpeedupPredictor& predictor_;
+  const ServeOptions options_;
+  FeatureCache cache_;
+  StructureBatcher batcher_;
+
+  // Latency reservoir: the most recent kLatencyWindow request latencies.
+  static constexpr std::size_t kLatencyWindow = 1 << 14;
+  mutable std::mutex stats_mu_;
+  std::vector<double> latencies_;
+  std::size_t latency_next_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t failed_requests_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tcm::serve

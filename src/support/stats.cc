@@ -33,6 +33,18 @@ double variance(std::span<const double> xs) {
 
 double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 
+double percentile(std::span<const double> xs, double p) {
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p must be in [0,100]");
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= v.size()) return v.back();
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[lo + 1] - v[lo]);
+}
+
 double ape(double y, double yhat) {
   if (y == 0.0) throw std::invalid_argument("ape: measured value must be non-zero");
   return std::abs((y - yhat) / y);

@@ -19,6 +19,11 @@ double variance(std::span<const double> xs);
 
 double stddev(std::span<const double> xs);
 
+// p-th percentile (p in [0,100]) with linear interpolation between order
+// statistics, matching numpy.percentile's default. Returns 0 when empty.
+// Used by the serving subsystem for p50/p99 latency reporting.
+double percentile(std::span<const double> xs, double p);
+
 // Absolute percentage error |y - yhat| / |y| for a single pair.
 // Requires y != 0 (the paper's speedups are positive by construction).
 double ape(double y, double yhat);

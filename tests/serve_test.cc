@@ -1,0 +1,344 @@
+// Tests for the batched inference serving subsystem (src/serve/).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "datagen/generator.h"
+#include "model/cost_model.h"
+#include "serve/batcher.h"
+#include "serve/feature_cache.h"
+#include "serve/fingerprint.h"
+#include "search/evaluator.h"
+#include "serve/prediction_service.h"
+
+namespace tcm::serve {
+namespace {
+
+ir::Program test_program(std::uint64_t seed = 0) {
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  return gen.generate(seed);
+}
+
+std::shared_ptr<const model::FeaturizedProgram> featurize_or_die(
+    const ir::Program& p, const transforms::Schedule& s) {
+  std::string error;
+  auto feats = model::featurize(p, s, model::FeatureConfig::fast(), &error);
+  if (!feats) throw std::runtime_error("test featurization failed: " + error);
+  return std::make_shared<const model::FeaturizedProgram>(std::move(*feats));
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, ProgramDeterministicAndNameInvariant) {
+  ir::Program a = test_program(1);
+  ir::Program b = test_program(1);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  b.name = "renamed";
+  EXPECT_EQ(fingerprint(a), fingerprint(b));  // labels are not semantic
+}
+
+TEST(Fingerprint, DistinguishesPrograms) {
+  EXPECT_NE(fingerprint(test_program(1)), fingerprint(test_program(2)));
+}
+
+TEST(Fingerprint, DistinguishesSchedules) {
+  transforms::Schedule empty;
+  transforms::Schedule par;
+  par.parallels.push_back({0, 0});
+  transforms::Schedule unroll;
+  unroll.unrolls.push_back({0, 2});
+  EXPECT_NE(fingerprint(empty), fingerprint(par));
+  EXPECT_NE(fingerprint(par), fingerprint(unroll));
+  EXPECT_EQ(fingerprint(par), fingerprint(par));
+}
+
+TEST(Fingerprint, ScheduleFieldOrderMatters) {
+  transforms::Schedule a, b;
+  a.tiles.push_back({0, 0, {4, 8}});
+  b.tiles.push_back({0, 0, {8, 4}});
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+// ---------------------------------------------------------------------------
+// FeatureCache
+// ---------------------------------------------------------------------------
+
+TEST(FeatureCache, HitAfterPut) {
+  FeatureCache cache(4);
+  const PairKey key{1, 2};
+  EXPECT_EQ(cache.get(key), nullptr);
+  auto feats = featurize_or_die(test_program(), {});
+  cache.put(key, feats);
+  EXPECT_EQ(cache.get(key), feats);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FeatureCache, EvictsLeastRecentlyUsed) {
+  FeatureCache cache(2);
+  auto feats = featurize_or_die(test_program(), {});
+  cache.put({1, 0}, feats);
+  cache.put({2, 0}, feats);
+  EXPECT_NE(cache.get({1, 0}), nullptr);  // touch 1: now 2 is the LRU entry
+  cache.put({3, 0}, feats);               // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get({2, 0}), nullptr);
+  EXPECT_NE(cache.get({1, 0}), nullptr);
+  EXPECT_NE(cache.get({3, 0}), nullptr);
+}
+
+TEST(FeatureCache, ZeroCapacityDisables) {
+  FeatureCache cache(0);
+  auto feats = featurize_or_die(test_program(), {});
+  EXPECT_EQ(cache.put({1, 0}, feats), feats);  // pass-through
+  EXPECT_EQ(cache.get({1, 0}), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// StructureBatcher
+// ---------------------------------------------------------------------------
+
+PendingRequest make_request(std::shared_ptr<const model::FeaturizedProgram> feats) {
+  PendingRequest req;
+  req.feats = std::move(feats);
+  req.enqueued = std::chrono::steady_clock::now();
+  return req;
+}
+
+TEST(StructureBatcher, FullBatchPopsImmediately) {
+  StructureBatcher batcher(2, std::chrono::microseconds(60'000'000));  // 1 min: no timer flush
+  auto feats = featurize_or_die(test_program(), {});
+  batcher.enqueue(make_request(feats));
+  batcher.enqueue(make_request(feats));
+  const auto batch = batcher.next_batch();  // would block forever if not ready
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(StructureBatcher, MaxLatencyFlushesPartialBatch) {
+  StructureBatcher batcher(64, std::chrono::microseconds(2000));
+  auto feats = featurize_or_die(test_program(), {});
+  const auto t0 = std::chrono::steady_clock::now();
+  batcher.enqueue(make_request(feats));
+  const auto batch = batcher.next_batch();  // must return after ~2ms, not hang
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_GE(waited, std::chrono::microseconds(1500));
+  EXPECT_LT(waited, std::chrono::seconds(10));
+}
+
+TEST(StructureBatcher, FlushMakesPartialBatchReady) {
+  StructureBatcher batcher(64, std::chrono::microseconds(60'000'000));
+  auto feats = featurize_or_die(test_program(), {});
+  batcher.enqueue(make_request(feats));
+  batcher.flush();
+  EXPECT_EQ(batcher.next_batch().size(), 1u);
+}
+
+TEST(StructureBatcher, KeepsStructuresApart) {
+  // Schedules with different fusion/tiling decisions produce different trees;
+  // use two different programs for a guaranteed structure mismatch.
+  auto feats_a = featurize_or_die(test_program(1), {});
+  auto feats_b = featurize_or_die(test_program(2), {});
+  ASSERT_FALSE(feats_a->same_structure(*feats_b));
+  StructureBatcher batcher(8, std::chrono::microseconds(0));
+  batcher.enqueue(make_request(feats_a));
+  batcher.enqueue(make_request(feats_b));
+  batcher.enqueue(make_request(feats_a));
+  const auto first = batcher.next_batch();
+  const auto second = batcher.next_batch();
+  ASSERT_EQ(first.size() + second.size(), 3u);
+  for (const auto& req : first) EXPECT_TRUE(req.feats->same_structure(*first.front().feats));
+  for (const auto& req : second) EXPECT_TRUE(req.feats->same_structure(*second.front().feats));
+}
+
+TEST(StructureBatcher, CloseDrainsThenSignalsExit) {
+  StructureBatcher batcher(64, std::chrono::microseconds(60'000'000));
+  auto feats = featurize_or_die(test_program(), {});
+  batcher.enqueue(make_request(feats));
+  batcher.close();
+  EXPECT_EQ(batcher.next_batch().size(), 1u);  // drained despite huge latency
+  EXPECT_TRUE(batcher.next_batch().empty());   // exit signal
+  EXPECT_THROW(batcher.enqueue(make_request(feats)), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// PredictionService
+// ---------------------------------------------------------------------------
+
+ServeOptions fast_options(int threads) {
+  ServeOptions options;
+  options.num_threads = threads;
+  options.features = model::FeatureConfig::fast();
+  options.max_queue_latency = std::chrono::microseconds(500);
+  return options;
+}
+
+TEST(PredictionService, SingleRequestCompletesViaLatencyFlush) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  ServeOptions options = fast_options(1);
+  options.max_batch = 64;  // never fills: completion relies on the timer
+  PredictionService service(cost_model, options);
+  auto future = service.submit(test_program(), transforms::Schedule{});
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_GT(future.get(), 0.0);  // exp head keeps predictions positive
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_GT(stats.p99_latency, 0.0);
+}
+
+TEST(PredictionService, RepeatedPairHitsFeatureCache) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  PredictionService service(cost_model, fast_options(1));
+  const ir::Program p = test_program();
+  transforms::Schedule s;
+  s.parallels.push_back({0, 0});
+  const double first = service.submit(p, s).get();
+  const double second = service.submit(p, s).get();
+  EXPECT_EQ(first, second);
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(PredictionService, FeaturizationFailureSurfacesOnFuture) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  ServeOptions options = fast_options(1);
+  options.features.max_accesses = 0;  // any RHS load now exceeds the limit
+  PredictionService service(cost_model, options);
+  auto future = service.submit(test_program(), transforms::Schedule{});
+  EXPECT_THROW(future.get(), std::invalid_argument);
+  EXPECT_EQ(service.stats().failed_requests, 1u);
+}
+
+TEST(PredictionService, PredictManyMatchesSubmitOrder) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  PredictionService service(cost_model, fast_options(2));
+  const ir::Program p = test_program();
+  datagen::RandomScheduleGenerator sgen;
+  Rng srng(3);
+  std::vector<transforms::Schedule> candidates;
+  for (int i = 0; i < 12; ++i) candidates.push_back(sgen.generate(p, srng));
+  const std::vector<double> batched = service.predict_many(p, candidates);
+  ASSERT_EQ(batched.size(), candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    EXPECT_EQ(batched[i], service.submit(p, candidates[i]).get());
+}
+
+// The tentpole correctness property: hammering the service from N client
+// threads yields bitwise-identical results to direct single-threaded
+// forward_batch calls, for every request, whatever batch compositions the
+// dynamic batcher happens to form.
+TEST(PredictionService, HammerMatchesDirectForwardBitwise) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+
+  // Mixed-structure request set: 4 programs x 8 schedules.
+  struct Case {
+    ir::Program program;
+    std::vector<transforms::Schedule> schedules;
+    std::vector<double> expected;
+  };
+  datagen::RandomScheduleGenerator sgen;
+  std::vector<Case> cases;
+  Rng srng(11);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Case c;
+    c.program = test_program(seed);
+    for (int i = 0; i < 8; ++i) c.schedules.push_back(sgen.generate(c.program, srng));
+    cases.push_back(std::move(c));
+  }
+
+  // Reference: one forward_batch per request, batch size 1, single thread.
+  Rng eval_rng(0);
+  for (Case& c : cases) {
+    for (const transforms::Schedule& s : c.schedules) {
+      auto feats = featurize_or_die(c.program, s);
+      model::Batch single;
+      single.tree = &feats->root;
+      single.targets = nn::Tensor(1, 1);
+      for (const auto& v : feats->comp_vectors) {
+        nn::Tensor input(1, static_cast<int>(v.size()));
+        for (std::size_t j = 0; j < v.size(); ++j)
+          input.at(0, static_cast<int>(j)) = v[j];
+        single.comp_inputs.push_back(std::move(input));
+      }
+      const nn::Variable pred = cost_model.forward_batch(single, /*training=*/false, eval_rng);
+      c.expected.push_back(static_cast<double>(pred.value().at(0, 0)));
+    }
+  }
+
+  // Hammer: 4 client threads x 3 rounds over all cases, against 4 workers
+  // with small batches so requests from different clients interleave.
+  ServeOptions options = fast_options(4);
+  options.max_batch = 8;
+  PredictionService service(cost_model, options);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        // Stagger the case order per client so structures interleave.
+        for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+          const Case& c = cases[(ci + static_cast<std::size_t>(t)) % cases.size()];
+          std::vector<std::future<double>> futures;
+          futures.reserve(c.schedules.size());
+          for (const transforms::Schedule& s : c.schedules)
+            futures.push_back(service.submit(c.program, s));
+          service.flush();
+          for (std::size_t i = 0; i < futures.size(); ++i)
+            if (futures[i].get() != c.expected[i]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 4u * 3u * 4u * 8u);
+  EXPECT_EQ(stats.failed_requests, 0u);
+  EXPECT_GT(stats.mean_batch_occupancy, 1.0);  // batching actually happened
+  // Every submit probes the cache exactly once. The distinct-pair count is at
+  // most 32 (the schedule generator may emit duplicates) and concurrent
+  // clients can each miss a pair once before the first insert lands, so
+  // misses are bounded by clients x pairs and the rest must be hits.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.requests);
+  EXPECT_LE(stats.cache_misses, 4u * 32u);
+  EXPECT_GE(stats.cache_hits, 4u * 3u * 32u - 4u * 32u);
+}
+
+// ModelEvaluator rides on the service and must agree with it exactly.
+TEST(PredictionService, ModelEvaluatorMatchesService) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  const ir::Program p = test_program();
+  datagen::RandomScheduleGenerator sgen;
+  Rng srng(5);
+  std::vector<transforms::Schedule> candidates;
+  for (int i = 0; i < 6; ++i) candidates.push_back(sgen.generate(p, srng));
+
+  search::ModelEvaluator evaluator(&cost_model, model::FeatureConfig::fast());
+  const std::vector<double> from_evaluator = evaluator.evaluate(p, candidates);
+  EXPECT_EQ(evaluator.evaluations(), 6);
+  EXPECT_GT(evaluator.accounted_seconds(), 0.0);
+
+  PredictionService service(cost_model, fast_options(1));
+  const std::vector<double> from_service = service.predict_many(p, candidates);
+  ASSERT_EQ(from_evaluator.size(), from_service.size());
+  for (std::size_t i = 0; i < from_service.size(); ++i)
+    EXPECT_EQ(from_evaluator[i], from_service[i]);
+}
+
+}  // namespace
+}  // namespace tcm::serve

@@ -158,6 +158,22 @@ TEST(Stats, EmptyInputsGiveZero) {
   EXPECT_DOUBLE_EQ(variance(xs), 0.0);
 }
 
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{4, 1, 3, 2};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 1.75);  // numpy linear interpolation
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 99), 7.0);
+  EXPECT_THROW(percentile(one, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(one, 101), std::invalid_argument);
+}
+
 TEST(Stats, ApeBasic) {
   EXPECT_DOUBLE_EQ(ape(2.0, 1.0), 0.5);
   EXPECT_DOUBLE_EQ(ape(2.0, 3.0), 0.5);
