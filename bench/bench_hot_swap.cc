@@ -1,0 +1,208 @@
+// Hot-swap under sustained load: what does flipping the serving model cost?
+//
+// Closed-loop clients hammer a PredictionService while the main thread
+// alternates swap_model() between two checkpoints at a fixed cadence.
+// Throughput is sampled per interval, so the table shows the dip (if any)
+// around swaps; a steady-state phase without swaps is measured first as the
+// baseline. Every response is checked for liveness (no drops, no errors).
+//
+// Flags:
+//   --seconds N      measured seconds per phase (default 3)
+//   --clients N      closed-loop client threads (default 4)
+//   --swap-ms N      milliseconds between swaps in the swap phase (default 50)
+//   --csv PATH       also write the per-phase table as CSV
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "model/cost_model.h"
+#include "serve/prediction_service.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+using namespace tcm;
+
+namespace {
+
+struct Workload {
+  std::vector<ir::Program> programs;
+  std::vector<std::size_t> pair_program;
+  std::vector<transforms::Schedule> pair_schedule;
+  std::size_t size() const { return pair_schedule.size(); }
+};
+
+Workload make_workload(int num_programs, int schedules_per_program) {
+  Workload w;
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(99);
+  for (int p = 0; p < num_programs; ++p) {
+    w.programs.push_back(gen.generate(static_cast<std::uint64_t>(p)));
+    for (int s = 0; s < schedules_per_program; ++s) {
+      w.pair_program.push_back(static_cast<std::size_t>(p));
+      w.pair_schedule.push_back(sgen.generate(w.programs.back(), rng));
+    }
+  }
+  return w;
+}
+
+struct PhaseResult {
+  double requests_per_sec = 0;
+  double min_interval_rps = 0;   // slowest 100ms slice: where a stall would show
+  double p99_latency_ms = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t errors = 0;
+};
+
+// Runs closed-loop clients for `seconds`; when swap_every > 0 the main
+// thread alternates the service between the two models at that cadence.
+PhaseResult run_phase(serve::PredictionService& service, const Workload& workload,
+                      std::shared_ptr<model::SpeedupPredictor> a,
+                      std::shared_ptr<model::SpeedupPredictor> b, double seconds,
+                      int num_clients, std::chrono::milliseconds swap_every) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::size_t> cursor{0};
+
+  const serve::ServeStats before = service.stats();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&] {
+      std::vector<std::future<serve::Prediction>> inflight;
+      inflight.reserve(64);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t pair = cursor.fetch_add(1) % workload.size();
+        inflight.push_back(service.submit(workload.programs[workload.pair_program[pair]],
+                                          workload.pair_schedule[pair]));
+        if (inflight.size() >= 64) {
+          service.flush();
+          for (auto& f : inflight) {
+            try {
+              f.get();
+              ++completed;
+            } catch (...) {
+              ++errors;
+            }
+          }
+          inflight.clear();
+        }
+      }
+      service.flush();
+      for (auto& f : inflight) {
+        try {
+          f.get();
+          ++completed;
+        } catch (...) {
+          ++errors;
+        }
+      }
+    });
+  }
+
+  // Sample completed-count per 100ms slice; swap on schedule in between.
+  PhaseResult r;
+  std::vector<double> slice_rps;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next_swap = t0 + swap_every;
+  auto slice_start = t0;
+  std::uint64_t slice_base = 0;
+  bool use_b = true;
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const auto now = std::chrono::steady_clock::now();
+    if (swap_every.count() > 0 && now >= next_swap) {
+      service.swap_model(use_b ? b : a, use_b ? 2 : 1);
+      use_b = !use_b;
+      ++r.swaps;
+      next_swap = now + swap_every;
+    }
+    if (now - slice_start >= std::chrono::milliseconds(100)) {
+      const std::uint64_t done = completed.load(std::memory_order_relaxed);
+      slice_rps.push_back(static_cast<double>(done - slice_base) /
+                          std::chrono::duration<double>(now - slice_start).count());
+      slice_base = done;
+      slice_start = now;
+    }
+    if (std::chrono::duration<double>(now - t0).count() >= seconds) break;
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  r.requests_per_sec = static_cast<double>(completed.load()) / elapsed;
+  // The first slice is warm-up-ish; still count it — a swap stall anywhere
+  // must show. Guard against empty (sub-100ms runs).
+  r.min_interval_rps = slice_rps.empty() ? r.requests_per_sec
+                                         : *std::min_element(slice_rps.begin(), slice_rps.end());
+  const serve::ServeStats after = service.stats();
+  r.p99_latency_ms = 1e3 * after.p99_latency;
+  r.errors = errors.load() + (after.failed_requests - before.failed_requests);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 3.0;
+  int num_clients = 4;
+  int swap_ms = 50;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seconds" && i + 1 < argc) seconds = std::atof(argv[++i]);
+    else if (arg == "--clients" && i + 1 < argc) num_clients = std::atoi(argv[++i]);
+    else if (arg == "--swap-ms" && i + 1 < argc) swap_ms = std::atoi(argv[++i]);
+    else if (arg == "--csv" && i + 1 < argc) csv_path = argv[++i];
+  }
+
+  Rng rng_a(7), rng_b(8);
+  auto a = std::make_shared<model::CostModel>(model::ModelConfig::fast(), rng_a);
+  auto b = std::make_shared<model::CostModel>(model::ModelConfig::fast(), rng_b);
+  const Workload workload = make_workload(/*num_programs=*/6, /*schedules_per_program=*/16);
+
+  serve::ServeOptions options;
+  options.num_threads = 2;
+  options.max_batch = 64;
+  options.max_queue_latency = std::chrono::microseconds(500);
+  options.features = model::FeatureConfig::fast();
+  serve::PredictionService service(a, /*version=*/1, options);
+
+  std::cout << "hot-swap bench: " << seconds << " s/phase, " << num_clients
+            << " clients, swap every " << swap_ms << " ms in the swap phase\n\n";
+
+  // Warm-up, then steady state (no swaps), then sustained swapping.
+  run_phase(service, workload, a, b, /*seconds=*/0.5, num_clients, std::chrono::milliseconds(0));
+  const PhaseResult steady =
+      run_phase(service, workload, a, b, seconds, num_clients, std::chrono::milliseconds(0));
+  const PhaseResult swapping =
+      run_phase(service, workload, a, b, seconds, num_clients,
+                std::chrono::milliseconds(swap_ms));
+
+  Table table({"phase", "req/s", "min 100ms-slice req/s", "p99 ms", "swaps", "errors"});
+  const auto add = [&](const char* name, const PhaseResult& r) {
+    table.add_row({name, Table::fmt(r.requests_per_sec, 0), Table::fmt(r.min_interval_rps, 0),
+                   Table::fmt(r.p99_latency_ms, 2), std::to_string(r.swaps),
+                   std::to_string(r.errors)});
+  };
+  add("steady", steady);
+  add("swapping", swapping);
+  std::cout << table.to_string() << "\n";
+  std::cout << "throughput under sustained swapping: "
+            << Table::fmt(100.0 * swapping.requests_per_sec /
+                              std::max(1e-9, steady.requests_per_sec),
+                          1)
+            << "% of steady state (" << swapping.swaps << " swaps)\n";
+  if (!csv_path.empty()) table.write_csv(csv_path);
+  return (steady.errors + swapping.errors) == 0 ? 0 : 1;
+}

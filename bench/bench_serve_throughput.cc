@@ -70,7 +70,7 @@ RunResult run_configuration(model::SpeedupPredictor& predictor, const Workload& 
   clients.reserve(static_cast<std::size_t>(num_clients));
   for (int c = 0; c < num_clients; ++c) {
     clients.emplace_back([&] {
-      std::vector<std::future<double>> inflight;
+      std::vector<std::future<serve::Prediction>> inflight;
       inflight.reserve(128);
       for (;;) {
         const std::size_t i = next.fetch_add(1);

@@ -4,10 +4,12 @@
 //
 //   ./build/examples/autoschedule_conv
 #include <cstdio>
+#include <memory>
 
 #include "benchsuite/benchmarks.h"
 #include "datagen/dataset_builder.h"
 #include "model/train.h"
+#include "registry/model_registry.h"
 #include "search/beam_search.h"
 #include "search/mcts.h"
 
@@ -15,7 +17,7 @@ using namespace tcm;
 
 int main() {
   // A small model trained on the fly (use examples/train_cost_model +
-  // saved weights for a better one).
+  // its registry for a better one).
   std::printf("training a small cost model (~2 minutes)...\n");
   datagen::DatasetBuildOptions dopt;
   dopt.num_programs = 120;
@@ -23,10 +25,22 @@ int main() {
   dopt.features = model::FeatureConfig::fast();
   const model::Dataset dataset = datagen::build_dataset(dopt);
   Rng rng(17);
-  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  model::CostModel trained(model::ModelConfig::fast(), rng);
   model::TrainOptions topt;
   topt.epochs = 40;
-  model::train_model(cost_model, dataset, nullptr, topt);
+  model::train_model(trained, dataset, nullptr, topt);
+
+  // Ship the trained weights through the registry and search with the
+  // reloaded checkpoint — the exact artifact production serving would use.
+  registry::ModelRegistry registry("autoschedule_registry");
+  registry::ModelManifest manifest;
+  manifest.config = model::ModelConfig::fast();
+  manifest.metrics = model::evaluate(trained, dataset);
+  manifest.provenance = "autoschedule_conv: trained on the fly";
+  registry.promote(registry.register_version(trained, manifest));
+  std::unique_ptr<model::SpeedupPredictor> loaded = registry.load_active();
+  model::SpeedupPredictor& cost_model = *loaded;
+  std::printf("serving registry version v%d\n", registry.active_version());
 
   const ir::Program conv = benchsuite::make_convolution(8, 3, 256, 256, 2, 3);
   std::printf("\nbenchmark: convolution (batch 8, 256x256x3, 3x3 kernel)\n");

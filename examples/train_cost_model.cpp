@@ -9,7 +9,7 @@
 
 #include "datagen/dataset_builder.h"
 #include "model/train.h"
-#include "nn/serialize.h"
+#include "registry/model_registry.h"
 #include "support/log.h"
 
 using namespace tcm;
@@ -50,8 +50,19 @@ int main(int argc, char** argv) {
               m.pearson, m.spearman, m.n);
   std::printf("paper (1.8M samples, 700 epochs): MAPE 0.16 | Pearson 0.90 | Spearman 0.95\n");
 
-  // --- 5. Save the weights --------------------------------------------------------
-  if (nn::save_parameters(cost_model, "trained_cost_model.bin"))
-    std::printf("weights written to trained_cost_model.bin\n");
+  // --- 5. Register and promote through the model registry -------------------------
+  // The production path: serving loads checkpoints from the registry, never
+  // from loose weight files (see examples/continual_loop.cpp for the full
+  // retrain -> shadow -> promote loop).
+  registry::ModelRegistry registry("cost_model_registry");
+  registry::ModelManifest manifest;
+  manifest.config = model::ModelConfig::fast();
+  manifest.metrics = m;
+  manifest.provenance = "train_cost_model: " + std::to_string(dataset.size()) + " samples, " +
+                        std::to_string(epochs) + " epochs";
+  const int version = registry.register_version(cost_model, manifest);
+  registry.promote(version);
+  std::printf("registered + promoted v%d under %s (load with ModelRegistry::load_active)\n",
+              version, registry.root().c_str());
   return 0;
 }

@@ -173,4 +173,27 @@ std::vector<Batch> make_batches(const Dataset& ds, int batch_size) {
   return batches;
 }
 
+Batch make_inference_batch(const std::vector<const FeaturizedProgram*>& rows) {
+  if (rows.empty() || rows.front() == nullptr)
+    throw std::invalid_argument("make_inference_batch: need at least one row");
+  const FeaturizedProgram& first = *rows.front();
+  const int b = static_cast<int>(rows.size());
+  const int ncomps = static_cast<int>(first.comp_vectors.size());
+
+  Batch batch;
+  batch.tree = &first.root;  // aliases rows[0]; caller keeps it alive
+  batch.targets = nn::Tensor(b, 1);
+  for (int c = 0; c < ncomps; ++c) {
+    const int feat_size = static_cast<int>(first.comp_vectors[static_cast<std::size_t>(c)].size());
+    nn::Tensor input(b, feat_size);
+    for (int row = 0; row < b; ++row) {
+      const auto& v = rows[static_cast<std::size_t>(row)]->comp_vectors[
+          static_cast<std::size_t>(c)];
+      for (int j = 0; j < feat_size; ++j) input.at(row, j) = v[static_cast<std::size_t>(j)];
+    }
+    batch.comp_inputs.push_back(std::move(input));
+  }
+  return batch;
+}
+
 }  // namespace tcm::model

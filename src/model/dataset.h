@@ -53,4 +53,11 @@ struct Batch {
 // each group into batches of at most `batch_size`.
 std::vector<Batch> make_batches(const Dataset& ds, int batch_size);
 
+// Builds an inference batch (zero targets, no provenance) from featurized
+// rows that all share one tree structure. The batch's tree pointer aliases
+// rows[0], which the caller must keep alive while the batch is used. The
+// single place batch tensors are assembled outside training — the serving
+// subsystem and the checkpoint round-trip tests both go through it.
+Batch make_inference_batch(const std::vector<const FeaturizedProgram*>& rows);
+
 }  // namespace tcm::model

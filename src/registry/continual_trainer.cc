@@ -1,0 +1,131 @@
+#include "registry/continual_trainer.h"
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "model/dataset.h"
+
+namespace tcm::registry {
+namespace {
+
+// Replays every holdout sample through the service as live traffic so the
+// shadow candidate scores real request shapes. Featurizations are already
+// computed in the dataset; failures surface as exceptions on the futures
+// and are deliberately fatal here — the canary must not paper over them.
+void replay_traffic(serve::PredictionService& service, const model::Dataset& ds) {
+  std::vector<std::future<serve::Prediction>> futures;
+  futures.reserve(ds.size());
+  for (const model::DataPoint& point : ds.points)
+    futures.push_back(
+        service.submit(std::make_shared<const model::FeaturizedProgram>(point.feats)));
+  service.flush();
+  for (auto& f : futures) f.get();
+  // Client promises resolve before shadow scoring; quiesce so the canary
+  // stats cover every replayed batch before the gate reads them.
+  service.quiesce();
+}
+
+}  // namespace
+
+ContinualTrainer::ContinualTrainer(ModelRegistry& registry, serve::PredictionService& service,
+                                   ContinualTrainerOptions options)
+    : registry_(registry), service_(service), options_(std::move(options)) {
+  const int incumbent = registry_.active_version();
+  if (incumbent == 0)
+    throw std::runtime_error("ContinualTrainer: registry has no active version to fine-tune");
+  const std::uint64_t incumbent_hash =
+      feature_config_hash(registry_.manifest(incumbent).config.features);
+  if (incumbent_hash != feature_config_hash(service_.options().features))
+    throw std::runtime_error(
+        "ContinualTrainer: service featurization does not match the incumbent manifest");
+  if (incumbent_hash != feature_config_hash(options_.data.features))
+    throw std::runtime_error(
+        "ContinualTrainer: datagen featurization does not match the incumbent manifest");
+}
+
+CycleReport ContinualTrainer::run_cycle() {
+  CycleReport report;
+  report.incumbent_version = registry_.active_version();
+  const ModelManifest incumbent_manifest = registry_.manifest(report.incumbent_version);
+
+  // --- 1. Fresh data ------------------------------------------------------
+  datagen::DatasetBuildOptions data = options_.data;
+  data.seed = options_.seed + 0x9e3779b97f4a7c15ULL * ++cycle_;
+  const model::Dataset fresh = datagen::build_dataset(data);
+  const model::DatasetSplit split =
+      model::split_by_program(fresh, options_.train_frac, 1.0 - options_.train_frac, data.seed);
+  if (options_.verbose)
+    std::printf("[cycle %llu] fresh data: %zu samples (%zu fine-tune / %zu holdout)\n",
+                static_cast<unsigned long long>(cycle_), fresh.size(), split.train.size(),
+                split.validation.size());
+
+  // --- 2. Fine-tune a registry-loaded copy of the incumbent ---------------
+  // The serving snapshot is never trained; both sides here are fresh loads.
+  std::unique_ptr<model::SpeedupPredictor> incumbent = registry_.load(report.incumbent_version);
+  report.incumbent_holdout = model::evaluate(*incumbent, split.validation);
+  std::unique_ptr<model::SpeedupPredictor> candidate = registry_.load(report.incumbent_version);
+  model::train_model(*candidate, split.train, &split.validation, options_.train);
+  report.candidate_holdout = model::evaluate(*candidate, split.validation);
+
+  // --- 3. Register the candidate ------------------------------------------
+  ModelManifest manifest;
+  manifest.config = incumbent_manifest.config;
+  manifest.parent_version = report.incumbent_version;
+  manifest.metrics = report.candidate_holdout;
+  manifest.provenance = "continual cycle " + std::to_string(cycle_) + ": fine-tuned v" +
+                        std::to_string(report.incumbent_version) + " on " +
+                        std::to_string(split.train.size()) + " fresh samples (" +
+                        std::to_string(options_.train.epochs) + " epochs)";
+  report.candidate_version = registry_.register_version(*candidate, manifest);
+
+  // --- 4. Canary: shadow the *registered artifact* on live traffic --------
+  std::shared_ptr<model::SpeedupPredictor> canary = registry_.load(report.candidate_version);
+  service_.quiesce();  // batches pinned before set_shadow must not leak into its stats
+  service_.set_shadow(canary, report.candidate_version, options_.shadow_fraction);
+  replay_traffic(service_, split.validation);
+  const serve::ServeStats stats = service_.stats();
+  service_.clear_shadow();
+  report.shadow_requests = stats.shadow_requests;
+  report.shadow_failures = stats.shadow_failures;
+  report.shadow_mape = stats.shadow_mape;
+  report.shadow_spearman = stats.shadow_spearman;
+
+  // --- 5. Decide -----------------------------------------------------------
+  const double mape_ceiling =
+      report.incumbent_holdout.mape * (1.0 + options_.max_mape_regression);
+  if (stats.shadow_failures > 0) {
+    report.decision = "rejected: shadow forward errors on live traffic";
+  } else if (stats.shadow_requests == 0) {
+    report.decision = "rejected: canary scored no traffic";
+  } else if (report.candidate_holdout.mape > mape_ceiling) {
+    report.decision = "rejected: holdout MAPE " + std::to_string(report.candidate_holdout.mape) +
+                      " above ceiling " + std::to_string(mape_ceiling);
+  } else if (report.shadow_spearman < options_.min_shadow_spearman) {
+    report.decision = "rejected: shadow rank agreement " +
+                      std::to_string(report.shadow_spearman) + " below floor " +
+                      std::to_string(options_.min_shadow_spearman);
+  } else {
+    registry_.promote(report.candidate_version);
+    service_.swap_model(std::move(canary), report.candidate_version);
+    report.promoted = true;
+    report.decision = "promoted: holdout MAPE " + std::to_string(report.candidate_holdout.mape) +
+                      " vs incumbent " + std::to_string(report.incumbent_holdout.mape) +
+                      ", shadow spearman " + std::to_string(report.shadow_spearman);
+  }
+  if (options_.verbose)
+    std::printf("[cycle %llu] v%d -> v%d: %s\n", static_cast<unsigned long long>(cycle_),
+                report.incumbent_version, report.candidate_version, report.decision.c_str());
+  return report;
+}
+
+int ContinualTrainer::rollback() {
+  const int restored = registry_.rollback();
+  service_.swap_model(registry_.load(restored), restored);
+  return restored;
+}
+
+}  // namespace tcm::registry

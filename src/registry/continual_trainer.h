@@ -1,0 +1,93 @@
+// Continual-learning loop: keep the serving cost model fresh without ever
+// stopping the service.
+//
+// LOOPer (Merouani et al., 2024) and MetaTune (Ryu & Sung, 2021) both show
+// learned cost models improve when continually retrained on newly measured
+// schedules. ContinualTrainer is the driver that closes that loop on top of
+// ModelRegistry and serve::PredictionService:
+//
+//   1. generate   — fresh datagen samples (new programs x schedules, measured
+//                   on the simulated machine), split into fine-tune/holdout;
+//   2. fine-tune  — a registry-loaded *copy* of the incumbent (the serving
+//                   snapshot is never trained) with model::train_model;
+//   3. register   — the candidate checkpoint, parented to the incumbent;
+//   4. canary     — reload the candidate through the registry (the exact
+//                   artifact that would serve) and shadow it on live traffic,
+//                   reading disagreement stats from ServeStats;
+//   5. decide     — promote (registry ACTIVE pointer + zero-downtime
+//                   hot-swap of the service) or reject on the metric gate.
+//
+// The gate is two-sided by design: the holdout metrics decide whether the
+// candidate is *better* (offline quality), while the shadow stats check the
+// *serving path* — the registered artifact must load, run on real traffic
+// shapes without errors, and rank candidates consistently; a blown-up
+// checkpoint fails here even when its offline numbers look fine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "datagen/dataset_builder.h"
+#include "model/train.h"
+#include "registry/model_registry.h"
+#include "serve/prediction_service.h"
+
+namespace tcm::registry {
+
+struct ContinualTrainerOptions {
+  // Fresh data generated per cycle. `data.features` must match the serving
+  // featurization (checked at construction).
+  datagen::DatasetBuildOptions data;
+  model::TrainOptions train;   // fine-tuning recipe
+  double train_frac = 0.75;    // rest of the fresh data is the holdout gate set
+
+  // Promotion gate.
+  double max_mape_regression = 0.0;  // holdout: cand_mape <= inc_mape * (1 + x)
+  double min_shadow_spearman = 0.5;  // serving sanity: rank agreement floor
+  double shadow_fraction = 1.0;      // fraction of live batches the canary scores
+
+  std::uint64_t seed = 2024;  // varied per cycle so data never repeats
+  bool verbose = false;
+};
+
+// One cycle's audit trail.
+struct CycleReport {
+  int incumbent_version = 0;
+  int candidate_version = 0;
+  bool promoted = false;
+  model::EvalMetrics incumbent_holdout;  // incumbent on the fresh holdout
+  model::EvalMetrics candidate_holdout;  // candidate on the same holdout
+  std::uint64_t shadow_requests = 0;
+  std::uint64_t shadow_failures = 0;
+  double shadow_mape = 0;      // candidate vs incumbent on shared live traffic
+  double shadow_spearman = 0;
+  std::string decision;        // human-readable gate outcome
+};
+
+class ContinualTrainer {
+ public:
+  // The registry must have an active version (the incumbent) and the service
+  // must be serving with a featurization whose hash matches the incumbent
+  // manifest's; throws std::runtime_error otherwise.
+  ContinualTrainer(ModelRegistry& registry, serve::PredictionService& service,
+                   ContinualTrainerOptions options);
+
+  // Runs one full generate -> fine-tune -> register -> shadow -> decide
+  // cycle. On promotion the registry's ACTIVE pointer moves to the candidate
+  // and the service is hot-swapped to it; otherwise the incumbent keeps
+  // serving and the candidate remains in the registry as a rejected version.
+  CycleReport run_cycle();
+
+  // Re-promotes the registry's previous version and hot-swaps the service
+  // back to it; returns the restored version. The escape hatch when a
+  // promoted model misbehaves in full production.
+  int rollback();
+
+ private:
+  ModelRegistry& registry_;
+  serve::PredictionService& service_;
+  ContinualTrainerOptions options_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace tcm::registry

@@ -1,0 +1,356 @@
+#include "registry/model_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+
+namespace fs = std::filesystem;
+
+namespace tcm::registry {
+namespace {
+
+constexpr const char* kManifestHeader = "tcm-manifest";
+constexpr const char* kActiveHeader = "tcm-active";
+constexpr int kFormatVersion = 1;
+constexpr const char* kWeightsFile = "weights.bin";
+constexpr const char* kManifestFile = "manifest.txt";
+constexpr const char* kActiveFile = "ACTIVE";
+
+std::string version_name(int version) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "v%04d", version);
+  return buf;
+}
+
+// Parses "v0042" -> 42; returns 0 for anything else.
+int parse_version_name(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'v') return 0;
+  int v = 0;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    v = v * 10 + (name[i] - '0');
+  }
+  return v;
+}
+
+// Process-crash-safe file write: stage under a temporary name in the same
+// directory, then atomically rename into place. No fsync: power-loss
+// durability is a recorded follow-up (see ROADMAP).
+void atomic_write_file(const fs::path& path, const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("ModelRegistry: cannot write " + tmp.string());
+    f.write(content.data(), static_cast<std::streamsize>(content.size()));
+    f.flush();
+    if (!f) throw std::runtime_error("ModelRegistry: short write to " + tmp.string());
+  }
+  fs::rename(tmp, path);
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("ModelRegistry: cannot read " + path.string());
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+void write_double(std::ostringstream& out, const char* key, double v) {
+  out << key << ' ' << std::setprecision(17) << v << '\n';
+}
+
+void write_int_list(std::ostringstream& out, const char* key, const std::vector<int>& xs) {
+  out << key;
+  for (int x : xs) out << ' ' << x;
+  out << '\n';
+}
+
+}  // namespace
+
+std::uint64_t feature_config_hash(const model::FeatureConfig& config) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(config.max_depth));
+  mix(static_cast<std::uint64_t>(config.max_accesses));
+  mix(static_cast<std::uint64_t>(config.max_rank));
+  mix(config.log_transform ? 1 : 0);
+  mix(config.include_par_vec_tags ? 1 : 0);
+  return h;
+}
+
+std::string manifest_to_string(const ModelManifest& m) {
+  std::ostringstream out;
+  out << kManifestHeader << ' ' << kFormatVersion << '\n';
+  out << "version " << m.version << '\n';
+  out << "model " << m.model_kind << '\n';
+  out << "parent " << m.parent_version << '\n';
+  out << "created " << m.created_unix << '\n';
+  out << "feature_hash " << m.feature_hash << '\n';
+  out << "features.max_depth " << m.config.features.max_depth << '\n';
+  out << "features.max_accesses " << m.config.features.max_accesses << '\n';
+  out << "features.max_rank " << m.config.features.max_rank << '\n';
+  out << "features.log_transform " << (m.config.features.log_transform ? 1 : 0) << '\n';
+  out << "features.include_par_vec_tags " << (m.config.features.include_par_vec_tags ? 1 : 0)
+      << '\n';
+  write_int_list(out, "embed_hidden", m.config.embed_hidden);
+  out << "embed_size " << m.config.embed_size << '\n';
+  write_int_list(out, "merge_hidden", m.config.merge_hidden);
+  write_int_list(out, "regress_hidden", m.config.regress_hidden);
+  write_double(out, "dropout", static_cast<double>(m.config.dropout));
+  out << "ff_max_comps " << m.config.ff_max_comps << '\n';
+  write_double(out, "exp_head_limit", static_cast<double>(m.config.exp_head_limit));
+  write_double(out, "metrics.mape", m.metrics.mape);
+  write_double(out, "metrics.pearson", m.metrics.pearson);
+  write_double(out, "metrics.spearman", m.metrics.spearman);
+  write_double(out, "metrics.r2", m.metrics.r2);
+  write_double(out, "metrics.mse", m.metrics.mse);
+  out << "metrics.n " << m.metrics.n << '\n';
+  out << "provenance " << m.provenance << '\n';
+  return out.str();
+}
+
+ModelManifest manifest_from_string(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("ModelRegistry: empty manifest");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int fmt = 0;
+    header >> magic >> fmt;
+    if (magic != kManifestHeader)
+      throw std::runtime_error("ModelRegistry: bad manifest header '" + line + "'");
+    if (fmt != kFormatVersion)
+      throw std::runtime_error("ModelRegistry: unsupported manifest format " +
+                               std::to_string(fmt));
+  }
+  ModelManifest m;
+  const auto read_int_list = [](std::istringstream& rest) {
+    std::vector<int> xs;
+    int x;
+    while (rest >> x) xs.push_back(x);
+    return xs;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream rest(line);
+    std::string key;
+    rest >> key;
+    int b = 0;
+    // List keys read values until extraction fails and provenance may be
+    // empty, so only scalar keys get the post-extraction failure check.
+    bool scalar = true;
+    if (key == "version") rest >> m.version;
+    else if (key == "model") rest >> m.model_kind;
+    else if (key == "parent") rest >> m.parent_version;
+    else if (key == "created") rest >> m.created_unix;
+    else if (key == "feature_hash") rest >> m.feature_hash;
+    else if (key == "features.max_depth") rest >> m.config.features.max_depth;
+    else if (key == "features.max_accesses") rest >> m.config.features.max_accesses;
+    else if (key == "features.max_rank") rest >> m.config.features.max_rank;
+    else if (key == "features.log_transform") { rest >> b; m.config.features.log_transform = b; }
+    else if (key == "features.include_par_vec_tags") {
+      rest >> b;
+      m.config.features.include_par_vec_tags = b;
+    }
+    else if (key == "embed_hidden") { m.config.embed_hidden = read_int_list(rest); scalar = false; }
+    else if (key == "embed_size") rest >> m.config.embed_size;
+    else if (key == "merge_hidden") { m.config.merge_hidden = read_int_list(rest); scalar = false; }
+    else if (key == "regress_hidden") {
+      m.config.regress_hidden = read_int_list(rest);
+      scalar = false;
+    }
+    else if (key == "dropout") rest >> m.config.dropout;
+    else if (key == "ff_max_comps") rest >> m.config.ff_max_comps;
+    else if (key == "exp_head_limit") rest >> m.config.exp_head_limit;
+    else if (key == "metrics.mape") rest >> m.metrics.mape;
+    else if (key == "metrics.pearson") rest >> m.metrics.pearson;
+    else if (key == "metrics.spearman") rest >> m.metrics.spearman;
+    else if (key == "metrics.r2") rest >> m.metrics.r2;
+    else if (key == "metrics.mse") rest >> m.metrics.mse;
+    else if (key == "metrics.n") rest >> m.metrics.n;
+    else if (key == "provenance") {
+      std::getline(rest >> std::ws, m.provenance);
+      scalar = false;
+    } else {
+      scalar = false;  // unknown keys are skipped so newer writers stay readable
+    }
+    if (scalar && rest.fail())
+      throw std::runtime_error("ModelRegistry: malformed manifest line '" + line + "'");
+  }
+  if (m.version <= 0 || m.model_kind.empty())
+    throw std::runtime_error("ModelRegistry: manifest missing version or model kind");
+  return m;
+}
+
+std::unique_ptr<model::SpeedupPredictor> make_model(const ModelManifest& m) {
+  // The Rng only drives the Glorot init that load_parameters overwrites.
+  Rng rng(0);
+  if (m.model_kind == "recursive-lstm")
+    return std::make_unique<model::CostModel>(m.config, rng);
+  if (m.model_kind == "lstm-only")
+    return std::make_unique<model::LstmOnlyModel>(m.config, rng);
+  if (m.model_kind == "feedforward-only")
+    return std::make_unique<model::FeedForwardModel>(m.config, rng);
+  throw std::runtime_error("ModelRegistry: unknown model kind '" + m.model_kind + "'");
+}
+
+ModelRegistry::ModelRegistry(std::string root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+std::string ModelRegistry::version_dir(int version) const {
+  return (fs::path(root_) / version_name(version)).string();
+}
+
+std::string ModelRegistry::weights_path(int version) const {
+  return (fs::path(version_dir(version)) / kWeightsFile).string();
+}
+
+std::string ModelRegistry::manifest_path(int version) const {
+  return (fs::path(version_dir(version)) / kManifestFile).string();
+}
+
+int ModelRegistry::next_version_locked() const {
+  int highest = 0;
+  for (const auto& entry : fs::directory_iterator(root_))
+    highest = std::max(highest, parse_version_name(entry.path().filename().string()));
+  return highest + 1;
+}
+
+int ModelRegistry::register_version(model::SpeedupPredictor& model, ModelManifest manifest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int version = next_version_locked();
+  manifest.version = version;
+  if (manifest.model_kind.empty()) manifest.model_kind = model.name();
+  manifest.feature_hash = feature_config_hash(manifest.config.features);
+  manifest.created_unix = static_cast<std::int64_t>(std::time(nullptr));
+
+  // Stage the whole version directory, then publish it with one rename: a
+  // crash in between leaves only a .staging dir that the next register
+  // overwrites, never a half-written vNNNN.
+  const fs::path staging = fs::path(root_) / (".staging-" + version_name(version));
+  fs::remove_all(staging);
+  fs::create_directories(staging);
+  if (!nn::save_parameters(model.module(), (staging / kWeightsFile).string()))
+    throw std::runtime_error("ModelRegistry: cannot write weights under " + staging.string());
+  atomic_write_file(staging / kManifestFile, manifest_to_string(manifest));
+  fs::rename(staging, version_dir(version));
+  return version;
+}
+
+ModelManifest ModelRegistry::manifest(int version) const {
+  const std::string path = manifest_path(version);
+  if (!fs::exists(path))
+    throw std::runtime_error("ModelRegistry: no such version " + std::to_string(version));
+  ModelManifest m = manifest_from_string(read_file(path));
+  if (m.version != version)
+    throw std::runtime_error("ModelRegistry: manifest of " + version_name(version) +
+                             " claims version " + std::to_string(m.version));
+  return m;
+}
+
+std::unique_ptr<model::SpeedupPredictor> ModelRegistry::load(int version) const {
+  const ModelManifest m = manifest(version);
+  if (feature_config_hash(m.config.features) != m.feature_hash)
+    throw std::runtime_error("ModelRegistry: feature-config hash mismatch in manifest of " +
+                             version_name(version) +
+                             " (checkpoint is not servable behind this featurization)");
+  std::unique_ptr<model::SpeedupPredictor> model = make_model(m);
+  if (!nn::load_parameters(model->module(), weights_path(version)))
+    throw std::runtime_error("ModelRegistry: cannot open weights of " + version_name(version));
+  return model;
+}
+
+std::unique_ptr<model::SpeedupPredictor> ModelRegistry::load_active() const {
+  const int version = active_version();
+  if (version == 0) throw std::runtime_error("ModelRegistry: no active version");
+  return load(version);
+}
+
+std::vector<ModelManifest> ModelRegistry::list() const {
+  std::vector<int> versions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : fs::directory_iterator(root_)) {
+      const int v = parse_version_name(entry.path().filename().string());
+      if (v > 0 && fs::exists(manifest_path(v))) versions.push_back(v);
+    }
+  }
+  std::sort(versions.begin(), versions.end());
+  std::vector<ModelManifest> manifests;
+  manifests.reserve(versions.size());
+  for (int v : versions) manifests.push_back(manifest(v));
+  return manifests;
+}
+
+std::pair<int, int> ModelRegistry::read_active_locked() const {
+  const fs::path path = fs::path(root_) / kActiveFile;
+  if (!fs::exists(path)) return {0, 0};
+  std::istringstream in(read_file(path));
+  std::string magic;
+  int fmt = 0, active = 0, previous = 0;
+  std::string key;
+  in >> magic >> fmt;
+  if (magic != kActiveHeader || fmt != kFormatVersion)
+    throw std::runtime_error("ModelRegistry: corrupt ACTIVE file");
+  while (in >> key) {
+    if (key == "active") in >> active;
+    else if (key == "previous") in >> previous;
+  }
+  return {active, previous};
+}
+
+void ModelRegistry::write_active_locked(int active, int previous) {
+  std::ostringstream out;
+  out << kActiveHeader << ' ' << kFormatVersion << '\n';
+  out << "active " << active << '\n';
+  out << "previous " << previous << '\n';
+  atomic_write_file(fs::path(root_) / kActiveFile, out.str());
+}
+
+void ModelRegistry::promote(int version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fs::exists(manifest_path(version)))
+    throw std::runtime_error("ModelRegistry: cannot promote unknown version " +
+                             std::to_string(version));
+  const auto [active, previous] = read_active_locked();
+  (void)previous;
+  if (active == version) return;  // already active; keep the rollback target
+  write_active_locked(version, active);
+}
+
+int ModelRegistry::rollback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [active, previous] = read_active_locked();
+  if (previous == 0)
+    throw std::runtime_error("ModelRegistry: no previous version to roll back to");
+  write_active_locked(previous, active);
+  return previous;
+}
+
+int ModelRegistry::active_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_active_locked().first;
+}
+
+int ModelRegistry::previous_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_active_locked().second;
+}
+
+}  // namespace tcm::registry

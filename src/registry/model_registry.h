@@ -1,0 +1,118 @@
+// Versioned model registry: the MLOps layer between training and serving.
+//
+// The paper trains its cost model offline and freezes it inside the
+// autoscheduler; a production service instead retrains on fresh data and
+// rolls new models out while traffic flows. The registry is the durable
+// half of that story:
+//
+//   root/
+//     v0001/ weights.bin manifest.txt     one immutable version per dir
+//     v0002/ ...
+//     ACTIVE                              "active N previous M" pointer
+//
+// Every version pairs an nn::save_parameters checkpoint with a manifest
+// recording the architecture (enough to reconstruct the model), the
+// featurization it was trained for (as a hash, checked at load time), the
+// validation metrics at registration, the parent version it was fine-tuned
+// from, and free-form provenance. All writes are corruption-safe against
+// process crashes: files and version directories are staged under temporary
+// names and atomically renamed into place, so a crash mid-register or
+// mid-promote leaves either the old state or the new state, never a torn
+// one. (Power-loss durability would additionally require fsyncing the
+// staged data and the directory before/after each rename — a recorded
+// follow-up, not provided today.)
+//
+// In-process calls are serialized by an internal mutex; cross-process
+// safety rests on the atomicity of rename(2) (concurrent writers on one
+// root are not coordinated beyond that).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "model/train.h"
+
+namespace tcm::registry {
+
+// Stable 64-bit (FNV-1a) hash of every featurization-relevant field of a
+// FeatureConfig. Two configs with equal hashes produce identical feature
+// vectors for any (program, schedule) pair, so a model checkpoint is only
+// servable behind featurization whose hash matches its manifest's.
+std::uint64_t feature_config_hash(const model::FeatureConfig& config);
+
+// Everything the registry records about one version besides the weights.
+struct ModelManifest {
+  int version = 0;             // assigned by register_version
+  std::string model_kind;      // SpeedupPredictor::name(): "recursive-lstm", ...
+  model::ModelConfig config;   // reconstructs the architecture at load time
+  std::uint64_t feature_hash = 0;  // feature_config_hash(config.features)
+  int parent_version = 0;      // 0 = trained from scratch, else fine-tune parent
+  std::string provenance;      // free-form: dataset, recipe, trigger (one line)
+  std::int64_t created_unix = 0;   // stamped by register_version
+  model::EvalMetrics metrics;  // validation metrics at registration time
+};
+
+class ModelRegistry {
+ public:
+  // Opens (creating directories as needed) a registry rooted at `root`.
+  explicit ModelRegistry(std::string root);
+
+  // Stores the model's parameters plus the manifest under the next free
+  // version id and returns that id. `manifest.version`, `created_unix` and
+  // `feature_hash` are filled in here; `model_kind` defaults to
+  // `model.name()` when empty. Does not change the active version.
+  int register_version(model::SpeedupPredictor& model, ModelManifest manifest);
+
+  // Reconstructs the architecture from the manifest and loads the weights.
+  // Throws std::runtime_error when the version does not exist, the manifest
+  // is malformed, its feature-config hash does not match the stored config
+  // (a tampered or torn manifest must never reach serving), or the weights
+  // mismatch the architecture.
+  std::unique_ptr<model::SpeedupPredictor> load(int version) const;
+
+  // Convenience: load(active_version()). Throws when nothing is active.
+  std::unique_ptr<model::SpeedupPredictor> load_active() const;
+
+  // Parsed manifest of one version / of all versions (ascending).
+  ModelManifest manifest(int version) const;
+  std::vector<ModelManifest> list() const;
+
+  // Atomically points ACTIVE at `version` (which must exist), remembering
+  // the outgoing active version for rollback.
+  void promote(int version);
+
+  // Re-promotes the previous active version and returns it. Throws when
+  // there is no previous version to roll back to.
+  int rollback();
+
+  int active_version() const;    // 0 when nothing has been promoted
+  int previous_version() const;  // 0 when there is no rollback target
+
+  const std::string& root() const { return root_; }
+  std::string version_dir(int version) const;
+  std::string weights_path(int version) const;
+  std::string manifest_path(int version) const;
+
+ private:
+  int next_version_locked() const;
+  void write_active_locked(int active, int previous);
+  std::pair<int, int> read_active_locked() const;  // {active, previous}
+
+  std::string root_;
+  mutable std::mutex mu_;
+};
+
+// Manifest (de)serialization, exposed for tests. The format is line-based
+// "key value..." text with a versioned header.
+std::string manifest_to_string(const ModelManifest& m);
+ModelManifest manifest_from_string(const std::string& text);
+
+// Constructs an untrained model of the manifest's kind and config (weights
+// are meant to be overwritten by load_parameters). Throws on unknown kind.
+std::unique_ptr<model::SpeedupPredictor> make_model(const ModelManifest& m);
+
+}  // namespace tcm::registry

@@ -102,6 +102,23 @@ std::vector<PendingRequest> StructureBatcher::next_batch() {
   }
 }
 
+void StructureBatcher::batch_done(std::size_t batch_size) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    completed_ += batch_size;
+  }
+  drain_cv_.notify_all();
+}
+
+void StructureBatcher::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Snapshot the enqueue high-water mark: completion is monotone and newer
+  // requests only push completed_ further, so the wait is bounded by the
+  // traffic enqueued before the call even while clients keep submitting.
+  const std::uint64_t target = next_sequence_ - 1;
+  drain_cv_.wait(lock, [this, target] { return completed_ >= target; });
+}
+
 void StructureBatcher::close() {
   {
     std::lock_guard<std::mutex> lock(mu_);

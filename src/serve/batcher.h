@@ -24,9 +24,17 @@
 
 namespace tcm::serve {
 
+// A served prediction, attributable to exactly one model version: the whole
+// batch that produced it ran on one pinned model snapshot (see
+// PredictionService for the hot-swap protocol).
+struct Prediction {
+  double speedup = 0;
+  int model_version = 0;
+};
+
 struct PendingRequest {
   std::shared_ptr<const model::FeaturizedProgram> feats;
-  std::promise<double> result;
+  std::promise<Prediction> result;
   std::chrono::steady_clock::time_point enqueued;
   std::uint64_t sequence = 0;  // assigned by the batcher, monotonically
 };
@@ -46,8 +54,20 @@ class StructureBatcher {
 
   // Blocks until a bucket is ready, then pops up to max_batch requests of
   // one structure. Returns an empty vector only when the batcher is closed
-  // and fully drained (the worker-exit signal).
+  // and fully drained (the worker-exit signal). A non-empty pop counts as an
+  // in-flight batch until the worker calls batch_done().
   std::vector<PendingRequest> next_batch();
+
+  // Marks one popped batch of `batch_size` requests fully processed
+  // (including side work such as shadow scoring). Pairs 1:1 with non-empty
+  // next_batch() returns.
+  void batch_done(std::size_t batch_size);
+
+  // Blocks until every request enqueued *before this call* has been fully
+  // processed (batch_done). Requests enqueued concurrently don't extend the
+  // wait, so drain() terminates even under sustained live traffic — callers
+  // should flush() first or the wait spans the latency deadline.
+  void drain();
 
   // Wakes all workers; pending requests are still handed out, further
   // enqueues are rejected.
@@ -69,11 +89,13 @@ class StructureBatcher {
   const std::chrono::microseconds max_latency_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        // wakes workers (next_batch)
+  std::condition_variable drain_cv_;  // wakes drain() waiters only
   // deque: buckets hold move-only requests and must not relocate on growth.
   std::deque<Bucket> buckets_;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t flushed_up_to_ = 0;  // sequences <= this are ready now
+  std::uint64_t completed_ = 0;      // requests whose batch finished batch_done()
   std::size_t pending_ = 0;
   bool closed_ = false;
 };

@@ -1,42 +1,98 @@
 #include "serve/prediction_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
-namespace tcm::serve {
+#include "support/stats.h"
 
-PredictionService::PredictionService(model::SpeedupPredictor& predictor, ServeOptions options)
-    : predictor_(predictor),
-      options_(options),
+namespace tcm::serve {
+namespace {
+
+// Wraps a caller-owned predictor in a non-owning shared_ptr (aliasing
+// constructor with an empty control block target): swap/pin semantics work
+// uniformly, lifetime stays with the caller.
+std::shared_ptr<model::SpeedupPredictor> non_owning(model::SpeedupPredictor& predictor) {
+  return std::shared_ptr<model::SpeedupPredictor>(std::shared_ptr<void>(), &predictor);
+}
+
+}  // namespace
+
+PredictionService::PredictionService(std::shared_ptr<model::SpeedupPredictor> predictor,
+                                     int version, ServeOptions options)
+    : options_(options),
       cache_(options.cache_capacity),
       batcher_(options.max_batch, options.max_queue_latency) {
+  if (!predictor) throw std::invalid_argument("PredictionService: null predictor");
   if (options.num_threads < 1)
     throw std::invalid_argument("PredictionService: need at least one worker thread");
+  model_ = std::make_shared<const ModelSnapshot>(ModelSnapshot{std::move(predictor), version});
   latencies_.reserve(kLatencyWindow);
   workers_.reserve(static_cast<std::size_t>(options.num_threads));
   for (int i = 0; i < options.num_threads; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
+PredictionService::PredictionService(model::SpeedupPredictor& predictor, ServeOptions options)
+    : PredictionService(non_owning(predictor), /*version=*/0, options) {}
+
 PredictionService::~PredictionService() {
   batcher_.close();
   for (std::thread& t : workers_) t.join();
 }
 
-std::future<double> PredictionService::submit(const ir::Program& program,
-                                              const transforms::Schedule& schedule) {
+void PredictionService::swap_model(std::shared_ptr<model::SpeedupPredictor> next, int version) {
+  if (!next) throw std::invalid_argument("PredictionService: cannot swap in a null predictor");
+  auto snapshot = std::make_shared<const ModelSnapshot>(ModelSnapshot{std::move(next), version});
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    model_ = std::move(snapshot);  // old snapshot lives on in in-flight batches
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++model_swaps_;
+}
+
+int PredictionService::active_version() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_->version;
+}
+
+void PredictionService::set_shadow(std::shared_ptr<model::SpeedupPredictor> candidate,
+                                   int version, double sample_fraction) {
+  if (!candidate) throw std::invalid_argument("PredictionService: null shadow candidate");
+  auto state = std::make_shared<const ShadowState>(ShadowState{
+      std::move(candidate), version, std::clamp(sample_fraction, 0.0, 1.0)});
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    shadow_ = std::move(state);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  shadow_requests_ = 0;
+  shadow_failures_ = 0;
+  shadow_ape_sum_ = 0;
+  shadow_pairs_.clear();
+  shadow_pair_next_ = 0;
+}
+
+void PredictionService::clear_shadow() {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  shadow_ = nullptr;
+}
+
+std::future<Prediction> PredictionService::submit(const ir::Program& program,
+                                                  const transforms::Schedule& schedule) {
   return submit_with_key({fingerprint(program), fingerprint(schedule)}, program, schedule);
 }
 
-std::future<double> PredictionService::submit_with_key(const PairKey& key,
-                                                       const ir::Program& program,
-                                                       const transforms::Schedule& schedule) {
+std::future<Prediction> PredictionService::submit_with_key(const PairKey& key,
+                                                           const ir::Program& program,
+                                                           const transforms::Schedule& schedule) {
   std::shared_ptr<const model::FeaturizedProgram> feats = cache_.get(key);
   if (!feats) {
     std::string error;
     auto fresh = model::featurize(program, schedule, options_.features, &error);
     if (!fresh) {
-      std::promise<double> failed;
+      std::promise<Prediction> failed;
       failed.set_exception(std::make_exception_ptr(
           std::invalid_argument("PredictionService: cannot featurize candidate: " + error)));
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -48,20 +104,20 @@ std::future<double> PredictionService::submit_with_key(const PairKey& key,
   return submit(std::move(feats));
 }
 
-std::future<double> PredictionService::submit(
+std::future<Prediction> PredictionService::submit(
     std::shared_ptr<const model::FeaturizedProgram> feats) {
   if (!feats) throw std::invalid_argument("PredictionService: null featurization");
   PendingRequest req;
   req.feats = std::move(feats);
   req.enqueued = std::chrono::steady_clock::now();
-  std::future<double> result = req.result.get_future();
+  std::future<Prediction> result = req.result.get_future();
   batcher_.enqueue(std::move(req));
   return result;
 }
 
 std::vector<double> PredictionService::predict_many(
     const ir::Program& program, const std::vector<transforms::Schedule>& candidates) {
-  std::vector<std::future<double>> futures;
+  std::vector<std::future<Prediction>> futures;
   futures.reserve(candidates.size());
   // One program IR walk for the whole burst; only schedules vary per key.
   const std::uint64_t program_fp = fingerprint(program);
@@ -70,7 +126,7 @@ std::vector<double> PredictionService::predict_many(
   flush();
   std::vector<double> out;
   out.reserve(candidates.size());
-  for (std::future<double>& f : futures) out.push_back(f.get());
+  for (std::future<Prediction>& f : futures) out.push_back(f.get().speedup);
   return out;
 }
 
@@ -79,28 +135,19 @@ void PredictionService::worker_loop(int worker_index) {
   for (;;) {
     std::vector<PendingRequest> batch = batcher_.next_batch();
     if (batch.empty()) return;  // closed and drained
+    const std::size_t batch_size = batch.size();
     run_batch(std::move(batch));
+    batcher_.batch_done(batch_size);
   }
 }
 
 void PredictionService::run_batch(std::vector<PendingRequest> batch) {
   const int b = static_cast<int>(batch.size());
-  const model::FeaturizedProgram& first = *batch.front().feats;
-  const int ncomps = static_cast<int>(first.comp_vectors.size());
-
-  model::Batch model_batch;
-  model_batch.tree = &first.root;  // kept alive by batch[0].feats
-  model_batch.targets = nn::Tensor(b, 1);
-  for (int c = 0; c < ncomps; ++c) {
-    const int feat_size = static_cast<int>(first.comp_vectors[static_cast<std::size_t>(c)].size());
-    nn::Tensor input(b, feat_size);
-    for (int row = 0; row < b; ++row) {
-      const auto& v = batch[static_cast<std::size_t>(row)].feats->comp_vectors[
-          static_cast<std::size_t>(c)];
-      for (int j = 0; j < feat_size; ++j) input.at(row, j) = v[static_cast<std::size_t>(j)];
-    }
-    model_batch.comp_inputs.push_back(std::move(input));
-  }
+  std::vector<const model::FeaturizedProgram*> rows;
+  rows.reserve(batch.size());
+  for (const PendingRequest& req : batch) rows.push_back(req.feats.get());
+  // The batch tree aliases rows[0], kept alive by batch[0].feats.
+  const model::Batch model_batch = model::make_inference_batch(rows);
 
   std::uint64_t batch_index;
   {
@@ -108,11 +155,24 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch) {
     batch_index = batches_++;
   }
 
+  // Pin the model epoch for the whole batch: a concurrent swap_model()
+  // cannot free it (refcount) and cannot make this batch mix models. The
+  // shadow is pinned at the same point so the batch is scored against the
+  // candidate that was installed when it ran, not one set later.
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  std::shared_ptr<const ShadowState> shadow;
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    snapshot = model_;
+    shadow = shadow_;
+  }
+
   try {
     // Per-call Rng: inference (training=false) draws nothing from it, but the
     // API requires one and sharing a stream across workers would race.
     Rng rng = Rng(options_.seed).split(batch_index);
-    const nn::Variable pred = predictor_.forward_batch(model_batch, /*training=*/false, rng);
+    const nn::Variable pred = snapshot->predictor->forward_batch(model_batch, /*training=*/false,
+                                                                 rng);
     if (pred.rows() != b)
       throw std::logic_error("PredictionService: predictor returned wrong batch size");
     // Account before fulfilling the promises: a client that sees its future
@@ -133,7 +193,12 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch) {
     }
     for (int row = 0; row < b; ++row)
       batch[static_cast<std::size_t>(row)].result.set_value(
-          static_cast<double>(pred.value().at(row, 0)));
+          {static_cast<double>(pred.value().at(row, 0)), snapshot->version});
+
+    // Shadow scoring happens after the promises are fulfilled so a canary
+    // never adds latency to live responses; quiesce() is the barrier for
+    // readers that need the scoring of drained traffic to be complete.
+    if (shadow) run_shadow(*snapshot, *shadow, model_batch, pred, batch_index);
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -144,19 +209,66 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch) {
   }
 }
 
+void PredictionService::run_shadow(const ModelSnapshot& incumbent, const ShadowState& shadow,
+                                   const model::Batch& model_batch,
+                                   const nn::Variable& incumbent_pred,
+                                   std::uint64_t batch_index) {
+  (void)incumbent;
+  // Deterministic per-batch sampling from a stream independent of the
+  // inference Rng, so shadow coverage is reproducible in (seed, traffic).
+  Rng sample_rng = Rng(options_.seed ^ 0x8f1bbcdc2d9d3b4fULL).split(batch_index);
+  if (!sample_rng.bernoulli(shadow.sample_fraction)) return;
+  const int b = model_batch.batch_size();
+  try {
+    Rng rng = Rng(options_.seed).split(batch_index ^ 0x517cc1b727220a95ULL);
+    const nn::Variable pred = shadow.predictor->forward_batch(model_batch, /*training=*/false,
+                                                              rng);
+    if (pred.rows() != b)
+      throw std::logic_error("PredictionService: shadow returned wrong batch size");
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    shadow_requests_ += static_cast<std::uint64_t>(b);
+    for (int row = 0; row < b; ++row) {
+      const double inc = static_cast<double>(incumbent_pred.value().at(row, 0));
+      const double sh = static_cast<double>(pred.value().at(row, 0));
+      shadow_ape_sum_ += std::abs(sh - inc) / std::max(std::abs(inc), 1e-12);
+      if (shadow_pairs_.size() < options_.shadow_window) {
+        shadow_pairs_.emplace_back(inc, sh);
+      } else {
+        shadow_pairs_[shadow_pair_next_] = {inc, sh};
+        shadow_pair_next_ = (shadow_pair_next_ + 1) % options_.shadow_window;
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++shadow_failures_;
+  }
+}
+
 ServeStats PredictionService::stats() const {
   ServeStats s;
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    s.active_version = model_->version;
+    if (shadow_) s.shadow_version = shadow_->version;
+  }
   std::vector<double> latencies;
+  std::vector<std::pair<double, double>> shadow_pairs;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     s.requests = requests_;
     s.batches = batches_;
     s.failed_requests = failed_requests_;
+    s.model_swaps = model_swaps_;
+    s.shadow_requests = shadow_requests_;
+    s.shadow_failures = shadow_failures_;
     s.mean_batch_occupancy =
         batches_ > 0 ? static_cast<double>(requests_) / static_cast<double>(batches_) : 0.0;
+    if (shadow_requests_ > 0)
+      s.shadow_mape = shadow_ape_sum_ / static_cast<double>(shadow_requests_);
     latencies = latencies_;  // snapshot; sort outside the workers' hot mutex
+    shadow_pairs = shadow_pairs_;
   }
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());
@@ -168,6 +280,16 @@ ServeStats PredictionService::stats() const {
     };
     s.p50_latency = at(50.0);
     s.p99_latency = at(99.0);
+  }
+  if (shadow_pairs.size() >= 2) {
+    std::vector<double> inc, sh;
+    inc.reserve(shadow_pairs.size());
+    sh.reserve(shadow_pairs.size());
+    for (const auto& [i, v] : shadow_pairs) {
+      inc.push_back(i);
+      sh.push_back(v);
+    }
+    s.shadow_spearman = spearman(inc, sh);
   }
   return s;
 }

@@ -15,6 +15,26 @@
 // dropout and every op computes each batch row independently, so a request's
 // prediction is bitwise-identical however it is batched (asserted by the
 // serve hammer test).
+//
+// Model ownership and hot-swap: the service holds a shared_ptr to an
+// immutable predictor snapshot. A worker pins the snapshot once per batch
+// (one pointer copy under a dedicated, practically uncontended mutex —
+// nanoseconds against a milliseconds-scale forward pass, and verifiably
+// race-free under TSan, unlike libstdc++'s atomic<shared_ptr>), so
+// swap_model() flips traffic to a new model between batches without
+// stopping the service — in-flight batches finish on the old snapshot
+// (which the shared_ptr keeps alive), and no batch ever mixes models.
+// Every Prediction is stamped with the version of the snapshot that
+// produced it. Training never happens on a served snapshot: fine-tuning
+// operates on a separate registry-loaded copy, which is then swapped in
+// (see registry::ContinualTrainer).
+//
+// Shadow mode: set_shadow() installs a candidate model that additionally
+// scores a sampled fraction of live batches. Shadow predictions are never
+// returned to clients; the service records disagreement statistics against
+// the incumbent (MAPE and Spearman rank correlation over the shared
+// requests) into ServeStats, which is what a canary evaluation reads before
+// deciding to promote.
 #pragma once
 
 #include <chrono>
@@ -39,12 +59,15 @@ struct ServeOptions {
   std::size_t cache_capacity = 4096;  // feature-cache entries; 0 disables
   model::FeatureConfig features;      // featurization of raw pairs
   std::uint64_t seed = 0;             // per-batch Rng seed (inference draws nothing)
+  // Shadow disagreement window: recent (incumbent, shadow) prediction pairs
+  // kept for the Spearman statistic.
+  std::size_t shadow_window = 1 << 12;
 };
 
 // Counter snapshot; all values are totals since construction.
 struct ServeStats {
   std::uint64_t requests = 0;        // completed predictions
-  std::uint64_t batches = 0;         // forward_batch calls
+  std::uint64_t batches = 0;         // forward_batch calls (incumbent only)
   std::uint64_t failed_requests = 0; // featurization/forward errors
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -52,25 +75,45 @@ struct ServeStats {
   // Queue+inference latency of the most recent requests (seconds).
   double p50_latency = 0;
   double p99_latency = 0;
+
+  // Hot-swap and shadow-mode counters.
+  int active_version = 0;            // version currently receiving traffic
+  std::uint64_t model_swaps = 0;     // completed swap_model() calls
+  int shadow_version = 0;            // 0 when no shadow is installed
+  std::uint64_t shadow_requests = 0; // requests also scored by a shadow model
+  std::uint64_t shadow_failures = 0; // shadow forward errors (never client-visible)
+  double shadow_mape = 0;            // mean |shadow - incumbent| / incumbent
+  double shadow_spearman = 0;        // rank corr over the recent shared window
 };
 
 class PredictionService {
  public:
-  // The predictor must outlive the service. Its parameters are read
-  // concurrently; do not train it while the service is running.
+  // Owning form: the service shares ownership of the predictor snapshot.
+  // `version` tags every prediction the snapshot produces (use the registry
+  // version, or 0 for unversioned models).
+  PredictionService(std::shared_ptr<model::SpeedupPredictor> predictor, int version,
+                    ServeOptions options);
+
+  // Non-owning convenience: the predictor must outlive the service (and any
+  // snapshot still pinned by an in-flight batch after a swap). Its
+  // parameters are read concurrently at inference; train only copies loaded
+  // elsewhere, never the instance a running service serves.
   PredictionService(model::SpeedupPredictor& predictor, ServeOptions options);
+
   ~PredictionService();
 
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
 
   // Featurizes (through the cache) and enqueues; the future resolves to the
-  // predicted speedup. Featurization failure or a forward error surfaces as
-  // an exception on the future.
-  std::future<double> submit(const ir::Program& program, const transforms::Schedule& schedule);
+  // predicted speedup plus the version of the model that produced it.
+  // Featurization failure or a forward error surfaces as an exception on
+  // the future.
+  std::future<Prediction> submit(const ir::Program& program,
+                                 const transforms::Schedule& schedule);
 
   // Pre-featurized entry point (no cache involvement).
-  std::future<double> submit(std::shared_ptr<const model::FeaturizedProgram> feats);
+  std::future<Prediction> submit(std::shared_ptr<const model::FeaturizedProgram> feats);
 
   // Blocking convenience: submits the whole burst, flushes the queue so no
   // tail request waits out the latency deadline, and gathers results in
@@ -78,21 +121,64 @@ class PredictionService {
   std::vector<double> predict_many(const ir::Program& program,
                                    const std::vector<transforms::Schedule>& candidates);
 
+  // Atomically routes all subsequent batches to `next`. Batches already in
+  // flight finish on the snapshot they pinned; nothing is dropped and no
+  // request observes both models. Clients may keep calling submit()
+  // throughout.
+  void swap_model(std::shared_ptr<model::SpeedupPredictor> next, int version);
+  int active_version() const;
+
+  // Installs (or replaces) a shadow candidate scoring `sample_fraction` of
+  // batches. Resets the shadow disagreement statistics.
+  void set_shadow(std::shared_ptr<model::SpeedupPredictor> candidate, int version,
+                  double sample_fraction = 1.0);
+  void clear_shadow();
+
   // Makes everything enqueued so far immediately batchable.
   void flush() { batcher_.flush(); }
+
+  // Flushes, then blocks until every request submitted *before this call*
+  // has fully completed — including shadow scoring, which runs after the
+  // client promises are fulfilled. Call before reading stats() when exact
+  // shadow counts matter (the canary gate does). Terminates even while
+  // other clients keep submitting: the wait covers only prior traffic.
+  void quiesce() {
+    batcher_.flush();
+    batcher_.drain();
+  }
 
   ServeStats stats() const;
   const ServeOptions& options() const { return options_; }
   std::size_t pending() const { return batcher_.pending(); }
 
  private:
-  std::future<double> submit_with_key(const PairKey& key, const ir::Program& program,
-                                      const transforms::Schedule& schedule);
+  // Immutable (model, version) pairing; swapped as a unit so a batch can
+  // never pair one snapshot's predictions with another's version tag.
+  struct ModelSnapshot {
+    std::shared_ptr<model::SpeedupPredictor> predictor;
+    int version = 0;
+  };
+  struct ShadowState {
+    std::shared_ptr<model::SpeedupPredictor> predictor;
+    int version = 0;
+    double sample_fraction = 1.0;
+  };
+
+  std::future<Prediction> submit_with_key(const PairKey& key, const ir::Program& program,
+                                          const transforms::Schedule& schedule);
   void worker_loop(int worker_index);
   void run_batch(std::vector<PendingRequest> batch);
+  void run_shadow(const ModelSnapshot& incumbent, const ShadowState& shadow,
+                  const model::Batch& model_batch, const nn::Variable& incumbent_pred,
+                  std::uint64_t batch_index);
 
-  model::SpeedupPredictor& predictor_;
   const ServeOptions options_;
+  // Epoch-swapped model state: workers pin a snapshot once per batch and
+  // hold it (refcounted) until the batch completes. model_mu_ guards only
+  // these two pointers, never the forward pass.
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const ModelSnapshot> model_;
+  std::shared_ptr<const ShadowState> shadow_;  // null = disabled
   FeatureCache cache_;
   StructureBatcher batcher_;
 
@@ -104,6 +190,13 @@ class PredictionService {
   std::uint64_t requests_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t failed_requests_ = 0;
+  std::uint64_t model_swaps_ = 0;
+  std::uint64_t shadow_requests_ = 0;
+  std::uint64_t shadow_failures_ = 0;
+  double shadow_ape_sum_ = 0;
+  // Ring of recent (incumbent, shadow) pairs for the Spearman statistic.
+  std::vector<std::pair<double, double>> shadow_pairs_;
+  std::size_t shadow_pair_next_ = 0;
 
   std::vector<std::thread> workers_;
 };

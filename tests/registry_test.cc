@@ -1,0 +1,358 @@
+// Tests for the model registry (src/registry/): versioned checkpoints,
+// manifest integrity, promote/rollback, and the continual-learning loop.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "datagen/generator.h"
+#include "model/cost_model.h"
+#include "model/train.h"
+#include "registry/continual_trainer.h"
+#include "registry/model_registry.h"
+#include "serve/prediction_service.h"
+
+namespace fs = std::filesystem;
+
+namespace tcm::registry {
+namespace {
+
+// Fresh scratch directory per test.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("tcm_registry_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+ir::Program test_program(std::uint64_t seed = 0) {
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  return gen.generate(seed);
+}
+
+std::vector<double> direct_predictions(model::SpeedupPredictor& m,
+                                       const std::vector<model::FeaturizedProgram>& feats) {
+  std::vector<double> out;
+  Rng rng(0);
+  for (const auto& f : feats) {
+    const model::Batch batch = model::make_inference_batch({&f});
+    out.push_back(static_cast<double>(
+        m.forward_batch(batch, /*training=*/false, rng).value().at(0, 0)));
+  }
+  return out;
+}
+
+// gtest's ASSERT_ macros require a void function; fill through a pointer.
+void sample_requests_into(int count, std::vector<model::FeaturizedProgram>* out) {
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(3);
+  for (int i = 0; i < count; ++i) {
+    const ir::Program p = test_program(static_cast<std::uint64_t>(i % 3));
+    const transforms::Schedule s = sgen.generate(p, rng);
+    auto f = model::featurize(p, s, model::FeatureConfig::fast());
+    ASSERT_TRUE(f.has_value()) << "test featurization failed";
+    out->push_back(std::move(*f));
+  }
+}
+
+ModelManifest fast_manifest(const std::string& provenance = "test") {
+  ModelManifest m;
+  m.config = model::ModelConfig::fast();
+  m.provenance = provenance;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Feature-config hashing and manifest round-trip
+// ---------------------------------------------------------------------------
+
+TEST(FeatureConfigHash, DeterministicAndDiscriminating) {
+  const model::FeatureConfig fast = model::FeatureConfig::fast();
+  EXPECT_EQ(feature_config_hash(fast), feature_config_hash(model::FeatureConfig::fast()));
+  EXPECT_NE(feature_config_hash(fast), feature_config_hash(model::FeatureConfig::paper()));
+  model::FeatureConfig tweaked = fast;
+  tweaked.log_transform = !tweaked.log_transform;
+  EXPECT_NE(feature_config_hash(fast), feature_config_hash(tweaked));
+}
+
+TEST(ModelManifest, TextRoundTripPreservesEverything) {
+  ModelManifest m = fast_manifest("fine-tuned v3 on 2400 fresh samples");
+  m.version = 7;
+  m.model_kind = "recursive-lstm";
+  m.parent_version = 3;
+  m.created_unix = 1700000000;
+  m.feature_hash = feature_config_hash(m.config.features);
+  m.metrics.mape = 0.21875;
+  m.metrics.pearson = 0.875;
+  m.metrics.spearman = 0.9375;
+  m.metrics.r2 = 0.8125;
+  m.metrics.mse = 0.0625;
+  m.metrics.n = 480;
+
+  const ModelManifest r = manifest_from_string(manifest_to_string(m));
+  EXPECT_EQ(r.version, m.version);
+  EXPECT_EQ(r.model_kind, m.model_kind);
+  EXPECT_EQ(r.parent_version, m.parent_version);
+  EXPECT_EQ(r.created_unix, m.created_unix);
+  EXPECT_EQ(r.feature_hash, m.feature_hash);
+  EXPECT_EQ(r.provenance, m.provenance);
+  EXPECT_EQ(r.config.features.max_depth, m.config.features.max_depth);
+  EXPECT_EQ(r.config.features.max_accesses, m.config.features.max_accesses);
+  EXPECT_EQ(r.config.embed_hidden, m.config.embed_hidden);
+  EXPECT_EQ(r.config.embed_size, m.config.embed_size);
+  EXPECT_EQ(r.config.merge_hidden, m.config.merge_hidden);
+  EXPECT_EQ(r.config.regress_hidden, m.config.regress_hidden);
+  EXPECT_EQ(r.config.dropout, m.config.dropout);
+  EXPECT_EQ(r.config.exp_head_limit, m.config.exp_head_limit);
+  EXPECT_EQ(r.metrics.mape, m.metrics.mape);
+  EXPECT_EQ(r.metrics.spearman, m.metrics.spearman);
+  EXPECT_EQ(r.metrics.n, m.metrics.n);
+}
+
+TEST(ModelManifest, RejectsGarbage) {
+  EXPECT_THROW(manifest_from_string(""), std::runtime_error);
+  EXPECT_THROW(manifest_from_string("not-a-manifest 1\nversion 1\n"), std::runtime_error);
+  EXPECT_THROW(manifest_from_string("tcm-manifest 99\n"), std::runtime_error);
+  // Parseable header but no version/kind.
+  EXPECT_THROW(manifest_from_string("tcm-manifest 1\nparent 0\n"), std::runtime_error);
+  // A torn scalar value must throw, not silently keep the field's default.
+  EXPECT_THROW(manifest_from_string(
+                   "tcm-manifest 1\nversion 1\nmodel recursive-lstm\nembed_size garbage\n"),
+               std::runtime_error);
+  EXPECT_THROW(manifest_from_string(
+                   "tcm-manifest 1\nversion 1\nmodel recursive-lstm\nmetrics.mape x\n"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Registry storage
+// ---------------------------------------------------------------------------
+
+TEST(ModelRegistry, RegisteredModelReloadsBitwiseIdentical) {
+  ModelRegistry registry(scratch_dir("roundtrip"));
+  Rng rng(42);
+  model::CostModel original(model::ModelConfig::fast(), rng);
+
+  const int version = registry.register_version(original, fast_manifest());
+  EXPECT_EQ(version, 1);
+
+  std::vector<model::FeaturizedProgram> requests;
+  sample_requests_into(12, &requests);
+  const std::vector<double> before = direct_predictions(original, requests);
+
+  std::unique_ptr<model::SpeedupPredictor> reloaded = registry.load(version);
+  EXPECT_EQ(reloaded->name(), "recursive-lstm");
+  const std::vector<double> after = direct_predictions(*reloaded, requests);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]) << "request " << i;  // bitwise, not approx
+}
+
+TEST(ModelRegistry, RegisterFillsManifestFields) {
+  ModelRegistry registry(scratch_dir("fields"));
+  Rng rng(1);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+  ModelManifest manifest = fast_manifest("from scratch");
+  manifest.version = 999;       // overwritten by register_version
+  manifest.feature_hash = 123;  // recomputed from the config
+  const int version = registry.register_version(m, manifest);
+
+  const ModelManifest stored = registry.manifest(version);
+  EXPECT_EQ(stored.version, version);
+  EXPECT_EQ(stored.model_kind, "recursive-lstm");  // defaulted from model.name()
+  EXPECT_EQ(stored.feature_hash, feature_config_hash(manifest.config.features));
+  EXPECT_GT(stored.created_unix, 0);
+  EXPECT_EQ(stored.provenance, "from scratch");
+}
+
+TEST(ModelRegistry, MismatchedFeatureHashRejectedAtLoad) {
+  ModelRegistry registry(scratch_dir("tamper"));
+  Rng rng(1);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+  const int version = registry.register_version(m, fast_manifest());
+
+  // Tamper with the stored featurization (as a config drift or torn write
+  // would): the hash no longer matches and serving must refuse the load.
+  ModelManifest tampered = registry.manifest(version);
+  tampered.config.features.max_accesses += 1;
+  {
+    std::ofstream f(registry.manifest_path(version), std::ios::trunc);
+    f << manifest_to_string(tampered);
+  }
+  EXPECT_THROW(registry.load(version), std::runtime_error);
+  // The manifest itself still parses; only load-for-serving rejects.
+  EXPECT_NO_THROW(registry.manifest(version));
+}
+
+TEST(ModelRegistry, LoadRejectsUnknownVersionAndKind) {
+  ModelRegistry registry(scratch_dir("unknown"));
+  EXPECT_THROW(registry.load(1), std::runtime_error);
+  EXPECT_THROW(registry.manifest(7), std::runtime_error);
+  EXPECT_THROW(make_model([] {
+                 ModelManifest m = fast_manifest();
+                 m.model_kind = "transformer-xxl";
+                 return m;
+               }()),
+               std::runtime_error);
+}
+
+TEST(ModelRegistry, NoStagingLeftoversAfterRegister) {
+  const std::string root = scratch_dir("clean");
+  ModelRegistry registry(root);
+  Rng rng(1);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+  registry.register_version(m, fast_manifest());
+  registry.promote(1);
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".staging"), std::string::npos) << name;
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+}
+
+TEST(ModelRegistry, PromoteRollbackAndList) {
+  ModelRegistry registry(scratch_dir("lifecycle"));
+  Rng rng(1);
+  model::CostModel a(model::ModelConfig::fast(), rng);
+  model::CostModel b(model::ModelConfig::fast(), rng);
+  EXPECT_EQ(registry.active_version(), 0);
+  EXPECT_THROW(registry.load_active(), std::runtime_error);
+  EXPECT_THROW(registry.rollback(), std::runtime_error);
+
+  ModelManifest mb = fast_manifest("v2");
+  mb.parent_version = 1;
+  const int v1 = registry.register_version(a, fast_manifest("v1"));
+  const int v2 = registry.register_version(b, mb);
+  EXPECT_EQ(v1, 1);
+  EXPECT_EQ(v2, 2);
+
+  registry.promote(v1);
+  EXPECT_EQ(registry.active_version(), v1);
+  EXPECT_EQ(registry.previous_version(), 0);
+  EXPECT_THROW(registry.rollback(), std::runtime_error);  // nothing before v1
+
+  registry.promote(v2);
+  EXPECT_EQ(registry.active_version(), v2);
+  EXPECT_EQ(registry.previous_version(), v1);
+
+  EXPECT_EQ(registry.rollback(), v1);
+  EXPECT_EQ(registry.active_version(), v1);
+  EXPECT_EQ(registry.previous_version(), v2);  // roll-forward stays possible
+
+  EXPECT_THROW(registry.promote(99), std::runtime_error);
+
+  const std::vector<ModelManifest> all = registry.list();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].version, 1);
+  EXPECT_EQ(all[1].version, 2);
+  EXPECT_EQ(all[1].parent_version, 1);
+  EXPECT_NO_THROW(registry.load_active());
+}
+
+TEST(ModelRegistry, ReopeningSeesExistingState) {
+  const std::string root = scratch_dir("reopen");
+  {
+    ModelRegistry registry(root);
+    Rng rng(1);
+    model::CostModel m(model::ModelConfig::fast(), rng);
+    registry.register_version(m, fast_manifest());
+    registry.promote(1);
+  }
+  ModelRegistry reopened(root);
+  EXPECT_EQ(reopened.active_version(), 1);
+  EXPECT_EQ(reopened.list().size(), 1u);
+  Rng rng(2);
+  model::CostModel another(model::ModelConfig::fast(), rng);
+  EXPECT_EQ(reopened.register_version(another, fast_manifest()), 2);
+}
+
+// ---------------------------------------------------------------------------
+// ContinualTrainer
+// ---------------------------------------------------------------------------
+
+datagen::DatasetBuildOptions tiny_data() {
+  datagen::DatasetBuildOptions data;
+  data.num_programs = 10;
+  data.schedules_per_program = 6;
+  data.generator = datagen::GeneratorOptions::tiny();
+  data.features = model::FeatureConfig::fast();
+  return data;
+}
+
+serve::ServeOptions trainer_serve_options() {
+  serve::ServeOptions options;
+  options.num_threads = 2;
+  options.features = model::FeatureConfig::fast();
+  options.max_queue_latency = std::chrono::microseconds(500);
+  return options;
+}
+
+TEST(ContinualTrainer, RequiresActiveVersionAndMatchingFeatures) {
+  ModelRegistry registry(scratch_dir("trainer_guards"));
+  Rng rng(1);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+  serve::PredictionService service(m, trainer_serve_options());
+
+  ContinualTrainerOptions opts;
+  opts.data = tiny_data();
+  EXPECT_THROW(ContinualTrainer(registry, service, opts), std::runtime_error);  // no active
+
+  registry.register_version(m, fast_manifest());
+  registry.promote(1);
+  ContinualTrainerOptions mismatched = opts;
+  mismatched.data.features = model::FeatureConfig::paper();
+  EXPECT_THROW(ContinualTrainer(registry, service, mismatched), std::runtime_error);
+  EXPECT_NO_THROW(ContinualTrainer(registry, service, opts));
+}
+
+TEST(ContinualTrainer, CyclePromotesAndHotSwapsOrRejectsCleanly) {
+  ModelRegistry registry(scratch_dir("trainer_cycle"));
+  Rng rng(5);
+  model::CostModel seed_model(model::ModelConfig::fast(), rng);
+  const int v1 = registry.register_version(seed_model, fast_manifest("seed"));
+  registry.promote(v1);
+
+  std::shared_ptr<model::SpeedupPredictor> serving = registry.load_active();
+  serve::PredictionService service(serving, v1, trainer_serve_options());
+  EXPECT_EQ(service.active_version(), v1);
+
+  ContinualTrainerOptions opts;
+  opts.data = tiny_data();
+  opts.train.epochs = 3;
+  opts.train.seed = 9;
+  // An untrained incumbent fine-tuned on real measurements improves, but the
+  // gate must hold either way; accept promotion generously here.
+  opts.max_mape_regression = 10.0;
+  opts.min_shadow_spearman = -1.0;
+  ContinualTrainer trainer(registry, service, opts);
+
+  const CycleReport report = trainer.run_cycle();
+  EXPECT_EQ(report.incumbent_version, v1);
+  EXPECT_EQ(report.candidate_version, v1 + 1);
+  EXPECT_GT(report.shadow_requests, 0u);
+  EXPECT_EQ(report.shadow_failures, 0u);
+  ASSERT_TRUE(report.promoted) << report.decision;
+  EXPECT_EQ(registry.active_version(), report.candidate_version);
+  EXPECT_EQ(service.active_version(), report.candidate_version);
+  EXPECT_EQ(registry.manifest(report.candidate_version).parent_version, v1);
+
+  // A second cycle with an impossible gate must reject without touching the
+  // active version or the serving snapshot.
+  ContinualTrainerOptions strict = opts;
+  strict.max_mape_regression = -1.0;  // ceiling below any achievable MAPE
+  ContinualTrainer strict_trainer(registry, service, strict);
+  const CycleReport rejected = strict_trainer.run_cycle();
+  EXPECT_FALSE(rejected.promoted);
+  EXPECT_EQ(registry.active_version(), report.candidate_version);
+  EXPECT_EQ(service.active_version(), report.candidate_version);
+  // The rejected candidate still exists in the registry for post-mortems.
+  EXPECT_EQ(registry.list().back().version, rejected.candidate_version);
+
+  // Rollback restores the original seed version end to end.
+  EXPECT_EQ(trainer.rollback(), v1);
+  EXPECT_EQ(registry.active_version(), v1);
+  EXPECT_EQ(service.active_version(), v1);
+}
+
+}  // namespace
+}  // namespace tcm::registry

@@ -187,7 +187,9 @@ TEST(PredictionService, SingleRequestCompletesViaLatencyFlush) {
   PredictionService service(cost_model, options);
   auto future = service.submit(test_program(), transforms::Schedule{});
   ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
-  EXPECT_GT(future.get(), 0.0);  // exp head keeps predictions positive
+  const Prediction pred = future.get();
+  EXPECT_GT(pred.speedup, 0.0);  // exp head keeps predictions positive
+  EXPECT_EQ(pred.model_version, 0);  // non-owning constructor: unversioned
   const ServeStats stats = service.stats();
   EXPECT_EQ(stats.requests, 1u);
   EXPECT_EQ(stats.batches, 1u);
@@ -201,8 +203,8 @@ TEST(PredictionService, RepeatedPairHitsFeatureCache) {
   const ir::Program p = test_program();
   transforms::Schedule s;
   s.parallels.push_back({0, 0});
-  const double first = service.submit(p, s).get();
-  const double second = service.submit(p, s).get();
+  const double first = service.submit(p, s).get().speedup;
+  const double second = service.submit(p, s).get().speedup;
   EXPECT_EQ(first, second);
   const ServeStats stats = service.stats();
   EXPECT_EQ(stats.cache_misses, 1u);
@@ -232,7 +234,7 @@ TEST(PredictionService, PredictManyMatchesSubmitOrder) {
   const std::vector<double> batched = service.predict_many(p, candidates);
   ASSERT_EQ(batched.size(), candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i)
-    EXPECT_EQ(batched[i], service.submit(p, candidates[i]).get());
+    EXPECT_EQ(batched[i], service.submit(p, candidates[i]).get().speedup);
 }
 
 // The tentpole correctness property: hammering the service from N client
@@ -264,15 +266,7 @@ TEST(PredictionService, HammerMatchesDirectForwardBitwise) {
   for (Case& c : cases) {
     for (const transforms::Schedule& s : c.schedules) {
       auto feats = featurize_or_die(c.program, s);
-      model::Batch single;
-      single.tree = &feats->root;
-      single.targets = nn::Tensor(1, 1);
-      for (const auto& v : feats->comp_vectors) {
-        nn::Tensor input(1, static_cast<int>(v.size()));
-        for (std::size_t j = 0; j < v.size(); ++j)
-          input.at(0, static_cast<int>(j)) = v[j];
-        single.comp_inputs.push_back(std::move(input));
-      }
+      const model::Batch single = model::make_inference_batch({feats.get()});
       const nn::Variable pred = cost_model.forward_batch(single, /*training=*/false, eval_rng);
       c.expected.push_back(static_cast<double>(pred.value().at(0, 0)));
     }
@@ -291,13 +285,13 @@ TEST(PredictionService, HammerMatchesDirectForwardBitwise) {
         // Stagger the case order per client so structures interleave.
         for (std::size_t ci = 0; ci < cases.size(); ++ci) {
           const Case& c = cases[(ci + static_cast<std::size_t>(t)) % cases.size()];
-          std::vector<std::future<double>> futures;
+          std::vector<std::future<Prediction>> futures;
           futures.reserve(c.schedules.size());
           for (const transforms::Schedule& s : c.schedules)
             futures.push_back(service.submit(c.program, s));
           service.flush();
           for (std::size_t i = 0; i < futures.size(); ++i)
-            if (futures[i].get() != c.expected[i]) ++mismatches;
+            if (futures[i].get().speedup != c.expected[i]) ++mismatches;
         }
       }
     });
@@ -316,6 +310,175 @@ TEST(PredictionService, HammerMatchesDirectForwardBitwise) {
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.requests);
   EXPECT_LE(stats.cache_misses, 4u * 32u);
   EXPECT_GE(stats.cache_hits, 4u * 3u * 32u - 4u * 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Hot-swap and shadow mode
+// ---------------------------------------------------------------------------
+
+// Single-row reference prediction, bypassing the service.
+double direct_prediction(model::SpeedupPredictor& m, const model::FeaturizedProgram& feats) {
+  const model::Batch single = model::make_inference_batch({&feats});
+  Rng rng(0);
+  return static_cast<double>(m.forward_batch(single, /*training=*/false, rng).value().at(0, 0));
+}
+
+TEST(PredictionService, SwapModelRoutesNewTrafficToNewModel) {
+  Rng rng_a(7), rng_b(8);
+  auto a = std::make_shared<model::CostModel>(model::ModelConfig::fast(), rng_a);
+  auto b = std::make_shared<model::CostModel>(model::ModelConfig::fast(), rng_b);
+  const ir::Program p = test_program();
+  auto feats = featurize_or_die(p, {});
+  const double expect_a = direct_prediction(*a, *feats);
+  const double expect_b = direct_prediction(*b, *feats);
+  ASSERT_NE(expect_a, expect_b);  // different inits -> distinguishable models
+
+  PredictionService service(a, /*version=*/1, fast_options(1));
+  EXPECT_EQ(service.active_version(), 1);
+  Prediction before = service.submit(feats).get();
+  EXPECT_EQ(before.model_version, 1);
+  EXPECT_EQ(before.speedup, expect_a);
+
+  service.swap_model(b, /*version=*/2);
+  EXPECT_EQ(service.active_version(), 2);
+  Prediction after = service.submit(feats).get();
+  EXPECT_EQ(after.model_version, 2);
+  EXPECT_EQ(after.speedup, expect_b);
+  EXPECT_EQ(service.stats().model_swaps, 1u);
+}
+
+// The tentpole hot-swap property: under concurrent submit() load, swapping
+// models never drops or errors a request, and every response is attributable
+// to exactly one version — its value must bitwise-match the reference
+// prediction of the model its version tag names. A torn swap (batch built
+// with one model, tagged with another) would fail the cross-check.
+TEST(PredictionService, HotSwapUnderLoadNeverMixesModels) {
+  Rng rng_a(7), rng_b(8);
+  auto a = std::make_shared<model::CostModel>(model::ModelConfig::fast(), rng_a);
+  auto b = std::make_shared<model::CostModel>(model::ModelConfig::fast(), rng_b);
+
+  // Mixed-structure request set with per-model reference predictions.
+  struct Case {
+    std::shared_ptr<const model::FeaturizedProgram> feats;
+    double expected_a = 0, expected_b = 0;
+  };
+  datagen::RandomScheduleGenerator sgen;
+  Rng srng(11);
+  std::vector<Case> cases;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const ir::Program p = test_program(seed);
+    for (int i = 0; i < 6; ++i) {
+      Case c;
+      c.feats = featurize_or_die(p, sgen.generate(p, srng));
+      c.expected_a = direct_prediction(*a, *c.feats);
+      c.expected_b = direct_prediction(*b, *c.feats);
+      cases.push_back(std::move(c));
+    }
+  }
+
+  ServeOptions options = fast_options(4);
+  options.max_batch = 8;
+  PredictionService service(a, /*version=*/1, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong_version{0};
+  std::atomic<int> value_version_mismatch{0};
+  std::atomic<int> errors{0};
+  std::atomic<std::uint64_t> completed{0};
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      std::vector<std::future<Prediction>> futures;
+      while (!stop.load(std::memory_order_relaxed)) {
+        futures.clear();
+        for (const Case& c : cases) futures.push_back(service.submit(c.feats));
+        service.flush();
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          try {
+            const Prediction pred = futures[i].get();
+            if (pred.model_version != 1 && pred.model_version != 2) ++wrong_version;
+            const double expected =
+                pred.model_version == 1 ? cases[i].expected_a : cases[i].expected_b;
+            if (pred.speedup != expected) ++value_version_mismatch;
+            ++completed;
+          } catch (...) {
+            ++errors;
+          }
+        }
+      }
+    });
+  }
+
+  // Swap back and forth while the clients hammer the service.
+  int swaps = 0;
+  for (; swaps < 40; ++swaps) {
+    std::this_thread::sleep_for(std::chrono::microseconds(700));
+    if (swaps % 2 == 0)
+      service.swap_model(b, 2);
+    else
+      service.swap_model(a, 1);
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_GT(completed.load(), 0u);
+  EXPECT_EQ(errors.load(), 0);                   // never drops or errors
+  EXPECT_EQ(wrong_version.load(), 0);            // only the two live versions
+  EXPECT_EQ(value_version_mismatch.load(), 0);   // value matches its version tag
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.failed_requests, 0u);
+  EXPECT_EQ(stats.requests, completed.load());
+  EXPECT_EQ(stats.model_swaps, static_cast<std::uint64_t>(swaps));
+}
+
+TEST(PredictionService, ShadowModeRecordsDisagreementWithoutTouchingClients) {
+  Rng rng_a(7), rng_b(8);
+  auto a = std::make_shared<model::CostModel>(model::ModelConfig::fast(), rng_a);
+  auto b = std::make_shared<model::CostModel>(model::ModelConfig::fast(), rng_b);
+
+  const ir::Program p = test_program();
+  datagen::RandomScheduleGenerator sgen;
+  Rng srng(5);
+  std::vector<std::shared_ptr<const model::FeaturizedProgram>> requests;
+  for (int i = 0; i < 16; ++i) requests.push_back(featurize_or_die(p, sgen.generate(p, srng)));
+
+  PredictionService service(a, /*version=*/1, fast_options(2));
+  service.set_shadow(b, /*version=*/2, /*sample_fraction=*/1.0);
+
+  std::vector<std::future<Prediction>> futures;
+  for (const auto& f : requests) futures.push_back(service.submit(f));
+  service.flush();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Prediction pred = futures[i].get();
+    EXPECT_EQ(pred.model_version, 1);  // clients always get the incumbent
+    EXPECT_EQ(pred.speedup, direct_prediction(*a, *requests[i]));
+  }
+
+  service.quiesce();  // shadow scoring runs after the client promises resolve
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.shadow_version, 2);
+  EXPECT_EQ(stats.shadow_requests, requests.size());  // fraction 1.0: all scored
+  EXPECT_EQ(stats.shadow_failures, 0u);
+  EXPECT_GT(stats.shadow_mape, 0.0);  // different models disagree
+  EXPECT_GE(stats.shadow_spearman, -1.0);
+  EXPECT_LE(stats.shadow_spearman, 1.0);
+
+  // A shadow identical to the incumbent shows zero disagreement and perfect
+  // rank agreement (set_shadow resets the stats).
+  service.set_shadow(a, /*version=*/1, 1.0);
+  futures.clear();
+  for (const auto& f : requests) futures.push_back(service.submit(f));
+  service.flush();
+  for (auto& f : futures) f.get();
+  service.quiesce();
+  const ServeStats self = service.stats();
+  EXPECT_EQ(self.shadow_requests, requests.size());
+  EXPECT_EQ(self.shadow_mape, 0.0);
+  EXPECT_EQ(self.shadow_spearman, 1.0);
+
+  service.clear_shadow();
+  EXPECT_EQ(service.stats().shadow_version, 0);
 }
 
 // ModelEvaluator rides on the service and must agree with it exactly.
