@@ -1,11 +1,18 @@
 // Microbenchmarks (google-benchmark): throughput of the pieces that bound
-// the end-to-end pipeline — featurization, model inference, schedule
-// application, machine-model evaluation, and NN training steps.
+// the end-to-end pipeline — featurization, model inference (autograd and
+// tape-free fused paths), schedule application, machine-model evaluation,
+// and NN training steps. Besides the console table, results are written as
+// google-benchmark JSON to BENCH_micro.json so the perf trajectory is
+// trackable across PRs.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
 
 #include "benchsuite/benchmarks.h"
 #include "datagen/dataset_builder.h"
 #include "model/train.h"
+#include "nn/inference.h"
 #include "nn/optim.h"
 #include "sim/machine_model.h"
 #include "transforms/apply.h"
@@ -78,6 +85,53 @@ void BM_CostModelInference(benchmark::State& state) {
 }
 BENCHMARK(BM_CostModelInference)->Arg(1)->Arg(32);
 
+// The tentpole comparison: the autograd forward (tape construction per op)
+// vs the tape-free fused infer_batch on identical batches. The fused
+// benchmark also reports allocs/pred from the arena counter — ~0 once warm.
+model::Dataset inference_dataset(int schedules) {
+  datagen::DatasetBuildOptions opt;
+  opt.num_programs = 1;
+  opt.schedules_per_program = schedules;
+  opt.features = model::FeatureConfig::fast();
+  return datagen::build_dataset(opt);
+}
+
+void BM_CostModelForwardAutograd(benchmark::State& state) {
+  const model::Dataset ds = inference_dataset(static_cast<int>(state.range(0)));
+  const auto batches = model::make_batches(ds, 64);
+  Rng rng(1);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+  Rng frng(0);
+  for (auto _ : state)
+    for (const model::Batch& b : batches)
+      benchmark::DoNotOptimize(m.forward_batch(b, /*training=*/false, frng));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CostModelForwardAutograd)->Arg(1)->Arg(32);
+
+void BM_CostModelInferBatch(benchmark::State& state) {
+  const model::Dataset ds = inference_dataset(static_cast<int>(state.range(0)));
+  const auto batches = model::make_batches(ds, 64);
+  Rng rng(1);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+  nn::InferenceArena arena;
+  for (const model::Batch& b : batches) m.infer_batch(b, arena);  // warm the arena
+  const std::uint64_t allocs_before = arena.heap_allocations();
+  std::int64_t preds = 0;
+  for (auto _ : state) {
+    for (const model::Batch& b : batches) {
+      benchmark::DoNotOptimize(&m.infer_batch(b, arena));
+      preds += b.batch_size();
+    }
+  }
+  state.counters["allocs_per_pred"] =
+      preds > 0 ? static_cast<double>(arena.heap_allocations() - allocs_before) /
+                      static_cast<double>(preds)
+                : 0.0;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CostModelInferBatch)->Arg(1)->Arg(32);
+
 void BM_TrainingStep(benchmark::State& state) {
   datagen::DatasetBuildOptions opt;
   opt.num_programs = 2;
@@ -114,4 +168,29 @@ BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): defaults --benchmark_out to
+// BENCH_micro.json (JSON format) so every run leaves a machine-readable
+// report for cross-PR tracking; explicit --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // Exact flag only: "--benchmark_out_format" alone must not suppress the
+    // default report path.
+    if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!has_out) std::cout << "wrote BENCH_micro.json\n";
+  benchmark::Shutdown();
+  return 0;
+}

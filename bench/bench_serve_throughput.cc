@@ -1,15 +1,20 @@
 // Serving throughput: requests/sec of serve::PredictionService as a function
 // of worker-thread count and dynamic-batching cap, on a mixed-structure
 // request stream (several programs interleaved, many schedules each — the
-// shape of traffic a search produces).
+// shape of traffic a search produces). Also measures the tape-free fused
+// inference engine against the legacy autograd forward path at a single
+// worker, which is the per-core speedup the search loop sees.
 //
 // Flags:
 //   --requests N   total requests per configuration (default 3000)
 //   --clients N    closed-loop client threads (default 8)
 //   --csv PATH     also write the table as CSV
+//   --json PATH    machine-readable results (default BENCH_serve_throughput.json;
+//                  empty string disables)
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <string>
@@ -50,18 +55,29 @@ Workload make_workload(int num_programs, int schedules_per_program) {
 }
 
 struct RunResult {
+  int workers = 0;
+  int max_batch = 0;
+  bool fused = true;
   double requests_per_sec = 0;
   serve::ServeStats stats;
+
+  double allocs_per_pred() const {
+    return stats.requests > 0 ? static_cast<double>(stats.arena_heap_allocs) /
+                                    static_cast<double>(stats.requests)
+                              : 0.0;
+  }
 };
 
 RunResult run_configuration(model::SpeedupPredictor& predictor, const Workload& workload,
-                            int workers, int max_batch, int total_requests, int num_clients) {
+                            int workers, int max_batch, int total_requests, int num_clients,
+                            bool fused) {
   serve::ServeOptions options;
   options.num_threads = workers;
   options.max_batch = max_batch;
   options.max_queue_latency = std::chrono::microseconds(500);
   options.cache_capacity = 4096;
   options.features = model::FeatureConfig::fast();
+  options.use_fused_inference = fused;
   serve::PredictionService service(predictor, options);
 
   std::atomic<std::size_t> next{0};
@@ -90,9 +106,41 @@ RunResult run_configuration(model::SpeedupPredictor& predictor, const Workload& 
   const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   RunResult r;
+  r.workers = workers;
+  r.max_batch = max_batch;
+  r.fused = fused;
   r.requests_per_sec = static_cast<double>(total_requests) / seconds;
   r.stats = service.stats();
   return r;
+}
+
+void write_json(const std::string& path, const std::vector<RunResult>& results,
+                double fused_speedup, int total_requests, int num_clients) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"serve_throughput\",\n";
+  out << "  \"requests_per_config\": " << total_requests << ",\n";
+  out << "  \"client_threads\": " << num_clients << ",\n";
+  out << "  \"fused_speedup_single_thread\": " << fused_speedup << ",\n";
+  out << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    out << "    {\"workers\": " << r.workers << ", \"max_batch\": " << r.max_batch
+        << ", \"fused\": " << (r.fused ? "true" : "false")
+        << ", \"requests_per_sec\": " << r.requests_per_sec
+        << ", \"p50_latency_s\": " << r.stats.p50_latency
+        << ", \"p99_latency_s\": " << r.stats.p99_latency
+        << ", \"mean_batch_occupancy\": " << r.stats.mean_batch_occupancy
+        << ", \"arena_heap_allocs\": " << r.stats.arena_heap_allocs
+        << ", \"allocs_per_pred\": " << r.allocs_per_pred() << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace
@@ -101,11 +149,13 @@ int main(int argc, char** argv) {
   int total_requests = 3000;
   int num_clients = 8;
   std::string csv_path;
+  std::string json_path = "BENCH_serve_throughput.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--requests" && i + 1 < argc) total_requests = std::atoi(argv[++i]);
     else if (arg == "--clients" && i + 1 < argc) num_clients = std::atoi(argv[++i]);
     else if (arg == "--csv" && i + 1 < argc) csv_path = argv[++i];
+    else if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
   }
   total_requests = std::max(total_requests, 1);
   num_clients = std::max(num_clients, 1);
@@ -121,29 +171,40 @@ int main(int argc, char** argv) {
   struct Config {
     int workers;
     int max_batch;
+    bool fused;
   };
+  // The two single-worker batch-64 rows are the tentpole comparison: the
+  // autograd tape vs the tape-free fused engine on one core.
   const std::vector<Config> configs = {
-      {1, 1}, {1, 8}, {1, 64}, {2, 64}, {4, 1}, {4, 8}, {4, 64},
+      {1, 1, true}, {1, 8, true}, {1, 64, false}, {1, 64, true},
+      {2, 64, true}, {4, 1, true}, {4, 8, true}, {4, 64, true},
   };
 
   // Warm-up: fault in code paths and the allocator before timing. (Each
   // configuration constructs its own service and therefore its own feature
   // cache, so all configurations start equally cache-cold.)
-  run_configuration(cost_model, workload, 1, 64, static_cast<int>(workload.size()), 2);
+  run_configuration(cost_model, workload, 1, 64, static_cast<int>(workload.size()), 2, true);
 
-  Table table({"workers", "batch cap", "req/s", "speedup", "occupancy", "cache hit %",
-               "p50 ms", "p99 ms"});
+  Table table({"workers", "batch cap", "engine", "req/s", "speedup", "occupancy",
+               "cache hit %", "allocs/pred", "p50 ms", "p99 ms"});
   double baseline = 0;
-  double one_worker_64 = 0, four_worker_64 = 0;
+  double one_worker_64_fused = 0, one_worker_64_autograd = 0, four_worker_64 = 0;
+  std::vector<RunResult> results;
   for (const Config& cfg : configs) {
     const RunResult r = run_configuration(cost_model, workload, cfg.workers, cfg.max_batch,
-                                          total_requests, num_clients);
+                                          total_requests, num_clients, cfg.fused);
+    results.push_back(r);
     if (baseline == 0) baseline = r.requests_per_sec;
-    if (cfg.max_batch == 64 && cfg.workers == 1) one_worker_64 = r.requests_per_sec;
-    if (cfg.max_batch == 64 && cfg.workers == 4) four_worker_64 = r.requests_per_sec;
+    if (cfg.max_batch == 64 && cfg.workers == 1 && cfg.fused)
+      one_worker_64_fused = r.requests_per_sec;
+    if (cfg.max_batch == 64 && cfg.workers == 1 && !cfg.fused)
+      one_worker_64_autograd = r.requests_per_sec;
+    if (cfg.max_batch == 64 && cfg.workers == 4 && cfg.fused)
+      four_worker_64 = r.requests_per_sec;
     const double hit_total =
         static_cast<double>(r.stats.cache_hits + r.stats.cache_misses);
     table.add_row({std::to_string(cfg.workers), std::to_string(cfg.max_batch),
+                   cfg.fused ? "fused" : "autograd",
                    Table::fmt(r.requests_per_sec, 0),
                    Table::fmt(r.requests_per_sec / baseline, 2) + "x",
                    Table::fmt(r.stats.mean_batch_occupancy, 1),
@@ -151,15 +212,24 @@ int main(int argc, char** argv) {
                                                   hit_total
                                             : 0.0,
                               1),
+                   Table::fmt(r.allocs_per_pred(), 3),
                    Table::fmt(1e3 * r.stats.p50_latency, 2),
                    Table::fmt(1e3 * r.stats.p99_latency, 2)});
   }
   std::cout << table.to_string() << "\n";
-  if (one_worker_64 > 0 && four_worker_64 > 0)
+  double fused_speedup = 0;
+  if (one_worker_64_fused > 0 && one_worker_64_autograd > 0) {
+    fused_speedup = one_worker_64_fused / one_worker_64_autograd;
+    std::cout << "speedup autograd -> fused inference (1 worker, batch cap 64): "
+              << Table::fmt(fused_speedup, 2) << "x\n";
+  }
+  if (one_worker_64_fused > 0 && four_worker_64 > 0)
     std::cout << "speedup 1 -> 4 workers at batch cap 64: "
-              << Table::fmt(four_worker_64 / one_worker_64, 2) << "x\n";
+              << Table::fmt(four_worker_64 / one_worker_64_fused, 2) << "x\n";
   std::cout << "speedup unbatched -> dynamic batching (1 worker): "
-            << Table::fmt(one_worker_64 / baseline, 2) << "x\n";
+            << Table::fmt(one_worker_64_fused / baseline, 2) << "x\n";
   if (!csv_path.empty()) table.write_csv(csv_path);
+  if (!json_path.empty())
+    write_json(json_path, results, fused_speedup, total_requests, num_clients);
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "model/cost_model.h"
 
+#include <algorithm>
 #include <functional>
 #include <stdexcept>
 
@@ -18,12 +19,30 @@ std::vector<int> concat_sizes(int in, const std::vector<int>& hidden, int out) {
 
 std::vector<int> comps_in_tree_order(const LoopTreeNode& root) {
   std::vector<int> order;
-  std::function<void(const LoopTreeNode&)> walk = [&](const LoopTreeNode& n) {
-    for (int c : n.comps) order.push_back(c);
-    for (const LoopTreeNode& child : n.children) walk(child);
-  };
-  walk(root);
+  append_comps_in_tree_order(root, order);
   return order;
+}
+
+void append_comps_in_tree_order(const LoopTreeNode& root, std::vector<int>& order) {
+  for (int c : root.comps) order.push_back(c);
+  for (const LoopTreeNode& child : root.children) append_comps_in_tree_order(child, order);
+}
+
+// ---------------------------------------------------------------------------
+// SpeedupPredictor: default tape-free fallback
+// ---------------------------------------------------------------------------
+
+const nn::Tensor& SpeedupPredictor::infer_batch(const Batch& batch, nn::InferenceArena& arena) {
+  // Compatibility path for predictors without a fused implementation: run
+  // the autograd forward (inference draws nothing from the Rng) and copy the
+  // result into the arena so the lifetime contract matches the fast path.
+  Rng rng(0);
+  const nn::Variable pred = forward_batch(batch, /*training=*/false, rng);
+  arena.reset();
+  nn::Tensor& out = arena.alloc(pred.rows(), pred.cols());
+  const nn::Tensor& value = pred.value();
+  std::copy(value.data(), value.data() + value.size(), out.data());
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -78,6 +97,67 @@ nn::Variable CostModel::forward_batch(const Batch& batch, bool training, Rng& rn
                          config_.exp_head_limit);
 }
 
+struct CostModel::Plan {
+  nn::PackedMLP comp_embed, merge, regression;
+  nn::PackedLSTMCell comps_lstm, loops_lstm;
+};
+
+const nn::Tensor& CostModel::infer_node(const LoopTreeNode& node,
+                                        const std::vector<const nn::Tensor*>& comp_embeds,
+                                        int batch, const Plan& plan,
+                                        nn::InferenceArena& arena) const {
+  const int e = config_.embed_size;
+  // First LSTM: computations nested directly at this level, in order.
+  nn::Tensor& comp_h = arena.alloc(batch, e);
+  nn::Tensor& comp_c = arena.alloc(batch, e);
+  comp_h.fill(0.0f);
+  comp_c.fill(0.0f);
+  for (int ci : node.comps)
+    plan.comps_lstm.step(*comp_embeds[static_cast<std::size_t>(ci)], comp_h, comp_c, arena);
+
+  // Second LSTM: child loop embeddings, in order.
+  nn::Tensor& loop_h = arena.alloc(batch, e);
+  nn::Tensor& loop_c = arena.alloc(batch, e);
+  loop_h.fill(0.0f);
+  loop_c.fill(0.0f);
+  for (const LoopTreeNode& child : node.children) {
+    const nn::Tensor& child_embed = infer_node(child, comp_embeds, batch, plan, arena);
+    plan.loops_lstm.step(child_embed, loop_h, loop_c, arena);
+  }
+
+  nn::Tensor& merged_in = arena.alloc(batch, 2 * e);
+  for (int r = 0; r < batch; ++r) {
+    float* dst = merged_in.data() + static_cast<std::size_t>(r) * 2 * e;
+    std::copy(comp_h.data() + static_cast<std::size_t>(r) * e,
+              comp_h.data() + static_cast<std::size_t>(r + 1) * e, dst);
+    std::copy(loop_h.data() + static_cast<std::size_t>(r) * e,
+              loop_h.data() + static_cast<std::size_t>(r + 1) * e, dst + e);
+  }
+  return plan.merge.forward(merged_in, arena);
+}
+
+const nn::Tensor& CostModel::infer_batch(const Batch& batch, nn::InferenceArena& arena) {
+  if (!batch.tree) throw std::invalid_argument("CostModel: batch without tree");
+  const Plan& plan = plan_.get([this] {
+    Plan p;
+    p.comp_embed = nn::PackedMLP::pack(*comp_embedding_);
+    p.merge = nn::PackedMLP::pack(*merge_);
+    p.regression = nn::PackedMLP::pack(*regression_);
+    p.comps_lstm = nn::PackedLSTMCell::pack(*comps_lstm_);
+    p.loops_lstm = nn::PackedLSTMCell::pack(*loops_lstm_);
+    return p;
+  });
+  arena.reset();
+  std::vector<const nn::Tensor*>& comp_embeds = arena.ptr_scratch();
+  for (const nn::Tensor& x : batch.comp_inputs)
+    comp_embeds.push_back(&plan.comp_embed.forward(x, arena));
+  const nn::Tensor& program_embedding =
+      infer_node(*batch.tree, comp_embeds, batch.batch_size(), plan, arena);
+  nn::Tensor& out = plan.regression.forward(program_embedding, arena);
+  nn::exp_bounded_inplace(out, config_.exp_head_limit);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // LstmOnlyModel
 // ---------------------------------------------------------------------------
@@ -105,6 +185,39 @@ nn::Variable LstmOnlyModel::forward_batch(const Batch& batch, bool training, Rng
     state = lstm_->forward(embed, state);
   }
   return nn::exp_bounded(regression_->forward(state.h, training, rng), config_.exp_head_limit);
+}
+
+struct LstmOnlyModel::Plan {
+  nn::PackedMLP comp_embed, regression;
+  nn::PackedLSTMCell lstm;
+};
+
+const nn::Tensor& LstmOnlyModel::infer_batch(const Batch& batch, nn::InferenceArena& arena) {
+  if (!batch.tree) throw std::invalid_argument("LstmOnlyModel: batch without tree");
+  const Plan& plan = plan_.get([this] {
+    Plan p;
+    p.comp_embed = nn::PackedMLP::pack(*comp_embedding_);
+    p.regression = nn::PackedMLP::pack(*regression_);
+    p.lstm = nn::PackedLSTMCell::pack(*lstm_);
+    return p;
+  });
+  arena.reset();
+  const int b = batch.batch_size();
+  const int e = config_.embed_size;
+  std::vector<int>& order = arena.index_scratch();
+  append_comps_in_tree_order(*batch.tree, order);
+  nn::Tensor& h = arena.alloc(b, e);
+  nn::Tensor& c = arena.alloc(b, e);
+  h.fill(0.0f);
+  c.fill(0.0f);
+  for (int ci : order) {
+    const nn::Tensor& embed =
+        plan.comp_embed.forward(batch.comp_inputs[static_cast<std::size_t>(ci)], arena);
+    plan.lstm.step(embed, h, c, arena);
+  }
+  nn::Tensor& out = plan.regression.forward(h, arena);
+  nn::exp_bounded_inplace(out, config_.exp_head_limit);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -143,6 +256,45 @@ nn::Variable FeedForwardModel::forward_batch(const Batch& batch, bool training, 
     concat = concat.defined() ? nn::concat_cols(concat, pad) : pad;
   }
   return nn::exp_bounded(regression_->forward(concat, training, rng), config_.exp_head_limit);
+}
+
+struct FeedForwardModel::Plan {
+  nn::PackedMLP comp_embed, regression;
+};
+
+const nn::Tensor& FeedForwardModel::infer_batch(const Batch& batch, nn::InferenceArena& arena) {
+  if (!batch.tree) throw std::invalid_argument("FeedForwardModel: batch without tree");
+  if (batch.num_comps() > config_.ff_max_comps)
+    throw std::invalid_argument("FeedForwardModel: program has " +
+                                std::to_string(batch.num_comps()) + " computations, supports <= " +
+                                std::to_string(config_.ff_max_comps));
+  const Plan& plan = plan_.get([this] {
+    Plan p;
+    p.comp_embed = nn::PackedMLP::pack(*comp_embedding_);
+    p.regression = nn::PackedMLP::pack(*regression_);
+    return p;
+  });
+  arena.reset();
+  const int b = batch.batch_size();
+  const int e = config_.embed_size;
+  std::vector<int>& order = arena.index_scratch();
+  append_comps_in_tree_order(*batch.tree, order);
+  // Concatenated comp embeddings, zero-padded to the fixed capacity.
+  nn::Tensor& concat = arena.alloc(b, e * config_.ff_max_comps);
+  concat.fill(0.0f);
+  int col = 0;
+  for (int ci : order) {
+    const nn::Tensor& embed =
+        plan.comp_embed.forward(batch.comp_inputs[static_cast<std::size_t>(ci)], arena);
+    for (int r = 0; r < b; ++r)
+      std::copy(embed.data() + static_cast<std::size_t>(r) * e,
+                embed.data() + static_cast<std::size_t>(r + 1) * e,
+                concat.data() + static_cast<std::size_t>(r) * concat.cols() + col);
+    col += e;
+  }
+  nn::Tensor& out = plan.regression.forward(concat, arena);
+  nn::exp_bounded_inplace(out, config_.exp_head_limit);
+  return out;
 }
 
 }  // namespace tcm::model

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "model/dataset.h"
+#include "nn/inference.h"
 #include "nn/modules.h"
 #include "nn/ops.h"
 
@@ -73,6 +74,28 @@ class SpeedupPredictor {
   // stream across threads. Concurrent calls during training (parameter
   // updates in flight) are undefined.
   virtual nn::Variable forward_batch(const Batch& batch, bool training, Rng& rng) = 0;
+
+  // Tape-free inference fast path: predictions [B, 1] without constructing
+  // any autograd graph. The base implementation falls back to forward_batch
+  // (correct but slow); the three architectures override it with fused,
+  // allocation-free walks. The returned reference points into `arena` and is
+  // valid until the arena's next alloc()/reset() — the call itself resets
+  // the arena first, so back-to-back calls on one arena just reuse buffers.
+  //
+  // Thread-safety: same as forward_batch(training=false) provided every
+  // thread passes its own arena. The first call may lazily build a
+  // packed-weight plan; that build is internally synchronized. Numerically,
+  // infer_batch computes each batch row independently (batch-composition
+  // invariant) but is NOT bitwise-identical to the autograd path: the packed
+  // LSTM sums gate pre-activations in a different order. Parity is within
+  // 1e-5 relative error (asserted by inference_test).
+  virtual const nn::Tensor& infer_batch(const Batch& batch, nn::InferenceArena& arena);
+
+  // Drops any cached packed-weight plan. Call after mutating parameters
+  // (an optimizer step, load_parameters) and before the next infer_batch;
+  // must not run concurrently with infer_batch.
+  virtual void invalidate_inference() {}
+
   virtual nn::Module& module() = 0;
   virtual std::string name() const = 0;
 };
@@ -82,15 +105,22 @@ class CostModel final : public nn::Module, public SpeedupPredictor {
   CostModel(const ModelConfig& config, Rng& rng);
 
   nn::Variable forward_batch(const Batch& batch, bool training, Rng& rng) override;
+  const nn::Tensor& infer_batch(const Batch& batch, nn::InferenceArena& arena) override;
+  void invalidate_inference() override { plan_.invalidate(); }
   nn::Module& module() override { return *this; }
   std::string name() const override { return "recursive-lstm"; }
 
   const ModelConfig& config() const { return config_; }
 
  private:
+  struct Plan;
+
   nn::Variable embed_node(const LoopTreeNode& node,
                           const std::vector<nn::Variable>& comp_embeds, int batch,
                           bool training, Rng& rng) const;
+  const nn::Tensor& infer_node(const LoopTreeNode& node,
+                               const std::vector<const nn::Tensor*>& comp_embeds, int batch,
+                               const Plan& plan, nn::InferenceArena& arena) const;
 
   ModelConfig config_;
   std::unique_ptr<nn::MLP> comp_embedding_;
@@ -98,6 +128,7 @@ class CostModel final : public nn::Module, public SpeedupPredictor {
   std::unique_ptr<nn::LSTMCell> loops_lstm_;
   std::unique_ptr<nn::MLP> merge_;
   std::unique_ptr<nn::MLP> regression_;
+  nn::PlanCache<Plan> plan_;
 };
 
 class LstmOnlyModel final : public nn::Module, public SpeedupPredictor {
@@ -105,14 +136,19 @@ class LstmOnlyModel final : public nn::Module, public SpeedupPredictor {
   LstmOnlyModel(const ModelConfig& config, Rng& rng);
 
   nn::Variable forward_batch(const Batch& batch, bool training, Rng& rng) override;
+  const nn::Tensor& infer_batch(const Batch& batch, nn::InferenceArena& arena) override;
+  void invalidate_inference() override { plan_.invalidate(); }
   nn::Module& module() override { return *this; }
   std::string name() const override { return "lstm-only"; }
 
  private:
+  struct Plan;
+
   ModelConfig config_;
   std::unique_ptr<nn::MLP> comp_embedding_;
   std::unique_ptr<nn::LSTMCell> lstm_;
   std::unique_ptr<nn::MLP> regression_;
+  nn::PlanCache<Plan> plan_;
 };
 
 class FeedForwardModel final : public nn::Module, public SpeedupPredictor {
@@ -122,16 +158,23 @@ class FeedForwardModel final : public nn::Module, public SpeedupPredictor {
   // Throws std::invalid_argument when the batch has more computations than
   // ff_max_comps (the architecture's documented limitation).
   nn::Variable forward_batch(const Batch& batch, bool training, Rng& rng) override;
+  const nn::Tensor& infer_batch(const Batch& batch, nn::InferenceArena& arena) override;
+  void invalidate_inference() override { plan_.invalidate(); }
   nn::Module& module() override { return *this; }
   std::string name() const override { return "feedforward-only"; }
 
  private:
+  struct Plan;
+
   ModelConfig config_;
   std::unique_ptr<nn::MLP> comp_embedding_;
   std::unique_ptr<nn::MLP> regression_;
+  nn::PlanCache<Plan> plan_;
 };
 
 // Execution order of computations: a pre-order walk of the tree.
 std::vector<int> comps_in_tree_order(const LoopTreeNode& root);
+// Allocation-friendly variant: appends into a caller-owned (reusable) vector.
+void append_comps_in_tree_order(const LoopTreeNode& root, std::vector<int>& order);
 
 }  // namespace tcm::model

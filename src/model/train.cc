@@ -61,12 +61,17 @@ TrainResult train_model(SpeedupPredictor& model, const Dataset& train, const Dat
 std::vector<double> predict(SpeedupPredictor& model, const Dataset& ds, int batch_size) {
   std::vector<double> out(ds.points.size(), 0.0);
   if (ds.points.empty()) return out;
-  Rng rng(0);  // dropout disabled in eval; rng unused but required by API
+  // Tape-free fast path. Parameters may have changed since the last call
+  // (this runs between training epochs for validation MAPE), so drop any
+  // stale packed plan first — repacking is two small matrix copies, noise
+  // against a full evaluation pass.
+  model.invalidate_inference();
+  nn::InferenceArena arena;
   for (const Batch& batch : make_batches(ds, batch_size)) {
-    const nn::Variable pred = model.forward_batch(batch, /*training=*/false, rng);
+    const nn::Tensor& pred = model.infer_batch(batch, arena);
     for (int r = 0; r < pred.rows(); ++r)
       out[batch.point_indices[static_cast<std::size_t>(r)]] =
-          static_cast<double>(pred.value().at(r, 0));
+          static_cast<double>(pred.at(r, 0));
   }
   return out;
 }

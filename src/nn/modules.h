@@ -59,6 +59,10 @@ class Linear : public Module {
   int in_features() const { return in_; }
   int out_features() const { return out_; }
 
+  // Parameter views for the tape-free inference engine (nn/inference.h).
+  const Tensor& weight() const { return w_->var.value(); }
+  const Tensor& bias() const { return b_->var.value(); }
+
  private:
   int in_, out_;
   Parameter* w_;
@@ -77,6 +81,10 @@ class MLP : public Module {
 
   int in_features() const;
   int out_features() const;
+
+  // Structure views for the tape-free inference engine (nn/inference.h).
+  const std::vector<std::unique_ptr<Linear>>& layers() const { return layers_; }
+  bool activates_last() const { return activate_last_; }
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
@@ -101,6 +109,11 @@ class LSTMCell : public Module {
 
   int input_size() const { return input_size_; }
   int hidden_size() const { return hidden_size_; }
+
+  // Parameter views for the tape-free inference engine (nn/inference.h).
+  const Tensor& weight_ih() const { return w_ih_->var.value(); }
+  const Tensor& weight_hh() const { return w_hh_->var.value(); }
+  const Tensor& bias() const { return b_->var.value(); }
 
  private:
   int input_size_, hidden_size_;

@@ -13,23 +13,33 @@ void check_same_shape(const Variable& a, const Variable& b, const char* op) {
 }
 
 // Elementwise unary op helper: forward f, backward df (as function of input
-// value x and output value y).
+// value x and output value y). The backward closure reads the saved output
+// through a weak_ptr to the op's own node — weak, because a shared_ptr would
+// form a node -> backward_fn -> node ownership cycle — instead of keeping a
+// full tensor copy alive per op; during backward() the node is reachable
+// from the root and therefore lockable.
 template <typename F, typename DF>
 Variable unary(const Variable& a, F f, DF df) {
   Tensor out(a.rows(), a.cols());
   const Tensor& x = a.value();
   for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = f(x.data()[i]);
-  Tensor saved_out = out;  // copy for the backward closure
-  auto an = a.node();
-  return Variable::op_result(
-      std::move(out), {a}, [an, saved_out, df](const Tensor& g) {
-        if (!an->requires_grad) return;
-        Tensor gx(g.rows(), g.cols());
-        const Tensor& x = an->value;
-        for (std::size_t i = 0; i < gx.size(); ++i)
-          gx.data()[i] = g.data()[i] * df(x.data()[i], saved_out.data()[i]);
-        an->accumulate(gx);
-      });
+  Variable result = Variable::op_result(std::move(out), {a}, {});
+  if (result.requires_grad()) {
+    auto an = a.node();
+    std::weak_ptr<VarNode> self = result.node();
+    result.node()->backward_fn = [an, self, df](const Tensor& g) {
+      if (!an->requires_grad) return;
+      const std::shared_ptr<VarNode> out_node = self.lock();
+      if (!out_node) throw std::logic_error("unary backward: output node expired");
+      const Tensor& y = out_node->value;
+      Tensor gx(g.rows(), g.cols());
+      const Tensor& x = an->value;
+      for (std::size_t i = 0; i < gx.size(); ++i)
+        gx.data()[i] = g.data()[i] * df(x.data()[i], y.data()[i]);
+      an->accumulate(gx);
+    };
+  }
+  return result;
 }
 
 }  // namespace
@@ -189,13 +199,17 @@ Variable log_op(const Variable& a) {
 Variable dropout(const Variable& a, float p, bool training, Rng& rng) {
   if (p < 0.0f || p >= 1.0f) throw std::invalid_argument("dropout: p must be in [0,1)");
   if (!training || p == 0.0f) return a;
+  // Single fused pass: draw the mask and apply it in one sweep (the mask is
+  // kept for the backward closure).
   Tensor mask(a.rows(), a.cols());
-  const float keep_scale = 1.0f / (1.0f - p);
-  for (std::size_t i = 0; i < mask.size(); ++i)
-    mask.data()[i] = rng.bernoulli(p) ? 0.0f : keep_scale;
   Tensor out(a.rows(), a.cols());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out.data()[i] = a.value().data()[i] * mask.data()[i];
+  const float keep_scale = 1.0f / (1.0f - p);
+  const Tensor& x = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float m = rng.bernoulli(p) ? 0.0f : keep_scale;
+    mask.data()[i] = m;
+    out.data()[i] = x.data()[i] * m;
+  }
   auto an = a.node();
   return Variable::op_result(std::move(out), {a}, [an, mask](const Tensor& g) {
     if (!an->requires_grad) return;

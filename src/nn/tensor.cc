@@ -30,6 +30,13 @@ float Tensor::item() const {
   return data_[0];
 }
 
+void Tensor::resize(int rows, int cols) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor::resize: negative shape");
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+}
+
 void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 void Tensor::add_(const Tensor& o) {
@@ -63,18 +70,46 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
   const int m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out(m, n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict po = out.data();
   const std::size_t flops = static_cast<std::size_t>(m) * k * n;
+  // i-k-j with 4-row register blocking: the inner j loop is a branch-free
+  // multi-axpy the compiler can keep in vector registers, and each loaded b
+  // row feeds four output rows. The per-element accumulation order over k is
+  // the plain i-k-j order for every row, so results do not depend on m
+  // (batch-composition invariance, relied on by the serving tests).
 #pragma omp parallel for schedule(static) if (flops > kParallelFlops)
-  for (int i = 0; i < m; ++i) {
-    float* orow = po + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = pa[static_cast<std::size_t>(i) * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+  for (int i0 = 0; i0 < m; i0 += 4) {
+    if (i0 + 4 <= m) {
+      const std::size_t r = static_cast<std::size_t>(i0);
+      float* __restrict o0 = po + r * n;
+      float* __restrict o1 = o0 + n;
+      float* __restrict o2 = o1 + n;
+      float* __restrict o3 = o2 + n;
+      for (int kk = 0; kk < k; ++kk) {
+        const float* __restrict brow = pb + static_cast<std::size_t>(kk) * n;
+        const float a0 = pa[r * k + kk];
+        const float a1 = pa[(r + 1) * k + kk];
+        const float a2 = pa[(r + 2) * k + kk];
+        const float a3 = pa[(r + 3) * k + kk];
+        for (int j = 0; j < n; ++j) {
+          const float bv = brow[j];
+          o0[j] += a0 * bv;
+          o1[j] += a1 * bv;
+          o2[j] += a2 * bv;
+          o3[j] += a3 * bv;
+        }
+      }
+    } else {
+      for (int i = i0; i < m; ++i) {
+        float* __restrict orow = po + static_cast<std::size_t>(i) * n;
+        for (int kk = 0; kk < k; ++kk) {
+          const float av = pa[static_cast<std::size_t>(i) * k + kk];
+          const float* __restrict brow = pb + static_cast<std::size_t>(kk) * n;
+          for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
   }
   return out;
@@ -84,16 +119,16 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: inner dim mismatch");
   const int m = a.rows(), k = a.cols(), n = b.rows();
   Tensor out(m, n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict po = out.data();
   const std::size_t flops = static_cast<std::size_t>(m) * k * n;
 #pragma omp parallel for schedule(static) if (flops > kParallelFlops)
   for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    float* orow = po + static_cast<std::size_t>(i) * n;
+    const float* __restrict arow = pa + static_cast<std::size_t>(i) * k;
+    float* __restrict orow = po + static_cast<std::size_t>(i) * n;
     for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<std::size_t>(j) * k;
+      const float* __restrict brow = pb + static_cast<std::size_t>(j) * k;
       float acc = 0.0f;
       for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
       orow[j] = acc;
@@ -106,18 +141,41 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: inner dim mismatch");
   const int m = a.cols(), k = a.rows(), n = b.cols();
   Tensor out(m, n);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
+  const float* __restrict pa = a.data();
+  const float* __restrict pb = b.data();
+  float* __restrict po = out.data();
   const std::size_t flops = static_cast<std::size_t>(m) * k * n;
+  // Same 4-row register blocking as matmul; the four a loads per k step are
+  // contiguous here (a is walked transposed).
 #pragma omp parallel for schedule(static) if (flops > kParallelFlops)
-  for (int i = 0; i < m; ++i) {
-    float* orow = po + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = pa[static_cast<std::size_t>(kk) * m + i];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+  for (int i0 = 0; i0 < m; i0 += 4) {
+    if (i0 + 4 <= m) {
+      const std::size_t r = static_cast<std::size_t>(i0);
+      float* __restrict o0 = po + r * n;
+      float* __restrict o1 = o0 + n;
+      float* __restrict o2 = o1 + n;
+      float* __restrict o3 = o2 + n;
+      for (int kk = 0; kk < k; ++kk) {
+        const float* __restrict acol = pa + static_cast<std::size_t>(kk) * m + r;
+        const float* __restrict brow = pb + static_cast<std::size_t>(kk) * n;
+        const float a0 = acol[0], a1 = acol[1], a2 = acol[2], a3 = acol[3];
+        for (int j = 0; j < n; ++j) {
+          const float bv = brow[j];
+          o0[j] += a0 * bv;
+          o1[j] += a1 * bv;
+          o2[j] += a2 * bv;
+          o3[j] += a3 * bv;
+        }
+      }
+    } else {
+      for (int i = i0; i < m; ++i) {
+        float* __restrict orow = po + static_cast<std::size_t>(i) * n;
+        for (int kk = 0; kk < k; ++kk) {
+          const float av = pa[static_cast<std::size_t>(kk) * m + i];
+          const float* __restrict brow = pb + static_cast<std::size_t>(kk) * n;
+          for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
   }
   return out;

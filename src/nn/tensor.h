@@ -35,6 +35,15 @@ class Tensor {
   std::span<float> span() { return data_; }
   std::span<const float> span() const { return data_; }
 
+  // Reshapes in place to [rows, cols] without shrinking the underlying
+  // storage: same-size or smaller reshapes never touch the heap, which is
+  // what lets InferenceArena reuse one buffer across differently-shaped
+  // forward passes. Element values are unspecified afterwards (newly grown
+  // elements are zero, surviving ones keep stale data) — callers overwrite.
+  void resize(int rows, int cols);
+  // Allocated capacity of the underlying storage, in elements.
+  std::size_t capacity() const { return data_.capacity(); }
+
   // Value of a [1,1] tensor.
   float item() const;
 

@@ -28,6 +28,9 @@ PredictionService::PredictionService(std::shared_ptr<model::SpeedupPredictor> pr
     throw std::invalid_argument("PredictionService: need at least one worker thread");
   model_ = std::make_shared<const ModelSnapshot>(ModelSnapshot{std::move(predictor), version});
   latencies_.reserve(kLatencyWindow);
+  worker_states_.reserve(static_cast<std::size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i)
+    worker_states_.push_back(std::make_unique<WorkerState>());
   workers_.reserve(static_cast<std::size_t>(options.num_threads));
   for (int i = 0; i < options.num_threads; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -131,17 +134,42 @@ std::vector<double> PredictionService::predict_many(
 }
 
 void PredictionService::worker_loop(int worker_index) {
-  (void)worker_index;
+  WorkerState& ws = *worker_states_[static_cast<std::size_t>(worker_index)];
   for (;;) {
     std::vector<PendingRequest> batch = batcher_.next_batch();
     if (batch.empty()) return;  // closed and drained
     const std::size_t batch_size = batch.size();
-    run_batch(std::move(batch));
+    run_batch(std::move(batch), ws);
     batcher_.batch_done(batch_size);
   }
 }
 
-void PredictionService::run_batch(std::vector<PendingRequest> batch) {
+void PredictionService::score_batch(model::SpeedupPredictor& predictor,
+                                    const model::Batch& model_batch, std::uint64_t batch_index,
+                                    WorkerState& ws) {
+  const int b = model_batch.batch_size();
+  ws.preds.clear();
+  if (options_.use_fused_inference) {
+    // Tape-free fast path: no autograd graph, scratch from the worker-local
+    // arena (zero heap allocation once warm). infer_batch resets the arena.
+    const nn::Tensor& pred = predictor.infer_batch(model_batch, ws.arena);
+    if (pred.rows() != b)
+      throw std::logic_error("PredictionService: predictor returned wrong batch size");
+    for (int row = 0; row < b; ++row)
+      ws.preds.push_back(static_cast<double>(pred.at(row, 0)));
+  } else {
+    // Per-call Rng: inference (training=false) draws nothing from it, but the
+    // API requires one and sharing a stream across workers would race.
+    Rng rng = Rng(options_.seed).split(batch_index);
+    const nn::Variable pred = predictor.forward_batch(model_batch, /*training=*/false, rng);
+    if (pred.rows() != b)
+      throw std::logic_error("PredictionService: predictor returned wrong batch size");
+    for (int row = 0; row < b; ++row)
+      ws.preds.push_back(static_cast<double>(pred.value().at(row, 0)));
+  }
+}
+
+void PredictionService::run_batch(std::vector<PendingRequest> batch, WorkerState& ws) {
   const int b = static_cast<int>(batch.size());
   std::vector<const model::FeaturizedProgram*> rows;
   rows.reserve(batch.size());
@@ -168,13 +196,7 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch) {
   }
 
   try {
-    // Per-call Rng: inference (training=false) draws nothing from it, but the
-    // API requires one and sharing a stream across workers would race.
-    Rng rng = Rng(options_.seed).split(batch_index);
-    const nn::Variable pred = snapshot->predictor->forward_batch(model_batch, /*training=*/false,
-                                                                 rng);
-    if (pred.rows() != b)
-      throw std::logic_error("PredictionService: predictor returned wrong batch size");
+    score_batch(*snapshot->predictor, model_batch, batch_index, ws);
     // Account before fulfilling the promises: a client that sees its future
     // ready must also see the request counted in stats().
     const auto done = std::chrono::steady_clock::now();
@@ -193,12 +215,15 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch) {
     }
     for (int row = 0; row < b; ++row)
       batch[static_cast<std::size_t>(row)].result.set_value(
-          {static_cast<double>(pred.value().at(row, 0)), snapshot->version});
+          {ws.preds[static_cast<std::size_t>(row)], snapshot->version});
 
     // Shadow scoring happens after the promises are fulfilled so a canary
     // never adds latency to live responses; quiesce() is the barrier for
     // readers that need the scoring of drained traffic to be complete.
-    if (shadow) run_shadow(*snapshot, *shadow, model_batch, pred, batch_index);
+    // ws.preds survives past set_value — the arena buffer does not (the
+    // shadow forward reuses it), which is why predictions are staged in a
+    // plain vector.
+    if (shadow) run_shadow(*shadow, model_batch, ws.preds, batch_index, ws);
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -209,27 +234,37 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch) {
   }
 }
 
-void PredictionService::run_shadow(const ModelSnapshot& incumbent, const ShadowState& shadow,
-                                   const model::Batch& model_batch,
-                                   const nn::Variable& incumbent_pred,
-                                   std::uint64_t batch_index) {
-  (void)incumbent;
+void PredictionService::run_shadow(const ShadowState& shadow, const model::Batch& model_batch,
+                                   const std::vector<double>& incumbent_preds,
+                                   std::uint64_t batch_index, WorkerState& ws) {
   // Deterministic per-batch sampling from a stream independent of the
   // inference Rng, so shadow coverage is reproducible in (seed, traffic).
   Rng sample_rng = Rng(options_.seed ^ 0x8f1bbcdc2d9d3b4fULL).split(batch_index);
   if (!sample_rng.bernoulli(shadow.sample_fraction)) return;
   const int b = model_batch.batch_size();
   try {
-    Rng rng = Rng(options_.seed).split(batch_index ^ 0x517cc1b727220a95ULL);
-    const nn::Variable pred = shadow.predictor->forward_batch(model_batch, /*training=*/false,
-                                                              rng);
-    if (pred.rows() != b)
-      throw std::logic_error("PredictionService: shadow returned wrong batch size");
+    std::vector<double> shadow_preds;
+    shadow_preds.reserve(static_cast<std::size_t>(b));
+    if (options_.use_fused_inference) {
+      const nn::Tensor& pred = shadow.predictor->infer_batch(model_batch, ws.arena);
+      if (pred.rows() != b)
+        throw std::logic_error("PredictionService: shadow returned wrong batch size");
+      for (int row = 0; row < b; ++row)
+        shadow_preds.push_back(static_cast<double>(pred.at(row, 0)));
+    } else {
+      Rng rng = Rng(options_.seed).split(batch_index ^ 0x517cc1b727220a95ULL);
+      const nn::Variable pred = shadow.predictor->forward_batch(model_batch, /*training=*/false,
+                                                                rng);
+      if (pred.rows() != b)
+        throw std::logic_error("PredictionService: shadow returned wrong batch size");
+      for (int row = 0; row < b; ++row)
+        shadow_preds.push_back(static_cast<double>(pred.value().at(row, 0)));
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     shadow_requests_ += static_cast<std::uint64_t>(b);
     for (int row = 0; row < b; ++row) {
-      const double inc = static_cast<double>(incumbent_pred.value().at(row, 0));
-      const double sh = static_cast<double>(pred.value().at(row, 0));
+      const double inc = incumbent_preds[static_cast<std::size_t>(row)];
+      const double sh = shadow_preds[static_cast<std::size_t>(row)];
       shadow_ape_sum_ += std::abs(sh - inc) / std::max(std::abs(inc), 1e-12);
       if (shadow_pairs_.size() < options_.shadow_window) {
         shadow_pairs_.emplace_back(inc, sh);
@@ -248,6 +283,7 @@ ServeStats PredictionService::stats() const {
   ServeStats s;
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
+  for (const auto& ws : worker_states_) s.arena_heap_allocs += ws->arena.heap_allocations();
   {
     std::lock_guard<std::mutex> lock(model_mu_);
     s.active_version = model_->version;

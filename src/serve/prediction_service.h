@@ -7,14 +7,17 @@
 //
 //   client threads --submit()--> FeatureCache --> StructureBatcher
 //                                                      |
-//                             worker pool: pop batch, one forward_batch per
-//                             structure-homogeneous [batch, features] group,
-//                             fulfill futures
+//                             worker pool: pop batch, one tape-free
+//                             infer_batch per structure-homogeneous
+//                             [batch, features] group (worker-local
+//                             InferenceArena, zero steady-state heap
+//                             allocation), fulfill futures
 //
-// Inference is deterministic: forward_batch at training=false applies no
-// dropout and every op computes each batch row independently, so a request's
-// prediction is bitwise-identical however it is batched (asserted by the
-// serve hammer test).
+// Inference is deterministic: the tape-free fast path (and the legacy
+// autograd path behind use_fused_inference=false) applies no dropout and
+// computes each batch row independently, so a request's prediction is
+// bitwise-identical however it is batched (asserted by the serve hammer
+// test against direct infer_batch calls).
 //
 // Model ownership and hot-swap: the service holds a shared_ptr to an
 // immutable predictor snapshot. A worker pins the snapshot once per batch
@@ -59,6 +62,12 @@ struct ServeOptions {
   std::size_t cache_capacity = 4096;  // feature-cache entries; 0 disables
   model::FeatureConfig features;      // featurization of raw pairs
   std::uint64_t seed = 0;             // per-batch Rng seed (inference draws nothing)
+  // Score batches through the tape-free SpeedupPredictor::infer_batch fast
+  // path with one InferenceArena per worker (zero steady-state heap
+  // allocation). Off = the legacy autograd forward_batch path; kept for A/B
+  // measurement in bench_serve_throughput and as a hedge for predictors
+  // whose fused path is unavailable.
+  bool use_fused_inference = true;
   // Shadow disagreement window: recent (incumbent, shadow) prediction pairs
   // kept for the Spearman statistic.
   std::size_t shadow_window = 1 << 12;
@@ -72,6 +81,10 @@ struct ServeStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   double mean_batch_occupancy = 0;   // requests / batches
+  // Heap allocations performed by the workers' inference arenas (fused path
+  // only). Plateaus once the arenas are warm: steady-state inference
+  // allocates nothing.
+  std::uint64_t arena_heap_allocs = 0;
   // Queue+inference latency of the most recent requests (seconds).
   double p50_latency = 0;
   double p99_latency = 0;
@@ -163,14 +176,24 @@ class PredictionService {
     int version = 0;
     double sample_fraction = 1.0;
   };
+  // Per-worker scratch, touched only by its owning worker thread (the arena's
+  // allocation counter is atomic so stats() may read it concurrently).
+  struct WorkerState {
+    nn::InferenceArena arena;
+    std::vector<double> preds;         // incumbent predictions of the batch
+  };
 
   std::future<Prediction> submit_with_key(const PairKey& key, const ir::Program& program,
                                           const transforms::Schedule& schedule);
   void worker_loop(int worker_index);
-  void run_batch(std::vector<PendingRequest> batch);
-  void run_shadow(const ModelSnapshot& incumbent, const ShadowState& shadow,
-                  const model::Batch& model_batch, const nn::Variable& incumbent_pred,
-                  std::uint64_t batch_index);
+  void run_batch(std::vector<PendingRequest> batch, WorkerState& ws);
+  // Fills ws.preds with one prediction per batch row using the configured
+  // path (fused arena walk or autograd fallback).
+  void score_batch(model::SpeedupPredictor& predictor, const model::Batch& model_batch,
+                   std::uint64_t batch_index, WorkerState& ws);
+  void run_shadow(const ShadowState& shadow, const model::Batch& model_batch,
+                  const std::vector<double>& incumbent_preds, std::uint64_t batch_index,
+                  WorkerState& ws);
 
   const ServeOptions options_;
   // Epoch-swapped model state: workers pin a snapshot once per batch and
@@ -198,6 +221,9 @@ class PredictionService {
   std::vector<std::pair<double, double>> shadow_pairs_;
   std::size_t shadow_pair_next_ = 0;
 
+  // unique_ptr: WorkerState holds a non-movable arena; the vector is sized
+  // before the threads start and never resized after.
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,322 @@
+// Tests for the tape-free fused inference engine (src/nn/inference.h):
+// arena reuse and the zero-allocation steady state, fused-kernel
+// correctness, autograd-vs-inference numerical parity for all three
+// architectures over randomized program structures, plan invalidation after
+// parameter mutation, and concurrent infer_batch on one model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "datagen/dataset_builder.h"
+#include "model/cost_model.h"
+#include "model/train.h"
+#include "nn/inference.h"
+#include "nn/ops.h"
+
+namespace tcm::nn {
+namespace {
+
+Tensor random_tensor(int rows, int cols, Rng& rng) {
+  Tensor t(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t.data()[i] = static_cast<float>(rng.uniform_real(-1.5, 1.5));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// InferenceArena
+// ---------------------------------------------------------------------------
+
+TEST(InferenceArena, ReusesBuffersAfterReset) {
+  InferenceArena arena;
+  Tensor& a = arena.alloc(4, 8);
+  Tensor& b = arena.alloc(2, 2);
+  EXPECT_EQ(arena.buffers(), 2u);
+  EXPECT_EQ(arena.heap_allocations(), 2u);
+  float* pa = a.data();
+  arena.reset();
+  Tensor& a2 = arena.alloc(4, 8);
+  Tensor& b2 = arena.alloc(2, 2);
+  EXPECT_EQ(&a, &a2);            // same slot, in order
+  EXPECT_EQ(&b, &b2);
+  EXPECT_EQ(a2.data(), pa);      // same storage: no reallocation
+  EXPECT_EQ(arena.heap_allocations(), 2u);
+}
+
+TEST(InferenceArena, ShrinkingReshapeDoesNotAllocate) {
+  InferenceArena arena;
+  arena.alloc(8, 8);
+  const std::uint64_t after_first = arena.heap_allocations();
+  arena.reset();
+  Tensor& t = arena.alloc(2, 3);  // smaller: fits in the existing capacity
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(arena.heap_allocations(), after_first);
+  arena.reset();
+  arena.alloc(32, 32);  // growth is counted
+  EXPECT_GT(arena.heap_allocations(), after_first);
+}
+
+TEST(InferenceArena, LaterAllocsDoNotInvalidateEarlierBuffers) {
+  InferenceArena arena;
+  Tensor& first = arena.alloc(2, 2);
+  first.fill(7.0f);
+  for (int i = 0; i < 100; ++i) arena.alloc(16, 16);
+  EXPECT_EQ(first.at(1, 1), 7.0f);  // deque pool: no relocation
+}
+
+// ---------------------------------------------------------------------------
+// Fused kernels vs the autograd ops
+// ---------------------------------------------------------------------------
+
+TEST(FusedKernels, LinearForwardMatchesOps) {
+  Rng rng(1);
+  const Tensor x = random_tensor(5, 7, rng);
+  const Tensor w = random_tensor(7, 3, rng);
+  const Tensor b = random_tensor(1, 3, rng);
+  InferenceArena arena;
+  Tensor& out = arena.alloc(5, 3);
+  linear_forward(x, w, b, out);
+  const Variable ref = add(matmul(Variable(x), Variable(w)), Variable(b));
+  for (int r = 0; r < 5; ++r)
+    for (int c = 0; c < 3; ++c) EXPECT_NEAR(out.at(r, c), ref.value().at(r, c), 1e-6f);
+}
+
+TEST(FusedKernels, LinearEluMatchesOps) {
+  Rng rng(2);
+  const Tensor x = random_tensor(4, 6, rng);
+  const Tensor w = random_tensor(6, 5, rng);
+  const Tensor b = random_tensor(1, 5, rng);
+  InferenceArena arena;
+  Tensor& out = arena.alloc(4, 5);
+  linear_elu(x, w, b, out);
+  const Variable ref = elu(add(matmul(Variable(x), Variable(w)), Variable(b)));
+  // The fused ELU uses the polynomial exp: compare within the engine's
+  // documented tolerance, not bitwise.
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 5; ++c) EXPECT_NEAR(out.at(r, c), ref.value().at(r, c), 1e-5f);
+}
+
+TEST(FusedKernels, ExpBoundedInplaceMatchesOps) {
+  Rng rng(3);
+  Tensor x = random_tensor(3, 4, rng);
+  const Variable ref = exp_bounded(Variable(x), 16.0f);
+  exp_bounded_inplace(x, 16.0f);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 4; ++c)
+      EXPECT_NEAR(x.at(r, c) / ref.value().at(r, c), 1.0f, 1e-5f);
+}
+
+TEST(FusedKernels, PackedLstmStepMatchesCell) {
+  Rng rng(4);
+  LSTMCell cell(6, 5, rng);
+  const PackedLSTMCell packed = PackedLSTMCell::pack(cell);
+  EXPECT_EQ(packed.w.rows(), 6 + 5);
+  EXPECT_EQ(packed.w.cols(), 4 * 5);
+
+  const int batch = 3;
+  const Tensor x1 = random_tensor(batch, 6, rng);
+  const Tensor x2 = random_tensor(batch, 6, rng);
+
+  // Reference: two autograd steps.
+  LSTMCell::State state = cell.initial_state(batch);
+  state = cell.forward(Variable(x1), state);
+  state = cell.forward(Variable(x2), state);
+
+  // Fused: two in-place steps.
+  InferenceArena arena;
+  Tensor& h = arena.alloc(batch, 5);
+  Tensor& c = arena.alloc(batch, 5);
+  h.fill(0.0f);
+  c.fill(0.0f);
+  packed.step(x1, h, c, arena);
+  packed.step(x2, h, c, arena);
+
+  for (int r = 0; r < batch; ++r)
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_NEAR(h.at(r, j), state.h.value().at(r, j), 1e-5f);
+      EXPECT_NEAR(c.at(r, j), state.c.value().at(r, j), 1e-5f);
+    }
+}
+
+}  // namespace
+}  // namespace tcm::nn
+
+namespace tcm::model {
+namespace {
+
+Dataset structured_dataset(int programs, int schedules, std::uint64_t seed = 7) {
+  datagen::DatasetBuildOptions opt;
+  opt.num_programs = programs;
+  opt.schedules_per_program = schedules;
+  opt.features = FeatureConfig::fast();
+  opt.seed = seed;
+  return datagen::build_dataset(opt);
+}
+
+// Maximum relative error between fused inference and the autograd forward
+// over every batch of the dataset the predictor accepts. `skipped` counts
+// batches the architecture rejects (FeedForwardModel capacity).
+double max_parity_rel_err(SpeedupPredictor& m, const std::vector<Batch>& batches,
+                          int* skipped = nullptr) {
+  nn::InferenceArena arena;
+  Rng rng(0);
+  double worst = 0;
+  for (const Batch& b : batches) {
+    nn::Variable ref;
+    try {
+      ref = m.forward_batch(b, /*training=*/false, rng);
+    } catch (const std::invalid_argument&) {
+      if (skipped) ++*skipped;
+      continue;
+    }
+    const nn::Tensor& fast = m.infer_batch(b, arena);
+    EXPECT_EQ(fast.rows(), b.batch_size());
+    EXPECT_EQ(fast.cols(), 1);
+    for (int r = 0; r < fast.rows(); ++r) {
+      const double a = static_cast<double>(fast.at(r, 0));
+      const double e = static_cast<double>(ref.value().at(r, 0));
+      worst = std::max(worst, std::abs(a - e) / std::max(std::abs(e), 1e-12));
+    }
+  }
+  return worst;
+}
+
+// The acceptance bar: inference-vs-autograd parity within 1e-5 relative
+// error for all three architectures over randomized program structures.
+TEST(InferenceParity, AllArchitecturesWithinRelTolerance) {
+  const Dataset ds = structured_dataset(6, 6);
+  const auto batches = make_batches(ds, 8);
+  ASSERT_GT(batches.size(), 1u);
+
+  Rng r1(1), r2(2), r3(3);
+  CostModel cost(ModelConfig::fast(), r1);
+  LstmOnlyModel lstm(ModelConfig::fast(), r2);
+  FeedForwardModel ff(ModelConfig::fast(), r3);
+
+  EXPECT_LE(max_parity_rel_err(cost, batches), 1e-5);
+  EXPECT_LE(max_parity_rel_err(lstm, batches), 1e-5);
+  int ff_skipped = 0;
+  EXPECT_LE(max_parity_rel_err(ff, batches, &ff_skipped), 1e-5);
+  // The ff model must have actually scored something.
+  EXPECT_LT(static_cast<std::size_t>(ff_skipped), batches.size());
+}
+
+TEST(InferenceParity, FeedForwardRejectsOversizedBatchOnFastPath) {
+  const Dataset ds = structured_dataset(6, 4);
+  ModelConfig cfg = ModelConfig::fast();
+  cfg.ff_max_comps = 1;
+  Rng rng(1);
+  FeedForwardModel ff(cfg, rng);
+  nn::InferenceArena arena;
+  bool found_multi = false;
+  for (const Batch& b : make_batches(ds, 4)) {
+    if (b.num_comps() > 1) {
+      found_multi = true;
+      EXPECT_THROW(ff.infer_batch(b, arena), std::invalid_argument);
+    }
+  }
+  EXPECT_TRUE(found_multi);
+}
+
+// The acceptance bar: steady-state infer_batch performs zero heap
+// allocations, asserted via the arena allocation counter — including when
+// differently-shaped structures alternate through one arena.
+TEST(InferenceArenaSteadyState, ZeroAllocationsOnceWarm) {
+  const Dataset ds = structured_dataset(5, 6);
+  const auto batches = make_batches(ds, 8);
+  Rng rng(1);
+  CostModel m(ModelConfig::fast(), rng);
+  nn::InferenceArena arena;
+  // Warm-up pass: buffers are created and sized.
+  for (const Batch& b : batches) m.infer_batch(b, arena);
+  const std::uint64_t warm = arena.heap_allocations();
+  EXPECT_GT(warm, 0u);
+  for (int rep = 0; rep < 10; ++rep)
+    for (const Batch& b : batches) m.infer_batch(b, arena);
+  EXPECT_EQ(arena.heap_allocations(), warm);
+}
+
+TEST(InferencePlan, StaleAfterParameterMutationUntilInvalidated) {
+  const Dataset ds = structured_dataset(2, 4);
+  const auto batches = make_batches(ds, 8);
+  Rng rng(1);
+  CostModel m(ModelConfig::fast(), rng);
+  nn::InferenceArena arena;
+  const float before = m.infer_batch(batches[0], arena).at(0, 0);
+
+  // Mutate the parameters the way training would (in place).
+  for (nn::Parameter* p : m.parameters()) p->var.mutable_value().scale_(1.05f);
+
+  // The packed LSTM weights were copied at pack time, so without
+  // invalidation the fast path is (by design) allowed to be stale; after
+  // invalidate_inference it must track the autograd forward again.
+  m.invalidate_inference();
+  Rng r0(0);
+  const float ref = m.forward_batch(batches[0], /*training=*/false, r0).value().at(0, 0);
+  const float after = m.infer_batch(batches[0], arena).at(0, 0);
+  EXPECT_NE(before, after);
+  EXPECT_NEAR(after / ref, 1.0f, 1e-5f);
+}
+
+// predict() rides the fast path and must agree with a hand-rolled autograd
+// evaluation loop (this is what per-epoch validation during training uses).
+TEST(InferencePredict, MatchesAutogradEvaluation) {
+  const Dataset ds = structured_dataset(3, 5);
+  Rng rng(9);
+  CostModel m(ModelConfig::fast(), rng);
+  const std::vector<double> fast = predict(m, ds, 16);
+  ASSERT_EQ(fast.size(), ds.size());
+  Rng r0(0);
+  for (const Batch& b : make_batches(ds, 16)) {
+    const nn::Variable ref = m.forward_batch(b, /*training=*/false, r0);
+    for (int r = 0; r < ref.rows(); ++r) {
+      const double e = static_cast<double>(ref.value().at(r, 0));
+      EXPECT_NEAR(fast[b.point_indices[static_cast<std::size_t>(r)]] / e, 1.0, 1e-5);
+    }
+  }
+}
+
+// Concurrent infer_batch on one model instance: per-thread arenas, a shared
+// lazily-built plan (first calls race on purpose), bitwise-identical results
+// across threads and repetitions.
+TEST(InferenceConcurrency, ConcurrentInferBatchIsDeterministic) {
+  const Dataset ds = structured_dataset(4, 6);
+  const auto batches = make_batches(ds, 8);
+  Rng rng(1);
+  CostModel m(ModelConfig::fast(), rng);
+
+  // Single-thread reference through a private arena (fresh model state: the
+  // plan gets built lazily by whichever caller is first).
+  std::vector<std::vector<float>> expected;
+  {
+    nn::InferenceArena arena;
+    for (const Batch& b : batches) {
+      const nn::Tensor& p = m.infer_batch(b, arena);
+      std::vector<float> row(p.data(), p.data() + p.size());
+      expected.push_back(std::move(row));
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      nn::InferenceArena arena;
+      for (int rep = 0; rep < 5; ++rep)
+        for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+          const nn::Tensor& p = m.infer_batch(batches[bi], arena);
+          for (std::size_t i = 0; i < p.size(); ++i)
+            if (p.data()[i] != expected[bi][i]) ++mismatches;
+        }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace tcm::model

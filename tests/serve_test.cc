@@ -7,6 +7,7 @@
 
 #include "datagen/generator.h"
 #include "model/cost_model.h"
+#include "nn/inference.h"
 #include "serve/batcher.h"
 #include "serve/feature_cache.h"
 #include "serve/fingerprint.h"
@@ -239,9 +240,9 @@ TEST(PredictionService, PredictManyMatchesSubmitOrder) {
 
 // The tentpole correctness property: hammering the service from N client
 // threads yields bitwise-identical results to direct single-threaded
-// forward_batch calls, for every request, whatever batch compositions the
-// dynamic batcher happens to form.
-TEST(PredictionService, HammerMatchesDirectForwardBitwise) {
+// infer_batch calls (the same tape-free engine the workers run), for every
+// request, whatever batch compositions the dynamic batcher happens to form.
+TEST(PredictionService, HammerMatchesDirectInferenceBitwise) {
   Rng rng(7);
   model::CostModel cost_model(model::ModelConfig::fast(), rng);
 
@@ -261,14 +262,14 @@ TEST(PredictionService, HammerMatchesDirectForwardBitwise) {
     cases.push_back(std::move(c));
   }
 
-  // Reference: one forward_batch per request, batch size 1, single thread.
-  Rng eval_rng(0);
+  // Reference: one infer_batch per request, batch size 1, single thread.
+  nn::InferenceArena eval_arena;
   for (Case& c : cases) {
     for (const transforms::Schedule& s : c.schedules) {
       auto feats = featurize_or_die(c.program, s);
       const model::Batch single = model::make_inference_batch({feats.get()});
-      const nn::Variable pred = cost_model.forward_batch(single, /*training=*/false, eval_rng);
-      c.expected.push_back(static_cast<double>(pred.value().at(0, 0)));
+      const nn::Tensor& pred = cost_model.infer_batch(single, eval_arena);
+      c.expected.push_back(static_cast<double>(pred.at(0, 0)));
     }
   }
 
@@ -303,6 +304,9 @@ TEST(PredictionService, HammerMatchesDirectForwardBitwise) {
   EXPECT_EQ(stats.requests, 4u * 3u * 4u * 8u);
   EXPECT_EQ(stats.failed_requests, 0u);
   EXPECT_GT(stats.mean_batch_occupancy, 1.0);  // batching actually happened
+  // Arena path was exercised (the precise steady-state zero-allocation
+  // property is asserted in inference_test, where warm-up is controlled).
+  EXPECT_GT(stats.arena_heap_allocs, 0u);
   // Every submit probes the cache exactly once. The distinct-pair count is at
   // most 32 (the schedule generator may emit duplicates) and concurrent
   // clients can each miss a pair once before the first insert lands, so
@@ -312,15 +316,48 @@ TEST(PredictionService, HammerMatchesDirectForwardBitwise) {
   EXPECT_GE(stats.cache_hits, 4u * 3u * 32u - 4u * 32u);
 }
 
+// The legacy autograd path stays available behind use_fused_inference=false
+// and must agree bitwise with direct forward_batch (its historical
+// contract), and within 1e-5 relative error with the fused default.
+TEST(PredictionService, LegacyAutogradPathMatchesForwardBatch) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  const ir::Program p = test_program();
+  datagen::RandomScheduleGenerator sgen;
+  Rng srng(5);
+  std::vector<transforms::Schedule> candidates;
+  for (int i = 0; i < 8; ++i) candidates.push_back(sgen.generate(p, srng));
+
+  ServeOptions legacy = fast_options(2);
+  legacy.use_fused_inference = false;
+  PredictionService legacy_service(cost_model, legacy);
+  const std::vector<double> from_legacy = legacy_service.predict_many(p, candidates);
+  EXPECT_EQ(legacy_service.stats().arena_heap_allocs, 0u);  // arena untouched
+
+  PredictionService fused_service(cost_model, fast_options(2));
+  const std::vector<double> from_fused = fused_service.predict_many(p, candidates);
+
+  Rng eval_rng(0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    auto feats = featurize_or_die(p, candidates[i]);
+    const model::Batch single = model::make_inference_batch({feats.get()});
+    const double ref = static_cast<double>(
+        cost_model.forward_batch(single, /*training=*/false, eval_rng).value().at(0, 0));
+    EXPECT_EQ(from_legacy[i], ref);
+    EXPECT_NEAR(from_fused[i] / ref, 1.0, 1e-5);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Hot-swap and shadow mode
 // ---------------------------------------------------------------------------
 
-// Single-row reference prediction, bypassing the service.
+// Single-row reference prediction, bypassing the service (same tape-free
+// engine the service workers run, so values match bitwise).
 double direct_prediction(model::SpeedupPredictor& m, const model::FeaturizedProgram& feats) {
   const model::Batch single = model::make_inference_batch({&feats});
-  Rng rng(0);
-  return static_cast<double>(m.forward_batch(single, /*training=*/false, rng).value().at(0, 0));
+  nn::InferenceArena arena;
+  return static_cast<double>(m.infer_batch(single, arena).at(0, 0));
 }
 
 TEST(PredictionService, SwapModelRoutesNewTrafficToNewModel) {
