@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoschedule_conv.dir/examples/autoschedule_conv.cpp.o"
+  "CMakeFiles/autoschedule_conv.dir/examples/autoschedule_conv.cpp.o.d"
+  "autoschedule_conv"
+  "autoschedule_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoschedule_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

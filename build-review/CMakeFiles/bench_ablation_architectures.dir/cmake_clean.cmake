@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_architectures.dir/bench/bench_ablation_architectures.cc.o"
+  "CMakeFiles/bench_ablation_architectures.dir/bench/bench_ablation_architectures.cc.o.d"
+  "bench_ablation_architectures"
+  "bench_ablation_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_search_speedups.dir/bench/bench_fig6_search_speedups.cc.o"
+  "CMakeFiles/bench_fig6_search_speedups.dir/bench/bench_fig6_search_speedups.cc.o.d"
+  "bench_fig6_search_speedups"
+  "bench_fig6_search_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_search_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

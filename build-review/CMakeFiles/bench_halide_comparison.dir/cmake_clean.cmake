@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_halide_comparison.dir/bench/bench_halide_comparison.cc.o"
+  "CMakeFiles/bench_halide_comparison.dir/bench/bench_halide_comparison.cc.o.d"
+  "bench_halide_comparison"
+  "bench_halide_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_halide_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

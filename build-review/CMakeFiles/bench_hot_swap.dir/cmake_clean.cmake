@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hot_swap.dir/bench/bench_hot_swap.cc.o"
+  "CMakeFiles/bench_hot_swap.dir/bench/bench_hot_swap.cc.o.d"
+  "bench_hot_swap"
+  "bench_hot_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hot_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

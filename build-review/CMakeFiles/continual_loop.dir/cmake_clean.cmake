@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continual_loop.dir/examples/continual_loop.cpp.o"
+  "CMakeFiles/continual_loop.dir/examples/continual_loop.cpp.o.d"
+  "continual_loop"
+  "continual_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continual_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_schedules.dir/examples/explore_schedules.cpp.o"
+  "CMakeFiles/explore_schedules.dir/examples/explore_schedules.cpp.o.d"
+  "explore_schedules"
+  "explore_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcm_bench_common.dir/bench/common.cc.o"
+  "CMakeFiles/tcm_bench_common.dir/bench/common.cc.o.d"
+  "libtcm_bench_common.a"
+  "libtcm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/halide_data.cc" "CMakeFiles/tcm_core.dir/src/baselines/halide_data.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/baselines/halide_data.cc.o.d"
+  "/root/repo/src/baselines/halide_features.cc" "CMakeFiles/tcm_core.dir/src/baselines/halide_features.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/baselines/halide_features.cc.o.d"
+  "/root/repo/src/baselines/halide_model.cc" "CMakeFiles/tcm_core.dir/src/baselines/halide_model.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/baselines/halide_model.cc.o.d"
+  "/root/repo/src/benchsuite/benchmarks.cc" "CMakeFiles/tcm_core.dir/src/benchsuite/benchmarks.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/benchsuite/benchmarks.cc.o.d"
+  "/root/repo/src/datagen/dataset_builder.cc" "CMakeFiles/tcm_core.dir/src/datagen/dataset_builder.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/datagen/dataset_builder.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "CMakeFiles/tcm_core.dir/src/datagen/generator.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/datagen/generator.cc.o.d"
+  "/root/repo/src/ir/access.cc" "CMakeFiles/tcm_core.dir/src/ir/access.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/ir/access.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "CMakeFiles/tcm_core.dir/src/ir/builder.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/ir/builder.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "CMakeFiles/tcm_core.dir/src/ir/expr.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/ir/expr.cc.o.d"
+  "/root/repo/src/ir/program.cc" "CMakeFiles/tcm_core.dir/src/ir/program.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/ir/program.cc.o.d"
+  "/root/repo/src/model/cost_model.cc" "CMakeFiles/tcm_core.dir/src/model/cost_model.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/model/cost_model.cc.o.d"
+  "/root/repo/src/model/dataset.cc" "CMakeFiles/tcm_core.dir/src/model/dataset.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/model/dataset.cc.o.d"
+  "/root/repo/src/model/featurize.cc" "CMakeFiles/tcm_core.dir/src/model/featurize.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/model/featurize.cc.o.d"
+  "/root/repo/src/model/train.cc" "CMakeFiles/tcm_core.dir/src/model/train.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/model/train.cc.o.d"
+  "/root/repo/src/nn/autograd.cc" "CMakeFiles/tcm_core.dir/src/nn/autograd.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/nn/autograd.cc.o.d"
+  "/root/repo/src/nn/gradcheck.cc" "CMakeFiles/tcm_core.dir/src/nn/gradcheck.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/nn/gradcheck.cc.o.d"
+  "/root/repo/src/nn/inference.cc" "CMakeFiles/tcm_core.dir/src/nn/inference.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/nn/inference.cc.o.d"
+  "/root/repo/src/nn/modules.cc" "CMakeFiles/tcm_core.dir/src/nn/modules.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/nn/modules.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "CMakeFiles/tcm_core.dir/src/nn/ops.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/nn/ops.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "CMakeFiles/tcm_core.dir/src/nn/optim.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/nn/optim.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "CMakeFiles/tcm_core.dir/src/nn/serialize.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "CMakeFiles/tcm_core.dir/src/nn/tensor.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/nn/tensor.cc.o.d"
+  "/root/repo/src/registry/continual_trainer.cc" "CMakeFiles/tcm_core.dir/src/registry/continual_trainer.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/registry/continual_trainer.cc.o.d"
+  "/root/repo/src/registry/model_registry.cc" "CMakeFiles/tcm_core.dir/src/registry/model_registry.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/registry/model_registry.cc.o.d"
+  "/root/repo/src/search/beam_search.cc" "CMakeFiles/tcm_core.dir/src/search/beam_search.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/search/beam_search.cc.o.d"
+  "/root/repo/src/search/candidates.cc" "CMakeFiles/tcm_core.dir/src/search/candidates.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/search/candidates.cc.o.d"
+  "/root/repo/src/search/evaluator.cc" "CMakeFiles/tcm_core.dir/src/search/evaluator.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/search/evaluator.cc.o.d"
+  "/root/repo/src/search/mcts.cc" "CMakeFiles/tcm_core.dir/src/search/mcts.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/search/mcts.cc.o.d"
+  "/root/repo/src/serve/batcher.cc" "CMakeFiles/tcm_core.dir/src/serve/batcher.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/serve/batcher.cc.o.d"
+  "/root/repo/src/serve/feature_cache.cc" "CMakeFiles/tcm_core.dir/src/serve/feature_cache.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/serve/feature_cache.cc.o.d"
+  "/root/repo/src/serve/fingerprint.cc" "CMakeFiles/tcm_core.dir/src/serve/fingerprint.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/serve/fingerprint.cc.o.d"
+  "/root/repo/src/serve/prediction_service.cc" "CMakeFiles/tcm_core.dir/src/serve/prediction_service.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/serve/prediction_service.cc.o.d"
+  "/root/repo/src/sim/cache_sim.cc" "CMakeFiles/tcm_core.dir/src/sim/cache_sim.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/sim/cache_sim.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "CMakeFiles/tcm_core.dir/src/sim/executor.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/sim/executor.cc.o.d"
+  "/root/repo/src/sim/interpreter.cc" "CMakeFiles/tcm_core.dir/src/sim/interpreter.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/sim/interpreter.cc.o.d"
+  "/root/repo/src/sim/machine_model.cc" "CMakeFiles/tcm_core.dir/src/sim/machine_model.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/sim/machine_model.cc.o.d"
+  "/root/repo/src/support/log.cc" "CMakeFiles/tcm_core.dir/src/support/log.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/support/log.cc.o.d"
+  "/root/repo/src/support/rng.cc" "CMakeFiles/tcm_core.dir/src/support/rng.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/support/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "CMakeFiles/tcm_core.dir/src/support/stats.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/support/stats.cc.o.d"
+  "/root/repo/src/support/table.cc" "CMakeFiles/tcm_core.dir/src/support/table.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/support/table.cc.o.d"
+  "/root/repo/src/transforms/apply.cc" "CMakeFiles/tcm_core.dir/src/transforms/apply.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/transforms/apply.cc.o.d"
+  "/root/repo/src/transforms/dependence.cc" "CMakeFiles/tcm_core.dir/src/transforms/dependence.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/transforms/dependence.cc.o.d"
+  "/root/repo/src/transforms/schedule.cc" "CMakeFiles/tcm_core.dir/src/transforms/schedule.cc.o" "gcc" "CMakeFiles/tcm_core.dir/src/transforms/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

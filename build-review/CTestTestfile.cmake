@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[baselines_test]=] "/root/repo/build-review/baselines_test")
+set_tests_properties([=[baselines_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[benchsuite_test]=] "/root/repo/build-review/benchsuite_test")
+set_tests_properties([=[benchsuite_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[datagen_test]=] "/root/repo/build-review/datagen_test")
+set_tests_properties([=[datagen_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[inference_test]=] "/root/repo/build-review/inference_test")
+set_tests_properties([=[inference_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[integration_test]=] "/root/repo/build-review/integration_test")
+set_tests_properties([=[integration_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[ir_test]=] "/root/repo/build-review/ir_test")
+set_tests_properties([=[ir_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[model_test]=] "/root/repo/build-review/model_test")
+set_tests_properties([=[model_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[nn_test]=] "/root/repo/build-review/nn_test")
+set_tests_properties([=[nn_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[registry_test]=] "/root/repo/build-review/registry_test")
+set_tests_properties([=[registry_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[search_test]=] "/root/repo/build-review/search_test")
+set_tests_properties([=[search_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[serve_test]=] "/root/repo/build-review/serve_test")
+set_tests_properties([=[serve_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[sim_test]=] "/root/repo/build-review/sim_test")
+set_tests_properties([=[sim_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[support_test]=] "/root/repo/build-review/support_test")
+set_tests_properties([=[support_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[transforms_test]=] "/root/repo/build-review/transforms_test")
+set_tests_properties([=[transforms_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;75;add_test;/root/repo/CMakeLists.txt;0;")
