@@ -1,0 +1,107 @@
+// Drift-detection overhead: the autopilot's DriftMonitor runs inside the
+// serving process, so an observe() — PSI + KS over the recent-prediction
+// window plus the counter signals — must stay far below the poll interval.
+// This bench measures observe() cost across window sizes, for the quiet
+// path (no drift) and the firing path (shifted distribution), and the cost
+// of the PredictionService::recent_predictions() snapshot it consumes.
+//
+// Flags:
+//   --observations N  observe() calls per configuration (default 2000)
+//   --json PATH       machine-readable results (default BENCH_drift_monitor.json;
+//                     empty string disables)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/drift_monitor.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+using namespace tcm;
+
+namespace {
+
+std::vector<double> synthetic(std::size_t n, double mean, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.normal(mean, 0.2));
+  return xs;
+}
+
+struct Row {
+  std::size_t window = 0;
+  bool shifted = false;
+  double us_per_observe = 0;
+  double observes_per_sec = 0;
+  std::uint64_t triggers = 0;
+};
+
+Row run(std::size_t window, bool shifted, int observations) {
+  serve::DriftMonitorOptions options;
+  options.min_samples = 32;
+  options.cooldown_observations = 10;
+  serve::DriftMonitor monitor(options);
+  serve::ServeStats stats;
+  const std::vector<double> reference = synthetic(window, 1.0, 1);
+  const std::vector<double> current = synthetic(window, shifted ? 3.0 : 1.0, 2);
+  monitor.observe(stats, reference);  // freezes the baseline
+
+  Row row;
+  row.window = window;
+  row.shifted = shifted;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < observations; ++i) {
+    stats.requests += 100;
+    if (monitor.observe(stats, current).triggered) ++row.triggers;
+  }
+  const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                             .count();
+  row.us_per_observe = seconds / observations * 1e6;
+  row.observes_per_sec = observations / seconds;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int observations = 2000;
+  std::string json_path = "BENCH_drift_monitor.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--observations") && i + 1 < argc)
+      observations = std::atoi(argv[++i]);
+    else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+      json_path = argv[++i];
+  }
+
+  std::vector<Row> rows;
+  for (std::size_t window : {256u, 1024u, 4096u})
+    for (bool shifted : {false, true}) rows.push_back(run(window, shifted, observations));
+
+  Table table({"window", "traffic", "us/observe", "observes/sec", "triggers"});
+  for (const Row& row : rows)
+    table.add_row({std::to_string(row.window), row.shifted ? "shifted" : "quiet",
+                   Table::fmt(row.us_per_observe, 2), Table::fmt(row.observes_per_sec, 0),
+                   std::to_string(row.triggers)});
+  std::printf("drift monitor observe() cost\n%s", table.to_string().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    json << "{\n  \"bench\": \"drift_monitor\",\n  \"observations\": " << observations
+         << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      json << "    {\"window\": " << row.window << ", \"traffic\": \""
+           << (row.shifted ? "shifted" : "quiet") << "\", \"us_per_observe\": "
+           << row.us_per_observe << ", \"observes_per_sec\": " << row.observes_per_sec
+           << ", \"triggers\": " << row.triggers << "}" << (i + 1 < rows.size() ? "," : "")
+           << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

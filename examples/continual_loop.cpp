@@ -1,36 +1,63 @@
-// The full continual-learning loop, end to end and without downtime:
+// The continual-learning loop on autopilot, end to end and without downtime:
 //
 //   bootstrap: generate data -> train v1 -> register -> promote -> serve
-//   loop:      fresh data -> fine-tune incumbent -> register candidate
-//              -> shadow-canary on live traffic -> promote + hot-swap
+//   autopilot: DriftMonitor watches live ServeStats + the recent-prediction
+//              window; when the traffic distribution shifts, the
+//              ContinualScheduler triggers a cycle on its own — fresh
+//              synthetic data plus *measured* feedback (served schedules
+//              re-executed on the simulator) fine-tune the incumbent, the
+//              candidate shadow-canaries on live traffic, promotes with a
+//              zero-downtime hot-swap, and retention GC expires old
+//              rejected candidates.
 //
-// Live client traffic keeps flowing against the PredictionService the whole
-// time; the swap happens between batches, so no request is dropped and every
-// response is tagged with the version that produced it.
+// Nobody calls run_cycle() here: drift is injected by switching the client
+// workload to programs the bootstrap distribution never saw, and the
+// scheduler does the rest. Live client traffic flows the whole time.
 //
-//   ./build/continual_loop [num_programs] [cycles]
+//   ./build/continual_loop [num_programs] [timeout_seconds]
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <thread>
 
 #include "datagen/dataset_builder.h"
 #include "model/train.h"
+#include "registry/continual_scheduler.h"
 #include "registry/continual_trainer.h"
 #include "registry/model_registry.h"
+#include "serve/feedback_buffer.h"
 #include "serve/prediction_service.h"
 
 using namespace tcm;
 
+namespace {
+
+// Spin-waits (while traffic flows) until `done` returns true or the
+// deadline passes; returns whether the condition was met.
+template <typename F>
+bool wait_until(F done, std::chrono::seconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return done();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const int num_programs = argc > 1 ? std::atoi(argv[1]) : 40;
-  const int cycles = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int timeout_seconds = argc > 2 ? std::atoi(argv[2]) : 180;
 
   // --- 1. Bootstrap: train and register the first model ---------------------
   datagen::DatasetBuildOptions dopt;
   dopt.num_programs = num_programs;
   dopt.schedules_per_program = 8;
+  dopt.generator = datagen::GeneratorOptions::tiny();
   dopt.features = model::FeatureConfig::fast();
   std::printf("bootstrap: generating %d programs x %d schedules...\n", dopt.num_programs,
               dopt.schedules_per_program);
@@ -44,7 +71,9 @@ int main(int argc, char** argv) {
               topt.epochs);
   model::train_model(initial, dataset, nullptr, topt);
 
-  registry::ModelRegistry reg("continual_registry");
+  const std::string registry_root = "continual_registry";
+  std::filesystem::remove_all(registry_root);  // fresh demo root each run
+  registry::ModelRegistry reg(registry_root);
   registry::ModelManifest manifest;
   manifest.config = model::ModelConfig::fast();
   manifest.provenance = "bootstrap: trained from scratch on " +
@@ -52,77 +81,177 @@ int main(int argc, char** argv) {
   manifest.metrics = model::evaluate(initial, dataset);
   const int v1 = reg.register_version(initial, manifest);
   reg.promote(v1);
-  std::printf("bootstrap: registered and promoted v%d (train MAPE %.3f)\n", v1,
-              manifest.metrics.mape);
+  // Two stale rejected candidates "left over from earlier sessions": the
+  // retention GC's fodder once the autopilot promotes something newer.
+  registry::ModelManifest stale;
+  stale.config = model::ModelConfig::fast();
+  stale.parent_version = v1;
+  stale.provenance = "stale rejected candidate (earlier session)";
+  model::CostModel stale_a(model::ModelConfig::fast(), rng);
+  model::CostModel stale_b(model::ModelConfig::fast(), rng);
+  const int stale1 = reg.register_version(stale_a, stale);
+  const int stale2 = reg.register_version(stale_b, stale);
+  std::printf("bootstrap: registered + promoted v%d (train MAPE %.3f); stale rejected v%d, v%d\n",
+              v1, manifest.metrics.mape, stale1, stale2);
 
-  // --- 2. Serve the registry's active version -------------------------------
+  // --- 2. Serve the registry's active version, with a feedback tap ----------
   serve::ServeOptions sopt;
   sopt.num_threads = 2;
   sopt.features = model::FeatureConfig::fast();
   sopt.max_queue_latency = std::chrono::microseconds(500);
+  sopt.prediction_window = 512;  // drift window: recent predicted speedups
   serve::PredictionService service(reg.load_active(), reg.active_version(), sopt);
+  auto feedback = std::make_shared<serve::FeedbackBuffer>(serve::FeedbackBufferOptions{
+      /*capacity=*/256, /*sample_fraction=*/0.25, /*seed=*/5});
+  service.set_feedback(feedback);
   std::printf("serving: v%d live\n\n", service.active_version());
 
-  // Background client: steady live traffic for the whole run, so the swaps
-  // demonstrably happen under load.
-  datagen::RandomProgramGenerator pgen(datagen::GeneratorOptions::tiny());
+  // Background client: steady live traffic for the whole run. Phase 0 draws
+  // from the bootstrap distribution; phase 1 injects drift by switching to
+  // much larger programs (extents and iteration counts the training
+  // distribution never contained), which shifts the predicted-speedup
+  // distribution the DriftMonitor watches.
+  datagen::GeneratorOptions drifted = datagen::GeneratorOptions::tiny();
+  drifted.min_extent = 48;
+  drifted.max_extent = 160;
+  drifted.min_iterations = 1 << 10;
+  drifted.max_iterations = 1 << 21;
+  datagen::RandomProgramGenerator calm_gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomProgramGenerator drift_gen(drifted);
   datagen::RandomScheduleGenerator sgen;
+  std::atomic<int> phase{0};
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> served{0};
   std::thread client([&] {
     Rng crng(23);
     while (!stop.load(std::memory_order_relaxed)) {
-      const ir::Program p = pgen.generate(crng.next_u64() % 64);
+      const bool calm = phase.load(std::memory_order_relaxed) == 0;
+      const ir::Program p = (calm ? calm_gen : drift_gen).generate(crng.next_u64() % 64);
       std::vector<std::future<serve::Prediction>> futures;
       for (int i = 0; i < 8; ++i) futures.push_back(service.submit(p, sgen.generate(p, crng)));
       service.flush();
       for (auto& f : futures) {
-        f.get();
-        ++served;
+        try {
+          f.get();
+          ++served;
+        } catch (const std::exception&) {
+          // Featurization misses on drifted shapes feed the failure-rate
+          // drift signal instead of killing the client.
+        }
       }
     }
   });
 
-  // --- 3. Continual-learning cycles ------------------------------------------
+  // --- 3. The autopilot ------------------------------------------------------
   registry::ContinualTrainerOptions copt;
   copt.data = dopt;
   copt.data.num_programs = num_programs / 2;  // fresh slice per cycle
   copt.train.epochs = 8;
-  copt.max_mape_regression = 0.05;  // candidate may be at most 5% worse offline
-  copt.min_shadow_spearman = 0.5;
+  copt.max_mape_regression = 2.0;
+  copt.min_shadow_spearman = 0.0;
+  copt.feedback = feedback;          // measured feedback mixes into fine-tuning
+  copt.feedback_fraction = 0.3;
   copt.verbose = true;
   registry::ContinualTrainer trainer(reg, service, copt);
 
-  for (int cycle = 1; cycle <= cycles; ++cycle) {
-    std::printf("--- cycle %d (incumbent v%d, %llu requests served so far) ---\n", cycle,
-                service.active_version(), static_cast<unsigned long long>(served.load()));
-    const registry::CycleReport report = trainer.run_cycle();
-    std::printf("  holdout MAPE: incumbent %.3f -> candidate %.3f\n",
-                report.incumbent_holdout.mape, report.candidate_holdout.mape);
-    std::printf("  shadow canary: %llu requests, MAPE vs incumbent %.3f, spearman %.3f\n",
-                static_cast<unsigned long long>(report.shadow_requests), report.shadow_mape,
-                report.shadow_spearman);
-    std::printf("  %s\n\n", report.decision.c_str());
-  }
+  registry::ContinualSchedulerOptions aopt;
+  aopt.drift.min_samples = 128;
+  aopt.drift.psi_threshold = 0.1;    // demo thresholds: sensitive on purpose
+  aopt.drift.ks_threshold = 0.25;
+  aopt.drift.max_failure_rate = 0.05;
+  aopt.drift.cooldown_observations = 50;
+  aopt.poll_interval = std::chrono::milliseconds(100);
+  aopt.max_cycles = 1;               // retraining budget for this demo
+  aopt.gc.keep_last = 1;             // aggressive retention: expire stale rejects
+  aopt.verbose = true;
+  registry::ContinualScheduler autopilot(reg, service, trainer, aopt);
+  autopilot.start();
+  std::printf("autopilot: polling every %lld ms (PSI > %.2f or KS > %.2f triggers)\n",
+              static_cast<long long>(aopt.poll_interval.count()), aopt.drift.psi_threshold,
+              aopt.drift.ks_threshold);
 
+  if (!wait_until([&] { return autopilot.last_report().reference_size > 0; },
+                  std::chrono::seconds(timeout_seconds / 3 + 1))) {
+    std::printf("ERROR: drift baseline never froze (no traffic?)\n");
+    stop.store(true); client.join(); autopilot.stop();
+    return 1;
+  }
+  std::printf("autopilot: baseline frozen over %zu calm predictions "
+              "(%llu requests served)\n\n",
+              autopilot.last_report().reference_size,
+              static_cast<unsigned long long>(served.load()));
+
+  std::printf(">>> injecting drift: client switches to large-program traffic <<<\n\n");
+  phase.store(1);
+
+  const bool cycled = wait_until([&] { return autopilot.cycles_run() >= 1; },
+                                 std::chrono::seconds(timeout_seconds));
   stop.store(true);
   client.join();
+  autopilot.stop();
+  if (!cycled) {
+    std::printf("ERROR: autopilot never triggered within %ds\n", timeout_seconds);
+    return 1;
+  }
 
-  // --- 4. Final state ----------------------------------------------------------
+  // --- 4. What the autopilot did --------------------------------------------
+  // Failed cycles are recorded but retried, so report the last *successful*
+  // event (the one whose promotion is serving), not merely the first.
+  const std::vector<registry::SchedulerEvent> events = autopilot.history();
+  std::size_t success = events.size();
+  for (std::size_t i = events.size(); i-- > 0;)
+    if (!events[i].cycle_failed) { success = i; break; }
+  const registry::SchedulerEvent& event = events[success == events.size() ? 0 : success];
+  std::printf("\n=== autopilot event ===\n");
+  std::printf("drift:   %s (window %zu vs reference %zu)\n", event.drift.reason.c_str(),
+              event.drift.window_size, event.drift.reference_size);
+  if (event.cycle_failed) {
+    std::printf("cycle:   FAILED: %s\n", event.error.c_str());
+    return 1;
+  }
+  std::printf("cycle:   v%d -> v%d: %s\n", event.cycle.incumbent_version,
+              event.cycle.candidate_version, event.cycle.decision.c_str());
+  std::printf("data:    %zu measured-feedback samples mixed into fine-tuning "
+              "(%zu dropped), holdout MAPE %.3f -> %.3f\n",
+              event.cycle.feedback_samples, event.cycle.feedback_dropped,
+              event.cycle.incumbent_holdout.mape, event.cycle.candidate_holdout.mape);
+  std::printf("gc:      removed %zu expired version(s):", event.gc.removed.size());
+  for (int v : event.gc.removed) std::printf(" v%d", v);
+  std::printf("  (kept:");
+  for (int v : event.gc.kept) std::printf(" v%d", v);
+  std::printf(")\n");
+
   const serve::ServeStats stats = service.stats();
-  std::printf("registry versions:\n");
+  std::printf("\nregistry after autopilot:\n");
   for (const registry::ModelManifest& m : reg.list())
     std::printf("  v%d%s parent=v%d mape=%.3f  %s\n", m.version,
                 m.version == reg.active_version() ? " [active]" : "         ", m.parent_version,
                 m.metrics.mape, m.provenance.c_str());
-  std::printf("service: v%d live, %llu requests served, %llu swaps, 0 dropped (failed: %llu)\n",
+  std::printf("service: v%d live, %llu served, %llu swaps, %llu failed, "
+              "feedback %llu/%llu sampled/offered\n",
               service.active_version(), static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.model_swaps),
-              static_cast<unsigned long long>(stats.failed_requests));
-  if (reg.active_version() == v1) {
-    std::printf("note: no candidate passed the gate this run\n");
+              static_cast<unsigned long long>(stats.failed_requests),
+              static_cast<unsigned long long>(feedback->sampled()),
+              static_cast<unsigned long long>(feedback->offered()));
+
+  // The acceptance bar: a promotion happened with no manual run_cycle(), the
+  // stale rejected candidates expired, and the ACTIVE checkpoint survived GC
+  // intact (reloadable through its integrity-checked manifest).
+  bool ok = event.cycle.promoted && reg.active_version() == event.cycle.candidate_version;
+  for (int v : {stale1, stale2})
+    ok = ok && !std::filesystem::exists(reg.version_dir(v));
+  try {
+    reg.load_active();
+  } catch (const std::exception& e) {
+    std::printf("ERROR: ACTIVE checkpoint unloadable after gc: %s\n", e.what());
+    ok = false;
+  }
+  if (!ok) {
+    std::printf("\nnote: autopilot ran but the promotion/GC acceptance bar was not met\n");
     return 1;
   }
-  std::printf("active version moved v%d -> v%d with zero downtime\n", v1, reg.active_version());
+  std::printf("\nactive version moved v%d -> v%d by drift trigger alone, zero downtime\n", v1,
+              reg.active_version());
   return 0;
 }

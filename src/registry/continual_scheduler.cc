@@ -1,0 +1,152 @@
+#include "registry/continual_scheduler.h"
+
+#include <cstdio>
+#include <exception>
+
+namespace tcm::registry {
+
+ContinualScheduler::ContinualScheduler(ModelRegistry& registry,
+                                       serve::PredictionService& service,
+                                       ContinualTrainer& trainer,
+                                       ContinualSchedulerOptions options)
+    : registry_(registry),
+      service_(service),
+      trainer_(trainer),
+      options_(std::move(options)),
+      monitor_(options_.drift) {}
+
+ContinualScheduler::~ContinualScheduler() { stop(); }
+
+void ContinualScheduler::start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ContinualScheduler::stop() {
+  // The thread handle is claimed under the lock: of two concurrent stop()
+  // calls exactly one joins, the other sees running_ == false and returns.
+  std::thread claimed;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stopping_ = true;
+    running_ = false;
+    claimed = std::move(thread_);
+  }
+  stop_cv_.notify_all();
+  claimed.join();
+}
+
+void ContinualScheduler::loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(thread_mu_);
+      if (stop_cv_.wait_for(lock, options_.poll_interval, [this] { return stopping_; }))
+        return;
+    }
+    poll_once();
+  }
+}
+
+bool ContinualScheduler::poll_once() {
+  // Snapshot the service first (stats() takes the service's own locks).
+  const serve::ServeStats stats = service_.stats();
+  const std::vector<double> window = service_.recent_predictions();
+
+  // Observe and decide under mu_; run the (potentially minutes-long) cycle
+  // *outside* it so last_report()/cycles_run()/history() stay responsive
+  // while training — exactly when an operator wants to watch. A
+  // cycle_in_flight_ flag keeps concurrent poll_once() calls from stacking
+  // cycles.
+  SchedulerEvent event;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++polls_;
+    const serve::DriftReport report = monitor_.observe(stats, window);
+    last_report_ = report;
+    if (!report.triggered) return false;
+
+    // Budget and wall-clock cooldown. A suppressed trigger is dropped, not
+    // queued: if the drift persists, the monitor will fire again after its
+    // own cooldown. Only *successful* cycles consume the budget — failures
+    // are retried (paced by the cooldowns), not allowed to exhaust it.
+    if (cycle_in_flight_) return false;
+    if (options_.max_cycles > 0 && cycles_ >= static_cast<std::uint64_t>(options_.max_cycles)) {
+      if (options_.verbose)
+        std::printf("[autopilot] drift (%s) but cycle budget %d exhausted\n",
+                    report.reason.c_str(), options_.max_cycles);
+      return false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (have_last_cycle_ && now - last_cycle_end_ < options_.cycle_cooldown) {
+      if (options_.verbose)
+        std::printf("[autopilot] drift (%s) inside cycle cooldown, skipping\n",
+                    report.reason.c_str());
+      return false;
+    }
+    cycle_in_flight_ = true;
+    event.drift = report;
+  }
+
+  if (options_.verbose)
+    std::printf("[autopilot] drift detected (%s) -> running cycle\n",
+                event.drift.reason.c_str());
+  try {
+    event.cycle = trainer_.run_cycle();
+  } catch (const std::exception& e) {
+    event.cycle_failed = true;
+    event.error = e.what();
+    if (options_.verbose) std::printf("[autopilot] cycle failed: %s\n", e.what());
+  }
+  // GC failures are reported separately: a retention hiccup must not be
+  // mistaken for a failed retraining cycle (the promotion, if any, already
+  // happened and is serving).
+  if (!event.cycle_failed && options_.gc_after_cycle) {
+    try {
+      event.gc = registry_.gc(options_.gc);
+    } catch (const std::exception& e) {
+      event.gc_failed = true;
+      event.error = e.what();
+      if (options_.verbose) std::printf("[autopilot] post-cycle gc failed: %s\n", e.what());
+    }
+  }
+
+  // Whatever the outcome, re-anchor drift detection on the traffic the
+  // (possibly new) serving model produces from here on.
+  service_.clear_recent_predictions();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  monitor_.rebaseline();
+  cycle_in_flight_ = false;
+  const bool succeeded = !event.cycle_failed;
+  if (succeeded) ++cycles_;
+  have_last_cycle_ = true;
+  last_cycle_end_ = std::chrono::steady_clock::now();
+  history_.push_back(std::move(event));
+  return succeeded;
+}
+
+std::uint64_t ContinualScheduler::polls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return polls_;
+}
+
+std::uint64_t ContinualScheduler::cycles_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cycles_;
+}
+
+serve::DriftReport ContinualScheduler::last_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_report_;
+}
+
+std::vector<SchedulerEvent> ContinualScheduler::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+}  // namespace tcm::registry

@@ -1,5 +1,6 @@
 #include "registry/continual_trainer.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -8,9 +9,14 @@
 #include <vector>
 
 #include "model/dataset.h"
+#include "sim/executor.h"
 
 namespace tcm::registry {
 namespace {
+
+// Program ids for measured-feedback samples, far above any datagen id so the
+// mixed fine-tune set keeps per-program batching intact without collisions.
+constexpr int kFeedbackProgramIdBase = 1 << 20;
 
 // Replays every holdout sample through the service as live traffic so the
 // shadow candidate scores real request shapes. Featurizations are already
@@ -63,12 +69,57 @@ CycleReport ContinualTrainer::run_cycle() {
                 static_cast<unsigned long long>(cycle_), fresh.size(), split.train.size(),
                 split.validation.size());
 
+  // --- 1b. Measured feedback: re-execute a sample of served schedules -----
+  // The drained (program, schedule) pairs are what clients actually asked
+  // the service to score; re-executing them on the simulator turns the
+  // service's own traffic into labeled fine-tune data. The holdout is left
+  // untouched: the gate compares incumbent and candidate on the same fresh
+  // synthetic distribution every cycle.
+  model::Dataset finetune = split.train;
+  if (options_.feedback) {
+    std::vector<serve::ServedSample> served = options_.feedback->drain();
+    const double f = std::clamp(options_.feedback_fraction, 0.0, 0.95);
+    const auto ratio_cap = static_cast<std::size_t>(
+        f / (1.0 - f) * static_cast<double>(split.train.size()));
+    const std::size_t cap =
+        std::min<std::size_t>({served.size(),
+                               static_cast<std::size_t>(std::max(options_.max_feedback_samples, 0)),
+                               ratio_cap});
+    sim::Executor executor(sim::MachineModel(options_.data.machine), options_.data.executor,
+                           data.seed ^ 0xfeedbacULL);
+    for (std::size_t i = 0; i < cap; ++i) {
+      const serve::ServedSample& sample = served[i];
+      try {
+        const double speedup = executor.measure_speedup(sample.program, sample.schedule);
+        auto feats = model::featurize(sample.program, sample.schedule, options_.data.features);
+        if (!feats) {
+          ++report.feedback_dropped;
+          continue;
+        }
+        model::DataPoint point;
+        point.program_id = kFeedbackProgramIdBase + static_cast<int>(i);
+        point.feats = std::move(*feats);
+        point.speedup = speedup;
+        finetune.points.push_back(std::move(point));
+        ++report.feedback_samples;
+      } catch (const std::exception&) {
+        ++report.feedback_dropped;  // illegal schedule or simulator failure
+      }
+    }
+    report.feedback_dropped += served.size() - cap;  // over budget, not re-executed
+    if (options_.verbose && !served.empty())
+      std::printf("[cycle %llu] measured feedback: %zu served samples drained, %zu mixed in, "
+                  "%zu dropped\n",
+                  static_cast<unsigned long long>(cycle_), served.size(),
+                  report.feedback_samples, report.feedback_dropped);
+  }
+
   // --- 2. Fine-tune a registry-loaded copy of the incumbent ---------------
   // The serving snapshot is never trained; both sides here are fresh loads.
   std::unique_ptr<model::SpeedupPredictor> incumbent = registry_.load(report.incumbent_version);
   report.incumbent_holdout = model::evaluate(*incumbent, split.validation);
   std::unique_ptr<model::SpeedupPredictor> candidate = registry_.load(report.incumbent_version);
-  model::train_model(*candidate, split.train, &split.validation, options_.train);
+  model::train_model(*candidate, finetune, &split.validation, options_.train);
   report.candidate_holdout = model::evaluate(*candidate, split.validation);
 
   // --- 3. Register the candidate ------------------------------------------
@@ -78,7 +129,8 @@ CycleReport ContinualTrainer::run_cycle() {
   manifest.metrics = report.candidate_holdout;
   manifest.provenance = "continual cycle " + std::to_string(cycle_) + ": fine-tuned v" +
                         std::to_string(report.incumbent_version) + " on " +
-                        std::to_string(split.train.size()) + " fresh samples (" +
+                        std::to_string(split.train.size()) + " fresh + " +
+                        std::to_string(report.feedback_samples) + " measured-feedback samples (" +
                         std::to_string(options_.train.epochs) + " epochs)";
   report.candidate_version = registry_.register_version(*candidate, manifest);
 

@@ -8,6 +8,12 @@
 //
 //   1. generate   — fresh datagen samples (new programs x schedules, measured
 //                   on the simulated machine), split into fine-tune/holdout;
+//                   when a measured-feedback buffer is wired in, a sample of
+//                   schedules the service actually served is drained,
+//                   re-executed on the simulator for real measured speedups,
+//                   and mixed into the fine-tune set (configurable ratio) —
+//                   cycles train on what serving saw, not only on synthetic
+//                   draws;
 //   2. fine-tune  — a registry-loaded *copy* of the incumbent (the serving
 //                   snapshot is never trained) with model::train_model;
 //   3. register   — the candidate checkpoint, parented to the incumbent;
@@ -27,9 +33,12 @@
 #include <cstdint>
 #include <string>
 
+#include <memory>
+
 #include "datagen/dataset_builder.h"
 #include "model/train.h"
 #include "registry/model_registry.h"
+#include "serve/feedback_buffer.h"
 #include "serve/prediction_service.h"
 
 namespace tcm::registry {
@@ -46,6 +55,18 @@ struct ContinualTrainerOptions {
   double min_shadow_spearman = 0.5;  // serving sanity: rank agreement floor
   double shadow_fraction = 1.0;      // fraction of live batches the canary scores
 
+  // Measured feedback: when set, each cycle drains this buffer (fed by the
+  // service's raw submit path), re-executes the drained schedules on the
+  // simulator and mixes the measured samples into the fine-tune set. The
+  // holdout gate stays purely on fresh synthetic data so the promote
+  // decision is comparable across cycles.
+  std::shared_ptr<serve::FeedbackBuffer> feedback;
+  // Cap on the measured share of the fine-tune set (0.25 = at most one
+  // measured sample per three synthetic ones).
+  double feedback_fraction = 0.25;
+  // Hard cap on re-executions per cycle (simulator time budget).
+  int max_feedback_samples = 256;
+
   std::uint64_t seed = 2024;  // varied per cycle so data never repeats
   bool verbose = false;
 };
@@ -57,6 +78,11 @@ struct CycleReport {
   bool promoted = false;
   model::EvalMetrics incumbent_holdout;  // incumbent on the fresh holdout
   model::EvalMetrics candidate_holdout;  // candidate on the same holdout
+  // Measured-feedback mixing: served schedules re-executed into the
+  // fine-tune set, and drained samples that failed re-execution or
+  // featurization (skipped, never fatal).
+  std::size_t feedback_samples = 0;
+  std::size_t feedback_dropped = 0;
   std::uint64_t shadow_requests = 0;
   std::uint64_t shadow_failures = 0;
   double shadow_mape = 0;      // candidate vs incumbent on shared live traffic

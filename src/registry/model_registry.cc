@@ -1,11 +1,15 @@
 #include "registry/model_registry.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -22,6 +26,8 @@ constexpr int kFormatVersion = 1;
 constexpr const char* kWeightsFile = "weights.bin";
 constexpr const char* kManifestFile = "manifest.txt";
 constexpr const char* kActiveFile = "ACTIVE";
+constexpr const char* kStagingPrefix = ".staging-";
+constexpr const char* kTrashPrefix = ".gc-";
 
 std::string version_name(int version) {
   char buf[16];
@@ -40,9 +46,22 @@ int parse_version_name(const std::string& name) {
   return v;
 }
 
-// Process-crash-safe file write: stage under a temporary name in the same
-// directory, then atomically rename into place. No fsync: power-loss
-// durability is a recorded follow-up (see ROADMAP).
+// fsync a file (or, with O_DIRECTORY, a directory — required to persist the
+// rename that published an entry inside it). POSIX-only, like rename(2)
+// atomicity this module already rests on.
+void fsync_path(const fs::path& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0)
+    throw std::runtime_error("ModelRegistry: cannot open for fsync: " + path.string());
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw std::runtime_error("ModelRegistry: fsync failed on " + path.string());
+}
+
+// Crash- and power-loss-safe file write: stage under a temporary name in the
+// same directory, fsync the staged data, atomically rename into place, then
+// fsync the directory so the rename itself is durable. After a power cut the
+// path holds either the old content or the new content, never a torn file.
 void atomic_write_file(const fs::path& path, const std::string& content) {
   const fs::path tmp = path.string() + ".tmp";
   {
@@ -52,7 +71,9 @@ void atomic_write_file(const fs::path& path, const std::string& content) {
     f.flush();
     if (!f) throw std::runtime_error("ModelRegistry: short write to " + tmp.string());
   }
+  fsync_path(tmp, /*directory=*/false);
   fs::rename(tmp, path);
+  fsync_path(path.parent_path(), /*directory=*/true);
 }
 
 std::string read_file(const fs::path& path) {
@@ -211,6 +232,26 @@ std::unique_ptr<model::SpeedupPredictor> make_model(const ModelManifest& m) {
 
 ModelRegistry::ModelRegistry(std::string root) : root_(std::move(root)) {
   fs::create_directories(root_);
+  std::lock_guard<std::mutex> lock(mu_);
+  clean_stale_locked();
+}
+
+// Sweeps the debris a writer killed mid-operation can leave at the root:
+// `*.tmp` staging files (atomic_write_file), `.staging-*` version directories
+// (register_version) and `.gc-*` trash directories (gc). All of them are
+// pre-publish or post-unpublish state — published versions are never named
+// like this — so removing them cannot lose committed data.
+void ModelRegistry::clean_stale_locked() {
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    const std::string name = entry.path().filename().string();
+    const bool tmp_file = name.size() > 4 && name.ends_with(".tmp");
+    const bool staging = name.rfind(kStagingPrefix, 0) == 0;
+    const bool trash = name.rfind(kTrashPrefix, 0) == 0;
+    if (tmp_file || staging || trash) stale.push_back(entry.path());
+  }
+  for (const fs::path& p : stale) fs::remove_all(p);
+  if (!stale.empty()) fsync_path(root_, /*directory=*/true);
 }
 
 std::string ModelRegistry::version_dir(int version) const {
@@ -241,15 +282,18 @@ int ModelRegistry::register_version(model::SpeedupPredictor& model, ModelManifes
   manifest.created_unix = static_cast<std::int64_t>(std::time(nullptr));
 
   // Stage the whole version directory, then publish it with one rename: a
-  // crash in between leaves only a .staging dir that the next register
-  // overwrites, never a half-written vNNNN.
-  const fs::path staging = fs::path(root_) / (".staging-" + version_name(version));
+  // crash in between leaves only a .staging dir that opening the registry
+  // sweeps, never a half-written vNNNN. The weights file, the staged
+  // directory and the root are fsynced so the publish survives power loss.
+  const fs::path staging = fs::path(root_) / (kStagingPrefix + version_name(version));
   fs::remove_all(staging);
   fs::create_directories(staging);
   if (!nn::save_parameters(model.module(), (staging / kWeightsFile).string()))
     throw std::runtime_error("ModelRegistry: cannot write weights under " + staging.string());
+  fsync_path(staging / kWeightsFile, /*directory=*/false);
   atomic_write_file(staging / kManifestFile, manifest_to_string(manifest));
   fs::rename(staging, version_dir(version));
+  fsync_path(root_, /*directory=*/true);
   return version;
 }
 
@@ -282,16 +326,22 @@ std::unique_ptr<model::SpeedupPredictor> ModelRegistry::load_active() const {
   return load(version);
 }
 
+std::vector<int> ModelRegistry::versions_locked() const {
+  std::vector<int> versions;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    const int v = parse_version_name(entry.path().filename().string());
+    if (v > 0 && fs::exists(manifest_path(v))) versions.push_back(v);
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
 std::vector<ModelManifest> ModelRegistry::list() const {
   std::vector<int> versions;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& entry : fs::directory_iterator(root_)) {
-      const int v = parse_version_name(entry.path().filename().string());
-      if (v > 0 && fs::exists(manifest_path(v))) versions.push_back(v);
-    }
+    versions = versions_locked();
   }
-  std::sort(versions.begin(), versions.end());
   std::vector<ModelManifest> manifests;
   manifests.reserve(versions.size());
   for (int v : versions) manifests.push_back(manifest(v));
@@ -341,6 +391,51 @@ int ModelRegistry::rollback() {
     throw std::runtime_error("ModelRegistry: no previous version to roll back to");
   write_active_locked(previous, active);
   return previous;
+}
+
+GcReport ModelRegistry::gc(const GcPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<int> versions = versions_locked();
+  GcReport report;
+  if (versions.empty()) return report;
+
+  std::set<int> protected_set;
+  // Newest keep_last ids: the post-mortem window.
+  const int keep = std::max(policy.keep_last, 0);
+  for (std::size_t i = versions.size() > static_cast<std::size_t>(keep)
+                           ? versions.size() - static_cast<std::size_t>(keep)
+                           : 0;
+       i < versions.size(); ++i)
+    protected_set.insert(versions[i]);
+  // ACTIVE, the rollback target, and their fine-tune ancestry. The chain walk
+  // stops at versions already collected earlier (their manifests are gone).
+  const auto [active, previous] = read_active_locked();
+  for (int head : {active, previous}) {
+    int v = head;
+    while (v > 0 && fs::exists(manifest_path(v)) && protected_set.insert(v).second)
+      v = manifest(v).parent_version;
+  }
+
+  // Unpublish expired versions with an atomic rename into a `.gc-` trash
+  // name, fsync the root so the disappearance is durable, then delete the
+  // trash. A crash mid-delete leaves only trash that the next open sweeps.
+  std::vector<fs::path> trash;
+  for (int v : versions) {
+    if (protected_set.count(v)) {
+      report.kept.push_back(v);
+      continue;
+    }
+    const fs::path dst = fs::path(root_) / (kTrashPrefix + version_name(v));
+    fs::remove_all(dst);
+    fs::rename(version_dir(v), dst);
+    trash.push_back(dst);
+    report.removed.push_back(v);
+  }
+  if (!trash.empty()) {
+    fsync_path(root_, /*directory=*/true);
+    for (const fs::path& p : trash) fs::remove_all(p);
+  }
+  return report;
 }
 
 int ModelRegistry::active_version() const {

@@ -15,16 +15,25 @@
 // featurization it was trained for (as a hash, checked at load time), the
 // validation metrics at registration, the parent version it was fine-tuned
 // from, and free-form provenance. All writes are corruption-safe against
-// process crashes: files and version directories are staged under temporary
-// names and atomically renamed into place, so a crash mid-register or
-// mid-promote leaves either the old state or the new state, never a torn
-// one. (Power-loss durability would additionally require fsyncing the
-// staged data and the directory before/after each rename — a recorded
-// follow-up, not provided today.)
+// process crashes *and* power loss: files and version directories are
+// staged under temporary names, fsynced (data first, then the containing
+// directory after each rename) and atomically renamed into place, so a
+// crash or power cut mid-register or mid-promote leaves either the old
+// state or the new state on disk, never a torn one. Stale leftovers of a
+// crashed writer (`*.tmp` files, `.staging-*` / `.gc-*` directories) are
+// swept when the registry is opened.
 //
-// In-process calls are serialized by an internal mutex; cross-process
-// safety rests on the atomicity of rename(2) (concurrent writers on one
-// root are not coordinated beyond that).
+// Retention is bounded by gc(): a GcPolicy keeps the newest N versions
+// plus the ACTIVE version, the rollback target, and their full fine-tune
+// ancestry; everything else — in practice rejected continual-learning
+// candidates — expires. The ContinualScheduler invokes gc() after every
+// cycle; callers can also run it explicitly.
+//
+// In-process calls are serialized by an internal mutex. Cross-process
+// *readers* rest on the atomicity of rename(2); concurrent cross-process
+// writers are not supported — in particular, opening a registry sweeps
+// stale staging state, which would destroy another live process's
+// in-flight register/promote. One writer process per root.
 #pragma once
 
 #include <cstdint>
@@ -56,9 +65,28 @@ struct ModelManifest {
   model::EvalMetrics metrics;  // validation metrics at registration time
 };
 
+// Retention policy for ModelRegistry::gc(). A version survives collection
+// when any of the following holds:
+//   - it is among the newest `keep_last` version ids (post-mortem window,
+//     so a just-rejected candidate stays inspectable for a while),
+//   - it is the ACTIVE version or the rollback target (previous), or
+//   - it is on the fine-tune ancestry (parent chain) of either — rolling
+//     back and re-fine-tuning must never dangle.
+// Everything else expires; in steady state that is old rejected candidates.
+struct GcPolicy {
+  int keep_last = 3;
+};
+
+struct GcReport {
+  std::vector<int> removed;  // versions deleted from disk (ascending)
+  std::vector<int> kept;     // versions that survived (ascending)
+};
+
 class ModelRegistry {
  public:
-  // Opens (creating directories as needed) a registry rooted at `root`.
+  // Opens (creating directories as needed) a registry rooted at `root` and
+  // sweeps stale temporaries (`*.tmp`, `.staging-*`, `.gc-*`) left behind by
+  // a writer that crashed between staging and publishing.
   explicit ModelRegistry(std::string root);
 
   // Stores the model's parameters plus the manifest under the next free
@@ -92,6 +120,14 @@ class ModelRegistry {
   int active_version() const;    // 0 when nothing has been promoted
   int previous_version() const;  // 0 when there is no rollback target
 
+  // Applies the retention policy: expired version directories disappear
+  // atomically (renamed aside, then deleted) and the surviving checkpoints
+  // are untouched on disk, bit for bit. Safe to run at any time, including
+  // while versions are being served (loads pin nothing on disk — a served
+  // snapshot lives in memory — but the protected set guarantees ACTIVE and
+  // the rollback target always remain loadable).
+  GcReport gc(const GcPolicy& policy = {});
+
   const std::string& root() const { return root_; }
   std::string version_dir(int version) const;
   std::string weights_path(int version) const;
@@ -101,6 +137,8 @@ class ModelRegistry {
   int next_version_locked() const;
   void write_active_locked(int active, int previous);
   std::pair<int, int> read_active_locked() const;  // {active, previous}
+  std::vector<int> versions_locked() const;        // ascending, manifest present
+  void clean_stale_locked();                       // sweep crashed-writer leftovers
 
   std::string root_;
   mutable std::mutex mu_;

@@ -1,0 +1,195 @@
+#include "serve/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcm::serve {
+namespace {
+
+// Smoothing floor for PSI bin fractions: empty bins would make the log
+// explode; the floor caps any single bin's contribution instead.
+constexpr double kPsiEpsilon = 1e-4;
+
+}  // namespace
+
+DriftMonitor::DriftMonitor(DriftMonitorOptions options) : options_(options) {}
+
+double DriftMonitor::psi(std::span<const double> reference, std::span<const double> current,
+                         int bins) {
+  if (reference.size() < 2 || current.empty() || bins < 2) return 0.0;
+  // Equal-frequency bin edges from the reference: edge k is the k/bins
+  // quantile. Ties can collapse edges; collapsed bins contribute ~0 on the
+  // reference side and are handled by the epsilon floor.
+  std::vector<double> sorted_ref(reference.begin(), reference.end());
+  std::sort(sorted_ref.begin(), sorted_ref.end());
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(bins) - 1);
+  for (int k = 1; k < bins; ++k) {
+    const std::size_t idx =
+        std::min(sorted_ref.size() - 1, sorted_ref.size() * static_cast<std::size_t>(k) /
+                                            static_cast<std::size_t>(bins));
+    edges.push_back(sorted_ref[idx]);
+  }
+  const auto bin_of = [&](double x) {
+    return static_cast<std::size_t>(
+        std::upper_bound(edges.begin(), edges.end(), x) - edges.begin());
+  };
+  std::vector<double> p(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> q(static_cast<std::size_t>(bins), 0.0);
+  for (double x : reference) p[bin_of(x)] += 1.0 / static_cast<double>(reference.size());
+  for (double x : current) q[bin_of(x)] += 1.0 / static_cast<double>(current.size());
+  double psi = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    const double pb = std::max(p[static_cast<std::size_t>(b)], kPsiEpsilon);
+    const double qb = std::max(q[static_cast<std::size_t>(b)], kPsiEpsilon);
+    psi += (qb - pb) * std::log(qb / pb);
+  }
+  return psi;
+}
+
+double DriftMonitor::ks_statistic(std::span<const double> reference,
+                                  std::span<const double> current) {
+  if (reference.empty() || current.empty()) return 0.0;
+  std::vector<double> a(reference.begin(), reference.end());
+  std::vector<double> b(current.begin(), current.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double ks = 0.0;
+  std::size_t i = 0, j = 0;
+  // Consume every element equal to the current value from *both* sides
+  // before evaluating the CDF gap: evaluating mid-tie would inflate KS by
+  // up to the tie fraction (identical windows full of repeated predictions
+  // — a cache-hot workload — must measure 0, not the tie mass).
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == x) ++i;
+    while (j < b.size() && b[j] == x) ++j;
+    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
+    ks = std::max(ks, std::abs(fa - fb));
+  }
+  return ks;
+}
+
+void DriftMonitor::rebaseline() {
+  reference_.clear();
+  have_failure_base_ = false;
+  base_requests_ = 0;
+  base_failures_ = 0;
+  failure_deltas_.clear();
+  window_requests_ = 0;
+  window_failures_ = 0;
+  cooldown_remaining_ = 0;
+}
+
+DriftReport DriftMonitor::observe(const ServeStats& stats,
+                                  std::span<const double> recent_predictions) {
+  DriftReport report;
+  report.window_size = recent_predictions.size();
+
+  // The failure-rate baseline is independent of the prediction window: a
+  // service with the prediction ring disabled (or too small to ever freeze
+  // a reference) must still be monitorable for failures and shadow
+  // disagreement. Captured on the very first observation.
+  if (!have_failure_base_) {
+    base_requests_ = stats.requests;
+    base_failures_ = stats.failed_requests;
+    have_failure_base_ = true;
+  }
+
+  // Freeze the distribution reference on the first observation with enough
+  // predictions; the freezing observation skips the distribution signals —
+  // the window *is* the reference.
+  bool froze_reference = false;
+  if (reference_.empty() &&
+      recent_predictions.size() >= std::max<std::size_t>(options_.min_samples, 2)) {
+    reference_.assign(recent_predictions.begin(), recent_predictions.end());
+    froze_reference = true;
+  }
+  report.reference_size = reference_.size();
+
+  // --- distribution shift over predicted speedups ---------------------------
+  if (!reference_.empty() && !froze_reference &&
+      recent_predictions.size() >= std::max<std::size_t>(options_.min_samples, 2)) {
+    report.psi.value = psi(reference_, recent_predictions, options_.psi_bins);
+    report.psi.threshold = options_.psi_threshold;
+    report.psi.samples = recent_predictions.size();
+    report.psi.fired = options_.psi_threshold > 0 && report.psi.value > options_.psi_threshold;
+
+    report.ks.value = ks_statistic(reference_, recent_predictions);
+    report.ks.threshold = options_.ks_threshold;
+    report.ks.samples = recent_predictions.size();
+    report.ks.fired = options_.ks_threshold > 0 && report.ks.value > options_.ks_threshold;
+  }
+
+  // --- failure rate over the sliding delta window ---------------------------
+  // Each observe() contributes the counter delta since the previous one;
+  // the rate is computed over the last failure_window_observations deltas,
+  // so a long healthy run never dilutes a fresh failure burst.
+  {
+    const std::uint64_t dreq =
+        stats.requests >= base_requests_ ? stats.requests - base_requests_ : 0;
+    const std::uint64_t dfail =
+        stats.failed_requests >= base_failures_ ? stats.failed_requests - base_failures_ : 0;
+    base_requests_ = stats.requests;
+    base_failures_ = stats.failed_requests;
+    failure_deltas_.emplace_back(dreq, dfail);
+    window_requests_ += dreq;
+    window_failures_ += dfail;
+    while (failure_deltas_.size() > std::max<std::size_t>(options_.failure_window_observations, 1)) {
+      window_requests_ -= failure_deltas_.front().first;
+      window_failures_ -= failure_deltas_.front().second;
+      failure_deltas_.pop_front();
+    }
+    const std::uint64_t volume = window_requests_ + window_failures_;
+    report.failure_rate.samples = volume;
+    report.failure_rate.threshold = options_.max_failure_rate;
+    if (volume >= std::max<std::uint64_t>(options_.min_failure_volume, 1)) {
+      report.failure_rate.value =
+          static_cast<double>(window_failures_) / static_cast<double>(volume);
+      report.failure_rate.fired = options_.max_failure_rate > 0 &&
+                                  report.failure_rate.value > options_.max_failure_rate;
+    }
+  }
+
+  // --- standing-shadow disagreement -----------------------------------------
+  if (stats.shadow_requests >= std::max<std::uint64_t>(options_.min_shadow_requests, 2)) {
+    report.shadow_mape.value = stats.shadow_mape;
+    report.shadow_mape.threshold = options_.max_shadow_mape;
+    report.shadow_mape.samples = stats.shadow_requests;
+    report.shadow_mape.fired =
+        options_.max_shadow_mape > 0 && stats.shadow_mape > options_.max_shadow_mape;
+
+    report.shadow_spearman.value = stats.shadow_spearman;
+    report.shadow_spearman.threshold = options_.min_shadow_spearman;
+    report.shadow_spearman.samples = stats.shadow_requests;
+    report.shadow_spearman.fired = options_.min_shadow_spearman > 0 &&
+                                   stats.shadow_spearman < options_.min_shadow_spearman;
+  }
+
+  const auto note = [&report](const char* name, const DriftSignal& s) {
+    if (!s.fired) return;
+    if (!report.reason.empty()) report.reason += ", ";
+    report.reason += name;
+    report.reason += '=';
+    report.reason += std::to_string(s.value);
+  };
+  note("psi", report.psi);
+  note("ks", report.ks);
+  note("failure_rate", report.failure_rate);
+  note("shadow_mape", report.shadow_mape);
+  note("shadow_spearman", report.shadow_spearman);
+  report.drifted = !report.reason.empty();
+
+  // Edge-trigger with cooldown: a trigger suppresses the next
+  // cooldown_observations observe() calls, drifted or not.
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+  } else if (report.drifted) {
+    report.triggered = true;
+    cooldown_remaining_ = std::max(options_.cooldown_observations, 0);
+  }
+  return report;
+}
+
+}  // namespace tcm::serve

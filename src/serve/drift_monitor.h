@@ -1,0 +1,138 @@
+// Drift detection over live serving signals: the sensor of the
+// continual-learning autopilot.
+//
+// A learned cost model only stays accurate while the schedule distribution
+// it serves looks like the one it was trained on (LOOPer, MetaTune). The
+// DriftMonitor watches a PredictionService from the outside — it is fed
+// periodic `ServeStats` snapshots plus the service's window of recent
+// predicted speedups — and reduces them to one decision: has the serving
+// distribution drifted enough to warrant a retraining cycle *now*?
+//
+// Signals, each with its own threshold and minimum sample count:
+//   - PSI: population stability index between a frozen reference window of
+//     predicted speedups (captured when the monitor baselines) and the
+//     current recent window, over equal-frequency bins of the reference.
+//     The classic "significant shift" bar is 0.25.
+//   - KS: two-sample Kolmogorov-Smirnov statistic (sup CDF gap) over the
+//     same two windows — catches shape changes PSI's binning can smear.
+//   - failure rate: featurization/forward failures per request since the
+//     baseline; a traffic mix the featurization cannot express is drift
+//     even when predictions look stable.
+//   - shadow MAPE / shadow Spearman: disagreement of a standing shadow
+//     candidate, when one is installed (0 samples otherwise — the signals
+//     simply stay quiet).
+//
+// Triggering is edge- not level-based: `observe()` reports `drifted`
+// whenever any signal is over its threshold, but `triggered` fires at most
+// once per cooldown window (counted in observations), so a sustained shift
+// produces one retraining cycle, not one per poll. After the cycle swaps
+// the model the caller re-baselines (`rebaseline()`): the next healthy
+// window becomes the new reference.
+//
+// The monitor is deliberately pure state + arithmetic (no threads, no
+// service reference): the ContinualScheduler owns the polling loop, and
+// tests can drive observe() with synthetic distributions. Not thread-safe;
+// callers serialize access (the scheduler does).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/prediction_service.h"
+
+namespace tcm::serve {
+
+struct DriftMonitorOptions {
+  // Both the reference and the recent window must hold at least this many
+  // predictions before the distribution signals are evaluated; short windows
+  // (including the degenerate < 2 samples) never fire.
+  std::size_t min_samples = 64;
+
+  int psi_bins = 10;             // equal-frequency bins of the reference
+  double psi_threshold = 0.25;   // fire when PSI exceeds this; <= 0 disables
+  double ks_threshold = 0.35;    // fire when KS exceeds this; <= 0 disables
+
+  double max_failure_rate = 0.02;          // failures / (requests + failures)
+  std::uint64_t min_failure_volume = 64;   // request volume before it can fire
+  // The failure rate is computed over a sliding window of the last N
+  // observe() deltas, not cumulatively since the baseline: detection
+  // latency after a long healthy run stays bounded by the window.
+  std::size_t failure_window_observations = 50;
+
+  // Standing-shadow disagreement gates; evaluated only when a shadow has
+  // scored at least min_shadow_requests. <= 0 disables either bound.
+  double max_shadow_mape = 0.0;
+  double min_shadow_spearman = 0.0;
+  std::uint64_t min_shadow_requests = 64;
+
+  // observe() calls suppressed after a trigger: one trigger per cooldown.
+  int cooldown_observations = 25;
+};
+
+struct DriftSignal {
+  double value = 0.0;
+  double threshold = 0.0;
+  bool fired = false;
+  std::uint64_t samples = 0;  // observations backing the value (0 = no data)
+};
+
+struct DriftReport {
+  DriftSignal psi;
+  DriftSignal ks;
+  DriftSignal failure_rate;
+  DriftSignal shadow_mape;
+  DriftSignal shadow_spearman;  // fires when *below* its threshold (a floor)
+  std::size_t reference_size = 0;  // 0 until the baseline is frozen
+  std::size_t window_size = 0;
+  bool drifted = false;    // any signal over threshold right now
+  bool triggered = false;  // drifted and not inside the cooldown window
+  std::string reason;      // human-readable list of fired signals
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorOptions options = {});
+
+  // Ingests one snapshot. `recent_predictions` is the service's current
+  // window of predicted speedups (PredictionService::recent_predictions());
+  // the first observation with >= min_samples of them freezes the
+  // distribution reference, and that observation skips the PSI/KS signals
+  // (the window *is* the reference). The failure-rate baseline is captured
+  // on the very first observation regardless, so failure and shadow
+  // monitoring work even with the prediction ring disabled. Counter fields
+  // of `stats` must be monotone between observations (they are totals
+  // since service construction).
+  DriftReport observe(const ServeStats& stats, std::span<const double> recent_predictions);
+
+  // Forgets the reference window, the failure baseline and any cooldown:
+  // call after a model swap so the new model's traffic becomes the next
+  // reference instead of being compared against the old model's.
+  void rebaseline();
+
+  bool baselined() const { return !reference_.empty(); }
+  const DriftMonitorOptions& options() const { return options_; }
+
+  // Exposed for tests and benches.
+  static double psi(std::span<const double> reference, std::span<const double> current,
+                    int bins);
+  static double ks_statistic(std::span<const double> reference,
+                             std::span<const double> current);
+
+ private:
+  DriftMonitorOptions options_;
+  std::vector<double> reference_;      // frozen at baseline time
+  std::uint64_t base_requests_ = 0;    // counter snapshot of the previous observe
+  std::uint64_t base_failures_ = 0;
+  bool have_failure_base_ = false;
+  // Sliding window of per-observe (requests, failures) deltas.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> failure_deltas_;
+  std::uint64_t window_requests_ = 0;  // running sums over failure_deltas_
+  std::uint64_t window_failures_ = 0;
+  int cooldown_remaining_ = 0;
+};
+
+}  // namespace tcm::serve

@@ -1,0 +1,65 @@
+// Measured-feedback buffer: a uniform sample of what the service actually
+// served, kept as raw (program, schedule) pairs so a continual-learning
+// cycle can re-execute them on the simulator and fine-tune on *measured*
+// speedups instead of (only) fresh synthetic datagen draws — the data loop
+// LOOPer and MetaTune close.
+//
+// The buffer sits on the PredictionService submit path (raw-pair entry
+// point only; pre-featurized requests carry no program to re-execute).
+// offer() first Bernoulli-samples the request stream — a lock-free
+// atomic-ticket + hash draw, so rejected offers cost neither a mutex nor
+// an IR copy on the serving hot path — then reservoir-samples the
+// survivors into a bounded buffer: drain() therefore hands back a uniform
+// sample of the sampled stream since the last drain, no matter how much
+// traffic flowed. Thread-safe; the accept decision is deterministic in
+// (seed, ticket index).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "ir/program.h"
+#include "support/rng.h"
+#include "transforms/schedule.h"
+
+namespace tcm::serve {
+
+struct ServedSample {
+  ir::Program program;
+  transforms::Schedule schedule;
+};
+
+struct FeedbackBufferOptions {
+  std::size_t capacity = 1024;   // reservoir size handed to drain()
+  double sample_fraction = 0.1;  // fraction of offered requests considered
+  std::uint64_t seed = 7;
+};
+
+class FeedbackBuffer {
+ public:
+  explicit FeedbackBuffer(FeedbackBufferOptions options = {});
+
+  // Called by the service for every raw-pair request. Cheap when the
+  // Bernoulli draw rejects; otherwise copies the pair into the reservoir.
+  void offer(const ir::Program& program, const transforms::Schedule& schedule);
+
+  // Takes the reservoir (the stream restarts empty). Order is arbitrary.
+  std::vector<ServedSample> drain();
+
+  std::size_t size() const;
+  std::uint64_t offered() const;  // total offer() calls
+  std::uint64_t sampled() const;  // offers that passed the Bernoulli draw
+
+ private:
+  const FeedbackBufferOptions options_;
+  std::atomic<std::uint64_t> offered_{0};  // also the lock-free ticket counter
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<ServedSample> reservoir_;
+  std::uint64_t sampled_ = 0;        // total since construction
+  std::uint64_t stream_count_ = 0;   // sampled offers since the last drain()
+};
+
+}  // namespace tcm::serve

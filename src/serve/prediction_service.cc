@@ -82,6 +82,23 @@ void PredictionService::clear_shadow() {
   shadow_ = nullptr;
 }
 
+void PredictionService::set_feedback(std::shared_ptr<FeedbackBuffer> feedback) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  feedback_ = std::move(feedback);
+  has_feedback_.store(feedback_ != nullptr, std::memory_order_release);
+}
+
+std::vector<double> PredictionService::recent_predictions() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return recent_preds_;
+}
+
+void PredictionService::clear_recent_predictions() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  recent_preds_.clear();
+  recent_pred_next_ = 0;
+}
+
 std::future<Prediction> PredictionService::submit(const ir::Program& program,
                                                   const transforms::Schedule& schedule) {
   return submit_with_key({fingerprint(program), fingerprint(schedule)}, program, schedule);
@@ -90,6 +107,20 @@ std::future<Prediction> PredictionService::submit(const ir::Program& program,
 std::future<Prediction> PredictionService::submit_with_key(const PairKey& key,
                                                            const ir::Program& program,
                                                            const transforms::Schedule& schedule) {
+  // Offer the raw pair to the measured-feedback buffer before featurization:
+  // the buffer samples what clients *asked for*, featurizable or not. The
+  // disabled (default) path is one relaxed atomic load; when enabled, the
+  // buffer pointer has its own mutex so this never touches model_mu_,
+  // which batch pinning and hot-swap share.
+  if (has_feedback_.load(std::memory_order_acquire)) {
+    std::shared_ptr<FeedbackBuffer> feedback;
+    {
+      std::lock_guard<std::mutex> lock(feedback_mu_);
+      feedback = feedback_;
+    }
+    if (feedback) feedback->offer(program, schedule);
+  }
+
   std::shared_ptr<const model::FeaturizedProgram> feats = cache_.get(key);
   if (!feats) {
     std::string error;
@@ -210,6 +241,16 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch, WorkerState
         } else {
           latencies_[latency_next_] = latency;
           latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+        }
+      }
+      if (options_.prediction_window > 0) {
+        for (double pred : ws.preds) {
+          if (recent_preds_.size() < options_.prediction_window) {
+            recent_preds_.push_back(pred);
+          } else {
+            recent_preds_[recent_pred_next_] = pred;
+            recent_pred_next_ = (recent_pred_next_ + 1) % options_.prediction_window;
+          }
         }
       }
     }

@@ -40,6 +40,7 @@
 // deciding to promote.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -51,6 +52,7 @@
 #include "model/cost_model.h"
 #include "serve/batcher.h"
 #include "serve/feature_cache.h"
+#include "serve/feedback_buffer.h"
 
 namespace tcm::serve {
 
@@ -71,6 +73,10 @@ struct ServeOptions {
   // Shadow disagreement window: recent (incumbent, shadow) prediction pairs
   // kept for the Spearman statistic.
   std::size_t shadow_window = 1 << 12;
+  // Recent incumbent predictions kept for drift detection
+  // (recent_predictions(); the DriftMonitor compares this window against a
+  // frozen reference). 0 disables the ring.
+  std::size_t prediction_window = 1 << 12;
 };
 
 // Counter snapshot; all values are totals since construction.
@@ -147,6 +153,22 @@ class PredictionService {
                   double sample_fraction = 1.0);
   void clear_shadow();
 
+  // Installs (or, with nullptr, removes) a measured-feedback buffer: every
+  // raw (program, schedule) submission is offered to it, so a continual
+  // cycle can later re-execute a sample of served schedules on the
+  // simulator. Pre-featurized submissions bypass the buffer (no program to
+  // re-execute).
+  void set_feedback(std::shared_ptr<FeedbackBuffer> feedback);
+
+  // Snapshot of the recent incumbent predicted speedups (unordered ring of
+  // the last ServeOptions::prediction_window predictions): the drift
+  // monitor's distribution window. Empty until the first batch completes.
+  std::vector<double> recent_predictions() const;
+
+  // Empties the recent-prediction ring. Called after a model swap so the
+  // next drift baseline reflects only the new model's predictions.
+  void clear_recent_predictions();
+
   // Makes everything enqueued so far immediately batchable.
   void flush() { batcher_.flush(); }
 
@@ -202,6 +224,12 @@ class PredictionService {
   mutable std::mutex model_mu_;
   std::shared_ptr<const ModelSnapshot> model_;
   std::shared_ptr<const ShadowState> shadow_;  // null = disabled
+  // Measured-feedback tap, behind its own mutex so the per-request pointer
+  // copy on the submit path never contends with batch pinning or hot-swap;
+  // the atomic flag keeps the (default) disabled path entirely lock-free.
+  std::atomic<bool> has_feedback_{false};
+  mutable std::mutex feedback_mu_;
+  std::shared_ptr<FeedbackBuffer> feedback_;  // null = disabled
   FeatureCache cache_;
   StructureBatcher batcher_;
 
@@ -210,6 +238,9 @@ class PredictionService {
   mutable std::mutex stats_mu_;
   std::vector<double> latencies_;
   std::size_t latency_next_ = 0;
+  // Ring of recent incumbent predictions for drift detection.
+  std::vector<double> recent_preds_;
+  std::size_t recent_pred_next_ = 0;
   std::uint64_t requests_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t failed_requests_ = 0;

@@ -2,15 +2,21 @@
 // manifest integrity, promote/rollback, and the continual-learning loop.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <sstream>
+#include <thread>
 
 #include "datagen/generator.h"
 #include "model/cost_model.h"
 #include "model/train.h"
+#include "registry/continual_scheduler.h"
 #include "registry/continual_trainer.h"
 #include "registry/model_registry.h"
+#include "serve/drift_monitor.h"
+#include "serve/feedback_buffer.h"
 #include "serve/prediction_service.h"
 
 namespace fs = std::filesystem;
@@ -267,6 +273,126 @@ TEST(ModelRegistry, ReopeningSeesExistingState) {
 }
 
 // ---------------------------------------------------------------------------
+// Retention GC
+// ---------------------------------------------------------------------------
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(ModelRegistry, GcKeepsActiveLineageAndNewestAndExpiresRejected) {
+  ModelRegistry registry(scratch_dir("gc"));
+  Rng rng(3);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+
+  // v1 -> v2 promoted lineage; v3..v5 rejected candidates parented to v2.
+  const int v1 = registry.register_version(m, fast_manifest("seed"));
+  ModelManifest child = fast_manifest("promoted child");
+  child.parent_version = v1;
+  const int v2 = registry.register_version(m, child);
+  registry.promote(v1);
+  registry.promote(v2);  // active v2, previous v1
+  std::vector<int> rejected;
+  for (int i = 0; i < 3; ++i) {
+    ModelManifest r = fast_manifest("rejected candidate");
+    r.parent_version = v2;
+    rejected.push_back(registry.register_version(m, r));
+  }
+  ASSERT_EQ(rejected.back(), 5);
+
+  const std::string active_weights_before = read_bytes(registry.weights_path(v2));
+  ASSERT_FALSE(active_weights_before.empty());
+
+  GcPolicy policy;
+  policy.keep_last = 1;  // newest (v5) survives as the post-mortem window
+  const GcReport report = registry.gc(policy);
+  EXPECT_EQ(report.removed, (std::vector<int>{3, 4}));
+  EXPECT_EQ(report.kept, (std::vector<int>{1, 2, 5}));
+
+  // ACTIVE and the rollback target stay loadable, bit for bit.
+  EXPECT_EQ(read_bytes(registry.weights_path(v2)), active_weights_before);
+  EXPECT_NO_THROW(registry.load_active());
+  EXPECT_NO_THROW(registry.load(v1));
+  EXPECT_EQ(registry.active_version(), v2);
+  EXPECT_EQ(registry.previous_version(), v1);
+
+  // Expired versions are gone from disk and from the listing.
+  EXPECT_THROW(registry.load(3), std::runtime_error);
+  EXPECT_FALSE(fs::exists(registry.version_dir(4)));
+  const std::vector<ModelManifest> all = registry.list();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.back().version, 5);
+
+  // Idempotent: a second pass with the same policy removes nothing.
+  EXPECT_TRUE(registry.gc(policy).removed.empty());
+  // No trash or staging residue survives a collection.
+  for (const auto& entry : fs::directory_iterator(registry.root()))
+    EXPECT_EQ(entry.path().filename().string().find(".gc-"), std::string::npos);
+
+  // New versions keep numbering past collected ids: no id reuse.
+  EXPECT_EQ(registry.register_version(m, fast_manifest("after gc")), 6);
+}
+
+TEST(ModelRegistry, GcWithoutActivePointerKeepsOnlyNewest) {
+  ModelRegistry registry(scratch_dir("gc_noactive"));
+  Rng rng(4);
+  model::CostModel m(model::ModelConfig::fast(), rng);
+  for (int i = 0; i < 4; ++i) registry.register_version(m, fast_manifest());
+  GcPolicy policy;
+  policy.keep_last = 2;
+  const GcReport report = registry.gc(policy);
+  EXPECT_EQ(report.removed, (std::vector<int>{1, 2}));
+  EXPECT_EQ(report.kept, (std::vector<int>{3, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-injection durability: a writer killed between staging and rename
+// must leave a registry that reopens clean, with committed state intact.
+// ---------------------------------------------------------------------------
+
+TEST(ModelRegistry, ReopenSweepsCrashedWriterLeftovers) {
+  const std::string root = scratch_dir("crash");
+  std::string weights_before;
+  {
+    ModelRegistry registry(root);
+    Rng rng(1);
+    model::CostModel m(model::ModelConfig::fast(), rng);
+    registry.register_version(m, fast_manifest());
+    registry.promote(1);
+    weights_before = read_bytes(registry.weights_path(1));
+  }
+
+  // Simulate a crash at every vulnerable point of the write protocol:
+  // mid-register (a staged version directory with a half-written manifest),
+  // mid-promote (an ACTIVE.tmp that was never renamed), and mid-gc (a trash
+  // directory that was unpublished but not yet deleted).
+  fs::create_directories(fs::path(root) / ".staging-v0002");
+  { std::ofstream f(fs::path(root) / ".staging-v0002" / "weights.bin"); f << "torn"; }
+  { std::ofstream f(fs::path(root) / ".staging-v0002" / "manifest.txt.tmp"); f << "to"; }
+  { std::ofstream f(fs::path(root) / "ACTIVE.tmp"); f << "tcm-active 1\nactive 99\n"; }
+  fs::create_directories(fs::path(root) / ".gc-v0003");
+  { std::ofstream f(fs::path(root) / ".gc-v0003" / "weights.bin"); f << "junk"; }
+
+  ModelRegistry reopened(root);
+  // Stale state is swept...
+  EXPECT_FALSE(fs::exists(fs::path(root) / ".staging-v0002"));
+  EXPECT_FALSE(fs::exists(fs::path(root) / "ACTIVE.tmp"));
+  EXPECT_FALSE(fs::exists(fs::path(root) / ".gc-v0003"));
+  // ...committed state is untouched: same active version, bitwise-identical
+  // checkpoint, and registration resumes at the next id.
+  EXPECT_EQ(reopened.active_version(), 1);
+  EXPECT_EQ(reopened.list().size(), 1u);
+  EXPECT_EQ(read_bytes(reopened.weights_path(1)), weights_before);
+  EXPECT_NO_THROW(reopened.load_active());
+  Rng rng(2);
+  model::CostModel another(model::ModelConfig::fast(), rng);
+  EXPECT_EQ(reopened.register_version(another, fast_manifest()), 2);
+}
+
+// ---------------------------------------------------------------------------
 // ContinualTrainer
 // ---------------------------------------------------------------------------
 
@@ -352,6 +478,146 @@ TEST(ContinualTrainer, CyclePromotesAndHotSwapsOrRejectsCleanly) {
   EXPECT_EQ(trainer.rollback(), v1);
   EXPECT_EQ(registry.active_version(), v1);
   EXPECT_EQ(service.active_version(), v1);
+}
+
+// ---------------------------------------------------------------------------
+// ContinualScheduler: the drift-triggered autopilot
+// ---------------------------------------------------------------------------
+
+// Replays a burst of raw (program, schedule) pairs so the service's
+// recent-prediction window and (when wired) feedback buffer fill up.
+void drive_traffic(serve::PredictionService& service, int requests, std::uint64_t seed) {
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(seed);
+  std::vector<std::future<serve::Prediction>> futures;
+  for (int i = 0; i < requests; ++i) {
+    const ir::Program p = test_program(static_cast<std::uint64_t>(i % 4));
+    futures.push_back(service.submit(p, sgen.generate(p, rng)));
+  }
+  service.flush();
+  for (auto& f : futures) f.get();
+  service.quiesce();
+}
+
+TEST(ContinualScheduler, InjectedDriftTriggersCyclePromotesAndGcs) {
+  ModelRegistry registry(scratch_dir("autopilot"));
+  Rng rng(9);
+  model::CostModel seed_model(model::ModelConfig::fast(), rng);
+  const int v1 = registry.register_version(seed_model, fast_manifest("seed"));
+  registry.promote(v1);
+  // Two stale rejected candidates from "earlier runs": GC fodder.
+  model::CostModel stale_a(model::ModelConfig::fast(), rng);
+  model::CostModel stale_b(model::ModelConfig::fast(), rng);
+  ModelManifest stale = fast_manifest("stale rejected candidate");
+  stale.parent_version = v1;
+  const int v2 = registry.register_version(stale_a, stale);
+  const int v3 = registry.register_version(stale_b, stale);
+
+  serve::PredictionService service(registry.load_active(), v1, trainer_serve_options());
+  auto feedback = std::make_shared<serve::FeedbackBuffer>(serve::FeedbackBufferOptions{
+      /*capacity=*/64, /*sample_fraction=*/1.0, /*seed=*/5});
+  service.set_feedback(feedback);
+
+  ContinualTrainerOptions topts;
+  topts.data = tiny_data();
+  topts.train.epochs = 2;
+  topts.max_mape_regression = 10.0;  // generous gate: promotion is expected
+  topts.min_shadow_spearman = -1.0;
+  topts.feedback = feedback;
+  topts.feedback_fraction = 0.5;
+  ContinualTrainer trainer(registry, service, topts);
+
+  ContinualSchedulerOptions sopts;
+  sopts.drift.min_samples = 32;
+  // Distribution signals off: with windows this small their sampling noise
+  // is not negligible, and this test wants a fully deterministic trigger.
+  sopts.drift.psi_threshold = 0.0;
+  sopts.drift.ks_threshold = 0.0;
+  // Standing-shadow disagreement as the injected, deterministic drift
+  // signal: any disagreement at all over this bound fires.
+  sopts.drift.max_shadow_mape = 1e-3;
+  sopts.drift.min_shadow_requests = 16;
+  sopts.drift.cooldown_observations = 2;
+  sopts.gc.keep_last = 1;
+  sopts.max_cycles = 1;
+  ContinualScheduler scheduler(registry, service, trainer, sopts);
+
+  // Calm traffic, then the first poll freezes the drift baseline.
+  drive_traffic(service, 48, 1);
+  EXPECT_FALSE(scheduler.poll_once());
+  EXPECT_GT(scheduler.last_report().reference_size, 0u);
+  EXPECT_EQ(scheduler.cycles_run(), 0u);
+
+  // Healthy steady state: more calm traffic, still no trigger.
+  drive_traffic(service, 48, 2);
+  EXPECT_FALSE(scheduler.poll_once());
+
+  // Inject drift: a standing shadow that disagrees with the incumbent.
+  Rng shadow_rng(123);
+  auto divergent =
+      std::make_shared<model::CostModel>(model::ModelConfig::fast(), shadow_rng);
+  service.set_shadow(divergent, 99, /*sample_fraction=*/1.0);
+  drive_traffic(service, 48, 3);
+  service.clear_shadow();
+
+  // The autopilot: no manual run_cycle() — the poll detects drift, runs one
+  // full cycle, promotes, and applies retention GC.
+  ASSERT_TRUE(scheduler.poll_once());
+  ASSERT_EQ(scheduler.cycles_run(), 1u);
+  const std::vector<SchedulerEvent> events = scheduler.history();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].cycle_failed);
+  EXPECT_TRUE(events[0].drift.shadow_mape.fired) << events[0].drift.reason;
+  ASSERT_TRUE(events[0].cycle.promoted) << events[0].cycle.decision;
+  const int candidate = events[0].cycle.candidate_version;
+  EXPECT_EQ(candidate, v3 + 1);
+  EXPECT_EQ(registry.active_version(), candidate);
+  EXPECT_EQ(service.active_version(), candidate);
+
+  // Measured feedback flowed into the fine-tune set.
+  EXPECT_GT(events[0].cycle.feedback_samples, 0u);
+
+  // Post-cycle GC: the stale rejected candidates expired; the active
+  // candidate, its fine-tune parent (= rollback target) survive.
+  EXPECT_EQ(events[0].gc.removed, (std::vector<int>{v2, v3}));
+  EXPECT_EQ(events[0].gc.kept, (std::vector<int>{v1, candidate}));
+  EXPECT_NO_THROW(registry.load_active());
+  EXPECT_NO_THROW(registry.load(v1));
+
+  // The monitor re-baselined and the budget is spent: sustained shadow
+  // disagreement cannot trigger a second cycle.
+  service.set_shadow(divergent, 99, 1.0);
+  drive_traffic(service, 48, 4);
+  EXPECT_FALSE(scheduler.poll_once());  // new baseline freezes here
+  drive_traffic(service, 48, 5);
+  EXPECT_FALSE(scheduler.poll_once());  // budget exhausted
+  EXPECT_EQ(scheduler.cycles_run(), 1u);
+}
+
+TEST(ContinualScheduler, BackgroundThreadPollsQuietlyWithoutDrift) {
+  ModelRegistry registry(scratch_dir("autopilot_idle"));
+  Rng rng(11);
+  model::CostModel seed_model(model::ModelConfig::fast(), rng);
+  registry.promote(registry.register_version(seed_model, fast_manifest("seed")));
+  serve::PredictionService service(registry.load_active(), 1, trainer_serve_options());
+  ContinualTrainerOptions topts;
+  topts.data = tiny_data();
+  ContinualTrainer trainer(registry, service, topts);
+
+  ContinualSchedulerOptions sopts;
+  sopts.poll_interval = std::chrono::milliseconds(5);
+  ContinualScheduler scheduler(registry, service, trainer, sopts);
+  scheduler.start();
+  scheduler.start();  // idempotent
+  drive_traffic(service, 16, 6);
+  while (scheduler.polls() < 3) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  scheduler.stop();
+  const std::uint64_t polls_after_stop = scheduler.polls();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(scheduler.polls(), polls_after_stop);  // really stopped
+  EXPECT_EQ(scheduler.cycles_run(), 0u);
+  EXPECT_TRUE(scheduler.history().empty());
+  scheduler.stop();  // idempotent
 }
 
 }  // namespace

@@ -1,15 +1,19 @@
 // Tests for the batched inference serving subsystem (src/serve/).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "datagen/generator.h"
 #include "model/cost_model.h"
 #include "nn/inference.h"
 #include "serve/batcher.h"
+#include "serve/drift_monitor.h"
 #include "serve/feature_cache.h"
+#include "serve/feedback_buffer.h"
 #include "serve/fingerprint.h"
 #include "search/evaluator.h"
 #include "serve/prediction_service.h"
@@ -538,6 +542,262 @@ TEST(PredictionService, ModelEvaluatorMatchesService) {
   ASSERT_EQ(from_evaluator.size(), from_service.size());
   for (std::size_t i = 0; i < from_service.size(); ++i)
     EXPECT_EQ(from_evaluator[i], from_service[i]);
+}
+
+// ---------------------------------------------------------------------------
+// ServeStats derived metrics: reading before any traffic must be all finite
+// zeros, never a division by zero or NaN.
+// ---------------------------------------------------------------------------
+
+TEST(PredictionService, StatsBeforeAnyTrafficAreFiniteZeros) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  PredictionService service(cost_model, fast_options(1));
+  // Install a shadow too: its derived metrics must be just as safe to read
+  // before the first shadow-scored batch.
+  auto shadow = std::make_shared<model::CostModel>(model::ModelConfig::fast(), rng);
+  service.set_shadow(shadow, 42);
+
+  const ServeStats s = service.stats();
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.batches, 0u);
+  for (double v : {s.mean_batch_occupancy, s.p50_latency, s.p99_latency, s.shadow_mape,
+                   s.shadow_spearman}) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, 0.0);
+  }
+  EXPECT_TRUE(service.recent_predictions().empty());
+}
+
+TEST(PredictionService, RecentPredictionsWindowTracksServedTraffic) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  ServeOptions options = fast_options(1);
+  options.prediction_window = 8;  // smaller than the traffic: ring must wrap
+  PredictionService service(cost_model, options);
+  const ir::Program p = test_program();
+  datagen::RandomScheduleGenerator sgen;
+  Rng srng(11);
+  std::vector<transforms::Schedule> candidates;
+  for (int i = 0; i < 20; ++i) candidates.push_back(sgen.generate(p, srng));
+  const std::vector<double> served = service.predict_many(p, candidates);
+  service.quiesce();
+
+  const std::vector<double> window = service.recent_predictions();
+  EXPECT_EQ(window.size(), 8u);  // capped at prediction_window
+  for (double w : window)
+    EXPECT_NE(std::find(served.begin(), served.end(), w), served.end());
+
+  service.clear_recent_predictions();
+  EXPECT_TRUE(service.recent_predictions().empty());
+}
+
+// ---------------------------------------------------------------------------
+// FeedbackBuffer
+// ---------------------------------------------------------------------------
+
+TEST(FeedbackBuffer, ReservoirBoundsAndDrainResets) {
+  FeedbackBufferOptions options;
+  options.capacity = 4;
+  options.sample_fraction = 1.0;
+  FeedbackBuffer buffer(options);
+  const ir::Program p = test_program();
+  for (int i = 0; i < 10; ++i) buffer.offer(p, transforms::Schedule{});
+  EXPECT_EQ(buffer.offered(), 10u);
+  EXPECT_EQ(buffer.sampled(), 10u);
+  EXPECT_EQ(buffer.size(), 4u);  // reservoir never exceeds capacity
+
+  const std::vector<ServedSample> drained = buffer.drain();
+  EXPECT_EQ(drained.size(), 4u);
+  EXPECT_EQ(buffer.size(), 0u);
+  // The stream restarts: the next offers fill a fresh reservoir.
+  buffer.offer(p, transforms::Schedule{});
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(FeedbackBuffer, SampleFractionZeroNeverCopies) {
+  FeedbackBufferOptions options;
+  options.sample_fraction = 0.0;
+  FeedbackBuffer buffer(options);
+  const ir::Program p = test_program();
+  for (int i = 0; i < 50; ++i) buffer.offer(p, transforms::Schedule{});
+  EXPECT_EQ(buffer.offered(), 50u);
+  EXPECT_EQ(buffer.sampled(), 0u);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(PredictionService, FeedbackTapSamplesRawSubmissions) {
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  PredictionService service(cost_model, fast_options(1));
+  FeedbackBufferOptions foptions;
+  foptions.capacity = 64;
+  foptions.sample_fraction = 1.0;
+  auto buffer = std::make_shared<FeedbackBuffer>(foptions);
+  service.set_feedback(buffer);
+
+  const ir::Program p = test_program();
+  datagen::RandomScheduleGenerator sgen;
+  Rng srng(13);
+  std::vector<transforms::Schedule> candidates;
+  for (int i = 0; i < 6; ++i) candidates.push_back(sgen.generate(p, srng));
+  service.predict_many(p, candidates);
+  EXPECT_EQ(buffer->offered(), 6u);
+  EXPECT_EQ(buffer->size(), 6u);
+
+  // Pre-featurized submissions carry no program and must bypass the tap.
+  auto future = service.submit(featurize_or_die(p, candidates[0]));
+  service.flush();
+  future.get();
+  EXPECT_EQ(buffer->offered(), 6u);
+
+  service.set_feedback(nullptr);
+  service.predict_many(p, candidates);
+  EXPECT_EQ(buffer->offered(), 6u);  // detached
+}
+
+// ---------------------------------------------------------------------------
+// DriftMonitor
+// ---------------------------------------------------------------------------
+
+std::vector<double> synthetic_distribution(std::size_t n, double mean, double stddev,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.normal(mean, stddev));
+  return xs;
+}
+
+DriftMonitorOptions tight_drift_options() {
+  DriftMonitorOptions options;
+  options.min_samples = 32;
+  options.cooldown_observations = 3;
+  return options;
+}
+
+TEST(DriftMonitor, PsiAndKsSeparateShiftedFromIdentical) {
+  const std::vector<double> ref = synthetic_distribution(512, 1.0, 0.2, 1);
+  const std::vector<double> same = synthetic_distribution(512, 1.0, 0.2, 2);
+  const std::vector<double> shifted = synthetic_distribution(512, 2.5, 0.2, 3);
+  EXPECT_LT(DriftMonitor::psi(ref, same, 10), 0.1);
+  EXPECT_GT(DriftMonitor::psi(ref, shifted, 10), 1.0);
+  EXPECT_LT(DriftMonitor::ks_statistic(ref, same), 0.1);
+  EXPECT_GT(DriftMonitor::ks_statistic(ref, shifted), 0.9);
+
+  // Ties must not inflate KS: identical windows dominated by one repeated
+  // value (a cache-hot workload re-serving the same predictions) measure
+  // exactly zero shift.
+  std::vector<double> tied(100, 1.0);
+  for (int i = 0; i < 20; ++i) tied[static_cast<std::size_t>(i)] = 2.0 + 0.01 * i;
+  EXPECT_EQ(DriftMonitor::ks_statistic(tied, tied), 0.0);
+}
+
+TEST(DriftMonitor, ShortWindowsNeverFireOrProduceNaN) {
+  DriftMonitor monitor(tight_drift_options());
+  ServeStats stats;
+  // 0 and 1 samples: below every minimum, including the degenerate < 2.
+  for (const std::vector<double> window : {std::vector<double>{}, std::vector<double>{1.0}}) {
+    const DriftReport report = monitor.observe(stats, window);
+    EXPECT_FALSE(report.drifted);
+    EXPECT_FALSE(report.triggered);
+    EXPECT_EQ(report.reference_size, 0u);
+    for (double v : {report.psi.value, report.ks.value, report.failure_rate.value,
+                     report.shadow_mape.value, report.shadow_spearman.value})
+      EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_FALSE(monitor.baselined());
+}
+
+TEST(DriftMonitor, ShiftedDistributionTriggersExactlyOncePerCooldown) {
+  DriftMonitor monitor(tight_drift_options());
+  ServeStats stats;
+  const std::vector<double> calm = synthetic_distribution(256, 1.0, 0.2, 4);
+  const std::vector<double> shifted = synthetic_distribution(256, 3.0, 0.2, 5);
+
+  // First adequate window freezes the baseline and never triggers.
+  DriftReport report = monitor.observe(stats, calm);
+  EXPECT_TRUE(monitor.baselined());
+  EXPECT_FALSE(report.triggered);
+
+  // Same distribution: quiet.
+  report = monitor.observe(stats, synthetic_distribution(256, 1.0, 0.2, 6));
+  EXPECT_FALSE(report.drifted);
+
+  // Sustained shift: drifted on every observation, triggered exactly once
+  // per cooldown window (cooldown_observations = 3).
+  int triggers = 0;
+  std::vector<int> trigger_indices;
+  for (int i = 0; i < 8; ++i) {
+    report = monitor.observe(stats, shifted);
+    EXPECT_TRUE(report.drifted) << i;
+    EXPECT_TRUE(report.psi.fired || report.ks.fired);
+    if (report.triggered) {
+      ++triggers;
+      trigger_indices.push_back(i);
+    }
+  }
+  ASSERT_EQ(trigger_indices.size(), 2u);          // observations 0 and 4
+  EXPECT_EQ(trigger_indices[1] - trigger_indices[0], 4);  // 3 suppressed between
+  EXPECT_EQ(triggers, 2);
+
+  // Rebaseline forgets the reference and the cooldown: the shifted
+  // distribution becomes the new normal.
+  monitor.rebaseline();
+  EXPECT_FALSE(monitor.baselined());
+  report = monitor.observe(stats, shifted);  // freezes new baseline
+  EXPECT_FALSE(report.triggered);
+  report = monitor.observe(stats, shifted);
+  EXPECT_FALSE(report.drifted);
+}
+
+TEST(DriftMonitor, FailureRateSignalRespectsMinimumVolume) {
+  DriftMonitorOptions options = tight_drift_options();
+  options.max_failure_rate = 0.05;
+  options.min_failure_volume = 100;
+  DriftMonitor monitor(options);
+  const std::vector<double> calm = synthetic_distribution(64, 1.0, 0.2, 7);
+
+  ServeStats stats;
+  stats.requests = 1000;
+  stats.failed_requests = 10;
+  monitor.observe(stats, calm);  // baseline
+
+  // 50 more requests, all failed: rate 100% but volume below the floor.
+  stats.requests = 1000;
+  stats.failed_requests = 60;
+  DriftReport report = monitor.observe(stats, calm);
+  EXPECT_FALSE(report.failure_rate.fired);
+
+  // Volume now suffices and the rate is far over the 5% bound.
+  stats.requests = 1040;
+  stats.failed_requests = 70;
+  report = monitor.observe(stats, calm);
+  EXPECT_TRUE(report.failure_rate.fired);
+  EXPECT_TRUE(report.triggered);
+  EXPECT_NE(report.reason.find("failure_rate"), std::string::npos);
+}
+
+TEST(DriftMonitor, ShadowDisagreementSignals) {
+  DriftMonitorOptions options = tight_drift_options();
+  options.max_shadow_mape = 0.3;
+  options.min_shadow_spearman = 0.5;
+  options.min_shadow_requests = 10;
+  DriftMonitor monitor(options);
+  const std::vector<double> calm = synthetic_distribution(64, 1.0, 0.2, 8);
+  ServeStats stats;
+  monitor.observe(stats, calm);  // baseline
+
+  stats.shadow_requests = 5;  // below the floor: quiet
+  stats.shadow_mape = 0.9;
+  stats.shadow_spearman = -1.0;
+  EXPECT_FALSE(monitor.observe(stats, calm).drifted);
+
+  stats.shadow_requests = 50;
+  const DriftReport report = monitor.observe(stats, calm);
+  EXPECT_TRUE(report.shadow_mape.fired);
+  EXPECT_TRUE(report.shadow_spearman.fired);
+  EXPECT_TRUE(report.triggered);
 }
 
 }  // namespace
