@@ -25,6 +25,7 @@
 
 #include "datagen/dataset_builder.h"
 #include "model/train.h"
+#include "support/log.h"
 #include "registry/continual_scheduler.h"
 #include "registry/continual_trainer.h"
 #include "registry/model_registry.h"
@@ -52,6 +53,10 @@ bool wait_until(F done, std::chrono::seconds timeout) {
 int main(int argc, char** argv) {
   const int num_programs = argc > 1 ? std::atoi(argv[1]) : 40;
   const int timeout_seconds = argc > 2 ? std::atoi(argv[2]) : 180;
+  // The autopilot reports through the leveled log (stderr) now that the
+  // verbose stdout path is gone; cycle/drift progress logs at Debug so the
+  // library stays quiet in tests — a demo wants to see it.
+  set_log_level(LogLevel::Debug);
 
   // --- 1. Bootstrap: train and register the first model ---------------------
   datagen::DatasetBuildOptions dopt;
@@ -151,7 +156,6 @@ int main(int argc, char** argv) {
   copt.min_shadow_spearman = 0.0;
   copt.feedback = feedback;          // measured feedback mixes into fine-tuning
   copt.feedback_fraction = 0.3;
-  copt.verbose = true;
   registry::ContinualTrainer trainer(reg, service, copt);
 
   registry::ContinualSchedulerOptions aopt;
@@ -163,7 +167,6 @@ int main(int argc, char** argv) {
   aopt.poll_interval = std::chrono::milliseconds(100);
   aopt.max_cycles = 1;               // retraining budget for this demo
   aopt.gc.keep_last = 1;             // aggressive retention: expire stale rejects
-  aopt.verbose = true;
   registry::ContinualScheduler autopilot(reg, service, trainer, aopt);
   autopilot.start();
   std::printf("autopilot: polling every %lld ms (PSI > %.2f or KS > %.2f triggers)\n",

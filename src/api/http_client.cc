@@ -1,0 +1,194 @@
+#include "api/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "api/http_io.h"
+
+namespace tcm::api {
+
+HttpClient::HttpClient(std::string host, int port, std::chrono::milliseconds io_timeout)
+    : host_(std::move(host)), port_(port), io_timeout_(io_timeout) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+Status HttpClient::connect() {
+  if (fd_ >= 0) return Status();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::unavailable("socket(): " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    return Status::invalid_argument("invalid host '" + host_ + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = strerror(errno);
+    disconnect();
+    return Status::unavailable("connect(" + host_ + ":" + std::to_string(port_) + "): " + err);
+  }
+  timeval tv{};
+  const auto usec = std::chrono::duration_cast<std::chrono::microseconds>(io_timeout_).count();
+  tv.tv_sec = static_cast<time_t>(usec / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(usec % 1000000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Status();
+}
+
+void HttpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+using http_io::iequals;
+using http_io::send_all;
+
+// Distinguished message: zero response bytes arrived, which is the one
+// close the retry logic in request() may safely repair on a reused
+// connection.
+constexpr const char kClosedBeforeResponse[] = "connection closed before response";
+
+}  // namespace
+
+Result<HttpResponse> HttpClient::request(
+    const std::string& method, const std::string& path, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool reused = connected();
+    Status s = connect();
+    if (!s.ok()) return s;
+
+    std::string req = method + " " + path + " HTTP/1.1\r\nHost: " + host_ + "\r\n";
+    if (!body.empty()) req += "Content-Type: application/json\r\n";
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    for (const auto& [k, v] : extra_headers) req += k + ": " + v + "\r\n";
+    req += "\r\n";
+    req += body;
+
+    if (!send_all(fd_, req)) {
+      // The server closed the reused keep-alive connection between
+      // exchanges; nothing reached it, so retrying is safe.
+      disconnect();
+      if (reused && attempt == 0) continue;
+      return Status::unavailable("send failed");
+    }
+    Result<HttpResponse> response = read_response();
+    if (response.ok()) return response;
+    disconnect();
+    // Retry ONLY the stale-keep-alive race: connection was reused and the
+    // server closed it before emitting a single response byte (RFC 9112
+    // §9.6). A timeout or a mid-response close may mean the request
+    // executed server-side — retrying would double non-idempotent calls.
+    if (reused && attempt == 0 && response.status().code() == StatusCode::kUnavailable &&
+        response.status().message() == kClosedBeforeResponse)
+      continue;
+    return response;
+  }
+  return Status::unavailable("connection closed by server");
+}
+
+Result<HttpResponse> HttpClient::raw_exchange(const std::string& bytes, bool half_close) {
+  disconnect();  // raw exchanges always start clean
+  Status s = connect();
+  if (!s.ok()) return s;
+  if (!send_all(fd_, bytes)) {
+    disconnect();
+    return Status::unavailable("send failed");
+  }
+  if (half_close) ::shutdown(fd_, SHUT_WR);
+  Result<HttpResponse> response = read_response();
+  disconnect();
+  return response;
+}
+
+Result<HttpResponse> HttpClient::read_response() {
+  std::string buf;
+  std::size_t header_end;
+  while ((header_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) return Status::unavailable(kClosedBeforeResponse);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return Status::deadline_exceeded("timed out waiting for response");
+      return Status::unavailable("recv(): " + std::string(strerror(errno)));
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  const std::string head = buf.substr(0, header_end);
+  std::string rest = buf.substr(header_end + 4);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string status_line = head.substr(0, line_end);
+  if (status_line.size() < 12 || status_line.compare(0, 7, "HTTP/1.") != 0)
+    return Status::internal("malformed status line '" + status_line + "'");
+  response.status = std::atoi(status_line.c_str() + 9);
+
+  // Interim 1xx responses (100 Continue) precede the real one.
+  if (response.status == 100) {
+    // Anything already buffered past the interim headers is the start of
+    // the final response; re-run the header reader primed with it.
+    buf = std::move(rest);
+    while ((header_end = buf.find("\r\n\r\n")) == std::string::npos) {
+      char chunk[8192];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return Status::unavailable("connection closed after 100 Continue");
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::string head2 = buf.substr(0, header_end);
+    rest = buf.substr(header_end + 4);
+    const std::string status_line2 = head2.substr(0, head2.find("\r\n"));
+    response.status = std::atoi(status_line2.c_str() + 9);
+    return read_body(head2, std::move(rest), response);
+  }
+  return read_body(head, std::move(rest), response);
+}
+
+Result<HttpResponse> HttpClient::read_body(const std::string& head, std::string rest,
+                                           HttpResponse response) {
+  std::size_t content_length = 0;
+  bool server_closes = false;
+  std::size_t pos = head.find("\r\n");
+  pos = pos == std::string::npos ? head.size() : pos + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(value.begin());
+    if (iequals(key, "Content-Length"))
+      content_length = static_cast<std::size_t>(std::atoll(value.c_str()));
+    if (iequals(key, "Content-Type")) response.content_type = value;
+    if (iequals(key, "Connection") && iequals(value, "close")) server_closes = true;
+  }
+  while (rest.size() < content_length) {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return Status::unavailable("connection closed mid-body");
+    rest.append(chunk, static_cast<std::size_t>(n));
+  }
+  response.body = rest.substr(0, content_length);
+  if (server_closes) disconnect();
+  return response;
+}
+
+}  // namespace tcm::api

@@ -1,0 +1,64 @@
+// Minimal blocking HTTP/1.1 client over a keep-alive connection.
+//
+// Exists for the consumers inside this repo: the wire-surface tests (which
+// must drive the server through real sockets, not handler calls), the
+// HTTP-overhead bench, and scripted smoke checks. It is intentionally not a
+// general client — one connection, Content-Length bodies only, no TLS, no
+// redirects.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/http_server.h"
+#include "api/status.h"
+
+namespace tcm::api {
+
+class HttpClient {
+ public:
+  // Connects on first request (or explicitly via connect()); reconnects
+  // automatically when the server closed the previous exchange.
+  HttpClient(std::string host, int port,
+             std::chrono::milliseconds io_timeout = std::chrono::milliseconds(5000));
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  Status connect();
+  void disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  // One request/response exchange. `body` is sent with Content-Length (and
+  // Content-Type: application/json when non-empty).
+  Result<HttpResponse> request(const std::string& method, const std::string& path,
+                               const std::string& body = "",
+                               const std::vector<std::pair<std::string, std::string>>&
+                                   extra_headers = {});
+
+  Result<HttpResponse> get(const std::string& path) { return request("GET", path); }
+  Result<HttpResponse> post(const std::string& path, const std::string& body) {
+    return request("POST", path, body);
+  }
+
+  // Sends raw bytes and reads one response; for tests that need to emit
+  // deliberately malformed or truncated requests. `half_close` shuts down
+  // the write side after sending (simulating a client that vanished
+  // mid-body). The connection is always closed afterwards.
+  Result<HttpResponse> raw_exchange(const std::string& bytes, bool half_close = false);
+
+ private:
+  Result<HttpResponse> read_response();
+  Result<HttpResponse> read_body(const std::string& head, std::string rest,
+                                 HttpResponse response);
+
+  std::string host_;
+  int port_;
+  std::chrono::milliseconds io_timeout_;
+  int fd_ = -1;
+};
+
+}  // namespace tcm::api

@@ -1,0 +1,32 @@
+// Shared low-level helpers of the HTTP server and client. Internal to
+// src/api/ — not part of the public surface.
+#pragma once
+
+#include <sys/socket.h>
+
+#include <cctype>
+#include <string_view>
+
+namespace tcm::api::http_io {
+
+inline bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+// send() with MSG_NOSIGNAL so a peer that closed mid-transfer surfaces as
+// an error return instead of SIGPIPE terminating the process.
+inline bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace tcm::api::http_io

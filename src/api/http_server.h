@@ -1,0 +1,147 @@
+// Dependency-free HTTP/1.1 server for the versioned serving surface.
+//
+// Scope: exactly what a model-serving endpoint on a trusted network needs —
+// plain TCP (TLS terminates at the proxy, as with every in-cluster metrics/
+// inference port), HTTP/1.1 with keep-alive and Expect: 100-continue,
+// exact-path routing, Content-Length bodies. No chunked encoding, no
+// pipelining beyond sequential keep-alive, no compression.
+//
+// Hardening over the raw socket (all enforced before a handler runs):
+//   - header block capped at max_header_bytes  -> 431, connection closed
+//   - declared body capped at max_body_bytes   -> 413 + Status body; the
+//     oversized payload is never read into memory
+//   - truncated bodies (peer closes or stalls past io_timeout mid-body)
+//     -> 400 / connection dropped, never a blocked worker
+//   - malformed request lines / headers        -> 400 + Status body
+//   - unknown path -> 404, known path with wrong method -> 405 (both with
+//     a JSON Status body)
+//   - a handler that throws is caught and mapped to 500 + Status body: the
+//     no-exceptions-escape guarantee of the api boundary holds on the wire
+//     layer too.
+//
+// Threading: one acceptor thread plus a fixed pool of connection workers;
+// an open connection occupies its worker until it closes or times out
+// (requests on one connection are sequential by HTTP semantics). Handlers
+// therefore run concurrently up to num_threads and must be thread-safe —
+// the rest.h handlers delegate straight to api::Service, whose contract
+// covers that.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/status.h"
+
+namespace tcm::api {
+
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "GET"
+  std::string path;     // target without the query string
+  std::string query;    // raw query string ("" when absent)
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;  // as received
+
+  // Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse json(int status, std::string body) {
+    return {status, "application/json", std::move(body)};
+  }
+  static HttpResponse text(int status, std::string body) {
+    return {status, "text/plain; version=0.0.4; charset=utf-8", std::move(body)};
+  }
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; read the bound port back via port()
+  int num_threads = 8;
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+  // Per-read deadline; also bounds how long an idle keep-alive connection
+  // may hold a worker.
+  std::chrono::milliseconds io_timeout{5000};
+  int backlog = 128;
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();  // stop() if still running
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers an exact-match route. Call before start(); method is
+  // uppercase. Re-registering the same (method, path) replaces the handler.
+  void route(std::string method, std::string path, HttpHandler handler);
+
+  // Binds, listens and spawns the acceptor + worker threads. Fails (never
+  // throws) with UNAVAILABLE when the socket cannot be bound.
+  Status start();
+
+  // Stops accepting, closes the listener, drains the workers. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Port actually bound (resolves port 0); valid after start().
+  int port() const { return bound_port_; }
+  const HttpServerOptions& options() const { return options_; }
+
+  // Wire counters (for /metrics and tests).
+  std::uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t requests_handled() const { return requests_.load(std::memory_order_relaxed); }
+
+ private:
+  struct RouteKey {
+    std::string method, path;
+    bool operator==(const RouteKey&) const = default;
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+  HttpServerOptions options_;
+  std::vector<std::pair<RouteKey, HttpHandler>> routes_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+  // Connections currently owned by a worker; stop() shuts them down to
+  // interrupt recv() immediately instead of waiting out io_timeout.
+  std::vector<int> active_fds_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace tcm::api

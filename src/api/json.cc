@@ -1,0 +1,392 @@
+#include "api/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace tcm::api {
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const JsonMember& m : object_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  for (JsonMember& m : object_)
+    if (m.first == key) {
+      m.second = std::move(value);
+      return;
+    }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_double(double v, std::string& out) {
+  // JSON has no Inf/NaN; a failed model could in principle produce one, and
+  // emitting invalid JSON would poison the whole response. null is the
+  // conventional lossy encoding.
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, end);
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::Null: out += "null"; return;
+    case Type::Bool: out += bool_ ? "true" : "false"; return;
+    case Type::Int: {
+      char buf[24];
+      auto [end, ec] = std::to_chars(buf, buf + sizeof buf, int_);
+      out.append(buf, end);
+      return;
+    }
+    case Type::Double: dump_double(double_, out); return;
+    case Type::String: dump_string(string_, out); return;
+    case Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        array_[i].dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        dump_string(object_[i].first, out);
+        out += ':';
+        object_[i].second.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  out.reserve(64);
+  dump_to(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over a string_view cursor.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<Json> parse() {
+    skip_ws();
+    Json v;
+    Status s = parse_value(v, 0);
+    if (!s.ok()) return s;
+    skip_ws();
+    if (pos_ != text_.size())
+      return error("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  Status error(const std::string& what) const {
+    return Status::invalid_argument("JSON parse error at byte " + std::to_string(pos_) + ": " +
+                                    what);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status parse_value(Json& out, std::size_t depth) {
+    if (depth > max_depth_) return error("nesting too deep");
+    if (eof()) return error("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': return parse_string_value(out);
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out = Json(true);
+          return Status();
+        }
+        return error("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out = Json(false);
+          return Status();
+        }
+        return error("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out = Json();
+          return Status();
+        }
+        return error("invalid literal");
+      default: return parse_number(out);
+    }
+  }
+
+  Status parse_object(Json& out, std::size_t depth) {
+    ++pos_;  // '{'
+    JsonObject members;
+    skip_ws();
+    if (consume('}')) {
+      out = Json(std::move(members));
+      return Status();
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return error("expected object key");
+      std::string key;
+      Status s = parse_string(key);
+      if (!s.ok()) return s;
+      skip_ws();
+      if (!consume(':')) return error("expected ':' after object key");
+      skip_ws();
+      Json value;
+      s = parse_value(value, depth + 1);
+      if (!s.ok()) return s;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return error("expected ',' or '}' in object");
+    }
+    out = Json(std::move(members));
+    return Status();
+  }
+
+  Status parse_array(Json& out, std::size_t depth) {
+    ++pos_;  // '['
+    JsonArray items;
+    skip_ws();
+    if (consume(']')) {
+      out = Json(std::move(items));
+      return Status();
+    }
+    while (true) {
+      skip_ws();
+      Json value;
+      Status s = parse_value(value, depth + 1);
+      if (!s.ok()) return s;
+      items.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return error("expected ',' or ']' in array");
+    }
+    out = Json(std::move(items));
+    return Status();
+  }
+
+  Status parse_string_value(Json& out) {
+    std::string s;
+    Status st = parse_string(s);
+    if (!st.ok()) return st;
+    out = Json(std::move(s));
+    return Status();
+  }
+
+  void append_utf8(std::uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9')
+        out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else
+        return false;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  Status parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (true) {
+      if (eof()) return error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status();
+      if (static_cast<unsigned char>(c) < 0x20) return error("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return error("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return error("invalid \\u escape");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+              return error("lone high surrogate");
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!parse_hex4(low) || low < 0xDC00 || low > 0xDFFF)
+              return error("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return error("lone low surrogate");
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default: return error("invalid escape character");
+      }
+    }
+  }
+
+  Status parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // fallthrough to digits
+    }
+    if (eof() || peek() < '0' || peek() > '9') return error("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') return error("digits required after '.'");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') return error("digits required in exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t iv = 0;
+      auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), iv);
+      if (ec == std::errc() && p == token.data() + token.size()) {
+        out = Json(iv);
+        return Status();
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double dv = 0;
+    auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), dv);
+    if (ec == std::errc::result_out_of_range) {
+      // RFC 8259 permits unrepresentable magnitudes; saturate like strtod.
+      out = Json(dv);
+      return Status();
+    }
+    if (ec != std::errc() || p != token.data() + token.size()) return error("invalid number");
+    out = Json(dv);
+    return Status();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t max_depth_;
+};
+
+}  // namespace
+
+Result<Json> Json::parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).parse();
+}
+
+}  // namespace tcm::api

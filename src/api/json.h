@@ -1,0 +1,105 @@
+// Dependency-free JSON value, parser and writer for the wire surface.
+//
+// Scope is exactly what the v1 HTTP API needs — no SAX, no allocators, no
+// comments/trailing commas; RFC 8259 syntax with two hardening deviations:
+//   - parse() enforces a nesting-depth limit and the caller's byte limit is
+//     enforced upstream by the HTTP server's max_body_bytes, so adversarial
+//     bodies cannot stack-overflow or balloon the process;
+//   - numbers without '.', 'e' or 'E' that fit an int64 are kept exact as
+//     integers (version ids, counters); everything else is a double.
+//
+// Doubles are written with std::to_chars shortest round-trip formatting, so
+// a prediction serialized to JSON and parsed back compares bitwise equal to
+// the in-process value — the HTTP parity tests rely on this.
+//
+// Object members preserve insertion order and are stored as a flat vector
+// (the API's objects are small; linear lookup beats a map here).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/status.h"
+
+namespace tcm::api {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonMember = std::pair<std::string, Json>;
+using JsonObject = std::vector<JsonMember>;
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}                    // NOLINT
+  Json(int v) : type_(Type::Int), int_(v) {}                       // NOLINT
+  Json(std::int64_t v) : type_(Type::Int), int_(v) {}              // NOLINT
+  Json(std::uint64_t v) : type_(Type::Int),                        // NOLINT
+                          int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::Double), double_(v) {}              // NOLINT
+  Json(const char* s) : type_(Type::String), string_(s) {}         // NOLINT
+  Json(std::string s) : type_(Type::String), string_(std::move(s)) {}  // NOLINT
+  Json(JsonArray a) : type_(Type::Array), array_(std::move(a)) {}  // NOLINT
+  Json(JsonObject o) : type_(Type::Object), object_(std::move(o)) {}  // NOLINT
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_int() const { return type_ == Type::Int; }
+  // Any JSON number (integer-typed or double-typed).
+  bool is_number() const { return type_ == Type::Int || type_ == Type::Double; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  // Accessors assume the matching type (callers check first; the wire
+  // decoders go through the checked require_* helpers in wire.cc).
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const {
+    return type_ == Type::Double ? static_cast<std::int64_t>(double_) : int_;
+  }
+  double as_double() const {
+    return type_ == Type::Int ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+  const JsonArray& as_array() const { return array_; }
+  JsonArray& as_array() { return array_; }
+  const JsonObject& as_object() const { return object_; }
+  JsonObject& as_object() { return object_; }
+
+  // Object helpers: find returns nullptr when absent (or when not an
+  // object); set appends / overwrites.
+  const Json* find(std::string_view key) const;
+  void set(std::string key, Json value);
+
+  // Array helper.
+  void push_back(Json value) { array_.push_back(std::move(value)); }
+
+  // Compact serialization (no whitespace).
+  std::string dump() const;
+
+  // Parses one complete JSON document; trailing non-whitespace is an error.
+  // `max_depth` bounds array/object nesting.
+  static Result<Json> parse(std::string_view text, std::size_t max_depth = 64);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace tcm::api

@@ -1,0 +1,163 @@
+#include "api/metrics.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace tcm::api {
+
+namespace {
+
+void emit_value(double v, std::string& out) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, end);
+}
+
+class Exposition {
+ public:
+  // One sample with HELP/TYPE preamble (each metric name appears once).
+  void metric(const char* name, const char* type, const char* help, double value,
+              const char* labels = nullptr) {
+    out_ += "# HELP ";
+    out_ += name;
+    out_ += ' ';
+    out_ += help;
+    out_ += "\n# TYPE ";
+    out_ += name;
+    out_ += ' ';
+    out_ += type;
+    out_ += '\n';
+    sample(name, labels, value);
+  }
+
+  // Additional labeled sample of the most recent metric() family.
+  void sample(const char* name, const char* labels, double value) {
+    out_ += name;
+    if (labels != nullptr) {
+      out_ += '{';
+      out_ += labels;
+      out_ += '}';
+    }
+    out_ += ' ';
+    emit_value(value, out_);
+    out_ += '\n';
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+}  // namespace
+
+std::string prometheus_text(const StatsSnapshot& stats, std::uint64_t http_requests,
+                            std::uint64_t http_connections) {
+  const serve::ServeStats& s = stats.serve;
+  Exposition e;
+
+  // --- serving --------------------------------------------------------------
+  e.metric("tcm_serve_requests_total", "counter", "Completed predictions",
+           static_cast<double>(s.requests));
+  e.metric("tcm_serve_failed_requests_total", "counter",
+           "Requests that failed featurization or the forward pass",
+           static_cast<double>(s.failed_requests));
+  e.metric("tcm_serve_batches_total", "counter", "Incumbent forward_batch calls",
+           static_cast<double>(s.batches));
+  e.metric("tcm_serve_batch_occupancy", "gauge", "Mean requests per batch",
+           s.mean_batch_occupancy);
+  e.metric("tcm_serve_cache_hits_total", "counter", "Feature cache hits",
+           static_cast<double>(s.cache_hits));
+  e.metric("tcm_serve_cache_misses_total", "counter", "Feature cache misses",
+           static_cast<double>(s.cache_misses));
+  e.metric("tcm_serve_latency_seconds", "gauge",
+           "Queue+inference latency quantiles over the recent window", s.p50_latency,
+           "quantile=\"0.5\"");
+  e.sample("tcm_serve_latency_seconds", "quantile=\"0.99\"", s.p99_latency);
+  e.metric("tcm_serve_arena_heap_allocs_total", "counter",
+           "Heap allocations by worker inference arenas (plateaus when warm)",
+           static_cast<double>(s.arena_heap_allocs));
+
+  // --- model lifecycle ------------------------------------------------------
+  e.metric("tcm_model_active_version", "gauge", "Registry version currently receiving traffic",
+           static_cast<double>(stats.active_version));
+  e.metric("tcm_model_previous_version", "gauge", "Rollback target version (0 when none)",
+           static_cast<double>(stats.previous_version));
+  e.metric("tcm_model_swaps_total", "counter", "Completed zero-downtime hot swaps",
+           static_cast<double>(s.model_swaps));
+  e.metric("tcm_shadow_version", "gauge", "Shadow candidate version (0 when none installed)",
+           static_cast<double>(s.shadow_version));
+  e.metric("tcm_shadow_requests_total", "counter", "Requests also scored by a shadow model",
+           static_cast<double>(s.shadow_requests));
+  e.metric("tcm_shadow_failures_total", "counter",
+           "Shadow forward errors (never client-visible)",
+           static_cast<double>(s.shadow_failures));
+  e.metric("tcm_shadow_mape", "gauge", "Shadow disagreement MAPE vs the incumbent",
+           s.shadow_mape);
+  e.metric("tcm_shadow_spearman", "gauge",
+           "Shadow rank correlation vs the incumbent over the shared window", s.shadow_spearman);
+
+  // --- autopilot (the former verbose-stdout signals) ------------------------
+  e.metric("tcm_autopilot_enabled", "gauge", "1 when the continual-learning autopilot runs",
+           stats.autopilot.enabled ? 1 : 0);
+  e.metric("tcm_autopilot_polls_total", "counter", "Drift-monitor observations",
+           static_cast<double>(stats.autopilot.polls));
+  e.metric("tcm_autopilot_triggers_total", "counter",
+           "Drift triggers (each starts a retraining cycle attempt)",
+           static_cast<double>(stats.autopilot.triggers));
+  e.metric("tcm_autopilot_cycles_total", "counter", "Successful retraining cycles",
+           static_cast<double>(stats.autopilot.cycles));
+  e.metric("tcm_autopilot_cycle_failures_total", "counter",
+           "Retraining cycles that failed (swallowed, serving unaffected)",
+           static_cast<double>(stats.autopilot.cycle_failures));
+  const serve::DriftReport& d = stats.autopilot.last;
+  e.metric("tcm_drift_signal", "gauge",
+           "Latest drift-signal values (see matching tcm_drift_threshold)", d.psi.value,
+           "signal=\"psi\"");
+  e.sample("tcm_drift_signal", "signal=\"ks\"", d.ks.value);
+  e.sample("tcm_drift_signal", "signal=\"failure_rate\"", d.failure_rate.value);
+  e.sample("tcm_drift_signal", "signal=\"shadow_mape\"", d.shadow_mape.value);
+  e.sample("tcm_drift_signal", "signal=\"shadow_spearman\"", d.shadow_spearman.value);
+  e.metric("tcm_drift_threshold", "gauge", "Configured firing threshold per drift signal",
+           d.psi.threshold, "signal=\"psi\"");
+  e.sample("tcm_drift_threshold", "signal=\"ks\"", d.ks.threshold);
+  e.sample("tcm_drift_threshold", "signal=\"failure_rate\"", d.failure_rate.threshold);
+  e.sample("tcm_drift_threshold", "signal=\"shadow_mape\"", d.shadow_mape.threshold);
+  e.sample("tcm_drift_threshold", "signal=\"shadow_spearman\"", d.shadow_spearman.threshold);
+  e.metric("tcm_drift_reference_size", "gauge",
+           "Frozen reference window size (0 until baselined)",
+           static_cast<double>(d.reference_size));
+  e.metric("tcm_drift_window_size", "gauge", "Current recent-prediction window size",
+           static_cast<double>(d.window_size));
+  e.metric("tcm_drift_drifted", "gauge", "1 when any drift signal is over threshold",
+           d.drifted ? 1 : 0);
+
+  // --- measured feedback ----------------------------------------------------
+  e.metric("tcm_feedback_enabled", "gauge", "1 when the measured-feedback buffer is installed",
+           stats.feedback.enabled ? 1 : 0);
+  e.metric("tcm_feedback_offered_total", "counter", "Raw submissions offered to the buffer",
+           static_cast<double>(stats.feedback.offered));
+  e.metric("tcm_feedback_sampled_total", "counter", "Offers that passed the Bernoulli draw",
+           static_cast<double>(stats.feedback.sampled));
+  e.metric("tcm_feedback_buffered", "gauge", "Samples currently in the reservoir",
+           static_cast<double>(stats.feedback.buffered));
+
+  // --- process / wire -------------------------------------------------------
+  e.metric("tcm_uptime_seconds", "gauge", "Seconds since the facade opened",
+           stats.uptime_seconds);
+  e.metric("tcm_http_requests_total", "counter", "HTTP requests handled",
+           static_cast<double>(http_requests));
+  e.metric("tcm_http_connections_total", "counter", "HTTP connections accepted",
+           static_cast<double>(http_connections));
+  return e.take();
+}
+
+}  // namespace tcm::api

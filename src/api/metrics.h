@@ -1,0 +1,23 @@
+// Prometheus text exposition (version 0.0.4) of one StatsSnapshot.
+//
+// This is the ROADMAP's "scheduler events on a metrics endpoint instead of
+// stdout": everything the verbose logging path used to print — drift
+// signal values and thresholds, trigger/cycle/failure counts, GC activity
+// implied by cycle counters — is a scrapeable time series here, next to the
+// serving counters (throughput, latency quantiles, cache hit rate, swaps,
+// shadow disagreement) and the feedback-buffer gauges. Metric names are
+// part of the stable surface: tcm_<subsystem>_<name>[_total|_seconds].
+#pragma once
+
+#include <string>
+
+#include "api/wire.h"
+
+namespace tcm::api {
+
+// Renders the full exposition; `http_requests`/`http_connections` are the
+// wire-layer counters (pass 0 when serving without the HTTP front end).
+std::string prometheus_text(const StatsSnapshot& stats, std::uint64_t http_requests = 0,
+                            std::uint64_t http_connections = 0);
+
+}  // namespace tcm::api

@@ -1,0 +1,101 @@
+#include "api/rest.h"
+
+#include <limits>
+#include <utility>
+
+#include "api/metrics.h"
+#include "api/wire.h"
+
+namespace tcm::api {
+
+namespace {
+
+HttpResponse error_response(const Status& status) {
+  return HttpResponse::json(http_status(status.code()), error_body(status).dump());
+}
+
+Result<Json> parse_body(const HttpRequest& request) {
+  if (request.body.empty())
+    return Status::invalid_argument("request body required");
+  return Json::parse(request.body);
+}
+
+}  // namespace
+
+void bind_routes(HttpServer& server, Service& service) {
+  Service* svc = &service;
+  HttpServer* srv = &server;
+
+  server.route("GET", "/healthz", [svc](const HttpRequest&) {
+    const Status health = svc->healthy();
+    if (!health.ok()) return error_response(health);
+    Json j = Json::object();
+    j.set("status", Json("serving"));
+    j.set("active_version", Json(static_cast<std::int64_t>(svc->active_version())));
+    return HttpResponse::json(200, j.dump());
+  });
+
+  server.route("GET", "/metrics", [svc, srv](const HttpRequest&) {
+    return HttpResponse::text(
+        200, prometheus_text(svc->stats(), srv->requests_handled(),
+                             srv->connections_accepted()));
+  });
+
+  server.route("GET", "/v1/stats", [svc](const HttpRequest&) {
+    return HttpResponse::json(200, to_json(svc->stats()).dump());
+  });
+
+  server.route("GET", "/v1/models", [svc](const HttpRequest&) {
+    Result<std::vector<ModelInfo>> models = svc->models();
+    if (!models.ok()) return error_response(models.status());
+    Json list = Json::array();
+    int active = 0, previous = 0;
+    for (const ModelInfo& info : *models) {
+      if (info.active) active = info.manifest.version;
+      if (info.previous) previous = info.manifest.version;
+      list.push_back(to_json(info));
+    }
+    Json j = Json::object();
+    j.set("api_version", Json(static_cast<std::int64_t>(kApiVersion)));
+    j.set("active", Json(static_cast<std::int64_t>(active)));
+    j.set("previous", Json(static_cast<std::int64_t>(previous)));
+    j.set("models", std::move(list));
+    return HttpResponse::json(200, j.dump());
+  });
+
+  server.route("POST", "/v1/models/promote", [svc](const HttpRequest& request) {
+    Result<Json> body = parse_body(request);
+    if (!body.ok()) return error_response(body.status());
+    const Json* version = body->find("version");
+    if (version == nullptr || !version->is_int())
+      return error_response(Status::invalid_argument("'version' (integer) required"));
+    const std::int64_t requested = version->as_int();
+    if (requested < 1 || requested > std::numeric_limits<int>::max())
+      return error_response(Status::invalid_argument("'version' out of range"));
+    const Status promoted = svc->promote(static_cast<int>(requested));
+    if (!promoted.ok()) return error_response(promoted);
+    Json j = Json::object();
+    j.set("active", Json(version->as_int()));
+    return HttpResponse::json(200, j.dump());
+  });
+
+  server.route("POST", "/v1/models/rollback", [svc](const HttpRequest&) {
+    Result<int> restored = svc->rollback();
+    if (!restored.ok()) return error_response(restored.status());
+    Json j = Json::object();
+    j.set("active", Json(static_cast<std::int64_t>(*restored)));
+    return HttpResponse::json(200, j.dump());
+  });
+
+  server.route("POST", "/v1/predict", [svc](const HttpRequest& request) {
+    Result<Json> body = parse_body(request);
+    if (!body.ok()) return error_response(body.status());
+    Result<PredictRequest> decoded = predict_request_from_json(*body);
+    if (!decoded.ok()) return error_response(decoded.status());
+    Result<PredictResponse> response = svc->predict(*decoded);
+    if (!response.ok()) return error_response(response.status());
+    return HttpResponse::json(200, to_json(*response).dump());
+  });
+}
+
+}  // namespace tcm::api

@@ -1,0 +1,29 @@
+// Binds the v1 HTTP surface onto an api::Service.
+//
+// Route table (all bodies JSON unless noted; errors use wire.h's Status
+// body and the http_status() mapping):
+//
+//   GET  /healthz                 {"status":"serving","active_version":N}
+//   GET  /metrics                 Prometheus text exposition (metrics.h)
+//   GET  /v1/stats                StatsSnapshot
+//   GET  /v1/models               {"active","previous","models":[ModelInfo]}
+//   POST /v1/models/promote       {"version":N} -> {"active":N}
+//   POST /v1/models/rollback      {} -> {"active":M}
+//   POST /v1/predict              PredictRequest -> PredictResponse
+//
+// The handlers are thin: decode JSON -> call the façade -> encode. All
+// state, locking and error mapping live in api::Service; anything the
+// handlers themselves might throw is caught by HttpServer::dispatch and
+// mapped to 500, so no exception can cross the wire layer either.
+#pragma once
+
+#include "api/http_server.h"
+#include "api/service.h"
+
+namespace tcm::api {
+
+// Registers every v1 route plus /healthz and /metrics on `server`. The
+// service must outlive the server. Call before HttpServer::start().
+void bind_routes(HttpServer& server, Service& service);
+
+}  // namespace tcm::api

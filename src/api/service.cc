@@ -1,0 +1,350 @@
+#include "api/service.h"
+
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "support/log.h"
+
+namespace tcm::api {
+
+namespace {
+
+// Persisted feedback snapshot format (a private durability file, not part of
+// the wire surface, but built from the same v1 program/schedule codecs):
+//   {"format":"tcm-feedback","version":1,"samples":[{"program":..,"schedule":..}]}
+constexpr int kFeedbackFormatVersion = 1;
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)), started_(std::chrono::steady_clock::now()) {}
+
+Service::~Service() { shutdown(); }
+
+Result<std::unique_ptr<Service>> Service::open(ServiceOptions options) {
+  try {
+    // unique_ptr rather than make_unique: the constructor is private.
+    std::unique_ptr<Service> svc(new Service(std::move(options)));
+    const ServiceOptions& opt = svc->options_;
+    if (opt.registry_root.empty())
+      return Status::invalid_argument("ServiceOptions.registry_root must be set");
+
+    svc->registry_ = std::make_unique<registry::ModelRegistry>(opt.registry_root);
+    const int active = svc->registry_->active_version();
+    if (active == 0)
+      return Status::failed_precondition("registry at '" + opt.registry_root +
+                                         "' has no ACTIVE version; register and promote a "
+                                         "model before serving");
+    const registry::ModelManifest manifest = svc->registry_->manifest(active);
+    const std::uint64_t serving_hash = registry::feature_config_hash(opt.serve.features);
+    if (manifest.feature_hash != serving_hash)
+      return Status::failed_precondition(
+          "feature-config hash mismatch: serving featurization does not match the ACTIVE "
+          "version's manifest (v" +
+          std::to_string(active) + ")");
+
+    std::shared_ptr<model::SpeedupPredictor> predictor;
+    try {
+      predictor = svc->registry_->load(active);
+    } catch (const std::exception& e) {
+      return Status::failed_precondition("ACTIVE checkpoint v" + std::to_string(active) +
+                                         " failed to load: " + e.what());
+    }
+    svc->service_ =
+        std::make_unique<serve::PredictionService>(std::move(predictor), active, opt.serve);
+
+    if (opt.enable_feedback) {
+      svc->feedback_ = std::make_shared<serve::FeedbackBuffer>(opt.feedback);
+      if (opt.persist_feedback) svc->restore_feedback();
+      svc->service_->set_feedback(svc->feedback_);
+    }
+
+    if (opt.enable_autopilot) {
+      registry::ContinualTrainerOptions topt = opt.trainer;
+      topt.feedback = svc->feedback_;  // may be null: trainer treats as disabled
+      svc->trainer_ = std::make_unique<registry::ContinualTrainer>(*svc->registry_,
+                                                                   *svc->service_, topt);
+      svc->scheduler_ = std::make_unique<registry::ContinualScheduler>(
+          *svc->registry_, *svc->service_, *svc->trainer_, opt.scheduler);
+      svc->scheduler_->start();
+    }
+    return svc;
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  } catch (...) {
+    return Status::internal("Service::open: unknown exception");
+  }
+}
+
+Result<PredictResponse> Service::predict(const PredictRequest& request) {
+  if (shut_down_.load(std::memory_order_acquire))
+    return Status::unavailable("service is shut down");
+  try {
+    if (request.schedules.empty())
+      return Status::invalid_argument("predict: at least one schedule required");
+    if (auto problem = request.program.validate())
+      return Status::invalid_argument("predict: invalid program: " + *problem);
+
+    std::vector<std::future<serve::Prediction>> futures;
+    futures.reserve(request.schedules.size());
+    for (const transforms::Schedule& schedule : request.schedules)
+      futures.push_back(service_->submit(request.program, schedule));
+    service_->flush();  // no tail request waits out the batching deadline
+
+    PredictResponse response;
+    response.predictions.reserve(futures.size());
+    Status first_error;
+    for (std::future<serve::Prediction>& f : futures) {
+      try {
+        const serve::Prediction p = f.get();
+        response.predictions.push_back({p.speedup, p.model_version});
+      } catch (const std::exception& e) {
+        // Keep draining the remaining futures (their batches are in flight
+        // regardless); report the first failure for the whole request.
+        if (first_error.ok()) {
+          Status s = status_from_exception(e);
+          // Serving-path runtime errors are not preconditions the client can
+          // fix by retrying differently; surface them as INTERNAL.
+          if (s.code() == StatusCode::kFailedPrecondition)
+            s = Status::internal(s.message());
+          first_error = s;
+        }
+      }
+    }
+    if (!first_error.ok()) return first_error;
+    return response;
+  } catch (const std::exception& e) {
+    Status s = status_from_exception(e);
+    if (s.code() == StatusCode::kFailedPrecondition) s = Status::internal(s.message());
+    return s;
+  } catch (...) {
+    return Status::internal("predict: unknown exception");
+  }
+}
+
+Result<std::vector<ModelInfo>> Service::models() const {
+  if (shut_down_.load(std::memory_order_acquire))
+    return Status::unavailable("service is shut down");
+  try {
+    const int active = registry_->active_version();
+    const int previous = registry_->previous_version();
+    std::vector<ModelInfo> out;
+    for (registry::ModelManifest& m : registry_->list()) {
+      ModelInfo info;
+      info.active = m.version == active;
+      info.previous = m.version == previous;
+      info.manifest = std::move(m);
+      out.push_back(std::move(info));
+    }
+    return out;
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  }
+}
+
+Status Service::promote(int version) {
+  if (shut_down_.load(std::memory_order_acquire))
+    return Status::unavailable("service is shut down");
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  try {
+    try {
+      (void)registry_->manifest(version);
+    } catch (const std::exception& e) {
+      return Status::not_found("model version " + std::to_string(version) +
+                               " not found: " + e.what());
+    }
+    // Load through the registry's integrity checks *before* touching the
+    // ACTIVE pointer: a tampered or torn checkpoint must surface as a
+    // status while the incumbent keeps serving.
+    std::shared_ptr<model::SpeedupPredictor> next;
+    try {
+      next = registry_->load(version);
+    } catch (const std::exception& e) {
+      return Status::failed_precondition("checkpoint v" + std::to_string(version) +
+                                         " rejected: " + e.what());
+    }
+    registry_->promote(version);
+    service_->swap_model(std::move(next), version);
+    // The drift window must not compare the new model's predictions against
+    // the old model's.
+    service_->clear_recent_predictions();
+    return Status();
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  } catch (...) {
+    return Status::internal("promote: unknown exception");
+  }
+}
+
+Result<int> Service::rollback() {
+  if (shut_down_.load(std::memory_order_acquire))
+    return Status::unavailable("service is shut down");
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  try {
+    const int previous = registry_->previous_version();
+    if (previous == 0) return Status::failed_precondition("no previous version to roll back to");
+    std::shared_ptr<model::SpeedupPredictor> next;
+    try {
+      next = registry_->load(previous);
+    } catch (const std::exception& e) {
+      return Status::failed_precondition("rollback target v" + std::to_string(previous) +
+                                         " rejected: " + e.what());
+    }
+    const int restored = registry_->rollback();
+    service_->swap_model(std::move(next), restored);
+    service_->clear_recent_predictions();
+    return restored;
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  } catch (...) {
+    return Status::internal("rollback: unknown exception");
+  }
+}
+
+StatsSnapshot Service::stats() const {
+  StatsSnapshot snap;
+  snap.serve = service_->stats();
+  snap.active_version = snap.serve.active_version;
+  snap.previous_version = registry_->previous_version();
+  snap.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+  if (scheduler_) {
+    snap.autopilot.enabled = true;
+    snap.autopilot.polls = scheduler_->polls();
+    snap.autopilot.cycles = scheduler_->cycles_run();
+    snap.autopilot.last = scheduler_->last_report();
+    const std::vector<registry::SchedulerEvent> events = scheduler_->history();
+    snap.autopilot.triggers = events.size();
+    for (const registry::SchedulerEvent& e : events)
+      if (e.cycle_failed) ++snap.autopilot.cycle_failures;
+  }
+  if (feedback_) {
+    snap.feedback.enabled = true;
+    snap.feedback.offered = feedback_->offered();
+    snap.feedback.sampled = feedback_->sampled();
+    snap.feedback.buffered = feedback_->size();
+  }
+  return snap;
+}
+
+Status Service::healthy() const {
+  if (shut_down_.load(std::memory_order_acquire))
+    return Status::unavailable("service is shut down");
+  return Status();
+}
+
+Status Service::quiesce() {
+  if (shut_down_.load(std::memory_order_acquire))
+    return Status::unavailable("service is shut down");
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  try {
+    service_->quiesce();
+    return persist_feedback_now();
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  }
+}
+
+void Service::shutdown() {
+  std::lock_guard<std::mutex> lock(admin_mu_);
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  if (scheduler_) scheduler_->stop();
+  try {
+    if (service_) service_->quiesce();
+    const Status persisted = persist_feedback_now();
+    if (!persisted.ok())
+      log_warn() << "shutdown: feedback persistence failed: " << persisted.to_string();
+  } catch (const std::exception& e) {
+    log_warn() << "shutdown: quiesce failed: " << e.what();
+  }
+}
+
+int Service::active_version() const { return service_->active_version(); }
+
+std::string Service::feedback_file() const {
+  if (!options_.feedback_path.empty()) return options_.feedback_path;
+  return options_.registry_root + "/feedback.json";
+}
+
+void Service::restore_feedback() {
+  const std::string path = feedback_file();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;  // nothing persisted
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  in.close();
+  // Consume the file up front: whatever happens below, the samples can
+  // never be restored a second time by a later restart.
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+
+  Result<Json> doc = Json::parse(buf.str());
+  std::vector<serve::ServedSample> samples;
+  Status problem;
+  if (!doc.ok()) {
+    problem = doc.status();
+  } else {
+    const Json* version = doc->find("version");
+    const Json* list = doc->find("samples");
+    if (version == nullptr || !version->is_int() ||
+        version->as_int() != kFeedbackFormatVersion || list == nullptr || !list->is_array()) {
+      problem = Status::invalid_argument("unrecognized feedback snapshot layout");
+    } else {
+      for (const Json& item : list->as_array()) {
+        const Json* pj = item.find("program");
+        const Json* sj = item.find("schedule");
+        if (pj == nullptr || sj == nullptr) continue;
+        Result<ir::Program> program = program_from_json(*pj);
+        Result<transforms::Schedule> schedule = schedule_from_json(*sj);
+        if (!program.ok() || !schedule.ok()) continue;  // skip torn samples
+        samples.push_back({program.take(), schedule.take()});
+      }
+    }
+  }
+  if (!problem.ok()) {
+    // Losing the snapshot is benign (it is a sample of traffic); refusing
+    // to serve over it would not be.
+    log_warn() << "discarding corrupt feedback snapshot '" << path
+               << "': " << problem.to_string();
+    return;
+  }
+  feedback_->restore(std::move(samples));
+}
+
+Status Service::persist_feedback_now() {
+  if (!feedback_ || !options_.persist_feedback) return Status();
+  try {
+    Json list = Json::array();
+    for (const serve::ServedSample& s : feedback_->snapshot()) {
+      Json item = Json::object();
+      item.set("program", to_json(s.program));
+      item.set("schedule", to_json(s.schedule));
+      list.push_back(std::move(item));
+    }
+    Json doc = Json::object();
+    doc.set("format", Json("tcm-feedback"));
+    doc.set("version", Json(static_cast<std::int64_t>(kFeedbackFormatVersion)));
+    doc.set("samples", std::move(list));
+
+    const std::string path = feedback_file();
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return Status::internal("cannot write feedback snapshot to " + tmp);
+      out << doc.dump();
+      if (!out.flush()) return Status::internal("short write persisting feedback to " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) return Status::internal("cannot publish feedback snapshot: " + ec.message());
+    return Status();
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  }
+}
+
+}  // namespace tcm::api

@@ -1,0 +1,161 @@
+// The stable tcm::api façade: one object that owns the whole serving stack.
+//
+// Below this line the system is five in-process subsystems with three error
+// conventions (model/ and dataset throw, registry throws runtime_error,
+// serve surfaces exceptions on futures). Service composes them —
+//
+//   ModelRegistry (durable versions)  ──load_active──►  PredictionService
+//        ▲      ▲                                         │       ▲
+//        │      └── ContinualTrainer ◄── drift ── ContinualScheduler
+//        │                 ▲
+//        └──────── FeedbackBuffer (persisted across restarts)
+//
+// — behind the versioned request/response structs of wire.h and a typed
+// Status/Result error model: every throw reachable from serving is caught
+// at this boundary and mapped to a StatusCode, so a corrupt checkpoint or a
+// malformed request degrades to an error response instead of killing the
+// process. The HTTP layer (http_server.h + rest.h) is a thin adapter over
+// exactly this class; in-process embedders (outer search loops, tuners)
+// call it directly and get identical semantics — the parity tests assert
+// bitwise-equal predictions between the two paths.
+//
+// Thread-safety contract: all public methods are safe to call concurrently.
+// predict() scales across callers (it rides PredictionService's worker
+// pool); promote()/rollback()/quiesce()/shutdown() serialize on an internal
+// admin mutex; stats()/healthy() are wait-free snapshots of counters. After
+// shutdown() every serving/mutating entry point (predict, models, promote,
+// rollback, quiesce) returns UNAVAILABLE and healthy() reports it; the
+// read-only observers stats()/active_version() keep answering so a
+// draining instance can still be scraped. raw_service() and
+// raw_registry() expose the underlying subsystems for callers that
+// knowingly want in-process semantics (futures, exceptions, manual
+// batching); anything touched through them is outside the façade's
+// no-exceptions guarantee — see README "Serving API" for guidance.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/status.h"
+#include "api/wire.h"
+#include "registry/continual_scheduler.h"
+#include "registry/continual_trainer.h"
+#include "registry/model_registry.h"
+#include "serve/feedback_buffer.h"
+#include "serve/prediction_service.h"
+
+namespace tcm::api {
+
+struct ServiceOptions {
+  // Registry root directory; must contain an ACTIVE version whose
+  // feature-config hash matches `serve.features` (open() checks both).
+  std::string registry_root;
+
+  serve::ServeOptions serve;
+
+  // Measured-feedback sampling of served (program, schedule) pairs.
+  bool enable_feedback = true;
+  serve::FeedbackBufferOptions feedback;
+  // The reservoir persists here on quiesce()/shutdown() and is restored (and
+  // the file consumed) at open(), so sampled-but-untrained traffic survives
+  // restarts without ever double-counting drained samples. Empty = default
+  // "<registry_root>/feedback.json"; persist_feedback=false disables.
+  bool persist_feedback = true;
+  std::string feedback_path;
+
+  // Drift-triggered continual-learning autopilot (off by default: it spends
+  // training compute). `trainer.feedback` is wired to the service's buffer
+  // automatically when feedback is enabled.
+  bool enable_autopilot = false;
+  registry::ContinualTrainerOptions trainer;
+  registry::ContinualSchedulerOptions scheduler;
+};
+
+class Service {
+ public:
+  // Builds the full stack. Fails (never throws) with:
+  //   FAILED_PRECONDITION  registry unopenable, no ACTIVE version, feature
+  //                        hash mismatch, corrupt ACTIVE checkpoint
+  //   INTERNAL             anything else
+  // A corrupt persisted feedback file is not fatal: it is discarded (the
+  // buffer simply starts empty) — losing samples is benign, refusing to
+  // serve is not.
+  static Result<std::unique_ptr<Service>> open(ServiceOptions options);
+
+  ~Service();  // shutdown() if the caller has not already
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Scores every schedule in the request against the program. Blocking
+  // (rides the worker pool; concurrent callers batch together). Items are
+  // in request order; each is tagged with the model version that scored it
+  // (a hot-swap mid-request may split a batch across versions).
+  //   INVALID_ARGUMENT  invalid program/schedule, featurization failure
+  //   UNAVAILABLE       after shutdown()
+  //   INTERNAL          forward-pass failure
+  Result<PredictResponse> predict(const PredictRequest& request);
+
+  // Registry versions, ascending, with lifecycle roles.
+  Result<std::vector<ModelInfo>> models() const;
+
+  // Validates that `version` exists (NOT_FOUND otherwise) and that its
+  // checkpoint actually loads through the registry's integrity checks
+  // (FAILED_PRECONDITION on a corrupt/tampered/mismatched checkpoint — the
+  // incumbent keeps serving), then moves ACTIVE and hot-swaps live traffic
+  // with zero downtime.
+  Status promote(int version);
+
+  // Re-promotes the previous version and hot-swaps to it. The loaded-before-
+  // promoted order means a corrupt rollback target leaves ACTIVE untouched.
+  Result<int> rollback();
+
+  // Keeps answering after shutdown() (with the final counters): a drained
+  // instance must still be scrapeable by /metrics until the process exits.
+  StatsSnapshot stats() const;
+
+  // OK while serving; UNAVAILABLE after shutdown().
+  Status healthy() const;
+
+  // Drains in-flight work and persists the feedback reservoir (when
+  // configured). Serving continues afterwards.
+  Status quiesce();
+
+  // Stops the autopilot, quiesces, persists feedback, and flips the façade
+  // to UNAVAILABLE. Idempotent; called by the destructor.
+  void shutdown();
+
+  int active_version() const;
+
+  // Escape hatches (see class comment): the façade's Status guarantee does
+  // not cover direct calls on these.
+  serve::PredictionService& raw_service() { return *service_; }
+  registry::ModelRegistry& raw_registry() { return *registry_; }
+  // Null when feedback is disabled. Draining it is the continual trainer's
+  // job; drained samples leave the reservoir and are never persisted again.
+  const std::shared_ptr<serve::FeedbackBuffer>& feedback_buffer() const { return feedback_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  explicit Service(ServiceOptions options);
+
+  std::string feedback_file() const;
+  void restore_feedback();         // called once from open()
+  Status persist_feedback_now();   // snapshot -> tmp -> rename
+
+  ServiceOptions options_;
+  std::unique_ptr<registry::ModelRegistry> registry_;
+  std::shared_ptr<serve::FeedbackBuffer> feedback_;
+  std::unique_ptr<serve::PredictionService> service_;
+  std::unique_ptr<registry::ContinualTrainer> trainer_;
+  std::unique_ptr<registry::ContinualScheduler> scheduler_;
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex admin_mu_;  // promote/rollback/quiesce/shutdown
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace tcm::api

@@ -1,0 +1,57 @@
+#include "api/status.h"
+
+#include <stdexcept>
+
+namespace tcm::api {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+int http_status(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kFailedPrecondition: return 409;
+    case StatusCode::kResourceExhausted: return 413;
+    case StatusCode::kUnimplemented: return 501;
+    case StatusCode::kUnavailable: return 503;
+    case StatusCode::kDeadlineExceeded: return 504;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string s(status_code_name(code_));
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+Status status_from_exception(const std::exception& e) {
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr)
+    return Status::invalid_argument(e.what());
+  if (dynamic_cast<const std::out_of_range*>(&e) != nullptr)
+    return Status::invalid_argument(e.what());
+  if (dynamic_cast<const std::runtime_error*>(&e) != nullptr)
+    return Status::failed_precondition(e.what());
+  return Status::internal(e.what());
+}
+
+}  // namespace tcm::api

@@ -1,0 +1,132 @@
+// Typed error model of the stable tcm::api façade.
+//
+// The subsystems below the façade grew three inconsistent error
+// conventions: model/ and dataset code throws, the registry throws
+// std::runtime_error for I/O and integrity failures, and serve/ surfaces
+// errors as exceptions on futures. A caller embedding the cost model in an
+// outer search loop (LOOPer/MetaTune style) — or reaching it over HTTP —
+// needs exactly one convention: every façade entry point returns a Status
+// (or a Result<T> carrying one), and no exception ever crosses the api
+// boundary. The HTTP layer maps StatusCode onto response codes via
+// http_status(); the JSON error body uses status_code_name().
+//
+// Codes follow the canonical gRPC/absl palette (the subset this system
+// needs), so the mapping to HTTP and to client expectations is boring and
+// well-trodden:
+//   kOk                 200  success
+//   kInvalidArgument    400  malformed request/program/schedule/JSON
+//   kNotFound           404  unknown route or model version
+//   kFailedPrecondition 409  corrupt checkpoint, empty registry, no rollback
+//   kResourceExhausted  413  request body over the configured limit
+//   kUnimplemented      501  method not supported on this route
+//   kUnavailable        503  service shutting down / not yet serving
+//   kDeadlineExceeded   504  I/O timeout
+//   kInternal           500  everything that escaped classification
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tcm::api {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kUnavailable,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+// Stable SCREAMING_SNAKE name ("INVALID_ARGUMENT", ...): the `code` field of
+// the wire error body. Part of the v1 surface; never rename.
+std::string_view status_code_name(StatusCode code);
+
+// HTTP response status the code maps to (see table above).
+int http_status(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status invalid_argument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status not_found(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status failed_precondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status resource_exhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status deadline_exceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: bad depth".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Maps an exception caught at the façade boundary to a Status. The
+// subsystems use std::invalid_argument for caller mistakes (shape/legality
+// checks in model/, nn/, transforms/) and std::runtime_error for I/O and
+// integrity failures (Dataset::load, registry manifests, checkpoint
+// loading); everything else is internal.
+Status status_from_exception(const std::exception& e);
+
+// Value-or-Status. Deliberately tiny: the façade's needs are
+// construct-from-value, construct-from-error, test ok(), read.
+// Reading value() on an error (or status() semantics) is a programming
+// error and terminates via the optional's checked access.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) status_ = Status::internal("Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() { return value_.value(); }
+  const T& value() const { return value_.value(); }
+  T&& take() { return std::move(value_.value()); }
+
+  T* operator->() { return &value_.value(); }
+  const T* operator->() const { return &value_.value(); }
+  T& operator*() { return value_.value(); }
+  const T& operator*() const { return value_.value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace tcm::api

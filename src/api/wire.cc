@@ -1,0 +1,588 @@
+#include "api/wire.h"
+
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace tcm::api {
+
+namespace {
+
+// Decoders throw std::invalid_argument internally ("wire error"); the public
+// entry points catch and convert, so callers only ever see a Status.
+[[noreturn]] void fail(const std::string& what) { throw std::invalid_argument(what); }
+
+const Json& get(const Json& obj, const char* key) {
+  if (!obj.is_object()) fail(std::string("expected object holding '") + key + "'");
+  const Json* v = obj.find(key);
+  if (v == nullptr) fail(std::string("missing field '") + key + "'");
+  return *v;
+}
+
+std::int64_t get_int(const Json& obj, const char* key) {
+  const Json& v = get(obj, key);
+  if (!v.is_int()) fail(std::string("field '") + key + "' must be an integer");
+  return v.as_int();
+}
+
+std::int64_t get_int_or(const Json& obj, const char* key, std::int64_t fallback) {
+  const Json* v = obj.is_object() ? obj.find(key) : nullptr;
+  if (v == nullptr) return fallback;
+  if (!v->is_int()) fail(std::string("field '") + key + "' must be an integer");
+  return v->as_int();
+}
+
+int get_index(const Json& obj, const char* key) {
+  const std::int64_t v = get_int(obj, key);
+  if (v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max())
+    fail(std::string("field '") + key + "' out of range");
+  return static_cast<int>(v);
+}
+
+bool get_bool_or(const Json& obj, const char* key, bool fallback) {
+  const Json* v = obj.is_object() ? obj.find(key) : nullptr;
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) fail(std::string("field '") + key + "' must be a boolean");
+  return v->as_bool();
+}
+
+std::string get_string_or(const Json& obj, const char* key, std::string fallback) {
+  const Json* v = obj.is_object() ? obj.find(key) : nullptr;
+  if (v == nullptr) return fallback;
+  if (!v->is_string()) fail(std::string("field '") + key + "' must be a string");
+  return v->as_string();
+}
+
+const JsonArray& get_array(const Json& obj, const char* key) {
+  const Json& v = get(obj, key);
+  if (!v.is_array()) fail(std::string("field '") + key + "' must be an array");
+  return v.as_array();
+}
+
+// --- access matrices -------------------------------------------------------
+
+Json access_to_json(const ir::BufferAccess& access) {
+  Json rows = Json::array();
+  for (int r = 0; r < access.matrix.rank(); ++r) {
+    Json row = Json::array();
+    for (int c = 0; c <= access.matrix.depth(); ++c) row.push_back(Json(access.matrix.at(r, c)));
+    rows.push_back(std::move(row));
+  }
+  Json j = Json::object();
+  j.set("buffer", Json(static_cast<std::int64_t>(access.buffer_id)));
+  j.set("depth", Json(static_cast<std::int64_t>(access.matrix.depth())));
+  j.set("rows", std::move(rows));
+  return j;
+}
+
+ir::BufferAccess access_from_json(const Json& j) {
+  ir::BufferAccess access;
+  access.buffer_id = get_index(j, "buffer");
+  const int depth = get_index(j, "depth");
+  if (depth < 0 || depth > 64) fail("access 'depth' out of range");
+  const JsonArray& rows = get_array(j, "rows");
+  if (rows.size() > 64) fail("access rank too large");
+  access.matrix = ir::AccessMatrix(static_cast<int>(rows.size()), depth);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (!rows[r].is_array()) fail("access row must be an array");
+    const JsonArray& row = rows[r].as_array();
+    if (row.size() != static_cast<std::size_t>(depth) + 1)
+      fail("access row width must equal depth+1");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (!row[c].is_int()) fail("access coefficients must be integers");
+      access.matrix.set(static_cast<int>(r), static_cast<int>(c), row[c].as_int());
+    }
+  }
+  return access;
+}
+
+// --- expressions -----------------------------------------------------------
+
+Json expr_to_json(const ir::Expr& e) {
+  Json j = Json::object();
+  switch (e.kind()) {
+    case ir::ExprKind::Constant: j.set("const", Json(e.constant_value())); return j;
+    case ir::ExprKind::Load: j.set("load", access_to_json(e.access())); return j;
+    case ir::ExprKind::Add: j.set("op", Json("add")); break;
+    case ir::ExprKind::Sub: j.set("op", Json("sub")); break;
+    case ir::ExprKind::Mul: j.set("op", Json("mul")); break;
+    case ir::ExprKind::Div: j.set("op", Json("div")); break;
+    case ir::ExprKind::Max: j.set("op", Json("max")); break;
+    case ir::ExprKind::Min: j.set("op", Json("min")); break;
+  }
+  j.set("lhs", expr_to_json(e.lhs()));
+  j.set("rhs", expr_to_json(e.rhs()));
+  return j;
+}
+
+ir::Expr expr_from_json(const Json& j) {
+  if (!j.is_object()) fail("expression must be an object");
+  if (const Json* c = j.find("const")) {
+    if (!c->is_number()) fail("'const' must be a number");
+    return ir::Expr::constant(c->as_double());
+  }
+  if (const Json* l = j.find("load")) return ir::Expr::load(access_from_json(*l));
+  const Json& op = get(j, "op");
+  if (!op.is_string()) fail("'op' must be a string");
+  const std::string& name = op.as_string();
+  ir::ExprKind kind;
+  if (name == "add")
+    kind = ir::ExprKind::Add;
+  else if (name == "sub")
+    kind = ir::ExprKind::Sub;
+  else if (name == "mul")
+    kind = ir::ExprKind::Mul;
+  else if (name == "div")
+    kind = ir::ExprKind::Div;
+  else if (name == "max")
+    kind = ir::ExprKind::Max;
+  else if (name == "min")
+    kind = ir::ExprKind::Min;
+  else
+    fail("unknown expression op '" + name + "'");
+  return ir::Expr::binary(kind, expr_from_json(get(j, "lhs")), expr_from_json(get(j, "rhs")));
+}
+
+ir::Program program_from_json_or_throw(const Json& j) {
+  if (!j.is_object()) fail("program must be an object");
+  ir::Program p;
+  p.name = get_string_or(j, "name", "");
+
+  for (const Json& bj : get_array(j, "buffers")) {
+    ir::Buffer b;
+    b.id = static_cast<int>(p.buffers.size());
+    b.name = get_string_or(bj, "name", "b" + std::to_string(b.id));
+    for (const Json& d : get_array(bj, "dims")) {
+      if (!d.is_int() || d.as_int() <= 0) fail("buffer dims must be positive integers");
+      b.dims.push_back(d.as_int());
+    }
+    b.is_input = get_bool_or(bj, "input", false);
+    p.buffers.push_back(std::move(b));
+  }
+
+  for (const Json& lj : get_array(j, "loops")) {
+    ir::LoopNode l;
+    l.id = static_cast<int>(p.loops.size());
+    l.iter.name = get_string_or(lj, "iter", "i" + std::to_string(l.id));
+    l.iter.extent = get_int(lj, "extent");
+    if (l.iter.extent <= 0) fail("loop extent must be positive");
+    l.parent = static_cast<int>(get_int_or(lj, "parent", -1));
+    for (const Json& item : get_array(lj, "body")) {
+      if (!item.is_array() || item.as_array().size() != 2) fail("body item must be [kind, index]");
+      const JsonArray& pair = item.as_array();
+      if (!pair[0].is_string() || !pair[1].is_int()) fail("body item must be [string, int]");
+      const std::string& kind = pair[0].as_string();
+      const int index = static_cast<int>(pair[1].as_int());
+      if (kind == "loop")
+        l.body.push_back(ir::BodyItem::loop(index));
+      else if (kind == "comp")
+        l.body.push_back(ir::BodyItem::computation(index));
+      else
+        fail("body item kind must be 'loop' or 'comp'");
+    }
+    l.tail_of = static_cast<int>(get_int_or(lj, "tail_of", -1));
+    l.orig_extent = get_int_or(lj, "orig_extent", 0);
+    l.parallel = get_bool_or(lj, "parallel", false);
+    l.vector_width = static_cast<int>(get_int_or(lj, "vector_width", 0));
+    l.unroll = static_cast<int>(get_int_or(lj, "unroll", 0));
+    if (const Json* tags = lj.find("tags")) {
+      l.tag_interchanged = get_bool_or(*tags, "interchanged", false);
+      l.tag_tiled = get_bool_or(*tags, "tiled", false);
+      l.tag_tile_factor = get_int_or(*tags, "tile_factor", 0);
+      l.tag_fused = get_bool_or(*tags, "fused", false);
+    }
+    p.loops.push_back(std::move(l));
+  }
+
+  for (const Json& cj : get_array(j, "comps")) {
+    ir::Computation c;
+    c.id = static_cast<int>(p.comps.size());
+    c.name = get_string_or(cj, "name", "c" + std::to_string(c.id));
+    c.store = access_from_json(get(cj, "store"));
+    c.rhs = expr_from_json(get(cj, "rhs"));
+    c.is_reduction = get_bool_or(cj, "reduction", false);
+    p.comps.push_back(std::move(c));
+  }
+
+  for (const Json& r : get_array(j, "roots")) {
+    if (!r.is_int()) fail("roots must be integers");
+    p.roots.push_back(static_cast<int>(r.as_int()));
+  }
+
+  // loop_id is structural, not transmitted: derive it from the tree (and
+  // bounds-check body references while at it, before validate() walks them).
+  const int num_loops = static_cast<int>(p.loops.size());
+  const int num_comps = static_cast<int>(p.comps.size());
+  for (const ir::LoopNode& l : p.loops) {
+    for (const ir::BodyItem& item : l.body) {
+      if (item.kind == ir::BodyItem::Kind::Loop) {
+        if (item.index < 0 || item.index >= num_loops) fail("body references unknown loop");
+      } else {
+        if (item.index < 0 || item.index >= num_comps) fail("body references unknown comp");
+        p.comps[static_cast<std::size_t>(item.index)].loop_id = l.id;
+      }
+    }
+  }
+  for (int root : p.roots)
+    if (root < 0 || root >= num_loops) fail("roots reference unknown loop");
+
+  if (auto problem = p.validate()) fail("invalid program: " + *problem);
+  return p;
+}
+
+transforms::Schedule schedule_from_json_or_throw(const Json& j) {
+  if (!j.is_object()) fail("schedule must be an object");
+  transforms::Schedule s;
+  if (const Json* a = j.find("fuse")) {
+    if (!a->is_array()) fail("'fuse' must be an array");
+    for (const Json& f : a->as_array())
+      s.fusions.push_back({get_index(f, "a"), get_index(f, "b"),
+                           static_cast<int>(get_int_or(f, "depth", 1))});
+  }
+  if (const Json* a = j.find("interchange")) {
+    if (!a->is_array()) fail("'interchange' must be an array");
+    for (const Json& f : a->as_array())
+      s.interchanges.push_back({get_index(f, "comp"), get_index(f, "a"), get_index(f, "b")});
+  }
+  if (const Json* a = j.find("tile")) {
+    if (!a->is_array()) fail("'tile' must be an array");
+    for (const Json& f : a->as_array()) {
+      transforms::TileSpec t;
+      t.comp = get_index(f, "comp");
+      t.level = static_cast<int>(get_int_or(f, "level", 0));
+      for (const Json& sz : get_array(f, "sizes")) {
+        if (!sz.is_int() || sz.as_int() <= 0) fail("tile sizes must be positive integers");
+        t.sizes.push_back(sz.as_int());
+      }
+      s.tiles.push_back(std::move(t));
+    }
+  }
+  if (const Json* a = j.find("unroll")) {
+    if (!a->is_array()) fail("'unroll' must be an array");
+    for (const Json& f : a->as_array())
+      s.unrolls.push_back({get_index(f, "comp"), static_cast<int>(get_int_or(f, "factor", 2))});
+  }
+  if (const Json* a = j.find("parallel")) {
+    if (!a->is_array()) fail("'parallel' must be an array");
+    for (const Json& f : a->as_array())
+      s.parallels.push_back({get_index(f, "comp"), static_cast<int>(get_int_or(f, "level", 0))});
+  }
+  if (const Json* a = j.find("vectorize")) {
+    if (!a->is_array()) fail("'vectorize' must be an array");
+    for (const Json& f : a->as_array())
+      s.vectorizes.push_back({get_index(f, "comp"), static_cast<int>(get_int_or(f, "width", 8))});
+  }
+  return s;
+}
+
+Json metrics_to_json(const model::EvalMetrics& m) {
+  Json j = Json::object();
+  j.set("mape", Json(m.mape));
+  j.set("pearson", Json(m.pearson));
+  j.set("spearman", Json(m.spearman));
+  j.set("r2", Json(m.r2));
+  j.set("mse", Json(m.mse));
+  j.set("n", Json(static_cast<std::int64_t>(m.n)));
+  return j;
+}
+
+Json drift_signal_to_json(const serve::DriftSignal& s) {
+  Json j = Json::object();
+  j.set("value", Json(s.value));
+  j.set("threshold", Json(s.threshold));
+  j.set("fired", Json(s.fired));
+  j.set("samples", Json(s.samples));
+  return j;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Program / Schedule.
+// ---------------------------------------------------------------------------
+
+Json to_json(const ir::Program& program) {
+  Json j = Json::object();
+  if (!program.name.empty()) j.set("name", Json(program.name));
+
+  Json buffers = Json::array();
+  for (const ir::Buffer& b : program.buffers) {
+    Json bj = Json::object();
+    bj.set("name", Json(b.name));
+    Json dims = Json::array();
+    for (std::int64_t d : b.dims) dims.push_back(Json(d));
+    bj.set("dims", std::move(dims));
+    if (b.is_input) bj.set("input", Json(true));
+    buffers.push_back(std::move(bj));
+  }
+  j.set("buffers", std::move(buffers));
+
+  Json loops = Json::array();
+  for (const ir::LoopNode& l : program.loops) {
+    Json lj = Json::object();
+    lj.set("iter", Json(l.iter.name));
+    lj.set("extent", Json(l.iter.extent));
+    lj.set("parent", Json(static_cast<std::int64_t>(l.parent)));
+    Json body = Json::array();
+    for (const ir::BodyItem& item : l.body) {
+      Json pair = Json::array();
+      pair.push_back(Json(item.kind == ir::BodyItem::Kind::Loop ? "loop" : "comp"));
+      pair.push_back(Json(static_cast<std::int64_t>(item.index)));
+      body.push_back(std::move(pair));
+    }
+    lj.set("body", std::move(body));
+    if (l.tail_of != -1) lj.set("tail_of", Json(static_cast<std::int64_t>(l.tail_of)));
+    if (l.orig_extent != 0) lj.set("orig_extent", Json(l.orig_extent));
+    if (l.parallel) lj.set("parallel", Json(true));
+    if (l.vector_width != 0) lj.set("vector_width", Json(static_cast<std::int64_t>(l.vector_width)));
+    if (l.unroll != 0) lj.set("unroll", Json(static_cast<std::int64_t>(l.unroll)));
+    if (l.tag_interchanged || l.tag_tiled || l.tag_fused || l.tag_tile_factor != 0) {
+      Json tags = Json::object();
+      if (l.tag_interchanged) tags.set("interchanged", Json(true));
+      if (l.tag_tiled) tags.set("tiled", Json(true));
+      if (l.tag_tile_factor != 0) tags.set("tile_factor", Json(l.tag_tile_factor));
+      if (l.tag_fused) tags.set("fused", Json(true));
+      lj.set("tags", std::move(tags));
+    }
+    loops.push_back(std::move(lj));
+  }
+  j.set("loops", std::move(loops));
+
+  Json comps = Json::array();
+  for (const ir::Computation& c : program.comps) {
+    Json cj = Json::object();
+    cj.set("name", Json(c.name));
+    cj.set("store", access_to_json(c.store));
+    cj.set("rhs", expr_to_json(c.rhs));
+    if (c.is_reduction) cj.set("reduction", Json(true));
+    comps.push_back(std::move(cj));
+  }
+  j.set("comps", std::move(comps));
+
+  Json roots = Json::array();
+  for (int r : program.roots) roots.push_back(Json(static_cast<std::int64_t>(r)));
+  j.set("roots", std::move(roots));
+  return j;
+}
+
+Result<ir::Program> program_from_json(const Json& j) {
+  try {
+    return program_from_json_or_throw(j);
+  } catch (const std::exception& e) {
+    return Status::invalid_argument(e.what());
+  }
+}
+
+Json to_json(const transforms::Schedule& schedule) {
+  Json j = Json::object();
+  if (!schedule.fusions.empty()) {
+    Json a = Json::array();
+    for (const transforms::FuseSpec& f : schedule.fusions) {
+      Json o = Json::object();
+      o.set("a", Json(static_cast<std::int64_t>(f.comp_a)));
+      o.set("b", Json(static_cast<std::int64_t>(f.comp_b)));
+      o.set("depth", Json(static_cast<std::int64_t>(f.depth)));
+      a.push_back(std::move(o));
+    }
+    j.set("fuse", std::move(a));
+  }
+  if (!schedule.interchanges.empty()) {
+    Json a = Json::array();
+    for (const transforms::InterchangeSpec& f : schedule.interchanges) {
+      Json o = Json::object();
+      o.set("comp", Json(static_cast<std::int64_t>(f.comp)));
+      o.set("a", Json(static_cast<std::int64_t>(f.level_a)));
+      o.set("b", Json(static_cast<std::int64_t>(f.level_b)));
+      a.push_back(std::move(o));
+    }
+    j.set("interchange", std::move(a));
+  }
+  if (!schedule.tiles.empty()) {
+    Json a = Json::array();
+    for (const transforms::TileSpec& f : schedule.tiles) {
+      Json o = Json::object();
+      o.set("comp", Json(static_cast<std::int64_t>(f.comp)));
+      o.set("level", Json(static_cast<std::int64_t>(f.level)));
+      Json sizes = Json::array();
+      for (std::int64_t s : f.sizes) sizes.push_back(Json(s));
+      o.set("sizes", std::move(sizes));
+      a.push_back(std::move(o));
+    }
+    j.set("tile", std::move(a));
+  }
+  if (!schedule.unrolls.empty()) {
+    Json a = Json::array();
+    for (const transforms::UnrollSpec& f : schedule.unrolls) {
+      Json o = Json::object();
+      o.set("comp", Json(static_cast<std::int64_t>(f.comp)));
+      o.set("factor", Json(static_cast<std::int64_t>(f.factor)));
+      a.push_back(std::move(o));
+    }
+    j.set("unroll", std::move(a));
+  }
+  if (!schedule.parallels.empty()) {
+    Json a = Json::array();
+    for (const transforms::ParallelizeSpec& f : schedule.parallels) {
+      Json o = Json::object();
+      o.set("comp", Json(static_cast<std::int64_t>(f.comp)));
+      o.set("level", Json(static_cast<std::int64_t>(f.level)));
+      a.push_back(std::move(o));
+    }
+    j.set("parallel", std::move(a));
+  }
+  if (!schedule.vectorizes.empty()) {
+    Json a = Json::array();
+    for (const transforms::VectorizeSpec& f : schedule.vectorizes) {
+      Json o = Json::object();
+      o.set("comp", Json(static_cast<std::int64_t>(f.comp)));
+      o.set("width", Json(static_cast<std::int64_t>(f.width)));
+      a.push_back(std::move(o));
+    }
+    j.set("vectorize", std::move(a));
+  }
+  return j;
+}
+
+Result<transforms::Schedule> schedule_from_json(const Json& j) {
+  try {
+    return schedule_from_json_or_throw(j);
+  } catch (const std::exception& e) {
+    return Status::invalid_argument(e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Requests / responses.
+// ---------------------------------------------------------------------------
+
+Result<PredictRequest> predict_request_from_json(const Json& j) {
+  try {
+    if (!j.is_object()) fail("request body must be a JSON object");
+    const std::int64_t version = get_int_or(j, "api_version", kApiVersion);
+    if (version != kApiVersion)
+      fail("unsupported api_version " + std::to_string(version) + " (this server speaks " +
+           std::to_string(kApiVersion) + ")");
+    PredictRequest req;
+    req.program = program_from_json_or_throw(get(j, "program"));
+    const Json* single = j.find("schedule");
+    const Json* many = j.find("schedules");
+    if ((single == nullptr) == (many == nullptr))
+      fail("provide exactly one of 'schedule' or 'schedules'");
+    if (single != nullptr) {
+      req.schedules.push_back(schedule_from_json_or_throw(*single));
+    } else {
+      if (!many->is_array()) fail("'schedules' must be an array");
+      if (many->as_array().empty()) fail("'schedules' must not be empty");
+      for (const Json& s : many->as_array())
+        req.schedules.push_back(schedule_from_json_or_throw(s));
+    }
+    return req;
+  } catch (const std::exception& e) {
+    return Status::invalid_argument(e.what());
+  }
+}
+
+Json to_json(const PredictResponse& response) {
+  Json j = Json::object();
+  j.set("api_version", Json(static_cast<std::int64_t>(kApiVersion)));
+  Json preds = Json::array();
+  for (const PredictResponse::Item& item : response.predictions) {
+    Json o = Json::object();
+    o.set("speedup", Json(item.speedup));
+    o.set("model_version", Json(static_cast<std::int64_t>(item.model_version)));
+    preds.push_back(std::move(o));
+  }
+  j.set("predictions", std::move(preds));
+  return j;
+}
+
+Json to_json(const ModelInfo& info) {
+  const registry::ModelManifest& m = info.manifest;
+  Json j = Json::object();
+  j.set("version", Json(static_cast<std::int64_t>(m.version)));
+  j.set("kind", Json(m.model_kind));
+  j.set("parent_version", Json(static_cast<std::int64_t>(m.parent_version)));
+  j.set("created_unix", Json(m.created_unix));
+  j.set("provenance", Json(m.provenance));
+  // uint64 does not fit JSON's interoperable integer range; hex string.
+  char hash[19];
+  std::snprintf(hash, sizeof hash, "%016llx", static_cast<unsigned long long>(m.feature_hash));
+  j.set("feature_hash", Json(std::string(hash)));
+  j.set("metrics", metrics_to_json(m.metrics));
+  j.set("active", Json(info.active));
+  j.set("previous", Json(info.previous));
+  return j;
+}
+
+Json to_json(const StatsSnapshot& stats) {
+  Json j = Json::object();
+  j.set("api_version", Json(static_cast<std::int64_t>(kApiVersion)));
+  j.set("active_version", Json(static_cast<std::int64_t>(stats.active_version)));
+  j.set("previous_version", Json(static_cast<std::int64_t>(stats.previous_version)));
+  j.set("uptime_seconds", Json(stats.uptime_seconds));
+
+  const serve::ServeStats& s = stats.serve;
+  Json serve = Json::object();
+  serve.set("requests", Json(s.requests));
+  serve.set("batches", Json(s.batches));
+  serve.set("failed_requests", Json(s.failed_requests));
+  serve.set("cache_hits", Json(s.cache_hits));
+  serve.set("cache_misses", Json(s.cache_misses));
+  serve.set("mean_batch_occupancy", Json(s.mean_batch_occupancy));
+  serve.set("arena_heap_allocs", Json(s.arena_heap_allocs));
+  serve.set("p50_latency_seconds", Json(s.p50_latency));
+  serve.set("p99_latency_seconds", Json(s.p99_latency));
+  serve.set("model_swaps", Json(s.model_swaps));
+  serve.set("shadow_version", Json(static_cast<std::int64_t>(s.shadow_version)));
+  serve.set("shadow_requests", Json(s.shadow_requests));
+  serve.set("shadow_failures", Json(s.shadow_failures));
+  serve.set("shadow_mape", Json(s.shadow_mape));
+  serve.set("shadow_spearman", Json(s.shadow_spearman));
+  j.set("serve", std::move(serve));
+
+  Json autopilot = Json::object();
+  autopilot.set("enabled", Json(stats.autopilot.enabled));
+  if (stats.autopilot.enabled) {
+    autopilot.set("polls", Json(stats.autopilot.polls));
+    autopilot.set("cycles", Json(stats.autopilot.cycles));
+    autopilot.set("triggers", Json(stats.autopilot.triggers));
+    autopilot.set("cycle_failures", Json(stats.autopilot.cycle_failures));
+    const serve::DriftReport& d = stats.autopilot.last;
+    Json drift = Json::object();
+    drift.set("psi", drift_signal_to_json(d.psi));
+    drift.set("ks", drift_signal_to_json(d.ks));
+    drift.set("failure_rate", drift_signal_to_json(d.failure_rate));
+    drift.set("shadow_mape", drift_signal_to_json(d.shadow_mape));
+    drift.set("shadow_spearman", drift_signal_to_json(d.shadow_spearman));
+    drift.set("reference_size", Json(static_cast<std::int64_t>(d.reference_size)));
+    drift.set("window_size", Json(static_cast<std::int64_t>(d.window_size)));
+    drift.set("drifted", Json(d.drifted));
+    drift.set("triggered", Json(d.triggered));
+    if (!d.reason.empty()) drift.set("reason", Json(d.reason));
+    autopilot.set("drift", std::move(drift));
+  }
+  j.set("autopilot", std::move(autopilot));
+
+  Json feedback = Json::object();
+  feedback.set("enabled", Json(stats.feedback.enabled));
+  if (stats.feedback.enabled) {
+    feedback.set("offered", Json(stats.feedback.offered));
+    feedback.set("sampled", Json(stats.feedback.sampled));
+    feedback.set("buffered", Json(static_cast<std::int64_t>(stats.feedback.buffered)));
+  }
+  j.set("feedback", std::move(feedback));
+  return j;
+}
+
+Json error_body(const Status& status) {
+  Json err = Json::object();
+  err.set("code", Json(std::string(status_code_name(status.code()))));
+  err.set("http", Json(static_cast<std::int64_t>(http_status(status.code()))));
+  err.set("message", Json(status.message()));
+  Json j = Json::object();
+  j.set("error", std::move(err));
+  return j;
+}
+
+}  // namespace tcm::api

@@ -1,7 +1,8 @@
 #include "registry/continual_scheduler.h"
 
-#include <cstdio>
 #include <exception>
+
+#include "support/log.h"
 
 namespace tcm::registry {
 
@@ -75,31 +76,26 @@ bool ContinualScheduler::poll_once() {
     // are retried (paced by the cooldowns), not allowed to exhaust it.
     if (cycle_in_flight_) return false;
     if (options_.max_cycles > 0 && cycles_ >= static_cast<std::uint64_t>(options_.max_cycles)) {
-      if (options_.verbose)
-        std::printf("[autopilot] drift (%s) but cycle budget %d exhausted\n",
-                    report.reason.c_str(), options_.max_cycles);
+      log_debug() << "[autopilot] drift (" << report.reason << ") but cycle budget "
+                  << options_.max_cycles << " exhausted";
       return false;
     }
     const auto now = std::chrono::steady_clock::now();
     if (have_last_cycle_ && now - last_cycle_end_ < options_.cycle_cooldown) {
-      if (options_.verbose)
-        std::printf("[autopilot] drift (%s) inside cycle cooldown, skipping\n",
-                    report.reason.c_str());
+      log_debug() << "[autopilot] drift (" << report.reason << ") inside cycle cooldown, skipping";
       return false;
     }
     cycle_in_flight_ = true;
     event.drift = report;
   }
 
-  if (options_.verbose)
-    std::printf("[autopilot] drift detected (%s) -> running cycle\n",
-                event.drift.reason.c_str());
+  log_debug() << "[autopilot] drift detected (" << event.drift.reason << ") -> running cycle";
   try {
     event.cycle = trainer_.run_cycle();
   } catch (const std::exception& e) {
     event.cycle_failed = true;
     event.error = e.what();
-    if (options_.verbose) std::printf("[autopilot] cycle failed: %s\n", e.what());
+    log_warn() << "[autopilot] cycle failed: " << e.what();
   }
   // GC failures are reported separately: a retention hiccup must not be
   // mistaken for a failed retraining cycle (the promotion, if any, already
@@ -110,7 +106,7 @@ bool ContinualScheduler::poll_once() {
     } catch (const std::exception& e) {
       event.gc_failed = true;
       event.error = e.what();
-      if (options_.verbose) std::printf("[autopilot] post-cycle gc failed: %s\n", e.what());
+      log_warn() << "[autopilot] post-cycle gc failed: " << e.what();
     }
   }
 

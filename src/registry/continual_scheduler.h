@@ -56,7 +56,6 @@ struct ContinualSchedulerOptions {
   // leaves collection to explicit ModelRegistry::gc() calls).
   GcPolicy gc;
   bool gc_after_cycle = true;
-  bool verbose = false;
 };
 
 // One autopilot firing: what the monitor saw, what the cycle did, what the

@@ -1,7 +1,6 @@
 #include "registry/continual_trainer.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <future>
 #include <memory>
 #include <stdexcept>
@@ -10,6 +9,7 @@
 
 #include "model/dataset.h"
 #include "sim/executor.h"
+#include "support/log.h"
 
 namespace tcm::registry {
 namespace {
@@ -64,10 +64,8 @@ CycleReport ContinualTrainer::run_cycle() {
   const model::Dataset fresh = datagen::build_dataset(data);
   const model::DatasetSplit split =
       model::split_by_program(fresh, options_.train_frac, 1.0 - options_.train_frac, data.seed);
-  if (options_.verbose)
-    std::printf("[cycle %llu] fresh data: %zu samples (%zu fine-tune / %zu holdout)\n",
-                static_cast<unsigned long long>(cycle_), fresh.size(), split.train.size(),
-                split.validation.size());
+  log_debug() << "[cycle " << cycle_ << "] fresh data: " << fresh.size() << " samples ("
+             << split.train.size() << " fine-tune / " << split.validation.size() << " holdout)";
 
   // --- 1b. Measured feedback: re-execute a sample of served schedules -----
   // The drained (program, schedule) pairs are what clients actually asked
@@ -107,11 +105,10 @@ CycleReport ContinualTrainer::run_cycle() {
       }
     }
     report.feedback_dropped += served.size() - cap;  // over budget, not re-executed
-    if (options_.verbose && !served.empty())
-      std::printf("[cycle %llu] measured feedback: %zu served samples drained, %zu mixed in, "
-                  "%zu dropped\n",
-                  static_cast<unsigned long long>(cycle_), served.size(),
-                  report.feedback_samples, report.feedback_dropped);
+    if (!served.empty())
+      log_debug() << "[cycle " << cycle_ << "] measured feedback: " << served.size()
+                 << " served samples drained, " << report.feedback_samples << " mixed in, "
+                 << report.feedback_dropped << " dropped";
   }
 
   // --- 2. Fine-tune a registry-loaded copy of the incumbent ---------------
@@ -168,9 +165,8 @@ CycleReport ContinualTrainer::run_cycle() {
                       " vs incumbent " + std::to_string(report.incumbent_holdout.mape) +
                       ", shadow spearman " + std::to_string(report.shadow_spearman);
   }
-  if (options_.verbose)
-    std::printf("[cycle %llu] v%d -> v%d: %s\n", static_cast<unsigned long long>(cycle_),
-                report.incumbent_version, report.candidate_version, report.decision.c_str());
+  log_debug() << "[cycle " << cycle_ << "] v" << report.incumbent_version << " -> v"
+             << report.candidate_version << ": " << report.decision;
   return report;
 }
 

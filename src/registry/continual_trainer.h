@@ -68,7 +68,6 @@ struct ContinualTrainerOptions {
   int max_feedback_samples = 256;
 
   std::uint64_t seed = 2024;  // varied per cycle so data never repeats
-  bool verbose = false;
 };
 
 // One cycle's audit trail.

@@ -55,6 +55,25 @@ std::vector<ServedSample> FeedbackBuffer::drain() {
   return out;
 }
 
+std::vector<ServedSample> FeedbackBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reservoir_;
+}
+
+void FeedbackBuffer::restore(std::vector<ServedSample> samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ServedSample& s : samples) {
+    if (reservoir_.size() >= options_.capacity) break;
+    reservoir_.push_back(std::move(s));
+    // Count the restored sample as one offered-and-sampled request so the
+    // counters stay consistent (sampled <= offered always holds) and later
+    // reservoir replacement stays approximately uniform.
+    offered_.fetch_add(1, std::memory_order_relaxed);
+    ++sampled_;
+    ++stream_count_;
+  }
+}
+
 std::size_t FeedbackBuffer::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return reservoir_.size();

@@ -48,6 +48,20 @@ class FeedbackBuffer {
   // Takes the reservoir (the stream restarts empty). Order is arbitrary.
   std::vector<ServedSample> drain();
 
+  // Copies the current reservoir without consuming it: the persistence hook
+  // (api::Service serializes the reservoir on quiesce/shutdown). Samples a
+  // cycle already drained are gone from the reservoir, so a snapshot taken
+  // afterwards can never persist — and a restart can never double-count —
+  // them.
+  std::vector<ServedSample> snapshot() const;
+
+  // Seeds the reservoir with samples recovered from a previous process
+  // (api::Service restores a persisted snapshot at startup). Restored
+  // samples count as sampled stream entries so subsequent reservoir
+  // replacement stays (approximately) uniform; excess beyond the capacity
+  // is dropped. Call before serving starts.
+  void restore(std::vector<ServedSample> samples);
+
   std::size_t size() const;
   std::uint64_t offered() const;  // total offer() calls
   std::uint64_t sampled() const;  // offers that passed the Bernoulli draw

@@ -1,0 +1,434 @@
+// Tests for the HTTP serving surface (src/api/http_server.* + rest.*):
+// transport hardening (malformed / oversized / truncated requests must come
+// back as clean 4xx Status bodies, never a crash or a hung worker), the v1
+// route table, and the acceptance bar — concurrent HTTP clients receive
+// predictions bitwise-identical to the in-process futures API while models
+// hot-swap under live traffic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/http_client.h"
+#include "api/http_server.h"
+#include "api/rest.h"
+#include "api/service.h"
+#include "api/wire.h"
+#include "datagen/generator.h"
+#include "model/cost_model.h"
+#include "registry/model_registry.h"
+
+namespace fs = std::filesystem;
+
+namespace tcm::api {
+namespace {
+
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("tcm_http_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string make_registry(const std::string& name, int versions = 1) {
+  const std::string root = scratch_dir(name);
+  registry::ModelRegistry reg(root);
+  for (int v = 0; v < versions; ++v) {
+    Rng rng(300 + static_cast<std::uint64_t>(v));
+    model::CostModel m(model::ModelConfig::fast(), rng);
+    registry::ModelManifest manifest;
+    manifest.config = model::ModelConfig::fast();
+    manifest.provenance = "http_test v" + std::to_string(v + 1);
+    reg.register_version(m, manifest);
+  }
+  reg.promote(1);
+  return root;
+}
+
+// One façade + bound server on an ephemeral loopback port.
+struct Stack {
+  std::unique_ptr<Service> service;
+  std::unique_ptr<HttpServer> server;
+
+  int port() const { return server->port(); }
+};
+
+Stack make_stack(const std::string& name, int versions = 1,
+                 HttpServerOptions http_options = {}) {
+  ServiceOptions opt;
+  opt.registry_root = make_registry(name, versions);
+  opt.serve.num_threads = 2;
+  opt.serve.features = model::FeatureConfig::fast();
+  opt.serve.max_queue_latency = std::chrono::microseconds(200);
+  Result<std::unique_ptr<Service>> svc = Service::open(std::move(opt));
+  EXPECT_TRUE(svc.ok()) << svc.status().to_string();
+
+  http_options.host = "127.0.0.1";
+  http_options.port = 0;  // ephemeral
+  Stack stack;
+  stack.service = svc.take();
+  stack.server = std::make_unique<HttpServer>(http_options);
+  bind_routes(*stack.server, *stack.service);
+  const Status started = stack.server->start();
+  EXPECT_TRUE(started.ok()) << started.to_string();
+  return stack;
+}
+
+Json predict_body(const ir::Program& program, const transforms::Schedule& schedule) {
+  Json body = Json::object();
+  body.set("program", to_json(program));
+  body.set("schedule", to_json(schedule));
+  return body;
+}
+
+// Error code out of a Status body (empty string when the shape is off).
+std::string error_code(const std::string& body) {
+  Result<Json> parsed = Json::parse(body);
+  if (!parsed.ok()) return "";
+  const Json* err = parsed->find("error");
+  if (err == nullptr || err->find("code") == nullptr) return "";
+  return err->find("code")->as_string();
+}
+
+// ---------------------------------------------------------------------------
+// Routes
+// ---------------------------------------------------------------------------
+
+TEST(Http, HealthzAndStats) {
+  Stack stack = make_stack("health");
+  HttpClient client("127.0.0.1", stack.port());
+
+  Result<HttpResponse> health = client.get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().to_string();
+  EXPECT_EQ(health->status, 200);
+  Result<Json> parsed = Json::parse(health->body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->find("status")->as_string(), "serving");
+  EXPECT_EQ(parsed->find("active_version")->as_int(), 1);
+
+  Result<HttpResponse> stats = client.get("/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  Result<Json> sparsed = Json::parse(stats->body);
+  ASSERT_TRUE(sparsed.ok());
+  EXPECT_EQ(sparsed->find("active_version")->as_int(), 1);
+  EXPECT_NE(sparsed->find("serve"), nullptr);
+
+  stack.server->stop();
+}
+
+TEST(Http, PredictSingleAndBatch) {
+  Stack stack = make_stack("predict");
+  HttpClient client("127.0.0.1", stack.port());
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(21);
+  const ir::Program program = gen.generate(1);
+
+  // Single.
+  Result<HttpResponse> single =
+      client.post("/v1/predict", predict_body(program, sgen.generate(program, rng)).dump());
+  ASSERT_TRUE(single.ok()) << single.status().to_string();
+  ASSERT_EQ(single->status, 200) << single->body;
+  Result<Json> sj = Json::parse(single->body);
+  ASSERT_TRUE(sj.ok());
+  ASSERT_EQ(sj->find("predictions")->as_array().size(), 1u);
+  EXPECT_GT(sj->find("predictions")->as_array()[0].find("speedup")->as_double(), 0.0);
+  EXPECT_EQ(sj->find("predictions")->as_array()[0].find("model_version")->as_int(), 1);
+
+  // Batch.
+  Json body = Json::object();
+  body.set("program", to_json(program));
+  Json schedules = Json::array();
+  for (int i = 0; i < 5; ++i) schedules.push_back(to_json(sgen.generate(program, rng)));
+  body.set("schedules", std::move(schedules));
+  Result<HttpResponse> batch = client.post("/v1/predict", body.dump());
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->status, 200) << batch->body;
+  Result<Json> bj = Json::parse(batch->body);
+  ASSERT_TRUE(bj.ok());
+  EXPECT_EQ(bj->find("predictions")->as_array().size(), 5u);
+
+  stack.server->stop();
+}
+
+TEST(Http, ModelsPromoteRollback) {
+  Stack stack = make_stack("lifecycle", /*versions=*/2);
+  HttpClient client("127.0.0.1", stack.port());
+
+  Result<HttpResponse> models = client.get("/v1/models");
+  ASSERT_TRUE(models.ok());
+  ASSERT_EQ(models->status, 200);
+  Result<Json> mj = Json::parse(models->body);
+  ASSERT_TRUE(mj.ok());
+  EXPECT_EQ(mj->find("active")->as_int(), 1);
+  EXPECT_EQ(mj->find("models")->as_array().size(), 2u);
+
+  Result<HttpResponse> promoted = client.post("/v1/models/promote", R"({"version":2})");
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(promoted->status, 200) << promoted->body;
+  EXPECT_EQ(stack.service->active_version(), 2);
+
+  Result<HttpResponse> missing = client.post("/v1/models/promote", R"({"version":42})");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  EXPECT_EQ(error_code(missing->body), "NOT_FOUND");
+
+  Result<HttpResponse> rolled = client.post("/v1/models/rollback", "{}");
+  ASSERT_TRUE(rolled.ok());
+  EXPECT_EQ(rolled->status, 200) << rolled->body;
+  Result<Json> rj = Json::parse(rolled->body);
+  ASSERT_TRUE(rj.ok());
+  EXPECT_EQ(rj->find("active")->as_int(), 1);
+  EXPECT_EQ(stack.service->active_version(), 1);
+
+  stack.server->stop();
+}
+
+TEST(Http, MetricsExposition) {
+  Stack stack = make_stack("metrics");
+  HttpClient client("127.0.0.1", stack.port());
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(31);
+  const ir::Program program = gen.generate(0);
+  ASSERT_TRUE(client.post("/v1/predict",
+                          predict_body(program, sgen.generate(program, rng)).dump())
+                  .ok());
+
+  Result<HttpResponse> metrics = client.get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics->body.find("# TYPE tcm_serve_requests_total counter"), std::string::npos);
+  EXPECT_NE(metrics->body.find("tcm_serve_requests_total 1\n"), std::string::npos);
+  EXPECT_NE(metrics->body.find("tcm_model_active_version 1\n"), std::string::npos);
+  EXPECT_NE(metrics->body.find("tcm_drift_signal{signal=\"psi\"}"), std::string::npos);
+  EXPECT_NE(metrics->body.find("tcm_http_requests_total"), std::string::npos);
+
+  stack.server->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Hardening: malformed, oversized, truncated, unknown
+// ---------------------------------------------------------------------------
+
+TEST(Http, UnknownRouteAndMethod) {
+  Stack stack = make_stack("routes");
+  HttpClient client("127.0.0.1", stack.port());
+
+  Result<HttpResponse> missing = client.get("/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  EXPECT_EQ(error_code(missing->body), "NOT_FOUND");
+
+  Result<HttpResponse> wrong_method = client.get("/v1/predict");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+
+  stack.server->stop();
+}
+
+TEST(Http, MalformedJsonIsCleanBadRequest) {
+  Stack stack = make_stack("badjson");
+  HttpClient client("127.0.0.1", stack.port());
+
+  for (const std::string body : {std::string("{not json"), std::string("[1,2,"),
+                                 std::string("\xff\xfe\x00garbage", 11), std::string("null")}) {
+    Result<HttpResponse> response = client.post("/v1/predict", body);
+    ASSERT_TRUE(response.ok()) << response.status().to_string();
+    EXPECT_EQ(response->status, 400) << body;
+    EXPECT_EQ(error_code(response->body), "INVALID_ARGUMENT");
+  }
+  // Valid JSON, wrong shape.
+  Result<HttpResponse> response = client.post("/v1/predict", R"({"program":17})");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+  // Empty body.
+  response = client.post("/v1/predict", "");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+  // The server survived all of it.
+  EXPECT_EQ(client.get("/healthz")->status, 200);
+
+  stack.server->stop();
+}
+
+TEST(Http, MalformedRequestLineIsBadRequest) {
+  Stack stack = make_stack("badline");
+  HttpClient client("127.0.0.1", stack.port());
+  Result<HttpResponse> response = client.raw_exchange("GARBAGE\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response->status, 400);
+  EXPECT_EQ(error_code(response->body), "INVALID_ARGUMENT");
+}
+
+TEST(Http, OversizedBodyIsRejectedWithoutReadingIt) {
+  HttpServerOptions hopt;
+  hopt.max_body_bytes = 2048;
+  Stack stack = make_stack("oversize", 1, hopt);
+  HttpClient client("127.0.0.1", stack.port());
+
+  // Declared length over the cap: refused from the headers alone.
+  Result<HttpResponse> response = client.raw_exchange(
+      "POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 1000000\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response->status, 413);
+  EXPECT_EQ(error_code(response->body), "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(client.get("/healthz")->status, 200);
+  stack.server->stop();
+}
+
+TEST(Http, OversizedHeadersAreRejected) {
+  HttpServerOptions hopt;
+  hopt.max_header_bytes = 1024;
+  Stack stack = make_stack("bigheader", 1, hopt);
+  HttpClient client("127.0.0.1", stack.port());
+  std::string request = "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Filler: ";
+  request.append(4096, 'a');
+  request += "\r\n\r\n";
+  Result<HttpResponse> response = client.raw_exchange(request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response->status, 431);
+  stack.server->stop();
+}
+
+TEST(Http, TruncatedBodyIsCleanBadRequest) {
+  Stack stack = make_stack("truncated");
+  HttpClient client("127.0.0.1", stack.port());
+  // Declares 100 bytes, sends 10, then half-closes: the worker must answer
+  // 400 instead of blocking on the missing 90 bytes.
+  Result<HttpResponse> response = client.raw_exchange(
+      "POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n0123456789",
+      /*half_close=*/true);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response->status, 400);
+  EXPECT_EQ(error_code(response->body), "INVALID_ARGUMENT");
+  EXPECT_EQ(client.get("/healthz")->status, 200);
+  stack.server->stop();
+}
+
+TEST(Http, ExpectContinueIsHonored) {
+  Stack stack = make_stack("continue");
+  HttpClient client("127.0.0.1", stack.port());
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(41);
+  const ir::Program program = gen.generate(2);
+  Result<HttpResponse> response =
+      client.request("POST", "/v1/predict",
+                     predict_body(program, sgen.generate(program, rng)).dump(),
+                     {{"Expect", "100-continue"}});
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response->status, 200) << response->body;
+  stack.server->stop();
+}
+
+TEST(Http, KeepAliveReusesOneConnection) {
+  Stack stack = make_stack("keepalive");
+  HttpClient client("127.0.0.1", stack.port());
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(client.get("/healthz")->status, 200);
+  EXPECT_EQ(stack.server->connections_accepted(), 1u);
+  EXPECT_EQ(stack.server->requests_handled(), 5u);
+  stack.server->stop();
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance bar: >= 8 concurrent HTTP clients, predictions bitwise-
+// identical to the in-process futures API, hot-swap via /v1/models/promote
+// under live traffic.
+// ---------------------------------------------------------------------------
+
+TEST(Http, ConcurrentClientsBitwiseParityWithHotSwapUnderTraffic) {
+  Stack stack = make_stack("hammer", /*versions=*/2);
+
+  // Workload: a handful of (program, schedule) pairs reused by all clients.
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(51);
+  std::vector<ir::Program> programs;
+  std::vector<transforms::Schedule> schedules;
+  std::vector<std::string> bodies;
+  for (int i = 0; i < 6; ++i) {
+    programs.push_back(gen.generate(static_cast<std::uint64_t>(i % 3)));
+    schedules.push_back(sgen.generate(programs.back(), rng));
+    bodies.push_back(predict_body(programs.back(), schedules.back()).dump());
+  }
+
+  // Expected speedups per version via the in-process futures API (the
+  // façade's predict is proven bitwise-equal to raw submit() in api_test).
+  auto expected_for_active = [&] {
+    std::vector<double> out;
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      PredictRequest request;
+      request.program = programs[i];
+      request.schedules.push_back(schedules[i]);
+      Result<PredictResponse> r = stack.service->predict(request);
+      EXPECT_TRUE(r.ok()) << r.status().to_string();
+      out.push_back(r->predictions[0].speedup);
+    }
+    return out;
+  };
+  const std::vector<double> expected_v1 = expected_for_active();
+  ASSERT_TRUE(stack.service->promote(2).ok());
+  const std::vector<double> expected_v2 = expected_for_active();
+  Result<int> back = stack.service->rollback();
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(stack.service->active_version(), 1);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 12;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::atomic<int> done{0};
+  const int port = stack.port();
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client("127.0.0.1", port);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::size_t i = static_cast<std::size_t>((c + r)) % bodies.size();
+        Result<HttpResponse> response = client.post("/v1/predict", bodies[i]);
+        if (!response.ok() || response->status != 200) {
+          ++failures;
+          continue;
+        }
+        Result<Json> parsed = Json::parse(response->body);
+        if (!parsed.ok()) {
+          ++failures;
+          continue;
+        }
+        const Json& item = parsed->find("predictions")->as_array()[0];
+        const double speedup = item.find("speedup")->as_double();
+        const int version = static_cast<int>(item.find("model_version")->as_int());
+        const double expected = version == 1 ? expected_v1[i] : expected_v2[i];
+        if (speedup != expected) ++mismatches;  // bitwise comparison
+        ++done;
+      }
+    });
+  }
+
+  // Hot-swap through the HTTP surface mid-traffic.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  HttpClient admin("127.0.0.1", port);
+  Result<HttpResponse> promoted = admin.post("/v1/models/promote", R"({"version":2})");
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_EQ(promoted->status, 200) << promoted->body;
+
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(done.load(), kClients * kRequestsPerClient);
+  EXPECT_EQ(stack.service->active_version(), 2);
+  EXPECT_GE(stack.service->stats().serve.model_swaps, 1u);
+
+  stack.server->stop();
+}
+
+}  // namespace
+}  // namespace tcm::api
