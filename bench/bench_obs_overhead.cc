@@ -1,0 +1,220 @@
+// Observability overhead: serving throughput with tracing off, at the
+// production 1% sample rate, and fully sampled, on the same mixed-structure
+// request stream bench_serve_throughput drives. The claim this bench
+// enforces (nonzero exit on violation):
+//
+//   - 1% sampling costs < 2% of the tracing-off throughput,
+//   - 0% sampling is free (the enabled() check short-circuits every span
+//     site) — held to the same tolerance since "off" *is* the baseline.
+//
+// Histograms are always on (they replaced the latency ring, so there is no
+// "off" configuration to compare against; their cost is two relaxed atomic
+// adds per observation and is part of every measured number here).
+//
+// Trials interleave configurations (off, 1%, 100%, off, 1%, ...) so CPU
+// frequency drift hits every configuration equally, and each configuration
+// scores its best-of-trials — throughput noise is one-sided, so max is the
+// right estimator for "what does this configuration cost".
+//
+// Flags:
+//   --requests N   requests per trial per configuration (default 2000)
+//   --clients N    closed-loop client threads (default 4)
+//   --trials N     interleaved trials (default 3)
+//   --json PATH    machine-readable results (default BENCH_obs_overhead.json;
+//                  empty string disables)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "model/cost_model.h"
+#include "obs/trace.h"
+#include "serve/prediction_service.h"
+#include "support/table.h"
+
+using namespace tcm;
+
+namespace {
+
+struct Workload {
+  std::vector<ir::Program> programs;
+  std::vector<std::size_t> pair_program;
+  std::vector<transforms::Schedule> pair_schedule;
+
+  std::size_t size() const { return pair_schedule.size(); }
+};
+
+Workload make_workload(int num_programs, int schedules_per_program) {
+  Workload w;
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(99);
+  for (int p = 0; p < num_programs; ++p) {
+    w.programs.push_back(gen.generate(static_cast<std::uint64_t>(p)));
+    for (int s = 0; s < schedules_per_program; ++s) {
+      w.pair_program.push_back(static_cast<std::size_t>(p));
+      w.pair_schedule.push_back(sgen.generate(w.programs.back(), rng));
+    }
+  }
+  return w;
+}
+
+// One timed pass: a fresh service (so every configuration starts equally
+// feature-cache-cold) under the given sample rate.
+double run_trial(model::SpeedupPredictor& predictor, const Workload& workload, double sample_rate,
+                 int total_requests, int num_clients) {
+  obs::Tracer::instance().set_sample_rate(sample_rate);
+  obs::Tracer::instance().clear();
+
+  serve::ServeOptions options;
+  options.num_threads = 2;
+  options.max_batch = 64;
+  options.max_queue_latency = std::chrono::microseconds(500);
+  options.cache_capacity = 4096;
+  options.features = model::FeatureConfig::fast();
+  serve::PredictionService service(predictor, options);
+
+  std::atomic<std::size_t> next{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&] {
+      std::vector<std::future<serve::Prediction>> inflight;
+      inflight.reserve(128);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= static_cast<std::size_t>(total_requests)) break;
+        // Sample at the edge the way the HTTP layer does, then carry the id
+        // through the thread-local context across submit().
+        obs::TraceContext ctx(obs::Tracer::instance().sample_request());
+        const std::size_t pair = i % workload.size();
+        inflight.push_back(service.submit(workload.programs[workload.pair_program[pair]],
+                                          workload.pair_schedule[pair]));
+        if (inflight.size() >= 128) {
+          for (auto& f : inflight) f.get();
+          inflight.clear();
+        }
+      }
+      for (auto& f : inflight) f.get();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  obs::Tracer::instance().set_sample_rate(0.0);
+  return static_cast<double>(total_requests) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int total_requests = 2000;
+  int num_clients = 4;
+  int trials = 3;
+  std::string json_path = "BENCH_obs_overhead.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) total_requests = std::atoi(argv[++i]);
+    else if (arg == "--clients" && i + 1 < argc) num_clients = std::atoi(argv[++i]);
+    else if (arg == "--trials" && i + 1 < argc) trials = std::atoi(argv[++i]);
+    else if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+  }
+  total_requests = std::max(total_requests, 1);
+  num_clients = std::max(num_clients, 1);
+  trials = std::max(trials, 1);
+
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  const Workload workload = make_workload(/*num_programs=*/6, /*schedules_per_program=*/16);
+
+  std::cout << "obs overhead: " << total_requests << " requests/trial/config, " << num_clients
+            << " client threads, " << trials << " interleaved trials\n\n";
+
+  struct Config {
+    const char* name;
+    double sample_rate;
+  };
+  const std::vector<Config> configs = {
+      {"tracing off", 0.0}, {"1% sampled", 0.01}, {"100% sampled", 1.0}};
+
+  // Warm-up pass (untimed) faults in code paths and the allocator.
+  run_trial(cost_model, workload, 0.0, static_cast<int>(workload.size()), 2);
+
+  std::vector<double> best(configs.size(), 0.0);
+  std::vector<double> worst(configs.size(), 0.0);
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const double rps =
+          run_trial(cost_model, workload, configs[c].sample_rate, total_requests, num_clients);
+      best[c] = std::max(best[c], rps);
+      worst[c] = worst[c] == 0.0 ? rps : std::min(worst[c], rps);
+    }
+  }
+
+  const double baseline = best[0];
+  // Trial-to-trial spread of the baseline itself bounds what this box can
+  // resolve; a machine noisier than the 2% budget widens the tolerance so
+  // the bench measures tracing, not the neighbors.
+  const double spread = baseline > 0 ? (baseline - worst[0]) / baseline : 0.0;
+  const double tolerance = std::max(0.02, spread);
+
+  Table table({"config", "best req/s", "vs off", "overhead %"});
+  std::vector<double> overhead(configs.size(), 0.0);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    overhead[c] = baseline > 0 ? 1.0 - best[c] / baseline : 0.0;
+    table.add_row({configs[c].name, Table::fmt(best[c], 0), Table::fmt(best[c] / baseline, 3) + "x",
+                   Table::fmt(100.0 * overhead[c], 2)});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "baseline trial spread: " << Table::fmt(100.0 * spread, 2)
+            << "%, tolerance: " << Table::fmt(100.0 * tolerance, 2) << "%\n";
+
+  bool pass = true;
+  if (overhead[1] >= tolerance) {
+    std::cerr << "FAIL: 1% sampling costs " << Table::fmt(100.0 * overhead[1], 2)
+              << "% (budget " << Table::fmt(100.0 * tolerance, 2) << "%)\n";
+    pass = false;
+  }
+  // 100% sampling is not production-representative; report it but only
+  // enforce a sanity ceiling (it must not halve throughput).
+  if (overhead[2] >= 0.5) {
+    std::cerr << "FAIL: full sampling costs " << Table::fmt(100.0 * overhead[2], 2) << "%\n";
+    pass = false;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+    } else {
+      out << "{\n";
+      out << "  \"bench\": \"obs_overhead\",\n";
+      out << "  \"requests_per_trial\": " << total_requests << ",\n";
+      out << "  \"client_threads\": " << num_clients << ",\n";
+      out << "  \"trials\": " << trials << ",\n";
+      out << "  \"baseline_spread\": " << spread << ",\n";
+      out << "  \"tolerance\": " << tolerance << ",\n";
+      out << "  \"pass\": " << (pass ? "true" : "false") << ",\n";
+      out << "  \"configs\": [\n";
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        out << "    {\"name\": \"" << configs[c].name
+            << "\", \"sample_rate\": " << configs[c].sample_rate
+            << ", \"best_requests_per_sec\": " << best[c]
+            << ", \"worst_requests_per_sec\": " << worst[c]
+            << ", \"overhead_vs_off\": " << overhead[c] << "}"
+            << (c + 1 < configs.size() ? "," : "") << "\n";
+      }
+      out << "  ]\n}\n";
+      std::cout << "wrote " << json_path << "\n";
+    }
+  }
+  return pass ? 0 : 1;
+}

@@ -20,6 +20,15 @@
 //   --bootstrap-programs N / --bootstrap-epochs N   bootstrap scale (24 / 8)
 //   --autopilot          enable the drift-triggered continual-learning loop
 //   --verbose            Debug-level logging to stderr (autopilot cycle progress)
+//   --log-level LEVEL    debug|info|warn|error|off (flag wins over the
+//                        TCM_LOG_LEVEL environment variable)
+//   --trace-sample R     request trace sampling rate in [0,1] (default 0 =
+//                        off); sampled spans at GET /debug/traces
+//   --trace-out FILE     write the Chrome trace_event JSON of the sampled
+//                        spans to FILE at shutdown (implies sampling is on:
+//                        defaults --trace-sample to 1 when unset)
+//   --slow-ms N          log a WARN line for requests slower than N ms
+//                        (default 1000; 0 disables)
 //
 // Graceful shutdown: SIGINT/SIGTERM stops the HTTP front end, quiesces the
 // service and persists the measured-feedback reservoir (restored on the
@@ -28,11 +37,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <thread>
 
 #include "api/rest.h"
 #include "datagen/dataset_builder.h"
 #include "model/train.h"
+#include "obs/trace.h"
 #include "support/log.h"
 
 using namespace tcm;
@@ -87,7 +98,11 @@ int main(int argc, char** argv) {
   int bootstrap_programs = 24;
   int bootstrap_epochs = 8;
   bool autopilot = false;
+  double trace_sample = 0.0;
+  std::string trace_out;
+  int slow_ms = 1000;
 
+  init_log_level_from_env();  // TCM_LOG_LEVEL; an explicit flag overrides
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--registry" && i + 1 < argc) registry_root = argv[++i];
@@ -100,11 +115,25 @@ int main(int argc, char** argv) {
     else if (arg == "--bootstrap-epochs" && i + 1 < argc) bootstrap_epochs = std::atoi(argv[++i]);
     else if (arg == "--autopilot") autopilot = true;
     else if (arg == "--verbose") set_log_level(LogLevel::Debug);
+    else if (arg == "--log-level" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      const auto level = parse_log_level(name);
+      if (!level) {
+        std::fprintf(stderr, "invalid --log-level '%s'\n", name.c_str());
+        return 2;
+      }
+      set_log_level(*level);
+    }
+    else if (arg == "--trace-sample" && i + 1 < argc) trace_sample = std::atof(argv[++i]);
+    else if (arg == "--trace-out" && i + 1 < argc) trace_out = argv[++i];
+    else if (arg == "--slow-ms" && i + 1 < argc) slow_ms = std::atoi(argv[++i]);
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
     }
   }
+  if (!trace_out.empty() && trace_sample <= 0) trace_sample = 1.0;
+  obs::Tracer::instance().set_sample_rate(trace_sample);
 
   if (bootstrap) {
     try {
@@ -143,6 +172,8 @@ int main(int argc, char** argv) {
   hopt.host = host;
   hopt.port = port;
   hopt.num_threads = http_threads;
+  hopt.slow_request_threshold = std::chrono::milliseconds(slow_ms);
+  hopt.metrics = (*service)->metrics();  // one registry for /metrics
   api::HttpServer server(hopt);
   api::bind_routes(server, **service);
   const api::Status started = server.start();
@@ -164,6 +195,15 @@ int main(int argc, char** argv) {
   std::printf("tcm_serve: shutting down...\n");
   server.stop();
   (*service)->shutdown();  // quiesce + persist feedback
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out << obs::Tracer::instance().export_chrome_json();
+      std::printf("tcm_serve: wrote trace to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "tcm_serve: cannot write trace to %s\n", trace_out.c_str());
+    }
+  }
   std::printf("tcm_serve: bye\n");
   return 0;
 }

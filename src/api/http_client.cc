@@ -179,6 +179,9 @@ Result<HttpResponse> HttpClient::read_body(const std::string& head, std::string 
       content_length = static_cast<std::size_t>(std::atoll(value.c_str()));
     if (iequals(key, "Content-Type")) response.content_type = value;
     if (iequals(key, "Connection") && iequals(value, "close")) server_closes = true;
+    // Keep everything as received too, so callers can read response headers
+    // such as X-Request-Id (HttpRequest::header provides the same lookup).
+    response.headers.emplace_back(key, std::move(value));
   }
   while (rest.size() < content_length) {
     char chunk[16384];

@@ -13,6 +13,7 @@
 
 #include "api/http_io.h"
 #include "api/json.h"
+#include "obs/trace.h"
 #include "support/log.h"
 
 namespace tcm::api {
@@ -65,6 +66,12 @@ bool send_response(int fd, const HttpResponse& response, bool keep_alive) {
   head += response.content_type;
   head += "\r\nContent-Length: ";
   head += std::to_string(response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    head += "\r\n";
+    head += name;
+    head += ": ";
+    head += value;
+  }
   head += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
   head += "\r\n\r\n";
   return send_all(fd, head) && send_all(fd, response.body);
@@ -81,6 +88,12 @@ enum class ReadResult {
 }  // namespace
 
 const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers)
+    if (iequals(key, name)) return &value;
+  return nullptr;
+}
+
+const std::string* HttpResponse::header(std::string_view name) const {
   for (const auto& [key, value] : headers)
     if (iequals(key, name)) return &value;
   return nullptr;
@@ -131,6 +144,18 @@ Status HttpServer::start() {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::unavailable("listen(): " + err);
+  }
+
+  // The route table is frozen now; one counter row per route plus the
+  // unmatched slot (404/405).
+  route_counts_ = std::make_unique<StatusClassCounts[]>(routes_.size() + 1);
+  for (std::size_t r = 0; r <= routes_.size(); ++r)
+    for (std::atomic<std::uint64_t>& c : route_counts_[r]) c.store(0, std::memory_order_relaxed);
+  if (options_.metrics != nullptr) {
+    request_duration_ = &options_.metrics->histogram(
+        "tcm_http_request_duration_seconds",
+        "HTTP request handling wall time (read to response sent) in seconds.", "",
+        obs::exponential_buckets(1e-5, 2.0, 22));
   }
 
   stopping_.store(false, std::memory_order_release);
@@ -388,18 +413,55 @@ void HttpServer::serve_connection(int fd) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     const std::string* ka = request.header(":keep-alive");
     const bool keep_alive = ka != nullptr && *ka == "1";
-    const HttpResponse response = dispatch(request);
+
+    // The request id is the client's X-Request-Id when it sent one (so the
+    // caller can correlate its own logs with ours), else generated; either
+    // way it is echoed on the response and labels the request's trace.
+    std::string request_id;
+    if (const std::string* rid = request.header("X-Request-Id"); rid != nullptr && !rid->empty()) {
+      request_id = *rid;
+    } else {
+      request_id = "req-" + std::to_string(next_request_id_.fetch_add(1, std::memory_order_relaxed));
+    }
+    const std::uint64_t trace_id = obs::Tracer::instance().sample_request();
+    obs::TraceContext trace_ctx(trace_id);  // handlers inherit via thread-local
+    if (trace_id != 0) obs::Tracer::instance().set_label(trace_id, request_id);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t route_index = routes_.size();
+    HttpResponse response;
+    {
+      obs::ScopedSpan span("http.request", trace_id);
+      response = dispatch(request, route_index);
+    }
+    const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                               .count();
+    if (request_duration_ != nullptr) request_duration_->observe(elapsed);
+    const int status_class = response.status / 100;
+    if (status_class >= 1 && status_class <= 5)
+      route_counts_[route_index][static_cast<std::size_t>(status_class - 1)].fetch_add(
+          1, std::memory_order_relaxed);
+    if (options_.slow_request_threshold.count() > 0 &&
+        elapsed >= std::chrono::duration<double>(options_.slow_request_threshold).count()) {
+      log_warn() << "slow request" << kv("method", request.method) << kv("path", request.path)
+                 << kv("status", response.status) << kv("ms", elapsed * 1e3)
+                 << kv("request_id", request_id);
+    }
+    response.headers.emplace_back("X-Request-Id", std::move(request_id));
     if (!send_response(fd, response, keep_alive)) return;
     if (!keep_alive) return;
   }
 }
 
-HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+HttpResponse HttpServer::dispatch(const HttpRequest& request, std::size_t& route_index) const {
   bool path_known = false;
-  for (const auto& [key, handler] : routes_) {
+  route_index = routes_.size();  // unmatched slot unless a route handles it
+  for (std::size_t r = 0; r < routes_.size(); ++r) {
+    const auto& [key, handler] = routes_[r];
     if (key.path != request.path) continue;
     path_known = true;
     if (key.method != request.method) continue;
+    route_index = r;
     try {
       return handler(request);
     } catch (const std::exception& e) {
@@ -415,6 +477,22 @@ HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
                                                   request.path));
   return HttpResponse::json(
       404, wire_error(404, "NOT_FOUND", "no route for " + request.method + " " + request.path));
+}
+
+std::vector<RouteCount> HttpServer::route_counters() const {
+  std::vector<RouteCount> out;
+  if (route_counts_ == nullptr) return out;
+  static const char* kClasses[5] = {"1xx", "2xx", "3xx", "4xx", "5xx"};
+  for (std::size_t r = 0; r <= routes_.size(); ++r) {
+    const bool unmatched = r == routes_.size();
+    for (std::size_t c = 0; c < 5; ++c) {
+      const std::uint64_t n = route_counts_[r][c].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      out.push_back({unmatched ? "other" : routes_[r].first.method,
+                     unmatched ? "other" : routes_[r].first.path, kClasses[c], n});
+    }
+  }
+  return out;
 }
 
 }  // namespace tcm::api

@@ -27,12 +27,14 @@
 // covers that.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -41,6 +43,7 @@
 #include <vector>
 
 #include "api/status.h"
+#include "obs/histogram.h"
 
 namespace tcm::api {
 
@@ -59,12 +62,19 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  // Extra response headers, emitted verbatim after Content-Type/Length.
+  // The server itself appends X-Request-Id here (see serve_connection); on
+  // the client side HttpClient fills it with everything received.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(std::string_view name) const;
 
   static HttpResponse json(int status, std::string body) {
-    return {status, "application/json", std::move(body)};
+    return {status, "application/json", std::move(body), {}};
   }
   static HttpResponse text(int status, std::string body) {
-    return {status, "text/plain; version=0.0.4; charset=utf-8", std::move(body)};
+    return {status, "text/plain; version=0.0.4; charset=utf-8", std::move(body), {}};
   }
 };
 
@@ -80,6 +90,23 @@ struct HttpServerOptions {
   // may hold a worker.
   std::chrono::milliseconds io_timeout{5000};
   int backlog = 128;
+  // A request whose handler takes at least this long gets one structured
+  // WARN line (method, path, status, ms, request id). 0 disables.
+  std::chrono::milliseconds slow_request_threshold{1000};
+  // When set, the server registers tcm_http_request_duration_seconds here
+  // (handler wall time, all routes). Share the service's registry so
+  // /metrics renders everything in one pass.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+};
+
+// One per-route-per-status-class request count (see
+// HttpServer::route_counters). Transport-level rejects that never reach
+// routing (431/400 before dispatch) are not attributed.
+struct RouteCount {
+  std::string method;
+  std::string path;        // "other" for requests matching no route
+  std::string status_class;  // "1xx".."5xx"
+  std::uint64_t count = 0;
 };
 
 class HttpServer {
@@ -112,19 +139,32 @@ class HttpServer {
   }
   std::uint64_t requests_handled() const { return requests_.load(std::memory_order_relaxed); }
 
+  // Nonzero per-route × status-class counts (tcm_http_requests_total).
+  // Valid after start(); counters reset on each start().
+  std::vector<RouteCount> route_counters() const;
+
  private:
   struct RouteKey {
     std::string method, path;
     bool operator==(const RouteKey&) const = default;
   };
+  // Status classes 1xx..5xx per route; fixed-size so counting is one
+  // relaxed fetch_add with no lock on the request path.
+  using StatusClassCounts = std::array<std::atomic<std::uint64_t>, 5>;
 
   void accept_loop();
   void worker_loop();
   void serve_connection(int fd);
-  HttpResponse dispatch(const HttpRequest& request) const;
+  // `route_index` gets the matched route's index, or routes_.size() when no
+  // route matched (404/405).
+  HttpResponse dispatch(const HttpRequest& request, std::size_t& route_index) const;
 
   HttpServerOptions options_;
   std::vector<std::pair<RouteKey, HttpHandler>> routes_;
+  // routes_.size()+1 slots (last = unmatched); sized at start(), when the
+  // route table freezes.
+  std::unique_ptr<StatusClassCounts[]> route_counts_;
+  obs::Histogram* request_duration_ = nullptr;  // null without options_.metrics
 
   int listen_fd_ = -1;
   int bound_port_ = 0;
@@ -142,6 +182,7 @@ class HttpServer {
 
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> next_request_id_{1};  // generated X-Request-Id suffix
 };
 
 }  // namespace tcm::api

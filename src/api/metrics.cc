@@ -59,8 +59,8 @@ class Exposition {
 
 }  // namespace
 
-std::string prometheus_text(const StatsSnapshot& stats, std::uint64_t http_requests,
-                            std::uint64_t http_connections) {
+std::string prometheus_text(const StatsSnapshot& stats, const obs::MetricsRegistry* registry,
+                            const HttpServer* server) {
   const serve::ServeStats& s = stats.serve;
   Exposition e;
 
@@ -78,10 +78,8 @@ std::string prometheus_text(const StatsSnapshot& stats, std::uint64_t http_reque
            static_cast<double>(s.cache_hits));
   e.metric("tcm_serve_cache_misses_total", "counter", "Feature cache misses",
            static_cast<double>(s.cache_misses));
-  e.metric("tcm_serve_latency_seconds", "gauge",
-           "Queue+inference latency quantiles over the recent window", s.p50_latency,
-           "quantile=\"0.5\"");
-  e.sample("tcm_serve_latency_seconds", "quantile=\"0.99\"", s.p99_latency);
+  // The latency distribution itself lives in the histogram registry
+  // (tcm_serve_latency_seconds, tcm_stage_duration_seconds), appended below.
   e.metric("tcm_serve_arena_heap_allocs_total", "counter",
            "Heap allocations by worker inference arenas (plateaus when warm)",
            static_cast<double>(s.arena_heap_allocs));
@@ -153,11 +151,24 @@ std::string prometheus_text(const StatsSnapshot& stats, std::uint64_t http_reque
   // --- process / wire -------------------------------------------------------
   e.metric("tcm_uptime_seconds", "gauge", "Seconds since the facade opened",
            stats.uptime_seconds);
-  e.metric("tcm_http_requests_total", "counter", "HTTP requests handled",
-           static_cast<double>(http_requests));
-  e.metric("tcm_http_connections_total", "counter", "HTTP connections accepted",
-           static_cast<double>(http_connections));
-  return e.take();
+  std::string out = e.take();
+  // Per-route × status-class request counters. A family with no samples yet
+  // (no traffic, or no HTTP front end) is legal exposition: HELP/TYPE only.
+  out += "# HELP tcm_http_requests_total HTTP requests handled, by route and status class\n";
+  out += "# TYPE tcm_http_requests_total counter\n";
+  if (server != nullptr) {
+    for (const RouteCount& rc : server->route_counters()) {
+      out += "tcm_http_requests_total{route=\"" + rc.path + "\",method=\"" + rc.method +
+             "\",code=\"" + rc.status_class + "\"} " + std::to_string(rc.count) + '\n';
+    }
+    out += "# HELP tcm_http_connections_total HTTP connections accepted\n";
+    out += "# TYPE tcm_http_connections_total counter\n";
+    out += "tcm_http_connections_total " + std::to_string(server->connections_accepted()) + '\n';
+  }
+  // Histogram families (end-to-end + per-stage latency, batch size, HTTP
+  // handler time) render straight out of the shared registry.
+  if (registry != nullptr) out += registry->render_prometheus();
+  return out;
 }
 
 }  // namespace tcm::api

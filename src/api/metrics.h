@@ -11,13 +11,19 @@
 
 #include <string>
 
+#include "api/http_server.h"
 #include "api/wire.h"
+#include "obs/histogram.h"
 
 namespace tcm::api {
 
-// Renders the full exposition; `http_requests`/`http_connections` are the
-// wire-layer counters (pass 0 when serving without the HTTP front end).
-std::string prometheus_text(const StatsSnapshot& stats, std::uint64_t http_requests = 0,
-                            std::uint64_t http_connections = 0);
+// Renders the full exposition: the counter/gauge snapshot, the wire-layer
+// per-route × status-class request counters (when `server` is non-null),
+// and every histogram in `registry` (when non-null) — latency distributions
+// end-to-end and per stage, batch sizes, HTTP handler time. Pass nulls when
+// serving without the HTTP front end or without a metrics registry.
+std::string prometheus_text(const StatsSnapshot& stats,
+                            const obs::MetricsRegistry* registry = nullptr,
+                            const HttpServer* server = nullptr);
 
 }  // namespace tcm::api

@@ -5,6 +5,7 @@
 
 #include "api/metrics.h"
 #include "api/wire.h"
+#include "obs/trace.h"
 
 namespace tcm::api {
 
@@ -36,9 +37,15 @@ void bind_routes(HttpServer& server, Service& service) {
   });
 
   server.route("GET", "/metrics", [svc, srv](const HttpRequest&) {
-    return HttpResponse::text(
-        200, prometheus_text(svc->stats(), srv->requests_handled(),
-                             srv->connections_accepted()));
+    return HttpResponse::text(200, prometheus_text(svc->stats(), svc->metrics().get(), srv));
+  });
+
+  // Chrome trace_event JSON of the recent sampled spans; load the body into
+  // chrome://tracing or ui.perfetto.dev. Empty traceEvents until something
+  // is sampled (--trace-sample > 0 on tcm_serve).
+  server.route("GET", "/debug/traces", [](const HttpRequest&) {
+    return HttpResponse{200, "application/json",
+                        obs::Tracer::instance().export_chrome_json(), {}};
   });
 
   server.route("GET", "/v1/stats", [svc](const HttpRequest&) {

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "support/log.h"
 
 namespace tcm::api {
@@ -54,8 +55,15 @@ Result<std::unique_ptr<Service>> Service::open(ServiceOptions options) {
       return Status::failed_precondition("ACTIVE checkpoint v" + std::to_string(active) +
                                          " failed to load: " + e.what());
     }
+    // One registry for the whole stack: the PredictionService registers its
+    // histograms here and rest.cc's /metrics renders it alongside the
+    // counter snapshot.
+    svc->metrics_ = opt.serve.metrics ? opt.serve.metrics
+                                      : std::make_shared<obs::MetricsRegistry>();
+    serve::ServeOptions serve_opt = opt.serve;
+    serve_opt.metrics = svc->metrics_;
     svc->service_ =
-        std::make_unique<serve::PredictionService>(std::move(predictor), active, opt.serve);
+        std::make_unique<serve::PredictionService>(std::move(predictor), active, serve_opt);
 
     if (opt.enable_feedback) {
       svc->feedback_ = std::make_shared<serve::FeedbackBuffer>(opt.feedback);
@@ -83,6 +91,7 @@ Result<std::unique_ptr<Service>> Service::open(ServiceOptions options) {
 Result<PredictResponse> Service::predict(const PredictRequest& request) {
   if (shut_down_.load(std::memory_order_acquire))
     return Status::unavailable("service is shut down");
+  TCM_TRACE_SPAN("api.predict");
   try {
     if (request.schedules.empty())
       return Status::invalid_argument("predict: at least one schedule required");

@@ -41,6 +41,7 @@
 
 #include "api/status.h"
 #include "api/wire.h"
+#include "obs/histogram.h"
 #include "registry/continual_scheduler.h"
 #include "registry/continual_trainer.h"
 #include "registry/model_registry.h"
@@ -130,6 +131,10 @@ class Service {
 
   int active_version() const;
 
+  // The metrics registry shared by the whole stack (serving histograms plus
+  // whatever the HTTP layer registers); /metrics renders it in one pass.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const { return metrics_; }
+
   // Escape hatches (see class comment): the façade's Status guarantee does
   // not cover direct calls on these.
   serve::PredictionService& raw_service() { return *service_; }
@@ -147,6 +152,7 @@ class Service {
   Status persist_feedback_now();   // snapshot -> tmp -> rename
 
   ServiceOptions options_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<registry::ModelRegistry> registry_;
   std::shared_ptr<serve::FeedbackBuffer> feedback_;
   std::unique_ptr<serve::PredictionService> service_;

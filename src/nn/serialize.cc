@@ -4,11 +4,16 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "support/crc32.h"
+
 namespace tcm::nn {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'C', 'M', 'W'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends a CRC-32 of every tensor's raw bytes after the last tensor, so
+// a corrupted or truncated weight file is rejected at load instead of
+// silently serving garbage predictions. v1 files (no trailer) still load.
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void write_pod(std::ofstream& f, const T& v) {
@@ -32,15 +37,18 @@ bool save_parameters(Module& m, const std::string& path) {
   write_pod(f, kVersion);
   const auto params = m.parameters();
   write_pod(f, static_cast<std::uint64_t>(params.size()));
+  std::uint32_t crc = 0;
   for (const Parameter* p : params) {
     write_pod(f, static_cast<std::uint32_t>(p->name.size()));
     f.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
     write_pod(f, static_cast<std::int32_t>(p->var.rows()));
     write_pod(f, static_cast<std::int32_t>(p->var.cols()));
     const Tensor& t = p->var.value();
-    f.write(reinterpret_cast<const char*>(t.data()),
-            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    const std::size_t bytes = t.size() * sizeof(float);
+    f.write(reinterpret_cast<const char*>(t.data()), static_cast<std::streamsize>(bytes));
+    crc = crc32(t.data(), bytes, crc);
   }
+  write_pod(f, crc);
   return static_cast<bool>(f);
 }
 
@@ -52,11 +60,13 @@ bool load_parameters(Module& m, const std::string& path) {
   if (!f || std::string(magic, 4) != std::string(kMagic, 4))
     throw std::runtime_error("load_parameters: bad magic");
   const auto version = read_pod<std::uint32_t>(f);
-  if (version != kVersion) throw std::runtime_error("load_parameters: unsupported version");
+  if (version != 1 && version != kVersion)
+    throw std::runtime_error("load_parameters: unsupported version");
   const auto count = read_pod<std::uint64_t>(f);
   const auto params = m.parameters();
   if (count != params.size())
     throw std::runtime_error("load_parameters: parameter count mismatch");
+  std::uint32_t crc = 0;
   for (Parameter* p : params) {
     const auto name_len = read_pod<std::uint32_t>(f);
     std::string name(name_len, '\0');
@@ -69,9 +79,15 @@ bool load_parameters(Module& m, const std::string& path) {
     if (rows != p->var.rows() || cols != p->var.cols())
       throw std::runtime_error("load_parameters: shape mismatch for " + p->name);
     Tensor& t = p->var.mutable_value();
-    f.read(reinterpret_cast<char*>(t.data()),
-           static_cast<std::streamsize>(t.size() * sizeof(float)));
+    const std::size_t bytes = t.size() * sizeof(float);
+    f.read(reinterpret_cast<char*>(t.data()), static_cast<std::streamsize>(bytes));
     if (!f) throw std::runtime_error("load_parameters: truncated tensor data");
+    crc = crc32(t.data(), bytes, crc);
+  }
+  if (version >= 2) {
+    const auto stored = read_pod<std::uint32_t>(f);
+    if (stored != crc)
+      throw std::runtime_error("load_parameters: checksum mismatch (weights corrupted)");
   }
   return true;
 }

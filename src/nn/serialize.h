@@ -1,8 +1,12 @@
 // Parameter serialization: a simple tagged binary format
 //   "TCMW" u32_version u64_count { u32 name_len, name, i32 rows, i32 cols,
-//   f32 data[rows*cols] }*
+//   f32 data[rows*cols] }* u32_crc32
 // Shapes and names must match at load time, which catches configuration
-// mismatches between training and inference.
+// mismatches between training and inference. Version 2 appends a CRC-32 of
+// all tensor bytes; loading verifies it and throws on mismatch, so bit-rot
+// in a checkpoint surfaces as a load error (mapped to FAILED_PRECONDITION
+// by the registry/api layer) instead of corrupt predictions. Version 1
+// files, which lack the trailer, still load.
 #pragma once
 
 #include <string>

@@ -1,0 +1,149 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace tcm::obs {
+
+namespace {
+
+void append_double(double v, std::string& out) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, end);
+}
+
+}  // namespace
+
+std::vector<double> exponential_buckets(double start, double factor, int count) {
+  if (start <= 0 || factor <= 1.0 || count < 1)
+    throw std::invalid_argument("exponential_buckets: need start > 0, factor > 1, count >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::string name, std::string help, std::string labels,
+                     std::vector<double> bounds)
+    : name_(std::move(name)), help_(std::move(help)), labels_(std::move(labels)),
+      bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: need at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) {
+  // upper_bound over a ~two-dozen-entry immutable array: a handful of
+  // comparisons, no lock — cheap enough for the per-request hot path.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (value > 0) sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    s.count += s.counts[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Histogram::quantile(double q) const {
+  const Snapshot s = snapshot();
+  if (s.count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(s.count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < s.counts.size(); ++i) {
+    if (s.counts[i] == 0) {
+      continue;
+    }
+    const double prev = static_cast<double>(cum);
+    cum += s.counts[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate inside bucket i: [lo, hi) with s.counts[i] observations.
+    const double lo = i == 0 ? 0.0 : s.bounds[i - 1];
+    // The overflow bucket has no upper bound; report its lower edge.
+    if (i == s.bounds.size()) return lo;
+    const double hi = s.bounds[i];
+    const double fraction = (target - prev) / static_cast<double>(s.counts[i]);
+    return lo + fraction * (hi - lo);
+  }
+  return s.bounds.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      const std::string& labels, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Histogram& h : histograms_)
+    if (h.name() == name && h.labels() == labels) return h;
+  return histograms_.emplace_back(name, help, labels, std::move(bounds));
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // Families in first-registration order; members of one family rendered
+  // together under a single HELP/TYPE preamble.
+  std::vector<const std::string*> family_order;
+  for (const Histogram& h : histograms_) {
+    bool seen = false;
+    for (const std::string* f : family_order)
+      if (*f == h.name()) seen = true;
+    if (!seen) family_order.push_back(&h.name());
+  }
+  for (const std::string* family : family_order) {
+    bool preamble = false;
+    for (const Histogram& h : histograms_) {
+      if (h.name() != *family) continue;
+      if (!preamble) {
+        out += "# HELP " + h.name() + ' ' + h.help() + '\n';
+        out += "# TYPE " + h.name() + " histogram\n";
+        preamble = true;
+      }
+      const Histogram::Snapshot s = h.snapshot();
+      const std::string sep = h.labels().empty() ? "" : h.labels() + ",";
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+        cum += s.counts[i];
+        out += h.name() + "_bucket{" + sep + "le=\"";
+        if (i == s.bounds.size()) {
+          out += "+Inf";
+        } else {
+          append_double(s.bounds[i], out);
+        }
+        out += "\"} " + std::to_string(cum) + '\n';
+      }
+      const std::string label_block = h.labels().empty() ? "" : '{' + h.labels() + '}';
+      out += h.name() + "_sum" + label_block + ' ';
+      append_double(s.sum, out);
+      out += '\n';
+      out += h.name() + "_count" + label_block + ' ' + std::to_string(s.count) + '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace tcm::obs

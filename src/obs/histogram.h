@@ -1,0 +1,94 @@
+// Low-overhead histogram metrics: the /metrics latency series.
+//
+// The serving stack used to export two summary quantiles computed from a
+// mutex-guarded latency ring; when p99 regressed there was no way to tell
+// *which stage* ate the time. This layer replaces that with native
+// Prometheus histograms over fixed log-spaced buckets:
+//
+//   - Histogram::observe() is wait-free — one branchy bucket search over a
+//     small immutable bounds array plus two relaxed atomic adds — so it can
+//     sit on the per-request hot path (queue wait, featurize, inference)
+//     without a lock.
+//   - MetricsRegistry names histograms and renders the text exposition
+//     (0.0.4): grouped families, `_bucket{le=...}` cumulative counts,
+//     `_sum`/`_count`, one HELP/TYPE preamble per family. Histograms of one
+//     family are distinguished by a label set (e.g. stage="queue_wait").
+//   - quantile() interpolates p50/p99 out of the buckets so ServeStats keeps
+//     its summary fields without the old ring.
+//
+// Registration takes a mutex (once, at service construction); observation
+// and snapshotting never do. References returned by histogram() are stable
+// for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tcm::obs {
+
+// `count` log-spaced upper bounds: start, start*factor, start*factor^2, ...
+// The implicit final +Inf bucket is added by the Histogram itself.
+std::vector<double> exponential_buckets(double start, double factor, int count);
+
+class Histogram {
+ public:
+  // `labels` is a raw Prometheus label body without braces (e.g.
+  // `stage="infer"`), empty for an unlabeled family member.
+  Histogram(std::string name, std::string help, std::string labels,
+            std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Wait-free; negative observations clamp into the first bucket.
+  void observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;        // upper bounds, ascending (no +Inf)
+    std::vector<std::uint64_t> counts; // per-bucket, bounds.size()+1 entries
+    std::uint64_t count = 0;           // == sum of counts
+    double sum = 0;
+  };
+  Snapshot snapshot() const;
+
+  // Interpolated quantile (q in [0,1]) from the current buckets; 0 when the
+  // histogram is empty. Approximate by construction — bounded by the bucket
+  // resolution — which is all a summary stat needs.
+  double quantile(double q) const;
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+  const std::string& labels() const { return labels_; }
+
+ private:
+  const std::string name_;
+  const std::string help_;
+  const std::string labels_;
+  const std::vector<double> bounds_;
+  // bounds_.size()+1 buckets; the last is the +Inf overflow.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<double> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // Get-or-create by (name, labels); `help` and `bounds` are taken from the
+  // first registration of the pair. Thread-safe; the reference is stable.
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::string& labels, std::vector<double> bounds);
+
+  // Prometheus 0.0.4 text: families in first-registration order, HELP/TYPE
+  // once per family, then `_bucket`/`_sum`/`_count` per label set.
+  std::string render_prometheus() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Histogram> histograms_;  // deque: references must not move
+};
+
+}  // namespace tcm::obs

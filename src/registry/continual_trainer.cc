@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "model/dataset.h"
+#include "obs/trace.h"
 #include "sim/executor.h"
 #include "support/log.h"
 
@@ -58,12 +59,24 @@ CycleReport ContinualTrainer::run_cycle() {
   report.incumbent_version = registry_.active_version();
   const ModelManifest incumbent_manifest = registry_.manifest(report.incumbent_version);
 
+  // Cycles are rare and expensive, so trace every one (when tracing is on
+  // at all) rather than subjecting them to the request sampling rate.
+  const std::uint64_t cycle_trace = obs::Tracer::instance().force_request();
+  obs::TraceContext trace_ctx(cycle_trace);
+  obs::ScopedSpan cycle_span("cycle.run", cycle_trace);
+
   // --- 1. Fresh data ------------------------------------------------------
   datagen::DatasetBuildOptions data = options_.data;
   data.seed = options_.seed + 0x9e3779b97f4a7c15ULL * ++cycle_;
-  const model::Dataset fresh = datagen::build_dataset(data);
-  const model::DatasetSplit split =
-      model::split_by_program(fresh, options_.train_frac, 1.0 - options_.train_frac, data.seed);
+  if (cycle_trace != 0)
+    obs::Tracer::instance().set_label(cycle_trace, "cycle-" + std::to_string(cycle_));
+  const auto [fresh, split] = [&] {
+    TCM_TRACE_SPAN("cycle.datagen");
+    model::Dataset ds = datagen::build_dataset(data);
+    model::DatasetSplit sp =
+        model::split_by_program(ds, options_.train_frac, 1.0 - options_.train_frac, data.seed);
+    return std::make_pair(std::move(ds), std::move(sp));
+  }();
   log_debug() << "[cycle " << cycle_ << "] fresh data: " << fresh.size() << " samples ("
              << split.train.size() << " fine-tune / " << split.validation.size() << " holdout)";
 
@@ -116,7 +129,10 @@ CycleReport ContinualTrainer::run_cycle() {
   std::unique_ptr<model::SpeedupPredictor> incumbent = registry_.load(report.incumbent_version);
   report.incumbent_holdout = model::evaluate(*incumbent, split.validation);
   std::unique_ptr<model::SpeedupPredictor> candidate = registry_.load(report.incumbent_version);
-  model::train_model(*candidate, finetune, &split.validation, options_.train);
+  {
+    TCM_TRACE_SPAN("cycle.finetune");
+    model::train_model(*candidate, finetune, &split.validation, options_.train);
+  }
   report.candidate_holdout = model::evaluate(*candidate, split.validation);
 
   // --- 3. Register the candidate ------------------------------------------
@@ -129,15 +145,22 @@ CycleReport ContinualTrainer::run_cycle() {
                         std::to_string(split.train.size()) + " fresh + " +
                         std::to_string(report.feedback_samples) + " measured-feedback samples (" +
                         std::to_string(options_.train.epochs) + " epochs)";
-  report.candidate_version = registry_.register_version(*candidate, manifest);
+  {
+    TCM_TRACE_SPAN("cycle.register");
+    report.candidate_version = registry_.register_version(*candidate, manifest);
+  }
 
   // --- 4. Canary: shadow the *registered artifact* on live traffic --------
   std::shared_ptr<model::SpeedupPredictor> canary = registry_.load(report.candidate_version);
-  service_.quiesce();  // batches pinned before set_shadow must not leak into its stats
-  service_.set_shadow(canary, report.candidate_version, options_.shadow_fraction);
-  replay_traffic(service_, split.validation);
-  const serve::ServeStats stats = service_.stats();
-  service_.clear_shadow();
+  serve::ServeStats stats;
+  {
+    TCM_TRACE_SPAN("cycle.canary");
+    service_.quiesce();  // batches pinned before set_shadow must not leak into its stats
+    service_.set_shadow(canary, report.candidate_version, options_.shadow_fraction);
+    replay_traffic(service_, split.validation);
+    stats = service_.stats();
+    service_.clear_shadow();
+  }
   report.shadow_requests = stats.shadow_requests;
   report.shadow_failures = stats.shadow_failures;
   report.shadow_mape = stats.shadow_mape;
@@ -158,6 +181,7 @@ CycleReport ContinualTrainer::run_cycle() {
                       std::to_string(report.shadow_spearman) + " below floor " +
                       std::to_string(options_.min_shadow_spearman);
   } else {
+    TCM_TRACE_SPAN("cycle.promote");
     registry_.promote(report.candidate_version);
     service_.swap_model(std::move(canary), report.candidate_version);
     report.promoted = true;

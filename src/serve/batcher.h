@@ -37,6 +37,10 @@ struct PendingRequest {
   std::promise<Prediction> result;
   std::chrono::steady_clock::time_point enqueued;
   std::uint64_t sequence = 0;  // assigned by the batcher, monotonically
+  // Nonzero when the originating request was trace-sampled: carries the
+  // trace id across the batcher's thread hop so batch-worker spans
+  // correlate with the HTTP span (see obs/trace.h).
+  std::uint64_t trace_id = 0;
 };
 
 class StructureBatcher {

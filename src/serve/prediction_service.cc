@@ -4,10 +4,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "support/stats.h"
 
 namespace tcm::serve {
 namespace {
+
+// Nanoseconds-since-epoch of a steady_clock time_point, on the same clock
+// Tracer::now_ns uses, so spans built from request timestamps line up with
+// spans built from fresh clock reads.
+std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp.time_since_epoch()).count());
+}
 
 // Wraps a caller-owned predictor in a non-owning shared_ptr (aliasing
 // constructor with an empty control block target): swap/pin semantics work
@@ -27,7 +36,27 @@ PredictionService::PredictionService(std::shared_ptr<model::SpeedupPredictor> pr
   if (options.num_threads < 1)
     throw std::invalid_argument("PredictionService: need at least one worker thread");
   model_ = std::make_shared<const ModelSnapshot>(ModelSnapshot{std::move(predictor), version});
-  latencies_.reserve(kLatencyWindow);
+  metrics_ = options.metrics ? options.metrics : std::make_shared<obs::MetricsRegistry>();
+  // 1us..~16s log-spaced: covers cache-hit submits through pathological
+  // stalls at ~2x resolution per decade step.
+  const std::vector<double> latency_buckets = obs::exponential_buckets(1e-6, 2.0, 25);
+  const auto stage = [&](const char* name) {
+    return &metrics_->histogram("tcm_stage_duration_seconds",
+                                "Per-stage serving latency in seconds.",
+                                std::string("stage=\"") + name + '"', latency_buckets);
+  };
+  e2e_latency_ = &metrics_->histogram(
+      "tcm_serve_latency_seconds",
+      "End-to-end prediction latency (enqueue to fulfilled promise) in seconds.", "",
+      latency_buckets);
+  stage_queue_wait_ = stage("queue_wait");
+  stage_featurize_ = stage("featurize");
+  stage_batch_assemble_ = stage("batch_assemble");
+  stage_infer_ = stage("infer");
+  stage_shadow_ = stage("shadow");
+  batch_size_ = &metrics_->histogram("tcm_serve_batch_size",
+                                     "Requests fused per inference batch.", "",
+                                     obs::exponential_buckets(1.0, 2.0, 9));
   worker_states_.reserve(static_cast<std::size_t>(options.num_threads));
   for (int i = 0; i < options.num_threads; ++i)
     worker_states_.push_back(std::make_unique<WorkerState>());
@@ -123,8 +152,18 @@ std::future<Prediction> PredictionService::submit_with_key(const PairKey& key,
 
   std::shared_ptr<const model::FeaturizedProgram> feats = cache_.get(key);
   if (!feats) {
+    const std::uint64_t trace_id = obs::current_trace_id();
+    if (trace_id != 0)
+      obs::Tracer::instance().record("serve.cache_miss", trace_id, obs::Tracer::now_ns(),
+                                     obs::Tracer::now_ns());
+    const auto featurize_start = std::chrono::steady_clock::now();
     std::string error;
     auto fresh = model::featurize(program, schedule, options_.features, &error);
+    stage_featurize_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - featurize_start).count());
+    if (trace_id != 0)
+      obs::Tracer::instance().record("serve.featurize", trace_id, to_trace_ns(featurize_start),
+                                     obs::Tracer::now_ns());
     if (!fresh) {
       std::promise<Prediction> failed;
       failed.set_exception(std::make_exception_ptr(
@@ -134,6 +173,9 @@ std::future<Prediction> PredictionService::submit_with_key(const PairKey& key,
       return failed.get_future();
     }
     feats = cache_.put(key, std::make_shared<const model::FeaturizedProgram>(std::move(*fresh)));
+  } else if (const std::uint64_t trace_id = obs::current_trace_id(); trace_id != 0) {
+    const std::uint64_t now = obs::Tracer::now_ns();
+    obs::Tracer::instance().record("serve.cache_hit", trace_id, now, now);
   }
   return submit(std::move(feats));
 }
@@ -144,6 +186,9 @@ std::future<Prediction> PredictionService::submit(
   PendingRequest req;
   req.feats = std::move(feats);
   req.enqueued = std::chrono::steady_clock::now();
+  // Carry the caller's trace context (0 when unsampled) across the thread
+  // hop to the batch worker.
+  req.trace_id = obs::current_trace_id();
   std::future<Prediction> result = req.result.get_future();
   batcher_.enqueue(std::move(req));
   return result;
@@ -202,11 +247,37 @@ void PredictionService::score_batch(model::SpeedupPredictor& predictor,
 
 void PredictionService::run_batch(std::vector<PendingRequest> batch, WorkerState& ws) {
   const int b = static_cast<int>(batch.size());
+  const auto batch_start = std::chrono::steady_clock::now();
+  // Batch-level spans are attributed to the first sampled request in the
+  // batch (its trace shows the batch it rode in); per-request spans (queue
+  // wait, e2e) use each request's own trace id.
+  std::uint64_t batch_trace = 0;
+  for (const PendingRequest& req : batch) {
+    if (req.trace_id != 0) {
+      batch_trace = req.trace_id;
+      break;
+    }
+  }
+  batch_size_->observe(static_cast<double>(b));
+  for (const PendingRequest& req : batch) {
+    stage_queue_wait_->observe(std::chrono::duration<double>(batch_start - req.enqueued).count());
+    if (req.trace_id != 0)
+      obs::Tracer::instance().record("serve.queue_wait", req.trace_id, to_trace_ns(req.enqueued),
+                                     to_trace_ns(batch_start));
+  }
+
   std::vector<const model::FeaturizedProgram*> rows;
   rows.reserve(batch.size());
   for (const PendingRequest& req : batch) rows.push_back(req.feats.get());
   // The batch tree aliases rows[0], kept alive by batch[0].feats.
-  const model::Batch model_batch = model::make_inference_batch(rows);
+  const model::Batch model_batch = [&] {
+    obs::ScopedSpan span("serve.batch_assemble", batch_trace);
+    const auto assemble_start = std::chrono::steady_clock::now();
+    model::Batch mb = model::make_inference_batch(rows);
+    stage_batch_assemble_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - assemble_start).count());
+    return mb;
+  }();
 
   std::uint64_t batch_index;
   {
@@ -227,22 +298,25 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch, WorkerState
   }
 
   try {
-    score_batch(*snapshot->predictor, model_batch, batch_index, ws);
+    {
+      obs::ScopedSpan span("serve.infer", batch_trace);
+      const auto infer_start = std::chrono::steady_clock::now();
+      score_batch(*snapshot->predictor, model_batch, batch_index, ws);
+      stage_infer_->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - infer_start).count());
+    }
     // Account before fulfilling the promises: a client that sees its future
     // ready must also see the request counted in stats().
     const auto done = std::chrono::steady_clock::now();
+    for (const PendingRequest& req : batch) {
+      e2e_latency_->observe(std::chrono::duration<double>(done - req.enqueued).count());
+      if (req.trace_id != 0)
+        obs::Tracer::instance().record("serve.e2e", req.trace_id, to_trace_ns(req.enqueued),
+                                       to_trace_ns(done));
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       requests_ += static_cast<std::uint64_t>(b);
-      for (const PendingRequest& req : batch) {
-        const double latency = std::chrono::duration<double>(done - req.enqueued).count();
-        if (latencies_.size() < kLatencyWindow) {
-          latencies_.push_back(latency);
-        } else {
-          latencies_[latency_next_] = latency;
-          latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-        }
-      }
       if (options_.prediction_window > 0) {
         for (double pred : ws.preds) {
           if (recent_preds_.size() < options_.prediction_window) {
@@ -264,7 +338,13 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch, WorkerState
     // ws.preds survives past set_value — the arena buffer does not (the
     // shadow forward reuses it), which is why predictions are staged in a
     // plain vector.
-    if (shadow) run_shadow(*shadow, model_batch, ws.preds, batch_index, ws);
+    if (shadow) {
+      obs::ScopedSpan span("serve.shadow", batch_trace);
+      const auto shadow_start = std::chrono::steady_clock::now();
+      run_shadow(*shadow, model_batch, ws.preds, batch_index, ws);
+      stage_shadow_->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - shadow_start).count());
+    }
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -330,7 +410,6 @@ ServeStats PredictionService::stats() const {
     s.active_version = model_->version;
     if (shadow_) s.shadow_version = shadow_->version;
   }
-  std::vector<double> latencies;
   std::vector<std::pair<double, double>> shadow_pairs;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -344,20 +423,12 @@ ServeStats PredictionService::stats() const {
         batches_ > 0 ? static_cast<double>(requests_) / static_cast<double>(batches_) : 0.0;
     if (shadow_requests_ > 0)
       s.shadow_mape = shadow_ape_sum_ / static_cast<double>(shadow_requests_);
-    latencies = latencies_;  // snapshot; sort outside the workers' hot mutex
     shadow_pairs = shadow_pairs_;
   }
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    const auto at = [&](double p) {
-      const double pos = p / 100.0 * static_cast<double>(latencies.size() - 1);
-      const std::size_t lo = static_cast<std::size_t>(pos);
-      if (lo + 1 >= latencies.size()) return latencies.back();
-      return latencies[lo] + (pos - static_cast<double>(lo)) * (latencies[lo + 1] - latencies[lo]);
-    };
-    s.p50_latency = at(50.0);
-    s.p99_latency = at(99.0);
-  }
+  // Interpolated out of the e2e histogram buckets — no ring to snapshot and
+  // sort, and /metrics exports the full distribution these come from.
+  s.p50_latency = e2e_latency_->quantile(0.50);
+  s.p99_latency = e2e_latency_->quantile(0.99);
   if (shadow_pairs.size() >= 2) {
     std::vector<double> inc, sh;
     inc.reserve(shadow_pairs.size());

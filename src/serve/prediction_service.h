@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "model/cost_model.h"
+#include "obs/histogram.h"
 #include "serve/batcher.h"
 #include "serve/feature_cache.h"
 #include "serve/feedback_buffer.h"
@@ -77,6 +78,10 @@ struct ServeOptions {
   // (recent_predictions(); the DriftMonitor compares this window against a
   // frozen reference). 0 disables the ring.
   std::size_t prediction_window = 1 << 12;
+  // Metrics registry the service registers its latency/batch histograms in.
+  // Share one across the stack so /metrics renders everything in one pass;
+  // when null the service creates a private registry (stats() still works).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 // Counter snapshot; all values are totals since construction.
@@ -91,7 +96,9 @@ struct ServeStats {
   // only). Plateaus once the arenas are warm: steady-state inference
   // allocates nothing.
   std::uint64_t arena_heap_allocs = 0;
-  // Queue+inference latency of the most recent requests (seconds).
+  // Queue+inference latency summary, interpolated out of the
+  // tcm_serve_latency_seconds histogram buckets (approximate, bounded by
+  // bucket resolution).
   double p50_latency = 0;
   double p99_latency = 0;
 
@@ -186,6 +193,10 @@ class PredictionService {
   const ServeOptions& options() const { return options_; }
   std::size_t pending() const { return batcher_.pending(); }
 
+  // The registry holding this service's histograms (the one passed in
+  // ServeOptions, or the private fallback). Never null.
+  obs::MetricsRegistry& metrics_registry() const { return *metrics_; }
+
  private:
   // Immutable (model, version) pairing; swapped as a unit so a batch can
   // never pair one snapshot's predictions with another's version tag.
@@ -233,11 +244,19 @@ class PredictionService {
   FeatureCache cache_;
   StructureBatcher batcher_;
 
-  // Latency reservoir: the most recent kLatencyWindow request latencies.
-  static constexpr std::size_t kLatencyWindow = 1 << 14;
+  // Latency/batch-size histograms, registered at construction; observe() is
+  // wait-free so these sit outside stats_mu_. References are stable for the
+  // registry's lifetime, which metrics_ pins.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Histogram* e2e_latency_ = nullptr;      // tcm_serve_latency_seconds
+  obs::Histogram* stage_queue_wait_ = nullptr; // tcm_stage_duration_seconds{stage=...}
+  obs::Histogram* stage_featurize_ = nullptr;
+  obs::Histogram* stage_batch_assemble_ = nullptr;
+  obs::Histogram* stage_infer_ = nullptr;
+  obs::Histogram* stage_shadow_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;       // tcm_serve_batch_size
+
   mutable std::mutex stats_mu_;
-  std::vector<double> latencies_;
-  std::size_t latency_next_ = 0;
   // Ring of recent incumbent predictions for drift detection.
   std::vector<double> recent_preds_;
   std::size_t recent_pred_next_ = 0;

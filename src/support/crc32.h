@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum gzip
+// and zip use. Guards the weight-file tensor payload against silent
+// bit-rot / truncated writes; see nn/serialize.cc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tcm {
+
+// Incremental: feed chunks by passing the previous return value as `seed`
+// (start with 0). The init/final XOR is handled internally, so a one-shot
+// call over the whole buffer gives the standard CRC-32.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace tcm

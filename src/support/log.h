@@ -1,9 +1,23 @@
 // Minimal leveled logging. Benches log progress at Info; the library itself
 // stays quiet below Warn so tests are not noisy.
+//
+// Every emitted line carries an ISO-8601 UTC timestamp (millisecond
+// resolution), the level tag and the OS thread id:
+//
+//   [2026-08-07T12:34:56.789Z] [WARN ] [tid 4242] slow request route=/v1/predict ms=512
+//
+// Structured suffixes use the kv() helper, which appends `key=value` pairs
+// (values with spaces or quotes are quoted) so lines stay grep- and
+// logfmt-parsable:
+//
+//   log_warn() << "slow request" << kv("route", path) << kv("ms", elapsed);
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tcm {
 
@@ -13,10 +27,42 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-// Emit a message at the given level (thread-safe, goes to stderr).
+// "debug" / "info" / "warn" / "error" / "off", case-insensitive; nullopt on
+// anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+// Applies the TCM_LOG_LEVEL environment variable (when set and parsable) to
+// the global threshold. Binaries call this at startup; explicit flags win by
+// calling set_log_level afterwards.
+void init_log_level_from_env();
+
+// OS thread id of the caller (cached per thread).
+std::uint64_t os_thread_id();
+
+// Emit a message at the given level (thread-safe, goes to stderr with the
+// timestamp/level/tid prefix).
 void log_message(LogLevel level, const std::string& msg);
 
+// Test hook: when set, formatted lines go to the sink instead of stderr.
+// Pass nullptr to restore stderr. Not for production use.
+using LogSink = void (*)(LogLevel level, const std::string& formatted_line);
+void set_log_sink(LogSink sink);
+
+// The prefix+message formatting applied to every line (exposed so tests can
+// assert the layout without capturing stderr).
+std::string format_log_line(LogLevel level, const std::string& msg);
+
 namespace detail {
+
+// A `key=value` structured suffix; streams into a LogLine.
+struct KeyValue {
+  std::string_view key;
+  std::string value;
+};
+
+// Quotes the value when it contains whitespace, '"' or '='; logfmt idiom.
+std::string quote_log_value(std::string_view value);
+
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
@@ -26,16 +72,32 @@ class LogLine {
     os_ << v;
     return *this;
   }
+  LogLine& operator<<(const KeyValue& kv) {
+    os_ << ' ' << kv.key << '=' << quote_log_value(kv.value);
+    return *this;
+  }
 
  private:
   LogLevel level_;
   std::ostringstream os_;
 };
+
 }  // namespace detail
 
 inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
 inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
 inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
 inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+// Structured key=value suffix for a log line; accepts anything streamable.
+template <typename T>
+detail::KeyValue kv(std::string_view key, const T& value) {
+  std::ostringstream os;
+  os << value;
+  return {key, os.str()};
+}
+inline detail::KeyValue kv(std::string_view key, std::string value) {
+  return {key, std::move(value)};
+}
 
 }  // namespace tcm

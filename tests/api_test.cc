@@ -408,6 +408,31 @@ TEST(Service, TamperedCheckpointPromotionIsRejectedAndServingSurvives) {
   EXPECT_EQ(response->predictions[0].model_version, 1);
 }
 
+// Same contract for corruption that keeps the file structurally valid: a
+// single flipped bit in the float payload is invisible to shape checks and
+// only the weights checksum catches it.
+TEST(Service, BitFlippedCheckpointPromotionIsRejected) {
+  const std::string root = make_registry("bitflip", /*versions=*/2);
+  {
+    registry::ModelRegistry reg(root);
+    const std::string path = reg.weights_path(2);
+    const auto size = fs::file_size(path);
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size - 8));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(size - 8));
+    f.write(&byte, 1);
+  }
+  Result<std::unique_ptr<Service>> svc = Service::open(fast_options(root));
+  ASSERT_TRUE(svc.ok());
+  const Status promoted = (*svc)->promote(2);
+  ASSERT_FALSE(promoted.ok());
+  EXPECT_EQ(promoted.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*svc)->active_version(), 1);
+}
+
 TEST(Service, StatsAndMetricsExposition) {
   const std::string root = make_registry("stats");
   Result<std::unique_ptr<Service>> svc = Service::open(fast_options(root));
@@ -434,13 +459,19 @@ TEST(Service, StatsAndMetricsExposition) {
 
   // The Prometheus exposition carries the scheduler/drift/feedback series
   // (the former stdout logging path) in valid text format.
-  const std::string text = prometheus_text(stats, /*http_requests=*/3, /*http_connections=*/2);
+  const std::string text = prometheus_text(stats, (*svc)->metrics().get());
   EXPECT_NE(text.find("tcm_serve_requests_total 6\n"), std::string::npos);
   EXPECT_NE(text.find("tcm_model_active_version 1\n"), std::string::npos);
   EXPECT_NE(text.find("tcm_drift_signal{signal=\"psi\"}"), std::string::npos);
   EXPECT_NE(text.find("tcm_autopilot_cycles_total"), std::string::npos);
   EXPECT_NE(text.find("tcm_feedback_offered_total 6\n"), std::string::npos);
-  EXPECT_NE(text.find("tcm_http_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tcm_http_requests_total counter\n"), std::string::npos);
+  // The serving histograms render from the shared registry: e2e latency plus
+  // the per-stage family, with cumulative buckets and matching _count.
+  EXPECT_NE(text.find("# TYPE tcm_serve_latency_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("tcm_serve_latency_seconds_count 6\n"), std::string::npos);
+  EXPECT_NE(text.find("tcm_stage_duration_seconds_bucket{stage=\"infer\",le=\"+Inf\"}"),
+            std::string::npos);
   // Every non-comment line is "name[{labels}] value".
   std::istringstream lines(text);
   std::string line;

@@ -20,6 +20,7 @@
 #include "api/wire.h"
 #include "datagen/generator.h"
 #include "model/cost_model.h"
+#include "obs/trace.h"
 #include "registry/model_registry.h"
 
 namespace fs = std::filesystem;
@@ -70,6 +71,7 @@ Stack make_stack(const std::string& name, int versions = 1,
   http_options.port = 0;  // ephemeral
   Stack stack;
   stack.service = svc.take();
+  http_options.metrics = stack.service->metrics();  // as tcm_serve wires it
   stack.server = std::make_unique<HttpServer>(http_options);
   bind_routes(*stack.server, *stack.service);
   const Status started = stack.server->start();
@@ -208,8 +210,106 @@ TEST(Http, MetricsExposition) {
   EXPECT_NE(metrics->body.find("tcm_model_active_version 1\n"), std::string::npos);
   EXPECT_NE(metrics->body.find("tcm_drift_signal{signal=\"psi\"}"), std::string::npos);
   EXPECT_NE(metrics->body.find("tcm_http_requests_total"), std::string::npos);
+  // Histogram families from the shared registry: serving latency (e2e and
+  // per stage), batch size, and the HTTP handler-time series.
+  EXPECT_NE(metrics->body.find("# TYPE tcm_serve_latency_seconds histogram"), std::string::npos);
+  EXPECT_NE(metrics->body.find("tcm_serve_latency_seconds_count 1\n"), std::string::npos);
+  EXPECT_NE(metrics->body.find("tcm_stage_duration_seconds_bucket{stage=\"queue_wait\","),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("tcm_serve_batch_size_count 1\n"), std::string::npos);
+  EXPECT_NE(metrics->body.find("# TYPE tcm_http_request_duration_seconds histogram"),
+            std::string::npos);
+  // The per-route counter carries route/method/status-class labels now.
+  EXPECT_NE(metrics->body.find(
+                "tcm_http_requests_total{route=\"/v1/predict\",method=\"POST\",code=\"2xx\"} 1"),
+            std::string::npos);
 
   stack.server->stop();
+}
+
+TEST(Http, RequestIdEchoedAndGenerated) {
+  Stack stack = make_stack("reqid");
+  HttpClient client("127.0.0.1", stack.port());
+
+  // A client-supplied X-Request-Id comes back verbatim.
+  Result<HttpResponse> echoed =
+      client.request("GET", "/healthz", "", {{"X-Request-Id", "trace-me-42"}});
+  ASSERT_TRUE(echoed.ok()) << echoed.status().to_string();
+  ASSERT_NE(echoed->header("X-Request-Id"), nullptr);
+  EXPECT_EQ(*echoed->header("X-Request-Id"), "trace-me-42");
+
+  // Without one the server generates an id.
+  Result<HttpResponse> generated = client.get("/healthz");
+  ASSERT_TRUE(generated.ok());
+  ASSERT_NE(generated->header("X-Request-Id"), nullptr);
+  EXPECT_EQ(generated->header("X-Request-Id")->rfind("req-", 0), 0u);
+
+  stack.server->stop();
+}
+
+TEST(Http, RouteCountersSplitByStatusClass) {
+  Stack stack = make_stack("route_counters");
+  HttpClient client("127.0.0.1", stack.port());
+
+  ASSERT_TRUE(client.get("/healthz").ok());
+  ASSERT_TRUE(client.get("/healthz").ok());
+  ASSERT_TRUE(client.get("/nope").ok());                      // 404: unmatched slot
+  ASSERT_TRUE(client.post("/v1/predict", "{not json").ok());  // 400 on a real route
+
+  Result<HttpResponse> metrics = client.get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find(
+                "tcm_http_requests_total{route=\"/healthz\",method=\"GET\",code=\"2xx\"} 2"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find(
+                "tcm_http_requests_total{route=\"other\",method=\"other\",code=\"4xx\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find(
+                "tcm_http_requests_total{route=\"/v1/predict\",method=\"POST\",code=\"4xx\"} 1"),
+            std::string::npos);
+  stack.server->stop();
+}
+
+TEST(Http, DebugTracesExportsSampledRequest) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.set_sample_rate(1.0);
+  tracer.clear();
+
+  Stack stack = make_stack("traces");
+  HttpClient client("127.0.0.1", stack.port());
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(77);
+  const ir::Program program = gen.generate(2);
+  Result<HttpResponse> predict =
+      client.request("POST", "/v1/predict",
+                     predict_body(program, sgen.generate(program, rng)).dump(),
+                     {{"X-Request-Id", "traced-predict-1"}});
+  ASSERT_TRUE(predict.ok());
+  ASSERT_EQ(predict->status, 200) << predict->body;
+
+  Result<HttpResponse> traces = client.get("/debug/traces");
+  ASSERT_TRUE(traces.ok());
+  EXPECT_EQ(traces->status, 200);
+  Result<Json> doc = Json::parse(traces->body);
+  ASSERT_TRUE(doc.ok()) << traces->body.substr(0, 200);
+  const Json* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_http = false, saw_labeled = false;
+  for (const Json& ev : events->as_array()) {
+    const std::string name = ev.find("name")->as_string();
+    if (name == "http.request") saw_http = true;
+    const Json* args = ev.find("args");
+    if (args != nullptr && args->find("request_id") != nullptr &&
+        args->find("request_id")->as_string() == "traced-predict-1")
+      saw_labeled = true;
+  }
+  EXPECT_TRUE(saw_http);
+  EXPECT_TRUE(saw_labeled);
+
+  stack.server->stop();
+  tracer.set_sample_rate(0.0);
+  tracer.clear();
 }
 
 // ---------------------------------------------------------------------------

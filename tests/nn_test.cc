@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include "nn/gradcheck.h"
 #include "nn/modules.h"
@@ -439,6 +441,35 @@ TEST(Serialize, ShapeMismatchRejected) {
   ASSERT_TRUE(save_parameters(a, path));
   MLP b({4, 6, 2}, 0.0f, rng, "m");  // different hidden size
   EXPECT_THROW(load_parameters(b, path), std::runtime_error);
+}
+
+TEST(Serialize, FlippedByteFailsChecksum) {
+  Rng rng(7);
+  MLP a({4, 8, 2}, 0.0f, rng, "m");
+  const std::string path = testing::TempDir() + "/tcm_weights_bitflip.bin";
+  ASSERT_TRUE(save_parameters(a, path));
+  // Flip one bit inside the last tensor's float payload (8 bytes from the
+  // end: past every length/shape field, before the trailing CRC). The file
+  // stays structurally valid — only the checksum can catch this.
+  const auto size = std::filesystem::file_size(path);
+  ASSERT_GT(size, 12u);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size - 8));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(size - 8));
+    f.write(&byte, 1);
+  }
+  Rng rng2(99);
+  MLP b({4, 8, 2}, 0.0f, rng2, "m");
+  try {
+    load_parameters(b, path);
+    FAIL() << "bit flip went undetected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Serialize, MissingFileReturnsFalse) {

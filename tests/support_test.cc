@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <set>
 
+#include "support/crc32.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -301,6 +302,34 @@ TEST(Table, WriteCsvRoundTrip) {
   ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
   EXPECT_STREQ(buf, "h1,h2\n");
   std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (the weights-file checksum)
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, KnownAnswer) {
+  // The canonical IEEE 802.3 check value for "123456789".
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, IncrementalChainingMatchesOneShot) {
+  const std::string data = "the weights file is hashed tensor by tensor";
+  const std::uint32_t one_shot = crc32(data.data(), data.size());
+  std::uint32_t chained = 0;
+  for (std::size_t i = 0; i < data.size(); i += 7)
+    chained = crc32(data.data() + i, std::min<std::size_t>(7, data.size() - i), chained);
+  EXPECT_EQ(chained, one_shot);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  const std::uint32_t before = crc32(data.data(), data.size());
+  data[100] = static_cast<char>(data[100] ^ 0x10);
+  EXPECT_NE(crc32(data.data(), data.size()), before);
 }
 
 }  // namespace
