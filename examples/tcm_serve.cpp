@@ -29,10 +29,19 @@
 //                        defaults --trace-sample to 1 when unset)
 //   --slow-ms N          log a WARN line for requests slower than N ms
 //                        (default 1000; 0 disables)
+//   --flight-recorder-out FILE   dump the event-log flight recorder (the
+//                        /debug/events JSON) to FILE on shutdown — and, via
+//                        an async-signal-safe path, on a fatal signal
+//                        (SIGSEGV/SIGABRT/SIGBUS/SIGFPE), so a crash leaves
+//                        a postmortem of the last drift/cycle/promote/swap
+//                        events on disk
 //
 // Graceful shutdown: SIGINT/SIGTERM stops the HTTP front end, quiesces the
 // service and persists the measured-feedback reservoir (restored on the
 // next start).
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +52,7 @@
 #include "api/rest.h"
 #include "datagen/dataset_builder.h"
 #include "model/train.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "support/log.h"
 
@@ -52,6 +62,30 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 void handle_signal(int) { g_stop = 1; }
+
+// Fatal-signal postmortem. Everything here must be async-signal-safe: the
+// path is copied into a fixed buffer at startup, and the dump itself is
+// open(2) + EventLog::dump_to_fd (snprintf into stack buffers + write(2) —
+// no locks, no allocation).
+char g_flight_recorder_path[4096] = {0};
+
+void handle_fatal(int sig) {
+  if (g_flight_recorder_path[0] != '\0') {
+    const int fd = ::open(g_flight_recorder_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      obs::EventLog::instance().dump_to_fd(fd);
+      ::close(fd);
+    }
+  }
+  // Restore the default action and re-raise so the exit status (and core
+  // dump, when enabled) stay what the crash would have produced.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void install_fatal_handlers() {
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) std::signal(sig, handle_fatal);
+}
 
 // Trains and promotes an initial model so an empty registry can start
 // serving; a no-op when an ACTIVE version already exists.
@@ -100,6 +134,7 @@ int main(int argc, char** argv) {
   bool autopilot = false;
   double trace_sample = 0.0;
   std::string trace_out;
+  std::string flight_recorder_out;
   int slow_ms = 1000;
 
   init_log_level_from_env();  // TCM_LOG_LEVEL; an explicit flag overrides
@@ -126,6 +161,7 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--trace-sample" && i + 1 < argc) trace_sample = std::atof(argv[++i]);
     else if (arg == "--trace-out" && i + 1 < argc) trace_out = argv[++i];
+    else if (arg == "--flight-recorder-out" && i + 1 < argc) flight_recorder_out = argv[++i];
     else if (arg == "--slow-ms" && i + 1 < argc) slow_ms = std::atoi(argv[++i]);
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
@@ -134,6 +170,16 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty() && trace_sample <= 0) trace_sample = 1.0;
   obs::Tracer::instance().set_sample_rate(trace_sample);
+
+  if (!flight_recorder_out.empty()) {
+    if (flight_recorder_out.size() >= sizeof g_flight_recorder_path) {
+      std::fprintf(stderr, "--flight-recorder-out path too long\n");
+      return 2;
+    }
+    std::memcpy(g_flight_recorder_path, flight_recorder_out.c_str(),
+                flight_recorder_out.size() + 1);
+    install_fatal_handlers();
+  }
 
   if (bootstrap) {
     try {
@@ -173,7 +219,8 @@ int main(int argc, char** argv) {
   hopt.port = port;
   hopt.num_threads = http_threads;
   hopt.slow_request_threshold = std::chrono::milliseconds(slow_ms);
-  hopt.metrics = (*service)->metrics();  // one registry for /metrics
+  hopt.metrics = (*service)->metrics();    // one registry for /metrics
+  hopt.watchdog = (*service)->watchdog();  // one watchdog for /healthz
   api::HttpServer server(hopt);
   api::bind_routes(server, **service);
   const api::Status started = server.start();
@@ -184,6 +231,10 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  obs::EventLog::instance().emit(
+      "startup", "info",
+      "tcm_serve listening on " + host + ":" + std::to_string(server.port()) + " model=v" +
+          std::to_string((*service)->active_version()));
   // The "listening" line is the daemon's readiness signal (the CI smoke job
   // waits for it); keep the format stable.
   std::printf("tcm_serve: listening on %s:%d (model v%d, %d inference workers)\n", host.c_str(),
@@ -193,8 +244,21 @@ int main(int argc, char** argv) {
   while (g_stop == 0) std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
   std::printf("tcm_serve: shutting down...\n");
+  obs::EventLog::instance().emit("shutdown", "info", "signal received, draining");
   server.stop();
   (*service)->shutdown();  // quiesce + persist feedback
+  if (!flight_recorder_out.empty()) {
+    // Graceful path: the full render (not the signal-safe one) — same JSON
+    // shape as GET /debug/events.
+    std::ofstream out(flight_recorder_out, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out << obs::EventLog::instance().render_json();
+      std::printf("tcm_serve: wrote flight recorder to %s\n", flight_recorder_out.c_str());
+    } else {
+      std::fprintf(stderr, "tcm_serve: cannot write flight recorder to %s\n",
+                   flight_recorder_out.c_str());
+    }
+  }
   if (!trace_out.empty()) {
     std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
     if (out) {

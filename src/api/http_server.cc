@@ -13,6 +13,7 @@
 
 #include "api/http_io.h"
 #include "api/json.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "support/log.h"
 
@@ -163,7 +164,7 @@ Status HttpServer::start() {
   acceptor_ = std::thread([this] { accept_loop(); });
   workers_.reserve(static_cast<std::size_t>(options_.num_threads));
   for (int i = 0; i < options_.num_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   return Status();
 }
 
@@ -192,7 +193,18 @@ void HttpServer::stop() {
 }
 
 void HttpServer::accept_loop() {
+  obs::Watchdog::Handle heartbeat;
+  if (options_.watchdog != nullptr) {
+    heartbeat = options_.watchdog->register_thread("http_acceptor",
+                                                   options_.acceptor_stall_after,
+                                                   /*critical=*/true);
+    // Permanently busy: the acceptor's job is the 100ms poll cadence itself,
+    // so a missed beat (wedged poll loop) must count as a stall even though
+    // no connection is in flight.
+    options_.watchdog->set_busy(heartbeat, "accept");
+  }
   while (!stopping_.load(std::memory_order_acquire)) {
+    if (options_.watchdog != nullptr) options_.watchdog->beat(heartbeat);
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
@@ -216,9 +228,15 @@ void HttpServer::accept_loop() {
     }
     queue_cv_.notify_one();
   }
+  if (options_.watchdog != nullptr) options_.watchdog->unregister(heartbeat);
 }
 
-void HttpServer::worker_loop() {
+void HttpServer::worker_loop(int index) {
+  obs::Watchdog::Handle heartbeat;
+  if (options_.watchdog != nullptr)
+    heartbeat = options_.watchdog->register_thread("http_worker_" + std::to_string(index),
+                                                   options_.worker_stall_after,
+                                                   /*critical=*/true);
   for (;;) {
     int fd = -1;
     {
@@ -226,18 +244,20 @@ void HttpServer::worker_loop() {
       queue_cv_.wait(lock, [this] {
         return !pending_fds_.empty() || stopping_.load(std::memory_order_acquire);
       });
-      if (pending_fds_.empty()) return;  // stopping
+      if (pending_fds_.empty()) break;  // stopping
       fd = pending_fds_.front();
       pending_fds_.pop_front();
       active_fds_.push_back(fd);
     }
-    serve_connection(fd);
+    serve_connection(fd, heartbeat);
+    if (options_.watchdog != nullptr) options_.watchdog->set_idle(heartbeat);
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       std::erase(active_fds_, fd);
     }
     ::close(fd);
   }
+  if (options_.watchdog != nullptr) options_.watchdog->unregister(heartbeat);
 }
 
 namespace {
@@ -404,12 +424,17 @@ ReadResult read_request(int fd, const HttpServerOptions& options, std::string& c
 
 }  // namespace
 
-void HttpServer::serve_connection(int fd) {
+void HttpServer::serve_connection(int fd, obs::Watchdog::Handle heartbeat) {
   std::string carry;
   while (!stopping_.load(std::memory_order_acquire)) {
     HttpRequest request;
+    // The worker is idle while blocked reading (an idle keep-alive
+    // connection legitimately parks here for io_timeout at a time); only
+    // handler execution below counts toward a stall.
+    if (options_.watchdog != nullptr) options_.watchdog->set_idle(heartbeat);
     const ReadResult read = read_request(fd, options_, carry, request);
     if (read != ReadResult::kOk) return;
+    if (options_.watchdog != nullptr) options_.watchdog->set_busy(heartbeat, "handler");
     requests_.fetch_add(1, std::memory_order_relaxed);
     const std::string* ka = request.header(":keep-alive");
     const bool keep_alive = ka != nullptr && *ka == "1";
@@ -441,11 +466,23 @@ void HttpServer::serve_connection(int fd) {
     if (status_class >= 1 && status_class <= 5)
       route_counts_[route_index][static_cast<std::size_t>(status_class - 1)].fetch_add(
           1, std::memory_order_relaxed);
+    if (response.status >= 500) {
+      obs::EventLog::instance().emit(
+          "http_5xx", "error",
+          request.method + " " + request.path + " status=" + std::to_string(response.status) +
+              " request_id=" + request_id,
+          trace_id);
+    }
     if (options_.slow_request_threshold.count() > 0 &&
         elapsed >= std::chrono::duration<double>(options_.slow_request_threshold).count()) {
       log_warn() << "slow request" << kv("method", request.method) << kv("path", request.path)
                  << kv("status", response.status) << kv("ms", elapsed * 1e3)
-                 << kv("request_id", request_id);
+                 << kv("request_id", request_id) << kv("trace_id", trace_id);
+      obs::EventLog::instance().emit(
+          "slow_request", "warn",
+          request.method + " " + request.path + " ms=" + std::to_string(elapsed * 1e3) +
+              " request_id=" + request_id,
+          trace_id);
     }
     response.headers.emplace_back("X-Request-Id", std::move(request_id));
     if (!send_response(fd, response, keep_alive)) return;

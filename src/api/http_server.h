@@ -43,7 +43,8 @@
 #include <vector>
 
 #include "api/status.h"
-#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
 
 namespace tcm::api {
 
@@ -97,6 +98,13 @@ struct HttpServerOptions {
   // (handler wall time, all routes). Share the service's registry so
   // /metrics renders everything in one pass.
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  // When set, the acceptor and every connection worker register (critical)
+  // heartbeats here. Share the service's watchdog so /healthz covers the
+  // wire layer too. Workers are idle while parked on the queue or blocked
+  // in keep-alive reads; only handler execution counts toward a stall.
+  std::shared_ptr<obs::Watchdog> watchdog;
+  std::chrono::milliseconds acceptor_stall_after{30000};
+  std::chrono::milliseconds worker_stall_after{30000};
 };
 
 // One per-route-per-status-class request count (see
@@ -153,8 +161,8 @@ class HttpServer {
   using StatusClassCounts = std::array<std::atomic<std::uint64_t>, 5>;
 
   void accept_loop();
-  void worker_loop();
-  void serve_connection(int fd);
+  void worker_loop(int index);
+  void serve_connection(int fd, obs::Watchdog::Handle heartbeat);
   // `route_index` gets the matched route's index, or routes_.size() when no
   // route matched (404/405).
   HttpResponse dispatch(const HttpRequest& request, std::size_t& route_index) const;

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <set>
 
 namespace tcm::api {
 
@@ -21,20 +22,29 @@ void emit_value(double v, std::string& out) {
   out.append(buf, end);
 }
 
+// Renders snapshot-derived samples while recording every family name into a
+// shared `seen` set. The exposition is assembled from three sources (this
+// snapshot, the wire-layer counters, the instrument registry); the set is
+// what guarantees each family gets exactly one HELP/TYPE preamble across all
+// of them — Prometheus rejects duplicates.
 class Exposition {
  public:
-  // One sample with HELP/TYPE preamble (each metric name appears once).
+  explicit Exposition(std::set<std::string>* seen) : seen_(seen) {}
+
+  // One sample, with a HELP/TYPE preamble the first time the family is seen.
   void metric(const char* name, const char* type, const char* help, double value,
               const char* labels = nullptr) {
-    out_ += "# HELP ";
-    out_ += name;
-    out_ += ' ';
-    out_ += help;
-    out_ += "\n# TYPE ";
-    out_ += name;
-    out_ += ' ';
-    out_ += type;
-    out_ += '\n';
+    if (seen_->insert(name).second) {
+      out_ += "# HELP ";
+      out_ += name;
+      out_ += ' ';
+      out_ += help;
+      out_ += "\n# TYPE ";
+      out_ += name;
+      out_ += ' ';
+      out_ += type;
+      out_ += '\n';
+    }
     sample(name, labels, value);
   }
 
@@ -54,6 +64,7 @@ class Exposition {
   std::string take() { return std::move(out_); }
 
  private:
+  std::set<std::string>* seen_;
   std::string out_;
 };
 
@@ -62,7 +73,8 @@ class Exposition {
 std::string prometheus_text(const StatsSnapshot& stats, const obs::MetricsRegistry* registry,
                             const HttpServer* server) {
   const serve::ServeStats& s = stats.serve;
-  Exposition e;
+  std::set<std::string> seen;
+  Exposition e(&seen);
 
   // --- serving --------------------------------------------------------------
   e.metric("tcm_serve_requests_total", "counter", "Completed predictions",
@@ -103,40 +115,10 @@ std::string prometheus_text(const StatsSnapshot& stats, const obs::MetricsRegist
   e.metric("tcm_shadow_spearman", "gauge",
            "Shadow rank correlation vs the incumbent over the shared window", s.shadow_spearman);
 
-  // --- autopilot (the former verbose-stdout signals) ------------------------
-  e.metric("tcm_autopilot_enabled", "gauge", "1 when the continual-learning autopilot runs",
-           stats.autopilot.enabled ? 1 : 0);
-  e.metric("tcm_autopilot_polls_total", "counter", "Drift-monitor observations",
-           static_cast<double>(stats.autopilot.polls));
-  e.metric("tcm_autopilot_triggers_total", "counter",
-           "Drift triggers (each starts a retraining cycle attempt)",
-           static_cast<double>(stats.autopilot.triggers));
-  e.metric("tcm_autopilot_cycles_total", "counter", "Successful retraining cycles",
-           static_cast<double>(stats.autopilot.cycles));
-  e.metric("tcm_autopilot_cycle_failures_total", "counter",
-           "Retraining cycles that failed (swallowed, serving unaffected)",
-           static_cast<double>(stats.autopilot.cycle_failures));
-  const serve::DriftReport& d = stats.autopilot.last;
-  e.metric("tcm_drift_signal", "gauge",
-           "Latest drift-signal values (see matching tcm_drift_threshold)", d.psi.value,
-           "signal=\"psi\"");
-  e.sample("tcm_drift_signal", "signal=\"ks\"", d.ks.value);
-  e.sample("tcm_drift_signal", "signal=\"failure_rate\"", d.failure_rate.value);
-  e.sample("tcm_drift_signal", "signal=\"shadow_mape\"", d.shadow_mape.value);
-  e.sample("tcm_drift_signal", "signal=\"shadow_spearman\"", d.shadow_spearman.value);
-  e.metric("tcm_drift_threshold", "gauge", "Configured firing threshold per drift signal",
-           d.psi.threshold, "signal=\"psi\"");
-  e.sample("tcm_drift_threshold", "signal=\"ks\"", d.ks.threshold);
-  e.sample("tcm_drift_threshold", "signal=\"failure_rate\"", d.failure_rate.threshold);
-  e.sample("tcm_drift_threshold", "signal=\"shadow_mape\"", d.shadow_mape.threshold);
-  e.sample("tcm_drift_threshold", "signal=\"shadow_spearman\"", d.shadow_spearman.threshold);
-  e.metric("tcm_drift_reference_size", "gauge",
-           "Frozen reference window size (0 until baselined)",
-           static_cast<double>(d.reference_size));
-  e.metric("tcm_drift_window_size", "gauge", "Current recent-prediction window size",
-           static_cast<double>(d.window_size));
-  e.metric("tcm_drift_drifted", "gauge", "1 when any drift signal is over threshold",
-           d.drifted ? 1 : 0);
+  // The autopilot/drift families (tcm_autopilot_*, tcm_drift_*) and the
+  // queue/cache/process gauges are registry-owned instruments now — the
+  // scheduler and workers update them in place, and they render with the
+  // registry below instead of being re-derived from this snapshot.
 
   // --- measured feedback ----------------------------------------------------
   e.metric("tcm_feedback_enabled", "gauge", "1 when the measured-feedback buffer is installed",
@@ -145,8 +127,6 @@ std::string prometheus_text(const StatsSnapshot& stats, const obs::MetricsRegist
            static_cast<double>(stats.feedback.offered));
   e.metric("tcm_feedback_sampled_total", "counter", "Offers that passed the Bernoulli draw",
            static_cast<double>(stats.feedback.sampled));
-  e.metric("tcm_feedback_buffered", "gauge", "Samples currently in the reservoir",
-           static_cast<double>(stats.feedback.buffered));
 
   // --- process / wire -------------------------------------------------------
   e.metric("tcm_uptime_seconds", "gauge", "Seconds since the facade opened",
@@ -154,20 +134,26 @@ std::string prometheus_text(const StatsSnapshot& stats, const obs::MetricsRegist
   std::string out = e.take();
   // Per-route × status-class request counters. A family with no samples yet
   // (no traffic, or no HTTP front end) is legal exposition: HELP/TYPE only.
-  out += "# HELP tcm_http_requests_total HTTP requests handled, by route and status class\n";
-  out += "# TYPE tcm_http_requests_total counter\n";
+  if (seen.insert("tcm_http_requests_total").second) {
+    out += "# HELP tcm_http_requests_total HTTP requests handled, by route and status class\n";
+    out += "# TYPE tcm_http_requests_total counter\n";
+  }
   if (server != nullptr) {
     for (const RouteCount& rc : server->route_counters()) {
       out += "tcm_http_requests_total{route=\"" + rc.path + "\",method=\"" + rc.method +
              "\",code=\"" + rc.status_class + "\"} " + std::to_string(rc.count) + '\n';
     }
-    out += "# HELP tcm_http_connections_total HTTP connections accepted\n";
-    out += "# TYPE tcm_http_connections_total counter\n";
+    if (seen.insert("tcm_http_connections_total").second) {
+      out += "# HELP tcm_http_connections_total HTTP connections accepted\n";
+      out += "# TYPE tcm_http_connections_total counter\n";
+    }
     out += "tcm_http_connections_total " + std::to_string(server->connections_accepted()) + '\n';
   }
-  // Histogram families (end-to-end + per-stage latency, batch size, HTTP
-  // handler time) render straight out of the shared registry.
-  if (registry != nullptr) out += registry->render_prometheus();
+  // Registry-owned instruments: latency/stage/batch histograms, the drift
+  // and autopilot families, queue depth, cache hit ratio, process
+  // self-metrics, build info. The shared `seen` set keeps any family that
+  // appears in both sources down to one preamble.
+  if (registry != nullptr) out += registry->render_prometheus(&seen);
   return out;
 }
 

@@ -13,15 +13,17 @@
 
 #include "api/http_server.h"
 #include "api/wire.h"
-#include "obs/histogram.h"
+#include "obs/metrics.h"
 
 namespace tcm::api {
 
 // Renders the full exposition: the counter/gauge snapshot, the wire-layer
 // per-route × status-class request counters (when `server` is non-null),
-// and every histogram in `registry` (when non-null) — latency distributions
-// end-to-end and per stage, batch sizes, HTTP handler time. Pass nulls when
-// serving without the HTTP front end or without a metrics registry.
+// and every instrument in `registry` (when non-null) — latency histograms,
+// the registry-owned drift/autopilot families, queue depth, cache hit
+// ratio, process self-metrics. Pass nulls when serving without the HTTP
+// front end or without a metrics registry. Each family gets exactly one
+// HELP/TYPE preamble even when samples come from more than one source.
 std::string prometheus_text(const StatsSnapshot& stats,
                             const obs::MetricsRegistry* registry = nullptr,
                             const HttpServer* server = nullptr);

@@ -5,7 +5,9 @@
 
 #include "api/metrics.h"
 #include "api/wire.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace tcm::api {
 
@@ -27,13 +29,30 @@ void bind_routes(HttpServer& server, Service& service) {
   Service* svc = &service;
   HttpServer* srv = &server;
 
+  // Readiness: "serving" only while the façade is up AND no registered
+  // background thread has stalled. A stalled critical thread (batch worker,
+  // HTTP acceptor) means requests will queue forever — report 503 so load
+  // balancers route away; a stalled non-critical thread (autopilot poller)
+  // degrades the status string but keeps the 200.
   server.route("GET", "/healthz", [svc](const HttpRequest&) {
     const Status health = svc->healthy();
     if (!health.ok()) return error_response(health);
+    const obs::Watchdog::Report report = svc->watchdog()->report();
     Json j = Json::object();
-    j.set("status", Json("serving"));
+    const char* status = "serving";
+    if (report.health == obs::Watchdog::Health::kDegraded) status = "degraded";
+    if (report.health == obs::Watchdog::Health::kUnhealthy) status = "unhealthy";
+    j.set("status", Json(status));
     j.set("active_version", Json(static_cast<std::int64_t>(svc->active_version())));
-    return HttpResponse::json(200, j.dump());
+    if (!report.reason.empty()) {
+      j.set("reason", Json(report.reason));
+      Json stalled = Json::array();
+      for (const obs::Watchdog::ThreadReport& t : report.threads)
+        if (t.stalled) stalled.push_back(Json(t.name));
+      j.set("stalled_threads", std::move(stalled));
+    }
+    const int code = report.health == obs::Watchdog::Health::kUnhealthy ? 503 : 200;
+    return HttpResponse::json(code, j.dump());
   });
 
   server.route("GET", "/metrics", [svc, srv](const HttpRequest&) {
@@ -46,6 +65,19 @@ void bind_routes(HttpServer& server, Service& service) {
   server.route("GET", "/debug/traces", [](const HttpRequest&) {
     return HttpResponse{200, "application/json",
                         obs::Tracer::instance().export_chrome_json(), {}};
+  });
+
+  // Flight recorder: the recent structured events (drift triggers, cycle
+  // lifecycle, promotes/rollbacks, hot swaps, slow requests, 5xx), oldest
+  // first. Same JSON the SIGTERM/crash dump writes to disk.
+  server.route("GET", "/debug/events", [](const HttpRequest&) {
+    return HttpResponse{200, "application/json", obs::EventLog::instance().render_json(), {}};
+  });
+
+  // One JSON snapshot of everything an operator asks first; see
+  // Service::debug_state().
+  server.route("GET", "/debug/state", [svc](const HttpRequest&) {
+    return HttpResponse::json(200, svc->debug_state().dump());
   });
 
   server.route("GET", "/v1/stats", [svc](const HttpRequest&) {

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/process.h"
 #include "obs/trace.h"
 #include "support/log.h"
 
@@ -57,11 +59,24 @@ Result<std::unique_ptr<Service>> Service::open(ServiceOptions options) {
     }
     // One registry for the whole stack: the PredictionService registers its
     // histograms here and rest.cc's /metrics renders it alongside the
-    // counter snapshot.
+    // counter snapshot. Likewise one watchdog: every background thread of
+    // the stack (and of the HTTP layer, which receives it via tcm_serve)
+    // heartbeats into the same /healthz verdict.
     svc->metrics_ = opt.serve.metrics ? opt.serve.metrics
                                       : std::make_shared<obs::MetricsRegistry>();
+    svc->watchdog_ = opt.serve.watchdog ? opt.serve.watchdog
+                                        : std::make_shared<obs::Watchdog>();
+    // Process self-metrics and the autopilot/drift families are registered
+    // up front (zero-valued until their producers run) so the /metrics
+    // surface is complete from the first scrape, autopilot or not.
+    obs::register_process_metrics(*svc->metrics_);
+    registry::register_autopilot_metrics(*svc->metrics_);
+    svc->metrics_
+        ->gauge("tcm_autopilot_enabled", "1 when the continual-learning autopilot runs")
+        .set(opt.enable_autopilot ? 1.0 : 0.0);
     serve::ServeOptions serve_opt = opt.serve;
     serve_opt.metrics = svc->metrics_;
+    serve_opt.watchdog = svc->watchdog_;
     svc->service_ =
         std::make_unique<serve::PredictionService>(std::move(predictor), active, serve_opt);
 
@@ -69,6 +84,12 @@ Result<std::unique_ptr<Service>> Service::open(ServiceOptions options) {
       svc->feedback_ = std::make_shared<serve::FeedbackBuffer>(opt.feedback);
       if (opt.persist_feedback) svc->restore_feedback();
       svc->service_->set_feedback(svc->feedback_);
+      // The callback owns a shared_ptr copy, so the gauge stays safe to
+      // sample even if the facade is torn down before the registry.
+      std::shared_ptr<serve::FeedbackBuffer> buffer = svc->feedback_;
+      svc->metrics_->gauge_callback(
+          "tcm_feedback_buffered", "Samples currently in the reservoir", "",
+          [buffer] { return static_cast<double>(buffer->size()); });
     }
 
     if (opt.enable_autopilot) {
@@ -76,8 +97,11 @@ Result<std::unique_ptr<Service>> Service::open(ServiceOptions options) {
       topt.feedback = svc->feedback_;  // may be null: trainer treats as disabled
       svc->trainer_ = std::make_unique<registry::ContinualTrainer>(*svc->registry_,
                                                                    *svc->service_, topt);
+      registry::ContinualSchedulerOptions sopt = opt.scheduler;
+      sopt.metrics = svc->metrics_;
+      sopt.watchdog = svc->watchdog_;
       svc->scheduler_ = std::make_unique<registry::ContinualScheduler>(
-          *svc->registry_, *svc->service_, *svc->trainer_, opt.scheduler);
+          *svc->registry_, *svc->service_, *svc->trainer_, sopt);
       svc->scheduler_->start();
     }
     return svc;
@@ -176,8 +200,13 @@ Status Service::promote(int version) {
       return Status::failed_precondition("checkpoint v" + std::to_string(version) +
                                          " rejected: " + e.what());
     }
+    const int from = registry_->active_version();
     registry_->promote(version);
     service_->swap_model(std::move(next), version);
+    obs::EventLog::instance().emit(
+        "promote", "info",
+        "from=v" + std::to_string(from) + " to=v" + std::to_string(version) + " by=api",
+        obs::current_trace_id());
     // The drift window must not compare the new model's predictions against
     // the old model's.
     service_->clear_recent_predictions();
@@ -203,8 +232,13 @@ Result<int> Service::rollback() {
       return Status::failed_precondition("rollback target v" + std::to_string(previous) +
                                          " rejected: " + e.what());
     }
+    const int from = registry_->active_version();
     const int restored = registry_->rollback();
     service_->swap_model(std::move(next), restored);
+    obs::EventLog::instance().emit(
+        "rollback", "warn",
+        "from=v" + std::to_string(from) + " to=v" + std::to_string(restored) + " by=api",
+        obs::current_trace_id());
     service_->clear_recent_predictions();
     return restored;
   } catch (const std::exception& e) {
@@ -238,6 +272,154 @@ StatsSnapshot Service::stats() const {
     snap.feedback.buffered = feedback_->size();
   }
   return snap;
+}
+
+namespace {
+
+Json drift_signal_json(const serve::DriftSignal& s) {
+  Json j = Json::object();
+  j.set("value", Json(s.value));
+  j.set("threshold", Json(s.threshold));
+  j.set("fired", Json(s.fired));
+  j.set("samples", Json(s.samples));
+  return j;
+}
+
+}  // namespace
+
+Json Service::debug_state() const {
+  Json state = Json::object();
+  state.set("shut_down", Json(shut_down_.load(std::memory_order_acquire)));
+  state.set("uptime_seconds",
+            Json(std::chrono::duration<double>(std::chrono::steady_clock::now() - started_)
+                     .count()));
+
+  // Registry: every version plus the ACTIVE fine-tune lineage. list() reads
+  // disk and can throw (e.g. registry root deleted under us) — a debug
+  // endpoint must report that, not take the server down.
+  Json registry = Json::object();
+  try {
+    const int active = registry_->active_version();
+    const int previous = registry_->previous_version();
+    registry.set("active", Json(active));
+    registry.set("previous", Json(previous));
+    Json versions = Json::array();
+    std::vector<registry::ModelManifest> manifests = registry_->list();
+    for (const registry::ModelManifest& m : manifests) {
+      Json v = Json::object();
+      v.set("version", Json(m.version));
+      v.set("parent_version", Json(m.parent_version));
+      v.set("model_kind", Json(m.model_kind));
+      v.set("created_unix", Json(m.created_unix));
+      v.set("holdout_mape", Json(m.metrics.mape));
+      v.set("provenance", Json(m.provenance));
+      versions.push_back(std::move(v));
+    }
+    registry.set("versions", std::move(versions));
+    // Walk the parent chain from ACTIVE (bounded by the version count so a
+    // cyclic manifest cannot hang the endpoint).
+    Json lineage = Json::array();
+    int cursor = active;
+    for (std::size_t hops = 0; cursor != 0 && hops <= manifests.size(); ++hops) {
+      lineage.push_back(Json(cursor));
+      int parent = 0;
+      for (const registry::ModelManifest& m : manifests)
+        if (m.version == cursor) parent = m.parent_version;
+      cursor = parent;
+    }
+    registry.set("active_lineage", std::move(lineage));
+  } catch (const std::exception& e) {
+    registry.set("error", Json(std::string(e.what())));
+  }
+  state.set("registry", std::move(registry));
+
+  // Serving: counters plus the live batcher/cache state the counters hide.
+  const serve::ServeStats sstats = service_->stats();
+  Json serving = Json::object();
+  serving.set("active_version", Json(sstats.active_version));
+  serving.set("requests", Json(sstats.requests));
+  serving.set("batches", Json(sstats.batches));
+  serving.set("failed_requests", Json(sstats.failed_requests));
+  serving.set("queue_depth", Json(static_cast<std::uint64_t>(service_->pending())));
+  serving.set("mean_batch_occupancy", Json(sstats.mean_batch_occupancy));
+  serving.set("p50_latency_seconds", Json(sstats.p50_latency));
+  serving.set("p99_latency_seconds", Json(sstats.p99_latency));
+  serving.set("model_swaps", Json(sstats.model_swaps));
+  serving.set("shadow_version", Json(sstats.shadow_version));
+  Json cache = Json::object();
+  cache.set("hits", Json(sstats.cache_hits));
+  cache.set("misses", Json(sstats.cache_misses));
+  const std::uint64_t lookups = sstats.cache_hits + sstats.cache_misses;
+  cache.set("hit_ratio", Json(lookups == 0 ? 0.0
+                                           : static_cast<double>(sstats.cache_hits) /
+                                                 static_cast<double>(lookups)));
+  serving.set("cache", std::move(cache));
+  state.set("serving", std::move(serving));
+
+  // Autopilot: phase + budget counters + the drift window as last observed.
+  Json autopilot = Json::object();
+  autopilot.set("enabled", Json(scheduler_ != nullptr));
+  if (scheduler_) {
+    autopilot.set("phase", Json(scheduler_->phase()));
+    autopilot.set("polls", Json(scheduler_->polls()));
+    autopilot.set("cycles", Json(scheduler_->cycles_run()));
+    const std::vector<registry::SchedulerEvent> events = scheduler_->history();
+    autopilot.set("triggers", Json(static_cast<std::uint64_t>(events.size())));
+    std::uint64_t failures = 0;
+    for (const registry::SchedulerEvent& e : events)
+      if (e.cycle_failed) ++failures;
+    autopilot.set("cycle_failures", Json(failures));
+    const serve::DriftReport report = scheduler_->last_report();
+    Json drift = Json::object();
+    drift.set("psi", drift_signal_json(report.psi));
+    drift.set("ks", drift_signal_json(report.ks));
+    drift.set("failure_rate", drift_signal_json(report.failure_rate));
+    drift.set("shadow_mape", drift_signal_json(report.shadow_mape));
+    drift.set("shadow_spearman", drift_signal_json(report.shadow_spearman));
+    drift.set("reference_size", Json(static_cast<std::uint64_t>(report.reference_size)));
+    drift.set("window_size", Json(static_cast<std::uint64_t>(report.window_size)));
+    drift.set("drifted", Json(report.drifted));
+    drift.set("reason", Json(report.reason));
+    autopilot.set("drift", std::move(drift));
+  }
+  state.set("autopilot", std::move(autopilot));
+
+  Json feedback = Json::object();
+  feedback.set("enabled", Json(feedback_ != nullptr));
+  if (feedback_) {
+    feedback.set("offered", Json(feedback_->offered()));
+    feedback.set("sampled", Json(feedback_->sampled()));
+    feedback.set("buffered", Json(static_cast<std::uint64_t>(feedback_->size())));
+  }
+  state.set("feedback", std::move(feedback));
+
+  // Watchdog: per-thread heartbeat ages, so a wedged worker is visible here
+  // with the same detail /healthz summarizes.
+  const obs::Watchdog::Report wreport = watchdog_->report();
+  Json watchdog = Json::object();
+  watchdog.set("health", Json(obs::Watchdog::health_name(wreport.health)));
+  if (!wreport.reason.empty()) watchdog.set("reason", Json(wreport.reason));
+  Json threads = Json::array();
+  for (const obs::Watchdog::ThreadReport& t : wreport.threads) {
+    Json tj = Json::object();
+    tj.set("name", Json(t.name));
+    tj.set("critical", Json(t.critical));
+    tj.set("idle", Json(t.idle));
+    tj.set("activity", Json(t.activity));
+    tj.set("age_seconds", Json(t.age_seconds));
+    tj.set("stall_after_seconds", Json(t.stall_after_seconds));
+    tj.set("stalled", Json(t.stalled));
+    threads.push_back(std::move(tj));
+  }
+  watchdog.set("threads", std::move(threads));
+  state.set("watchdog", std::move(watchdog));
+
+  Json events = Json::object();
+  events.set("emitted", Json(obs::EventLog::instance().total_emitted()));
+  events.set("capacity",
+             Json(static_cast<std::uint64_t>(obs::EventLog::instance().capacity())));
+  state.set("events", std::move(events));
+  return state;
 }
 
 Status Service::healthy() const {

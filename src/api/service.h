@@ -41,7 +41,8 @@
 
 #include "api/status.h"
 #include "api/wire.h"
-#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "registry/continual_scheduler.h"
 #include "registry/continual_trainer.h"
 #include "registry/model_registry.h"
@@ -118,6 +119,13 @@ class Service {
   // instance must still be scrapeable by /metrics until the process exits.
   StatsSnapshot stats() const;
 
+  // One JSON snapshot of everything an operator asks first: registry
+  // versions with the ACTIVE lineage (parent chain), serving/batcher/cache
+  // state, the last drift report, the scheduler phase, feedback fill,
+  // watchdog heartbeat ages and the event-log high-water mark. The
+  // /debug/state payload; answers after shutdown() like stats().
+  Json debug_state() const;
+
   // OK while serving; UNAVAILABLE after shutdown().
   Status healthy() const;
 
@@ -134,6 +142,12 @@ class Service {
   // The metrics registry shared by the whole stack (serving histograms plus
   // whatever the HTTP layer registers); /metrics renders it in one pass.
   const std::shared_ptr<obs::MetricsRegistry>& metrics() const { return metrics_; }
+
+  // The watchdog every background thread of the stack registers with (batch
+  // workers, autopilot poller; the HTTP layer adds its acceptor/workers via
+  // HttpServerOptions::watchdog). /healthz folds its report into readiness.
+  // Never null after open().
+  const std::shared_ptr<obs::Watchdog>& watchdog() const { return watchdog_; }
 
   // Escape hatches (see class comment): the façade's Status guarantee does
   // not cover direct calls on these.
@@ -153,6 +167,7 @@ class Service {
 
   ServiceOptions options_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::shared_ptr<obs::Watchdog> watchdog_;
   std::unique_ptr<registry::ModelRegistry> registry_;
   std::shared_ptr<serve::FeedbackBuffer> feedback_;
   std::unique_ptr<serve::PredictionService> service_;

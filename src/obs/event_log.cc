@@ -1,0 +1,166 @@
+#include "obs/event_log.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace tcm::obs {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 512;
+
+std::int64_t wall_ms_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_escaped(const std::string& s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_event_json(const Event& e, std::string& out) {
+  out += "{\"seq\":" + std::to_string(e.seq);
+  out += ",\"wall_ms\":" + std::to_string(e.wall_ms);
+  out += ",\"type\":\"";
+  out += e.type;
+  out += "\",\"severity\":\"";
+  out += e.severity;
+  out += "\",\"trace_id\":" + std::to_string(e.trace_id);
+  out += ",\"detail\":\"";
+  append_escaped(e.detail, out);
+  out += "\"}";
+}
+
+// write(2) the whole buffer, retrying on short writes; best-effort.
+void write_all(int fd, const char* data, std::size_t len) noexcept {
+  while (len > 0) {
+    const ::ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+EventLog::EventLog() : capacity_(kDefaultCapacity) { ring_.resize(capacity_); }
+
+EventLog& EventLog::instance() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::emit(const char* type, const char* severity, std::string detail,
+                    std::uint64_t trace_id) {
+  const std::int64_t now = wall_ms_now();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = emitted_.load(std::memory_order_relaxed) + 1;
+  Event& slot = ring_[static_cast<std::size_t>((seq - 1) % capacity_)];
+  slot.seq = seq;
+  slot.wall_ms = now;
+  slot.type = type;
+  slot.severity = severity;
+  slot.trace_id = trace_id;
+  slot.detail = std::move(detail);
+  emitted_.store(seq, std::memory_order_release);
+}
+
+std::vector<Event> EventLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t emitted = emitted_.load(std::memory_order_relaxed);
+  const std::uint64_t resident = emitted < capacity_ ? emitted : capacity_;
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(resident));
+  for (std::uint64_t seq = emitted - resident + 1; seq <= emitted; ++seq)
+    out.push_back(ring_[static_cast<std::size_t>((seq - 1) % capacity_)]);
+  return out;
+}
+
+std::string EventLog::render_json() const {
+  const std::vector<Event> snap = events();
+  const std::uint64_t emitted = total_emitted();
+  std::string out;
+  out.reserve(128 + snap.size() * 96);
+  out += "{\"emitted\":" + std::to_string(emitted);
+  out += ",\"dropped\":" + std::to_string(emitted - snap.size());
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    if (i > 0) out += ',';
+    append_event_json(snap[i], out);
+  }
+  out += "]}";
+  return out;
+}
+
+void EventLog::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  ring_.assign(capacity_, Event{});
+  emitted_.store(0, std::memory_order_relaxed);
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(capacity_, Event{});
+  emitted_.store(0, std::memory_order_relaxed);
+}
+
+void EventLog::dump_to_fd(int fd) const noexcept {
+  // No lock, no allocation: callable from a fatal-signal handler. Slots are
+  // read racily — an event being overwritten concurrently may tear — but
+  // every byte written is still valid JSON, and details are copied into a
+  // bounded stack buffer. At crash time that trade is the right one.
+  char buf[512];
+  const std::uint64_t emitted = emitted_.load(std::memory_order_acquire);
+  const std::uint64_t resident = emitted < capacity_ ? emitted : capacity_;
+  int n = std::snprintf(buf, sizeof buf, "{\"emitted\":%llu,\"dropped\":%llu,\"events\":[",
+                        static_cast<unsigned long long>(emitted),
+                        static_cast<unsigned long long>(emitted - resident));
+  write_all(fd, buf, static_cast<std::size_t>(n));
+  bool first = true;
+  for (std::uint64_t seq = emitted - resident + 1; seq <= emitted; ++seq) {
+    const Event& e = ring_[static_cast<std::size_t>((seq - 1) % capacity_)];
+    // Escape the detail into a bounded buffer (quotes/backslashes only; the
+    // emitters produce plain logfmt ASCII).
+    char detail[256];
+    std::size_t di = 0;
+    for (std::size_t i = 0; i < e.detail.size() && di + 2 < sizeof detail; ++i) {
+      const char c = e.detail[i];
+      if (c == '"' || c == '\\') detail[di++] = '\\';
+      detail[di++] = static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+    }
+    detail[di] = '\0';
+    n = std::snprintf(buf, sizeof buf,
+                      "%s{\"seq\":%llu,\"wall_ms\":%lld,\"type\":\"%s\",\"severity\":\"%s\","
+                      "\"trace_id\":%llu,\"detail\":\"%s\"}",
+                      first ? "" : ",", static_cast<unsigned long long>(e.seq),
+                      static_cast<long long>(e.wall_ms), e.type, e.severity,
+                      static_cast<unsigned long long>(e.trace_id), detail);
+    if (n > 0) write_all(fd, buf, static_cast<std::size_t>(n) < sizeof buf
+                                      ? static_cast<std::size_t>(n)
+                                      : sizeof buf - 1);
+    first = false;
+  }
+  write_all(fd, "]}\n", 3);
+}
+
+}  // namespace tcm::obs

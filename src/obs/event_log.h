@@ -1,0 +1,75 @@
+// Flight recorder: a bounded ring of structured events.
+//
+// Latency histograms say *how slow*; traces say *where the time went*; the
+// event log says *what happened* — the discrete state changes that explain
+// a postmortem: drift triggered (with the signal values that fired), cycle
+// started/finished/failed, model promoted/rolled back (with versions),
+// hot-swap applied, slow request, HTTP 5xx, registry GC. Emission sites are
+// rare (per cycle / per incident, never per request), so a short
+// mutex-guarded critical section per emit is cheap; readers copy the ring.
+//
+// The log is a process-wide singleton so the fatal-signal path can reach it
+// without any object plumbing: dump_to_fd() walks the ring with snprintf +
+// write() only — no locks, no allocation — so a crash handler can leave a
+// parseable black box behind even while another thread holds the mutex.
+// Racing emitters can at worst tear one in-flight event; seq gaps in the
+// dump are expected and harmless.
+//
+// JSON format (render_json(), /debug/events, --flight-recorder-out):
+//   {"emitted":N,"dropped":N,"events":[
+//     {"seq":12,"wall_ms":1754560000123,"type":"drift_trigger",
+//      "severity":"warn","trace_id":7,"detail":"psi=0.31 threshold=0.25"}]}
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tcm::obs {
+
+struct Event {
+  std::uint64_t seq = 0;      // 1-based, strictly increasing across the ring
+  std::int64_t wall_ms = 0;   // unix epoch milliseconds
+  const char* type = "";      // static literal: "cycle_start", "promote", ...
+  const char* severity = "";  // "info" | "warn" | "error"
+  std::uint64_t trace_id = 0; // correlates with traces/logs; 0 = none
+  std::string detail;         // logfmt payload: "from=v1 to=v2"
+};
+
+class EventLog {
+ public:
+  static EventLog& instance();
+
+  // `type` and `severity` must be string literals (stored by pointer so the
+  // signal-path dump never touches the allocator for them).
+  void emit(const char* type, const char* severity, std::string detail,
+            std::uint64_t trace_id = 0);
+
+  // Oldest-first copy of the resident ring.
+  std::vector<Event> events() const;
+
+  std::uint64_t total_emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::string render_json() const;
+
+  // Resizes the ring (drops resident events); test hook.
+  void set_capacity(std::size_t capacity);
+  void clear();
+
+  // Async-signal best-effort dump: fixed buffers, write(2) only, no lock.
+  // Event details are read racily; the output is still well-formed JSON.
+  void dump_to_fd(int fd) const noexcept;
+
+ private:
+  EventLog();
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<Event> ring_;   // ring_[ (seq-1) % capacity_ ]
+  std::atomic<std::uint64_t> emitted_{0};
+};
+
+}  // namespace tcm::obs

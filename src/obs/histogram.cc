@@ -1,29 +1,10 @@
 #include "obs/histogram.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cmath>
 #include <stdexcept>
 
 namespace tcm::obs {
-
-namespace {
-
-void append_double(double v, std::string& out) {
-  if (std::isnan(v)) {
-    out += "NaN";
-    return;
-  }
-  if (std::isinf(v)) {
-    out += v > 0 ? "+Inf" : "-Inf";
-    return;
-  }
-  char buf[32];
-  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  out.append(buf, end);
-}
-
-}  // namespace
 
 std::vector<double> exponential_buckets(double start, double factor, int count) {
   if (start <= 0 || factor <= 1.0 || count < 1)
@@ -92,58 +73,6 @@ double Histogram::quantile(double q) const {
     return lo + fraction * (hi - lo);
   }
   return s.bounds.back();
-}
-
-Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
-                                      const std::string& labels, std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Histogram& h : histograms_)
-    if (h.name() == name && h.labels() == labels) return h;
-  return histograms_.emplace_back(name, help, labels, std::move(bounds));
-}
-
-std::string MetricsRegistry::render_prometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string out;
-  // Families in first-registration order; members of one family rendered
-  // together under a single HELP/TYPE preamble.
-  std::vector<const std::string*> family_order;
-  for (const Histogram& h : histograms_) {
-    bool seen = false;
-    for (const std::string* f : family_order)
-      if (*f == h.name()) seen = true;
-    if (!seen) family_order.push_back(&h.name());
-  }
-  for (const std::string* family : family_order) {
-    bool preamble = false;
-    for (const Histogram& h : histograms_) {
-      if (h.name() != *family) continue;
-      if (!preamble) {
-        out += "# HELP " + h.name() + ' ' + h.help() + '\n';
-        out += "# TYPE " + h.name() + " histogram\n";
-        preamble = true;
-      }
-      const Histogram::Snapshot s = h.snapshot();
-      const std::string sep = h.labels().empty() ? "" : h.labels() + ",";
-      std::uint64_t cum = 0;
-      for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
-        cum += s.counts[i];
-        out += h.name() + "_bucket{" + sep + "le=\"";
-        if (i == s.bounds.size()) {
-          out += "+Inf";
-        } else {
-          append_double(s.bounds[i], out);
-        }
-        out += "\"} " + std::to_string(cum) + '\n';
-      }
-      const std::string label_block = h.labels().empty() ? "" : '{' + h.labels() + '}';
-      out += h.name() + "_sum" + label_block + ' ';
-      append_double(s.sum, out);
-      out += '\n';
-      out += h.name() + "_count" + label_block + ' ' + std::to_string(s.count) + '\n';
-    }
-  }
-  return out;
 }
 
 }  // namespace tcm::obs

@@ -9,23 +9,17 @@
 //     small immutable bounds array plus two relaxed atomic adds — so it can
 //     sit on the per-request hot path (queue wait, featurize, inference)
 //     without a lock.
-//   - MetricsRegistry names histograms and renders the text exposition
-//     (0.0.4): grouped families, `_bucket{le=...}` cumulative counts,
-//     `_sum`/`_count`, one HELP/TYPE preamble per family. Histograms of one
-//     family are distinguished by a label set (e.g. stage="queue_wait").
 //   - quantile() interpolates p50/p99 out of the buckets so ServeStats keeps
 //     its summary fields without the old ring.
 //
-// Registration takes a mutex (once, at service construction); observation
-// and snapshotting never do. References returned by histogram() are stable
-// for the registry's lifetime.
+// Naming, registration and the text exposition live in obs/metrics.h
+// (MetricsRegistry), alongside counters and gauges. Observation and
+// snapshotting never take a lock.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,22 +67,6 @@ class Histogram {
   // bounds_.size()+1 buckets; the last is the +Inf overflow.
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
   std::atomic<double> sum_{0};
-};
-
-class MetricsRegistry {
- public:
-  // Get-or-create by (name, labels); `help` and `bounds` are taken from the
-  // first registration of the pair. Thread-safe; the reference is stable.
-  Histogram& histogram(const std::string& name, const std::string& help,
-                       const std::string& labels, std::vector<double> bounds);
-
-  // Prometheus 0.0.4 text: families in first-registration order, HELP/TYPE
-  // once per family, then `_bucket`/`_sum`/`_count` per label set.
-  std::string render_prometheus() const;
-
- private:
-  mutable std::mutex mu_;
-  std::deque<Histogram> histograms_;  // deque: references must not move
 };
 
 }  // namespace tcm::obs

@@ -1,0 +1,143 @@
+// Counter/gauge metrics and the unified MetricsRegistry.
+//
+// PR 6 introduced the registry holding only histograms; every other family
+// on /metrics was hand-rendered from a StatsSnapshot in api/metrics.cc, so
+// drift signals, cycle outcomes and cache ratios could not be owned by the
+// subsystems that produce them. This layer completes the instrument set:
+//
+//   - Counter: monotone uint64, wait-free inc()/add() (one relaxed atomic
+//     fetch_add), for event totals (autopilot cycles, drift triggers).
+//   - Gauge: settable double, wait-free set()/add(), for point-in-time
+//     values (queue depth, cache hit ratio, drift signal levels).
+//   - Callback gauges: sampled at render time, for values that live outside
+//     any subsystem object (process RSS/fds/uptime from /proc).
+//
+// MetricsRegistry hands out all three plus histograms, keyed (name, labels)
+// get-or-create with stable references, and renders one Prometheus 0.0.4
+// text block: families in first-registration order, exactly one HELP/TYPE
+// preamble per family regardless of how many label sets it has. Callers
+// that hand-render additional families on the same response pass a shared
+// `emitted_families` set so no family ever gets a second TYPE line.
+//
+// Registration takes a mutex (once, at construction time); updates never do.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace tcm::obs {
+
+class Counter {
+ public:
+  Counter(std::string name, std::string help, std::string labels)
+      : name_(std::move(name)), help_(std::move(help)), labels_(std::move(labels)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  // Wait-free.
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+  const std::string& labels() const { return labels_; }
+
+ private:
+  const std::string name_;
+  const std::string help_;
+  const std::string labels_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  Gauge(std::string name, std::string help, std::string labels)
+      : name_(std::move(name)), help_(std::move(help)), labels_(std::move(labels)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  // Wait-free (add() is a CAS loop, still lock-free; contention on a gauge
+  // is one writer in practice).
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+  const std::string& labels() const { return labels_; }
+
+ private:
+  const std::string name_;
+  const std::string help_;
+  const std::string labels_;
+  std::atomic<double> value_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  // Get-or-create by (name, labels); `help` (and `bounds` for histograms)
+  // are taken from the first registration of the pair. Thread-safe; the
+  // returned references are stable for the registry's lifetime. Registering
+  // one family name under two different instrument kinds is a programming
+  // error and throws.
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const std::string& labels, std::vector<double> bounds);
+  Counter& counter(const std::string& name, const std::string& help,
+                   const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& help, const std::string& labels = "");
+
+  // A gauge whose value is pulled from `fn` at render time; for
+  // process-global sources (/proc) where no object owns the number. The
+  // callback must stay valid for the registry's lifetime and be callable
+  // from any thread.
+  void gauge_callback(const std::string& name, const std::string& help,
+                      const std::string& labels, std::function<double()> fn);
+
+  // Prometheus 0.0.4 text: families in first-registration order, HELP/TYPE
+  // once per family, then one sample line (or bucket block) per label set.
+  // When `emitted_families` is non-null, families already in the set get
+  // samples but no HELP/TYPE preamble, and every family rendered here is
+  // added to it — the dedupe contract with hand-rendered expositions.
+  std::string render_prometheus(std::set<std::string>* emitted_families = nullptr) const;
+
+ private:
+  enum class Kind { kHistogram, kCounter, kGauge, kCallbackGauge };
+  struct CallbackGauge {
+    std::string name;
+    std::string help;
+    std::string labels;
+    std::function<double()> fn;
+  };
+  // (kind, index into that kind's deque) in registration order; render
+  // groups consecutive same-name runs into one family block.
+  struct Entry {
+    Kind kind;
+    std::size_t index;
+  };
+
+  const std::string* entry_name(const Entry& e) const;
+  void check_kind(const std::string& name, Kind kind) const;
+
+  mutable std::mutex mu_;
+  std::deque<Histogram> histograms_;  // deques: references must not move
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<CallbackGauge> callback_gauges_;
+  std::vector<Entry> order_;
+};
+
+}  // namespace tcm::obs

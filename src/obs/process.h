@@ -1,0 +1,26 @@
+// Process self-metrics: RSS, open fds, thread count, uptime — the numbers a
+// dashboard needs to tell "the model regressed" apart from "the process is
+// leaking". Read from /proc on Linux; zeros elsewhere.
+#pragma once
+
+#include <cstdint>
+
+namespace tcm::obs {
+
+class MetricsRegistry;
+
+struct ProcessStats {
+  std::uint64_t resident_bytes = 0;  // VmRSS
+  std::uint64_t virtual_bytes = 0;   // VmSize
+  std::uint64_t open_fds = 0;
+  std::uint64_t threads = 0;
+  double uptime_seconds = 0;  // since the first read_process_stats() call
+};
+
+ProcessStats read_process_stats();
+
+// Registers tcm_process_* callback gauges (sampled per scrape) plus the
+// constant `tcm_build_info{compiler=...,mode=...} 1` gauge.
+void register_process_metrics(MetricsRegistry& registry);
+
+}  // namespace tcm::obs

@@ -1,10 +1,90 @@
 #include "registry/continual_scheduler.h"
 
+#include <cstdio>
 #include <exception>
 
+#include "obs/event_log.h"
+#include "obs/trace.h"
 #include "support/log.h"
 
 namespace tcm::registry {
+
+namespace {
+
+// "psi=0.31/0.25 ks=0.12/0.35 ... window=512 reference=512" — the full
+// signal state at trigger time, so the flight recorder alone can answer
+// "why did this cycle run".
+std::string drift_detail(const serve::DriftReport& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "psi=%.4g/%.4g ks=%.4g/%.4g failure_rate=%.4g/%.4g shadow_mape=%.4g "
+                "shadow_spearman=%.4g window=%zu reference=%zu",
+                r.psi.value, r.psi.threshold, r.ks.value, r.ks.threshold, r.failure_rate.value,
+                r.failure_rate.threshold, r.shadow_mape.value, r.shadow_spearman.value,
+                r.window_size, r.reference_size);
+  return buf;
+}
+
+}  // namespace
+
+void AutopilotMetrics::update_drift(const serve::DriftReport& report) const {
+  if (signal_psi == nullptr) return;
+  signal_psi->set(report.psi.value);
+  signal_ks->set(report.ks.value);
+  signal_failure_rate->set(report.failure_rate.value);
+  signal_shadow_mape->set(report.shadow_mape.value);
+  signal_shadow_spearman->set(report.shadow_spearman.value);
+  threshold_psi->set(report.psi.threshold);
+  threshold_ks->set(report.ks.threshold);
+  threshold_failure_rate->set(report.failure_rate.threshold);
+  threshold_shadow_mape->set(report.shadow_mape.threshold);
+  threshold_shadow_spearman->set(report.shadow_spearman.threshold);
+  reference_size->set(static_cast<double>(report.reference_size));
+  window_size->set(static_cast<double>(report.window_size));
+  drifted->set(report.drifted ? 1.0 : 0.0);
+}
+
+AutopilotMetrics register_autopilot_metrics(obs::MetricsRegistry& registry) {
+  AutopilotMetrics m;
+  const char* signal_help = "Latest drift-signal values (see matching tcm_drift_threshold)";
+  m.signal_psi = &registry.gauge("tcm_drift_signal", signal_help, "signal=\"psi\"");
+  m.signal_ks = &registry.gauge("tcm_drift_signal", signal_help, "signal=\"ks\"");
+  m.signal_failure_rate = &registry.gauge("tcm_drift_signal", signal_help,
+                                          "signal=\"failure_rate\"");
+  m.signal_shadow_mape = &registry.gauge("tcm_drift_signal", signal_help,
+                                         "signal=\"shadow_mape\"");
+  m.signal_shadow_spearman = &registry.gauge("tcm_drift_signal", signal_help,
+                                             "signal=\"shadow_spearman\"");
+  const char* threshold_help = "Configured firing threshold per drift signal";
+  m.threshold_psi = &registry.gauge("tcm_drift_threshold", threshold_help, "signal=\"psi\"");
+  m.threshold_ks = &registry.gauge("tcm_drift_threshold", threshold_help, "signal=\"ks\"");
+  m.threshold_failure_rate = &registry.gauge("tcm_drift_threshold", threshold_help,
+                                             "signal=\"failure_rate\"");
+  m.threshold_shadow_mape = &registry.gauge("tcm_drift_threshold", threshold_help,
+                                            "signal=\"shadow_mape\"");
+  m.threshold_shadow_spearman = &registry.gauge("tcm_drift_threshold", threshold_help,
+                                                "signal=\"shadow_spearman\"");
+  m.reference_size = &registry.gauge("tcm_drift_reference_size",
+                                     "Frozen reference window size (0 until baselined)");
+  m.window_size = &registry.gauge("tcm_drift_window_size",
+                                  "Current recent-prediction window size");
+  m.drifted = &registry.gauge("tcm_drift_drifted",
+                              "1 when any drift signal is over threshold");
+  m.polls = &registry.counter("tcm_autopilot_polls_total", "Drift-monitor observations");
+  m.triggers = &registry.counter("tcm_autopilot_triggers_total",
+                                 "Drift triggers (each starts a retraining cycle attempt)");
+  const char* cycles_help = "Completed retraining cycles by outcome";
+  m.cycles_promoted = &registry.counter("tcm_autopilot_cycles_total", cycles_help,
+                                        "outcome=\"promoted\"");
+  m.cycles_rejected = &registry.counter("tcm_autopilot_cycles_total", cycles_help,
+                                        "outcome=\"rejected\"");
+  m.cycle_failures = &registry.counter(
+      "tcm_autopilot_cycle_failures_total",
+      "Retraining cycles that failed (swallowed, serving unaffected)");
+  m.gc_removed = &registry.counter("tcm_autopilot_gc_removed_total",
+                                   "Model versions removed by post-cycle retention GC");
+  return m;
+}
 
 ContinualScheduler::ContinualScheduler(ModelRegistry& registry,
                                        serve::PredictionService& service,
@@ -14,7 +94,9 @@ ContinualScheduler::ContinualScheduler(ModelRegistry& registry,
       service_(service),
       trainer_(trainer),
       options_(std::move(options)),
-      monitor_(options_.drift) {}
+      monitor_(options_.drift) {
+  if (options_.metrics) metrics_ = register_autopilot_metrics(*options_.metrics);
+}
 
 ContinualScheduler::~ContinualScheduler() { stop(); }
 
@@ -42,14 +124,21 @@ void ContinualScheduler::stop() {
 }
 
 void ContinualScheduler::loop() {
+  obs::Watchdog::Handle heartbeat;
+  if (options_.watchdog)
+    heartbeat = options_.watchdog->register_thread("autopilot_poller",
+                                                   options_.poller_stall_after,
+                                                   /*critical=*/false);
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(thread_mu_);
-      if (stop_cv_.wait_for(lock, options_.poll_interval, [this] { return stopping_; }))
-        return;
+      if (stop_cv_.wait_for(lock, options_.poll_interval, [this] { return stopping_; })) break;
     }
+    if (options_.watchdog) options_.watchdog->set_busy(heartbeat, "poll");
     poll_once();
+    if (options_.watchdog) options_.watchdog->set_idle(heartbeat);
   }
+  if (options_.watchdog) options_.watchdog->unregister(heartbeat);
 }
 
 bool ContinualScheduler::poll_once() {
@@ -66,8 +155,10 @@ bool ContinualScheduler::poll_once() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++polls_;
+    if (metrics_.polls != nullptr) metrics_.polls->inc();
     const serve::DriftReport report = monitor_.observe(stats, window);
     last_report_ = report;
+    metrics_.update_drift(report);
     if (!report.triggered) return false;
 
     // Budget and wall-clock cooldown. A suppressed trigger is dropped, not
@@ -89,13 +180,36 @@ bool ContinualScheduler::poll_once() {
     event.drift = report;
   }
 
+  // One trace id spans the whole firing — drift event, cycle spans, promote
+  // event and the WARN/ERROR lines all cross-reference on it.
+  const std::uint64_t cycle_trace = obs::Tracer::instance().force_request();
+  obs::TraceContext trace_ctx(cycle_trace);
+  if (metrics_.triggers != nullptr) metrics_.triggers->inc();
+  obs::EventLog::instance().emit(
+      "drift_trigger", "warn",
+      "reason=\"" + event.drift.reason + "\" " + drift_detail(event.drift), cycle_trace);
+  obs::EventLog::instance().emit(
+      "cycle_start", "info", "incumbent=v" + std::to_string(registry_.active_version()),
+      cycle_trace);
+
   log_debug() << "[autopilot] drift detected (" << event.drift.reason << ") -> running cycle";
   try {
     event.cycle = trainer_.run_cycle();
+    obs::EventLog::instance().emit(
+        "cycle_finish", "info",
+        "candidate=v" + std::to_string(event.cycle.candidate_version) +
+            " promoted=" + (event.cycle.promoted ? "true" : "false") + " decision=\"" +
+            event.cycle.decision + '"',
+        cycle_trace);
+    if (metrics_.cycles_promoted != nullptr)
+      (event.cycle.promoted ? metrics_.cycles_promoted : metrics_.cycles_rejected)->inc();
   } catch (const std::exception& e) {
     event.cycle_failed = true;
     event.error = e.what();
-    log_warn() << "[autopilot] cycle failed: " << e.what();
+    if (metrics_.cycle_failures != nullptr) metrics_.cycle_failures->inc();
+    obs::EventLog::instance().emit("cycle_fail", "error",
+                                   "error=\"" + event.error + '"', cycle_trace);
+    log_warn() << "[autopilot] cycle failed: " << e.what() << kv("trace_id", cycle_trace);
   }
   // GC failures are reported separately: a retention hiccup must not be
   // mistaken for a failed retraining cycle (the promotion, if any, already
@@ -103,10 +217,21 @@ bool ContinualScheduler::poll_once() {
   if (!event.cycle_failed && options_.gc_after_cycle) {
     try {
       event.gc = registry_.gc(options_.gc);
+      if (!event.gc.removed.empty()) {
+        if (metrics_.gc_removed != nullptr)
+          metrics_.gc_removed->inc(event.gc.removed.size());
+        std::string removed = "removed=";
+        for (std::size_t i = 0; i < event.gc.removed.size(); ++i)
+          removed += (i > 0 ? ",v" : "v") + std::to_string(event.gc.removed[i]);
+        obs::EventLog::instance().emit("gc", "info", std::move(removed), cycle_trace);
+      }
     } catch (const std::exception& e) {
       event.gc_failed = true;
       event.error = e.what();
-      log_warn() << "[autopilot] post-cycle gc failed: " << e.what();
+      obs::EventLog::instance().emit("gc_fail", "error", "error=\"" + event.error + '"',
+                                     cycle_trace);
+      log_warn() << "[autopilot] post-cycle gc failed: " << e.what()
+                 << kv("trace_id", cycle_trace);
     }
   }
 
@@ -143,6 +268,11 @@ serve::DriftReport ContinualScheduler::last_report() const {
 std::vector<SchedulerEvent> ContinualScheduler::history() const {
   std::lock_guard<std::mutex> lock(mu_);
   return history_;
+}
+
+const char* ContinualScheduler::phase() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cycle_in_flight_ ? "cycle" : "idle";
 }
 
 }  // namespace tcm::registry

@@ -37,6 +37,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "registry/continual_trainer.h"
 #include "registry/model_registry.h"
 #include "serve/drift_monitor.h"
@@ -56,7 +58,46 @@ struct ContinualSchedulerOptions {
   // leaves collection to explicit ModelRegistry::gc() calls).
   GcPolicy gc;
   bool gc_after_cycle = true;
+  // Shared metrics registry for the autopilot time series (drift signal
+  // gauges, poll/trigger/cycle counters); null = not exported.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  // Watchdog the poll thread registers a (non-critical) heartbeat with;
+  // null = no liveness tracking. The heartbeat refreshes around the trainer
+  // call, so a multi-minute cycle reads as at most `degraded`, never 503.
+  std::shared_ptr<obs::Watchdog> watchdog;
+  std::chrono::milliseconds poller_stall_after{60000};
 };
+
+// The autopilot's registry-owned metric families. register_autopilot_metrics
+// get-or-creates all of them (zero-valued) so /metrics serves the full
+// tcm_drift_*/tcm_autopilot_* surface from the first scrape, whether or not
+// a scheduler is running; the scheduler calls it too and receives the same
+// instruments to update.
+struct AutopilotMetrics {
+  obs::Gauge* signal_psi = nullptr;             // tcm_drift_signal{signal=...}
+  obs::Gauge* signal_ks = nullptr;
+  obs::Gauge* signal_failure_rate = nullptr;
+  obs::Gauge* signal_shadow_mape = nullptr;
+  obs::Gauge* signal_shadow_spearman = nullptr;
+  obs::Gauge* threshold_psi = nullptr;          // tcm_drift_threshold{signal=...}
+  obs::Gauge* threshold_ks = nullptr;
+  obs::Gauge* threshold_failure_rate = nullptr;
+  obs::Gauge* threshold_shadow_mape = nullptr;
+  obs::Gauge* threshold_shadow_spearman = nullptr;
+  obs::Gauge* reference_size = nullptr;         // tcm_drift_reference_size
+  obs::Gauge* window_size = nullptr;            // tcm_drift_window_size
+  obs::Gauge* drifted = nullptr;                // tcm_drift_drifted
+  obs::Counter* polls = nullptr;                // tcm_autopilot_polls_total
+  obs::Counter* triggers = nullptr;             // tcm_autopilot_triggers_total
+  obs::Counter* cycles_promoted = nullptr;      // tcm_autopilot_cycles_total{outcome=...}
+  obs::Counter* cycles_rejected = nullptr;
+  obs::Counter* cycle_failures = nullptr;       // tcm_autopilot_cycle_failures_total
+  obs::Counter* gc_removed = nullptr;           // tcm_autopilot_gc_removed_total
+
+  void update_drift(const serve::DriftReport& report) const;
+};
+
+AutopilotMetrics register_autopilot_metrics(obs::MetricsRegistry& registry);
 
 // One autopilot firing: what the monitor saw, what the cycle did, what the
 // collector removed.
@@ -97,6 +138,10 @@ class ContinualScheduler {
   serve::DriftReport last_report() const;     // most recent observation
   std::vector<SchedulerEvent> history() const;  // one entry per trigger
 
+  // "cycle" while a retraining cycle is in flight, else "idle"; the
+  // /debug/state scheduler phase.
+  const char* phase() const;
+
  private:
   void loop();
 
@@ -104,6 +149,7 @@ class ContinualScheduler {
   serve::PredictionService& service_;
   ContinualTrainer& trainer_;
   const ContinualSchedulerOptions options_;
+  AutopilotMetrics metrics_;  // all null when options_.metrics is null
 
   mutable std::mutex mu_;  // guards everything below + the monitor
   serve::DriftMonitor monitor_;

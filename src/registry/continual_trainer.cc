@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "model/dataset.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "sim/executor.h"
 #include "support/log.h"
@@ -60,8 +61,13 @@ CycleReport ContinualTrainer::run_cycle() {
   const ModelManifest incumbent_manifest = registry_.manifest(report.incumbent_version);
 
   // Cycles are rare and expensive, so trace every one (when tracing is on
-  // at all) rather than subjecting them to the request sampling rate.
-  const std::uint64_t cycle_trace = obs::Tracer::instance().force_request();
+  // at all) rather than subjecting them to the request sampling rate. A
+  // caller that already runs under a trace (the scheduler stamps one per
+  // trigger) keeps its id so drift events, cycle spans and promote events
+  // cross-reference.
+  const std::uint64_t inherited_trace = obs::current_trace_id();
+  const std::uint64_t cycle_trace =
+      inherited_trace != 0 ? inherited_trace : obs::Tracer::instance().force_request();
   obs::TraceContext trace_ctx(cycle_trace);
   obs::ScopedSpan cycle_span("cycle.run", cycle_trace);
 
@@ -184,6 +190,11 @@ CycleReport ContinualTrainer::run_cycle() {
     TCM_TRACE_SPAN("cycle.promote");
     registry_.promote(report.candidate_version);
     service_.swap_model(std::move(canary), report.candidate_version);
+    obs::EventLog::instance().emit(
+        "promote", "info",
+        "from=v" + std::to_string(report.incumbent_version) + " to=v" +
+            std::to_string(report.candidate_version) + " by=cycle",
+        cycle_trace);
     report.promoted = true;
     report.decision = "promoted: holdout MAPE " + std::to_string(report.candidate_holdout.mape) +
                       " vs incumbent " + std::to_string(report.incumbent_holdout.mape) +
@@ -195,8 +206,12 @@ CycleReport ContinualTrainer::run_cycle() {
 }
 
 int ContinualTrainer::rollback() {
+  const int from = registry_.active_version();
   const int restored = registry_.rollback();
   service_.swap_model(registry_.load(restored), restored);
+  obs::EventLog::instance().emit(
+      "rollback", "warn", "from=v" + std::to_string(from) + " to=v" + std::to_string(restored),
+      obs::current_trace_id());
   return restored;
 }
 

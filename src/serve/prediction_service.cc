@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "support/stats.h"
 
@@ -57,6 +58,10 @@ PredictionService::PredictionService(std::shared_ptr<model::SpeedupPredictor> pr
   batch_size_ = &metrics_->histogram("tcm_serve_batch_size",
                                      "Requests fused per inference batch.", "",
                                      obs::exponential_buckets(1.0, 2.0, 9));
+  queue_depth_ = &metrics_->gauge("tcm_serve_queue_depth",
+                                  "Requests waiting in the batching queue.");
+  cache_hit_ratio_ = &metrics_->gauge(
+      "tcm_serve_cache_hit_ratio", "Feature-cache hit ratio since start (0 before any lookup).");
   worker_states_.reserve(static_cast<std::size_t>(options.num_threads));
   for (int i = 0; i < options.num_threads; ++i)
     worker_states_.push_back(std::make_unique<WorkerState>());
@@ -76,10 +81,15 @@ PredictionService::~PredictionService() {
 void PredictionService::swap_model(std::shared_ptr<model::SpeedupPredictor> next, int version) {
   if (!next) throw std::invalid_argument("PredictionService: cannot swap in a null predictor");
   auto snapshot = std::make_shared<const ModelSnapshot>(ModelSnapshot{std::move(next), version});
+  int previous;
   {
     std::lock_guard<std::mutex> lock(model_mu_);
+    previous = model_->version;
     model_ = std::move(snapshot);  // old snapshot lives on in in-flight batches
   }
+  obs::EventLog::instance().emit(
+      "hot_swap", "info", "from=v" + std::to_string(previous) + " to=v" + std::to_string(version),
+      obs::current_trace_id());
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++model_swaps_;
 }
@@ -211,13 +221,27 @@ std::vector<double> PredictionService::predict_many(
 
 void PredictionService::worker_loop(int worker_index) {
   WorkerState& ws = *worker_states_[static_cast<std::size_t>(worker_index)];
+  obs::Watchdog::Handle heartbeat;
+  if (options_.watchdog)
+    heartbeat = options_.watchdog->register_thread(
+        "batch_worker_" + std::to_string(worker_index), options_.worker_stall_after,
+        /*critical=*/true);
   for (;;) {
-    std::vector<PendingRequest> batch = batcher_.next_batch();
-    if (batch.empty()) return;  // closed and drained
+    std::vector<PendingRequest> batch = batcher_.next_batch();  // idle while blocked
+    if (batch.empty()) break;  // closed and drained
+    if (options_.watchdog) options_.watchdog->set_busy(heartbeat, "run_batch");
     const std::size_t batch_size = batch.size();
     run_batch(std::move(batch), ws);
     batcher_.batch_done(batch_size);
+    // Point-in-time serving gauges, refreshed once per batch (two relaxed
+    // stores; far below the forward-pass cost).
+    queue_depth_->set(static_cast<double>(batcher_.pending()));
+    const std::uint64_t hits = cache_.hits(), misses = cache_.misses();
+    if (hits + misses > 0)
+      cache_hit_ratio_->set(static_cast<double>(hits) / static_cast<double>(hits + misses));
+    if (options_.watchdog) options_.watchdog->set_idle(heartbeat);
   }
+  if (options_.watchdog) options_.watchdog->unregister(heartbeat);
 }
 
 void PredictionService::score_batch(model::SpeedupPredictor& predictor,

@@ -50,7 +50,8 @@
 #include <vector>
 
 #include "model/cost_model.h"
-#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "serve/batcher.h"
 #include "serve/feature_cache.h"
 #include "serve/feedback_buffer.h"
@@ -82,6 +83,11 @@ struct ServeOptions {
   // Share one across the stack so /metrics renders everything in one pass;
   // when null the service creates a private registry (stats() still works).
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  // Watchdog the batch workers register heartbeats with (critical threads:
+  // a wedged worker flips /healthz to 503). Null = no liveness tracking.
+  std::shared_ptr<obs::Watchdog> watchdog;
+  // How long one batch may run before its worker counts as stalled.
+  std::chrono::milliseconds worker_stall_after{30000};
 };
 
 // Counter snapshot; all values are totals since construction.
@@ -255,6 +261,8 @@ class PredictionService {
   obs::Histogram* stage_infer_ = nullptr;
   obs::Histogram* stage_shadow_ = nullptr;
   obs::Histogram* batch_size_ = nullptr;       // tcm_serve_batch_size
+  obs::Gauge* queue_depth_ = nullptr;          // tcm_serve_queue_depth
+  obs::Gauge* cache_hit_ratio_ = nullptr;      // tcm_serve_cache_hit_ratio
 
   mutable std::mutex stats_mu_;
   // Ring of recent incumbent predictions for drift detection.

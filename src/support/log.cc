@@ -22,6 +22,42 @@ std::atomic<LogLevel> g_level{LogLevel::Info};
 std::atomic<LogSink> g_sink{nullptr};
 std::mutex g_mutex;
 
+// Token bucket for Warn/Error; guarded by its own mutex so the (rare)
+// limiter bookkeeping never serializes against the stderr write.
+struct RateLimiter {
+  std::mutex mu;
+  double rate = 64.0;    // tokens per second
+  double burst = 256.0;  // bucket capacity; <= 0 disables
+  double tokens = 256.0;
+  std::chrono::steady_clock::time_point last = std::chrono::steady_clock::now();
+  std::uint64_t pending_suppressed = 0;  // dropped since the last passing line
+};
+RateLimiter g_rate;
+std::atomic<std::uint64_t> g_suppressed_total{0};
+
+// Returns false when the line must be dropped; on pass, *suppressed gets the
+// number of drops this line should report (0 almost always).
+bool rate_limit_admit(std::uint64_t* suppressed) {
+  std::lock_guard<std::mutex> lock(g_rate.mu);
+  if (g_rate.burst <= 0) {
+    *suppressed = 0;
+    return true;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  g_rate.tokens += std::chrono::duration<double>(now - g_rate.last).count() * g_rate.rate;
+  if (g_rate.tokens > g_rate.burst) g_rate.tokens = g_rate.burst;
+  g_rate.last = now;
+  if (g_rate.tokens < 1.0) {
+    ++g_rate.pending_suppressed;
+    g_suppressed_total.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  g_rate.tokens -= 1.0;
+  *suppressed = g_rate.pending_suppressed;
+  g_rate.pending_suppressed = 0;
+  return true;
+}
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::Debug: return "DEBUG";
@@ -96,9 +132,27 @@ std::string format_log_line(LogLevel level, const std::string& msg) {
 
 void set_log_sink(LogSink sink) { g_sink.store(sink); }
 
+void set_log_rate_limit(double lines_per_sec, double burst) {
+  std::lock_guard<std::mutex> lock(g_rate.mu);
+  g_rate.rate = lines_per_sec;
+  g_rate.burst = burst;
+  g_rate.tokens = burst;
+  g_rate.last = std::chrono::steady_clock::now();
+}
+
+std::uint64_t log_suppressed_total() {
+  return g_suppressed_total.load(std::memory_order_relaxed);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  const std::string line = format_log_line(level, msg);
+  std::string body = msg;
+  if (level == LogLevel::Warn || level == LogLevel::Error) {
+    std::uint64_t suppressed = 0;
+    if (!rate_limit_admit(&suppressed)) return;
+    if (suppressed > 0) body += " suppressed=" + std::to_string(suppressed);
+  }
+  const std::string line = format_log_line(level, body);
   if (LogSink sink = g_sink.load()) {
     sink(level, line);
     return;

@@ -43,6 +43,18 @@ std::uint64_t os_thread_id();
 // timestamp/level/tid prefix).
 void log_message(LogLevel level, const std::string& msg);
 
+// Token-bucket rate limit applied to Warn/Error lines only (Info/Debug are
+// already gated by the level threshold; Warn/Error are the levels a wedged
+// dependency can emit at serve rates). A line that passes while earlier
+// lines were dropped carries a ` suppressed=N` trailer. `burst` caps how
+// many lines may pass back-to-back; `lines_per_sec` is the refill rate.
+// burst <= 0 disables limiting. Reconfiguring refills the bucket but keeps
+// the pending suppressed count. Defaults: burst 256, 64 lines/sec.
+void set_log_rate_limit(double lines_per_sec, double burst);
+
+// Total Warn/Error lines dropped by the rate limiter since process start.
+std::uint64_t log_suppressed_total();
+
 // Test hook: when set, formatted lines go to the sink instead of stderr.
 // Pass nullptr to restore stderr. Not for production use.
 using LogSink = void (*)(LogLevel level, const std::string& formatted_line);

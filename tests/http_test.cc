@@ -9,6 +9,8 @@
 #include <atomic>
 #include <filesystem>
 #include <future>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,7 +22,9 @@
 #include "api/wire.h"
 #include "datagen/generator.h"
 #include "model/cost_model.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "registry/model_registry.h"
 
 namespace fs = std::filesystem;
@@ -71,7 +75,8 @@ Stack make_stack(const std::string& name, int versions = 1,
   http_options.port = 0;  // ephemeral
   Stack stack;
   stack.service = svc.take();
-  http_options.metrics = stack.service->metrics();  // as tcm_serve wires it
+  http_options.metrics = stack.service->metrics();    // as tcm_serve wires it
+  http_options.watchdog = stack.service->watchdog();  // one watchdog for /healthz
   stack.server = std::make_unique<HttpServer>(http_options);
   bind_routes(*stack.server, *stack.service);
   const Status started = stack.server->start();
@@ -223,6 +228,156 @@ TEST(Http, MetricsExposition) {
   EXPECT_NE(metrics->body.find(
                 "tcm_http_requests_total{route=\"/v1/predict\",method=\"POST\",code=\"2xx\"} 1"),
             std::string::npos);
+
+  stack.server->stop();
+}
+
+TEST(Http, MetricsContentTypeAndOneTypeLinePerFamily) {
+  Stack stack = make_stack("ctype");
+  HttpClient client("127.0.0.1", stack.port());
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(61);
+  const ir::Program program = gen.generate(1);
+  ASSERT_TRUE(client.post("/v1/predict",
+                          predict_body(program, sgen.generate(program, rng)).dump())
+                  .ok());
+
+  Result<HttpResponse> metrics = client.get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  // The exact Prometheus text exposition content type.
+  EXPECT_EQ(metrics->content_type.rfind("text/plain; version=0.0.4", 0), 0u)
+      << metrics->content_type;
+
+  // Exactly one # TYPE line per family across all three sources of the
+  // render (snapshot, wire counters, instrument registry).
+  std::set<std::string> typed;
+  std::istringstream lines(metrics->body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    const std::string name = line.substr(7, line.find(' ', 7) - 7);
+    EXPECT_TRUE(typed.insert(name).second) << "duplicate TYPE for " << name;
+  }
+  // Families that now render out of the instrument registry still show up
+  // exactly once next to the snapshot-rendered ones.
+  for (const char* family :
+       {"tcm_serve_requests_total", "tcm_drift_signal", "tcm_autopilot_polls_total",
+        "tcm_serve_queue_depth", "tcm_process_resident_memory_bytes", "tcm_build_info",
+        "tcm_http_requests_total"})
+    EXPECT_TRUE(typed.count(family)) << "missing TYPE for " << family;
+
+  stack.server->stop();
+}
+
+TEST(Http, HealthzFollowsWatchdogDegradedThenUnhealthy) {
+  Stack stack = make_stack("watchdog");
+  HttpClient client("127.0.0.1", stack.port());
+  ASSERT_EQ(client.get("/healthz")->status, 200);
+
+  // Wedge a fake non-critical background thread: register a heartbeat on the
+  // service's watchdog, mark it busy, and let it age past its threshold.
+  obs::Watchdog& dog = *stack.service->watchdog();
+  const obs::Watchdog::Handle poller =
+      dog.register_thread("fake_poller", std::chrono::milliseconds(10), /*critical=*/false);
+  dog.set_busy(poller, "poll");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Result<HttpResponse> degraded = client.get("/healthz");
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded->status, 200);  // non-critical: keep routing traffic
+  Result<Json> dj = Json::parse(degraded->body);
+  ASSERT_TRUE(dj.ok());
+  EXPECT_EQ(dj->find("status")->as_string(), "degraded");
+  ASSERT_NE(dj->find("reason"), nullptr);
+  EXPECT_NE(dj->find("reason")->as_string().find("fake_poller"), std::string::npos);
+
+  // Now a wedged *critical* worker: 503 with the named stall.
+  const obs::Watchdog::Handle worker =
+      dog.register_thread("fake_batch_worker", std::chrono::milliseconds(10), /*critical=*/true);
+  dog.set_busy(worker, "run_batch");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Result<HttpResponse> unhealthy = client.get("/healthz");
+  ASSERT_TRUE(unhealthy.ok());
+  EXPECT_EQ(unhealthy->status, 503);
+  Result<Json> uj = Json::parse(unhealthy->body);
+  ASSERT_TRUE(uj.ok());
+  EXPECT_EQ(uj->find("status")->as_string(), "unhealthy");
+  EXPECT_NE(uj->find("reason")->as_string().find("fake_batch_worker"), std::string::npos);
+  EXPECT_NE(uj->find("reason")->as_string().find("run_batch"), std::string::npos);
+  const Json* stalled = uj->find("stalled_threads");
+  ASSERT_NE(stalled, nullptr);
+  bool named = false;
+  for (const Json& t : stalled->as_array())
+    if (t.as_string() == "fake_batch_worker") named = true;
+  EXPECT_TRUE(named);
+
+  // Recovery: the wedged threads go away, readiness returns.
+  dog.unregister(poller);
+  dog.unregister(worker);
+  Result<HttpResponse> recovered = client.get("/healthz");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->status, 200);
+  EXPECT_EQ(Json::parse(recovered->body)->find("status")->as_string(), "serving");
+
+  stack.server->stop();
+}
+
+TEST(Http, DebugStateAndEventsAreValidJson) {
+  obs::EventLog::instance().set_capacity(512);  // reset the singleton ring
+  Stack stack = make_stack("debug", /*versions=*/2);
+  HttpClient client("127.0.0.1", stack.port());
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  datagen::RandomScheduleGenerator sgen;
+  Rng rng(71);
+  const ir::Program program = gen.generate(3);
+  ASSERT_TRUE(client.post("/v1/predict",
+                          predict_body(program, sgen.generate(program, rng)).dump())
+                  .ok());
+  ASSERT_EQ(client.post("/v1/models/promote", R"({"version":2})")->status, 200);
+
+  Result<HttpResponse> state = client.get("/debug/state");
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->status, 200);
+  Result<Json> sj = Json::parse(state->body);
+  ASSERT_TRUE(sj.ok()) << state->body.substr(0, 300);
+  const Json* registry = sj->find("registry");
+  ASSERT_NE(registry, nullptr);
+  EXPECT_EQ(registry->find("active")->as_int(), 2);
+  EXPECT_EQ(registry->find("versions")->as_array().size(), 2u);
+  ASSERT_NE(registry->find("active_lineage"), nullptr);
+  EXPECT_EQ(registry->find("active_lineage")->as_array()[0].as_int(), 2);
+  const Json* serving = sj->find("serving");
+  ASSERT_NE(serving, nullptr);
+  EXPECT_GE(serving->find("requests")->as_int(), 1);
+  ASSERT_NE(serving->find("cache"), nullptr);
+  EXPECT_EQ(sj->find("autopilot")->find("enabled")->as_bool(), false);
+  const Json* watchdog = sj->find("watchdog");
+  ASSERT_NE(watchdog, nullptr);
+  EXPECT_EQ(watchdog->find("health")->as_string(), "healthy");
+  // Batch workers and the HTTP acceptor/workers all heartbeat here.
+  EXPECT_GE(watchdog->find("threads")->as_array().size(), 3u);
+  ASSERT_NE(sj->find("events"), nullptr);
+  EXPECT_GE(sj->find("events")->find("emitted")->as_int(), 1);
+
+  // The flight recorder saw the promote (and the hot swap it caused).
+  Result<HttpResponse> events = client.get("/debug/events");
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->status, 200);
+  Result<Json> ej = Json::parse(events->body);
+  ASSERT_TRUE(ej.ok()) << events->body.substr(0, 300);
+  bool saw_promote = false, saw_swap = false;
+  for (const Json& e : ej->find("events")->as_array()) {
+    const std::string type = e.find("type")->as_string();
+    if (type == "promote" &&
+        e.find("detail")->as_string().find("to=v2") != std::string::npos)
+      saw_promote = true;
+    if (type == "hot_swap") saw_swap = true;
+  }
+  EXPECT_TRUE(saw_promote);
+  EXPECT_TRUE(saw_swap);
 
   stack.server->stop();
 }

@@ -18,14 +18,23 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+
 #include "api/json.h"
 #include "api/metrics.h"
 #include "api/service.h"
 #include "datagen/generator.h"
 #include "model/cost_model.h"
 #include "model/featurize.h"
-#include "obs/histogram.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/process.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "registry/model_registry.h"
 #include "support/log.h"
 
@@ -102,6 +111,272 @@ TEST(MetricsRegistry, RendersFamiliesOnceAndGetOrCreates) {
   EXPECT_NE(text.find("fam_bucket{stage=\"x\",le=\"1\"} 1"), std::string::npos);
   EXPECT_NE(text.find("fam_bucket{stage=\"y\",le=\"+Inf\"} 0"), std::string::npos);
   EXPECT_NE(text.find("fam_count{stage=\"x\"} 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, and the unified render
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterAndGaugeGetOrCreateAndRender) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("hits_total", "hits", "route=\"/a\"");
+  EXPECT_EQ(&c, &reg.counter("hits_total", "hits", "route=\"/a\""));
+  obs::Counter& c2 = reg.counter("hits_total", "hits", "route=\"/b\"");
+  EXPECT_NE(&c, &c2);
+  c.inc();
+  c.inc(41);
+  c2.inc();
+  obs::Gauge& g = reg.gauge("depth", "queue depth");
+  g.set(7.5);
+  g.add(-0.5);
+  reg.gauge_callback("uptime", "seconds", "", [] { return 3.0; });
+
+  const std::string text = reg.render_prometheus();
+  // One preamble for the two-member counter family.
+  EXPECT_EQ(text.find("# TYPE hits_total counter"), text.rfind("# TYPE hits_total counter"));
+  EXPECT_NE(text.find("hits_total{route=\"/a\"} 42"), std::string::npos);
+  EXPECT_NE(text.find("hits_total{route=\"/b\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth 7"), std::string::npos);
+  EXPECT_NE(text.find("uptime 3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CrossKindFamilyRegistrationThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("fam_total", "a counter");
+  EXPECT_THROW(reg.gauge("fam_total", "now a gauge?"), std::logic_error);
+  EXPECT_THROW(reg.histogram("fam_total", "now a histogram?", "", {1.0}), std::logic_error);
+  // A plain gauge and a callback gauge may share a family (both render as
+  // the one gauge TYPE).
+  reg.gauge("g", "plain", "kind=\"a\"");
+  reg.gauge_callback("g", "plain", "kind=\"b\"", [] { return 1.0; });
+  const std::string text = reg.render_prometheus();
+  EXPECT_EQ(text.find("# TYPE g gauge"), text.rfind("# TYPE g gauge"));
+}
+
+TEST(MetricsRegistry, ConcurrentCounterIncLosesNothing) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("n_total", "n");
+  constexpr int kThreads = 8, kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, EmittedFamiliesSetDedupesPreamblesAcrossSources) {
+  obs::MetricsRegistry reg;
+  reg.counter("shared_total", "registry side").inc();
+  std::set<std::string> seen;
+  seen.insert("shared_total");  // the hand-rendered source already emitted it
+  const std::string text = reg.render_prometheus(&seen);
+  EXPECT_EQ(text.find("# TYPE shared_total"), std::string::npos);
+  EXPECT_NE(text.find("shared_total 1"), std::string::npos);
+  // And the registry records what *it* emitted for later sources.
+  reg.gauge("fresh", "registry-only").set(2);
+  std::set<std::string> seen2;
+  (void)reg.render_prometheus(&seen2);
+  EXPECT_TRUE(seen2.count("fresh"));
+}
+
+// ---------------------------------------------------------------------------
+// EventLog flight recorder
+// ---------------------------------------------------------------------------
+
+// The EventLog is a process-global singleton; reset it around each test.
+struct EventLogGuard {
+  EventLogGuard() { obs::EventLog::instance().set_capacity(512); }
+  ~EventLogGuard() { obs::EventLog::instance().set_capacity(512); }
+};
+
+TEST(EventLog, RingWrapsKeepingNewestInOrder) {
+  EventLogGuard guard;
+  obs::EventLog& log = obs::EventLog::instance();
+  log.set_capacity(8);
+  for (int i = 1; i <= 20; ++i)
+    log.emit("tick", "info", "n=" + std::to_string(i), static_cast<std::uint64_t>(i));
+  EXPECT_EQ(log.total_emitted(), 20u);
+  const std::vector<obs::Event> events = log.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, newest 8 survive, seq strictly ascending.
+  EXPECT_EQ(events.front().detail, "n=13");
+  EXPECT_EQ(events.back().detail, "n=20");
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  EXPECT_EQ(events.back().trace_id, 20u);
+  EXPECT_STREQ(events.back().type, "tick");
+}
+
+TEST(EventLog, ConcurrentEmittersProduceDenseSequence) {
+  EventLogGuard guard;
+  obs::EventLog& log = obs::EventLog::instance();
+  log.set_capacity(4096);
+  constexpr int kThreads = 8, kPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        log.emit("burst", "info", "t=" + std::to_string(t));
+    });
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(log.total_emitted(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const std::vector<obs::Event> events = log.events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1) << "gap at " << i;
+}
+
+TEST(EventLog, RenderJsonParsesAndCarriesTheSequence) {
+  EventLogGuard guard;
+  obs::EventLog& log = obs::EventLog::instance();
+  log.set_capacity(64);
+  // The canonical autopilot lifecycle, threaded by one trace id.
+  log.emit("drift_trigger", "warn", "reason=\"psi over threshold\" psi=0.31/0.25", 99);
+  log.emit("cycle_start", "info", "incumbent=v3", 99);
+  log.emit("cycle_finish", "info", "candidate=v4 promoted=1", 99);
+  log.emit("promote", "info", "from=v3 to=v4 by=cycle", 99);
+
+  const std::string json = log.render_json();
+  api::Result<api::Json> doc = api::Json::parse(json);
+  ASSERT_TRUE(doc.ok()) << json;
+  EXPECT_EQ(doc->find("emitted")->as_int(), 4);
+  EXPECT_EQ(doc->find("dropped")->as_int(), 0);
+  const api::Json* events = doc->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 4u);
+  const std::vector<std::string> expected = {"drift_trigger", "cycle_start", "cycle_finish",
+                                             "promote"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const api::Json& e = events->as_array()[i];
+    EXPECT_EQ(e.find("type")->as_string(), expected[i]);
+    EXPECT_EQ(e.find("trace_id")->as_int(), 99);
+    ASSERT_NE(e.find("wall_ms"), nullptr);
+  }
+  // Escaping: the quoted reason string survived as JSON.
+  EXPECT_EQ(events->as_array()[0].find("detail")->as_string(),
+            "reason=\"psi over threshold\" psi=0.31/0.25");
+}
+
+TEST(EventLog, DumpToFdWritesParseableJson) {
+  EventLogGuard guard;
+  obs::EventLog& log = obs::EventLog::instance();
+  log.set_capacity(16);
+  log.emit("drift_trigger", "warn", "reason=\"ks \\ fired\"", 7);
+  log.emit("cycle_fail", "error", std::string("boom\nnewline\tand control\x01chars"), 7);
+
+  const fs::path path = fs::path(::testing::TempDir()) / "tcm_obs_flight.json";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  log.dump_to_fd(fd);
+  ::close(fd);
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  api::Result<api::Json> doc = api::Json::parse(buf.str());
+  ASSERT_TRUE(doc.ok()) << buf.str();
+  EXPECT_EQ(doc->find("emitted")->as_int(), 2);
+  const api::Json* events = doc->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->as_array().size(), 2u);
+  EXPECT_EQ(events->as_array()[0].find("type")->as_string(), "drift_trigger");
+  EXPECT_EQ(events->as_array()[1].find("severity")->as_string(), "error");
+  // Control characters were replaced, not emitted raw.
+  const std::string detail = events->as_array()[1].find("detail")->as_string();
+  for (char c : detail) EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << detail;
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog (fake clock: stall detection without sleeping)
+// ---------------------------------------------------------------------------
+
+std::atomic<std::uint64_t> g_fake_now_ns{0};
+std::uint64_t fake_now() { return g_fake_now_ns.load(std::memory_order_relaxed); }
+
+TEST(Watchdog, BusyThreadStallsIdleThreadNever) {
+  g_fake_now_ns.store(0);
+  obs::Watchdog dog(&fake_now);
+  const obs::Watchdog::Handle worker =
+      dog.register_thread("batch_worker_0", std::chrono::milliseconds(100), /*critical=*/true);
+  const obs::Watchdog::Handle poller =
+      dog.register_thread("autopilot_poller", std::chrono::milliseconds(100), /*critical=*/false);
+  EXPECT_EQ(dog.registered_threads(), 2u);
+
+  // Both idle: any age is fine.
+  g_fake_now_ns.store(10'000'000'000ull);  // +10s
+  EXPECT_EQ(dog.report().health, obs::Watchdog::Health::kHealthy);
+
+  // Busy inside the window: healthy.
+  dog.set_busy(worker, "run_batch");
+  g_fake_now_ns.fetch_add(50'000'000ull);  // +50ms
+  EXPECT_EQ(dog.report().health, obs::Watchdog::Health::kHealthy);
+
+  // Busy past the window: a critical stall is unhealthy, with the reason.
+  g_fake_now_ns.fetch_add(200'000'000ull);  // +200ms
+  obs::Watchdog::Report report = dog.report();
+  EXPECT_EQ(report.health, obs::Watchdog::Health::kUnhealthy);
+  EXPECT_NE(report.reason.find("batch_worker_0"), std::string::npos);
+  EXPECT_NE(report.reason.find("run_batch"), std::string::npos);
+  ASSERT_EQ(report.threads.size(), 2u);
+  EXPECT_TRUE(report.threads[0].stalled);
+  EXPECT_FALSE(report.threads[1].stalled);  // idle never stalls
+
+  // A beat recovers it.
+  dog.beat(worker);
+  EXPECT_EQ(dog.report().health, obs::Watchdog::Health::kHealthy);
+
+  // A stalled non-critical thread only degrades.
+  dog.set_idle(worker);
+  dog.set_busy(poller, "poll");
+  g_fake_now_ns.fetch_add(200'000'000ull);
+  report = dog.report();
+  EXPECT_EQ(report.health, obs::Watchdog::Health::kDegraded);
+  EXPECT_NE(report.reason.find("autopilot_poller"), std::string::npos);
+
+  // Unregistered threads leave the report entirely.
+  dog.unregister(poller);
+  report = dog.report();
+  EXPECT_EQ(report.health, obs::Watchdog::Health::kHealthy);
+  EXPECT_EQ(report.threads.size(), 1u);
+  EXPECT_EQ(dog.registered_threads(), 1u);
+}
+
+TEST(Watchdog, InvalidHandleIsANoOp) {
+  obs::Watchdog dog;
+  obs::Watchdog::Handle none;
+  EXPECT_FALSE(none.valid());
+  dog.beat(none);
+  dog.set_busy(none, "x");
+  dog.set_idle(none);
+  dog.unregister(none);
+  EXPECT_EQ(dog.report().health, obs::Watchdog::Health::kHealthy);
+}
+
+// ---------------------------------------------------------------------------
+// Process self-metrics
+// ---------------------------------------------------------------------------
+
+TEST(ProcessMetrics, ReadsProcAndRegistersFamilies) {
+#ifdef __linux__
+  const obs::ProcessStats stats = obs::read_process_stats();
+  EXPECT_GT(stats.resident_bytes, 0u);
+  EXPECT_GT(stats.virtual_bytes, stats.resident_bytes / 2);
+  EXPECT_GT(stats.open_fds, 0u);
+  EXPECT_GE(stats.threads, 1u);
+  EXPECT_GE(stats.uptime_seconds, 0.0);
+#endif
+  obs::MetricsRegistry reg;
+  obs::register_process_metrics(reg);
+  const std::string text = reg.render_prometheus();
+  for (const char* family :
+       {"tcm_process_resident_memory_bytes", "tcm_process_open_fds", "tcm_process_threads",
+        "tcm_process_uptime_seconds", "tcm_build_info"})
+    EXPECT_NE(text.find(std::string("# TYPE ") + family + " gauge"), std::string::npos)
+        << family;
+  EXPECT_NE(text.find("tcm_build_info{"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -401,6 +676,21 @@ TEST(Exposition, FullMetricsRenderPassesFormatLint) {
 
   // The e2e latency histogram saw all 8 predictions.
   EXPECT_NE(text.find("tcm_serve_latency_seconds_count 8\n"), std::string::npos);
+
+  // The registry-owned families are part of the surface from the first
+  // scrape — drift signals and autopilot counters even without --autopilot,
+  // queue/cache gauges, process self-metrics, build info.
+  for (const char* family :
+       {"tcm_drift_signal", "tcm_drift_threshold", "tcm_drift_drifted",
+        "tcm_autopilot_polls_total", "tcm_autopilot_triggers_total",
+        "tcm_autopilot_cycles_total", "tcm_autopilot_cycle_failures_total",
+        "tcm_autopilot_gc_removed_total", "tcm_serve_queue_depth", "tcm_serve_cache_hit_ratio",
+        "tcm_process_resident_memory_bytes", "tcm_process_open_fds", "tcm_build_info"})
+    EXPECT_TRUE(typed.count(family)) << "no TYPE line for " << family;
+  EXPECT_NE(text.find("tcm_drift_signal{signal=\"psi\"}"), std::string::npos);
+  EXPECT_NE(text.find("tcm_autopilot_cycles_total{outcome=\"promoted\"}"), std::string::npos);
+  // The per-batch gauges were set by the workers that served the request.
+  EXPECT_NE(text.find("tcm_serve_cache_hit_ratio"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -455,6 +745,40 @@ TEST(Log, ParseLogLevelAndEnvInit) {
   init_log_level_from_env();          // unparsable: level unchanged
   EXPECT_EQ(log_level(), LogLevel::Error);
   ::unsetenv("TCM_LOG_LEVEL");
+  set_log_level(before);
+}
+
+TEST(Log, RateLimitSuppressesFloodsAndReportsOnNextPass) {
+  captured_lines().clear();
+  set_log_sink(&capture_sink);
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Info);
+  // rate 0 = no refill: exactly `burst` lines pass, deterministically.
+  set_log_rate_limit(/*lines_per_sec=*/0.0, /*burst=*/3.0);
+  const std::uint64_t suppressed_before = log_suppressed_total();
+  for (int i = 0; i < 10; ++i) log_warn() << "flood " << i;
+  EXPECT_EQ(captured_lines().size(), 3u);
+  EXPECT_EQ(log_suppressed_total() - suppressed_before, 7u);
+
+  // Info/debug lines bypass the limiter entirely.
+  log_info() << "not limited";
+  EXPECT_EQ(captured_lines().size(), 4u);
+
+  // Reconfiguring refills the bucket but keeps the pending count: the next
+  // admitted WARN carries the suppressed=N trailer.
+  set_log_rate_limit(64.0, 256.0);
+  log_warn() << "after the flood";
+  ASSERT_EQ(captured_lines().size(), 5u);
+  EXPECT_NE(captured_lines().back().find("after the flood suppressed=7"), std::string::npos)
+      << captured_lines().back();
+
+  // burst <= 0 disables the limiter.
+  set_log_rate_limit(0.0, 0.0);
+  for (int i = 0; i < 5; ++i) log_error() << "unlimited " << i;
+  EXPECT_EQ(captured_lines().size(), 10u);
+
+  set_log_rate_limit(64.0, 256.0);  // restore defaults
+  set_log_sink(nullptr);
   set_log_level(before);
 }
 
