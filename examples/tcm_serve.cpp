@@ -29,6 +29,16 @@
 //                        defaults --trace-sample to 1 when unset)
 //   --slow-ms N          log a WARN line for requests slower than N ms
 //                        (default 1000; 0 disables)
+//   --admission-cap N    bound the batching queue at N requests; overload is
+//                        shed with 429 + Retry-After and the degradation
+//                        ladder engages under pressure (default 0 = off)
+//   --default-deadline-ms N   server-side default request deadline; expired
+//                        requests are shed with 504 (default 0 = none;
+//                        clients tighten per request via X-Deadline-Ms)
+//   --failpoints SPEC    arm fault-injection sites, e.g.
+//                        'registry.promote=crash;infer.throw=2*error'
+//                        (needs a -DTCM_FAILPOINTS=ON build; the
+//                        TCM_FAILPOINTS env var works too)
 //   --flight-recorder-out FILE   dump the event-log flight recorder (the
 //                        /debug/events JSON) to FILE on shutdown — and, via
 //                        an async-signal-safe path, on a fatal signal
@@ -54,6 +64,7 @@
 #include "model/train.h"
 #include "obs/event_log.h"
 #include "obs/trace.h"
+#include "support/failpoint.h"
 #include "support/log.h"
 
 using namespace tcm;
@@ -136,6 +147,9 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string flight_recorder_out;
   int slow_ms = 1000;
+  int admission_cap = 0;
+  int default_deadline_ms = 0;
+  std::string failpoints;
 
   init_log_level_from_env();  // TCM_LOG_LEVEL; an explicit flag overrides
   for (int i = 1; i < argc; ++i) {
@@ -163,6 +177,10 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out" && i + 1 < argc) trace_out = argv[++i];
     else if (arg == "--flight-recorder-out" && i + 1 < argc) flight_recorder_out = argv[++i];
     else if (arg == "--slow-ms" && i + 1 < argc) slow_ms = std::atoi(argv[++i]);
+    else if (arg == "--admission-cap" && i + 1 < argc) admission_cap = std::atoi(argv[++i]);
+    else if (arg == "--default-deadline-ms" && i + 1 < argc)
+      default_deadline_ms = std::atoi(argv[++i]);
+    else if (arg == "--failpoints" && i + 1 < argc) failpoints = argv[++i];
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -170,6 +188,24 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty() && trace_sample <= 0) trace_sample = 1.0;
   obs::Tracer::instance().set_sample_rate(trace_sample);
+
+  // Arm chaos sites before anything that contains one runs (bootstrap
+  // promotes through registry.promote). The env var path is always honored;
+  // an explicit --failpoints on a build without the sites is an operator
+  // error, not a silent no-op.
+  support::failpoint_arm_from_env();
+  if (!failpoints.empty()) {
+    if (!support::failpoints_compiled()) {
+      std::fprintf(stderr,
+                   "--failpoints requires a -DTCM_FAILPOINTS=ON build (sites are compiled out)\n");
+      return 2;
+    }
+    std::string error;
+    if (!support::failpoint_arm_spec(failpoints, &error)) {
+      std::fprintf(stderr, "invalid --failpoints spec: %s\n", error.c_str());
+      return 2;
+    }
+  }
 
   if (!flight_recorder_out.empty()) {
     if (flight_recorder_out.size() >= sizeof g_flight_recorder_path) {
@@ -195,6 +231,10 @@ int main(int argc, char** argv) {
   sopt.serve.num_threads = threads;
   sopt.serve.features = model::FeatureConfig::fast();
   sopt.serve.max_queue_latency = std::chrono::microseconds(500);
+  if (admission_cap > 0)
+    sopt.serve.admission_queue_cap = static_cast<std::size_t>(admission_cap);
+  if (default_deadline_ms > 0)
+    sopt.serve.default_deadline = std::chrono::milliseconds(default_deadline_ms);
   sopt.enable_autopilot = autopilot;
   if (autopilot) {
     sopt.trainer.data.num_programs = bootstrap_programs / 2 + 1;

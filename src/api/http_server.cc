@@ -15,6 +15,7 @@
 #include "api/json.h"
 #include "obs/event_log.h"
 #include "obs/trace.h"
+#include "support/failpoint.h"
 #include "support/log.h"
 
 namespace tcm::api {
@@ -34,6 +35,7 @@ std::string_view reason_phrase(int status) {
     case 408: return "Request Timeout";
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
@@ -57,6 +59,13 @@ std::string wire_error(int http, std::string_view code, std::string message) {
 }
 
 bool send_response(int fd, const HttpResponse& response, bool keep_alive) {
+  // Chaos site: delay simulates a slow/cut client link; an error action
+  // drops the connection (returns false) instead of failing the process.
+  try {
+    TCM_FAILPOINT("http.slow_write");
+  } catch (...) {
+    return false;
+  }
   std::string head;
   head.reserve(128);
   head += "HTTP/1.1 ";

@@ -23,6 +23,22 @@ Result<Json> parse_body(const HttpRequest& request) {
   return Json::parse(request.body);
 }
 
+// Strict integer parse (optional sign, digits only); the header variant of
+// "reject, don't guess".
+bool parse_int_strict(const std::string& s, long long* out) {
+  if (s.empty()) return false;
+  std::size_t i = s[0] == '-' || s[0] == '+' ? 1 : 0;
+  if (i == s.size()) return false;
+  long long v = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    if (v > (std::numeric_limits<long long>::max() - 9) / 10) return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = s[0] == '-' ? -v : v;
+  return true;
+}
+
 }  // namespace
 
 void bind_routes(HttpServer& server, Service& service) {
@@ -42,10 +58,18 @@ void bind_routes(HttpServer& server, Service& service) {
     const char* status = "serving";
     if (report.health == obs::Watchdog::Health::kDegraded) status = "degraded";
     if (report.health == obs::Watchdog::Health::kUnhealthy) status = "unhealthy";
+    // Service-level degradation (an open autopilot circuit breaker) demotes
+    // a clean watchdog verdict but never beats "unhealthy".
+    const std::string degraded = svc->degraded_reason();
+    std::string reason = report.reason;
+    if (!degraded.empty()) {
+      if (report.health == obs::Watchdog::Health::kHealthy) status = "degraded";
+      reason = reason.empty() ? degraded : reason + "; " + degraded;
+    }
     j.set("status", Json(status));
     j.set("active_version", Json(static_cast<std::int64_t>(svc->active_version())));
-    if (!report.reason.empty()) {
-      j.set("reason", Json(report.reason));
+    if (!reason.empty()) {
+      j.set("reason", Json(reason));
       Json stalled = Json::array();
       for (const obs::Watchdog::ThreadReport& t : report.threads)
         if (t.stalled) stalled.push_back(Json(t.name));
@@ -126,13 +150,35 @@ void bind_routes(HttpServer& server, Service& service) {
     return HttpResponse::json(200, j.dump());
   });
 
-  server.route("POST", "/v1/predict", [svc](const HttpRequest& request) {
+  // Retry-After advertised on 429 responses, whole seconds rounded up from
+  // the admission policy (at least 1: "0" would invite an immediate retry
+  // into the same overload).
+  const long long retry_after_ms = service.options().serve.admission.retry_after.count();
+  const long long retry_after_s = retry_after_ms <= 0 ? 1 : (retry_after_ms + 999) / 1000;
+
+  server.route("POST", "/v1/predict", [svc, retry_after_s](const HttpRequest& request) {
     Result<Json> body = parse_body(request);
     if (!body.ok()) return error_response(body.status());
     Result<PredictRequest> decoded = predict_request_from_json(*body);
     if (!decoded.ok()) return error_response(decoded.status());
+    // X-Deadline-Ms: the client's remaining latency budget, relative because
+    // clocks differ across hosts. Converted to an absolute serving-clock
+    // deadline on arrival; a non-positive budget is already expired and
+    // sheds at submit with 504.
+    if (const std::string* budget = request.header("X-Deadline-Ms")) {
+      long long ms = 0;
+      if (!parse_int_strict(*budget, &ms))
+        return error_response(
+            Status::invalid_argument("X-Deadline-Ms: integer milliseconds required"));
+      decoded->deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    }
     Result<PredictResponse> response = svc->predict(*decoded);
-    if (!response.ok()) return error_response(response.status());
+    if (!response.ok()) {
+      HttpResponse http = error_response(response.status());
+      if (response.status().code() == StatusCode::kResourceExhausted)
+        http.headers.emplace_back("Retry-After", std::to_string(retry_after_s));
+      return http;
+    }
     return HttpResponse::json(200, to_json(*response).dump());
   });
 }

@@ -10,6 +10,7 @@
 #include "obs/event_log.h"
 #include "obs/process.h"
 #include "obs/trace.h"
+#include "support/failpoint.h"
 #include "support/log.h"
 
 namespace tcm::api {
@@ -125,7 +126,7 @@ Result<PredictResponse> Service::predict(const PredictRequest& request) {
     std::vector<std::future<serve::Prediction>> futures;
     futures.reserve(request.schedules.size());
     for (const transforms::Schedule& schedule : request.schedules)
-      futures.push_back(service_->submit(request.program, schedule));
+      futures.push_back(service_->submit(request.program, schedule, request.deadline));
     service_->flush();  // no tail request waits out the batching deadline
 
     PredictResponse response;
@@ -346,6 +347,8 @@ Json Service::debug_state() const {
   serving.set("p99_latency_seconds", Json(sstats.p99_latency));
   serving.set("model_swaps", Json(sstats.model_swaps));
   serving.set("shadow_version", Json(sstats.shadow_version));
+  serving.set("shed_requests", Json(sstats.shed_requests));
+  serving.set("degradation_level", Json(sstats.degradation_level));
   Json cache = Json::object();
   cache.set("hits", Json(sstats.cache_hits));
   cache.set("misses", Json(sstats.cache_misses));
@@ -369,6 +372,11 @@ Json Service::debug_state() const {
     for (const registry::SchedulerEvent& e : events)
       if (e.cycle_failed) ++failures;
     autopilot.set("cycle_failures", Json(failures));
+    Json breaker = Json::object();
+    breaker.set("state", Json(std::string(scheduler_->breaker_state())));
+    breaker.set("times_opened", Json(scheduler_->breaker_times_opened()));
+    breaker.set("consecutive_failures", Json(scheduler_->breaker_consecutive_failures()));
+    autopilot.set("breaker", std::move(breaker));
     const serve::DriftReport report = scheduler_->last_report();
     Json drift = Json::object();
     drift.set("psi", drift_signal_json(report.psi));
@@ -419,6 +427,16 @@ Json Service::debug_state() const {
   events.set("capacity",
              Json(static_cast<std::uint64_t>(obs::EventLog::instance().capacity())));
   state.set("events", std::move(events));
+
+  // Chaos state: whether the fault-injection sites are compiled in and what
+  // is currently armed — an operator reading a sick replica's debug dump
+  // must be able to tell injected faults from real ones at a glance.
+  Json failpoints = Json::object();
+  failpoints.set("compiled", Json(support::failpoints_compiled()));
+  Json armed = Json::array();
+  for (const std::string& site : support::failpoint_armed()) armed.push_back(Json(site));
+  failpoints.set("armed", std::move(armed));
+  state.set("failpoints", std::move(failpoints));
   return state;
 }
 
@@ -426,6 +444,11 @@ Status Service::healthy() const {
   if (shut_down_.load(std::memory_order_acquire))
     return Status::unavailable("service is shut down");
   return Status();
+}
+
+std::string Service::degraded_reason() const {
+  if (scheduler_ && scheduler_->breaker_open()) return "autopilot circuit breaker open";
+  return {};
 }
 
 Status Service::quiesce() {

@@ -129,6 +129,12 @@ class Service {
   // OK while serving; UNAVAILABLE after shutdown().
   Status healthy() const;
 
+  // Non-fatal degradation detail for /healthz: empty while fully healthy,
+  // e.g. "autopilot circuit breaker open" while the cycle breaker cools
+  // down. Serving keeps answering (the endpoint stays 200, status
+  // "degraded") — this is operator signal, not readiness.
+  std::string degraded_reason() const;
+
   // Drains in-flight work and persists the feedback reservoir (when
   // configured). Serving continues afterwards.
   Status quiesce();

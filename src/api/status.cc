@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "serve/errors.h"
+
 namespace tcm::api {
 
 std::string_view status_code_name(StatusCode code) {
@@ -25,7 +27,7 @@ int http_status(StatusCode code) {
     case StatusCode::kInvalidArgument: return 400;
     case StatusCode::kNotFound: return 404;
     case StatusCode::kFailedPrecondition: return 409;
-    case StatusCode::kResourceExhausted: return 413;
+    case StatusCode::kResourceExhausted: return 429;
     case StatusCode::kUnimplemented: return 501;
     case StatusCode::kUnavailable: return 503;
     case StatusCode::kDeadlineExceeded: return 504;
@@ -49,6 +51,12 @@ Status status_from_exception(const std::exception& e) {
     return Status::invalid_argument(e.what());
   if (dynamic_cast<const std::out_of_range*>(&e) != nullptr)
     return Status::invalid_argument(e.what());
+  // The serving shed errors derive from runtime_error; match them before the
+  // generic branch folds them into FAILED_PRECONDITION.
+  if (dynamic_cast<const serve::DeadlineExceededError*>(&e) != nullptr)
+    return Status(StatusCode::kDeadlineExceeded, e.what());
+  if (dynamic_cast<const serve::AdmissionRejectedError*>(&e) != nullptr)
+    return Status(StatusCode::kResourceExhausted, e.what());
   if (dynamic_cast<const std::runtime_error*>(&e) != nullptr)
     return Status::failed_precondition(e.what());
   return Status::internal(e.what());

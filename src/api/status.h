@@ -17,10 +17,12 @@
 //   kInvalidArgument    400  malformed request/program/schedule/JSON
 //   kNotFound           404  unknown route or model version
 //   kFailedPrecondition 409  corrupt checkpoint, empty registry, no rollback
-//   kResourceExhausted  413  request body over the configured limit
+//   kResourceExhausted  429  load shed by admission control (Retry-After
+//                            set; oversized request bodies are rejected
+//                            with a transport-level 413 before parsing)
 //   kUnimplemented      501  method not supported on this route
 //   kUnavailable        503  service shutting down / not yet serving
-//   kDeadlineExceeded   504  I/O timeout
+//   kDeadlineExceeded   504  request deadline expired before inference
 //   kInternal           500  everything that escaped classification
 #pragma once
 

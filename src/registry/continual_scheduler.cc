@@ -94,6 +94,7 @@ ContinualScheduler::ContinualScheduler(ModelRegistry& registry,
       service_(service),
       trainer_(trainer),
       options_(std::move(options)),
+      breaker_(options_.breaker),
       monitor_(options_.drift) {
   if (options_.metrics) metrics_ = register_autopilot_metrics(*options_.metrics);
 }
@@ -176,6 +177,17 @@ bool ContinualScheduler::poll_once() {
       log_debug() << "[autopilot] drift (" << report.reason << ") inside cycle cooldown, skipping";
       return false;
     }
+    // Breaker check last: in the half-open state allow() consumes the single
+    // probe slot, so it must only run once every other gate has passed.
+    if (!breaker_.allow()) {
+      obs::EventLog::instance().emit(
+          "cycle_skip", "warn",
+          "circuit breaker open, dropping drift trigger (reason=\"" + report.reason + "\")",
+          obs::current_trace_id());
+      log_debug() << "[autopilot] drift (" << report.reason
+                  << ") but cycle circuit breaker is open, skipping";
+      return false;
+    }
     cycle_in_flight_ = true;
     event.drift = report;
   }
@@ -210,6 +222,25 @@ bool ContinualScheduler::poll_once() {
     obs::EventLog::instance().emit("cycle_fail", "error",
                                    "error=\"" + event.error + '"', cycle_trace);
     log_warn() << "[autopilot] cycle failed: " << e.what() << kv("trace_id", cycle_trace);
+  }
+  // Feed the breaker; announce open/close transitions in the flight
+  // recorder (times_opened distinguishes a re-open from a failure that the
+  // threshold still tolerates).
+  const std::uint64_t opened_before = breaker_.times_opened();
+  const bool was_open_path = breaker_.state() != support::CircuitBreaker::State::kClosed;
+  if (event.cycle_failed) {
+    breaker_.record_failure();
+    if (breaker_.times_opened() != opened_before)
+      obs::EventLog::instance().emit(
+          "breaker_open", "error",
+          "consecutive_failures=" + std::to_string(breaker_.consecutive_failures()) +
+              " cooldown_ms=" + std::to_string(options_.breaker.open_cooldown.count()),
+          cycle_trace);
+  } else {
+    breaker_.record_success();
+    if (was_open_path)
+      obs::EventLog::instance().emit("breaker_close", "info", "probe cycle succeeded",
+                                     cycle_trace);
   }
   // GC failures are reported separately: a retention hiccup must not be
   // mistaken for a failed retraining cycle (the promotion, if any, already

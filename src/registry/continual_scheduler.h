@@ -43,6 +43,7 @@
 #include "registry/model_registry.h"
 #include "serve/drift_monitor.h"
 #include "serve/prediction_service.h"
+#include "support/circuit_breaker.h"
 
 namespace tcm::registry {
 
@@ -66,6 +67,12 @@ struct ContinualSchedulerOptions {
   // call, so a multi-minute cycle reads as at most `degraded`, never 503.
   std::shared_ptr<obs::Watchdog> watchdog;
   std::chrono::milliseconds poller_stall_after{60000};
+  // Circuit breaker over retraining cycles: `failure_threshold` consecutive
+  // failed cycles open it (triggers are dropped instead of burning training
+  // compute against a persistently failing dependency); after
+  // `open_cooldown` exactly one probe cycle is admitted, and its outcome
+  // closes or re-opens the breaker. /healthz reports "degraded" while open.
+  support::CircuitBreaker::Options breaker;
 };
 
 // The autopilot's registry-owned metric families. register_autopilot_metrics
@@ -142,6 +149,13 @@ class ContinualScheduler {
   // /debug/state scheduler phase.
   const char* phase() const;
 
+  // Cycle circuit-breaker observers ("closed"/"open"/"half_open"; see
+  // support/circuit_breaker.h). An open breaker degrades /healthz.
+  const char* breaker_state() const { return breaker_.state_name(); }
+  bool breaker_open() const { return breaker_.state() == support::CircuitBreaker::State::kOpen; }
+  std::uint64_t breaker_times_opened() const { return breaker_.times_opened(); }
+  int breaker_consecutive_failures() const { return breaker_.consecutive_failures(); }
+
  private:
   void loop();
 
@@ -150,6 +164,7 @@ class ContinualScheduler {
   ContinualTrainer& trainer_;
   const ContinualSchedulerOptions options_;
   AutopilotMetrics metrics_;  // all null when options_.metrics is null
+  support::CircuitBreaker breaker_;  // thread-safe; its own internal mutex
 
   mutable std::mutex mu_;  // guards everything below + the monitor
   serve::DriftMonitor monitor_;

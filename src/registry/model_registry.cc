@@ -14,6 +14,9 @@
 #include <stdexcept>
 
 #include "nn/serialize.h"
+#include "support/failpoint.h"
+#include "support/log.h"
+#include "support/retry.h"
 
 namespace fs = std::filesystem;
 
@@ -46,16 +49,35 @@ int parse_version_name(const std::string& name) {
   return v;
 }
 
+// Retry budget for the storage primitives below: a transient blip (EINTR,
+// flaky disk, NFS hiccup) must not fail a promote or a continual cycle.
+// Every wrapped operation is idempotent, so re-running converges. Backoffs
+// stay small: the registry mutex is held across these ops.
+support::RetryOptions io_retry_options(const char* op) {
+  support::RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff = std::chrono::milliseconds(5);
+  options.max_backoff = std::chrono::milliseconds(100);
+  options.on_retry = [op](int attempt, const std::string& why) {
+    log_warn() << "ModelRegistry: retrying " << op << " after attempt " << attempt << ": "
+               << why;
+  };
+  return options;
+}
+
 // fsync a file (or, with O_DIRECTORY, a directory — required to persist the
 // rename that published an entry inside it). POSIX-only, like rename(2)
 // atomicity this module already rests on.
 void fsync_path(const fs::path& path, bool directory) {
-  const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
-  if (fd < 0)
-    throw std::runtime_error("ModelRegistry: cannot open for fsync: " + path.string());
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) throw std::runtime_error("ModelRegistry: fsync failed on " + path.string());
+  support::with_retries(io_retry_options("fsync"), [&] {
+    TCM_FAILPOINT("registry.fsync");
+    const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+    if (fd < 0)
+      throw std::runtime_error("ModelRegistry: cannot open for fsync: " + path.string());
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) throw std::runtime_error("ModelRegistry: fsync failed on " + path.string());
+  });
 }
 
 // Crash- and power-loss-safe file write: stage under a temporary name in the
@@ -63,25 +85,32 @@ void fsync_path(const fs::path& path, bool directory) {
 // fsync the directory so the rename itself is durable. After a power cut the
 // path holds either the old content or the new content, never a torn file.
 void atomic_write_file(const fs::path& path, const std::string& content) {
-  const fs::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) throw std::runtime_error("ModelRegistry: cannot write " + tmp.string());
-    f.write(content.data(), static_cast<std::streamsize>(content.size()));
-    f.flush();
-    if (!f) throw std::runtime_error("ModelRegistry: short write to " + tmp.string());
-  }
-  fsync_path(tmp, /*directory=*/false);
-  fs::rename(tmp, path);
-  fsync_path(path.parent_path(), /*directory=*/true);
+  // Retried as a unit: the staged write restarts from scratch, so a retry
+  // after any partial failure converges to the same published content.
+  support::with_retries(io_retry_options("atomic write"), [&] {
+    const fs::path tmp = path.string() + ".tmp";
+    {
+      std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+      if (!f) throw std::runtime_error("ModelRegistry: cannot write " + tmp.string());
+      f.write(content.data(), static_cast<std::streamsize>(content.size()));
+      f.flush();
+      if (!f) throw std::runtime_error("ModelRegistry: short write to " + tmp.string());
+    }
+    fsync_path(tmp, /*directory=*/false);
+    TCM_FAILPOINT("registry.rename");
+    fs::rename(tmp, path);
+    fsync_path(path.parent_path(), /*directory=*/true);
+  });
 }
 
 std::string read_file(const fs::path& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("ModelRegistry: cannot read " + path.string());
-  std::ostringstream out;
-  out << f.rdbuf();
-  return out.str();
+  return support::with_retries(io_retry_options("read"), [&] {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("ModelRegistry: cannot read " + path.string());
+    std::ostringstream out;
+    out << f.rdbuf();
+    return out.str();
+  });
 }
 
 void write_double(std::ostringstream& out, const char* key, double v) {
@@ -292,8 +321,13 @@ int ModelRegistry::register_version(model::SpeedupPredictor& model, ModelManifes
     throw std::runtime_error("ModelRegistry: cannot write weights under " + staging.string());
   fsync_path(staging / kWeightsFile, /*directory=*/false);
   atomic_write_file(staging / kManifestFile, manifest_to_string(manifest));
-  fs::rename(staging, version_dir(version));
-  fsync_path(root_, /*directory=*/true);
+  // Idempotent publish unit: a retry after the rename already happened (e.g.
+  // the directory fsync failed transiently) only re-runs the fsync.
+  support::with_retries(io_retry_options("publish version"), [&] {
+    TCM_FAILPOINT("registry.rename");
+    if (fs::exists(staging)) fs::rename(staging, version_dir(version));
+    fsync_path(root_, /*directory=*/true);
+  });
   return version;
 }
 
@@ -309,6 +343,7 @@ ModelManifest ModelRegistry::manifest(int version) const {
 }
 
 std::unique_ptr<model::SpeedupPredictor> ModelRegistry::load(int version) const {
+  TCM_FAILPOINT("checkpoint.load");
   const ModelManifest m = manifest(version);
   if (feature_config_hash(m.config.features) != m.feature_hash)
     throw std::runtime_error("ModelRegistry: feature-config hash mismatch in manifest of " +
@@ -366,6 +401,11 @@ std::pair<int, int> ModelRegistry::read_active_locked() const {
 }
 
 void ModelRegistry::write_active_locked(int active, int previous) {
+  // Chaos site: a crash action dies here, mid-promote — after the target
+  // version is fully published but before (or while) the ACTIVE pointer
+  // moves. Recovery is the registry's normal open path: the sweep removes
+  // any .tmp debris and ACTIVE still names a complete version.
+  TCM_FAILPOINT("registry.promote");
   std::ostringstream out;
   out << kActiveHeader << ' ' << kFormatVersion << '\n';
   out << "active " << active << '\n';

@@ -1,0 +1,103 @@
+#include "serve/admission.h"
+
+#include <string>
+
+#include "obs/event_log.h"
+#include "obs/trace.h"
+
+namespace tcm::serve {
+
+namespace {
+
+constexpr const char* kShedHelp =
+    "Requests shed by admission control or deadline expiry, by reason";
+constexpr const char* kLevelHelp =
+    "Pressure-ladder level: 0 normal, 1 shadow off, 2 latency window shrunk, 3 shedding";
+
+}  // namespace
+
+void register_admission_metrics(obs::MetricsRegistry& registry) {
+  for (const char* reason : {"queue_full", "queue_age", "deadline_submit", "deadline_batch",
+                             "deadline_infer"})
+    registry.counter("tcm_shed_total", kShedHelp,
+                     std::string("reason=\"") + reason + '"');
+  registry.gauge("tcm_degradation_level", kLevelHelp);
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         obs::MetricsRegistry& registry)
+    : options_(options) {
+  const auto shed = [&](const char* reason) {
+    return &registry.counter("tcm_shed_total", kShedHelp,
+                             std::string("reason=\"") + reason + '"');
+  };
+  shed_queue_full_ = shed("queue_full");
+  shed_queue_age_ = shed("queue_age");
+  shed_deadline_submit_ = shed("deadline_submit");
+  shed_deadline_batch_ = shed("deadline_batch");
+  shed_deadline_infer_ = shed("deadline_infer");
+  degradation_level_ = &registry.gauge("tcm_degradation_level", kLevelHelp);
+}
+
+void AdmissionController::update_level_locked(double fill) {
+  const double enter[4] = {0.0, options_.shadow_off_enter, options_.latency_shrink_enter,
+                           options_.shed_enter};
+  const double exit[4] = {0.0, options_.shadow_off_exit, options_.latency_shrink_exit,
+                          options_.shed_exit};
+  int level = level_.load(std::memory_order_relaxed);
+  while (level < 3 && fill >= enter[level + 1]) ++level;
+  while (level > 0 && fill < exit[level]) --level;
+  const int previous = level_.exchange(level, std::memory_order_relaxed);
+  if (level != previous) {
+    degradation_level_->set(static_cast<double>(level));
+    obs::EventLog::instance().emit(
+        "degradation", level > previous ? "warn" : "info",
+        "level=" + std::to_string(level) + " from=" + std::to_string(previous) +
+            " fill=" + std::to_string(fill),
+        obs::current_trace_id());
+  }
+}
+
+int AdmissionController::update(std::size_t queue_depth) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  update_level_locked(static_cast<double>(queue_depth) /
+                      static_cast<double>(options_.queue_cap));
+  return level_.load(std::memory_order_relaxed);
+}
+
+AdmissionController::Decision AdmissionController::admit(std::size_t queue_depth,
+                                                         std::chrono::nanoseconds oldest_age) {
+  if (!enabled()) return {};
+  int level;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    update_level_locked(static_cast<double>(queue_depth) /
+                        static_cast<double>(options_.queue_cap));
+    level = level_.load(std::memory_order_relaxed);
+  }
+  // The hard cap holds no matter what the ladder says: the queue can never
+  // grow past queue_cap.
+  if (queue_depth >= options_.queue_cap || level >= 3) {
+    count_shed(ShedReason::kQueueFull);
+    return {false, ShedReason::kQueueFull};
+  }
+  if (options_.max_queue_age.count() > 0 && oldest_age > options_.max_queue_age) {
+    count_shed(ShedReason::kQueueAge);
+    return {false, ShedReason::kQueueAge};
+  }
+  return {};
+}
+
+void AdmissionController::count_shed(ShedReason reason) {
+  total_shed_.fetch_add(1, std::memory_order_relaxed);
+  switch (reason) {
+    case ShedReason::kQueueFull: shed_queue_full_->inc(); break;
+    case ShedReason::kQueueAge: shed_queue_age_->inc(); break;
+    case ShedReason::kDeadlineSubmit: shed_deadline_submit_->inc(); break;
+    case ShedReason::kDeadlineBatch: shed_deadline_batch_->inc(); break;
+    case ShedReason::kDeadlineInfer: shed_deadline_infer_->inc(); break;
+  }
+}
+
+}  // namespace tcm::serve

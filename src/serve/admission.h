@@ -1,0 +1,125 @@
+// Admission control + graceful-degradation ladder for the serving queue.
+//
+// Under overload an unbounded batching queue converts excess offered load
+// into unbounded latency for everyone; the production answer is to do
+// strictly less work per request as pressure rises and to reject what
+// cannot be served in time. The controller watches the batcher's queue
+// depth (as a fraction of `queue_cap`) and the age of the oldest queued
+// request, and walks a pressure ladder:
+//
+//   level 0  normal
+//   level 1  shadow scoring disabled (canary evaluation pauses; live
+//            traffic gets the worker cycles back)
+//   level 2  + batch-latency window shrunk (partial batches flush
+//            immediately instead of waiting for company: worse occupancy,
+//            better tail latency)
+//   level 3  + new arrivals shed with RESOURCE_EXHAUSTED (HTTP 429 +
+//            Retry-After)
+//
+// Each level has separate enter/exit watermarks (enter > exit), so the
+// ladder is hysteretic: a queue oscillating around one watermark does not
+// flap the level. Independent of the ladder, the queue depth is hard-capped
+// at `queue_cap` and requests older than `max_queue_age` trigger shedding —
+// a queue whose head is already stale will only serve deadline-exceeded
+// responses anyway.
+//
+// Every level transition emits a flight-recorder event and updates the
+// `tcm_degradation_level` gauge; every shed increments
+// `tcm_shed_total{reason=...}`. Deadline-expiry sheds at the stage
+// boundaries (see PredictionService) are counted through the same family so
+// /metrics shows all load-shedding in one place.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace tcm::serve {
+
+struct AdmissionOptions {
+  // Hard bound on queued requests. 0 disables admission control entirely
+  // (unbounded queue, ladder never engages) — the historical behavior.
+  std::size_t queue_cap = 0;
+  // Ladder watermarks, as fractions of queue_cap. Level k engages when
+  // fill >= enter_k and disengages when fill < exit_k.
+  double shadow_off_enter = 0.50, shadow_off_exit = 0.30;
+  double latency_shrink_enter = 0.75, latency_shrink_exit = 0.50;
+  double shed_enter = 0.95, shed_exit = 0.70;
+  // Shed new arrivals when the oldest queued request is older than this
+  // (0 = no age-based shedding).
+  std::chrono::milliseconds max_queue_age{0};
+  // Advertised in the Retry-After header of 429 responses (whole seconds,
+  // rounded up from this).
+  std::chrono::milliseconds retry_after{1000};
+};
+
+// Why a request was shed; the label of tcm_shed_total{reason=...}.
+enum class ShedReason {
+  kQueueFull,       // depth at the hard cap or over the shed watermark
+  kQueueAge,        // head-of-queue older than max_queue_age
+  kDeadlineSubmit,  // deadline already expired at submit (before featurize)
+  kDeadlineBatch,   // expired while queued (shed before batch assemble)
+  kDeadlineInfer,   // whole batch expired (shed before the forward pass)
+};
+
+class AdmissionController {
+ public:
+  // Registers the shed/degradation instruments in `registry` (get-or-create,
+  // so sharing a registry across controllers is safe). The registry must
+  // outlive the controller.
+  AdmissionController(AdmissionOptions options, obs::MetricsRegistry& registry);
+
+  struct Decision {
+    bool admit = true;
+    ShedReason reason = ShedReason::kQueueFull;  // meaningful when !admit
+  };
+
+  // Admission check for one arriving request given the current queue state.
+  // Updates the ladder, emits transition events, and (on shed) counts the
+  // rejection. `oldest_age` is the age of the head-of-queue request (zero
+  // when the queue is empty).
+  Decision admit(std::size_t queue_depth, std::chrono::nanoseconds oldest_age);
+
+  // Ladder refresh without an arriving request: workers call this as the
+  // queue drains so the level steps back down even when no new traffic
+  // arrives to trigger admit(). Returns the (possibly updated) level.
+  int update(std::size_t queue_depth);
+
+  // Current degradation level, 0..3. Wait-free.
+  int level() const { return level_.load(std::memory_order_relaxed); }
+
+  // Counts a shed that happened outside admit() — the deadline-expiry shed
+  // points in the service/worker path.
+  void count_shed(ShedReason reason);
+
+  std::uint64_t total_shed() const { return total_shed_.load(std::memory_order_relaxed); }
+  bool enabled() const { return options_.queue_cap > 0; }
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  // Requires mu_ held. Applies the hysteresis walk for `fill` in [0,inf).
+  void update_level_locked(double fill);
+
+  const AdmissionOptions options_;
+  obs::Counter* shed_queue_full_ = nullptr;  // tcm_shed_total{reason=...}
+  obs::Counter* shed_queue_age_ = nullptr;
+  obs::Counter* shed_deadline_submit_ = nullptr;
+  obs::Counter* shed_deadline_batch_ = nullptr;
+  obs::Counter* shed_deadline_infer_ = nullptr;
+  obs::Gauge* degradation_level_ = nullptr;  // tcm_degradation_level
+
+  std::mutex mu_;            // serializes ladder updates
+  std::atomic<int> level_{0};
+  std::atomic<std::uint64_t> total_shed_{0};
+};
+
+// Registers the tcm_shed_total / tcm_degradation_level families zero-valued
+// so the /metrics surface is complete from the first scrape even when
+// admission control is disabled. AdmissionController's constructor uses the
+// same names (get-or-create).
+void register_admission_metrics(obs::MetricsRegistry& registry);
+
+}  // namespace tcm::serve

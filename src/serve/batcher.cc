@@ -132,4 +132,29 @@ std::size_t StructureBatcher::pending() const {
   return pending_;
 }
 
+std::chrono::nanoseconds StructureBatcher::oldest_age() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto oldest = std::chrono::steady_clock::time_point::max();
+  for (const Bucket& b : buckets_)
+    if (!b.requests.empty()) oldest = std::min(oldest, b.requests.front().enqueued);
+  if (oldest == std::chrono::steady_clock::time_point::max())
+    return std::chrono::nanoseconds::zero();
+  return std::chrono::steady_clock::now() - oldest;
+}
+
+void StructureBatcher::set_max_latency(std::chrono::microseconds max_latency) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_latency_ == max_latency) return;
+    max_latency_ = max_latency;
+  }
+  // A shrink can make a waiting bucket ready immediately.
+  cv_.notify_all();
+}
+
+std::chrono::microseconds StructureBatcher::max_latency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_latency_;
+}
+
 }  // namespace tcm::serve

@@ -36,6 +36,10 @@ struct PendingRequest {
   std::shared_ptr<const model::FeaturizedProgram> feats;
   std::promise<Prediction> result;
   std::chrono::steady_clock::time_point enqueued;
+  // Absolute point after which the client no longer wants the answer; the
+  // worker sheds expired requests at the stage boundaries instead of
+  // spending a forward pass on them. max() = no deadline.
+  std::chrono::steady_clock::time_point deadline = std::chrono::steady_clock::time_point::max();
   std::uint64_t sequence = 0;  // assigned by the batcher, monotonically
   // Nonzero when the originating request was trace-sampled: carries the
   // trace id across the batcher's thread hop so batch-worker spans
@@ -80,6 +84,17 @@ class StructureBatcher {
   std::size_t pending() const;
   int max_batch() const { return max_batch_; }
 
+  // Age of the oldest queued request (zero when the queue is empty). The
+  // admission controller's queue-age signal.
+  std::chrono::nanoseconds oldest_age() const;
+
+  // Live adjustment of the partial-flush window: the degradation ladder
+  // shrinks it under pressure (smaller batches, lower queueing delay) and
+  // restores it when pressure subsides. Takes effect for the next readiness
+  // evaluation; already-ready batches are unaffected.
+  void set_max_latency(std::chrono::microseconds max_latency);
+  std::chrono::microseconds max_latency() const;
+
  private:
   struct Bucket {
     std::deque<PendingRequest> requests;
@@ -90,7 +105,7 @@ class StructureBatcher {
   bool bucket_ready(const Bucket& b, std::chrono::steady_clock::time_point now) const;
 
   const int max_batch_;
-  const std::chrono::microseconds max_latency_;
+  std::chrono::microseconds max_latency_;  // guarded by mu_ (set_max_latency)
 
   mutable std::mutex mu_;
   std::condition_variable cv_;        // wakes workers (next_batch)

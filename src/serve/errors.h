@@ -1,0 +1,31 @@
+// Typed serving-path errors that must keep their identity across the future
+// boundary. The serving stack surfaces failures as exceptions on futures;
+// the api façade maps exceptions to Status codes. Generic runtime_errors
+// from this path are (correctly) reported as INTERNAL — but a shed request
+// is not an internal failure, it is flow control the client must see as
+// such: DEADLINE_EXCEEDED (504, give up or raise the budget) vs
+// RESOURCE_EXHAUSTED (429, back off and retry). These subclasses carry that
+// distinction; status_from_exception() checks them before the generic
+// runtime_error mapping.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tcm::serve {
+
+// The request's deadline expired before a worker produced a prediction; it
+// was shed at a stage boundary without burning inference on it.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Admission control refused the request (queue depth/age over the shed
+// watermark). Retryable after backoff — the HTTP layer adds Retry-After.
+class AdmissionRejectedError : public std::runtime_error {
+ public:
+  explicit AdmissionRejectedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace tcm::serve

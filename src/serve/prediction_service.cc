@@ -6,6 +6,8 @@
 
 #include "obs/event_log.h"
 #include "obs/trace.h"
+#include "serve/errors.h"
+#include "support/failpoint.h"
 #include "support/stats.h"
 
 namespace tcm::serve {
@@ -24,6 +26,12 @@ std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp) {
 // uniformly, lifetime stays with the caller.
 std::shared_ptr<model::SpeedupPredictor> non_owning(model::SpeedupPredictor& predictor) {
   return std::shared_ptr<model::SpeedupPredictor>(std::shared_ptr<void>(), &predictor);
+}
+
+std::future<Prediction> failed_future(std::exception_ptr error) {
+  std::promise<Prediction> failed;
+  failed.set_exception(std::move(error));
+  return failed.get_future();
 }
 
 }  // namespace
@@ -62,6 +70,9 @@ PredictionService::PredictionService(std::shared_ptr<model::SpeedupPredictor> pr
                                   "Requests waiting in the batching queue.");
   cache_hit_ratio_ = &metrics_->gauge(
       "tcm_serve_cache_hit_ratio", "Feature-cache hit ratio since start (0 before any lookup).");
+  AdmissionOptions admission = options.admission;
+  admission.queue_cap = options.admission_queue_cap;
+  admission_ = std::make_unique<AdmissionController>(admission, *metrics_);
   worker_states_.reserve(static_cast<std::size_t>(options.num_threads));
   for (int i = 0; i < options.num_threads; ++i)
     worker_states_.push_back(std::make_unique<WorkerState>());
@@ -139,13 +150,43 @@ void PredictionService::clear_recent_predictions() {
 }
 
 std::future<Prediction> PredictionService::submit(const ir::Program& program,
-                                                  const transforms::Schedule& schedule) {
-  return submit_with_key({fingerprint(program), fingerprint(schedule)}, program, schedule);
+                                                  const transforms::Schedule& schedule,
+                                                  RequestDeadline deadline) {
+  return submit_with_key({fingerprint(program), fingerprint(schedule)}, program, schedule,
+                         deadline);
+}
+
+std::optional<std::future<Prediction>> PredictionService::preflight(RequestDeadline& deadline) {
+  const bool has_default = options_.default_deadline.count() > 0;
+  // Fast path: nothing configured — no clock read, no lock.
+  if (!has_default && deadline == kNoDeadline && !admission_->enabled()) return std::nullopt;
+  const auto now = std::chrono::steady_clock::now();
+  if (has_default) deadline = std::min(deadline, now + options_.default_deadline);
+  if (deadline != kNoDeadline && now >= deadline) {
+    admission_->count_shed(ShedReason::kDeadlineSubmit);
+    return failed_future(std::make_exception_ptr(
+        DeadlineExceededError("PredictionService: deadline expired before submit")));
+  }
+  if (admission_->enabled()) {
+    const AdmissionController::Decision decision =
+        admission_->admit(batcher_.pending(), batcher_.oldest_age());
+    if (!decision.admit)
+      return failed_future(std::make_exception_ptr(AdmissionRejectedError(
+          decision.reason == ShedReason::kQueueAge
+              ? "PredictionService: overloaded, head of queue is already stale"
+              : "PredictionService: overloaded, serving queue is full")));
+  }
+  return std::nullopt;
 }
 
 std::future<Prediction> PredictionService::submit_with_key(const PairKey& key,
                                                            const ir::Program& program,
-                                                           const transforms::Schedule& schedule) {
+                                                           const transforms::Schedule& schedule,
+                                                           RequestDeadline deadline) {
+  // Shed before featurization: an expired or rejected request must not cost
+  // an IR walk, let alone a worker.
+  if (auto shed = preflight(deadline)) return std::move(*shed);
+
   // Offer the raw pair to the measured-feedback buffer before featurization:
   // the buffer samples what clients *asked for*, featurizable or not. The
   // disabled (default) path is one relaxed atomic load; when enabled, the
@@ -187,15 +228,23 @@ std::future<Prediction> PredictionService::submit_with_key(const PairKey& key,
     const std::uint64_t now = obs::Tracer::now_ns();
     obs::Tracer::instance().record("serve.cache_hit", trace_id, now, now);
   }
-  return submit(std::move(feats));
+  // preflight already ran (before featurization) — enqueue directly.
+  return enqueue_request(std::move(feats), deadline);
 }
 
 std::future<Prediction> PredictionService::submit(
-    std::shared_ptr<const model::FeaturizedProgram> feats) {
+    std::shared_ptr<const model::FeaturizedProgram> feats, RequestDeadline deadline) {
   if (!feats) throw std::invalid_argument("PredictionService: null featurization");
+  if (auto shed = preflight(deadline)) return std::move(*shed);
+  return enqueue_request(std::move(feats), deadline);
+}
+
+std::future<Prediction> PredictionService::enqueue_request(
+    std::shared_ptr<const model::FeaturizedProgram> feats, RequestDeadline deadline) {
   PendingRequest req;
   req.feats = std::move(feats);
   req.enqueued = std::chrono::steady_clock::now();
+  req.deadline = deadline;
   // Carry the caller's trace context (0 when unsampled) across the thread
   // hop to the batch worker.
   req.trace_id = obs::current_trace_id();
@@ -211,7 +260,7 @@ std::vector<double> PredictionService::predict_many(
   // One program IR walk for the whole burst; only schedules vary per key.
   const std::uint64_t program_fp = fingerprint(program);
   for (const transforms::Schedule& s : candidates)
-    futures.push_back(submit_with_key({program_fp, fingerprint(s)}, program, s));
+    futures.push_back(submit_with_key({program_fp, fingerprint(s)}, program, s, kNoDeadline));
   flush();
   std::vector<double> out;
   out.reserve(candidates.size());
@@ -230,6 +279,13 @@ void PredictionService::worker_loop(int worker_index) {
     std::vector<PendingRequest> batch = batcher_.next_batch();  // idle while blocked
     if (batch.empty()) break;  // closed and drained
     if (options_.watchdog) options_.watchdog->set_busy(heartbeat, "run_batch");
+    // Chaos site: a delay action wedges this worker with a batch popped, so
+    // the queue backs up and admission control engages. Error actions are
+    // swallowed — a stall site must never fail live traffic.
+    try {
+      TCM_FAILPOINT("batcher.stall");
+    } catch (...) {
+    }
     const std::size_t batch_size = batch.size();
     run_batch(std::move(batch), ws);
     batcher_.batch_done(batch_size);
@@ -239,6 +295,9 @@ void PredictionService::worker_loop(int worker_index) {
     const std::uint64_t hits = cache_.hits(), misses = cache_.misses();
     if (hits + misses > 0)
       cache_hit_ratio_->set(static_cast<double>(hits) / static_cast<double>(hits + misses));
+    // Step the degradation ladder back down as the queue drains: shed
+    // arrivals never reach admit(), so recovery must be worker-driven.
+    refresh_degradation();
     if (options_.watchdog) options_.watchdog->set_idle(heartbeat);
   }
   if (options_.watchdog) options_.watchdog->unregister(heartbeat);
@@ -269,9 +328,45 @@ void PredictionService::score_batch(model::SpeedupPredictor& predictor,
   }
 }
 
+void PredictionService::refresh_degradation() {
+  if (!admission_->enabled()) return;
+  const int level = admission_->update(batcher_.pending());
+  if (level == applied_level_.load(std::memory_order_relaxed)) return;
+  applied_level_.store(level, std::memory_order_relaxed);
+  // Level >= 2: flush partial batches four times sooner — worse occupancy,
+  // but queued requests stop waiting for company they will not get served
+  // in time with. Restored when the ladder steps back below 2. (Workers
+  // race benignly here; set_max_latency is an idempotent no-op on repeats.)
+  batcher_.set_max_latency(level >= 2 ? options_.max_queue_latency / 4
+                                      : options_.max_queue_latency);
+}
+
 void PredictionService::run_batch(std::vector<PendingRequest> batch, WorkerState& ws) {
-  const int b = static_cast<int>(batch.size());
   const auto batch_start = std::chrono::steady_clock::now();
+  // Shed point: requests whose deadline expired while they queued are failed
+  // here, before any assembly or inference is spent on them.
+  bool has_deadline = false;
+  for (const PendingRequest& req : batch)
+    if (req.deadline != kNoDeadline) {
+      has_deadline = true;
+      break;
+    }
+  if (has_deadline) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].deadline <= batch_start) {
+        admission_->count_shed(ShedReason::kDeadlineBatch);
+        batch[i].result.set_exception(std::make_exception_ptr(
+            DeadlineExceededError("PredictionService: deadline expired in queue")));
+        continue;
+      }
+      if (kept != i) batch[kept] = std::move(batch[i]);
+      ++kept;
+    }
+    batch.resize(kept);
+    if (batch.empty()) return;
+  }
+  const int b = static_cast<int>(batch.size());
   // Batch-level spans are attributed to the first sampled request in the
   // batch (its trace shows the batch it rode in); per-request spans (queue
   // wait, e2e) use each request's own trace id.
@@ -303,6 +398,28 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch, WorkerState
     return mb;
   }();
 
+  // Shed point: if every remaining request expired during assembly, skip the
+  // forward pass entirely. A partially expired batch still runs — rows
+  // cannot be removed once the batch tensors are built.
+  if (has_deadline) {
+    const auto pre_infer = std::chrono::steady_clock::now();
+    bool all_expired = true;
+    for (const PendingRequest& req : batch)
+      if (req.deadline > pre_infer) {
+        all_expired = false;
+        break;
+      }
+    if (all_expired) {
+      const auto error = std::make_exception_ptr(
+          DeadlineExceededError("PredictionService: deadline expired before inference"));
+      for (PendingRequest& req : batch) {
+        admission_->count_shed(ShedReason::kDeadlineInfer);
+        req.result.set_exception(error);
+      }
+      return;
+    }
+  }
+
   std::uint64_t batch_index;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -320,8 +437,13 @@ void PredictionService::run_batch(std::vector<PendingRequest> batch, WorkerState
     snapshot = model_;
     shadow = shadow_;
   }
+  // Degradation level >= 1: pause canary evaluation, give the worker cycles
+  // back to live traffic. The shadow stays installed and resumes when the
+  // ladder steps back down.
+  if (shadow && admission_->level() >= 1) shadow = nullptr;
 
   try {
+    TCM_FAILPOINT("infer.throw");  // chaos site: fails exactly this batch's futures
     {
       obs::ScopedSpan span("serve.infer", batch_trace);
       const auto infer_start = std::chrono::steady_clock::now();
@@ -449,6 +571,8 @@ ServeStats PredictionService::stats() const {
       s.shadow_mape = shadow_ape_sum_ / static_cast<double>(shadow_requests_);
     shadow_pairs = shadow_pairs_;
   }
+  s.shed_requests = admission_->total_shed();
+  s.degradation_level = admission_->level();
   // Interpolated out of the e2e histogram buckets — no ring to snapshot and
   // sort, and /metrics exports the full distribution these come from.
   s.p50_latency = e2e_latency_->quantile(0.50);

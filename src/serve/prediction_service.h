@@ -46,17 +46,23 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "model/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/watchdog.h"
+#include "serve/admission.h"
 #include "serve/batcher.h"
 #include "serve/feature_cache.h"
 #include "serve/feedback_buffer.h"
 
 namespace tcm::serve {
+
+// Absolute per-request deadline on the serving clock; max() = none.
+using RequestDeadline = std::chrono::steady_clock::time_point;
+inline constexpr RequestDeadline kNoDeadline = RequestDeadline::max();
 
 struct ServeOptions {
   int num_threads = 1;   // inference worker threads
@@ -88,6 +94,18 @@ struct ServeOptions {
   std::shared_ptr<obs::Watchdog> watchdog;
   // How long one batch may run before its worker counts as stalled.
   std::chrono::milliseconds worker_stall_after{30000};
+  // Server-side default deadline applied to every request that does not
+  // carry a tighter one (0 = none). Expired requests are shed at the stage
+  // boundaries (submit / batch assemble / infer) with DeadlineExceededError
+  // instead of burning a worker.
+  std::chrono::milliseconds default_deadline{0};
+  // Hard bound on the batching queue; 0 = unbounded (admission control and
+  // the degradation ladder disabled). When the queue is saturated new
+  // arrivals fail fast with AdmissionRejectedError (HTTP 429).
+  std::size_t admission_queue_cap = 0;
+  // Pressure-ladder watermarks and queue-age policy; `queue_cap` inside is
+  // overwritten from admission_queue_cap.
+  AdmissionOptions admission;
 };
 
 // Counter snapshot; all values are totals since construction.
@@ -116,6 +134,10 @@ struct ServeStats {
   std::uint64_t shadow_failures = 0; // shadow forward errors (never client-visible)
   double shadow_mape = 0;            // mean |shadow - incumbent| / incumbent
   double shadow_spearman = 0;        // rank corr over the recent shared window
+
+  // Overload-resilience counters.
+  std::uint64_t shed_requests = 0;   // rejected by admission control or deadline expiry
+  int degradation_level = 0;         // pressure ladder: 0 normal .. 3 shedding
 };
 
 class PredictionService {
@@ -140,12 +162,18 @@ class PredictionService {
   // Featurizes (through the cache) and enqueues; the future resolves to the
   // predicted speedup plus the version of the model that produced it.
   // Featurization failure or a forward error surfaces as an exception on
-  // the future.
+  // the future. A request whose `deadline` (tightened by
+  // ServeOptions::default_deadline) has already passed — or that the
+  // admission controller rejects — comes back as an *already-failed* future
+  // holding DeadlineExceededError / AdmissionRejectedError: shedding never
+  // touches the featurizer or a worker.
   std::future<Prediction> submit(const ir::Program& program,
-                                 const transforms::Schedule& schedule);
+                                 const transforms::Schedule& schedule,
+                                 RequestDeadline deadline = kNoDeadline);
 
   // Pre-featurized entry point (no cache involvement).
-  std::future<Prediction> submit(std::shared_ptr<const model::FeaturizedProgram> feats);
+  std::future<Prediction> submit(std::shared_ptr<const model::FeaturizedProgram> feats,
+                                 RequestDeadline deadline = kNoDeadline);
 
   // Blocking convenience: submits the whole burst, flushes the queue so no
   // tail request waits out the latency deadline, and gathers results in
@@ -223,7 +251,18 @@ class PredictionService {
   };
 
   std::future<Prediction> submit_with_key(const PairKey& key, const ir::Program& program,
-                                          const transforms::Schedule& schedule);
+                                          const transforms::Schedule& schedule,
+                                          RequestDeadline deadline);
+  // Applies the server default deadline to `deadline` and runs the
+  // submit-side shed points (expired deadline, admission control). Returns
+  // an already-failed future when the request is shed, nullopt to proceed.
+  std::optional<std::future<Prediction>> preflight(RequestDeadline& deadline);
+  // Builds and enqueues the PendingRequest (no shed checks — preflight ran).
+  std::future<Prediction> enqueue_request(std::shared_ptr<const model::FeaturizedProgram> feats,
+                                          RequestDeadline deadline);
+  // Worker-side ladder refresh: recomputes the level from the queue depth
+  // and applies the level-2 batch-window shrink when the level crosses it.
+  void refresh_degradation();
   void worker_loop(int worker_index);
   void run_batch(std::vector<PendingRequest> batch, WorkerState& ws);
   // Fills ws.preds with one prediction per batch row using the configured
@@ -249,6 +288,12 @@ class PredictionService {
   std::shared_ptr<FeedbackBuffer> feedback_;  // null = disabled
   FeatureCache cache_;
   StructureBatcher batcher_;
+  // Admission control + degradation ladder (always constructed; inert when
+  // admission_queue_cap == 0). Owns the shed/degradation instruments.
+  std::unique_ptr<AdmissionController> admission_;
+  // Last ladder level whose side effects (batch-window shrink) were applied;
+  // workers race benignly to apply transitions.
+  std::atomic<int> applied_level_{0};
 
   // Latency/batch-size histograms, registered at construction; observe() is
   // wait-free so these sit outside stats_mu_. References are stable for the

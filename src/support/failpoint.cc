@@ -1,0 +1,214 @@
+#include "support/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace tcm::support {
+namespace {
+
+enum class Action { kError, kDelay, kCrash };
+
+struct Armed {
+  Action action = Action::kError;
+  std::string message;        // error: what() of the injected exception
+  std::chrono::milliseconds delay{0};
+  std::int64_t remaining = -1;  // "N*" budget; -1 = unlimited
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Armed> armed;
+  std::map<std::string, std::uint64_t> hits;  // survives disarm/re-arm
+};
+
+// Leaked singleton: failpoints are evaluated from worker threads that may
+// outlive static destruction order in tests.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Fast-path gate: number of armed sites. failpoint_eval returns after one
+// relaxed load when nothing is armed anywhere in the process.
+std::atomic<std::size_t> g_armed_count{0};
+
+// "2*error(boom)" -> Armed. Returns false on malformed input.
+bool parse_action(const std::string& text, Armed* out, std::string* error) {
+  std::string rest = text;
+  out->remaining = -1;
+  const std::size_t star = rest.find('*');
+  if (star != std::string::npos) {
+    const std::string count = rest.substr(0, star);
+    if (count.empty() || count.find_first_not_of("0123456789") != std::string::npos) {
+      if (error) *error = "bad trigger count '" + count + "'";
+      return false;
+    }
+    out->remaining = std::atoll(count.c_str());
+    rest = rest.substr(star + 1);
+  }
+  std::string kind = rest, arg;
+  const std::size_t open = rest.find('(');
+  if (open != std::string::npos) {
+    if (rest.back() != ')') {
+      if (error) *error = "unterminated argument in '" + text + "'";
+      return false;
+    }
+    kind = rest.substr(0, open);
+    arg = rest.substr(open + 1, rest.size() - open - 2);
+  }
+  if (kind == "error") {
+    out->action = Action::kError;
+    out->message = arg;
+    return true;
+  }
+  if (kind == "delay") {
+    if (arg.empty() || arg.find_first_not_of("0123456789") != std::string::npos) {
+      if (error) *error = "delay needs a millisecond argument, got '" + arg + "'";
+      return false;
+    }
+    out->action = Action::kDelay;
+    out->delay = std::chrono::milliseconds(std::atoll(arg.c_str()));
+    return true;
+  }
+  if (kind == "crash") {
+    out->action = Action::kCrash;
+    return true;
+  }
+  if (error) *error = "unknown action '" + kind + "' (want error/delay/crash)";
+  return false;
+}
+
+}  // namespace
+
+bool failpoints_compiled() {
+#ifdef TCM_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void failpoint_eval(const char* name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return;
+  Armed hit;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.armed.find(name);
+    if (it == r.armed.end()) return;
+    if (it->second.remaining == 0) return;  // "N*" budget spent
+    if (it->second.remaining > 0) --it->second.remaining;
+    ++r.hits[name];
+    hit = it->second;
+  }
+  switch (hit.action) {
+    case Action::kError:
+      throw std::runtime_error(hit.message.empty()
+                                   ? "failpoint " + std::string(name) + ": injected error"
+                                   : hit.message);
+    case Action::kDelay:
+      std::this_thread::sleep_for(hit.delay);
+      return;
+    case Action::kCrash:
+      // Deliberately ungraceful: the whole point is to model kill -9 / power
+      // loss at this exact site. stderr is best-effort.
+      std::fprintf(stderr, "failpoint %s: injected crash\n", name);
+      std::fflush(stderr);
+      std::abort();
+  }
+}
+
+bool failpoint_arm(const std::string& name, const std::string& action, std::string* error) {
+  if (name.empty()) {
+    if (error) *error = "empty failpoint name";
+    return false;
+  }
+  Armed armed;
+  if (!parse_action(action, &armed, error)) return false;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.armed.emplace(name, armed).second)
+    g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  else
+    r.armed[name] = armed;
+  return true;
+}
+
+bool failpoint_arm_spec(const std::string& spec, std::string* error) {
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      if (error) *error = "expected name=action, got '" + entry + "'";
+      return false;
+    }
+    std::string entry_error;
+    if (!failpoint_arm(entry.substr(0, eq), entry.substr(eq + 1), &entry_error)) {
+      if (error) *error = "'" + entry + "': " + entry_error;
+      return false;
+    }
+  }
+  return true;
+}
+
+int failpoint_arm_from_env() {
+  const char* spec = std::getenv("TCM_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return 0;
+  std::string error;
+  if (!failpoint_arm_spec(spec, &error))
+    std::fprintf(stderr, "TCM_FAILPOINTS: %s\n", error.c_str());
+  return static_cast<int>(failpoint_armed().size());
+}
+
+void failpoint_disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.armed.erase(name) > 0) g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void failpoint_disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  g_armed_count.fetch_sub(r.armed.size(), std::memory_order_relaxed);
+  r.armed.clear();
+}
+
+std::uint64_t failpoint_hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.hits.find(name);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+std::vector<std::string> failpoint_armed() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.armed.size());
+  for (const auto& [name, armed] : r.armed) {
+    std::string desc = name + '=';
+    if (armed.remaining >= 0) desc += std::to_string(armed.remaining) + '*';
+    switch (armed.action) {
+      case Action::kError: desc += "error"; break;
+      case Action::kDelay:
+        desc += "delay(" + std::to_string(armed.delay.count()) + ')';
+        break;
+      case Action::kCrash: desc += "crash"; break;
+    }
+    out.push_back(std::move(desc));
+  }
+  return out;
+}
+
+}  // namespace tcm::support

@@ -1,0 +1,82 @@
+// Named fault-injection sites for chaos testing, in the style of production
+// failpoint libraries (FreeBSD fail(9), pingcap/failpoint).
+//
+// A site is a named hook compiled into a hot path:
+//
+//   TCM_FAILPOINT("registry.fsync");
+//
+// In a default build (TCM_FAILPOINTS CMake option OFF) the macro expands to
+// nothing — zero instructions, zero branches, so release serving binaries
+// carry no chaos machinery at all. With -DTCM_FAILPOINTS=ON every site
+// evaluates its armed action (if any):
+//
+//   error            throw std::runtime_error("failpoint <name>: injected error")
+//   error(msg)       same, with a custom message
+//   delay(ms)        sleep for ms milliseconds, then continue
+//   crash            log to stderr and abort() — simulates a power cut /
+//                    kill -9 at exactly this point
+//
+// Actions are armed from a spec string ("site=action" pairs separated by
+// ';'; an action may be prefixed "N*" to trigger only the first N
+// evaluations, after which the site falls through):
+//
+//   registry.fsync=2*error;batcher.stall=delay(50);registry.promote=crash
+//
+// Arming sources: the TCM_FAILPOINTS environment variable
+// (failpoint_arm_from_env, called by tcm_serve), the --failpoints flag, or
+// failpoint_arm()/failpoint_arm_spec() directly (tests). The site catalog is
+// documented in README "Overload & resilience".
+//
+// The arming/introspection API below compiles unconditionally (it is a tiny
+// table, not the hooks), so tests and /debug/state need no #ifdefs: when the
+// sites are compiled out, arming still records the spec but nothing ever
+// evaluates it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcm::support {
+
+#ifdef TCM_FAILPOINTS
+#define TCM_FAILPOINT(name) ::tcm::support::failpoint_eval(name)
+#else
+#define TCM_FAILPOINT(name) ((void)0)
+#endif
+
+// True when the TCM_FAILPOINT sites are compiled in (-DTCM_FAILPOINTS=ON).
+// Chaos tests skip themselves when this is false.
+bool failpoints_compiled();
+
+// Evaluates the site: no-op when nothing (or an exhausted "N*" action) is
+// armed under this name. Fast path is one relaxed atomic load when no site
+// at all is armed. May throw (error), sleep (delay) or abort (crash).
+void failpoint_eval(const char* name);
+
+// Arms `name` with `action` (see grammar above), replacing any previous
+// arming. Returns false (and sets *error) on a malformed action.
+bool failpoint_arm(const std::string& name, const std::string& action,
+                   std::string* error = nullptr);
+
+// Arms every "name=action" pair of a ';'-separated spec. Stops at the first
+// malformed entry: returns false with *error set, earlier pairs stay armed.
+bool failpoint_arm_spec(const std::string& spec, std::string* error = nullptr);
+
+// Arms from the TCM_FAILPOINTS environment variable; returns the number of
+// sites armed (0 when unset/empty). Malformed entries are reported on
+// stderr and skipped.
+int failpoint_arm_from_env();
+
+void failpoint_disarm(const std::string& name);
+void failpoint_disarm_all();
+
+// Times failpoint_eval matched an armed action under `name` (across
+// re-armings). 0 for never-armed names.
+std::uint64_t failpoint_hits(const std::string& name);
+
+// "name=action" for every currently armed site (unordered); the
+// /debug/state failpoints listing.
+std::vector<std::string> failpoint_armed();
+
+}  // namespace tcm::support

@@ -1,0 +1,32 @@
+#include "support/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace tcm::support {
+
+std::chrono::milliseconds retry_backoff(const RetryOptions& options, int retry) {
+  double ms = static_cast<double>(options.initial_backoff.count()) *
+              std::pow(std::max(options.multiplier, 1.0), retry);
+  ms = std::min(ms, static_cast<double>(options.max_backoff.count()));
+  return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+}
+
+namespace retry_detail {
+
+void sleep_with_jitter(const RetryOptions& options, int retry, Rng& rng) {
+  const std::chrono::milliseconds base = retry_backoff(options, retry);
+  const double jitter = std::clamp(options.jitter, 0.0, 1.0);
+  const double factor = jitter > 0 ? rng.uniform_real(1.0 - jitter, 1.0 + jitter) : 1.0;
+  const auto delay = std::chrono::milliseconds(
+      static_cast<std::int64_t>(static_cast<double>(base.count()) * factor));
+  if (options.sleep_fn)
+    options.sleep_fn(delay);
+  else if (delay.count() > 0)
+    std::this_thread::sleep_for(delay);
+}
+
+}  // namespace retry_detail
+
+}  // namespace tcm::support

@@ -1,0 +1,72 @@
+// Bounded retries with jittered exponential backoff.
+//
+// The registry's storage ops (fsync, atomic rename publish, checkpoint
+// reads) can fail transiently — a flaky disk, an interrupted syscall, a NFS
+// hiccup — and a single such blip must not fail a promote or take down a
+// continual cycle. with_retries() re-runs the operation under a hard
+// attempt budget, sleeping backoff*multiplier^k ± jitter between attempts
+// (full attempts budget, not wall clock: the registry mutex is held across
+// these ops, so backoffs stay small and bounded by max_backoff).
+//
+// Retrying is only safe for idempotent operations. Every registry write
+// this wraps is: staging + atomic rename either published or didn't, and
+// re-running the stage from scratch converges to the same result.
+//
+// The sleep function and RNG seed are injectable so tests assert the exact
+// backoff schedule without waiting it out.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "support/rng.h"
+
+namespace tcm::support {
+
+struct RetryOptions {
+  int max_attempts = 3;  // total tries, including the first; <=1 = no retry
+  std::chrono::milliseconds initial_backoff{10};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{1000};
+  // Each backoff is scaled by a uniform factor in [1-jitter, 1+jitter], so
+  // concurrent retriers (several serving hosts on shared storage) decorrelate
+  // instead of thundering in lockstep.
+  double jitter = 0.2;
+  std::uint64_t jitter_seed = 0x7265747279ULL;  // deterministic by default
+  // Test/observability hook: called instead of sleeping when set.
+  std::function<void(std::chrono::milliseconds)> sleep_fn;
+  // Called after a failed attempt that will be retried: (attempt# from 1,
+  // exception message). Wire logging/metrics here.
+  std::function<void(int, const std::string&)> on_retry;
+};
+
+// Backoff before retry number `retry` (0-based: the sleep after the first
+// failure), pre-jitter. Exposed for tests.
+std::chrono::milliseconds retry_backoff(const RetryOptions& options, int retry);
+
+namespace retry_detail {
+void sleep_with_jitter(const RetryOptions& options, int retry, Rng& rng);
+}  // namespace retry_detail
+
+// Runs fn(), retrying on any std::exception up to max_attempts total tries.
+// The terminal failure rethrows the last exception unchanged, so callers'
+// error taxonomy (runtime_error from the registry, etc.) is preserved.
+template <typename F>
+auto with_retries(const RetryOptions& options, F&& fn) -> decltype(fn()) {
+  Rng rng(options.jitter_seed);
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const std::exception& e) {
+      if (attempt >= attempts) throw;
+      if (options.on_retry) options.on_retry(attempt, e.what());
+      retry_detail::sleep_with_jitter(options, attempt - 1, rng);
+    }
+  }
+}
+
+}  // namespace tcm::support

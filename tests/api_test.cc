@@ -77,7 +77,8 @@ TEST(Status, CodesMapToHttpAndNames) {
   EXPECT_EQ(http_status(StatusCode::kInvalidArgument), 400);
   EXPECT_EQ(http_status(StatusCode::kNotFound), 404);
   EXPECT_EQ(http_status(StatusCode::kFailedPrecondition), 409);
-  EXPECT_EQ(http_status(StatusCode::kResourceExhausted), 413);
+  EXPECT_EQ(http_status(StatusCode::kResourceExhausted), 429);
+  EXPECT_EQ(http_status(StatusCode::kDeadlineExceeded), 504);
   EXPECT_EQ(http_status(StatusCode::kUnavailable), 503);
   EXPECT_EQ(http_status(StatusCode::kInternal), 500);
   EXPECT_EQ(status_code_name(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
