@@ -183,6 +183,9 @@ ir::Program program_from_json_or_throw(const Json& j) {
     }
     l.tail_of = static_cast<int>(get_int_or(lj, "tail_of", -1));
     l.orig_extent = get_int_or(lj, "orig_extent", 0);
+    l.skew_of = static_cast<int>(get_int_or(lj, "skew_of", -1));
+    l.skew_factor = get_int_or(lj, "skew_factor", 0);
+    l.skew_is_sum = get_bool_or(lj, "skew_is_sum", false);
     l.parallel = get_bool_or(lj, "parallel", false);
     l.vector_width = static_cast<int>(get_int_or(lj, "vector_width", 0));
     l.unroll = static_cast<int>(get_int_or(lj, "unroll", 0));
@@ -191,6 +194,9 @@ ir::Program program_from_json_or_throw(const Json& j) {
       l.tag_tiled = get_bool_or(*tags, "tiled", false);
       l.tag_tile_factor = get_int_or(*tags, "tile_factor", 0);
       l.tag_fused = get_bool_or(*tags, "fused", false);
+      l.tag_skewed = get_bool_or(*tags, "skewed", false);
+      l.tag_skew_factor = get_int_or(*tags, "skew_factor", 0);
+      l.tag_unimodular = get_bool_or(*tags, "unimodular", false);
     }
     p.loops.push_back(std::move(l));
   }
@@ -239,6 +245,27 @@ transforms::Schedule schedule_from_json_or_throw(const Json& j) {
     for (const Json& f : a->as_array())
       s.fusions.push_back({get_index(f, "a"), get_index(f, "b"),
                            static_cast<int>(get_int_or(f, "depth", 1))});
+  }
+  if (const Json* a = j.find("skew")) {
+    if (!a->is_array()) fail("'skew' must be an array");
+    for (const Json& f : a->as_array())
+      s.skews.push_back({get_index(f, "comp"), static_cast<int>(get_int_or(f, "level", 0)),
+                         get_int(f, "factor")});
+  }
+  if (const Json* a = j.find("unimodular")) {
+    if (!a->is_array()) fail("'unimodular' must be an array");
+    for (const Json& f : a->as_array()) {
+      transforms::UnimodularSpec u;
+      u.comp = get_index(f, "comp");
+      u.level = static_cast<int>(get_int_or(f, "level", 0));
+      for (const Json& c : get_array(f, "coeffs")) {
+        if (!c.is_int()) fail("unimodular coeffs must be integers");
+        u.coeffs.push_back(c.as_int());
+      }
+      if (u.coeffs.size() != 4 && u.coeffs.size() != 9)
+        fail("unimodular 'coeffs' must hold a row-major 2x2 or 3x3 matrix");
+      s.unimodulars.push_back(std::move(u));
+    }
   }
   if (const Json* a = j.find("interchange")) {
     if (!a->is_array()) fail("'interchange' must be an array");
@@ -334,15 +361,22 @@ Json to_json(const ir::Program& program) {
     lj.set("body", std::move(body));
     if (l.tail_of != -1) lj.set("tail_of", Json(static_cast<std::int64_t>(l.tail_of)));
     if (l.orig_extent != 0) lj.set("orig_extent", Json(l.orig_extent));
+    if (l.skew_of != -1) lj.set("skew_of", Json(static_cast<std::int64_t>(l.skew_of)));
+    if (l.skew_factor != 0) lj.set("skew_factor", Json(l.skew_factor));
+    if (l.skew_is_sum) lj.set("skew_is_sum", Json(true));
     if (l.parallel) lj.set("parallel", Json(true));
     if (l.vector_width != 0) lj.set("vector_width", Json(static_cast<std::int64_t>(l.vector_width)));
     if (l.unroll != 0) lj.set("unroll", Json(static_cast<std::int64_t>(l.unroll)));
-    if (l.tag_interchanged || l.tag_tiled || l.tag_fused || l.tag_tile_factor != 0) {
+    if (l.tag_interchanged || l.tag_tiled || l.tag_fused || l.tag_tile_factor != 0 ||
+        l.tag_skewed || l.tag_skew_factor != 0 || l.tag_unimodular) {
       Json tags = Json::object();
       if (l.tag_interchanged) tags.set("interchanged", Json(true));
       if (l.tag_tiled) tags.set("tiled", Json(true));
       if (l.tag_tile_factor != 0) tags.set("tile_factor", Json(l.tag_tile_factor));
       if (l.tag_fused) tags.set("fused", Json(true));
+      if (l.tag_skewed) tags.set("skewed", Json(true));
+      if (l.tag_skew_factor != 0) tags.set("skew_factor", Json(l.tag_skew_factor));
+      if (l.tag_unimodular) tags.set("unimodular", Json(true));
       lj.set("tags", std::move(tags));
     }
     loops.push_back(std::move(lj));
@@ -386,6 +420,30 @@ Json to_json(const transforms::Schedule& schedule) {
       a.push_back(std::move(o));
     }
     j.set("fuse", std::move(a));
+  }
+  if (!schedule.skews.empty()) {
+    Json a = Json::array();
+    for (const transforms::SkewSpec& f : schedule.skews) {
+      Json o = Json::object();
+      o.set("comp", Json(static_cast<std::int64_t>(f.comp)));
+      o.set("level", Json(static_cast<std::int64_t>(f.level_a)));
+      o.set("factor", Json(f.factor));
+      a.push_back(std::move(o));
+    }
+    j.set("skew", std::move(a));
+  }
+  if (!schedule.unimodulars.empty()) {
+    Json a = Json::array();
+    for (const transforms::UnimodularSpec& f : schedule.unimodulars) {
+      Json o = Json::object();
+      o.set("comp", Json(static_cast<std::int64_t>(f.comp)));
+      o.set("level", Json(static_cast<std::int64_t>(f.level)));
+      Json coeffs = Json::array();
+      for (std::int64_t c : f.coeffs) coeffs.push_back(Json(c));
+      o.set("coeffs", std::move(coeffs));
+      a.push_back(std::move(o));
+    }
+    j.set("unimodular", std::move(a));
   }
   if (!schedule.interchanges.empty()) {
     Json a = Json::array();

@@ -12,15 +12,22 @@
 //   Program    {"name", "buffers":[{"name","dims","input"}],
 //               "loops":[{"iter","extent","parent","body":[["loop",i]|["comp",i]],
 //                         "parallel","vector_width","unroll",
-//                         "tail_of","orig_extent","tags":{...}}],
+//                         "tail_of","orig_extent",
+//                         "skew_of","skew_factor","skew_is_sum","tags":{...}}],
 //               "comps":[{"name","store":ACCESS,"rhs":EXPR,"reduction"}],
 //               "roots":[...]}
 //              Buffer/loop/comp ids are their array positions; Computation
-//              loop_id is derived from the tree, not transmitted.
+//              loop_id is derived from the tree, not transmitted. Multi-root
+//              programs list every top-level nest in "roots", in textual
+//              order.
 //   ACCESS     {"buffer":id,"depth":n,"rows":[[c..cn,const],...]}  (rank rows)
 //   EXPR       {"const":v} | {"load":ACCESS}
 //              | {"op":"add|sub|mul|div|max|min","lhs":EXPR,"rhs":EXPR}
-//   Schedule   {"fuse":[{"a","b","depth"}],"interchange":[{"comp","a","b"}],
+//   Schedule   {"fuse":[{"a","b","depth"}],
+//               "skew":[{"comp","level","factor"}],
+//               "unimodular":[{"comp","level","coeffs":[...]}],  (4 or 9 coeffs,
+//                 a row-major 2x2 or 3x3 matrix with |det| == 1)
+//               "interchange":[{"comp","a","b"}],
 //               "tile":[{"comp","level","sizes"}],"unroll":[{"comp","factor"}],
 //               "parallel":[{"comp","level"}],"vectorize":[{"comp","width"}]}
 //   Predict    request  {"program":PROGRAM, "schedule":SCHEDULE}

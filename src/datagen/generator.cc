@@ -28,6 +28,7 @@ struct ProducedBuffer {
   int comp_id;
   int buffer_id;
   std::vector<std::int64_t> dims;
+  std::vector<Var> store_vars;  // for root sharing with the next computation
 };
 
 struct GenState {
@@ -69,6 +70,12 @@ ir::Program RandomProgramGenerator::generate(std::uint64_t seed) const {
     if (!st.produced.empty() && rng.bernoulli(options_.p_consume_previous))
       producer = &st.produced[static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(st.produced.size()) - 1))];
+    // Consuming the immediately preceding computation optionally reuses its
+    // store iterators, so the builder nests both computations under one root
+    // (the loop-sharing path of Figure 1a). Decided before extents are
+    // capped: shared iterators must keep the producer's extents.
+    const bool share_root = producer && producer->comp_id == st.produced.back().comp_id &&
+                            rng.bernoulli(options_.p_share_root);
 
     // --- choose nest shape ----------------------------------------------------
     int store_rank;
@@ -102,7 +109,11 @@ ir::Program RandomProgramGenerator::generate(std::uint64_t seed) const {
       return t;
     };
     while (total() > options_.max_iterations) {
-      auto it = std::max_element(extents.begin(), extents.end());
+      // Shared iterators are pinned to the producer's extents (the Vars are
+      // reused verbatim); only the private levels may shrink.
+      const int first = share_root ? store_rank : 0;
+      if (first >= depth) break;
+      auto it = std::max_element(extents.begin() + first, extents.end());
       if (*it <= options_.min_extent) break;
       *it = std::max(options_.min_extent, *it / 2);
     }
@@ -115,11 +126,17 @@ ir::Program RandomProgramGenerator::generate(std::uint64_t seed) const {
     }
 
     // --- iterators ---------------------------------------------------------------
+    // Shared-root consumers reuse the producer's store Vars; fresh Vars
+    // otherwise, which yields multi-root programs that fusion can later merge.
     const std::string prefix = "c" + std::to_string(ci) + "_";
     std::vector<Var> iters;
-    for (int l = 0; l < depth; ++l)
-      iters.push_back(
-          builder.var(prefix + "i" + std::to_string(l), extents[static_cast<std::size_t>(l)]));
+    for (int l = 0; l < depth; ++l) {
+      if (share_root && l < store_rank)
+        iters.push_back(producer->store_vars[static_cast<std::size_t>(l)]);
+      else
+        iters.push_back(
+            builder.var(prefix + "i" + std::to_string(l), extents[static_cast<std::size_t>(l)]));
+    }
     std::vector<Var> store_vars(iters.begin(), iters.begin() + store_rank);
 
     // --- right-hand side -----------------------------------------------------------
@@ -235,7 +252,7 @@ ir::Program RandomProgramGenerator::generate(std::uint64_t seed) const {
     int out_buffer = -1;
     const int comp_id = builder.computation(name, iters, store_vars, rhs, &out_buffer);
     std::vector<std::int64_t> out_dims(extents.begin(), extents.begin() + store_rank);
-    st.produced.push_back(ProducedBuffer{comp_id, out_buffer, std::move(out_dims)});
+    st.produced.push_back(ProducedBuffer{comp_id, out_buffer, std::move(out_dims), store_vars});
   }
 
   return builder.build();
@@ -292,6 +309,50 @@ transforms::Schedule RandomScheduleGenerator::generate(const ir::Program& p, Rng
   for (const ir::Computation& c : p.comps) {
     const std::vector<std::int64_t> extents = p.extents_of(c.id);
     const int depth = static_cast<int>(extents.size());
+
+    if (depth >= 2 && !options_.skew_factors.empty() && rng.bernoulli(options_.p_skew)) {
+      const int la = static_cast<int>(rng.uniform_int(0, depth - 2));
+      const std::int64_t f = options_.skew_factors[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(options_.skew_factors.size()) - 1))];
+      const bool wavefront = rng.bernoulli(options_.p_wavefront);
+      transforms::Schedule candidate = schedule;
+      candidate.skews.push_back(transforms::SkewSpec{c.id, la, f});
+      if (wavefront)
+        candidate.interchanges.push_back(transforms::InterchangeSpec{c.id, la, la + 1});
+      if (keep_if_legal(candidate)) schedule = std::move(candidate);
+      else if (wavefront)  // the wavefront swap may be the illegal part
+        try_add(&transforms::Schedule::skews, transforms::SkewSpec{c.id, la, f});
+    }
+
+    if (depth >= 2 && rng.bernoulli(options_.p_unimodular)) {
+      // Sample the transform as a composition of the engine's primitives
+      // (permutation, then adjacent skew, then optional wavefront swap of
+      // the skewed pair) so the resulting matrix is always decomposable.
+      const int k = (depth >= 3 && rng.bernoulli(0.5)) ? 3 : 2;
+      const int level = static_cast<int>(rng.uniform_int(0, depth - k));
+      std::vector<int> sigma(static_cast<std::size_t>(k));
+      for (int i = 0; i < k; ++i) sigma[static_cast<std::size_t>(i)] = i;
+      for (int i = k - 1; i > 0; --i)
+        std::swap(sigma[static_cast<std::size_t>(i)],
+                  sigma[static_cast<std::size_t>(rng.uniform_int(0, i))]);
+      std::vector<std::int64_t> u(static_cast<std::size_t>(k * k), 0);
+      for (int r = 0; r < k; ++r)
+        u[static_cast<std::size_t>(r * k + sigma[static_cast<std::size_t>(r)])] = 1;
+      if (rng.bernoulli(0.7)) {
+        const int pos = static_cast<int>(rng.uniform_int(0, k - 2));
+        const std::int64_t f = static_cast<std::int64_t>(rng.uniform_int(1, 3));
+        // Left-multiply by I + f*E[pos+1][pos]: row pos+1 += f * row pos.
+        for (int col = 0; col < k; ++col)
+          u[static_cast<std::size_t>((pos + 1) * k + col)] +=
+              f * u[static_cast<std::size_t>(pos * k + col)];
+        if (rng.bernoulli(0.5))  // wavefront: swap the skewed pair's rows
+          for (int col = 0; col < k; ++col)
+            std::swap(u[static_cast<std::size_t>(pos * k + col)],
+                      u[static_cast<std::size_t>((pos + 1) * k + col)]);
+      }
+      try_add(&transforms::Schedule::unimodulars,
+              transforms::UnimodularSpec{c.id, level, std::move(u)});
+    }
 
     if (depth >= 2 && rng.bernoulli(options_.p_interchange)) {
       const int la = static_cast<int>(rng.uniform_int(0, depth - 2));

@@ -46,6 +46,12 @@ struct GeneratorOptions {
   double p_stencil = 0.35;          // applied when not a reduction
   double p_consume_previous = 0.5;  // read an earlier computation's output
   double p_extra_load = 0.5;        // add a second input load
+  // When consuming the immediately preceding computation, probability of
+  // reusing its store iterators so both computations natively share a root
+  // nest (pre-fused structure, as TIRAMISU front ends commonly emit).
+  // Distinct iterators produce multi-root programs, which remain the
+  // default.
+  double p_share_root = 0.3;
   int max_stencil_halo = 2;
 
   // Small programs whose interpreter execution is fast; used by the
@@ -75,7 +81,16 @@ struct ScheduleGeneratorOptions {
   std::vector<std::int64_t> tile_sizes = {8, 16, 32, 64, 128};
   std::vector<int> unroll_factors = {2, 4, 8, 16};
   std::vector<int> vector_widths = {4, 8};
+  std::vector<std::int64_t> skew_factors = {1, 2, 3};
   double p_fuse = 0.5;
+  double p_skew = 0.3;
+  // When skewing, probability of following up with the wavefront interchange
+  // of the skewed pair (kept only when the dependence-distance check allows
+  // it; the skew alone is retried otherwise).
+  double p_wavefront = 0.5;
+  // Probability of a general unimodular transform, sampled as a random
+  // composition of the engine's primitives so it is always decomposable.
+  double p_unimodular = 0.15;
   double p_interchange = 0.4;
   double p_tile = 0.5;
   double p_tile_3d = 0.25;  // when tiling, probability of 3-D tiling

@@ -78,6 +78,15 @@ void AccessMatrix::interchange(int col_a, int col_b) {
   }
 }
 
+void AccessMatrix::skew(int col_a, int col_b, std::int64_t factor) {
+  if (col_a < 0 || col_a >= depth_ || col_b < 0 || col_b >= depth_ || col_a == col_b)
+    throw std::out_of_range("AccessMatrix::skew");
+  // Reindexing t = i_b + factor*i_a keeps row values unchanged when the
+  // coefficient of i_a absorbs -factor times the coefficient of i_b:
+  //   c_a*i_a + c_b*i_b == (c_a - f*c_b)*i_a + c_b*(i_b + f*i_a).
+  for (int r = 0; r < rank_; ++r) set(r, col_a, at(r, col_a) - factor * at(r, col_b));
+}
+
 void AccessMatrix::split(int col, std::int64_t tile) {
   if (col < 0 || col >= depth_) throw std::out_of_range("AccessMatrix::split");
   if (tile <= 0) throw std::invalid_argument("AccessMatrix::split: tile <= 0");

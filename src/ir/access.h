@@ -60,6 +60,11 @@ class AccessMatrix {
   // Swap the columns of iterators a and b (loop interchange).
   void interchange(int col_a, int col_b);
 
+  // Rewrite for the skew t = i_b + factor*i_a (loop skewing): column a
+  // becomes c_a - factor*c_b so row values are preserved when evaluated with
+  // the skewed iterator t in column b's slot.
+  void skew(int col_a, int col_b, std::int64_t factor);
+
   // Replace iterator `col` by (outer * tile + inner): the column is split in
   // two adjacent columns at position `col` (outer, coefficient c*tile) and
   // `col`+1 (inner, coefficient c). Depth grows by one.

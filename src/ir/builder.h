@@ -114,6 +114,15 @@ class ProgramBuilder {
   int computation_into(int buffer_id, const std::string& name, const std::vector<Var>& iters,
                        const std::vector<Var>& store_vars, const SExpr& rhs);
 
+  // Starts a new top-level nest: the next computation opens fresh loops even
+  // if its leading iterators reuse the previous computation's Var objects.
+  // (Distinct Vars already produce multi-root programs implicitly; this makes
+  // multi-root construction explicit and Var-reuse safe.)
+  void new_root() { prev_nest_.clear(); }
+
+  // Number of top-level loop nests declared so far.
+  int num_roots() const { return static_cast<int>(program_.roots.size()); }
+
   // Finalizes, validates and returns the program. The builder must not be
   // reused afterwards.
   Program build();

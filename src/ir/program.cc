@@ -61,10 +61,23 @@ bool Program::is_reduction_level(int comp_id, int level) const {
   return c.store.matrix.invariant_to(level);
 }
 
+bool Program::is_wave_sum(const LoopNode& l) const {
+  return l.skew_of != -1 && l.skew_is_sum && loop(l.skew_of).parent == l.id;
+}
+
+std::int64_t Program::skew_orig_inner_extent(const LoopNode& sum_loop) const {
+  if (!is_wave_sum(sum_loop)) return sum_loop.iter.extent;
+  const LoopNode& partner = loop(sum_loop.skew_of);
+  return sum_loop.iter.extent - sum_loop.skew_factor * (partner.iter.extent - 1);
+}
+
 std::int64_t Program::iteration_count(int comp_id) const {
   // An (outer, inner) tile pair covers exactly the original extent of the
   // pre-tiling loop, so the inner loop contributes orig_extent and the
-  // matching outer loop contributes 1.
+  // matching outer loop contributes 1. A wave-mode skew pair (t outer,
+  // windowed i inner) executes N*M points, not E_t*N: the t-loop contributes
+  // M = E_t - f*(N-1) and the partner its plain extent N. Offset-mode skew
+  // pairs already store exact trip counts.
   const std::vector<int> nest = nest_of(comp_id);
   std::vector<bool> is_tile_outer(nest.size(), false);
   for (std::size_t i = 0; i < nest.size(); ++i) {
@@ -77,6 +90,10 @@ std::int64_t Program::iteration_count(int comp_id) const {
   for (std::size_t i = 0; i < nest.size(); ++i) {
     const LoopNode& l = loop(nest[i]);
     if (is_tile_outer[i]) continue;
+    if (is_wave_sum(l)) {
+      total *= skew_orig_inner_extent(l);
+      continue;
+    }
     total *= (l.tail_of != -1) ? l.orig_extent : l.iter.extent;
   }
   return total;
@@ -103,6 +120,29 @@ std::vector<AccessMatrix::Range> Program::access_index_ranges(int comp_id,
     std::int64_t lo = m.constant(r);
     std::int64_t hi = m.constant(r);
     std::vector<bool> consumed(nest.size(), false);
+    // Fold skewed pairs back to the pre-skew basis: with t = j + f*i the row
+    // value c_p*i + c_s*t equals (c_p + f*c_s)*i + c_s*j over the rectangular
+    // domain i in [0,N), j in [0,M). (Skewed loops are never tiled, so the
+    // folds below cannot overlap.)
+    for (int s = 0; s < depth; ++s) {
+      const LoopNode& ls = loop(nest[static_cast<std::size_t>(s)]);
+      if (ls.skew_of == -1 || !ls.skew_is_sum) continue;
+      int pp = -1;
+      for (int j = 0; j < depth; ++j)
+        if (nest[static_cast<std::size_t>(j)] == ls.skew_of) pp = j;
+      if (pp < 0) continue;
+      const LoopNode& lp = loop(nest[static_cast<std::size_t>(pp)]);
+      consumed[static_cast<std::size_t>(s)] = true;
+      consumed[static_cast<std::size_t>(pp)] = true;
+      const std::int64_t cj = m.at(r, s);
+      const std::int64_t ci = m.at(r, pp) + ls.skew_factor * cj;
+      const std::int64_t span_j = skew_orig_inner_extent(ls) - 1;
+      const std::int64_t span_i = lp.iter.extent - 1;
+      if (cj > 0) hi += cj * span_j;
+      else lo += cj * span_j;
+      if (ci > 0) hi += ci * span_i;
+      else lo += ci * span_i;
+    }
     // First fold (outer, inner) tile pairs with the (v*s, v) pattern.
     for (int i = 0; i < depth; ++i) {
       const int o = outer_pos[static_cast<std::size_t>(i)];
@@ -176,6 +216,21 @@ std::optional<std::string> Program::validate() const {
     if (l.parent != parent) return fail("loop " + l.iter.name + " has wrong parent pointer");
     if (l.iter.extent <= 0) return fail("loop " + l.iter.name + " has non-positive extent");
     if (l.body.empty()) return fail("loop " + l.iter.name + " has empty body");
+    if (l.skew_of != -1) {
+      if (l.skew_of < 0 || l.skew_of >= static_cast<int>(loops.size()))
+        return fail("loop " + l.iter.name + " has dangling skew partner");
+      const LoopNode& partner = loops[static_cast<std::size_t>(l.skew_of)];
+      if (partner.skew_of != l.id || partner.skew_is_sum == l.skew_is_sum)
+        return fail("loop " + l.iter.name + " has inconsistent skew pair");
+      if (l.skew_factor < 1 || l.skew_factor != partner.skew_factor)
+        return fail("loop " + l.iter.name + " has invalid skew factor");
+      if (partner.parent != l.id && l.parent != partner.id)
+        return fail("skew pair " + l.iter.name + "/" + partner.iter.name +
+                    " is not parent-child");
+      const LoopNode& sum = l.skew_is_sum ? l : partner;
+      if (skew_orig_inner_extent(sum) <= 0)
+        return fail("skew pair of " + l.iter.name + " has non-positive inner extent");
+    }
     for (const BodyItem& item : l.body) {
       if (item.kind == BodyItem::Kind::Loop) {
         if (auto err = walk(item.index, loop_id)) return err;
@@ -238,6 +293,13 @@ std::string Program::to_string() const {
     if (l.parallel) os << "parallel ";
     os << "for " << l.iter.name << " in 0.." << l.iter.extent;
     if (l.tail_of != -1) os << " (tile-inner of " << loop(l.tail_of).iter.name << ")";
+    if (l.skew_of != -1) {
+      if (l.skew_is_sum)
+        os << " (skew sum, f=" << l.skew_factor << (is_wave_sum(l) ? ", wave" : ", offset")
+           << ")";
+      else
+        os << " (skew partner of " << loop(l.skew_of).iter.name << ")";
+    }
     if (l.vector_width > 0) os << " vectorize(" << l.vector_width << ")";
     if (l.unroll > 0) os << " unroll(" << l.unroll << ")";
     os << ":\n";

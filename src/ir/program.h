@@ -69,6 +69,21 @@ struct LoopNode {
   int tail_of = -1;
   std::int64_t orig_extent = 0;
 
+  // --- skewing bookkeeping --------------------------------------------------
+  // Skewing an adjacent pair (i, j) with factor f reindexes the inner
+  // iterator to t = j + f*i. Both loops of a skewed pair record their partner
+  // in `skew_of` and the factor in `skew_factor`; the t-loop additionally
+  // sets `skew_is_sum`. Immediately after skewing ("offset mode", t inside
+  // i), the t-loop keeps extent M (the original j extent) and its *value* at
+  // counter k is k + f*value(i); execution order is unchanged. Interchanging
+  // the pair ("wave mode") puts t outside with extent M + f*(N-1) iterating
+  // plainly, while the inner i-loop is windowed to the non-empty band
+  //   i in [max(0, ceil((t-M+1)/f)), min(N-1, floor(t/f))]
+  // which executes exactly the original N*M points in wavefront order.
+  int skew_of = -1;               // partner loop id of a skewed pair
+  std::int64_t skew_factor = 0;   // f >= 1
+  bool skew_is_sum = false;       // true on the t = j + f*i loop of the pair
+
   // --- schedule annotations -------------------------------------------------
   bool parallel = false;
   int vector_width = 0;   // 0: not vectorized
@@ -79,6 +94,9 @@ struct LoopNode {
   bool tag_tiled = false;
   std::int64_t tag_tile_factor = 0;
   bool tag_fused = false;
+  bool tag_skewed = false;
+  std::int64_t tag_skew_factor = 0;
+  bool tag_unimodular = false;
 };
 
 class Program {
@@ -111,6 +129,14 @@ class Program {
   // True iff iterator at position `level` of comp's nest is a reduction
   // iterator (the store access does not depend on it).
   bool is_reduction_level(int comp_id, int level) const;
+
+  // True iff `l` is the t-loop of a skewed pair positioned *outside* its
+  // partner (wavefront order, i.e. the pair has been interchanged).
+  bool is_wave_sum(const LoopNode& l) const;
+
+  // Original inner extent M of a skewed pair, given its t-loop: the stored
+  // extent in offset mode, extent - f*(N-1) in wave mode.
+  std::int64_t skew_orig_inner_extent(const LoopNode& sum_loop) const;
 
   // Total number of innermost iterations of a computation (product of
   // effective extents). Tiling keeps this invariant.

@@ -24,6 +24,13 @@ struct CompTags {
   std::vector<bool> tiled;
   std::vector<std::int64_t> tile_factor;
   std::vector<bool> parallel;
+  std::vector<bool> skewed;
+  std::vector<std::int64_t> skew_factor;
+  std::vector<bool> unimodular;
+  // Flattened 3x3 unimodular coefficient matrix; identity when the schedule
+  // has no unimodular transform for this computation (a 2x2 transform embeds
+  // top-left with [2][2] = 1).
+  std::vector<std::int64_t> unimod_coeffs;
   bool unrolled = false;
   std::int64_t unroll_factor = 0;
   bool vectorized = false;
@@ -36,11 +43,34 @@ CompTags gather_tags(int comp_id, int depth, const transforms::Schedule& s) {
   t.tiled.assign(static_cast<std::size_t>(depth), false);
   t.tile_factor.assign(static_cast<std::size_t>(depth), 0);
   t.parallel.assign(static_cast<std::size_t>(depth), false);
+  t.skewed.assign(static_cast<std::size_t>(depth), false);
+  t.skew_factor.assign(static_cast<std::size_t>(depth), 0);
+  t.unimodular.assign(static_cast<std::size_t>(depth), false);
+  t.unimod_coeffs = {1, 0, 0, 0, 1, 0, 0, 0, 1};
   auto in_range = [&](int l) { return l >= 0 && l < depth; };
   for (const auto& i : s.interchanges) {
     if (i.comp != comp_id) continue;
     if (in_range(i.level_a)) t.interchanged[static_cast<std::size_t>(i.level_a)] = true;
     if (in_range(i.level_b)) t.interchanged[static_cast<std::size_t>(i.level_b)] = true;
+  }
+  for (const auto& sk : s.skews) {
+    if (sk.comp != comp_id) continue;
+    for (int l : {sk.level_a, sk.level_a + 1}) {
+      if (!in_range(l)) continue;
+      t.skewed[static_cast<std::size_t>(l)] = true;
+      t.skew_factor[static_cast<std::size_t>(l)] = sk.factor;
+    }
+  }
+  for (const auto& u : s.unimodulars) {
+    if (u.comp != comp_id) continue;
+    const int k = u.coeffs.size() == 9 ? 3 : 2;
+    for (int l = u.level; l < u.level + k; ++l)
+      if (in_range(l)) t.unimodular[static_cast<std::size_t>(l)] = true;
+    t.unimod_coeffs = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    for (int r = 0; r < k; ++r)
+      for (int c = 0; c < k; ++c)
+        t.unimod_coeffs[static_cast<std::size_t>(r * 3 + c)] =
+            u.coeffs[static_cast<std::size_t>(r * k + c)];
   }
   for (const auto& ti : s.tiles) {
     if (ti.comp != comp_id) continue;
@@ -144,6 +174,9 @@ std::optional<FeaturizedProgram> featurize(const ir::Program& program,
           v.push_back(0.0f);
           v.push_back(0.0f);
         }
+        v.push_back(tags.skewed[static_cast<std::size_t>(l)] ? 1.0f : 0.0f);
+        v.push_back(xlog(lt, static_cast<double>(tags.skew_factor[static_cast<std::size_t>(l)])));
+        v.push_back(tags.unimodular[static_cast<std::size_t>(l)] ? 1.0f : 0.0f);
       } else {
         for (int k = 0; k < FeatureConfig::kPerLoop; ++k) v.push_back(0.0f);
       }
@@ -186,6 +219,10 @@ std::optional<FeaturizedProgram> featurize(const ir::Program& program,
     v.push_back(xlog(lt, ops.muls));
     v.push_back(xlog(lt, ops.subs));
     v.push_back(xlog(lt, ops.divs));
+
+    // --- unimodular coefficient matrix ---------------------------------------
+    for (std::int64_t coeff : tags.unimod_coeffs)
+      v.push_back(xlog(lt, static_cast<double>(coeff)));
 
     if (static_cast<int>(v.size()) != config.computation_vector_size())
       return fail("featurize: internal size mismatch");

@@ -9,11 +9,20 @@
 //       * the loop nest vector: per loop level, its bounds plus boolean tags
 //         and parameters of the transformations applied to that level
 //         (reduction, fusion, interchange, tiling + factor, unrolling +
-//         factor, parallelization, vectorization + width),
+//         factor, parallelization, vectorization + width, skewing + factor,
+//         unimodular membership),
 //       * the assignment vector: the access matrix and buffer id of each
 //         memory access (zero-padded to a fixed count), the store buffer's
-//         rank and dimension sizes, and the operation counts.
+//         rank and dimension sizes, the operation counts, and the flattened
+//         3x3 unimodular coefficient matrix of the computation's transform
+//         (identity when none; a 2x2 transform embeds top-left with
+//         coeff[2][2] = 1).
 // Non-boolean features are signed-log transformed: sign(x) * log1p(|x|).
+//
+// Schema v2 (LOOPer-class space): v1 vectors had 12 per-loop features and no
+// unimodular coefficient block. FeatureConfig::schema_version feeds the
+// registry's feature-config hash, so checkpoints trained on v1 features are
+// rejected at load time instead of silently mis-predicting.
 //
 // Deviation from the paper, documented in DESIGN.md: we include
 // parallelization/vectorization tags in the loop nest vector because our
@@ -37,10 +46,19 @@ struct FeatureConfig {
   bool log_transform = true;
   bool include_par_vec_tags = true;
 
+  // Feature-vector layout revision. Bumped to 2 when the LOOPer-class
+  // schedule space (skewing / unimodular transforms) extended the per-loop
+  // and per-computation features; mixed into registry::feature_config_hash
+  // so pre-revision checkpoints are rejected at load.
+  int schema_version = 2;
+
   // Features per loop level: extent, lower bound, reduction, fused,
   // interchanged, tiled, tile factor, unrolled, unroll factor, parallel,
-  // vectorized, vector width.
-  static constexpr int kPerLoop = 12;
+  // vectorized, vector width, skewed, skew factor, unimodular.
+  static constexpr int kPerLoop = 15;
+
+  // Flattened 3x3 unimodular coefficient matrix per computation.
+  static constexpr int kUnimodCoeffs = 9;
 
   // Features per access: present flag, buffer id, access matrix R x (n+1).
   int per_access() const { return 2 + max_rank * (max_depth + 1); }
@@ -50,7 +68,8 @@ struct FeatureConfig {
     return kPerLoop * max_depth           // loop nest vector
            + 1 + max_rank                 // store rank + store dim sizes
            + max_accesses * per_access()  // assignment vector
-           + 4;                           // op counts
+           + 4                            // op counts
+           + kUnimodCoeffs;               // unimodular coefficient matrix
   }
 
   // The paper's dimensions (n=7, m=21, buffers up to rank 5).

@@ -138,6 +138,7 @@ std::uint64_t feature_config_hash(const model::FeatureConfig& config) {
   mix(static_cast<std::uint64_t>(config.max_rank));
   mix(config.log_transform ? 1 : 0);
   mix(config.include_par_vec_tags ? 1 : 0);
+  mix(static_cast<std::uint64_t>(config.schema_version));
   return h;
 }
 
@@ -155,6 +156,7 @@ std::string manifest_to_string(const ModelManifest& m) {
   out << "features.log_transform " << (m.config.features.log_transform ? 1 : 0) << '\n';
   out << "features.include_par_vec_tags " << (m.config.features.include_par_vec_tags ? 1 : 0)
       << '\n';
+  out << "features.schema_version " << m.config.features.schema_version << '\n';
   write_int_list(out, "embed_hidden", m.config.embed_hidden);
   out << "embed_size " << m.config.embed_size << '\n';
   write_int_list(out, "merge_hidden", m.config.merge_hidden);
@@ -189,6 +191,11 @@ ModelManifest manifest_from_string(const std::string& text) {
                                std::to_string(fmt));
   }
   ModelManifest m;
+  // Manifests written before the LOOPer-class feature revision carry no
+  // schema_version key: they describe v1 feature vectors. (Their stored
+  // feature_hash was also computed without this field, so recomputing the
+  // hash from the parsed config flags them as unservable either way.)
+  m.config.features.schema_version = 1;
   const auto read_int_list = [](std::istringstream& rest) {
     std::vector<int> xs;
     int x;
@@ -217,6 +224,7 @@ ModelManifest manifest_from_string(const std::string& text) {
       rest >> b;
       m.config.features.include_par_vec_tags = b;
     }
+    else if (key == "features.schema_version") rest >> m.config.features.schema_version;
     else if (key == "embed_hidden") { m.config.embed_hidden = read_int_list(rest); scalar = false; }
     else if (key == "embed_size") rest >> m.config.embed_size;
     else if (key == "merge_hidden") { m.config.merge_hidden = read_int_list(rest); scalar = false; }
@@ -345,10 +353,13 @@ ModelManifest ModelRegistry::manifest(int version) const {
 std::unique_ptr<model::SpeedupPredictor> ModelRegistry::load(int version) const {
   TCM_FAILPOINT("checkpoint.load");
   const ModelManifest m = manifest(version);
-  if (feature_config_hash(m.config.features) != m.feature_hash)
-    throw std::runtime_error("ModelRegistry: feature-config hash mismatch in manifest of " +
-                             version_name(version) +
-                             " (checkpoint is not servable behind this featurization)");
+  const std::uint64_t recomputed = feature_config_hash(m.config.features);
+  if (recomputed != m.feature_hash)
+    throw std::runtime_error(
+        "ModelRegistry: feature-config hash mismatch in manifest of " + version_name(version) +
+        " (manifest " + std::to_string(m.feature_hash) + " vs current featurization " +
+        std::to_string(recomputed) +
+        "; checkpoint was trained on a different feature schema and is not servable)");
   std::unique_ptr<model::SpeedupPredictor> model = make_model(m);
   if (!nn::load_parameters(model->module(), weights_path(version)))
     throw std::runtime_error("ModelRegistry: cannot open weights of " + version_name(version));

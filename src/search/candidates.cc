@@ -41,6 +41,8 @@ std::vector<DecisionPoint> decision_points(const ir::Program& p,
     if (c >= 0) points.push_back({DecisionPoint::Kind::Fusion, c});
   }
   for (const ir::Computation& c : p.comps)
+    points.push_back({DecisionPoint::Kind::Skew, c.id});
+  for (const ir::Computation& c : p.comps)
     points.push_back({DecisionPoint::Kind::Interchange, c.id});
   for (const ir::Computation& c : p.comps)
     points.push_back({DecisionPoint::Kind::Tile, c.id});
@@ -78,6 +80,22 @@ std::vector<transforms::Schedule> expand_decision(const ir::Program& p,
         transforms::Schedule s = prefix;
         s.fusions.push_back({decision.comp, partner, depth});
         push_if_legal(p, out, std::move(s));
+      }
+      break;
+    }
+    case DecisionPoint::Kind::Skew: {
+      // Skew an adjacent pair, optionally followed by the wavefront
+      // interchange of that pair (which the dependence check may reject
+      // independently of the skew itself).
+      const int depth = p.depth_of(decision.comp);
+      for (int la = 0; la + 1 < depth; ++la) {
+        for (std::int64_t f : options.skew_factors) {
+          transforms::Schedule s = prefix;
+          s.skews.push_back({decision.comp, la, f});
+          push_if_legal(p, out, s);
+          s.interchanges.push_back({decision.comp, la, la + 1});
+          push_if_legal(p, out, std::move(s));
+        }
       }
       break;
     }

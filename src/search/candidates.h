@@ -3,8 +3,10 @@
 // with which parameters). States are schedule prefixes; both beam search and
 // MCTS walk the same space.
 //
-// Decision order (canonical, Section 5 / Figure 3):
+// Decision order (canonical, Section 5 / Figure 3, extended with the
+// LOOPer-class skewing space):
 //   for each adjacent pair of top-level nests: fuse? at which depth?
+//   for each computation: skew? which pair, factor, wavefront or not?
 //   for each computation: interchange? which levels?
 //   for each computation: tile? which level and sizes?
 //   for each computation: unroll? which factor?
@@ -25,6 +27,7 @@ struct SearchSpaceOptions {
   std::vector<std::int64_t> tile_sizes = {16, 32, 64, 128};
   bool allow_3d_tiling = true;
   std::vector<int> unroll_factors = {2, 4, 8, 16};
+  std::vector<std::int64_t> skew_factors = {1, 2};
   int vector_width = 8;
   // Limits the number of interchange pairs explored per computation (closest
   // pairs first) to keep the branching factor manageable.
@@ -34,7 +37,7 @@ struct SearchSpaceOptions {
 // One decision point: alternatives extending a schedule prefix. The first
 // alternative is always "do nothing" (the unmodified prefix).
 struct DecisionPoint {
-  enum class Kind { Fusion, Interchange, Tile, Unroll };
+  enum class Kind { Fusion, Skew, Interchange, Tile, Unroll };
   Kind kind;
   int comp = -1;  // target computation (representative for fusions)
 };

@@ -81,6 +81,9 @@ std::uint64_t fingerprint(const ir::Program& p) {
     }
     h.mix_int(l.tail_of);
     h.mix_int(l.orig_extent);
+    h.mix_int(l.skew_of);
+    h.mix_int(l.skew_factor);
+    h.mix(l.skew_is_sum ? 1 : 0);
     h.mix(l.parallel ? 1 : 0);
     h.mix_int(l.vector_width);
     h.mix_int(l.unroll);
@@ -88,6 +91,9 @@ std::uint64_t fingerprint(const ir::Program& p) {
     h.mix(l.tag_tiled ? 1 : 0);
     h.mix_int(l.tag_tile_factor);
     h.mix(l.tag_fused ? 1 : 0);
+    h.mix(l.tag_skewed ? 1 : 0);
+    h.mix_int(l.tag_skew_factor);
+    h.mix(l.tag_unimodular ? 1 : 0);
   }
   h.mix(p.comps.size());
   for (const ir::Computation& c : p.comps) {
@@ -109,6 +115,19 @@ std::uint64_t fingerprint(const transforms::Schedule& s) {
     h.mix_int(f.comp_a);
     h.mix_int(f.comp_b);
     h.mix_int(f.depth);
+  }
+  h.mix(s.skews.size());
+  for (const auto& sk : s.skews) {
+    h.mix_int(sk.comp);
+    h.mix_int(sk.level_a);
+    h.mix_int(sk.factor);
+  }
+  h.mix(s.unimodulars.size());
+  for (const auto& u : s.unimodulars) {
+    h.mix_int(u.comp);
+    h.mix_int(u.level);
+    h.mix(u.coeffs.size());
+    for (std::int64_t c : u.coeffs) h.mix_int(c);
   }
   h.mix(s.interchanges.size());
   for (const auto& i : s.interchanges) {

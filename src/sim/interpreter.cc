@@ -80,6 +80,10 @@ void exec_comp(ExecContext& ctx, int comp_id) {
   else storage[static_cast<std::size_t>(flat)] = value;
 }
 
+std::int64_t ceil_div_signed(std::int64_t a, std::int64_t b) {  // b > 0
+  return a >= 0 ? (a + b - 1) / b : -((-a) / b);
+}
+
 void exec_loop(ExecContext& ctx, int loop_id) {
   const ir::LoopNode& l = ctx.p.loop(loop_id);
   std::int64_t extent = l.iter.extent;
@@ -88,8 +92,27 @@ void exec_loop(ExecContext& ctx, int loop_id) {
     const std::int64_t outer_idx = ctx.loop_value[static_cast<std::size_t>(l.tail_of)];
     extent = std::min<std::int64_t>(extent, l.orig_extent - outer_idx * l.iter.extent);
   }
-  for (std::int64_t v = 0; v < extent; ++v) {
-    ctx.loop_value[static_cast<std::size_t>(loop_id)] = v;
+  std::int64_t first = 0;
+  std::int64_t value_base = 0;  // loop *value* = value_base + counter
+  if (l.skew_of != -1) {
+    const ir::LoopNode& partner = ctx.p.loop(l.skew_of);
+    if (l.skew_is_sum) {
+      // Offset mode (t inside its partner i): value t = counter + f*i.
+      // Wave mode (t outside): t iterates plainly over the wavefront extent.
+      if (partner.parent != l.id)
+        value_base = l.skew_factor * ctx.loop_value[static_cast<std::size_t>(l.skew_of)];
+    } else if (l.parent == l.skew_of) {
+      // Wave-mode inner partner: window i to the non-empty band of the
+      // diagonal t, executing exactly the original N*M points overall.
+      const std::int64_t f = l.skew_factor;
+      const std::int64_t t = ctx.loop_value[static_cast<std::size_t>(l.skew_of)];
+      const std::int64_t m = ctx.p.skew_orig_inner_extent(partner);
+      first = std::max<std::int64_t>(0, ceil_div_signed(t - m + 1, f));
+      extent = std::min<std::int64_t>(extent, t / f + 1);
+    }
+  }
+  for (std::int64_t v = first; v < extent; ++v) {
+    ctx.loop_value[static_cast<std::size_t>(loop_id)] = value_base + v;
     for (const ir::BodyItem& item : l.body) {
       if (item.kind == ir::BodyItem::Kind::Loop) exec_loop(ctx, item.index);
       else exec_comp(ctx, item.index);

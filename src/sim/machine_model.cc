@@ -34,6 +34,13 @@ NestInfo analyze_nest(const ir::Program& p, int comp_id) {
       // Average trip count of a tail-bounded inner tile loop.
       const double outer_trips = static_cast<double>(p.loop(l.tail_of).iter.extent);
       e = static_cast<double>(l.orig_extent) / std::max(1.0, outer_trips);
+    } else if (l.skew_of != -1 && !l.skew_is_sum && l.parent == l.skew_of) {
+      // Wave-mode inner partner: the window over the diagonal t averages
+      // N*M / E_t iterations, keeping the nest's total at N*M.
+      const ir::LoopNode& sum = p.loop(l.skew_of);
+      const double n = static_cast<double>(l.iter.extent);
+      const double m = static_cast<double>(p.skew_orig_inner_extent(sum));
+      e = n * m / std::max(1.0, static_cast<double>(sum.iter.extent));
     }
     info.eff_extent[i] = std::max(1.0, e);
     if (l.parallel && info.parallel_level == -1) info.parallel_level = static_cast<int>(i);

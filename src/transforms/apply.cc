@@ -55,6 +55,8 @@ class Applier {
 
   // Each step returns an error string on legality failure.
   std::optional<std::string> fuse(const FuseSpec& s);
+  std::optional<std::string> skew(const SkewSpec& s);
+  std::optional<std::string> unimodular(const UnimodularSpec& s);
   std::optional<std::string> interchange(const InterchangeSpec& s);
   std::optional<std::string> tile(const TileSpec& s);
   std::optional<std::string> unroll(const UnrollSpec& s);
@@ -70,6 +72,44 @@ class Applier {
   std::optional<std::string> check_comp(int comp_id) const {
     if (comp_id < 0 || comp_id >= static_cast<int>(prog_.comps.size()))
       return "unknown computation id " + std::to_string(comp_id);
+    return std::nullopt;
+  }
+
+  // Checks that swapping levels (la, lb) of the nests under loop `b_id`
+  // preserves every producer->consumer dependence: the post-swap distance
+  // vector is the pre-swap one with entries la and lb exchanged (the raw
+  // distances and the per-level mapping are invariant under the swap), so
+  // the check runs *before* any mutation and needs no rollback.
+  std::optional<std::string> check_interchange_dependences(int b_id, int la, int lb) const {
+    std::vector<int> comps;
+    collect_comps(prog_, b_id, comps);
+    if (comps.size() < 2) return std::nullopt;
+    const std::vector<int> order = prog_.comps_in_order();
+    std::vector<int> order_index(prog_.comps.size(), 0);
+    for (std::size_t i = 0; i < order.size(); ++i)
+      order_index[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+    for (int pa : comps) {
+      const ir::Computation& prod = prog_.comp(pa);
+      for (int cb : comps) {
+        if (pa == cb) continue;
+        const ir::Computation& cons = prog_.comp(cb);
+        for (const ir::BufferAccess& load : cons.rhs.loads()) {
+          if (load.buffer_id != prod.store.buffer_id) continue;
+          auto dvec = dependence_distance_ranges(prog_, pa, cb, load);
+          if (!dvec)
+            return "interchange: dependence of " + cons.name + " on " + prod.name +
+                   " is not analyzable";
+          if (la < static_cast<int>(dvec->size()) && lb < static_cast<int>(dvec->size()))
+            std::swap((*dvec)[static_cast<std::size_t>(la)],
+                      (*dvec)[static_cast<std::size_t>(lb)]);
+          const bool prod_first = order_index[static_cast<std::size_t>(pa)] <
+                                  order_index[static_cast<std::size_t>(cb)];
+          if (!distances_lex_nonneg(*dvec, prod_first))
+            return "interchange: would reverse the dependence of " + cons.name + " on " +
+                   prod.name + " (lexicographically negative distance after swap)";
+        }
+      }
+    }
     return std::nullopt;
   }
 
@@ -132,6 +172,8 @@ std::optional<std::string> Applier::fuse(const FuseSpec& s) {
       return "fusion: extent mismatch at level " + std::to_string(l);
     if (la.tail_of != -1 || lb.tail_of != -1)
       return std::string("fusion: cannot fuse tiled loops");
+    if (la.skew_of != -1 || lb.skew_of != -1)
+      return std::string("fusion: cannot fuse skewed loops");
   }
 
   // The b-side must be a pure chain above the fusion depth so that merging
@@ -166,27 +208,241 @@ std::optional<std::string> Applier::fuse(const FuseSpec& s) {
   return std::nullopt;
 }
 
+std::optional<std::string> Applier::skew(const SkewSpec& s) {
+  if (auto e = check_comp(s.comp)) return e;
+  if (s.factor < 1 || s.factor > 16)
+    return std::string("skew: factor must be in [1, 16]");
+  const int la = s.level_a;
+  const int lb = la + 1;
+  const std::vector<int> nest = prog_.nest_of(s.comp);
+  if (la < 0 || lb >= static_cast<int>(nest.size()))
+    return std::string("skew: level out of range");
+  for (int l = la; l <= lb; ++l) {
+    const ir::LoopNode& ln = prog_.loop(nest[static_cast<std::size_t>(l)]);
+    if (ln.tail_of != -1 || ln.tag_tiled)
+      return std::string("skew: cannot skew tiled loops");
+    if (ln.skew_of != -1) return std::string("skew: loop is already part of a skewed pair");
+  }
+  if (!perfectly_nested(nest, la, lb))
+    return std::string("skew: levels are not perfectly nested");
+
+  // t = j + f*i: a pure change of basis, always legal on its own. Execution
+  // order is unchanged (offset mode); the dependence check bites only when
+  // the pair is subsequently interchanged into wavefront order.
+  ir::LoopNode& outer = prog_.loop(nest[static_cast<std::size_t>(la)]);
+  ir::LoopNode& inner = prog_.loop(nest[static_cast<std::size_t>(lb)]);
+  outer.skew_of = inner.id;
+  outer.skew_factor = s.factor;
+  outer.skew_is_sum = false;
+  inner.skew_of = outer.id;
+  inner.skew_factor = s.factor;
+  inner.skew_is_sum = true;
+  inner.iter.name = outer.iter.name + "+" + inner.iter.name;
+  for (ir::LoopNode* l : {&outer, &inner}) {
+    l->tag_skewed = true;
+    l->tag_skew_factor = s.factor;
+  }
+
+  // Rewrite accesses: values are preserved when column lb is evaluated with
+  // the skewed iterator t = j + f*i.
+  std::vector<int> comps;
+  collect_comps(prog_, inner.id, comps);
+  for (int cid : comps) {
+    ir::Computation& c = prog_.comps[static_cast<std::size_t>(cid)];
+    c.store.matrix.skew(la, lb, s.factor);
+    c.rhs = c.rhs.map_accesses([&](const ir::AccessMatrix& m) {
+      ir::AccessMatrix out = m;
+      out.skew(la, lb, s.factor);
+      return out;
+    });
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Applier::unimodular(const UnimodularSpec& s) {
+  if (auto e = check_comp(s.comp)) return e;
+  int k = 0;
+  if (s.coeffs.size() == 4) k = 2;
+  else if (s.coeffs.size() == 9) k = 3;
+  else return std::string("unimodular: coefficient matrix must be 2x2 or 3x3");
+  const std::vector<int> nest = prog_.nest_of(s.comp);
+  if (s.level < 0 || s.level + k > static_cast<int>(nest.size()))
+    return std::string("unimodular: level out of range");
+  for (int l = s.level; l < s.level + k; ++l) {
+    const ir::LoopNode& ln = prog_.loop(nest[static_cast<std::size_t>(l)]);
+    if (ln.tail_of != -1 || ln.tag_tiled)
+      return std::string("unimodular: cannot transform tiled loops");
+    if (ln.skew_of != -1) return std::string("unimodular: cannot transform skewed loops");
+  }
+  if (!perfectly_nested(nest, s.level, s.level + k - 1))
+    return std::string("unimodular: levels are not perfectly nested");
+
+  auto at = [&](int r, int c) { return s.coeffs[static_cast<std::size_t>(r * k + c)]; };
+  std::int64_t det = 0;
+  if (k == 2) {
+    det = at(0, 0) * at(1, 1) - at(0, 1) * at(1, 0);
+  } else {
+    det = at(0, 0) * (at(1, 1) * at(2, 2) - at(1, 2) * at(2, 1)) -
+          at(0, 1) * (at(1, 0) * at(2, 2) - at(1, 2) * at(2, 0)) +
+          at(0, 2) * (at(1, 0) * at(2, 1) - at(1, 1) * at(2, 0));
+  }
+  if (det != 1 && det != -1) return std::string("unimodular: |det| must be 1");
+
+  // Decompose U = P2 * L * P1 into the engine's primitives: P1 an arbitrary
+  // permutation (applied as interchanges before skewing, so the skew-band
+  // restrictions do not fire), L identity or one adjacent skew, P2 identity
+  // or the wavefront swap of the skewed pair (which carries the real
+  // dependence-distance check). Deterministic first match wins.
+  using Mat = std::vector<std::int64_t>;  // row-major k x k
+  auto mul = [&](const Mat& x, const Mat& y) {
+    Mat out(static_cast<std::size_t>(k * k), 0);
+    for (int r = 0; r < k; ++r)
+      for (int c = 0; c < k; ++c) {
+        std::int64_t v = 0;
+        for (int m = 0; m < k; ++m)
+          v += x[static_cast<std::size_t>(r * k + m)] * y[static_cast<std::size_t>(m * k + c)];
+        out[static_cast<std::size_t>(r * k + c)] = v;
+      }
+    return out;
+  };
+  auto ident = [&] {
+    Mat m(static_cast<std::size_t>(k * k), 0);
+    for (int i = 0; i < k; ++i) m[static_cast<std::size_t>(i * k + i)] = 1;
+    return m;
+  };
+  // Permutation sigma as a matrix: new level r holds old iterator sigma[r].
+  auto perm_mat = [&](const std::vector<int>& sigma) {
+    Mat m(static_cast<std::size_t>(k * k), 0);
+    for (int r = 0; r < k; ++r) m[static_cast<std::size_t>(r * k + sigma[static_cast<std::size_t>(r)])] = 1;
+    return m;
+  };
+
+  std::vector<int> sigma(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) sigma[static_cast<std::size_t>(i)] = i;
+  std::vector<std::vector<int>> perms;
+  do {
+    perms.push_back(sigma);
+  } while (std::next_permutation(sigma.begin(), sigma.end()));
+
+  const Mat target(s.coeffs.begin(), s.coeffs.end());
+  struct Plan {
+    std::vector<int> p1;
+    int skew_pos = -1;  // band-relative; -1: no skew
+    std::int64_t factor = 0;
+    bool wavefront = false;
+  };
+  std::optional<Plan> plan;
+  for (const auto& p1 : perms) {
+    if (plan) break;
+    const Mat m1 = perm_mat(p1);
+    // L = identity.
+    if (mul(ident(), m1) == target) {
+      plan = Plan{p1, -1, 0, false};
+      break;
+    }
+    for (int pos = 0; pos + 1 < k && !plan; ++pos) {
+      for (std::int64_t f = 1; f <= 8 && !plan; ++f) {
+        Mat l = ident();
+        l[static_cast<std::size_t>((pos + 1) * k + pos)] = f;  // t = x_{pos+1} + f*x_pos
+        const Mat lm1 = mul(l, m1);
+        if (lm1 == target) {
+          plan = Plan{p1, pos, f, false};
+          break;
+        }
+        std::vector<int> swap_sigma(static_cast<std::size_t>(k));
+        for (int i = 0; i < k; ++i) swap_sigma[static_cast<std::size_t>(i)] = i;
+        std::swap(swap_sigma[static_cast<std::size_t>(pos)],
+                  swap_sigma[static_cast<std::size_t>(pos + 1)]);
+        if (mul(perm_mat(swap_sigma), lm1) == target)
+          plan = Plan{p1, pos, f, true};
+      }
+    }
+  }
+  if (!plan)
+    return std::string(
+        "unimodular: matrix is not decomposable into permutation + adjacent skew "
+        "(+ wavefront) primitives");
+
+  // Apply P1 as interchanges: selection-sort the band into sigma order.
+  std::vector<int> slot(static_cast<std::size_t>(k));  // slot[r] = original level in slot r
+  for (int i = 0; i < k; ++i) slot[static_cast<std::size_t>(i)] = i;
+  for (int r = 0; r < k; ++r) {
+    const int want = plan->p1[static_cast<std::size_t>(r)];
+    const auto it = std::find(slot.begin() + r, slot.end(), want);
+    const int j = static_cast<int>(it - slot.begin());
+    if (j == r) continue;
+    if (auto e = interchange({s.comp, s.level + r, s.level + j}))
+      return "unimodular: " + *e;
+    std::swap(slot[static_cast<std::size_t>(r)], slot[static_cast<std::size_t>(j)]);
+  }
+  if (plan->skew_pos >= 0) {
+    if (auto e = skew({s.comp, s.level + plan->skew_pos, plan->factor}))
+      return "unimodular: " + *e;
+    if (plan->wavefront) {
+      if (auto e = interchange({s.comp, s.level + plan->skew_pos, s.level + plan->skew_pos + 1}))
+        return "unimodular: " + *e;
+    }
+  }
+  const std::vector<int> new_nest = prog_.nest_of(s.comp);
+  for (int l = s.level; l < s.level + k; ++l)
+    prog_.loop(new_nest[static_cast<std::size_t>(l)]).tag_unimodular = true;
+  return std::nullopt;
+}
+
 std::optional<std::string> Applier::interchange(const InterchangeSpec& s) {
   if (auto e = check_comp(s.comp)) return e;
   int la = s.level_a, lb = s.level_b;
   if (la > lb) std::swap(la, lb);
   if (la == lb) return std::string("interchange: identical levels");
   const std::vector<int> nest = prog_.nest_of(s.comp);
-  if (lb >= static_cast<int>(nest.size()))
+  if (la < 0 || lb >= static_cast<int>(nest.size()))
     return std::string("interchange: level out of range");
+  bool band_has_skew = false;
   for (int l = la; l <= lb; ++l) {
     const ir::LoopNode& ln = prog_.loop(nest[static_cast<std::size_t>(l)]);
     if (ln.tail_of != -1 || ln.tag_tiled)
       return std::string("interchange: cannot interchange tiled loops");
+    if (ln.skew_of != -1) band_has_skew = true;
   }
+  // A band containing skewed loops may only be swapped when (la, lb) is
+  // exactly the skewed pair: that is the wavefront toggle. Any other swap
+  // would tear the pair apart.
+  if (band_has_skew &&
+      (lb != la + 1 ||
+       prog_.loop(nest[static_cast<std::size_t>(la)]).skew_of !=
+           nest[static_cast<std::size_t>(lb)]))
+    return std::string("interchange: cannot interchange across a skewed pair");
   if (!perfectly_nested(nest, la, lb))
     return std::string("interchange: levels do not delimit a perfectly nested chain");
 
   ir::LoopNode& a = prog_.loop(nest[static_cast<std::size_t>(la)]);
   ir::LoopNode& b = prog_.loop(nest[static_cast<std::size_t>(lb)]);
+
+  // Dependence legality, checked before any mutation (see helper comment).
+  if (auto e = check_interchange_dependences(b.id, la, lb)) return e;
+
   std::swap(a.iter, b.iter);
   a.tag_interchanged = true;
   b.tag_interchanged = true;
+
+  if (band_has_skew) {
+    // The skew bookkeeping follows the iterator: partner ids already point at
+    // each other's nodes, but the sum flag and the mode-dependent extents
+    // must be fixed up for the new positions.
+    std::swap(a.skew_is_sum, b.skew_is_sum);
+    std::swap(a.tag_skewed, b.tag_skewed);
+    std::swap(a.tag_skew_factor, b.tag_skew_factor);
+    std::swap(a.tag_unimodular, b.tag_unimodular);
+    const std::int64_t f = a.skew_factor;
+    if (a.skew_is_sum) {
+      // offset -> wave: t moves outside; it now iterates plainly over
+      // E_t = M + f*(N-1) while the inner partner is windowed.
+      a.iter.extent = a.iter.extent + f * (b.iter.extent - 1);
+    } else {
+      // wave -> offset: t moves back inside with its original extent M.
+      b.iter.extent = b.iter.extent - f * (a.iter.extent - 1);
+    }
+  }
 
   // Remap every access of every computation under the deeper loop.
   std::vector<int> comps;
@@ -213,6 +469,7 @@ std::optional<std::string> Applier::tile(const TileSpec& s) {
   for (int k = 0; k < d; ++k) {
     const ir::LoopNode& ln = prog_.loop(nest[static_cast<std::size_t>(s.level + k)]);
     if (ln.tail_of != -1 || ln.tag_tiled) return std::string("tile: loop already tiled");
+    if (ln.skew_of != -1) return std::string("tile: cannot tile skewed loops");
     const std::int64_t size = s.sizes[static_cast<std::size_t>(k)];
     if (size < 2) return std::string("tile: size must be >= 2");
     if (size > ln.iter.extent)
@@ -349,6 +606,7 @@ std::optional<std::string> Applier::finalize() {
     l.id = old_to_new[static_cast<std::size_t>(l.id)];
     if (l.parent != -1) l.parent = old_to_new[static_cast<std::size_t>(l.parent)];
     if (l.tail_of != -1) l.tail_of = old_to_new[static_cast<std::size_t>(l.tail_of)];
+    if (l.skew_of != -1) l.skew_of = old_to_new[static_cast<std::size_t>(l.skew_of)];
     for (ir::BodyItem& item : l.body)
       if (item.kind == ir::BodyItem::Kind::Loop)
         item.index = old_to_new[static_cast<std::size_t>(item.index)];
@@ -374,6 +632,10 @@ ApplyResult try_apply_schedule(const ir::Program& p, const Schedule& s) {
   };
   for (const auto& f : s.fusions)
     if (!step(applier.fuse(f))) return result;
+  for (const auto& sk : s.skews)
+    if (!step(applier.skew(sk))) return result;
+  for (const auto& u : s.unimodulars)
+    if (!step(applier.unimodular(u))) return result;
   for (const auto& i : s.interchanges)
     if (!step(applier.interchange(i))) return result;
   for (const auto& t : s.tiles)

@@ -108,6 +108,291 @@ std::optional<std::string> check_fusion_dependences(const ir::Program& p,
   return std::nullopt;
 }
 
+namespace {
+
+// --- raw-basis machinery for dependence distance vectors ---------------------
+//
+// Tile pairs and skewed pairs make the current loop basis non-rectangular
+// (tail trip counts, wavefront windows). To solve dependences with plain
+// interval arithmetic we lift the shared loop prefix to a "raw" basis:
+// every tile (outer, inner) pair collapses back to one iterator of the
+// original extent, and every skewed (i, t) pair is un-skewed back to (i, j).
+// The raw domain is rectangular by construction, distances are solved there,
+// and the per-level results are mapped back through the structure.
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {  // b > 0
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+struct SharedLevel {
+  enum class Kind { Plain, TileOuter, TileInner, SkewSum, SkewPartner };
+  Kind kind = Kind::Plain;
+  int raw = -1;                 // raw iterator this level draws from
+  int raw_i = -1;               // SkewSum: raw iterator of the partner (i)
+  int partner_pos = -1;         // pair levels: nest position of the other half
+  std::int64_t size = 0;        // Tile*: inner tile extent
+  std::int64_t factor = 0;      // Skew*: f
+};
+
+struct RawBasis {
+  std::vector<SharedLevel> levels;     // one per shared nest position
+  std::vector<std::int64_t> extents;   // per raw iterator (rectangular)
+};
+
+// Lifts the first `shared` loops of `nest` to the raw basis. Returns nullopt
+// when the structure is not one we can un-transform (e.g. a tile pair
+// straddling the shared prefix), in which case callers must be conservative.
+std::optional<RawBasis> build_raw_basis(const ir::Program& p, const std::vector<int>& nest,
+                                        int shared) {
+  RawBasis basis;
+  basis.levels.resize(static_cast<std::size_t>(shared));
+  std::vector<int> pos_of_loop;  // loop id -> prefix position or -1
+  pos_of_loop.assign(p.loops.size(), -1);
+  for (int c = 0; c < shared; ++c) pos_of_loop[static_cast<std::size_t>(nest[c])] = c;
+
+  std::vector<char> done(static_cast<std::size_t>(shared), 0);
+  for (int c = 0; c < shared; ++c) {
+    if (done[static_cast<std::size_t>(c)]) continue;
+    const ir::LoopNode& l = p.loop(nest[static_cast<std::size_t>(c)]);
+    if (l.skew_of != -1) {
+      const int pp = pos_of_loop[static_cast<std::size_t>(l.skew_of)];
+      if (pp < 0) return std::nullopt;  // pair straddles the prefix
+      const int sum_pos = l.skew_is_sum ? c : pp;
+      const int par_pos = l.skew_is_sum ? pp : c;
+      const ir::LoopNode& sum = p.loop(nest[static_cast<std::size_t>(sum_pos)]);
+      const ir::LoopNode& par = p.loop(nest[static_cast<std::size_t>(par_pos)]);
+      const int raw_i = static_cast<int>(basis.extents.size());
+      basis.extents.push_back(par.iter.extent);
+      const int raw_j = static_cast<int>(basis.extents.size());
+      basis.extents.push_back(p.skew_orig_inner_extent(sum));
+      basis.levels[static_cast<std::size_t>(sum_pos)] = {SharedLevel::Kind::SkewSum, raw_j,
+                                                         raw_i, par_pos, 0, sum.skew_factor};
+      basis.levels[static_cast<std::size_t>(par_pos)] = {SharedLevel::Kind::SkewPartner, raw_i,
+                                                         -1, sum_pos, 0, sum.skew_factor};
+      done[static_cast<std::size_t>(sum_pos)] = done[static_cast<std::size_t>(par_pos)] = 1;
+    } else if (l.tail_of != -1) {
+      const int op = pos_of_loop[static_cast<std::size_t>(l.tail_of)];
+      if (op < 0) return std::nullopt;  // tile pair straddles the prefix
+      const int raw = static_cast<int>(basis.extents.size());
+      basis.extents.push_back(l.orig_extent);
+      basis.levels[static_cast<std::size_t>(c)] = {SharedLevel::Kind::TileInner, raw, -1, op,
+                                                   l.iter.extent, 0};
+      basis.levels[static_cast<std::size_t>(op)] = {SharedLevel::Kind::TileOuter, raw, -1, c,
+                                                    l.iter.extent, 0};
+      done[static_cast<std::size_t>(c)] = done[static_cast<std::size_t>(op)] = 1;
+    } else {
+      // Plain now; may be claimed later as TileOuter by a deeper inner loop.
+      const int raw = static_cast<int>(basis.extents.size());
+      basis.extents.push_back(l.iter.extent);
+      basis.levels[static_cast<std::size_t>(c)] = {SharedLevel::Kind::Plain, raw, -1, -1, 0, 0};
+    }
+  }
+  // A tile outer claimed after being provisionally marked Plain leaves a stale
+  // raw iterator behind; rebuild extent bookkeeping by a second pass instead.
+  // (TileInner always appears after its outer in nest order, so the outer was
+  // marked Plain first; drop the stale Plain raw slot by remapping.)
+  std::vector<int> remap(basis.extents.size(), -1);
+  std::vector<std::int64_t> extents;
+  for (const SharedLevel& lv : basis.levels) {
+    if (lv.kind == SharedLevel::Kind::TileOuter) continue;  // shares inner's raw
+    if (remap[static_cast<std::size_t>(lv.raw)] == -1) {
+      remap[static_cast<std::size_t>(lv.raw)] = static_cast<int>(extents.size());
+      extents.push_back(basis.extents[static_cast<std::size_t>(lv.raw)]);
+    }
+  }
+  for (SharedLevel& lv : basis.levels) {
+    lv.raw = remap[static_cast<std::size_t>(lv.raw)];
+    if (lv.raw_i != -1) lv.raw_i = remap[static_cast<std::size_t>(lv.raw_i)];
+  }
+  basis.extents = std::move(extents);
+  return basis;
+}
+
+// Value hull span of the iterator at nest position `c` (values in [0, span]).
+// Only the offset-mode t-loop has values exceeding its counter range.
+std::int64_t value_span(const ir::Program& p, const std::vector<int>& nest, int c) {
+  const ir::LoopNode& l = p.loop(nest[static_cast<std::size_t>(c)]);
+  if (l.skew_of != -1 && l.skew_is_sum && !p.is_wave_sum(l)) {
+    const ir::LoopNode& partner = p.loop(l.skew_of);
+    return l.skew_factor * (partner.iter.extent - 1) + l.iter.extent - 1;
+  }
+  return l.iter.extent - 1;
+}
+
+// Converts row r of access matrix `m` (current basis) to coefficients over
+// the raw iterators of the shared prefix. Returns false when the row does not
+// follow the canonical tile pattern (outer coef == inner coef * tile size),
+// in which case the row cannot be used for pinning.
+bool raw_row(const RawBasis& basis, const ir::AccessMatrix& m, int r,
+             std::vector<std::int64_t>& raw_coef) {
+  raw_coef.assign(basis.extents.size(), 0);
+  for (int c = 0; c < static_cast<int>(basis.levels.size()); ++c) {
+    const SharedLevel& lv = basis.levels[static_cast<std::size_t>(c)];
+    switch (lv.kind) {
+      case SharedLevel::Kind::Plain:
+        raw_coef[static_cast<std::size_t>(lv.raw)] += m.at(r, c);
+        break;
+      case SharedLevel::Kind::TileInner: {
+        const std::int64_t v = m.at(r, c);
+        if (m.at(r, lv.partner_pos) != v * lv.size) return false;
+        raw_coef[static_cast<std::size_t>(lv.raw)] += v;
+        break;
+      }
+      case SharedLevel::Kind::TileOuter:
+        break;  // folded into the inner half
+      case SharedLevel::Kind::SkewSum: {
+        // value = cs*t + cp*i = cs*(j + f*i) + cp*i = cs*j + (cp + f*cs)*i
+        const std::int64_t cs = m.at(r, c);
+        const std::int64_t cp = m.at(r, lv.partner_pos);
+        raw_coef[static_cast<std::size_t>(lv.raw)] += cs;
+        raw_coef[static_cast<std::size_t>(lv.raw_i)] += cp + lv.factor * cs;
+        break;
+      }
+      case SharedLevel::Kind::SkewPartner:
+        break;  // folded into the sum half
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<ir::AccessMatrix::Range>> dependence_distance_ranges(
+    const ir::Program& p, int producer_id, int consumer_id, const ir::BufferAccess& load) {
+  const ir::Computation& prod = p.comp(producer_id);
+  const std::vector<int> pn = p.nest_of(producer_id);
+  const std::vector<int> cn = p.nest_of(consumer_id);
+  const int shared = shared_prefix(p, producer_id, consumer_id);
+  const auto basis = build_raw_basis(p, cn, shared);
+  if (!basis) return std::nullopt;
+  const int nraw = static_cast<int>(basis->extents.size());
+  const ir::AccessMatrix& S = prod.store.matrix;
+  const ir::AccessMatrix& L = load.matrix;
+
+  const int rows = std::min(S.rank(), L.rank());
+  std::vector<std::vector<std::int64_t>> sraw(static_cast<std::size_t>(rows));
+  std::vector<std::vector<std::int64_t>> lraw(static_cast<std::size_t>(rows));
+  std::vector<char> usable(static_cast<std::size_t>(rows), 0);
+  for (int r = 0; r < rows; ++r) {
+    usable[static_cast<std::size_t>(r)] =
+        raw_row(*basis, S, r, sraw[static_cast<std::size_t>(r)]) &&
+        raw_row(*basis, L, r, lraw[static_cast<std::size_t>(r)]);
+    if (!usable[static_cast<std::size_t>(r)]) continue;
+    // Pinning additionally requires the produced index to be independent of
+    // producer-private loops.
+    for (int c = shared; c < S.depth(); ++c)
+      if (S.at(r, c) != 0) usable[static_cast<std::size_t>(r)] = 0;
+  }
+
+  // Solve the distance per raw iterator.
+  std::vector<ir::AccessMatrix::Range> draw(static_cast<std::size_t>(nraw));
+  for (int c = 0; c < nraw; ++c) {
+    int pin = -1;
+    for (int r = 0; r < rows && pin < 0; ++r) {
+      if (!usable[static_cast<std::size_t>(r)]) continue;
+      bool ok = sraw[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] == 1;
+      for (int k = 0; ok && k < nraw; ++k)
+        if (k != c && sraw[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] != 0)
+          ok = false;
+      if (ok) pin = r;
+    }
+    const std::int64_t span_c = basis->extents[static_cast<std::size_t>(c)] - 1;
+    if (pin < 0) {
+      draw[static_cast<std::size_t>(c)] = {-span_c, span_c};
+      continue;
+    }
+    // y_prod_c = lraw[pin] . y_cons + sum(private L coefs * values) + Lconst - Sconst
+    // d_c = y_cons_c - y_prod_c.
+    std::int64_t lo = S.constant(pin) - L.constant(pin);
+    std::int64_t hi = lo;
+    auto add_term = [&](std::int64_t coef, std::int64_t span) {
+      if (coef > 0) hi += coef * span;
+      else lo += coef * span;
+    };
+    for (int k = 0; k < nraw; ++k) {
+      std::int64_t coef = -lraw[static_cast<std::size_t>(pin)][static_cast<std::size_t>(k)];
+      if (k == c) coef += 1;
+      if (coef != 0) add_term(coef, basis->extents[static_cast<std::size_t>(k)] - 1);
+    }
+    for (int cp = shared; cp < L.depth(); ++cp) {
+      const std::int64_t coef = -L.at(pin, cp);
+      if (coef != 0) add_term(coef, value_span(p, cn, cp));
+    }
+    draw[static_cast<std::size_t>(c)] = {lo, hi};
+  }
+
+  // Map the raw distances back through the tile / skew structure.
+  std::vector<ir::AccessMatrix::Range> out(static_cast<std::size_t>(shared));
+  for (int c = 0; c < shared; ++c) {
+    const SharedLevel& lv = basis->levels[static_cast<std::size_t>(c)];
+    const ir::AccessMatrix::Range d = draw[static_cast<std::size_t>(lv.raw)];
+    switch (lv.kind) {
+      case SharedLevel::Kind::Plain:
+        out[static_cast<std::size_t>(c)] = d;
+        break;
+      case SharedLevel::Kind::TileOuter:
+        out[static_cast<std::size_t>(c)] = {floor_div(d.min, lv.size),
+                                            floor_div(d.max + lv.size - 1, lv.size)};
+        break;
+      case SharedLevel::Kind::TileInner:
+        out[static_cast<std::size_t>(c)] =
+            (d.min == 0 && d.max == 0) ? ir::AccessMatrix::Range{0, 0}
+                                       : ir::AccessMatrix::Range{-(lv.size - 1), lv.size - 1};
+        break;
+      case SharedLevel::Kind::SkewSum: {
+        // d_t = d_j + f*d_i, with f > 0.
+        const ir::AccessMatrix::Range di = draw[static_cast<std::size_t>(lv.raw_i)];
+        out[static_cast<std::size_t>(c)] = {d.min + lv.factor * di.min,
+                                            d.max + lv.factor * di.max};
+        break;
+      }
+      case SharedLevel::Kind::SkewPartner:
+        out[static_cast<std::size_t>(c)] = d;
+        break;
+    }
+  }
+  return out;
+}
+
+bool distances_lex_nonneg(std::span<const ir::AccessMatrix::Range> d, bool producer_first) {
+  for (const ir::AccessMatrix::Range& r : d) {
+    if (r.min > 0) return true;   // provably carried positively here
+    if (r.min < 0) return false;  // may be negative while all earlier are zero
+  }
+  return producer_first;  // all-zero distance: textual order decides
+}
+
+std::optional<std::string> check_lexicographic_order(const ir::Program& p) {
+  const std::vector<int> order = p.comps_in_order();
+  std::vector<int> order_index(p.comps.size(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order_index[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        static_cast<int>(i);
+
+  for (const ir::Computation& prod : p.comps) {
+    for (const ir::Computation& cons : p.comps) {
+      if (prod.id == cons.id) continue;
+      for (const ir::BufferAccess& load : cons.rhs.loads()) {
+        if (load.buffer_id != prod.store.buffer_id) continue;
+        const auto dvec = dependence_distance_ranges(p, prod.id, cons.id, load);
+        if (!dvec) continue;  // unanalyzable: no claim either way
+        const bool prod_first = order_index[static_cast<std::size_t>(prod.id)] <
+                                order_index[static_cast<std::size_t>(cons.id)];
+        if (!distances_lex_nonneg(*dvec, prod_first)) {
+          std::ostringstream os;
+          os << "dependence " << prod.name << " -> " << cons.name
+             << " has a lexicographically negative distance vector: [";
+          for (std::size_t k = 0; k < dvec->size(); ++k)
+            os << (k ? ", " : "") << "[" << (*dvec)[k].min << "," << (*dvec)[k].max << "]";
+          os << "]" << (prod_first ? "" : " (producer textually after consumer)");
+          return os.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 bool level_carries_dependence(const ir::Program& p, int loop_id) {
   std::vector<int> comps;
   collect_comps(p, loop_id, comps);
@@ -123,12 +408,30 @@ bool level_carries_dependence(const ir::Program& p, int loop_id) {
       const auto cons_extents = p.extents_of(cb);
       for (const ir::BufferAccess& load : cons.rhs.loads()) {
         if (load.buffer_id != prod.store.buffer_id) continue;
+        // Fast path: producer and consumer instances perfectly aligned at
+        // this loop (value difference identically zero).
+        bool safe = false;
         const int row = store_row_for_col(prod.store.matrix, level);
-        if (row < 0) return true;  // loop does not produce the dim: accumulation order
         const int shared = shared_prefix(p, pa, cb);
-        const auto range =
-            value_difference_range(prod.store.matrix, row, load.matrix, shared, cons_extents);
-        if (!range || range->min != 0 || range->max != 0) return true;
+        if (row >= 0) {
+          const auto range =
+              value_difference_range(prod.store.matrix, row, load.matrix, shared, cons_extents);
+          safe = range && range->min == 0 && range->max == 0;
+        }
+        if (!safe) {
+          // Distance-vector path: the level is dependence-free when the
+          // distance here is exactly zero, or when some outer level provably
+          // carries the whole dependence (strictly positive distance). The
+          // latter is what legalizes inner-parallel wavefronts.
+          const auto dvec = dependence_distance_ranges(p, pa, cb, load);
+          if (dvec && level < static_cast<int>(dvec->size())) {
+            const ir::AccessMatrix::Range d = (*dvec)[static_cast<std::size_t>(level)];
+            if (d.min == 0 && d.max == 0) safe = true;
+            for (int k = 0; !safe && k < level; ++k)
+              if ((*dvec)[static_cast<std::size_t>(k)].min > 0) safe = true;
+          }
+        }
+        if (!safe) return true;
       }
     }
   }

@@ -10,6 +10,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "ir/program.h"
 
@@ -44,5 +45,35 @@ std::optional<std::string> check_fusion_dependences(const ir::Program& p,
 // of that loop may read a value produced by a *different* iteration of it.
 // Such a loop must not be parallelized or vectorized.
 bool level_carries_dependence(const ir::Program& p, int loop_id);
+
+// --- dependence distance vectors (skewing / wavefront legality) ---
+
+// Per-level ranges of the dependence distance vector of the flow dependence
+// producer -> consumer through `load` (a load in the consumer reading the
+// producer's output buffer), expressed in the programs's *current* loop
+// basis over the shared loop prefix of the two nests:
+//   d[l] = (consumer iteration at level l) - (shared-prefix iteration of the
+//          producer instance that wrote the value being read)
+// The analysis lifts both access matrices to a rectangular "raw" basis (tile
+// pairs re-merged, skewed pairs un-skewed), pins each raw iterator of the
+// producer instance via store rows with unit coefficient, solves the
+// resulting interval per raw level, and maps the raw distances back through
+// the tile / skew structure. Levels whose producing iteration cannot be
+// pinned get the full +/- iteration span. Returns nullopt when the pair is
+// not analyzable at all (e.g. a non-canonical split access pattern), in
+// which case callers must be conservative.
+std::optional<std::vector<ir::AccessMatrix::Range>> dependence_distance_ranges(
+    const ir::Program& p, int producer_id, int consumer_id, const ir::BufferAccess& load);
+
+// True iff a distance vector with the given per-level ranges is provably
+// lexicographically non-negative; an all-zero vector is legal only when the
+// producer precedes the consumer textually (`producer_first`).
+bool distances_lex_nonneg(std::span<const ir::AccessMatrix::Range> d, bool producer_first);
+
+// Whole-program sanity check used by the legality fuzz tests: verifies every
+// analyzable producer -> consumer dependence distance vector is
+// lexicographically non-negative under the current loop structure. Returns
+// the first provable violation, or nullopt when none is found.
+std::optional<std::string> check_lexicographic_order(const ir::Program& p);
 
 }  // namespace tcm::transforms

@@ -15,6 +15,17 @@ std::string Schedule::to_string() const {
     sep();
     os << "fuse(c" << f.comp_a << ",c" << f.comp_b << ",depth=" << f.depth << ")";
   }
+  for (const auto& s : skews) {
+    sep();
+    os << "skew(c" << s.comp << ",L" << s.level_a << ",L" << s.level_a + 1 << ",f=" << s.factor
+       << ")";
+  }
+  for (const auto& u : unimodulars) {
+    sep();
+    os << "unimodular(c" << u.comp << ",L" << u.level << ",[";
+    for (std::size_t k = 0; k < u.coeffs.size(); ++k) os << (k ? "," : "") << u.coeffs[k];
+    os << "])";
+  }
   for (const auto& i : interchanges) {
     sep();
     os << "interchange(c" << i.comp << ",L" << i.level_a << ",L" << i.level_b << ")";

@@ -1,13 +1,16 @@
 // Schedules: sequences of code transformations applied to a program.
 //
-// Following the paper's search space (Figure 3 and Section 2), a schedule is
+// Following the paper's search space (Figure 3 and Section 2), extended to
+// the LOOPer-class space of the follow-up work (skewing and general
+// unimodular transformations, arXiv 2206.03684 / 2403.11522), a schedule is
 // a canonically ordered sequence:
-//   fusions -> interchanges -> tilings -> unrollings -> parallelization ->
-//   vectorization
-// Interchange/tile levels refer to the computation's loop nest *before
-// tiling* (fusion and interchange do not renumber levels); the applier maps
-// them to the restructured tree. Unroll and vectorize always target the
-// innermost loop of the computation, as in the paper.
+//   fusions -> skews -> unimodulars -> interchanges -> tilings ->
+//   unrollings -> parallelization -> vectorization
+// Interchange/skew/unimodular/tile levels refer to the computation's loop
+// nest *before tiling* (fusion, skewing and interchange do not renumber
+// levels); the applier maps them to the restructured tree. Unroll and
+// vectorize always target the innermost loop of the computation, as in the
+// paper.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +35,33 @@ struct InterchangeSpec {
   int level_a = 0;
   int level_b = 1;
   bool operator==(const InterchangeSpec&) const = default;
+};
+
+// Skew the adjacent pair (level_a, level_a+1) of the computation's nest with
+// factor f >= 1: the inner iterator is reindexed to t = j + f*i. Skewing
+// alone never reorders iterations (it is a pure change of basis and is
+// always legal when structurally applicable); its payoff is the wavefront
+// order obtained by subsequently interchanging the skewed pair, which is
+// where the dependence-distance legality check bites.
+struct SkewSpec {
+  int comp = -1;
+  int level_a = 0;              // outer loop of the pair; inner is level_a+1
+  std::int64_t factor = 1;
+  bool operator==(const SkewSpec&) const = default;
+};
+
+// General unimodular transform of `k` adjacent levels starting at `level`,
+// where k*k = coeffs.size() (row-major, k = 2 or 3): new iteration vector
+// y = U x. Subsumes interchange (permutation matrices) and skewing
+// (elementary skew matrices). The applier decomposes U into the supported
+// primitive sequence P2 * skew * P1 (any permutation, at most one adjacent
+// skew with factor in [1,8], optionally followed by the wavefront swap of
+// the skewed pair) and rejects undecomposable matrices as illegal.
+struct UnimodularSpec {
+  int comp = -1;
+  int level = 0;
+  std::vector<std::int64_t> coeffs;  // row-major k x k, |det| == 1
+  bool operator==(const UnimodularSpec&) const = default;
 };
 
 // Tile `sizes.size()` consecutive loop levels starting at `level`:
@@ -67,6 +97,8 @@ struct VectorizeSpec {
 
 struct Schedule {
   std::vector<FuseSpec> fusions;
+  std::vector<SkewSpec> skews;
+  std::vector<UnimodularSpec> unimodulars;
   std::vector<InterchangeSpec> interchanges;
   std::vector<TileSpec> tiles;
   std::vector<UnrollSpec> unrolls;
@@ -74,14 +106,14 @@ struct Schedule {
   std::vector<VectorizeSpec> vectorizes;
 
   bool empty() const {
-    return fusions.empty() && interchanges.empty() && tiles.empty() && unrolls.empty() &&
-           parallels.empty() && vectorizes.empty();
+    return fusions.empty() && skews.empty() && unimodulars.empty() && interchanges.empty() &&
+           tiles.empty() && unrolls.empty() && parallels.empty() && vectorizes.empty();
   }
 
   // Total number of transformation commands.
   std::size_t size() const {
-    return fusions.size() + interchanges.size() + tiles.size() + unrolls.size() +
-           parallels.size() + vectorizes.size();
+    return fusions.size() + skews.size() + unimodulars.size() + interchanges.size() +
+           tiles.size() + unrolls.size() + parallels.size() + vectorizes.size();
   }
 
   // Human-readable rendering, e.g. "fuse(c0,c1,@1); interchange(c0,0,2); ...".

@@ -19,10 +19,12 @@
 #include "api/status.h"
 #include "api/wire.h"
 #include "datagen/generator.h"
+#include "ir/builder.h"
 #include "model/cost_model.h"
 #include "model/featurize.h"
 #include "registry/model_registry.h"
 #include "serve/prediction_service.h"
+#include "transforms/apply.h"
 
 namespace fs = std::filesystem;
 
@@ -194,6 +196,85 @@ TEST(Wire, ScheduleRoundTripsThroughJson) {
   }
 }
 
+TEST(Wire, SkewedMultiRootProgramRoundTripsAndFeaturizesBitwise) {
+  // A two-root program plus a schedule exercising the LOOPer-class space:
+  // skew + wavefront interchange on one computation, a unimodular transform
+  // on the other. Both the base program and its transformed form (whose
+  // loops carry skew_of / skew_is_sum / tags) must survive the wire.
+  ir::ProgramBuilder b("skewed");
+  ir::Var i = b.var("i", 8), j = b.var("j", 10);
+  const int in = b.input("in", {8, 10});
+  b.computation("c0", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0);
+  b.new_root();
+  ir::Var i2 = b.var("i2", 8), j2 = b.var("j2", 10);
+  b.computation("c1", {i2, j2}, {i2, j2}, b.load(in, {i2, j2}) + 1.0);
+  const ir::Program original = b.build();
+  ASSERT_EQ(original.roots.size(), 2u);
+
+  transforms::Schedule sched;
+  sched.skews.push_back({0, 0, 2});
+  sched.interchanges.push_back({0, 0, 1});
+  sched.unimodulars.push_back({1, 0, {0, 1, 1, 0}});
+  ASSERT_TRUE(transforms::is_legal(original, sched));
+
+  // Schedule specs survive the wire verbatim.
+  Result<Json> sj = Json::parse(to_json(sched).dump());
+  ASSERT_TRUE(sj.ok());
+  Result<transforms::Schedule> sched_back = schedule_from_json(*sj);
+  ASSERT_TRUE(sched_back.ok()) << sched_back.status().to_string();
+  EXPECT_EQ(*sched_back, sched);
+
+  // Base program + decoded schedule featurize bitwise-identically.
+  Result<Json> pj = Json::parse(to_json(original).dump());
+  ASSERT_TRUE(pj.ok());
+  Result<ir::Program> back = program_from_json(*pj);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->to_string(), original.to_string());
+  auto f1 = model::featurize(original, sched, model::FeatureConfig::fast());
+  auto f2 = model::featurize(*back, *sched_back, model::FeatureConfig::fast());
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  ASSERT_EQ(f1->comp_vectors.size(), f2->comp_vectors.size());
+  for (std::size_t k = 0; k < f1->comp_vectors.size(); ++k)
+    EXPECT_EQ(f1->comp_vectors[k], f2->comp_vectors[k]);
+
+  // The transformed program carries skew loop fields; they round-trip too.
+  const ir::Program transformed = transforms::apply_schedule(original, sched);
+  Result<Json> tj = Json::parse(to_json(transformed).dump());
+  ASSERT_TRUE(tj.ok());
+  Result<ir::Program> tback = program_from_json(*tj);
+  ASSERT_TRUE(tback.ok()) << tback.status().to_string();
+  EXPECT_EQ(tback->to_string(), transformed.to_string());
+  const auto nest = tback->nest_of(0);
+  EXPECT_TRUE(tback->loop(nest[0]).skew_is_sum);
+  EXPECT_EQ(tback->loop(nest[0]).skew_of, tback->loop(nest[1]).id);
+  EXPECT_TRUE(tback->loop(nest[1]).tag_skewed);
+}
+
+TEST(Wire, MalformedSkewAndUnimodularSpecsRejected) {
+  auto parse_schedule = [](const char* text) {
+    Result<Json> doc = Json::parse(text);
+    EXPECT_TRUE(doc.ok());
+    return schedule_from_json(*doc);
+  };
+  // Skew without a factor.
+  Result<transforms::Schedule> r1 = parse_schedule(R"({"skew":[{"comp":0,"level":0}]})");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+  // Unimodular with a coeff count that is not 4 or 9.
+  Result<transforms::Schedule> r2 =
+      parse_schedule(R"({"unimodular":[{"comp":0,"level":0,"coeffs":[1,0,0]}]})");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+  // Non-integer coefficients.
+  Result<transforms::Schedule> r3 =
+      parse_schedule(R"({"unimodular":[{"comp":0,"level":0,"coeffs":[1,0,0,"x"]}]})");
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+  // Well-formed specs still decode.
+  EXPECT_TRUE(parse_schedule(R"({"skew":[{"comp":0,"level":1,"factor":2}]})").ok());
+}
+
 TEST(Wire, RejectsInvalidPrograms) {
   // Structurally broken: comp store access out of buffer bounds.
   Result<Json> doc = Json::parse(R"({
@@ -294,6 +375,47 @@ TEST(Service, PredictMatchesInProcessFuturesBitwise) {
     EXPECT_EQ(response->predictions[i].speedup, direct.speedup) << "row " << i;
     EXPECT_EQ(response->predictions[i].model_version, direct.model_version);
   }
+}
+
+TEST(Service, PredictServesSkewedMultiRootProgramEndToEnd) {
+  // The expanded-space end-to-end path: a multi-root program with a skew +
+  // wavefront interchange on one root and a unimodular transform on the
+  // other goes through the wire decode, featurization and fused inference,
+  // and comes back as a finite positive speedup.
+  const std::string root = make_registry("skewed_e2e");
+  Result<std::unique_ptr<Service>> svc = Service::open(fast_options(root));
+  ASSERT_TRUE(svc.ok()) << svc.status().to_string();
+
+  ir::ProgramBuilder b("wave");
+  ir::Var i = b.var("i", 16), j = b.var("j", 16);
+  const int in = b.input("in", {16, 16});
+  const int c0 = b.computation("c0", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0, nullptr);
+  b.new_root();
+  ir::Var i2 = b.var("i2", 16), j2 = b.var("j2", 16);
+  b.computation("c1", {i2, j2}, {i2, j2}, b.load(b.buffer_of(c0), {i2, j2}) + 1.0);
+  const ir::Program program = b.build();
+  ASSERT_EQ(program.roots.size(), 2u);
+
+  transforms::Schedule sched;
+  sched.skews.push_back({0, 0, 1});
+  sched.interchanges.push_back({0, 0, 1});
+  sched.unimodulars.push_back({1, 0, {0, 1, 1, 0}});
+  ASSERT_TRUE(transforms::is_legal(program, sched));
+
+  // Through the JSON wire, exactly as an HTTP /v1/predict request arrives.
+  Json body = Json::object();
+  body.set("program", to_json(program));
+  body.set("schedule", to_json(sched));
+  Result<Json> parsed = Json::parse(body.dump());
+  ASSERT_TRUE(parsed.ok());
+  Result<PredictRequest> request = predict_request_from_json(*parsed);
+  ASSERT_TRUE(request.ok()) << request.status().to_string();
+
+  Result<PredictResponse> response = (*svc)->predict(*request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  ASSERT_EQ(response->predictions.size(), 1u);
+  EXPECT_GT(response->predictions[0].speedup, 0.0);
+  EXPECT_EQ(response->predictions[0].model_version, 1);
 }
 
 TEST(Service, PredictRejectsBadRequestsWithoutDying) {

@@ -122,12 +122,15 @@ TEST(ScheduleGenerator, ProducesDiverseTransformations) {
   RandomProgramGenerator gen;
   RandomScheduleGenerator sched_gen;
   Rng rng(5);
-  int fusions = 0, interchanges = 0, tiles = 0, unrolls = 0, parallels = 0, vectorizes = 0;
+  int fusions = 0, skews = 0, unimodulars = 0, interchanges = 0, tiles = 0, unrolls = 0,
+      parallels = 0, vectorizes = 0;
   for (std::uint64_t seed = 0; seed < 30; ++seed) {
     const ir::Program p = gen.generate(seed);
     for (int i = 0; i < 4; ++i) {
       const transforms::Schedule s = sched_gen.generate(p, rng);
       fusions += static_cast<int>(s.fusions.size());
+      skews += static_cast<int>(s.skews.size());
+      unimodulars += static_cast<int>(s.unimodulars.size());
       interchanges += static_cast<int>(s.interchanges.size());
       tiles += static_cast<int>(s.tiles.size());
       unrolls += static_cast<int>(s.unrolls.size());
@@ -136,11 +139,55 @@ TEST(ScheduleGenerator, ProducesDiverseTransformations) {
     }
   }
   EXPECT_GT(fusions, 0);
+  EXPECT_GT(skews, 0);
+  EXPECT_GT(unimodulars, 0);
   EXPECT_GT(interchanges, 0);
   EXPECT_GT(tiles, 0);
   EXPECT_GT(unrolls, 0);
   EXPECT_GT(parallels, 0);
   EXPECT_GT(vectorizes, 0);
+}
+
+TEST(Generator, ProducesMultiRootAndSharedRootPrograms) {
+  GeneratorOptions opt;
+  opt.min_comps = 2;
+  opt.max_comps = 4;
+  opt.p_consume_previous = 0.8;
+  opt.p_share_root = 0.5;
+  RandomProgramGenerator gen(opt);
+  int multi_root = 0, shared_root = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const ir::Program p = gen.generate(seed);
+    EXPECT_EQ(p.validate(), std::nullopt);
+    if (p.roots.size() > 1) ++multi_root;
+    // Shared root: fewer top-level nests than computations means at least
+    // two computations natively share loops.
+    if (p.roots.size() < p.comps.size()) ++shared_root;
+  }
+  EXPECT_GT(multi_root, 0);
+  EXPECT_GT(shared_root, 0);
+}
+
+TEST(ScheduleGenerator, EmitsWavefrontPairsOnSkewedSchedules) {
+  RandomProgramGenerator gen;
+  ScheduleGeneratorOptions opt;
+  opt.p_skew = 0.9;
+  opt.p_wavefront = 0.9;
+  RandomScheduleGenerator sched_gen(opt);
+  Rng rng(11);
+  int wavefronts = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const ir::Program p = gen.generate(seed);
+    for (int i = 0; i < 4; ++i) {
+      const transforms::Schedule s = sched_gen.generate(p, rng);
+      EXPECT_TRUE(transforms::is_legal(p, s)) << s.to_string();
+      for (const auto& sk : s.skews)
+        for (const auto& ic : s.interchanges)
+          if (ic.comp == sk.comp && ic.level_a == sk.level_a && ic.level_b == sk.level_a + 1)
+            ++wavefronts;
+    }
+  }
+  EXPECT_GT(wavefronts, 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -71,6 +71,20 @@ TEST(AccessMatrix, SplitIntroducesTilePair) {
   EXPECT_EQ(m.constant(0), 5);
 }
 
+TEST(AccessMatrix, SkewRewritesPartnerColumn) {
+  // A[i, j] with t = j + 2*i (col 0 = i, col 1 = t): the value of j is
+  // t - 2*i, so each row's i coefficient drops by 2 * (its j coefficient).
+  AccessMatrix m(2, 2);
+  m.set(0, 0, 1);  // row 0: i
+  m.set(1, 1, 1);  // row 1: j
+  m.set(1, 2, 3);  // + 3
+  m.skew(0, 1, 2);
+  EXPECT_EQ(m.at(0, 0), 1);   // i row untouched (no j coefficient)
+  EXPECT_EQ(m.at(1, 0), -2);  // j row: -2*i
+  EXPECT_EQ(m.at(1, 1), 1);   // + t
+  EXPECT_EQ(m.constant(1), 3);
+}
+
 TEST(AccessMatrix, InsertZeroColumn) {
   AccessMatrix m(1, 1);
   m.set(0, 0, 2);
@@ -211,6 +225,21 @@ TEST(Builder, SeparateNestsWhenVarsDiffer) {
   b.computation("c1", {i2}, {i2}, b.load(in, {i2}));
   const Program p = b.build();
   EXPECT_EQ(p.roots.size(), 2u);
+}
+
+TEST(Builder, NewRootForcesSeparateNestDespiteSharedVars) {
+  ProgramBuilder b("t");
+  Var i = b.var("i", 4), j = b.var("j", 8);
+  const int in = b.input("in", {4, 8});
+  b.computation("c0", {i, j}, {i, j}, b.load(in, {i, j}));
+  EXPECT_EQ(b.num_roots(), 1);
+  b.new_root();
+  b.computation("c1", {i, j}, {i, j}, b.load(in, {i, j}) * 2.0);
+  EXPECT_EQ(b.num_roots(), 2);
+  const Program p = b.build();
+  EXPECT_EQ(p.roots.size(), 2u);
+  EXPECT_NE(p.nest_of(0)[0], p.nest_of(1)[0]);
+  EXPECT_EQ(p.validate(), std::nullopt);
 }
 
 TEST(Builder, ReductionDetection) {

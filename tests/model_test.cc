@@ -43,7 +43,7 @@ TEST(FeatureConfig, SizesAreConsistent) {
   const FeatureConfig fast = FeatureConfig::fast();
   EXPECT_EQ(fast.computation_vector_size(),
             FeatureConfig::kPerLoop * fast.max_depth + 1 + fast.max_rank +
-                fast.max_accesses * fast.per_access() + 4);
+                fast.max_accesses * fast.per_access() + 4 + FeatureConfig::kUnimodCoeffs);
   const FeatureConfig paper = FeatureConfig::paper();
   EXPECT_EQ(paper.max_depth, 7);
   EXPECT_EQ(paper.max_accesses, 21);

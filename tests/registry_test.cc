@@ -190,6 +190,47 @@ TEST(ModelRegistry, MismatchedFeatureHashRejectedAtLoad) {
   EXPECT_NO_THROW(registry.manifest(version));
 }
 
+TEST(ModelRegistry, PreSchemaRevCheckpointRejectedWhileIncumbentServes) {
+  // A checkpoint written before the featurization schema rev (skew /
+  // unimodular features) has no features.schema_version key and a feature
+  // hash that never mixed the schema version. Loading it must fail with a
+  // message naming the hash mismatch, and the already-promoted incumbent
+  // must keep serving.
+  ModelRegistry registry(scratch_dir("schema_rev"));
+  Rng rng(1);
+  model::CostModel incumbent(model::ModelConfig::fast(), rng);
+  model::CostModel old_model(model::ModelConfig::fast(), rng);
+  const int v1 = registry.register_version(incumbent, fast_manifest("incumbent"));
+  registry.promote(v1);
+  const int v2 = registry.register_version(old_model, fast_manifest("pre-rev checkpoint"));
+
+  // Rewrite v2's manifest as the pre-rev code would have written it: no
+  // schema_version line. The parser defaults it to 1, so the recomputed
+  // hash can no longer match the stored one.
+  std::string text = manifest_to_string(registry.manifest(v2));
+  const std::size_t line = text.find("features.schema_version");
+  ASSERT_NE(line, std::string::npos);
+  text.erase(line, text.find('\n', line) - line + 1);
+  {
+    std::ofstream f(registry.manifest_path(v2), std::ios::trunc);
+    f << text;
+  }
+
+  try {
+    registry.load(v2);
+    FAIL() << "pre-rev checkpoint must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hash mismatch"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("feature schema"), std::string::npos) << e.what();
+  }
+  // promote() would hand traffic to an unservable model; the load failure
+  // surfaces before any pointer flips, so the incumbent stays active.
+  EXPECT_EQ(registry.active_version(), v1);
+  EXPECT_NO_THROW(registry.load_active());
+  const ModelManifest parsed = manifest_from_string(text);
+  EXPECT_EQ(parsed.config.features.schema_version, 1);  // old default
+}
+
 TEST(ModelRegistry, LoadRejectsUnknownVersionAndKind) {
   ModelRegistry registry(scratch_dir("unknown"));
   EXPECT_THROW(registry.load(1), std::runtime_error);

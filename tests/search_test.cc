@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "benchsuite/benchmarks.h"
 #include "datagen/generator.h"
 #include "search/beam_search.h"
@@ -18,19 +20,42 @@ ir::Program small_benchmark() { return benchsuite::make_heat2d(256, 256); }
 TEST(Candidates, DecisionPointsCoverAllKinds) {
   const ir::Program p = benchsuite::make_conv_relu(2, 3, 64, 64, 2, 3);
   const auto points = decision_points(p, {});
-  int fusion = 0, inter = 0, tile = 0, unroll = 0;
+  int fusion = 0, skew = 0, inter = 0, tile = 0, unroll = 0;
   for (const auto& d : points) {
     switch (d.kind) {
       case DecisionPoint::Kind::Fusion: ++fusion; break;
+      case DecisionPoint::Kind::Skew: ++skew; break;
       case DecisionPoint::Kind::Interchange: ++inter; break;
       case DecisionPoint::Kind::Tile: ++tile; break;
       case DecisionPoint::Kind::Unroll: ++unroll; break;
     }
   }
   EXPECT_EQ(fusion, 1);  // one adjacent nest pair
+  EXPECT_EQ(skew, 2);
   EXPECT_EQ(inter, 2);
   EXPECT_EQ(tile, 2);
   EXPECT_EQ(unroll, 2);
+}
+
+TEST(Candidates, SkewExpansionEnumeratesFactorsAndWavefronts) {
+  const ir::Program p = small_benchmark();
+  SearchSpaceOptions space;
+  space.skew_factors = {1, 2};
+  const auto points = decision_points(p, space);
+  const auto it = std::find_if(points.begin(), points.end(), [](const DecisionPoint& d) {
+    return d.kind == DecisionPoint::Kind::Skew;
+  });
+  ASSERT_NE(it, points.end());
+  const auto alts = expand_decision(p, {}, *it, space);
+  ASSERT_GT(alts.size(), 1u);
+  int skew_only = 0, wavefront = 0;
+  for (const auto& s : alts) {
+    EXPECT_TRUE(transforms::is_legal(p, s)) << s.to_string();
+    if (s.skews.empty()) continue;
+    (s.interchanges.empty() ? skew_only : wavefront) += 1;
+  }
+  EXPECT_GT(skew_only, 0);
+  EXPECT_GT(wavefront, 0);
 }
 
 TEST(Candidates, ExpansionAlwaysIncludesSkip) {
