@@ -1,0 +1,171 @@
+// Throughput of the async autoscheduling job service, cold vs warm.
+//
+// Three measurements against one SearchJobManager over one PredictionService:
+//   cold      every program searched from scratch (empty schedule memory)
+//   warm      identical programs resubmitted — every job answered from the
+//             ScheduleMemory without searching (the recurring-workload path)
+//   concurrent  N client threads submitting distinct programs against a
+//             multi-worker pool (end-to-end jobs/sec under contention)
+//
+// The headline numbers are cold_jobs_per_sec vs warm_jobs_per_sec (the
+// speedup factor schedule reuse buys a recurring workload) emitted to
+// BENCH_search_service.json for the CI perf trajectory.
+//
+// Flags:
+//   --programs N   distinct programs per configuration (default 24)
+//   --clients N    concurrent client threads (default 4)
+//   --json PATH    output path (default BENCH_search_service.json; "" disables)
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "jobs/job_manager.h"
+#include "model/cost_model.h"
+#include "serve/prediction_service.h"
+#include "support/table.h"
+
+using namespace tcm;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+jobs::SearchJobInfo wait_terminal(jobs::SearchJobManager& manager, const std::string& id) {
+  for (;;) {
+    const std::optional<jobs::SearchJobInfo> info = manager.info(id);
+    if (!info) return {};
+    if (info->state == jobs::JobState::kDone || info->state == jobs::JobState::kFailed ||
+        info->state == jobs::JobState::kCancelled)
+      return *info;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+double per_sec(Clock::time_point start, int jobs) {
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return seconds > 0 ? jobs / seconds : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_programs = 24;
+  int clients = 4;
+  std::string json_path = "BENCH_search_service.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--programs" && i + 1 < argc) num_programs = std::atoi(argv[++i]);
+    else if (arg == "--clients" && i + 1 < argc) clients = std::atoi(argv[++i]);
+    else if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+  }
+
+  // Untrained fast-config model: the bench measures service machinery
+  // (queueing, search loop, memory), not model quality.
+  Rng rng(7);
+  model::CostModel cost_model(model::ModelConfig::fast(), rng);
+  serve::ServeOptions serve_options;
+  serve_options.num_threads = 2;
+  serve_options.features = model::FeatureConfig::fast();
+  serve_options.max_queue_latency = std::chrono::microseconds(200);
+  serve::PredictionService service(cost_model, serve_options);
+
+  datagen::RandomProgramGenerator gen(datagen::GeneratorOptions::tiny());
+  std::vector<ir::Program> programs;
+  for (std::uint64_t seed = 0; static_cast<int>(programs.size()) < num_programs && seed < 4096;
+       ++seed) {
+    ir::Program p = gen.generate(seed);
+    if (!p.comps.empty()) programs.push_back(std::move(p));
+  }
+  num_programs = static_cast<int>(programs.size());
+
+  jobs::SearchJobManagerOptions options;
+  options.workers = 1;  // sequential: per-job cost, not pool parallelism
+  options.queue_cap = 0;
+  options.max_finished_jobs = static_cast<std::size_t>(num_programs) * 4;
+  jobs::SearchJobManager manager(service, options);
+
+  // --- cold: every program searched ----------------------------------------
+  std::int64_t cold_evaluations = 0;
+  Clock::time_point start = Clock::now();
+  for (const ir::Program& p : programs) {
+    jobs::SearchJobRequest request;
+    request.program = p;
+    const jobs::SearchJobInfo info = wait_terminal(manager, manager.submit(request));
+    if (info.state != jobs::JobState::kDone) {
+      std::cerr << "cold job failed: " << info.error << "\n";
+      return 1;
+    }
+    cold_evaluations += info.evaluations;
+  }
+  const double cold_jobs_per_sec = per_sec(start, num_programs);
+
+  // --- warm: identical resubmits answered from memory ----------------------
+  start = Clock::now();
+  for (const ir::Program& p : programs) {
+    jobs::SearchJobRequest request;
+    request.program = p;
+    const jobs::SearchJobInfo info = wait_terminal(manager, manager.submit(request));
+    if (info.state != jobs::JobState::kDone || !info.reused) {
+      std::cerr << "warm job was not served from memory\n";
+      return 1;
+    }
+  }
+  const double warm_jobs_per_sec = per_sec(start, num_programs);
+
+  // --- concurrent clients, multi-worker pool, fresh (in-memory) manager ----
+  jobs::SearchJobManagerOptions pool_options;
+  pool_options.workers = clients;
+  pool_options.queue_cap = 0;
+  pool_options.max_finished_jobs = static_cast<std::size_t>(num_programs) * 4;
+  jobs::SearchJobManager pool(service, pool_options);
+  start = Clock::now();
+  std::vector<std::thread> threads;
+  std::vector<int> failures(static_cast<std::size_t>(clients), 0);
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      for (int i = c; i < num_programs; i += clients) {
+        jobs::SearchJobRequest request;
+        request.program = programs[static_cast<std::size_t>(i)];
+        const jobs::SearchJobInfo info = wait_terminal(pool, pool.submit(request));
+        if (info.state != jobs::JobState::kDone) ++failures[static_cast<std::size_t>(c)];
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  for (int f : failures)
+    if (f > 0) {
+      std::cerr << "concurrent jobs failed\n";
+      return 1;
+    }
+  const double concurrent_jobs_per_sec = per_sec(start, num_programs);
+
+  const double reuse_speedup = cold_jobs_per_sec > 0 ? warm_jobs_per_sec / cold_jobs_per_sec : 0;
+  Table table({"config", "jobs_per_sec", "notes"});
+  table.add_row({"cold", std::to_string(cold_jobs_per_sec),
+                 std::to_string(cold_evaluations) + " evaluations total"});
+  table.add_row({"warm_memory_hit", std::to_string(warm_jobs_per_sec),
+                 std::to_string(reuse_speedup) + "x vs cold"});
+  table.add_row({"concurrent_x" + std::to_string(clients),
+                 std::to_string(concurrent_jobs_per_sec), "distinct programs"});
+  std::cout << table.to_string() << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n";
+    out << "  \"bench\": \"search_service\",\n";
+    out << "  \"programs\": " << num_programs << ",\n";
+    out << "  \"clients\": " << clients << ",\n";
+    out << "  \"cold_jobs_per_sec\": " << cold_jobs_per_sec << ",\n";
+    out << "  \"cold_evaluations\": " << cold_evaluations << ",\n";
+    out << "  \"warm_jobs_per_sec\": " << warm_jobs_per_sec << ",\n";
+    out << "  \"warm_reuse_speedup\": " << reuse_speedup << ",\n";
+    out << "  \"concurrent_jobs_per_sec\": " << concurrent_jobs_per_sec << "\n";
+    out << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -35,6 +35,17 @@
 //   --default-deadline-ms N   server-side default request deadline; expired
 //                        requests are shed with 504 (default 0 = none;
 //                        clients tighten per request via X-Deadline-Ms)
+//   --search-workers N   autoscheduling worker threads for POST /v1/search
+//                        (default 2; 0 disables the search endpoints)
+//   --search-queue-cap N bound on queued (not yet running) search jobs;
+//                        overload is shed with 429 + Retry-After
+//                        (default 16; 0 = unbounded)
+//   --search-deadline-ms N   default whole-job search deadline; jobs past it
+//                        fail with DEADLINE_EXCEEDED (default 0 = none;
+//                        clients tighten per job via X-Deadline-Ms)
+//   --search-memory PATH persistent schedule-reuse memory file (default
+//                        "<registry>/schedule_memory.json"; recurring
+//                        programs answer instantly with reused=true)
 //   --failpoints SPEC    arm fault-injection sites, e.g.
 //                        'registry.promote=crash;infer.throw=2*error'
 //                        (needs a -DTCM_FAILPOINTS=ON build; the
@@ -149,6 +160,10 @@ int main(int argc, char** argv) {
   int slow_ms = 1000;
   int admission_cap = 0;
   int default_deadline_ms = 0;
+  int search_workers = 2;
+  int search_queue_cap = 16;
+  int search_deadline_ms = 0;
+  std::string search_memory;
   std::string failpoints;
 
   init_log_level_from_env();  // TCM_LOG_LEVEL; an explicit flag overrides
@@ -180,6 +195,12 @@ int main(int argc, char** argv) {
     else if (arg == "--admission-cap" && i + 1 < argc) admission_cap = std::atoi(argv[++i]);
     else if (arg == "--default-deadline-ms" && i + 1 < argc)
       default_deadline_ms = std::atoi(argv[++i]);
+    else if (arg == "--search-workers" && i + 1 < argc) search_workers = std::atoi(argv[++i]);
+    else if (arg == "--search-queue-cap" && i + 1 < argc)
+      search_queue_cap = std::atoi(argv[++i]);
+    else if (arg == "--search-deadline-ms" && i + 1 < argc)
+      search_deadline_ms = std::atoi(argv[++i]);
+    else if (arg == "--search-memory" && i + 1 < argc) search_memory = argv[++i];
     else if (arg == "--failpoints" && i + 1 < argc) failpoints = argv[++i];
     else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
@@ -235,6 +256,14 @@ int main(int argc, char** argv) {
     sopt.serve.admission_queue_cap = static_cast<std::size_t>(admission_cap);
   if (default_deadline_ms > 0)
     sopt.serve.default_deadline = std::chrono::milliseconds(default_deadline_ms);
+  sopt.enable_search = search_workers > 0;
+  if (sopt.enable_search) {
+    sopt.search.workers = search_workers;
+    sopt.search.queue_cap = search_queue_cap > 0 ? static_cast<std::size_t>(search_queue_cap) : 0;
+    if (search_deadline_ms > 0)
+      sopt.search.default_deadline = std::chrono::milliseconds(search_deadline_ms);
+    sopt.search.memory_path = search_memory;  // empty = <registry>/schedule_memory.json
+  }
   sopt.enable_autopilot = autopilot;
   if (autopilot) {
     sopt.trainer.data.num_programs = bootstrap_programs / 2 + 1;

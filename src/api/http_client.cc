@@ -163,6 +163,7 @@ Result<HttpResponse> HttpClient::read_body(const std::string& head, std::string 
                                            HttpResponse response) {
   std::size_t content_length = 0;
   bool server_closes = false;
+  bool chunked = false;
   std::size_t pos = head.find("\r\n");
   pos = pos == std::string::npos ? head.size() : pos + 2;
   while (pos < head.size()) {
@@ -177,11 +178,46 @@ Result<HttpResponse> HttpClient::read_body(const std::string& head, std::string 
     while (!value.empty() && value.front() == ' ') value.erase(value.begin());
     if (iequals(key, "Content-Length"))
       content_length = static_cast<std::size_t>(std::atoll(value.c_str()));
+    if (iequals(key, "Transfer-Encoding") && iequals(value, "chunked")) chunked = true;
     if (iequals(key, "Content-Type")) response.content_type = value;
     if (iequals(key, "Connection") && iequals(value, "close")) server_closes = true;
     // Keep everything as received too, so callers can read response headers
     // such as X-Request-Id (HttpRequest::header provides the same lookup).
     response.headers.emplace_back(key, std::move(value));
+  }
+  if (chunked) {
+    // Decode the chunked framing into one concatenated body (the caller
+    // splits streamed ndjson on newlines). Blocks until the terminating
+    // zero-size chunk — sufficient for the test/tooling consumers; live
+    // streaming clients (curl) speak chunked natively.
+    std::string body;
+    std::size_t cursor = 0;
+    auto fill = [&](std::size_t needed) -> bool {
+      while (rest.size() - cursor < needed) {
+        char chunk[16384];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n <= 0) return false;
+        rest.append(chunk, static_cast<std::size_t>(n));
+      }
+      return true;
+    };
+    for (;;) {
+      std::size_t eol;
+      while ((eol = rest.find("\r\n", cursor)) == std::string::npos) {
+        if (!fill(rest.size() - cursor + 1))
+          return Status::unavailable("connection closed mid-chunked-body");
+      }
+      const std::size_t size =
+          static_cast<std::size_t>(std::strtoull(rest.c_str() + cursor, nullptr, 16));
+      cursor = eol + 2;
+      if (size == 0) break;  // terminator (no trailers expected)
+      if (!fill(size + 2)) return Status::unavailable("connection closed mid-chunked-body");
+      body.append(rest, cursor, size);
+      cursor += size + 2;  // chunk + CRLF
+    }
+    response.body = std::move(body);
+    if (server_closes) disconnect();
+    return response;
   }
   while (rest.size() < content_length) {
     char chunk[16384];

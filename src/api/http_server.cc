@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdio>
 #include <cstring>
 
 #include "api/http_io.h"
@@ -87,6 +88,51 @@ bool send_response(int fd, const HttpResponse& response, bool keep_alive) {
   return send_all(fd, head) && send_all(fd, response.body);
 }
 
+// Sends a Transfer-Encoding: chunked response: headers, then one chunk per
+// streamer write, then the terminating zero chunk. `on_chunk` runs after
+// every successful chunk write (watchdog beat). Returns false when the
+// client vanished mid-stream.
+bool send_streaming_response(int fd, HttpResponse& response, bool keep_alive,
+                             const std::function<void()>& on_chunk) {
+  std::string head;
+  head.reserve(192);
+  head += "HTTP/1.1 ";
+  head += std::to_string(response.status);
+  head += ' ';
+  head += reason_phrase(response.status);
+  head += "\r\nContent-Type: ";
+  head += response.content_type;
+  head += "\r\nTransfer-Encoding: chunked";
+  for (const auto& [name, value] : response.headers) {
+    head += "\r\n";
+    head += name;
+    head += ": ";
+    head += value;
+  }
+  head += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+  head += "\r\n\r\n";
+  if (!send_all(fd, head)) return false;
+
+  bool alive = true;
+  const ChunkWriter writer = [&](std::string_view chunk) {
+    if (!alive) return false;
+    if (chunk.empty()) return true;  // an empty chunk would end the stream
+    char size_line[24];
+    const int n = std::snprintf(size_line, sizeof size_line, "%zx\r\n", chunk.size());
+    std::string frame;
+    frame.reserve(static_cast<std::size_t>(n) + chunk.size() + 2);
+    frame.append(size_line, static_cast<std::size_t>(n));
+    frame.append(chunk);
+    frame += "\r\n";
+    alive = send_all(fd, frame);
+    if (alive && on_chunk) on_chunk();
+    return alive;
+  };
+  response.streamer(writer);
+  if (!alive) return false;
+  return send_all(fd, "0\r\n\r\n");
+}
+
 // Outcome of reading one request off the connection.
 enum class ReadResult {
   kOk,
@@ -123,6 +169,16 @@ void HttpServer::route(std::string method, std::string path, HttpHandler handler
   routes_.emplace_back(std::move(key), std::move(handler));
 }
 
+void HttpServer::route_prefix(std::string method, std::string prefix, HttpHandler handler) {
+  RouteKey key{std::move(method), std::move(prefix)};
+  for (auto& [existing, existing_handler] : prefix_routes_)
+    if (existing == key) {
+      existing_handler = std::move(handler);
+      return;
+    }
+  prefix_routes_.emplace_back(std::move(key), std::move(handler));
+}
+
 Status HttpServer::start() {
   if (running_.load(std::memory_order_acquire))
     return Status::failed_precondition("HttpServer already running");
@@ -156,10 +212,11 @@ Status HttpServer::start() {
     return Status::unavailable("listen(): " + err);
   }
 
-  // The route table is frozen now; one counter row per route plus the
-  // unmatched slot (404/405).
-  route_counts_ = std::make_unique<StatusClassCounts[]>(routes_.size() + 1);
-  for (std::size_t r = 0; r <= routes_.size(); ++r)
+  // The route table is frozen now; one counter row per route (exact, then
+  // prefix) plus the unmatched slot (404/405).
+  const std::size_t slots = routes_.size() + prefix_routes_.size() + 1;
+  route_counts_ = std::make_unique<StatusClassCounts[]>(slots);
+  for (std::size_t r = 0; r < slots; ++r)
     for (std::atomic<std::uint64_t>& c : route_counts_[r]) c.store(0, std::memory_order_relaxed);
   if (options_.metrics != nullptr) {
     request_duration_ = &options_.metrics->histogram(
@@ -462,7 +519,7 @@ void HttpServer::serve_connection(int fd, obs::Watchdog::Handle heartbeat) {
     if (trace_id != 0) obs::Tracer::instance().set_label(trace_id, request_id);
 
     const auto start = std::chrono::steady_clock::now();
-    std::size_t route_index = routes_.size();
+    std::size_t route_index = routes_.size() + prefix_routes_.size();
     HttpResponse response;
     {
       obs::ScopedSpan span("http.request", trace_id);
@@ -494,20 +551,24 @@ void HttpServer::serve_connection(int fd, obs::Watchdog::Handle heartbeat) {
           trace_id);
     }
     response.headers.emplace_back("X-Request-Id", std::move(request_id));
-    if (!send_response(fd, response, keep_alive)) return;
+    if (response.streamer) {
+      const std::function<void()> beat = options_.watchdog != nullptr
+                                             ? std::function<void()>([this, heartbeat] {
+                                                 options_.watchdog->beat(heartbeat);
+                                               })
+                                             : std::function<void()>();
+      if (!send_streaming_response(fd, response, keep_alive, beat)) return;
+    } else {
+      if (!send_response(fd, response, keep_alive)) return;
+    }
     if (!keep_alive) return;
   }
 }
 
 HttpResponse HttpServer::dispatch(const HttpRequest& request, std::size_t& route_index) const {
   bool path_known = false;
-  route_index = routes_.size();  // unmatched slot unless a route handles it
-  for (std::size_t r = 0; r < routes_.size(); ++r) {
-    const auto& [key, handler] = routes_[r];
-    if (key.path != request.path) continue;
-    path_known = true;
-    if (key.method != request.method) continue;
-    route_index = r;
+  route_index = routes_.size() + prefix_routes_.size();  // unmatched slot
+  const auto run = [&](const HttpHandler& handler) {
     try {
       return handler(request);
     } catch (const std::exception& e) {
@@ -516,6 +577,22 @@ HttpResponse HttpServer::dispatch(const HttpRequest& request, std::size_t& route
     } catch (...) {
       return HttpResponse::json(500, wire_error(500, "INTERNAL", "unknown handler exception"));
     }
+  };
+  for (std::size_t r = 0; r < routes_.size(); ++r) {
+    const auto& [key, handler] = routes_[r];
+    if (key.path != request.path) continue;
+    path_known = true;
+    if (key.method != request.method) continue;
+    route_index = r;
+    return run(handler);
+  }
+  for (std::size_t r = 0; r < prefix_routes_.size(); ++r) {
+    const auto& [key, handler] = prefix_routes_[r];
+    if (request.path.compare(0, key.path.size(), key.path) != 0) continue;
+    path_known = true;
+    if (key.method != request.method) continue;
+    route_index = routes_.size() + r;
+    return run(handler);
   }
   if (path_known)
     return HttpResponse::json(405, wire_error(405, "INVALID_ARGUMENT",
@@ -529,13 +606,17 @@ std::vector<RouteCount> HttpServer::route_counters() const {
   std::vector<RouteCount> out;
   if (route_counts_ == nullptr) return out;
   static const char* kClasses[5] = {"1xx", "2xx", "3xx", "4xx", "5xx"};
-  for (std::size_t r = 0; r <= routes_.size(); ++r) {
-    const bool unmatched = r == routes_.size();
+  const std::size_t slots = routes_.size() + prefix_routes_.size() + 1;
+  for (std::size_t r = 0; r < slots; ++r) {
+    const bool unmatched = r == slots - 1;
+    const RouteKey* key = nullptr;
+    if (!unmatched)
+      key = r < routes_.size() ? &routes_[r].first : &prefix_routes_[r - routes_.size()].first;
     for (std::size_t c = 0; c < 5; ++c) {
       const std::uint64_t n = route_counts_[r][c].load(std::memory_order_relaxed);
       if (n == 0) continue;
-      out.push_back({unmatched ? "other" : routes_[r].first.method,
-                     unmatched ? "other" : routes_[r].first.path, kClasses[c], n});
+      out.push_back({unmatched ? "other" : key->method, unmatched ? "other" : key->path,
+                     kClasses[c], n});
     }
   }
   return out;

@@ -3,8 +3,11 @@
 // Scope: exactly what a model-serving endpoint on a trusted network needs —
 // plain TCP (TLS terminates at the proxy, as with every in-cluster metrics/
 // inference port), HTTP/1.1 with keep-alive and Expect: 100-continue,
-// exact-path routing, Content-Length bodies. No chunked encoding, no
-// pipelining beyond sequential keep-alive, no compression.
+// exact-path routing plus prefix routes for id-bearing paths
+// (/v1/search/{id}), Content-Length bodies in, and either Content-Length or
+// chunked transfer-encoding out (streaming responses for the search event
+// stream). No chunked *request* bodies, no pipelining beyond sequential
+// keep-alive, no compression.
 //
 // Hardening over the raw socket (all enforced before a handler runs):
 //   - header block capped at max_header_bytes  -> 431, connection closed
@@ -59,6 +62,10 @@ struct HttpRequest {
   const std::string* header(std::string_view name) const;
 };
 
+// Writes one chunk of a streaming response; returns false once the client
+// is gone (the streamer should stop producing).
+using ChunkWriter = std::function<bool(std::string_view)>;
+
 struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
@@ -67,15 +74,22 @@ struct HttpResponse {
   // The server itself appends X-Request-Id here (see serve_connection); on
   // the client side HttpClient fills it with everything received.
   std::vector<std::pair<std::string, std::string>> headers;
+  // When set, the response goes out with Transfer-Encoding: chunked: the
+  // headers are sent, then the streamer runs on the connection worker and
+  // every write() becomes one chunk (empty writes are skipped — an empty
+  // chunk would terminate the stream). `body` is ignored. The worker's
+  // watchdog heartbeat is beaten per chunk, so a long-lived stream does not
+  // read as a stalled worker.
+  std::function<void(const ChunkWriter&)> streamer;
 
   // Case-insensitive header lookup; nullptr when absent.
   const std::string* header(std::string_view name) const;
 
   static HttpResponse json(int status, std::string body) {
-    return {status, "application/json", std::move(body), {}};
+    return {status, "application/json", std::move(body), {}, {}};
   }
   static HttpResponse text(int status, std::string body) {
-    return {status, "text/plain; version=0.0.4; charset=utf-8", std::move(body), {}};
+    return {status, "text/plain; version=0.0.4; charset=utf-8", std::move(body), {}, {}};
   }
 };
 
@@ -129,6 +143,11 @@ class HttpServer {
   // uppercase. Re-registering the same (method, path) replaces the handler.
   void route(std::string method, std::string path, HttpHandler handler);
 
+  // Registers a prefix-match route (e.g. "/v1/search/" matches
+  // /v1/search/{anything}). Exact routes win; prefix routes are tried in
+  // registration order. The prefix is the path label in the route counters.
+  void route_prefix(std::string method, std::string prefix, HttpHandler handler);
+
   // Binds, listens and spawns the acceptor + worker threads. Fails (never
   // throws) with UNAVAILABLE when the socket cannot be bound.
   Status start();
@@ -168,9 +187,10 @@ class HttpServer {
   HttpResponse dispatch(const HttpRequest& request, std::size_t& route_index) const;
 
   HttpServerOptions options_;
-  std::vector<std::pair<RouteKey, HttpHandler>> routes_;
-  // routes_.size()+1 slots (last = unmatched); sized at start(), when the
-  // route table freezes.
+  std::vector<std::pair<RouteKey, HttpHandler>> routes_;       // exact paths
+  std::vector<std::pair<RouteKey, HttpHandler>> prefix_routes_;
+  // One slot per exact route, then per prefix route, then the unmatched
+  // slot; sized at start(), when the route table freezes.
   std::unique_ptr<StatusClassCounts[]> route_counts_;
   obs::Histogram* request_duration_ = nullptr;  // null without options_.metrics
 

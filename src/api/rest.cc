@@ -1,6 +1,9 @@
 #include "api/rest.h"
 
+#include <chrono>
 #include <limits>
+#include <string>
+#include <string_view>
 #include <utility>
 
 #include "api/metrics.h"
@@ -88,14 +91,15 @@ void bind_routes(HttpServer& server, Service& service) {
   // is sampled (--trace-sample > 0 on tcm_serve).
   server.route("GET", "/debug/traces", [](const HttpRequest&) {
     return HttpResponse{200, "application/json",
-                        obs::Tracer::instance().export_chrome_json(), {}};
+                        obs::Tracer::instance().export_chrome_json(), {}, {}};
   });
 
   // Flight recorder: the recent structured events (drift triggers, cycle
   // lifecycle, promotes/rollbacks, hot swaps, slow requests, 5xx), oldest
   // first. Same JSON the SIGTERM/crash dump writes to disk.
   server.route("GET", "/debug/events", [](const HttpRequest&) {
-    return HttpResponse{200, "application/json", obs::EventLog::instance().render_json(), {}};
+    return HttpResponse{200, "application/json", obs::EventLog::instance().render_json(), {},
+                        {}};
   });
 
   // One JSON snapshot of everything an operator asks first; see
@@ -180,6 +184,93 @@ void bind_routes(HttpServer& server, Service& service) {
       return http;
     }
     return HttpResponse::json(200, to_json(*response).dump());
+  });
+
+  // --- async autoscheduling jobs -------------------------------------------
+
+  server.route("POST", "/v1/search", [svc, retry_after_s](const HttpRequest& request) {
+    Result<Json> body = parse_body(request);
+    if (!body.ok()) return error_response(body.status());
+    Result<SearchRequest> decoded = search_request_from_json(*body);
+    if (!decoded.ok()) return error_response(decoded.status());
+    // Same relative-budget header as /v1/predict; here it bounds the whole
+    // job (queue wait + search), not one inference.
+    if (const std::string* budget = request.header("X-Deadline-Ms")) {
+      long long ms = 0;
+      if (!parse_int_strict(*budget, &ms))
+        return error_response(
+            Status::invalid_argument("X-Deadline-Ms: integer milliseconds required"));
+      decoded->deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    }
+    Result<jobs::SearchJobInfo> submitted = svc->submit_search(*decoded);
+    if (!submitted.ok()) {
+      HttpResponse http = error_response(submitted.status());
+      if (submitted.status().code() == StatusCode::kResourceExhausted)
+        http.headers.emplace_back("Retry-After", std::to_string(retry_after_s));
+      return http;
+    }
+    // A schedule-memory hit is complete on arrival (200, reused=true);
+    // everything else was accepted for async processing (202 — poll
+    // GET /v1/search/{id} or stream .../events).
+    const int code = submitted->state == jobs::JobState::kDone ? 200 : 202;
+    return HttpResponse::json(code, to_json(*submitted).dump());
+  });
+
+  server.route("GET", "/v1/search", [svc](const HttpRequest&) {
+    Result<std::vector<jobs::SearchJobInfo>> list = svc->list_searches();
+    if (!list.ok()) return error_response(list.status());
+    Json arr = Json::array();
+    for (const jobs::SearchJobInfo& info : *list) arr.push_back(to_json(info));
+    Json j = Json::object();
+    j.set("api_version", Json(static_cast<std::int64_t>(kApiVersion)));
+    j.set("jobs", std::move(arr));
+    return HttpResponse::json(200, j.dump());
+  });
+
+  // Poll one job, or stream its progress: /v1/search/{id}[/events].
+  server.route_prefix("GET", "/v1/search/", [svc](const HttpRequest& request) {
+    constexpr std::string_view kPrefix = "/v1/search/";
+    std::string id = request.path.substr(kPrefix.size());
+    constexpr std::string_view kEvents = "/events";
+    const bool stream = id.size() > kEvents.size() &&
+                        id.compare(id.size() - kEvents.size(), kEvents.size(), kEvents) == 0;
+    if (stream) id.resize(id.size() - kEvents.size());
+    if (id.empty() || id.find('/') != std::string::npos)
+      return error_response(Status::not_found("no route " + request.path));
+    Result<jobs::SearchJobInfo> info = svc->search_job(id);
+    if (!info.ok()) return error_response(info.status());
+    if (!stream) return HttpResponse::json(200, to_json(*info).dump());
+
+    // ndjson over chunked transfer-encoding: one line per progress event,
+    // ending once the job is terminal and its lines are drained. The
+    // streamer runs on the connection worker; bounded waits inside
+    // events_since keep each chunk write (and the worker's watchdog beat)
+    // at most 250ms apart even when the search stalls.
+    jobs::SearchJobManager* manager = svc->search_jobs();
+    HttpResponse streaming;
+    streaming.content_type = "application/x-ndjson";
+    streaming.streamer = [manager, id](const ChunkWriter& write) {
+      std::size_t cursor = 0;
+      for (;;) {
+        const jobs::SearchJobManager::EventBatch batch =
+            manager->events_since(id, cursor, std::chrono::milliseconds(250));
+        for (const std::string& line : batch.lines)
+          if (!write(line + "\n")) return;  // client gone; stop producing
+        cursor += batch.lines.size();
+        if (batch.done && batch.lines.empty()) return;
+      }
+    };
+    return streaming;
+  });
+
+  server.route_prefix("DELETE", "/v1/search/", [svc](const HttpRequest& request) {
+    constexpr std::string_view kPrefix = "/v1/search/";
+    const std::string id = request.path.substr(kPrefix.size());
+    if (id.empty() || id.find('/') != std::string::npos)
+      return error_response(Status::not_found("no route " + request.path));
+    Result<jobs::SearchJobInfo> cancelled = svc->cancel_search(id);
+    if (!cancelled.ok()) return error_response(cancelled.status());
+    return HttpResponse::json(200, to_json(*cancelled).dump());
   });
 }
 

@@ -10,6 +10,15 @@
 //   POST /v1/models/promote       {"version":N} -> {"active":N}
 //   POST /v1/models/rollback      {} -> {"active":M}
 //   POST /v1/predict              PredictRequest -> PredictResponse
+//   POST /v1/search               SearchRequest -> 202 + job snapshot
+//                                 (200 when answered from the schedule
+//                                 memory: "reused":true, already DONE)
+//   GET  /v1/search               {"jobs":[snapshot,...]} newest first
+//   GET  /v1/search/{id}          job snapshot (poll until terminal)
+//   GET  /v1/search/{id}/events   ndjson progress stream (chunked; one
+//                                 line per evaluation batch, ends at a
+//                                 terminal state)
+//   DELETE /v1/search/{id}        cancel -> post-cancel snapshot
 //
 // The handlers are thin: decode JSON -> call the façade -> encode. All
 // state, locking and error mapping live in api::Service; anything the

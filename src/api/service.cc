@@ -93,6 +93,16 @@ Result<std::unique_ptr<Service>> Service::open(ServiceOptions options) {
           [buffer] { return static_cast<double>(buffer->size()); });
     }
 
+    if (opt.enable_search) {
+      jobs::SearchJobManagerOptions sopt = opt.search;
+      sopt.metrics = svc->metrics_;
+      sopt.watchdog = svc->watchdog_;
+      if (sopt.memory_path.empty())
+        sopt.memory_path = opt.registry_root + "/schedule_memory.json";
+      svc->search_jobs_ =
+          std::make_unique<jobs::SearchJobManager>(*svc->service_, std::move(sopt));
+    }
+
     if (opt.enable_autopilot) {
       registry::ContinualTrainerOptions topt = opt.trainer;
       topt.feedback = svc->feedback_;  // may be null: trainer treats as disabled
@@ -158,6 +168,55 @@ Result<PredictResponse> Service::predict(const PredictRequest& request) {
   } catch (...) {
     return Status::internal("predict: unknown exception");
   }
+}
+
+Result<jobs::SearchJobInfo> Service::submit_search(const SearchRequest& request) {
+  if (shut_down_.load(std::memory_order_acquire))
+    return Status::unavailable("service is shut down");
+  if (!search_jobs_)
+    return Status::unimplemented("search service is disabled (enable_search=false)");
+  TCM_TRACE_SPAN("api.search.submit");
+  try {
+    if (auto problem = request.program.validate())
+      return Status::invalid_argument("search: invalid program: " + *problem);
+    jobs::SearchJobRequest job;
+    job.program = request.program;
+    job.method = request.method;
+    job.beam_width = request.beam_width;
+    job.mcts_iterations = request.mcts_iterations;
+    job.deadline = request.deadline;
+    const std::string id = search_jobs_->submit(std::move(job));
+    std::optional<jobs::SearchJobInfo> info = search_jobs_->info(id);
+    if (!info) return Status::internal("search: job '" + id + "' vanished after submit");
+    return *std::move(info);
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  } catch (...) {
+    return Status::internal("submit_search: unknown exception");
+  }
+}
+
+Result<jobs::SearchJobInfo> Service::search_job(const std::string& id) const {
+  if (!search_jobs_)
+    return Status::unimplemented("search service is disabled (enable_search=false)");
+  std::optional<jobs::SearchJobInfo> info = search_jobs_->info(id);
+  if (!info) return Status::not_found("no search job '" + id + "'");
+  return *std::move(info);
+}
+
+Result<std::vector<jobs::SearchJobInfo>> Service::list_searches() const {
+  if (!search_jobs_)
+    return Status::unimplemented("search service is disabled (enable_search=false)");
+  return search_jobs_->list();
+}
+
+Result<jobs::SearchJobInfo> Service::cancel_search(const std::string& id) {
+  if (!search_jobs_)
+    return Status::unimplemented("search service is disabled (enable_search=false)");
+  if (!search_jobs_->cancel(id)) return Status::not_found("no search job '" + id + "'");
+  std::optional<jobs::SearchJobInfo> info = search_jobs_->info(id);
+  if (!info) return Status::not_found("no search job '" + id + "'");
+  return *std::move(info);
 }
 
 Result<std::vector<ModelInfo>> Service::models() const {
@@ -271,6 +330,10 @@ StatsSnapshot Service::stats() const {
     snap.feedback.offered = feedback_->offered();
     snap.feedback.sampled = feedback_->sampled();
     snap.feedback.buffered = feedback_->size();
+  }
+  if (search_jobs_) {
+    snap.search.enabled = true;
+    snap.search.jobs = search_jobs_->stats();
   }
   return snap;
 }
@@ -401,6 +464,30 @@ Json Service::debug_state() const {
   }
   state.set("feedback", std::move(feedback));
 
+  // Search jobs: queue pressure plus schedule-memory effectiveness, the two
+  // numbers that explain why autoscheduling latency looks the way it does.
+  Json search = Json::object();
+  search.set("enabled", Json(search_jobs_ != nullptr));
+  if (search_jobs_) {
+    const jobs::SearchJobStats sjstats = search_jobs_->stats();
+    search.set("submitted", Json(sjstats.submitted));
+    search.set("done", Json(sjstats.done));
+    search.set("failed", Json(sjstats.failed));
+    search.set("cancelled", Json(sjstats.cancelled));
+    search.set("reused", Json(sjstats.reused));
+    search.set("running", Json(static_cast<std::uint64_t>(sjstats.running)));
+    search.set("queued", Json(static_cast<std::uint64_t>(sjstats.queued)));
+    Json memory = Json::object();
+    memory.set("path", Json(search_jobs_->memory().path()));
+    memory.set("entries", Json(static_cast<std::uint64_t>(sjstats.memory.entries)));
+    memory.set("exact_hits", Json(sjstats.memory.exact_hits));
+    memory.set("shape_hits", Json(sjstats.memory.shape_hits));
+    memory.set("misses", Json(sjstats.memory.misses));
+    memory.set("stores", Json(sjstats.memory.stores));
+    search.set("memory", std::move(memory));
+  }
+  state.set("search", std::move(search));
+
   // Watchdog: per-thread heartbeat ages, so a wedged worker is visible here
   // with the same detail /healthz summarizes.
   const obs::Watchdog::Report wreport = watchdog_->report();
@@ -467,6 +554,8 @@ void Service::shutdown() {
   std::lock_guard<std::mutex> lock(admin_mu_);
   if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
   if (scheduler_) scheduler_->stop();
+  // Search workers score through service_; they must drain before it does.
+  if (search_jobs_) search_jobs_->stop();
   try {
     if (service_) service_->quiesce();
     const Status persisted = persist_feedback_now();

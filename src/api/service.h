@@ -41,6 +41,7 @@
 
 #include "api/status.h"
 #include "api/wire.h"
+#include "jobs/job_manager.h"
 #include "obs/metrics.h"
 #include "obs/watchdog.h"
 #include "registry/continual_scheduler.h"
@@ -74,6 +75,14 @@ struct ServiceOptions {
   bool enable_autopilot = false;
   registry::ContinualTrainerOptions trainer;
   registry::ContinualSchedulerOptions scheduler;
+
+  // Async autoscheduling job service (POST /v1/search). The manager shares
+  // the façade's metrics/watchdog and scores through the same
+  // PredictionService as interactive predictions. `search.memory_path`
+  // defaults to "<registry_root>/schedule_memory.json" when left empty and
+  // search is enabled; set it to keep the schedule-reuse memory elsewhere.
+  bool enable_search = true;
+  jobs::SearchJobManagerOptions search;
 };
 
 class Service {
@@ -103,6 +112,28 @@ class Service {
 
   // Registry versions, ascending, with lifecycle roles.
   Result<std::vector<ModelInfo>> models() const;
+
+  // Submits an async autoscheduling job and returns its snapshot (already
+  // DONE with reused=true on a schedule-memory hit).
+  //   INVALID_ARGUMENT     invalid program / options
+  //   RESOURCE_EXHAUSTED   job queue over cap (HTTP 429 + Retry-After)
+  //   UNIMPLEMENTED        search disabled (enable_search=false)
+  //   UNAVAILABLE          after shutdown()
+  Result<jobs::SearchJobInfo> submit_search(const SearchRequest& request);
+
+  // Snapshot of one job (NOT_FOUND for unknown/evicted ids).
+  Result<jobs::SearchJobInfo> search_job(const std::string& id) const;
+
+  // All job snapshots, newest first.
+  Result<std::vector<jobs::SearchJobInfo>> list_searches() const;
+
+  // Requests cancellation and returns the post-cancel snapshot (a job that
+  // already reached a terminal state keeps it — cancel is not un-done).
+  Result<jobs::SearchJobInfo> cancel_search(const std::string& id);
+
+  // The raw manager, for the event-stream endpoint (blocking reads must not
+  // go through the snapshot API). Null when search is disabled.
+  jobs::SearchJobManager* search_jobs() { return search_jobs_.get(); }
 
   // Validates that `version` exists (NOT_FOUND otherwise) and that its
   // checkpoint actually loads through the registry's integrity checks
@@ -177,6 +208,7 @@ class Service {
   std::unique_ptr<registry::ModelRegistry> registry_;
   std::shared_ptr<serve::FeedbackBuffer> feedback_;
   std::unique_ptr<serve::PredictionService> service_;
+  std::unique_ptr<jobs::SearchJobManager> search_jobs_;  // null when disabled
   std::unique_ptr<registry::ContinualTrainer> trainer_;
   std::unique_ptr<registry::ContinualScheduler> scheduler_;
   std::chrono::steady_clock::time_point started_;

@@ -555,6 +555,56 @@ Json to_json(const PredictResponse& response) {
   return j;
 }
 
+Result<SearchRequest> search_request_from_json(const Json& j) {
+  try {
+    if (!j.is_object()) fail("request body must be a JSON object");
+    const std::int64_t version = get_int_or(j, "api_version", kApiVersion);
+    if (version != kApiVersion)
+      fail("unsupported api_version " + std::to_string(version) + " (this server speaks " +
+           std::to_string(kApiVersion) + ")");
+    SearchRequest req;
+    req.program = program_from_json_or_throw(get(j, "program"));
+    const std::string method = get_string_or(j, "method", "beam");
+    if (method == "beam") {
+      req.method = jobs::SearchMethod::kBeam;
+    } else if (method == "mcts") {
+      req.method = jobs::SearchMethod::kMcts;
+    } else {
+      fail("'method' must be \"beam\" or \"mcts\", got \"" + method + "\"");
+    }
+    const std::int64_t width = get_int_or(j, "beam_width", req.beam_width);
+    if (width < 1 || width > 64) fail("'beam_width' must be in [1, 64]");
+    req.beam_width = static_cast<int>(width);
+    const std::int64_t iters = get_int_or(j, "iterations", req.mcts_iterations);
+    if (iters < 1 || iters > 100000) fail("'iterations' must be in [1, 100000]");
+    req.mcts_iterations = static_cast<int>(iters);
+    return req;
+  } catch (const std::exception& e) {
+    return Status::invalid_argument(e.what());
+  }
+}
+
+Json to_json(const jobs::SearchJobInfo& info) {
+  Json j = Json::object();
+  j.set("api_version", Json(static_cast<std::int64_t>(kApiVersion)));
+  j.set("job_id", Json(info.id));
+  j.set("state", Json(std::string(jobs::to_string(info.state))));
+  j.set("method", Json(std::string(info.method == jobs::SearchMethod::kMcts ? "mcts" : "beam")));
+  j.set("reused", Json(info.reused));
+  j.set("warm_started", Json(info.warm_started));
+  j.set("progress", Json(info.progress));
+  j.set("evaluations", Json(info.evaluations));
+  j.set("best_speedup", Json(info.best_speedup));
+  j.set("baseline_speedup", Json(info.baseline_speedup));
+  j.set("wall_seconds", Json(info.wall_seconds));
+  // u64 exceeds JSON's interoperable integer range; decimal string (the
+  // schedule-memory file uses the same spelling).
+  j.set("program_fingerprint", Json(std::to_string(info.program_fingerprint)));
+  j.set("schedule", to_json(info.best_schedule));
+  if (!info.error.empty()) j.set("error", Json(info.error));
+  return j;
+}
+
 Json to_json(const ModelInfo& info) {
   const registry::ModelManifest& m = info.manifest;
   Json j = Json::object();
@@ -630,6 +680,27 @@ Json to_json(const StatsSnapshot& stats) {
     feedback.set("buffered", Json(static_cast<std::int64_t>(stats.feedback.buffered)));
   }
   j.set("feedback", std::move(feedback));
+
+  Json search = Json::object();
+  search.set("enabled", Json(stats.search.enabled));
+  if (stats.search.enabled) {
+    const jobs::SearchJobStats& sj = stats.search.jobs;
+    search.set("submitted", Json(static_cast<std::int64_t>(sj.submitted)));
+    search.set("done", Json(static_cast<std::int64_t>(sj.done)));
+    search.set("failed", Json(static_cast<std::int64_t>(sj.failed)));
+    search.set("cancelled", Json(static_cast<std::int64_t>(sj.cancelled)));
+    search.set("reused", Json(static_cast<std::int64_t>(sj.reused)));
+    search.set("running", Json(static_cast<std::int64_t>(sj.running)));
+    search.set("queued", Json(static_cast<std::int64_t>(sj.queued)));
+    Json memory = Json::object();
+    memory.set("entries", Json(static_cast<std::int64_t>(sj.memory.entries)));
+    memory.set("exact_hits", Json(static_cast<std::int64_t>(sj.memory.exact_hits)));
+    memory.set("shape_hits", Json(static_cast<std::int64_t>(sj.memory.shape_hits)));
+    memory.set("misses", Json(static_cast<std::int64_t>(sj.memory.misses)));
+    memory.set("stores", Json(static_cast<std::int64_t>(sj.memory.stores)));
+    search.set("memory", std::move(memory));
+  }
+  j.set("search", std::move(search));
   return j;
 }
 

@@ -34,6 +34,15 @@
 //                    or {"program":PROGRAM, "schedules":[SCHEDULE,...]}
 //              response {"api_version":1,
 //                        "predictions":[{"speedup":s,"model_version":v},...]}
+//   Search     request  {"program":PROGRAM, "method":"beam"|"mcts",
+//                        "beam_width":n, "iterations":n}  (deadline rides the
+//                        X-Deadline-Ms header, like /v1/predict)
+//              job      {"job_id","state","method","reused","warm_started",
+//                        "progress","evaluations","best_speedup",
+//                        "baseline_speedup","wall_seconds",
+//                        "program_fingerprint" (decimal string; u64 exceeds
+//                        JSON's interoperable int range),"schedule":SCHEDULE
+//                        [,"error"]}
 //   Error body {"error":{"code":"INVALID_ARGUMENT","http":400,"message":"..."}}
 //
 // Speedups are serialized with shortest-round-trip double formatting
@@ -48,6 +57,8 @@
 #include "api/json.h"
 #include "api/status.h"
 #include "ir/program.h"
+#include "jobs/job_manager.h"
+#include "jobs/search_job.h"
 #include "registry/model_registry.h"
 #include "serve/drift_monitor.h"
 #include "serve/prediction_service.h"
@@ -76,6 +87,17 @@ struct PredictResponse {
   std::vector<Item> predictions;  // one per requested schedule, in order
 };
 
+// POST /v1/search body. Like PredictRequest, the deadline is not part of the
+// JSON encoding: HTTP callers send a relative X-Deadline-Ms header which
+// rest.cc converts to an absolute point on arrival.
+struct SearchRequest {
+  ir::Program program;
+  jobs::SearchMethod method = jobs::SearchMethod::kBeam;
+  int beam_width = 4;        // beam method only
+  int mcts_iterations = 48;  // mcts method only ("iterations" on the wire)
+  serve::RequestDeadline deadline = serve::kNoDeadline;
+};
+
 // One registry version plus its lifecycle role.
 struct ModelInfo {
   registry::ModelManifest manifest;
@@ -99,6 +121,11 @@ struct FeedbackStats {
   std::size_t buffered = 0;  // samples currently in the reservoir
 };
 
+struct SearchStats {
+  bool enabled = false;
+  jobs::SearchJobStats jobs;
+};
+
 struct StatsSnapshot {
   serve::ServeStats serve;
   int active_version = 0;
@@ -106,6 +133,7 @@ struct StatsSnapshot {
   double uptime_seconds = 0;
   AutopilotStats autopilot;
   FeedbackStats feedback;
+  SearchStats search;
 };
 
 // --- codecs ----------------------------------------------------------------
@@ -121,6 +149,9 @@ Result<transforms::Schedule> schedule_from_json(const Json& j);
 
 Result<PredictRequest> predict_request_from_json(const Json& j);
 Json to_json(const PredictResponse& response);
+
+Result<SearchRequest> search_request_from_json(const Json& j);
+Json to_json(const jobs::SearchJobInfo& info);
 
 Json to_json(const ModelInfo& info);
 Json to_json(const StatsSnapshot& stats);

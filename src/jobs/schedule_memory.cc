@@ -1,0 +1,263 @@
+#include "jobs/schedule_memory.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "api/json.h"
+#include "api/wire.h"
+#include "support/log.h"
+#include "support/retry.h"
+
+namespace fs = std::filesystem;
+
+namespace tcm::jobs {
+namespace {
+
+constexpr const char* kFormat = "tcm-schedule-memory";
+constexpr int kFormatVersion = 1;
+
+support::RetryOptions io_retry_options(const char* op) {
+  support::RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff = std::chrono::milliseconds(5);
+  options.max_backoff = std::chrono::milliseconds(100);
+  options.on_retry = [op](int attempt, const std::string& why) {
+    log_warn() << "ScheduleMemory: retrying " << op << " after attempt " << attempt << ": "
+               << why;
+  };
+  return options;
+}
+
+void fsync_path(const fs::path& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) throw std::runtime_error("ScheduleMemory: cannot open for fsync: " + path.string());
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw std::runtime_error("ScheduleMemory: fsync failed on " + path.string());
+}
+
+// Same crash-safety discipline as the registry: stage, fsync, rename, fsync
+// the directory. After a power cut the path holds the old or the new
+// content, never a torn file.
+void atomic_write_file(const fs::path& path, const std::string& content) {
+  support::with_retries(io_retry_options("atomic write"), [&] {
+    const fs::path tmp = path.string() + ".tmp";
+    {
+      std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+      if (!f) throw std::runtime_error("ScheduleMemory: cannot write " + tmp.string());
+      f.write(content.data(), static_cast<std::streamsize>(content.size()));
+      f.flush();
+      if (!f) throw std::runtime_error("ScheduleMemory: short write to " + tmp.string());
+    }
+    fsync_path(tmp, /*directory=*/false);
+    fs::rename(tmp, path);
+    fsync_path(path.parent_path().empty() ? fs::path(".") : path.parent_path(),
+               /*directory=*/true);
+  });
+}
+
+// u64 fingerprints ride as decimal strings: api::Json keeps integers as
+// int64, and the top bit of a fingerprint is meaningful.
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+
+bool parse_u64(const api::Json* j, std::uint64_t& out) {
+  if (j == nullptr || !j->is_string()) return false;
+  const std::string& s = j->as_string();
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+ScheduleMemory::ScheduleMemory(std::string path, obs::MetricsRegistry* metrics)
+    : path_(std::move(path)) {
+  if (metrics != nullptr) {
+    hit_exact_ = &metrics->counter("tcm_schedule_memory_hits_total",
+                                   "Schedule-memory lookups served", "kind=\"exact\"");
+    hit_shape_ = &metrics->counter("tcm_schedule_memory_hits_total",
+                                   "Schedule-memory lookups served", "kind=\"shape\"");
+    miss_ = &metrics->counter("tcm_schedule_memory_misses_total",
+                              "Schedule-memory lookups that ran a full search");
+    size_gauge_ = &metrics->gauge("tcm_schedule_memory_entries",
+                                  "Entries resident in the schedule memory");
+  }
+  load();
+}
+
+std::optional<MemoryEntry> ScheduleMemory::lookup(std::uint64_t program_fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(program_fp);
+  if (it == entries_.end()) {
+    ++misses_;
+    if (miss_ != nullptr) miss_->inc();
+    return std::nullopt;
+  }
+  ++it->second.hits;
+  ++exact_hits_;
+  if (hit_exact_ != nullptr) hit_exact_->inc();
+  return it->second;
+}
+
+std::vector<transforms::Schedule> ScheduleMemory::warm_starts(std::uint64_t shape_fp,
+                                                              std::uint64_t exclude_program_fp,
+                                                              std::size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_shape_.find(shape_fp);
+  if (it == by_shape_.end()) return {};
+  std::vector<const MemoryEntry*> matches;
+  for (std::uint64_t fp : it->second) {
+    if (fp == exclude_program_fp) continue;
+    auto e = entries_.find(fp);
+    if (e != entries_.end()) matches.push_back(&e->second);
+  }
+  std::sort(matches.begin(), matches.end(), [](const MemoryEntry* a, const MemoryEntry* b) {
+    return a->predicted_speedup > b->predicted_speedup;
+  });
+  if (matches.size() > max) matches.resize(max);
+  std::vector<transforms::Schedule> out;
+  out.reserve(matches.size());
+  for (const MemoryEntry* m : matches) out.push_back(m->schedule);
+  if (!out.empty()) {
+    ++shape_hits_;
+    if (hit_shape_ != nullptr) hit_shape_->inc();
+  }
+  return out;
+}
+
+void ScheduleMemory::store(MemoryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(entry.program_fp);
+  if (it != entries_.end()) {
+    // Keep the better schedule; always keep the accumulated hit count.
+    if (entry.predicted_speedup <= it->second.predicted_speedup) return;
+    entry.hits = it->second.hits;
+    it->second = std::move(entry);
+  } else {
+    by_shape_[entry.shape_fp].push_back(entry.program_fp);
+    entries_.emplace(entry.program_fp, std::move(entry));
+  }
+  ++stores_;
+  if (size_gauge_ != nullptr) size_gauge_->set(static_cast<double>(entries_.size()));
+  persist_locked();
+}
+
+std::size_t ScheduleMemory::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+ScheduleMemoryStats ScheduleMemory::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ScheduleMemoryStats s;
+  s.entries = entries_.size();
+  s.exact_hits = exact_hits_;
+  s.shape_hits = shape_hits_;
+  s.misses = misses_;
+  s.stores = stores_;
+  return s;
+}
+
+void ScheduleMemory::load() {
+  if (path_.empty() || !fs::exists(path_)) return;
+  std::string text;
+  try {
+    text = support::with_retries(io_retry_options("read"), [&] {
+      std::ifstream f(path_, std::ios::binary);
+      if (!f) throw std::runtime_error("ScheduleMemory: cannot read " + path_);
+      std::ostringstream out;
+      out << f.rdbuf();
+      return out.str();
+    });
+  } catch (const std::exception& e) {
+    log_warn() << "ScheduleMemory: discarding unreadable file " << path_ << ": " << e.what();
+    return;
+  }
+  api::Result<api::Json> parsed = api::Json::parse(text);
+  if (!parsed.ok()) {
+    log_warn() << "ScheduleMemory: discarding corrupt file " << path_ << ": "
+               << parsed.status().message();
+    return;
+  }
+  const api::Json& j = *parsed;
+  const api::Json* format = j.find("format");
+  const api::Json* version = j.find("version");
+  const api::Json* entries = j.find("entries");
+  if (format == nullptr || !format->is_string() || format->as_string() != kFormat ||
+      version == nullptr || !version->is_int() || version->as_int() != kFormatVersion ||
+      entries == nullptr || !entries->is_array()) {
+    log_warn() << "ScheduleMemory: discarding file with unexpected header: " << path_;
+    return;
+  }
+  std::size_t dropped = 0;
+  for (const api::Json& je : entries->as_array()) {
+    MemoryEntry e;
+    const api::Json* schedule = je.find("schedule");
+    const api::Json* speedup = je.find("speedup");
+    if (!parse_u64(je.find("program_fp"), e.program_fp) ||
+        !parse_u64(je.find("shape_fp"), e.shape_fp) || schedule == nullptr ||
+        speedup == nullptr || !speedup->is_number()) {
+      ++dropped;
+      continue;
+    }
+    api::Result<transforms::Schedule> s = api::schedule_from_json(*schedule);
+    if (!s.ok()) {
+      ++dropped;
+      continue;
+    }
+    e.schedule = std::move(*s);
+    e.predicted_speedup = speedup->as_double();
+    if (const api::Json* ev = je.find("evaluations"); ev != nullptr && ev->is_int())
+      e.evaluations = ev->as_int();
+    if (const api::Json* m = je.find("method"); m != nullptr && m->is_string())
+      e.method = m->as_string();
+    std::uint64_t hits = 0;
+    if (parse_u64(je.find("hits"), hits)) e.hits = hits;
+    by_shape_[e.shape_fp].push_back(e.program_fp);
+    entries_.emplace(e.program_fp, std::move(e));
+  }
+  if (dropped > 0)
+    log_warn() << "ScheduleMemory: dropped " << dropped << " malformed entries from " << path_;
+  if (size_gauge_ != nullptr) size_gauge_->set(static_cast<double>(entries_.size()));
+  log_info() << "ScheduleMemory: restored " << entries_.size() << " entries from " << path_;
+}
+
+void ScheduleMemory::persist_locked() {
+  if (path_.empty()) return;
+  api::Json doc = api::Json::object();
+  doc.set("format", kFormat);
+  doc.set("version", kFormatVersion);
+  api::Json arr = api::Json::array();
+  for (const auto& [fp, e] : entries_) {
+    api::Json je = api::Json::object();
+    je.set("program_fp", u64_str(e.program_fp));
+    je.set("shape_fp", u64_str(e.shape_fp));
+    je.set("speedup", e.predicted_speedup);
+    je.set("evaluations", e.evaluations);
+    je.set("method", e.method);
+    je.set("hits", u64_str(e.hits));
+    je.set("schedule", api::to_json(e.schedule));
+    arr.push_back(std::move(je));
+  }
+  doc.set("entries", std::move(arr));
+  try {
+    atomic_write_file(path_, doc.dump());
+  } catch (const std::exception& e) {
+    // Losing persistence degrades the cache to in-memory; never fail a job
+    // completion over it.
+    log_warn() << "ScheduleMemory: persist failed for " << path_ << ": " << e.what();
+  }
+}
+
+}  // namespace tcm::jobs

@@ -1,0 +1,65 @@
+// Vocabulary types of the async autoscheduling job service.
+//
+// A search job is one autoschedule request: a program plus search options,
+// run asynchronously on the manager's worker pool. The lifecycle is a small
+// one-way state machine —
+//
+//   QUEUED ──► RUNNING ──► DONE        (search finished; best schedule held)
+//     │           ├──────► FAILED      (evaluator error / deadline exceeded)
+//     └───────────┴──────► CANCELLED   (client DELETE, observed within one
+//                                       evaluation batch)
+//
+// — plus the short-circuit: a program whose fingerprint is already in the
+// ScheduleMemory is born DONE with reused=true and never touches the pool.
+// These structs carry no behavior so the wire layer can encode them without
+// pulling in the manager.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/program.h"
+#include "search/candidates.h"
+#include "serve/prediction_service.h"
+#include "transforms/schedule.h"
+
+namespace tcm::jobs {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+// "QUEUED" / "RUNNING" / "DONE" / "FAILED" / "CANCELLED" — the wire spelling.
+const char* to_string(JobState state);
+
+enum class SearchMethod { kBeam, kMcts };
+
+struct SearchJobRequest {
+  ir::Program program;
+  SearchMethod method = SearchMethod::kBeam;
+  int beam_width = 4;
+  int mcts_iterations = 48;
+  search::SearchSpaceOptions space;
+  // Absolute deadline for the whole job (search is shed mid-flight once it
+  // passes; the job fails with DEADLINE_EXCEEDED). kNoDeadline = the
+  // manager's default applies.
+  serve::RequestDeadline deadline = serve::kNoDeadline;
+};
+
+// Point-in-time snapshot of one job; what GET /v1/search/{id} returns and
+// what each line of the event stream carries.
+struct SearchJobInfo {
+  std::string id;
+  JobState state = JobState::kQueued;
+  SearchMethod method = SearchMethod::kBeam;
+  bool reused = false;        // served straight from ScheduleMemory
+  bool warm_started = false;  // beam seeded from a shape-fingerprint near miss
+  double progress = 0;        // 0..1 fraction of decision points / iterations
+  std::int64_t evaluations = 0;
+  double best_speedup = 0;     // predicted speedup of best_schedule
+  double baseline_speedup = 1;  // predicted speedup of the empty schedule
+  transforms::Schedule best_schedule;  // best-so-far; final when terminal
+  std::string error;           // FAILED detail ("DEADLINE_EXCEEDED: ...")
+  double wall_seconds = 0;
+  std::uint64_t program_fingerprint = 0;
+};
+
+}  // namespace tcm::jobs

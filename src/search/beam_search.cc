@@ -4,6 +4,8 @@
 #include <chrono>
 #include <set>
 
+#include "transforms/apply.h"
+
 namespace tcm::search {
 
 SearchResult beam_search(const ir::Program& p, CandidateEvaluator& evaluator,
@@ -14,8 +16,46 @@ SearchResult beam_search(const ir::Program& p, CandidateEvaluator& evaluator,
 
   const std::vector<DecisionPoint> decisions = decision_points(p, options.space);
   std::vector<transforms::Schedule> beam = {transforms::Schedule{}};
+  {
+    // Warm starts join the initial beam: a remembered schedule for a similar
+    // program biases the search toward its region of the space while the
+    // empty prefix keeps the full space reachable.
+    std::set<std::string> seen = {beam.front().to_string()};
+    for (const transforms::Schedule& w : options.warm_start) {
+      if (!seen.insert(w.to_string()).second) continue;
+      if (transforms::try_apply_schedule(p, w).ok) beam.push_back(w);
+    }
+  }
 
-  for (const DecisionPoint& decision : decisions) {
+  SearchResult result;
+  transforms::Schedule best_schedule;
+  double best_score = 0;
+  bool have_best = false;
+
+  auto record_batch = [&](const std::vector<transforms::Schedule>& scored,
+                          const std::vector<double>& scores) {
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      if (!have_best || scores[i] > best_score) {
+        best_score = scores[i];
+        best_schedule = scored[i];
+        have_best = true;
+      }
+    }
+  };
+
+  auto report = [&](int decision_index) {
+    if (!options.on_progress) return true;
+    SearchProgress progress;
+    progress.decision_index = decision_index;
+    progress.decision_count = static_cast<int>(decisions.size());
+    progress.evaluations = evaluator.evaluations() - evals0;
+    progress.best_score = best_score;
+    progress.best_schedule = have_best ? &best_schedule : nullptr;
+    return options.on_progress(progress);
+  };
+
+  for (std::size_t d = 0; d < decisions.size(); ++d) {
+    const DecisionPoint& decision = decisions[d];
     // Expand all beam states; dedupe identical schedules.
     std::vector<transforms::Schedule> candidates;
     std::set<std::string> seen;
@@ -33,6 +73,7 @@ SearchResult beam_search(const ir::Program& p, CandidateEvaluator& evaluator,
     for (const transforms::Schedule& c : candidates)
       scored.push_back(apply_parallel_vector_heuristics(p, c, options.space));
     const std::vector<double> scores = evaluator.evaluate(p, scored);
+    record_batch(scored, scores);
 
     std::vector<std::size_t> order(candidates.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -45,21 +86,25 @@ SearchResult beam_search(const ir::Program& p, CandidateEvaluator& evaluator,
     for (std::size_t i = 0; i < keep; ++i)
       next_beam.push_back(candidates[order[i]]);
     beam = std::move(next_beam);
+
+    if (!report(static_cast<int>(d) + 1)) {
+      result.stopped_early = true;
+      break;
+    }
   }
 
-  // Final scoring of the surviving states (with heuristics).
-  std::vector<transforms::Schedule> finals;
-  finals.reserve(beam.size());
-  for (const transforms::Schedule& state : beam)
-    finals.push_back(apply_parallel_vector_heuristics(p, state, options.space));
-  const std::vector<double> final_scores = evaluator.evaluate(p, finals);
+  if (!result.stopped_early) {
+    // Final scoring of the surviving states (with heuristics).
+    std::vector<transforms::Schedule> finals;
+    finals.reserve(beam.size());
+    for (const transforms::Schedule& state : beam)
+      finals.push_back(apply_parallel_vector_heuristics(p, state, options.space));
+    const std::vector<double> final_scores = evaluator.evaluate(p, finals);
+    record_batch(finals, final_scores);
+  }
 
-  SearchResult result;
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < finals.size(); ++i)
-    if (final_scores[i] > final_scores[best]) best = i;
-  result.best_schedule = finals[best];
-  result.best_score = final_scores.empty() ? 1.0 : final_scores[best];
+  result.best_schedule = have_best ? best_schedule : transforms::Schedule{};
+  result.best_score = have_best ? best_score : 1.0;
   result.evaluations = evaluator.evaluations() - evals0;
   result.accounted_seconds = evaluator.accounted_seconds() - accounted0;
   result.wall_seconds =

@@ -6,14 +6,34 @@
 // heuristics are appended, and the best `beam_width` states survive.
 #pragma once
 
+#include <functional>
+
 #include "search/candidates.h"
 #include "search/evaluator.h"
 
 namespace tcm::search {
 
+// Best-so-far snapshot handed to the progress callback after every scored
+// batch (one decision point's worth of candidate evaluations).
+struct SearchProgress {
+  int decision_index = 0;              // decisions completed so far
+  int decision_count = 0;              // total decision points in the space
+  std::int64_t evaluations = 0;        // candidate evaluations so far
+  double best_score = 0;               // best speedup seen so far
+  const transforms::Schedule* best_schedule = nullptr;  // owner: the search
+};
+
 struct BeamSearchOptions {
   int beam_width = 4;
   SearchSpaceOptions space;
+  // Called after each scored batch; return false to stop the search early.
+  // An early stop keeps the best-so-far schedule and sets
+  // SearchResult::stopped_early — this is the cooperative-cancellation hook
+  // for the job service (granularity: one evaluation batch).
+  std::function<bool(const SearchProgress&)> on_progress;
+  // Schedules seeded into the initial beam alongside the empty schedule
+  // (schedule-memory warm starts). Illegal or duplicate entries are dropped.
+  std::vector<transforms::Schedule> warm_start;
 };
 
 struct SearchResult {
@@ -22,6 +42,7 @@ struct SearchResult {
   std::int64_t evaluations = 0;        // candidate evaluations performed
   double accounted_seconds = 0;        // toolchain time a real system would pay
   double wall_seconds = 0;             // actual wall time of the search
+  bool stopped_early = false;          // on_progress returned false
 };
 
 SearchResult beam_search(const ir::Program& p, CandidateEvaluator& evaluator,

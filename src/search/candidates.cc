@@ -30,6 +30,16 @@ void push_if_legal(const ir::Program& p, std::vector<transforms::Schedule>& out,
   if (transforms::try_apply_schedule(p, candidate).ok) out.push_back(std::move(candidate));
 }
 
+// All computations whose nest hangs off `root`, in textual order. A
+// shared-root nest lists several; each is a distinct fusion partner because
+// its subloop path (and so its depth and extents) differs.
+std::vector<int> comps_under(const ir::Program& p, int root) {
+  std::vector<int> comps;
+  for (const ir::Computation& c : p.comps)
+    if (p.nest_of(c.id).front() == root) comps.push_back(c.id);
+  return comps;
+}
+
 }  // namespace
 
 std::vector<DecisionPoint> decision_points(const ir::Program& p,
@@ -61,10 +71,12 @@ std::vector<transforms::Schedule> expand_decision(const ir::Program& p,
   switch (decision.kind) {
     case DecisionPoint::Kind::Fusion: {
       // Fuse this computation's nest with the next adjacent nest, at every
-      // possible depth. The partner computation is discovered at expansion
-      // time because earlier fusions may have merged roots.
-      const std::vector<int> nest = p.nest_of(decision.comp);
-      // Find the roots in the *current prefix-applied* program.
+      // possible depth. Partner computations are discovered at expansion
+      // time because earlier fusions may have merged roots — and the
+      // neighbour may itself be a shared-root nest holding several
+      // computations, each a distinct cross-root fusion target (their
+      // subloop paths differ, so the legal depths and resulting loop
+      // structures differ too).
       transforms::ApplyResult state = transforms::try_apply_schedule(p, prefix);
       if (!state.ok) return out;
       const ir::Program& sp = state.program;
@@ -72,14 +84,18 @@ std::vector<transforms::Schedule> expand_decision(const ir::Program& p,
       const std::vector<int> snest = sp.nest_of(decision.comp);
       const auto it = std::find(sp.roots.begin(), sp.roots.end(), snest.front());
       if (it == sp.roots.end() || it + 1 == sp.roots.end()) return out;
-      const int partner = comp_under(sp, *(it + 1));
-      if (partner < 0) return out;
-      const int max_depth = static_cast<int>(
-          std::min(sp.nest_of(decision.comp).size(), sp.nest_of(partner).size()));
-      for (int depth = 1; depth <= max_depth; ++depth) {
-        transforms::Schedule s = prefix;
-        s.fusions.push_back({decision.comp, partner, depth});
-        push_if_legal(p, out, std::move(s));
+      std::vector<int> partners = comps_under(sp, *(it + 1));
+      if (static_cast<int>(partners.size()) > options.max_fusion_partners)
+        partners.resize(static_cast<std::size_t>(options.max_fusion_partners));
+      const std::size_t own_depth = sp.nest_of(decision.comp).size();
+      for (int partner : partners) {
+        const int max_depth =
+            static_cast<int>(std::min(own_depth, sp.nest_of(partner).size()));
+        for (int depth = 1; depth <= max_depth; ++depth) {
+          transforms::Schedule s = prefix;
+          s.fusions.push_back({decision.comp, partner, depth});
+          push_if_legal(p, out, std::move(s));
+        }
       }
       break;
     }

@@ -32,6 +32,10 @@ struct SearchSpaceOptions {
   // Limits the number of interchange pairs explored per computation (closest
   // pairs first) to keep the branching factor manageable.
   int max_interchange_pairs = 6;
+  // Limits the fusion partners tried per cross-root fusion point. A
+  // shared-root neighbour nest can hold several computations at different
+  // depths; each is a distinct fusion target (textual order, capped here).
+  int max_fusion_partners = 4;
 };
 
 // One decision point: alternatives extending a schedule prefix. The first

@@ -43,15 +43,18 @@ ModelEvaluator::ModelEvaluator(model::SpeedupPredictor* predictor, model::Featur
 ModelEvaluator::ModelEvaluator(model::SpeedupPredictor* predictor,
                                const serve::ServeOptions& options) {
   if (!predictor) throw std::invalid_argument("ModelEvaluator: null predictor");
-  service_ = std::make_unique<serve::PredictionService>(*predictor, options);
+  owned_service_ = std::make_unique<serve::PredictionService>(*predictor, options);
+  service_ = owned_service_.get();
 }
+
+ModelEvaluator::ModelEvaluator(serve::PredictionService& service) : service_(&service) {}
 
 std::vector<double> ModelEvaluator::evaluate(const ir::Program& p,
                                              const std::vector<transforms::Schedule>& candidates) {
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<double> predictions;
   try {
-    predictions = service_->predict_many(p, candidates);
+    predictions = service_->predict_many(p, candidates, deadline_);
   } catch (const std::invalid_argument& e) {
     // Keep the historical error contract of the synchronous evaluator.
     throw std::invalid_argument(std::string("ModelEvaluator: ") + e.what());

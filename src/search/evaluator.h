@@ -70,6 +70,17 @@ class ModelEvaluator final : public CandidateEvaluator {
   // Full control over batching/threading/caching.
   ModelEvaluator(model::SpeedupPredictor* predictor, const serve::ServeOptions& options);
 
+  // Scores through an externally owned service (the serving tier's live
+  // instance). The caller keeps the service alive for the evaluator's
+  // lifetime; search traffic shares the batcher, cache, and admission
+  // machinery with interactive predictions.
+  explicit ModelEvaluator(serve::PredictionService& service);
+
+  // Absolute deadline attached to every subsequent evaluate() burst, so a
+  // wedged batcher sheds the evaluation (serve::DeadlineExceededError
+  // propagates out of evaluate) instead of stranding the search forever.
+  void set_deadline(serve::RequestDeadline deadline) { deadline_ = deadline; }
+
   std::vector<double> evaluate(const ir::Program& p,
                                const std::vector<transforms::Schedule>& candidates) override;
   double accounted_seconds() const override { return accounted_seconds_; }
@@ -79,7 +90,9 @@ class ModelEvaluator final : public CandidateEvaluator {
   serve::PredictionService& service() { return *service_; }
 
  private:
-  std::unique_ptr<serve::PredictionService> service_;
+  std::unique_ptr<serve::PredictionService> owned_service_;
+  serve::PredictionService* service_ = nullptr;  // owned_service_.get() or external
+  serve::RequestDeadline deadline_ = serve::kNoDeadline;
   double accounted_seconds_ = 0;
   std::int64_t evaluations_ = 0;
 };

@@ -56,7 +56,8 @@ MctsResult mcts_search(const ir::Program& p, CandidateEvaluator& model_evaluator
     }
   };
 
-  for (int iter = 0; iter < options.iterations; ++iter) {
+  bool stopped_early = false;
+  for (int iter = 0; iter < options.iterations && !stopped_early; ++iter) {
     // --- selection -----------------------------------------------------------
     Node* node = root.get();
     while (true) {
@@ -115,6 +116,18 @@ MctsResult mcts_search(const ir::Program& p, CandidateEvaluator& model_evaluator
       ++n->visits;
       n->total_reward += reward;
     }
+
+    if (options.on_progress) {
+      SearchProgress progress;
+      progress.decision_index = iter + 1;
+      progress.decision_count = options.iterations;
+      progress.evaluations = model_evaluator.evaluations() - evals0;
+      if (!best_set.empty()) {
+        progress.best_score = best_set.front().first;
+        progress.best_schedule = &best_set.front().second;
+      }
+      if (!options.on_progress(progress)) stopped_early = true;
+    }
   }
 
   // --- execute the retained set (the paper's correction step) -----------------
@@ -130,6 +143,7 @@ MctsResult mcts_search(const ir::Program& p, CandidateEvaluator& model_evaluator
     result.best_schedule = finals[best];
     result.best_measured_speedup = measured[best];
   }
+  result.stopped_early = stopped_early;
   result.model_evaluations = model_evaluator.evaluations() - evals0;
   result.accounted_seconds = model_evaluator.accounted_seconds() +
                              execution_evaluator.accounted_seconds() - accounted0;

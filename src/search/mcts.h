@@ -7,6 +7,7 @@
 // executed; the best *measured* schedule wins.
 #pragma once
 
+#include "search/beam_search.h"
 #include "search/candidates.h"
 #include "search/evaluator.h"
 #include "support/rng.h"
@@ -19,6 +20,9 @@ struct MctsOptions {
   int top_k = 5;             // schedules executed at the end (the paper's set)
   SearchSpaceOptions space;
   std::uint64_t seed = 7;
+  // Called after each rollout evaluation; return false to stop early (the
+  // retained set is still executed so the result is a measured best-so-far).
+  std::function<bool(const SearchProgress&)> on_progress;
 };
 
 struct MctsResult {
@@ -27,6 +31,7 @@ struct MctsResult {
   std::int64_t model_evaluations = 0;
   double accounted_seconds = 0;  // model inference + top-k executions
   double wall_seconds = 0;
+  bool stopped_early = false;  // on_progress returned false
 };
 
 // `model_evaluator` scores rollouts; `execution_evaluator` measures the

@@ -108,6 +108,30 @@ std::uint64_t fingerprint(const ir::Program& p) {
   return h.digest();
 }
 
+std::uint64_t shape_fingerprint(const ir::Program& p) {
+  Fingerprinter h;
+  h.mix(p.loops.size());
+  for (const ir::LoopNode& l : p.loops) {
+    h.mix_int(l.id);
+    h.mix_int(l.iter.extent);
+    h.mix_int(l.parent);
+    h.mix(l.body.size());
+    for (const ir::BodyItem& item : l.body) {
+      h.mix_int(static_cast<std::int64_t>(item.kind));
+      h.mix_int(item.index);
+    }
+  }
+  h.mix(p.comps.size());
+  for (const ir::Computation& c : p.comps) {
+    h.mix_int(c.id);
+    h.mix_int(c.loop_id);
+    h.mix(c.is_reduction ? 1 : 0);
+  }
+  h.mix(p.roots.size());
+  for (int r : p.roots) h.mix_int(r);
+  return h.digest();
+}
+
 std::uint64_t fingerprint(const transforms::Schedule& s) {
   Fingerprinter h;
   h.mix(s.fusions.size());

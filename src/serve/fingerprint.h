@@ -36,6 +36,14 @@ std::uint64_t fingerprint(const ir::Program& p);
 // Fingerprint of a schedule's transformation commands.
 std::uint64_t fingerprint(const transforms::Schedule& s);
 
+// Coarse *shape* fingerprint: loop tree, extents, computation placement and
+// reduction flags only — access matrices, expression contents and buffer
+// dims are excluded. Two programs with equal shape fingerprints admit the
+// same schedules (legality depends on the loop structure), so a schedule
+// remembered for one is a sound warm start for the other even when the
+// arithmetic differs.
+std::uint64_t shape_fingerprint(const ir::Program& p);
+
 // Combined cache key for a (program, schedule) pair.
 struct PairKey {
   std::uint64_t program = 0;

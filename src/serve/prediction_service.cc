@@ -254,13 +254,14 @@ std::future<Prediction> PredictionService::enqueue_request(
 }
 
 std::vector<double> PredictionService::predict_many(
-    const ir::Program& program, const std::vector<transforms::Schedule>& candidates) {
+    const ir::Program& program, const std::vector<transforms::Schedule>& candidates,
+    RequestDeadline deadline) {
   std::vector<std::future<Prediction>> futures;
   futures.reserve(candidates.size());
   // One program IR walk for the whole burst; only schedules vary per key.
   const std::uint64_t program_fp = fingerprint(program);
   for (const transforms::Schedule& s : candidates)
-    futures.push_back(submit_with_key({program_fp, fingerprint(s)}, program, s, kNoDeadline));
+    futures.push_back(submit_with_key({program_fp, fingerprint(s)}, program, s, deadline));
   flush();
   std::vector<double> out;
   out.reserve(candidates.size());

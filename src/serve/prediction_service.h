@@ -177,9 +177,12 @@ class PredictionService {
 
   // Blocking convenience: submits the whole burst, flushes the queue so no
   // tail request waits out the latency deadline, and gathers results in
-  // order. Throws if any request failed.
+  // order. Throws if any request failed. The deadline applies to every
+  // request in the burst, so a wedged batcher sheds the whole evaluation
+  // with DeadlineExceededError instead of stranding the caller.
   std::vector<double> predict_many(const ir::Program& program,
-                                   const std::vector<transforms::Schedule>& candidates);
+                                   const std::vector<transforms::Schedule>& candidates,
+                                   RequestDeadline deadline = kNoDeadline);
 
   // Atomically routes all subsequent batches to `next`. Batches already in
   // flight finish on the snapshot they pinned; nothing is dropped and no
